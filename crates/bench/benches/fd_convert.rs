@@ -1,0 +1,50 @@
+//! Figure C (extension): cost of the Proposition 2.1 / 2.2 failure-
+//! detector conversions as a function of system size — both the event
+//! blow-up of the gossip construction (printed series) and its wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktudc_core::protocols::nudc::NUdcFlood;
+use ktudc_fd::convert::{accumulate_reports, weak_to_strong};
+use ktudc_fd::ImpermanentWeakOracle;
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+fn source_run(n: usize) -> ktudc_model::Run<ktudc_core::CoordMsg> {
+    let config = SimConfig::new(n)
+        .channel(ChannelKind::fair_lossy(0.2))
+        .crashes(CrashPlan::at(&[(1, 5)]))
+        .horizon(80)
+        .seed(7);
+    let w = Workload::single(0, 2);
+    run_protocol(
+        &config,
+        |_| NUdcFlood::new(),
+        &mut ImpermanentWeakOracle::new(),
+        &w,
+    )
+    .run
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_conversions");
+    group.sample_size(10);
+    for n in [3usize, 5, 7, 10] {
+        let run = source_run(n);
+        let gossiped = weak_to_strong(&run, 4);
+        println!(
+            "figC n={n}: original_events={} gossiped_events={} blowup={:.1}x",
+            run.event_count(),
+            gossiped.event_count(),
+            gossiped.event_count() as f64 / run.event_count().max(1) as f64
+        );
+        group.bench_with_input(BenchmarkId::new("accumulate", n), &run, |b, run| {
+            b.iter(|| accumulate_reports(run));
+        });
+        group.bench_with_input(BenchmarkId::new("weak_to_strong", n), &run, |b, run| {
+            b.iter(|| weak_to_strong(run, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

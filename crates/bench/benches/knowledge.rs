@@ -1,0 +1,71 @@
+//! Figure D (extension): cost of the epistemic machinery — evaluating
+//! `K_p crash(q)` over systems of growing size, and the full `f(r)`
+//! construction of Theorem 3.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktudc_core::protocols::strong_fd::StrongFdUdc;
+use ktudc_core::simulate::simulate_perfect_fd;
+use ktudc_epistemic::{Formula, ModelChecker};
+use ktudc_model::{Point, ProcessId, System};
+use ktudc_fd::PerfectOracle;
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+fn sampled_system(runs: u64) -> System<ktudc_core::CoordMsg> {
+    let w = Workload::periodic(3, 15, 40);
+    let mut out = Vec::new();
+    for seed in 0..runs {
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.25))
+            .crashes(CrashPlan::at(&[(2, 8)]))
+            .horizon(160)
+            .seed(seed);
+        out.push(
+            run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w).run,
+        );
+    }
+    System::new(out)
+}
+
+fn bench_knowledge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epistemic_cost");
+    group.sample_size(10);
+    for runs in [2u64, 4, 8, 16] {
+        let system = sampled_system(runs);
+        println!("figD runs={runs}: points={}", system.point_count());
+        group.bench_with_input(
+            BenchmarkId::new("knows_crash_validity", runs),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let mut mc = ModelChecker::new(system);
+                    let f = Formula::knows(
+                        ProcessId::new(0),
+                        Formula::crashed(ProcessId::new(2)),
+                    );
+                    mc.satisfying_points(&f).len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("knowledge_of_crashes_point", runs),
+            &system,
+            |b, system| {
+                let mut mc = ModelChecker::new(system);
+                b.iter(|| mc.knowledge_of_crashes(ProcessId::new(0), Point::new(0, 100)));
+            },
+        );
+        if runs <= 8 {
+            group.bench_with_input(
+                BenchmarkId::new("simulate_perfect_fd", runs),
+                &system,
+                |b, system| {
+                    b.iter(|| simulate_perfect_fd(system).len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knowledge);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure B (extension): time-to-UDC (coordination latency in ticks) and
+//! message cost as a function of the channel drop probability. Prints the
+//! latency series alongside Criterion's wall-time measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktudc_core::protocols::strong_fd::StrongFdUdc;
+use ktudc_core::spec::check_udc;
+use ktudc_fd::StrongOracle;
+use ktudc_model::{Event, ProcessId};
+use ktudc_sim::{run_protocol, ChannelKind, SimConfig, Workload};
+
+/// Tick at which the last process performed the action (the coordination
+/// latency), or the horizon if someone never did.
+fn completion_tick(run: &ktudc_model::Run<ktudc_core::CoordMsg>) -> u64 {
+    ProcessId::all(run.n())
+        .filter_map(|p| {
+            run.timed_history(p)
+                .find(|(_, e)| matches!(e, Event::Do { .. }))
+                .map(|(t, _)| t)
+        })
+        .max()
+        .unwrap_or(run.horizon())
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_sweep_latency");
+    group.sample_size(10);
+    for loss_pct in [0u32, 15, 30, 50, 70, 85] {
+        let loss = f64::from(loss_pct) / 100.0;
+        let w = Workload::single(0, 2);
+        let mk = move |seed: u64| {
+            SimConfig::new(5)
+                .channel(if loss_pct == 0 {
+                    ChannelKind::reliable()
+                } else {
+                    ChannelKind::fair_lossy(loss)
+                })
+                .horizon(3000)
+                .seed(seed)
+        };
+        // Figure series: mean completion tick over a few seeds.
+        let mut total = 0u64;
+        let seeds = 5;
+        for seed in 0..seeds {
+            let out = run_protocol(
+                &mk(seed),
+                |_| StrongFdUdc::new(),
+                &mut StrongOracle::new(),
+                &w,
+            );
+            assert!(
+                check_udc(&out.run, &w.actions()).is_satisfied(),
+                "loss {loss_pct}% seed {seed}"
+            );
+            total += completion_tick(&out.run);
+        }
+        println!(
+            "figB loss={loss_pct}%: mean_completion_tick={}",
+            total / seeds
+        );
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("loss_{loss_pct}pct")),
+            &loss_pct,
+            |b, _| {
+                b.iter(|| {
+                    run_protocol(
+                        &mk(0),
+                        |_| StrongFdUdc::new(),
+                        &mut StrongOracle::new(),
+                        &w,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss);
+criterion_main!(benches);

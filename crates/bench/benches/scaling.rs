@@ -1,0 +1,64 @@
+//! Figure A (extension): message complexity and wall time of one UDC
+//! coordination vs. system size `n`, per protocol. Prints the message
+//! counts (the series the figure plots) alongside Criterion's timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktudc_core::protocols::{
+    generalized::GeneralizedUdc, nudc::NUdcFlood, strong_fd::StrongFdUdc,
+};
+use ktudc_core::spec::{check_nudc, check_udc};
+use ktudc_fd::{StrongOracle, TUsefulOracle};
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
+
+fn config(n: usize) -> SimConfig {
+    SimConfig::new(n)
+        .channel(ChannelKind::fair_lossy(0.3))
+        .crashes(CrashPlan::at(&[(1, 10)]))
+        .horizon(700)
+        .seed(42)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_messages_vs_n");
+    group.sample_size(10);
+    for n in [3usize, 5, 7, 9, 12] {
+        let w = Workload::single(0, 2);
+        // Print the series once per n (the "figure" data).
+        let nudc = run_protocol(&config(n), |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+        assert!(check_nudc(&nudc.run, &w.actions()).is_satisfied());
+        let strong = run_protocol(
+            &config(n),
+            |_| StrongFdUdc::new(),
+            &mut StrongOracle::new(),
+            &w,
+        );
+        assert!(check_udc(&strong.run, &w.actions()).is_satisfied());
+        let t = n / 2;
+        let gen = run_protocol(
+            &config(n),
+            |_| GeneralizedUdc::new(t),
+            &mut TUsefulOracle::new(t),
+            &w,
+        );
+        assert!(check_udc(&gen.run, &w.actions()).is_satisfied());
+        println!(
+            "figA n={n}: nudc_msgs={} strongfd_msgs={} generalized_msgs={}",
+            nudc.messages_sent, strong.messages_sent, gen.messages_sent
+        );
+
+        group.bench_with_input(BenchmarkId::new("strong_fd_udc", n), &n, |b, &n| {
+            b.iter(|| {
+                run_protocol(
+                    &config(n),
+                    |_| StrongFdUdc::new(),
+                    &mut StrongOracle::new(),
+                    &w,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Replays every numbered constructive claim of the paper and prints a
+//! PASS/FAIL line per claim.
+//!
+//! ```text
+//! cargo run -p ktudc-bench --bin claims --release
+//! ```
+
+use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
+use ktudc_core::protocols::nudc::NUdcFlood;
+use ktudc_core::protocols::strong_fd::StrongFdUdc;
+use ktudc_core::simulate::{simulate_perfect_fd, simulate_t_useful_fd};
+use ktudc_core::spec::{check_nudc, check_udc};
+use ktudc_fd::convert::{accumulate_reports, weak_to_strong};
+use ktudc_fd::{check_fd_property, FdProperty, ImpermanentWeakOracle, PerfectOracle};
+use ktudc_model::System;
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
+
+fn report(claim: &str, ok: bool, detail: &str) {
+    println!("[{}] {claim}: {detail}", if ok { "PASS" } else { "FAIL" });
+}
+
+fn main() {
+    // Proposition 2.3: nUDC, fair channels, no FD, unbounded failures.
+    {
+        let mut ok = true;
+        for seed in 0..10 {
+            let config = SimConfig::new(5)
+                .channel(ChannelKind::fair_lossy(0.4))
+                .crashes(CrashPlan::Random { max_failures: 5, latest: 100 })
+                .horizon(600)
+                .seed(seed);
+            let w = Workload::single(0, 2);
+            let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+            ok &= check_nudc(&out.run, &w.actions()).is_satisfied();
+        }
+        report("Prop 2.3 (nUDC, lossy, no FD, t = n)", ok, "10/10 seeds");
+    }
+
+    // Proposition 2.4: UDC, reliable channels, no FD, unbounded failures.
+    {
+        let out = run_cell(
+            &CellSpec::new(5, 5, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(10)
+                .horizon(900),
+        );
+        report("Prop 2.4 (UDC, reliable, no FD, t = n)", out.achieved(), &out.to_string());
+    }
+
+    // Proposition 3.1 / Corollary 3.2: UDC, lossy, strong (and, via the
+    // conversions, impermanent-weak) FD, unbounded failures.
+    {
+        let out = run_cell(
+            &CellSpec::new(5, 4, Some(0.3), FdChoice::Strong, ProtocolChoice::StrongFd)
+                .trials(10)
+                .horizon(1500),
+        );
+        report("Prop 3.1 (UDC, lossy, strong FD, t = n-1)", out.achieved(), &out.to_string());
+        let out = run_cell(
+            &CellSpec::new(
+                5,
+                3,
+                Some(0.3),
+                FdChoice::ImpermanentStrong,
+                ProtocolChoice::StrongFd,
+            )
+            .trials(10)
+            .horizon(1500),
+        );
+        report(
+            "Cor 3.2 (UDC, lossy, impermanent-strong FD)",
+            out.achieved(),
+            &out.to_string(),
+        );
+    }
+
+    // Proposition 4.1 and Corollary 4.2.
+    {
+        let out = run_cell(
+            &CellSpec::new(5, 3, Some(0.3), FdChoice::TUseful, ProtocolChoice::Generalized)
+                .trials(10)
+                .horizon(1500),
+        );
+        report("Prop 4.1 (UDC, lossy, t-useful FD, t = 3)", out.achieved(), &out.to_string());
+        let out = run_cell(
+            &CellSpec::new(5, 2, Some(0.3), FdChoice::Cycling, ProtocolChoice::Generalized)
+                .trials(10)
+                .horizon(1500),
+        );
+        report("Cor 4.2 (UDC, lossy, no FD, t < n/2)", out.achieved(), &out.to_string());
+    }
+
+    // Propositions 2.1 and 2.2: the conversions, on a run with a weak,
+    // impermanent detector.
+    {
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.2))
+            .crashes(CrashPlan::at(&[(2, 6)]))
+            .horizon(60)
+            .seed(1);
+        let w = Workload::single(0, 2);
+        let out = run_protocol(
+            &config,
+            |_| NUdcFlood::new(),
+            &mut ImpermanentWeakOracle::new(),
+            &w,
+        );
+        let accumulated = accumulate_reports(&out.run);
+        let p22 = check_fd_property(&accumulated, FdProperty::WeakCompleteness).is_ok();
+        report("Prop 2.2 (accumulation: impermanent → permanent)", p22, "weak completeness after");
+        let gossiped = weak_to_strong(&accumulated, 4);
+        let p21 = check_fd_property(&gossiped, FdProperty::StrongCompleteness).is_ok()
+            && check_fd_property(&gossiped, FdProperty::WeakAccuracy).is_ok();
+        report("Prop 2.1 (gossip: weak → strong completeness)", p21, "strong completeness + weak accuracy after");
+    }
+
+    // Theorems 3.6 and 4.3: the f / f′ simulation constructions.
+    {
+        let w = Workload::periodic(3, 15, 60);
+        let mut runs = Vec::new();
+        for plan in [
+            CrashPlan::None,
+            CrashPlan::at(&[(1, 8)]),
+            CrashPlan::at(&[(1, 8), (2, 30)]),
+        ] {
+            for seed in 0..3 {
+                let config = SimConfig::new(3)
+                    .channel(ChannelKind::fair_lossy(0.25))
+                    .crashes(plan.clone())
+                    .horizon(240)
+                    .seed(seed);
+                let out =
+                    run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+                assert!(check_udc(&out.run, &w.actions()).is_satisfied());
+                runs.push(out.run);
+            }
+        }
+        let system = System::new(runs);
+        let rf = simulate_perfect_fd(&system);
+        let t36 = rf.runs().iter().all(|r| {
+            check_fd_property(r, FdProperty::StrongAccuracy).is_ok()
+                && check_fd_property(r, FdProperty::StrongCompleteness).is_ok()
+        });
+        report(
+            "Thm 3.6 (UDC system ⇒ f(r) has perfect FD)",
+            t36,
+            &format!("{} runs, {} points", rf.len(), system.point_count()),
+        );
+        let t = 2;
+        let rf2 = simulate_t_useful_fd(&system, t);
+        let t43 = rf2.runs().iter().all(|r| {
+            check_fd_property(r, FdProperty::GeneralizedStrongAccuracy).is_ok()
+                && check_fd_property(r, FdProperty::GeneralizedImpermanentStrongCompleteness(t))
+                    .is_ok()
+        });
+        report(
+            "Thm 4.3 (UDC system ⇒ f′(r) has t-useful FD)",
+            t43,
+            &format!("t = {t}, {} runs", rf2.len()),
+        );
+    }
+
+    // Negative results that complete the picture.
+    {
+        let out = run_cell(
+            &CellSpec::new(4, 3, Some(0.6), FdChoice::None, ProtocolChoice::Reliable)
+                .trials(25)
+                .horizon(700),
+        );
+        report(
+            "Necessity (UDC, lossy, no FD, t ≥ n/2 FAILS)",
+            !out.achieved() && out.violated_permanent > 0,
+            &out.to_string(),
+        );
+        let out = run_cell(
+            &CellSpec::new(4, 3, Some(0.3), FdChoice::Weak, ProtocolChoice::StrongFd)
+                .trials(20)
+                .horizon(900),
+        );
+        report(
+            "Necessity (unconverted weak FD stalls)",
+            !out.achieved(),
+            &out.to_string(),
+        );
+    }
+}

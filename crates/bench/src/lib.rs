@@ -1,0 +1,130 @@
+//! Shared experiment plumbing for the Table 1 reproduction and the
+//! ablation figures.
+//!
+//! The runnable entry points are:
+//!
+//! * `cargo run -p ktudc-bench --bin table1 --release` — regenerates
+//!   **Table 1** of the paper (the failure-detector class needed for UDC
+//!   vs. consensus across fault-bound and channel regimes), with every
+//!   positive cell exercised by seeded trials and every negative cell
+//!   evidenced by certified violations or stalls;
+//! * `cargo run -p ktudc-bench --bin claims --release` — replays every
+//!   numbered constructive claim (Propositions 2.3, 2.4, 3.1, 4.1,
+//!   Corollary 4.2, the Proposition 2.1/2.2 conversions, Theorems 3.6 and
+//!   4.3) and prints PASS/FAIL;
+//! * `cargo bench -p ktudc-bench` — Criterion timings for the ablation
+//!   figures (scaling, loss sweep, conversion overhead, epistemic-checker
+//!   cost).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ktudc_consensus::spec::check_consensus;
+use ktudc_consensus::{proposal_for, rotating::RotatingConsensus, strong::StrongConsensus};
+use ktudc_fd::{EventuallyStrongOracle, StrongOracle};
+use ktudc_model::Time;
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+/// Which consensus protocol/detector pairing a consensus cell uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsensusChoice {
+    /// Rotating coordinator + ◇S (needs `t < n/2`).
+    RotatingEventuallyStrong,
+    /// Chandra–Toueg strong-detector algorithm (up to `n − 1` failures).
+    StrongDetector,
+}
+
+/// Outcome tally for a consensus cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConsensusOutcome {
+    /// Trials satisfying all four consensus properties by the horizon.
+    pub satisfied: u64,
+    /// Trials failing (for negative cells, typically termination stalls).
+    pub failed: u64,
+}
+
+impl ConsensusOutcome {
+    /// Whether every trial succeeded.
+    #[must_use]
+    pub fn achieved(&self) -> bool {
+        self.failed == 0 && self.satisfied > 0
+    }
+}
+
+/// Runs a consensus cell: seeded trials over **reliable** channels (the
+/// Chandra–Toueg setting; see EXPERIMENTS.md for the substitution note)
+/// with random crash schedules bounded by `t`.
+#[must_use]
+pub fn run_consensus_cell(
+    n: usize,
+    t: usize,
+    choice: ConsensusChoice,
+    trials: u64,
+    horizon: Time,
+) -> ConsensusOutcome {
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+    let mut outcome = ConsensusOutcome::default();
+    for seed in 0..trials {
+        let config = SimConfig::new(n)
+            .channel(ChannelKind::reliable())
+            .crashes(CrashPlan::Random {
+                max_failures: t,
+                // Crash early: a negative cell must actually face a dead
+                // majority *before* a decision can slip through.
+                latest: 40,
+            })
+            .horizon(horizon)
+            .seed(seed);
+        let props = proposals.clone();
+        let ok = match choice {
+            ConsensusChoice::RotatingEventuallyStrong => {
+                let out = run_protocol(
+                    &config,
+                    |p| RotatingConsensus::new(proposal_for(&props, p)),
+                    &mut EventuallyStrongOracle::new(horizon / 8),
+                    &Workload::none(),
+                );
+                check_consensus(&out.run, &props).is_ok()
+            }
+            ConsensusChoice::StrongDetector => {
+                let out = run_protocol(
+                    &config,
+                    |p| StrongConsensus::new(proposal_for(&props, p)),
+                    &mut StrongOracle::new(),
+                    &Workload::none(),
+                );
+                check_consensus(&out.run, &props).is_ok()
+            }
+        };
+        if ok {
+            outcome.satisfied += 1;
+        } else {
+            outcome.failed += 1;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotating_cell_succeeds_below_half() {
+        let out = run_consensus_cell(5, 2, ConsensusChoice::RotatingEventuallyStrong, 4, 2500);
+        assert!(out.achieved(), "{out:?}");
+    }
+
+    #[test]
+    fn strong_cell_succeeds_at_n_minus_1() {
+        let out = run_consensus_cell(4, 3, ConsensusChoice::StrongDetector, 4, 2500);
+        assert!(out.achieved(), "{out:?}");
+    }
+
+    #[test]
+    fn rotating_cell_fails_beyond_half() {
+        // With up to n−1 crashes a majority can die; some seed must stall.
+        let out = run_consensus_cell(4, 3, ConsensusChoice::RotatingEventuallyStrong, 12, 1500);
+        assert!(!out.achieved(), "{out:?}");
+    }
+}

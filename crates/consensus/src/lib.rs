@@ -1,0 +1,127 @@
+//! Chandra–Toueg consensus baselines for the comparison rows of Table 1.
+//!
+//! The paper contrasts UDC against consensus: consensus needs `◇W`-class
+//! detectors for `t < n/2` and strong detectors for `n/2 ≤ t ≤ n − 1`,
+//! *regardless* of channel reliability, whereas UDC's requirements move
+//! with the channel regime. This crate supplies executable consensus
+//! protocols over the same simulator so the bench harness can populate
+//! those rows:
+//!
+//! * [`rotating::RotatingConsensus`] — the Chandra–Toueg rotating-
+//!   coordinator algorithm, correct with an eventually-strong (◇S)
+//!   detector and a majority of correct processes (`t < n/2`);
+//! * [`strong::StrongConsensus`] — the Chandra–Toueg algorithm for strong
+//!   detectors, tolerating up to `n − 1` failures;
+//! * [`spec`] — machine-checkable consensus properties (uniform
+//!   agreement, validity, integrity, termination-by-horizon).
+//!
+//! Decisions are recorded in histories as `do_p(a_{p.v})` events — the
+//! `seq` of the performed [`ActionId`](ktudc_model::ActionId) carries the
+//! decided value — so consensus runs use the same event vocabulary as
+//! everything else and the epistemic tooling applies unchanged.
+//!
+//! Consensus is evaluated over **reliable** channels, Chandra & Toueg's own
+//! setting; the paper notes their algorithms adapt to fair-lossy channels
+//! with retransmission, and the conclusion recorded in Table 1 (the FD
+//! class needed) is the same in both regimes. An FLP-flavoured witness —
+//! no failure detector ⇒ non-termination under a crash — is exercised in
+//! the tests and the bench harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rotating;
+pub mod spec;
+pub mod strong;
+
+use ktudc_model::ProcessId;
+use std::fmt;
+
+/// Messages of both consensus protocols.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum ConsMsg {
+    /// Phase-1 estimate sent to the round's coordinator.
+    Estimate {
+        /// Round number.
+        round: u32,
+        /// Current estimate.
+        value: u64,
+        /// Timestamp: the round in which the estimate was adopted.
+        ts: u32,
+    },
+    /// Phase-2 coordinator proposal.
+    Try {
+        /// Round number.
+        round: u32,
+        /// Proposed value.
+        value: u64,
+    },
+    /// Phase-3 positive acknowledgment.
+    Ack {
+        /// Round number.
+        round: u32,
+    },
+    /// Phase-3 negative acknowledgment (coordinator suspected).
+    Nack {
+        /// Round number.
+        round: u32,
+    },
+    /// Reliable-broadcast decision announcement.
+    Decide {
+        /// Decided value.
+        value: u64,
+    },
+    /// Knowledge vector for the strong-detector algorithm: `known[i]` is
+    /// `Some(v)` once `p_i`'s proposal `v` has been learned.
+    Vector {
+        /// Asynchronous round number (1-based; `0` marks phase 2).
+        round: u32,
+        /// Learned proposals, indexed by process.
+        known: Vec<Option<u64>>,
+    },
+}
+
+impl fmt::Debug for ConsMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsMsg::Estimate { round, value, ts } => {
+                write!(f, "est(r{round}, v{value}, ts{ts})")
+            }
+            ConsMsg::Try { round, value } => write!(f, "try(r{round}, v{value})"),
+            ConsMsg::Ack { round } => write!(f, "ack(r{round})"),
+            ConsMsg::Nack { round } => write!(f, "nack(r{round})"),
+            ConsMsg::Decide { value } => write!(f, "decide(v{value})"),
+            ConsMsg::Vector { round, known } => write!(f, "vec(r{round}, {known:?})"),
+        }
+    }
+}
+
+/// Assigns proposal values by process index: `p_i` proposes
+/// `proposals[i % proposals.len()]`. The common workload generator for the
+/// consensus experiments.
+#[must_use]
+pub fn proposal_for(proposals: &[u64], p: ProcessId) -> u64 {
+    proposals[p.index() % proposals.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposal_assignment_cycles() {
+        let props = [10, 20];
+        assert_eq!(proposal_for(&props, ProcessId::new(0)), 10);
+        assert_eq!(proposal_for(&props, ProcessId::new(1)), 20);
+        assert_eq!(proposal_for(&props, ProcessId::new(2)), 10);
+    }
+
+    #[test]
+    fn message_debug_formats() {
+        assert_eq!(
+            format!("{:?}", ConsMsg::Estimate { round: 1, value: 7, ts: 0 }),
+            "est(r1, v7, ts0)"
+        );
+        assert_eq!(format!("{:?}", ConsMsg::Decide { value: 3 }), "decide(v3)");
+    }
+}

@@ -1,0 +1,377 @@
+//! The Chandra–Toueg rotating-coordinator consensus algorithm (for ◇S
+//! failure detectors and a correct majority, `t < n/2`).
+//!
+//! Round `r` is coordinated by `c_r = p_{(r−1) mod n}` and has the classic
+//! four phases:
+//!
+//! 1. everyone sends its current estimate (with the round-stamp of when it
+//!    was adopted) to `c_r`;
+//! 2. `c_r` gathers a majority of estimates, adopts the one with the
+//!    largest stamp, and broadcasts it as a `try`;
+//! 3. a participant either *acks* the `try` (adopting the estimate) or,
+//!    if its detector currently suspects `c_r`, *nacks* and moves to the
+//!    next round;
+//! 4. on a majority of acks `c_r` reliably broadcasts `decide`; on any
+//!    nack it moves on.
+//!
+//! A received `decide` is relayed to everyone *before* the local decision
+//! event (send-then-do, as in the Proposition 2.4 UDC protocol), giving
+//! uniform agreement. With ◇S, pre-stabilization false suspicions can burn
+//! rounds but never split decisions (majorities intersect); after
+//! stabilization the first correct coordinator drives termination.
+
+use crate::ConsMsg;
+use ktudc_model::{ActionId, Event, ProcSet, ProcessId, SuspectReport, Time};
+use ktudc_sim::{ProtoAction, Protocol};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Clone, Debug)]
+enum Step {
+    Send(ProcessId, ConsMsg),
+    Decide(u64),
+}
+
+/// The rotating-coordinator protocol for one consensus instance.
+#[derive(Clone, Debug)]
+pub struct RotatingConsensus {
+    me: ProcessId,
+    n: usize,
+    /// This process's initial proposal.
+    proposal: u64,
+    estimate: u64,
+    ts: u32,
+    round: u32,
+    /// Whether this process acked (or, as coordinator, self-acked) the
+    /// current round's `try`.
+    acked: bool,
+    /// Whether, as coordinator, the `try` was already broadcast.
+    try_sent: bool,
+    /// Whether the round-entry estimate was sent.
+    estimate_sent: bool,
+    decided: Option<u64>,
+    /// Latest detector report (◇S uses *current* suspicions).
+    suspects: ProcSet,
+    /// Buffered estimates per round: (from, value, ts).
+    estimates: BTreeMap<u32, Vec<(ProcessId, u64, u32)>>,
+    /// Buffered `try` values per round.
+    tries: BTreeMap<u32, u64>,
+    acks: BTreeMap<u32, usize>,
+    nacks: BTreeMap<u32, usize>,
+    plan: VecDeque<Step>,
+}
+
+impl RotatingConsensus {
+    /// Creates an instance proposing `proposal`.
+    #[must_use]
+    pub fn new(proposal: u64) -> Self {
+        RotatingConsensus {
+            me: ProcessId::new(0),
+            n: 0,
+            proposal,
+            estimate: proposal,
+            ts: 0,
+            round: 1,
+            acked: false,
+            try_sent: false,
+            estimate_sent: false,
+            decided: None,
+            suspects: ProcSet::new(),
+            estimates: BTreeMap::new(),
+            tries: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            nacks: BTreeMap::new(),
+            plan: VecDeque::new(),
+        }
+    }
+
+    /// The coordinator of round `r`.
+    fn coordinator(&self, r: u32) -> ProcessId {
+        ProcessId::new((r as usize - 1) % self.n)
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// The value this process decided, if it has.
+    #[must_use]
+    pub fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+
+    /// The value this process proposed.
+    #[must_use]
+    pub fn proposal(&self) -> u64 {
+        self.proposal
+    }
+
+    /// The current round (for observability in experiments).
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    fn advance_round(&mut self) {
+        self.round += 1;
+        self.acked = false;
+        self.try_sent = false;
+        self.estimate_sent = false;
+    }
+
+    fn enqueue_decide(&mut self, value: u64) {
+        // Relay first, decide strictly after (uniform agreement).
+        for q in ProcessId::all(self.n) {
+            if q != self.me {
+                self.plan
+                    .push_back(Step::Send(q, ConsMsg::Decide { value }));
+            }
+        }
+        self.plan.push_back(Step::Decide(value));
+    }
+
+    /// Event-driven progress: called from `next_action` when the plan is
+    /// empty. Pushes at most one batch of steps.
+    fn progress(&mut self) {
+        if self.decided.is_some() {
+            return;
+        }
+        let r = self.round;
+        let coord = self.coordinator(r);
+        // Round entry: send the estimate.
+        if !self.estimate_sent {
+            self.estimate_sent = true;
+            if coord == self.me {
+                self.estimates
+                    .entry(r)
+                    .or_default()
+                    .push((self.me, self.estimate, self.ts));
+            } else {
+                self.plan.push_back(Step::Send(
+                    coord,
+                    ConsMsg::Estimate {
+                        round: r,
+                        value: self.estimate,
+                        ts: self.ts,
+                    },
+                ));
+                return;
+            }
+        }
+        // Participant: react to the round's `try`, then move on immediately
+        // (phase 4 is the coordinator's wait, not the participant's).
+        if !self.acked {
+            if let Some(&v) = self.tries.get(&r) {
+                self.estimate = v;
+                self.ts = r;
+                self.acked = true;
+                if coord == self.me {
+                    // Coordinator self-acks and stays for phase 4.
+                    *self.acks.entry(r).or_default() += 1;
+                } else {
+                    self.plan.push_back(Step::Send(coord, ConsMsg::Ack { round: r }));
+                    self.advance_round();
+                    return;
+                }
+            } else if coord != self.me && self.suspects.contains(coord) {
+                // Suspect the coordinator: nack and move on.
+                self.plan
+                    .push_back(Step::Send(coord, ConsMsg::Nack { round: r }));
+                self.advance_round();
+                return;
+            }
+        }
+        // Coordinator duties.
+        if coord == self.me {
+            if !self.try_sent
+                && self.estimates.get(&r).map_or(0, Vec::len) >= self.majority()
+            {
+                let &(_, v, _) = self
+                    .estimates
+                    .get(&r)
+                    .expect("nonempty by majority check")
+                    .iter()
+                    .max_by_key(|&&(_, _, ts)| ts)
+                    .expect("nonempty");
+                self.try_sent = true;
+                self.tries.insert(r, v);
+                for q in ProcessId::all(self.n) {
+                    if q != self.me {
+                        self.plan
+                            .push_back(Step::Send(q, ConsMsg::Try { round: r, value: v }));
+                    }
+                }
+                return;
+            }
+            if self.try_sent {
+                // Phase 4: wait for a majority of replies; decide iff none
+                // of them is a nack, otherwise give up the round.
+                let acks = self.acks.get(&r).copied().unwrap_or(0);
+                let nacks = self.nacks.get(&r).copied().unwrap_or(0);
+                if acks >= self.majority() {
+                    let v = *self.tries.get(&r).expect("try recorded when sent");
+                    self.enqueue_decide(v);
+                    return;
+                }
+                if nacks > 0 && acks + nacks >= self.majority() {
+                    self.advance_round();
+                }
+            }
+        }
+    }
+}
+
+impl Protocol<ConsMsg> for RotatingConsensus {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<ConsMsg>) {
+        match event {
+            Event::Suspect(SuspectReport::Standard(s)) => self.suspects = *s,
+            Event::Do { action } => self.decided = Some(u64::from(action.seq())),
+            Event::Recv { from, msg } => match msg {
+                ConsMsg::Estimate { round, value, ts } => {
+                    self.estimates
+                        .entry(*round)
+                        .or_default()
+                        .push((*from, *value, *ts));
+                }
+                ConsMsg::Try { round, value } => {
+                    self.tries.insert(*round, *value);
+                }
+                ConsMsg::Ack { round } => *self.acks.entry(*round).or_default() += 1,
+                ConsMsg::Nack { round } => *self.nacks.entry(*round).or_default() += 1,
+                ConsMsg::Decide { value } => {
+                    if self.decided.is_none()
+                        && !self
+                            .plan
+                            .iter()
+                            .any(|s| matches!(s, Step::Decide(_)))
+                    {
+                        self.enqueue_decide(*value);
+                    }
+                }
+                ConsMsg::Vector { .. } => {
+                    // Strong-detector algorithm traffic; not used here.
+                }
+            },
+            _ => {}
+        }
+    }
+
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<ConsMsg>> {
+        if self.plan.is_empty() {
+            self.progress();
+        }
+        match self.plan.pop_front() {
+            Some(Step::Send(to, msg)) => Some(ProtoAction::Send { to, msg }),
+            Some(Step::Decide(v)) => {
+                if self.decided.is_none() {
+                    Some(ProtoAction::Do(ActionId::new(
+                        self.me,
+                        u32::try_from(v).expect("test values fit u32"),
+                    )))
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.decided.is_some() && self.plan.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposal_for;
+    use crate::spec::{check_consensus, ConsensusViolation};
+    use ktudc_fd::EventuallyStrongOracle;
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
+
+    fn reliable(n: usize, seed: u64, horizon: Time) -> SimConfig {
+        SimConfig::new(n)
+            .channel(ChannelKind::reliable())
+            .horizon(horizon)
+            .seed(seed)
+    }
+
+    #[test]
+    fn decides_with_eventually_strong_fd_and_majority() {
+        let props = [10, 20, 30];
+        for seed in 0..8 {
+            let config = reliable(5, seed, 2500).crashes(CrashPlan::at(&[(0, 15), (3, 40)]));
+            let out = run_protocol(
+                &config,
+                |p| RotatingConsensus::new(proposal_for(&props, p)),
+                &mut EventuallyStrongOracle::new(120),
+                &Workload::none(),
+            );
+            check_consensus(&out.run, &props).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn decides_without_failures_even_pre_gst() {
+        // With no crash, round 1's coordinator is live; false suspicions may
+        // burn rounds but the run still converges after stabilization.
+        let props = [1, 2];
+        for seed in 0..6 {
+            let config = reliable(4, seed, 2500);
+            let out = run_protocol(
+                &config,
+                |p| RotatingConsensus::new(proposal_for(&props, p)),
+                &mut EventuallyStrongOracle::new(200),
+                &Workload::none(),
+            );
+            check_consensus(&out.run, &props).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn flp_witness_no_detector_plus_crash_means_no_termination() {
+        // The FLP-flavoured cell: no failure detector and the round-1
+        // coordinator crashes. Nobody can ever nack, so nobody advances —
+        // no decision at any horizon. (A single run is not the FLP proof,
+        // but it is the executable shadow of it.)
+        let props = [10, 20];
+        let config = reliable(3, 7, 3000).crashes(CrashPlan::at(&[(0, 5)]));
+        let out = run_protocol(
+            &config,
+            |p| RotatingConsensus::new(proposal_for(&props, p)),
+            &mut NullOracle::new(),
+            &Workload::none(),
+        );
+        assert!(matches!(
+            check_consensus(&out.run, &props),
+            Err(ConsensusViolation::Termination { .. })
+        ));
+        assert!(!out.quiescent);
+    }
+
+    #[test]
+    fn validity_decided_value_was_proposed() {
+        let props = [42];
+        let config = reliable(3, 1, 1500);
+        let out = run_protocol(
+            &config,
+            |p| RotatingConsensus::new(proposal_for(&props, p)),
+            &mut EventuallyStrongOracle::new(50),
+            &Workload::none(),
+        );
+        check_consensus(&out.run, &props).unwrap();
+        let ds = crate::spec::decisions(&out.run);
+        assert!(ds.iter().all(|&(_, v, _)| v == 42));
+    }
+
+    #[test]
+    fn accessors() {
+        let proto = RotatingConsensus::new(9);
+        assert_eq!(proto.decision(), None);
+        assert_eq!(proto.round(), 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! The Chandra–Toueg consensus algorithm for **strong** failure detectors
+//! (strong completeness + weak accuracy), tolerating up to `n − 1`
+//! failures — the detector class the paper compares against UDC in the
+//! right-hand columns of Table 1.
+//!
+//! Phase 1 runs `n − 1` asynchronous rounds; in each, every process
+//! broadcasts its vector of known proposals and waits, for every peer `q`,
+//! until it has `q`'s round-`r` vector or its detector has (ever) suspected
+//! `q`. Phase 2 exchanges final vectors once more and each process keeps
+//! only the entries present in *every* vector it waited for. Weak accuracy
+//! guarantees some correct process is never suspected, so everyone always
+//! waits for it and its knowledge threads through all vectors, making the
+//! phase-2 intersections equal; everyone decides the first defined entry.
+//!
+//! Suspicions are *latched* (a once-suspected process stays suspected for
+//! waiting purposes), which keeps the algorithm correct even under
+//! impermanent-strong detectors — mirroring the "says or has said" clause
+//! of the UDC protocol of Proposition 3.1.
+
+use crate::ConsMsg;
+use ktudc_model::{ActionId, Event, ProcSet, ProcessId, SuspectReport, Time};
+use ktudc_sim::{ProtoAction, Protocol};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Clone, Debug)]
+enum Step {
+    Send(ProcessId, ConsMsg),
+    Decide(u64),
+}
+
+/// Phase-2 marker round number.
+const PHASE2: u32 = 0;
+
+/// The strong-detector consensus protocol for one instance.
+#[derive(Clone, Debug)]
+pub struct StrongConsensus {
+    me: ProcessId,
+    n: usize,
+    proposal: u64,
+    /// Learned proposals, indexed by process.
+    known: Vec<Option<u64>>,
+    /// Current round, `1 ..= n−1`, then [`PHASE2`], then decided.
+    round: u32,
+    round_sent: bool,
+    in_phase2: bool,
+    decided: Option<u64>,
+    ever_suspected: ProcSet,
+    /// Vectors received per round (key `PHASE2` holds phase-2 vectors).
+    vectors: BTreeMap<u32, BTreeMap<ProcessId, Vec<Option<u64>>>>,
+    plan: VecDeque<Step>,
+}
+
+impl StrongConsensus {
+    /// Creates an instance proposing `proposal`.
+    #[must_use]
+    pub fn new(proposal: u64) -> Self {
+        StrongConsensus {
+            me: ProcessId::new(0),
+            n: 0,
+            proposal,
+            known: Vec::new(),
+            round: 1,
+            round_sent: false,
+            in_phase2: false,
+            decided: None,
+            ever_suspected: ProcSet::new(),
+            vectors: BTreeMap::new(),
+            plan: VecDeque::new(),
+        }
+    }
+
+    /// The value this process decided, if it has.
+    #[must_use]
+    pub fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+
+    fn merge(&mut self, vector: &[Option<u64>]) {
+        for (mine, theirs) in self.known.iter_mut().zip(vector) {
+            if mine.is_none() {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// The round-`key` wait is satisfied when, for every peer `q`, a
+    /// vector has arrived or `q` has (ever) been suspected.
+    fn wait_satisfied(&self, key: u32) -> bool {
+        let empty = BTreeMap::new();
+        let got = self.vectors.get(&key).unwrap_or(&empty);
+        ProcessId::all(self.n)
+            .filter(|&q| q != self.me)
+            .all(|q| got.contains_key(&q) || self.ever_suspected.contains(q))
+    }
+
+    fn broadcast_vector(&mut self, key: u32) {
+        for q in ProcessId::all(self.n) {
+            if q != self.me {
+                self.plan.push_back(Step::Send(
+                    q,
+                    ConsMsg::Vector {
+                        round: key,
+                        known: self.known.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    fn enqueue_decide(&mut self, value: u64) {
+        for q in ProcessId::all(self.n) {
+            if q != self.me {
+                self.plan
+                    .push_back(Step::Send(q, ConsMsg::Decide { value }));
+            }
+        }
+        self.plan.push_back(Step::Decide(value));
+    }
+
+    fn progress(&mut self) {
+        if self.decided.is_some() {
+            return;
+        }
+        let phase1_rounds = (self.n - 1) as u32;
+        if !self.in_phase2 {
+            if !self.round_sent {
+                self.round_sent = true;
+                let key = self.round;
+                self.broadcast_vector(key);
+                return;
+            }
+            if self.wait_satisfied(self.round) {
+                // Merge everything that arrived for this round.
+                if let Some(got) = self.vectors.get(&self.round) {
+                    let vectors: Vec<Vec<Option<u64>>> = got.values().cloned().collect();
+                    for v in vectors {
+                        self.merge(&v);
+                    }
+                }
+                if self.round >= phase1_rounds {
+                    self.in_phase2 = true;
+                    self.broadcast_vector(PHASE2);
+                } else {
+                    self.round += 1;
+                    self.round_sent = false;
+                }
+                return;
+            }
+            return;
+        }
+        // Phase 2: wait, intersect, decide.
+        if self.wait_satisfied(PHASE2) {
+            let mut agreed = self.known.clone();
+            if let Some(got) = self.vectors.get(&PHASE2) {
+                for vector in got.values() {
+                    for (mine, theirs) in agreed.iter_mut().zip(vector) {
+                        if theirs.is_none() {
+                            *mine = None;
+                        }
+                    }
+                }
+            }
+            let value = agreed
+                .iter()
+                .flatten()
+                .next()
+                .copied()
+                .expect("own proposal threads through every wait set");
+            self.enqueue_decide(value);
+        }
+    }
+}
+
+impl Protocol<ConsMsg> for StrongConsensus {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+        self.known = vec![None; n];
+        self.known[me.index()] = Some(self.proposal);
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<ConsMsg>) {
+        match event {
+            Event::Suspect(SuspectReport::Standard(s)) => {
+                self.ever_suspected = self.ever_suspected.union(*s);
+            }
+            Event::Do { action } => self.decided = Some(u64::from(action.seq())),
+            Event::Recv { from, msg } => match msg {
+                ConsMsg::Vector { round, known } => {
+                    self.vectors
+                        .entry(*round)
+                        .or_default()
+                        .insert(*from, known.clone());
+                }
+                ConsMsg::Decide { value } => {
+                    if self.decided.is_none()
+                        && !self.plan.iter().any(|s| matches!(s, Step::Decide(_)))
+                    {
+                        self.enqueue_decide(*value);
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<ConsMsg>> {
+        if self.plan.is_empty() {
+            self.progress();
+        }
+        match self.plan.pop_front() {
+            Some(Step::Send(to, msg)) => Some(ProtoAction::Send { to, msg }),
+            Some(Step::Decide(v)) => {
+                if self.decided.is_none() {
+                    Some(ProtoAction::Do(ActionId::new(
+                        self.me,
+                        u32::try_from(v).expect("test values fit u32"),
+                    )))
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.decided.is_some() && self.plan.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposal_for;
+    use crate::spec::{check_consensus, ConsensusViolation};
+    use ktudc_fd::{PerfectOracle, StrongOracle};
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+    fn reliable(n: usize, seed: u64, horizon: Time) -> SimConfig {
+        SimConfig::new(n)
+            .channel(ChannelKind::reliable())
+            .horizon(horizon)
+            .seed(seed)
+    }
+
+    #[test]
+    fn decides_with_strong_fd_beyond_majority_failures() {
+        // t = n − 1 = 3 of 4 crash — far beyond what ◇S consensus survives.
+        let props = [5, 6, 7, 8];
+        for seed in 0..8 {
+            let config =
+                reliable(4, seed, 3000).crashes(CrashPlan::at(&[(0, 20), (1, 35), (3, 50)]));
+            let out = run_protocol(
+                &config,
+                |p| StrongConsensus::new(proposal_for(&props, p)),
+                &mut StrongOracle::new(),
+                &Workload::none(),
+            );
+            check_consensus(&out.run, &props).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn decides_failure_free() {
+        let props = [100, 200];
+        for seed in 0..6 {
+            let config = reliable(5, seed, 3000);
+            let out = run_protocol(
+                &config,
+                |p| StrongConsensus::new(proposal_for(&props, p)),
+                &mut StrongOracle::new(),
+                &Workload::none(),
+            );
+            check_consensus(&out.run, &props).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn decides_with_perfect_fd() {
+        let props = [1, 2, 3];
+        let config = reliable(3, 2, 2000).crashes(CrashPlan::at(&[(2, 10)]));
+        let out = run_protocol(
+            &config,
+            |p| StrongConsensus::new(proposal_for(&props, p)),
+            &mut PerfectOracle::new(),
+            &Workload::none(),
+        );
+        check_consensus(&out.run, &props).unwrap();
+    }
+
+    #[test]
+    fn stalls_without_completeness() {
+        // A null detector never unblocks waits on a crashed peer.
+        let props = [1, 2, 3];
+        let config = reliable(3, 4, 2000).crashes(CrashPlan::at(&[(1, 5)]));
+        let out = run_protocol(
+            &config,
+            |p| StrongConsensus::new(proposal_for(&props, p)),
+            &mut ktudc_sim::NullOracle::new(),
+            &Workload::none(),
+        );
+        assert!(matches!(
+            check_consensus(&out.run, &props),
+            Err(ConsensusViolation::Termination { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let proto = StrongConsensus::new(11);
+        assert_eq!(proto.decision(), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Consensus scenario tests: coordinator-crash cascades, proposal
+//! diversity, determinism, and the interplay with detector quality.
+
+use ktudc_consensus::rotating::RotatingConsensus;
+use ktudc_consensus::spec::{check_consensus, decisions, ConsensusViolation};
+use ktudc_consensus::strong::StrongConsensus;
+use ktudc_consensus::proposal_for;
+use ktudc_fd::{EventuallyStrongOracle, PerfectOracle, StrongOracle};
+use ktudc_model::{ProcessId, Time};
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+fn reliable(n: usize, seed: u64, horizon: Time) -> SimConfig {
+    SimConfig::new(n)
+        .channel(ChannelKind::reliable())
+        .horizon(horizon)
+        .seed(seed)
+}
+
+/// Crash the first *two* coordinators in sequence: rounds 1 and 2 must be
+/// abandoned via suspicion and round 3's coordinator decides.
+#[test]
+fn rotating_survives_coordinator_cascade() {
+    let props = [10, 20, 30, 40, 50];
+    for seed in 0..6 {
+        let config = reliable(5, seed, 3500).crashes(CrashPlan::at(&[(0, 8), (1, 12)]));
+        let out = run_protocol(
+            &config,
+            |p| RotatingConsensus::new(proposal_for(&props, p)),
+            &mut EventuallyStrongOracle::new(150),
+            &Workload::none(),
+        );
+        check_consensus(&out.run, &props).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // The decision cannot come from thin air.
+        let ds = decisions(&out.run);
+        assert!(!ds.is_empty());
+    }
+}
+
+/// All-same proposals must decide that value (a validity corollary).
+#[test]
+fn unanimous_proposals_decide_the_unanimous_value() {
+    let props = [42];
+    for seed in 0..4 {
+        let config = reliable(4, seed, 2500).crashes(CrashPlan::at(&[(2, 30)]));
+        let out = run_protocol(
+            &config,
+            |p| StrongConsensus::new(proposal_for(&props, p)),
+            &mut StrongOracle::new(),
+            &Workload::none(),
+        );
+        check_consensus(&out.run, &props).unwrap();
+        for (_, v, _) in decisions(&out.run) {
+            assert_eq!(v, 42);
+        }
+    }
+}
+
+/// Consensus pipelines are deterministic per seed.
+#[test]
+fn consensus_is_deterministic() {
+    let props = [7, 9];
+    let go = || {
+        let config = reliable(4, 13, 2500).crashes(CrashPlan::at(&[(1, 9)]));
+        run_protocol(
+            &config,
+            |p| RotatingConsensus::new(proposal_for(&props, p)),
+            &mut EventuallyStrongOracle::new(100),
+            &Workload::none(),
+        )
+        .run
+    };
+    assert_eq!(go(), go());
+}
+
+/// The strong-detector algorithm also works with a perfect detector (a
+/// stronger class can only help) and under crash-at-the-last-moment
+/// schedules.
+#[test]
+fn strong_algorithm_with_perfect_fd_and_late_crashes() {
+    let props = [1, 2, 3, 4, 5, 6];
+    for seed in 0..4 {
+        let config = reliable(6, seed, 4000).crashes(CrashPlan::at(&[(0, 80), (5, 95)]));
+        let out = run_protocol(
+            &config,
+            |p| StrongConsensus::new(proposal_for(&props, p)),
+            &mut PerfectOracle::new(),
+            &Workload::none(),
+        );
+        check_consensus(&out.run, &props).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Uniform agreement stress: run many seeds of the rotating protocol with
+/// crashes timed around the decide broadcast; any decided value must be
+/// unanimous among *all* deciders including processes that crash right
+/// after deciding.
+#[test]
+fn uniform_agreement_under_decide_time_crashes() {
+    let props = [100, 200, 300];
+    for seed in 0..20 {
+        let config = reliable(3, seed, 2500).crashes(CrashPlan::Random {
+            max_failures: 1,
+            latest: 120,
+        });
+        let out = run_protocol(
+            &config,
+            |p| RotatingConsensus::new(proposal_for(&props, p)),
+            &mut EventuallyStrongOracle::new(60),
+            &Workload::none(),
+        );
+        match check_consensus(&out.run, &props) {
+            Ok(()) => {}
+            // A crash may stall termination in unlucky schedules pre-GST,
+            // but agreement/validity/integrity must never break.
+            Err(ConsensusViolation::Termination { .. }) => {
+                let ds = decisions(&out.run);
+                if let Some(&(_, v0, _)) = ds.first() {
+                    assert!(ds.iter().all(|&(_, v, _)| v == v0), "seed {seed}: split");
+                }
+            }
+            Err(other) => panic!("seed {seed}: {other}"),
+        }
+    }
+}
+
+/// Larger committee smoke test: seven processes, three crashes, strong FD.
+#[test]
+fn seven_process_committee() {
+    let props: Vec<u64> = (0..7).map(|i| 1000 + i).collect();
+    let config = reliable(7, 3, 5000).crashes(CrashPlan::at(&[(1, 25), (3, 50), (6, 75)]));
+    let out = run_protocol(
+        &config,
+        |p: ProcessId| StrongConsensus::new(proposal_for(&props, p)),
+        &mut StrongOracle::new(),
+        &Workload::none(),
+    );
+    check_consensus(&out.run, &props).unwrap();
+}

@@ -1,0 +1,318 @@
+//! The achievability harness behind the UDC rows of Table 1.
+//!
+//! A *cell* of the table fixes a channel regime, a failure-bound regime,
+//! and a failure-detector class; the harness runs the designated protocol
+//! over many seeded trials with randomized crash schedules and tallies the
+//! verdicts. Positive cells should come out all-satisfied; negative cells
+//! produce *permanent* violations (spec violated while the whole system is
+//! quiescent — nothing in flight, nobody retransmitting) or livelocks
+//! (unsatisfied and never quiescent: some process is stuck waiting forever,
+//! as when a weak detector never releases a waiter).
+
+use crate::protocols::generalized::GeneralizedUdc;
+use crate::protocols::reliable::ReliableUdc;
+use crate::protocols::strong_fd::StrongFdUdc;
+use crate::spec::{check_udc, Verdict};
+use ktudc_fd::{
+    CyclingSubsetOracle, ImpermanentStrongOracle, PerfectOracle, StrongOracle, TUsefulOracle,
+    WeakOracle,
+};
+use ktudc_model::Time;
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, FdOracle, NullOracle, SimConfig, Workload};
+use std::fmt;
+
+/// Failure-detector classes selectable by the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdChoice {
+    /// No detector at all.
+    None,
+    /// The oracle-free cycling `(S, 0)` detector (only valid for
+    /// `t < n/2`) — still "no FD" in the paper's accounting.
+    Cycling,
+    /// A t-useful generalized detector.
+    TUseful,
+    /// A weak detector (weak completeness + weak accuracy), *without* the
+    /// Proposition 2.1 conversion.
+    Weak,
+    /// An impermanent-strong detector.
+    ImpermanentStrong,
+    /// A strong detector.
+    Strong,
+    /// A perfect detector.
+    Perfect,
+}
+
+impl fmt::Display for FdChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FdChoice::None => "no FD",
+            FdChoice::Cycling => "no FD (cycling (S,0))",
+            FdChoice::TUseful => "t-useful",
+            FdChoice::Weak => "weak",
+            FdChoice::ImpermanentStrong => "imp-strong",
+            FdChoice::Strong => "strong",
+            FdChoice::Perfect => "perfect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Protocols selectable by the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// Proposition 2.4 (send-then-do; correct only on reliable channels).
+    Reliable,
+    /// Proposition 3.1 (ack + latched-suspicion gating).
+    StrongFd,
+    /// Proposition 4.1 (generalized-report gating), with the cell's `t`.
+    Generalized,
+}
+
+impl fmt::Display for ProtocolChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolChoice::Reliable => "Prop 2.4",
+            ProtocolChoice::StrongFd => "Prop 3.1",
+            ProtocolChoice::Generalized => "Prop 4.1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cell's experimental setup.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// System size.
+    pub n: usize,
+    /// Failure bound `t` of the context (crash schedules draw at most `t`
+    /// victims).
+    pub t: usize,
+    /// `None` for reliable channels, `Some(p)` for fair-lossy with drop
+    /// probability `p`.
+    pub drop_prob: Option<f64>,
+    /// Failure-detector class.
+    pub fd: FdChoice,
+    /// Protocol under test.
+    pub protocol: ProtocolChoice,
+    /// Simulation horizon.
+    pub horizon: Time,
+    /// Number of seeded trials.
+    pub trials: u64,
+}
+
+impl CellSpec {
+    /// A cell with sensible defaults (horizon 800, 20 trials).
+    #[must_use]
+    pub fn new(n: usize, t: usize, drop_prob: Option<f64>, fd: FdChoice, protocol: ProtocolChoice) -> Self {
+        CellSpec {
+            n,
+            t,
+            drop_prob,
+            fd,
+            protocol,
+            horizon: 800,
+            trials: 20,
+        }
+    }
+
+    /// Overrides the trial count.
+    #[must_use]
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Overrides the horizon.
+    #[must_use]
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.horizon = horizon;
+        self
+    }
+}
+
+/// Tallied outcome of a cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellOutcome {
+    /// Trials whose run satisfied UDC (by the horizon).
+    pub satisfied: u64,
+    /// Trials violating UDC with the whole system quiescent — a certified
+    /// permanent violation.
+    pub violated_permanent: u64,
+    /// Trials unsatisfied at the horizon while work was still pending
+    /// (stalls/livelocks; in a negative cell these are processes waiting
+    /// forever on a peer they cannot clear).
+    pub unsatisfied_pending: u64,
+    /// Mean messages sent per trial.
+    pub mean_messages: f64,
+}
+
+impl CellOutcome {
+    /// Total trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.satisfied + self.violated_permanent + self.unsatisfied_pending
+    }
+
+    /// Whether the cell achieved UDC on every trial.
+    #[must_use]
+    pub fn achieved(&self) -> bool {
+        self.trials() > 0 && self.satisfied == self.trials()
+    }
+}
+
+impl fmt::Display for CellOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ok, {} permanent violations, {} stalls",
+            self.satisfied,
+            self.trials(),
+            self.violated_permanent,
+            self.unsatisfied_pending
+        )
+    }
+}
+
+/// Runs one cell: `spec.trials` seeded trials with randomized (≤ t) crash
+/// schedules, tallying UDC verdicts.
+///
+/// # Panics
+///
+/// Panics on inconsistent specs (e.g. [`FdChoice::Cycling`] with
+/// `t ≥ n/2`, which the trivial construction cannot serve).
+#[must_use]
+pub fn run_cell(spec: &CellSpec) -> CellOutcome {
+    let mut outcome = CellOutcome::default();
+    let mut total_msgs: u64 = 0;
+    for seed in 0..spec.trials {
+        let channel = match spec.drop_prob {
+            None => ChannelKind::reliable(),
+            Some(p) => ChannelKind::fair_lossy(p),
+        };
+        let config = SimConfig::new(spec.n)
+            .channel(channel)
+            .crashes(CrashPlan::Random {
+                max_failures: spec.t,
+                latest: spec.horizon / 4,
+            })
+            .horizon(spec.horizon)
+            .seed(seed);
+        let workload = Workload::periodic(spec.n, 9, spec.horizon / 6);
+        let mut oracle = make_oracle(spec);
+        let out = match spec.protocol {
+            ProtocolChoice::Reliable => {
+                run_protocol(&config, |_| ReliableUdc::new(), oracle.as_mut(), &workload)
+            }
+            ProtocolChoice::StrongFd => {
+                run_protocol(&config, |_| StrongFdUdc::new(), oracle.as_mut(), &workload)
+            }
+            ProtocolChoice::Generalized => run_protocol(
+                &config,
+                |_| GeneralizedUdc::new(spec.t),
+                oracle.as_mut(),
+                &workload,
+            ),
+        };
+        total_msgs += out.messages_sent;
+        match check_udc(&out.run, &workload.actions()) {
+            Verdict::Satisfied => outcome.satisfied += 1,
+            Verdict::Violated(_) if out.quiescent => outcome.violated_permanent += 1,
+            Verdict::Violated(_) => outcome.unsatisfied_pending += 1,
+        }
+    }
+    outcome.mean_messages = total_msgs as f64 / spec.trials.max(1) as f64;
+    outcome
+}
+
+fn make_oracle(spec: &CellSpec) -> Box<dyn FdOracle> {
+    match spec.fd {
+        FdChoice::None => Box::new(NullOracle::new()),
+        FdChoice::Cycling => Box::new(CyclingSubsetOracle::new(spec.n, spec.t)),
+        FdChoice::TUseful => Box::new(TUsefulOracle::new(spec.t)),
+        FdChoice::Weak => Box::new(WeakOracle { false_prob: 0.0 }),
+        FdChoice::ImpermanentStrong => Box::new(ImpermanentStrongOracle::new()),
+        FdChoice::Strong => Box::new(StrongOracle::new()),
+        FdChoice::Perfect => Box::new(PerfectOracle::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_cell_reliable_no_fd() {
+        let spec = CellSpec::new(4, 3, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(6)
+            .horizon(500);
+        let out = run_cell(&spec);
+        assert!(out.achieved(), "{out}");
+    }
+
+    #[test]
+    fn positive_cell_lossy_strong_fd_unbounded_t() {
+        let spec = CellSpec::new(4, 3, Some(0.3), FdChoice::Strong, ProtocolChoice::StrongFd)
+            .trials(6)
+            .horizon(900);
+        let out = run_cell(&spec);
+        assert!(out.achieved(), "{out}");
+    }
+
+    #[test]
+    fn positive_cell_lossy_cycling_low_t() {
+        let spec = CellSpec::new(
+            5,
+            2,
+            Some(0.3),
+            FdChoice::Cycling,
+            ProtocolChoice::Generalized,
+        )
+        .trials(6)
+        .horizon(900);
+        let out = run_cell(&spec);
+        assert!(out.achieved(), "{out}");
+    }
+
+    #[test]
+    fn negative_cell_lossy_no_fd_high_t() {
+        // Unreliable channels + up to n−1 failures + no detector: the best
+        // no-FD protocol (Prop 2.4's) suffers certified permanent
+        // violations.
+        let spec = CellSpec::new(4, 3, Some(0.6), FdChoice::None, ProtocolChoice::Reliable)
+            .trials(25)
+            .horizon(600);
+        let out = run_cell(&spec);
+        assert!(!out.achieved(), "{out}");
+        assert!(
+            out.violated_permanent > 0,
+            "expected certified permanent violations: {out}"
+        );
+    }
+
+    #[test]
+    fn negative_cell_weak_fd_stalls() {
+        // An unconverted weak detector leaves non-monitor processes waiting
+        // forever on crashed peers: stalls, not completions.
+        let spec = CellSpec::new(4, 3, Some(0.3), FdChoice::Weak, ProtocolChoice::StrongFd)
+            .trials(20)
+            .horizon(700);
+        let out = run_cell(&spec);
+        assert!(!out.achieved(), "{out}");
+        assert!(out.unsatisfied_pending > 0, "{out}");
+    }
+
+    #[test]
+    fn outcome_accounting() {
+        let o = CellOutcome {
+            satisfied: 3,
+            violated_permanent: 1,
+            unsatisfied_pending: 2,
+            mean_messages: 10.0,
+        };
+        assert_eq!(o.trials(), 6);
+        assert!(!o.achieved());
+        assert!(o.to_string().contains("3/6 ok"));
+        assert_eq!(FdChoice::Cycling.to_string(), "no FD (cycling (S,0))");
+        assert_eq!(ProtocolChoice::StrongFd.to_string(), "Prop 3.1");
+    }
+}

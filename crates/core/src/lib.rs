@@ -1,0 +1,37 @@
+//! The paper's primary contribution, executable: Uniform Distributed
+//! Coordination specifications, the four coordination protocols of Halpern
+//! & Ricciardi's constructive propositions, the knowledge-based `f`/`f′`
+//! failure-detector simulation constructions of Theorems 3.6 and 4.3, and
+//! the achievability harness behind Table 1.
+//!
+//! # Map from paper to module
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §2.4 UDC/nUDC (DC1–DC3, DC2′) | [`spec`] |
+//! | Prop. 2.3 — nUDC, fair channels, no FD | [`protocols::nudc`] |
+//! | Prop. 2.4 — UDC, reliable channels, no FD | [`protocols::reliable`] |
+//! | Prop. 3.1 — UDC, fair channels, strong FD | [`protocols::strong_fd`] |
+//! | Prop. 4.1 — UDC, ≤t failures, t-useful FD | [`protocols::generalized`] |
+//! | Thm. 3.6 — UDC ⇒ simulable perfect FD (`f`, P1–P3) | [`simulate`] |
+//! | Thm. 4.3 — UDC ⇒ simulable t-useful FD (`f′`, P3′) | [`simulate`] |
+//! | Table 1 UDC rows | [`harness`] |
+//! | §5 — URB ≅ UDC (broadcast ↦ init, deliver ↦ do) | [`urb`] |
+//!
+//! The protocols implement [`Protocol`](ktudc_sim::Protocol) over the shared
+//! message type [`protocols::CoordMsg`] and run inside the `ktudc-sim`
+//! scheduler; the specifications are checked on the produced runs, and —
+//! on exhaustively explored systems — as epistemic-temporal validities via
+//! [`spec::udc_formula`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod protocols;
+pub mod simulate;
+pub mod spec;
+pub mod urb;
+
+pub use protocols::CoordMsg;
+pub use spec::{check_nudc, check_udc, SpecViolation, Verdict};

@@ -1,0 +1,71 @@
+//! The four coordination protocols of the paper's constructive proofs.
+//!
+//! All four speak the same tiny wire language, [`CoordMsg`]: an `α`-message
+//! ("perform α") and an acknowledgment. Each protocol is a deterministic
+//! state machine over its own history (see
+//! [`Protocol`](ktudc_sim::Protocol)); the state-updating logic lives
+//! entirely in `observe`, so each protocol is literally a function of its
+//! local history, as the paper's model requires.
+//!
+//! | Protocol | Proposition | Context | Guarantee |
+//! |---|---|---|---|
+//! | [`nudc::NUdcFlood`] | 2.3 | fair-lossy channels, any #failures, no FD | nUDC |
+//! | [`reliable::ReliableUdc`] | 2.4 | reliable channels, any #failures, no FD | UDC |
+//! | [`strong_fd::StrongFdUdc`] | 3.1 | fair-lossy channels, any #failures, strong (or impermanent-weak, via Prop 2.1/2.2) FD | UDC |
+//! | [`generalized::GeneralizedUdc`] | 4.1 | fair-lossy channels, ≤t failures, t-useful generalized FD | UDC |
+//!
+//! Corollary 4.2 (Gopal–Toueg: no detector needed for `t < n/2`) is
+//! [`generalized::GeneralizedUdc`] paired with the oracle-free
+//! [`CyclingSubsetOracle`](ktudc_fd::CyclingSubsetOracle).
+
+pub mod generalized;
+pub mod nudc;
+pub mod reliable;
+pub mod strong_fd;
+
+use ktudc_model::ActionId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shared message vocabulary of all coordination protocols.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CoordMsg {
+    /// "Perform `α`" — carries the action to coordinate on.
+    Alpha(ActionId),
+    /// Acknowledgment of an `α`-message.
+    Ack(ActionId),
+}
+
+impl fmt::Debug for CoordMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordMsg::Alpha(a) => write!(f, "α({a})"),
+            CoordMsg::Ack(a) => write!(f, "ack({a})"),
+        }
+    }
+}
+
+impl CoordMsg {
+    /// The action this message concerns.
+    #[must_use]
+    pub fn action(self) -> ActionId {
+        match self {
+            CoordMsg::Alpha(a) | CoordMsg::Ack(a) => a,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktudc_model::ProcessId;
+
+    #[test]
+    fn message_accessors_and_format() {
+        let a = ActionId::new(ProcessId::new(1), 3);
+        assert_eq!(CoordMsg::Alpha(a).action(), a);
+        assert_eq!(CoordMsg::Ack(a).action(), a);
+        assert_eq!(format!("{:?}", CoordMsg::Alpha(a)), "α(a1.3)");
+        assert_eq!(format!("{:?}", CoordMsg::Ack(a)), "ack(a1.3)");
+    }
+}

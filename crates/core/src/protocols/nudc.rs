@@ -1,0 +1,258 @@
+//! Proposition 2.3: non-uniform distributed coordination over fair but
+//! unreliable channels, with no failure detector and no bound on failures.
+//!
+//! > Whenever a process `p` wants to attain nUDC of action `α` (i.e. if
+//! > `init_p(α)` is in `p`'s history) `p` goes into a special `nUDC(α)`
+//! > state. If a process is in an `nUDC(α)` state, it performs `α` and
+//! > sends an `α`-message repeatedly to all other processes. If a process
+//! > receives an `α`-message, it goes into an `nUDC(α)` state, if it has
+//! > not already done so.
+//!
+//! The protocol never terminates (footnote 10 of the paper: with unreliable
+//! channels no nUDC protocol can terminate), so
+//! [`quiescent`](ktudc_sim::Protocol::quiescent) is `false` once any action
+//! is live. One benign optimization over the paper's prose: receiving an
+//! `α`-message from `q` proves `q` is already in the `nUDC(α)` state, so
+//! retransmissions to `q` are suppressed — this only removes provably
+//! redundant traffic.
+
+use crate::protocols::CoordMsg;
+use ktudc_model::{ActionId, Event, ProcSet, ProcessId, Time};
+use ktudc_sim::{Outbox, ProtoAction, Protocol};
+use std::collections::BTreeMap;
+
+/// Per-action protocol state.
+#[derive(Clone, Debug, Default)]
+struct ActionState {
+    /// Entered the `nUDC(α)` state.
+    live: bool,
+    /// `do(α)` already performed.
+    done: bool,
+    /// Peers known to hold `α` (they sent us an `α`-message).
+    holders: ProcSet,
+}
+
+/// The Proposition 2.3 flooding protocol.
+#[derive(Clone, Debug)]
+pub struct NUdcFlood {
+    me: ProcessId,
+    n: usize,
+    retransmit_every: Time,
+    next_retransmit: Time,
+    actions: BTreeMap<ActionId, ActionState>,
+    out: Outbox<CoordMsg>,
+}
+
+impl NUdcFlood {
+    /// Creates the protocol with the default retransmission period of 5
+    /// ticks.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_period(5)
+    }
+
+    /// Creates the protocol with a custom retransmission period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_period(period: Time) -> Self {
+        assert!(period >= 1);
+        NUdcFlood {
+            me: ProcessId::new(0),
+            n: 0,
+            retransmit_every: period,
+            next_retransmit: 0,
+            actions: BTreeMap::new(),
+            out: Outbox::new(),
+        }
+    }
+
+    fn enter(&mut self, action: ActionId) {
+        let state = self.actions.entry(action).or_default();
+        if !state.live {
+            state.live = true;
+        }
+    }
+}
+
+impl Default for NUdcFlood {
+    fn default() -> Self {
+        NUdcFlood::new()
+    }
+}
+
+impl Protocol<CoordMsg> for NUdcFlood {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<CoordMsg>) {
+        match event {
+            Event::Init { action } => self.enter(*action),
+            Event::Recv {
+                from,
+                msg: CoordMsg::Alpha(action),
+            } => {
+                self.enter(*action);
+                self.actions
+                    .get_mut(action)
+                    .expect("entered above")
+                    .holders
+                    .insert(*from);
+            }
+            Event::Do { action } => {
+                self.actions.entry(*action).or_default().done = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn next_action(&mut self, time: Time) -> Option<ProtoAction<CoordMsg>> {
+        // Perform any live, not-yet-performed action first.
+        if let Some((&action, _)) = self.actions.iter().find(|(_, s)| s.live && !s.done) {
+            return Some(ProtoAction::Do(action));
+        }
+        if let Some(send) = self.out.pop() {
+            return Some(send);
+        }
+        if time >= self.next_retransmit {
+            self.next_retransmit = time + self.retransmit_every;
+            let me = self.me;
+            let n = self.n;
+            let mut enqueued = false;
+            let planned: Vec<(ProcessId, ActionId)> = self
+                .actions
+                .iter()
+                .filter(|(_, s)| s.live)
+                .flat_map(|(&a, s)| {
+                    ProcessId::all(n)
+                        .filter(move |&q| q != me && !s.holders.contains(q))
+                        .map(move |q| (q, a))
+                })
+                .collect();
+            for (q, a) in planned {
+                self.out.send(q, CoordMsg::Alpha(a));
+                enqueued = true;
+            }
+            if enqueued {
+                return self.out.pop();
+            }
+        }
+        None
+    }
+
+    fn quiescent(&self) -> bool {
+        // Keeps flooding forever; quiescent only while idle or once every
+        // peer is a known holder of every live action.
+        self.out.is_empty()
+            && self.actions.values().all(|s| {
+                !s.live || (s.done && s.holders.len() >= self.n - 1)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{check_nudc, check_udc, Verdict};
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
+
+    #[test]
+    fn nudc_holds_under_heavy_loss_and_crashes() {
+        for seed in 0..8 {
+            let config = SimConfig::new(5)
+                .channel(ChannelKind::fair_lossy(0.5))
+                .crashes(CrashPlan::at(&[(1, 10), (3, 25)]))
+                .horizon(400)
+                .seed(seed);
+            let w = Workload::single(0, 2);
+            let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+            assert_eq!(
+                check_nudc(&out.run, &w.actions()),
+                Verdict::Satisfied,
+                "seed {seed}"
+            );
+            out.run.check_conditions(0).unwrap();
+        }
+    }
+
+    #[test]
+    fn nudc_holds_even_when_everyone_crashes() {
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.3))
+            .crashes(CrashPlan::at(&[(0, 12), (1, 15), (2, 18)]))
+            .horizon(100)
+            .seed(4);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+        assert_eq!(check_nudc(&out.run, &w.actions()), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn nudc_is_weaker_than_udc_under_loss() {
+        // Hunt for the separating schedule: the initiator performs α and
+        // crashes before any flood message survives, which satisfies nUDC
+        // but violates UDC's horizon reading. (This is the paper's reason
+        // UDC needs more machinery than flooding.)
+        let w = Workload::single(0, 1);
+        let mut separated = false;
+        for seed in 0..400 {
+            let config = SimConfig::new(4)
+                .channel(ChannelKind::fair_lossy(0.9))
+                .crashes(CrashPlan::at(&[(0, 3)]))
+                .horizon(250)
+                .seed(seed);
+            let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+            assert_eq!(check_nudc(&out.run, &w.actions()), Verdict::Satisfied);
+            if !check_udc(&out.run, &w.actions()).is_satisfied() {
+                separated = true;
+                break;
+            }
+        }
+        assert!(
+            separated,
+            "90% loss with the initiator crashing at tick 3 should strand α at least once"
+        );
+    }
+
+    #[test]
+    fn retransmission_suppressed_to_known_holders() {
+        let config = SimConfig::new(2)
+            .channel(ChannelKind::reliable())
+            .horizon(200)
+            .seed(0);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+        // p1 learns p0 holds α from the very message that delivered it, so
+        // p1 never floods back: all traffic is p0's (one-directional), about
+        // half of the unsuppressed two-directional flood.
+        let p1_sends = out
+            .run
+            .history(ProcessId::new(1))
+            .iter()
+            .filter(|e| matches!(e, Event::Send { .. }))
+            .count();
+        assert_eq!(p1_sends, 0, "non-initiator should be fully suppressed");
+        assert!(
+            out.messages_sent <= 45,
+            "initiator floods alone: saw {} sends",
+            out.messages_sent
+        );
+        assert_eq!(check_nudc(&out.run, &w.actions()), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn multiple_actions_coordinate_independently() {
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.2))
+            .horizon(300)
+            .seed(9);
+        let w = Workload::periodic(3, 7, 50);
+        let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+        assert_eq!(check_nudc(&out.run, &w.actions()), Verdict::Satisfied);
+        assert!(w.actions().len() >= 7);
+    }
+}

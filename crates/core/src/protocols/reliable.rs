@@ -1,0 +1,210 @@
+//! Proposition 2.4: **uniform** distributed coordination over reliable
+//! channels, with no failure detector and no bound on failures.
+//!
+//! > If `init_p(α)` is in `p`'s history, `p` goes into a special `UDC(α)`
+//! > state. If a process is in a `UDC(α)` state, it sends an `α`-message to
+//! > all processes **and then** performs `α`. If a process receives an
+//! > `α`-message, it goes into a UDC-state if it has not already done so.
+//!
+//! The send-before-do ordering is the whole trick: by the time anyone
+//! (faulty or not) performs `α`, the `α`-messages are already in reliable
+//! channels, so every correct process will receive one and follow suit —
+//! uniformity for free. With *unreliable* channels the same protocol
+//! demonstrably fails UDC (see the tests), which is the paper's starting
+//! observation.
+
+use crate::protocols::CoordMsg;
+use ktudc_model::{ActionId, Event, ProcessId, Time};
+use ktudc_sim::{ProtoAction, Protocol};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One pending step of the plan queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Step {
+    Send(ProcessId, ActionId),
+    Do(ActionId),
+}
+
+/// The Proposition 2.4 protocol (reliable channels, send-then-do).
+#[derive(Clone, Debug)]
+pub struct ReliableUdc {
+    me: ProcessId,
+    n: usize,
+    entered: BTreeSet<ActionId>,
+    plan: VecDeque<Step>,
+}
+
+impl Default for ReliableUdc {
+    fn default() -> Self {
+        ReliableUdc::new()
+    }
+}
+
+impl ReliableUdc {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        ReliableUdc {
+            me: ProcessId::new(0),
+            n: 0,
+            entered: BTreeSet::new(),
+            plan: VecDeque::new(),
+        }
+    }
+
+    fn enter(&mut self, action: ActionId) {
+        if self.entered.insert(action) {
+            // Queue the α-messages first, the do strictly after (FIFO).
+            for q in ProcessId::all(self.n) {
+                if q != self.me {
+                    self.plan.push_back(Step::Send(q, action));
+                }
+            }
+            self.plan.push_back(Step::Do(action));
+        }
+    }
+}
+
+impl Protocol<CoordMsg> for ReliableUdc {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<CoordMsg>) {
+        match event {
+            Event::Init { action } => self.enter(*action),
+            Event::Recv {
+                msg: CoordMsg::Alpha(action),
+                ..
+            } => self.enter(*action),
+            _ => {}
+        }
+    }
+
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<CoordMsg>> {
+        match self.plan.pop_front() {
+            Some(Step::Send(to, a)) => Some(ProtoAction::Send {
+                to,
+                msg: CoordMsg::Alpha(a),
+            }),
+            Some(Step::Do(a)) => Some(ProtoAction::Do(a)),
+            None => None,
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.plan.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{check_udc, SpecViolation, Verdict};
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
+
+    #[test]
+    fn udc_holds_on_reliable_channels_with_many_crashes() {
+        for seed in 0..8 {
+            let config = SimConfig::new(5)
+                .channel(ChannelKind::reliable())
+                .crashes(CrashPlan::at(&[(0, 9), (2, 14), (4, 20)]))
+                .horizon(300)
+                .seed(seed);
+            let w = Workload::single(0, 2);
+            let out = run_protocol(&config, |_| ReliableUdc::new(), &mut NullOracle::new(), &w);
+            assert_eq!(
+                check_udc(&out.run, &w.actions()),
+                Verdict::Satisfied,
+                "seed {seed}"
+            );
+            out.run.check_conditions(0).unwrap();
+        }
+    }
+
+    #[test]
+    fn udc_holds_even_when_every_process_crashes() {
+        // Unbounded failures: all five crash, but late enough for messages
+        // to land. Everyone who performed did so after sending to all, so
+        // DC2's consequent is discharged by the crashes.
+        let config = SimConfig::new(5)
+            .channel(ChannelKind::reliable())
+            .crashes(CrashPlan::at(&[(0, 40), (1, 42), (2, 44), (3, 46), (4, 48)]))
+            .horizon(200)
+            .seed(3);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| ReliableUdc::new(), &mut NullOracle::new(), &w);
+        assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn same_protocol_fails_udc_on_lossy_channels() {
+        // The separating schedule of §1: the initiator's α-messages are all
+        // lost, it performs α, crashes — and no correct process can ever
+        // perform α because nothing survives. With no retransmission this
+        // is a *permanent* violation, not a horizon artifact: the network
+        // is empty and every surviving protocol instance is quiescent.
+        let w = Workload::single(0, 1);
+        let mut witnessed = false;
+        for seed in 0..200 {
+            let config = SimConfig::new(4)
+                .channel(ChannelKind::fair_lossy(0.85))
+                .crashes(CrashPlan::at(&[(0, 8)]))
+                .horizon(300)
+                .seed(seed);
+            let out = run_protocol(&config, |_| ReliableUdc::new(), &mut NullOracle::new(), &w);
+            if let Verdict::Violated(SpecViolation::Dc2 { .. }) =
+                check_udc(&out.run, &w.actions())
+            {
+                // Certify permanence: nothing in flight, nobody working.
+                assert!(out.quiescent, "violation must be permanent, seed {seed}");
+                witnessed = true;
+                break;
+            }
+        }
+        assert!(witnessed, "85% loss should strand a performed action");
+    }
+
+    #[test]
+    fn plan_preserves_send_before_do_order() {
+        let mut proto = ReliableUdc::new();
+        proto.start(ProcessId::new(1), 3);
+        let alpha = ActionId::new(ProcessId::new(1), 0);
+        proto.observe(1, &Event::Init { action: alpha });
+        let mut saw_do_after_sends = 0;
+        let mut sends = 0;
+        while let Some(step) = proto.next_action(2) {
+            match step {
+                ProtoAction::Send { .. } => {
+                    assert_eq!(saw_do_after_sends, 0, "send after do");
+                    sends += 1;
+                }
+                ProtoAction::Do(a) => {
+                    assert_eq!(a, alpha);
+                    saw_do_after_sends += 1;
+                }
+            }
+        }
+        assert_eq!(sends, 2);
+        assert_eq!(saw_do_after_sends, 1);
+        assert!(proto.quiescent());
+    }
+
+    #[test]
+    fn duplicate_entry_is_idempotent() {
+        let mut proto = ReliableUdc::new();
+        proto.start(ProcessId::new(0), 2);
+        let alpha = ActionId::new(ProcessId::new(1), 0);
+        proto.observe(1, &Event::Recv {
+            from: ProcessId::new(1),
+            msg: CoordMsg::Alpha(alpha),
+        });
+        proto.observe(2, &Event::Recv {
+            from: ProcessId::new(1),
+            msg: CoordMsg::Alpha(alpha),
+        });
+        let steps: Vec<_> = std::iter::from_fn(|| proto.next_action(3)).collect();
+        assert_eq!(steps.len(), 2, "one send + one do despite duplicate receipt");
+    }
+}

@@ -1,0 +1,320 @@
+//! Proposition 3.1: UDC over fair-lossy channels with a strong failure
+//! detector, no bound on the number of failures.
+//!
+//! > If a process `p` is in a `UDC(α)` state, it sends an `α`-message
+//! > repeatedly to all other processes. Process `p` performs `α` if it is
+//! > in a `UDC(α)` state and if, for every process `q`, `p` receives an
+//! > acknowledgment from `q` to its `α`-message or `p`'s failure detector
+//! > says **or has said** that `q` is faulty. However, `p` continues to
+//! > send `α`-messages (even after performing `α`) to all processes from
+//! > which it has not received an acknowledgment. Every time a process `q`
+//! > receives an `α`-message from `p`, `q` sends an acknowledgment to `p`;
+//! > it also goes into a `UDC(α)` state if it has not already done so.
+//!
+//! The correctness argument needs only *weak* accuracy (some correct `q*`
+//! is never suspected, so a performer must have gotten `q*`'s ack, so `q*`
+//! is in the `UDC(α)` state and will drive everyone else there) and strong
+//! completeness (a process waiting on a crashed peer is eventually
+//! released by a suspicion). By Propositions 2.1 and 2.2, an
+//! impermanent-weak detector suffices after conversion — hence
+//! Corollary 3.2.
+//!
+//! Note the "**or has said**": suspicions are *latched* (`ever_suspected`
+//! accumulates), which is what lets the protocol tolerate impermanent
+//! detectors whose current report may have retracted a suspicion.
+
+use crate::protocols::CoordMsg;
+use ktudc_model::{ActionId, Event, ProcSet, ProcessId, SuspectReport, Time};
+use ktudc_sim::{Outbox, ProtoAction, Protocol};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug, Default)]
+struct ActionState {
+    live: bool,
+    done: bool,
+    acked: ProcSet,
+}
+
+/// The Proposition 3.1 protocol.
+#[derive(Clone, Debug)]
+pub struct StrongFdUdc {
+    me: ProcessId,
+    n: usize,
+    retransmit_every: Time,
+    next_retransmit: Time,
+    /// Everyone the local failure detector has *ever* suspected.
+    ever_suspected: ProcSet,
+    actions: BTreeMap<ActionId, ActionState>,
+    out: Outbox<CoordMsg>,
+}
+
+impl StrongFdUdc {
+    /// Creates the protocol with the default retransmission period of 5
+    /// ticks.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_period(5)
+    }
+
+    /// Creates the protocol with a custom retransmission period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_period(period: Time) -> Self {
+        assert!(period >= 1);
+        StrongFdUdc {
+            me: ProcessId::new(0),
+            n: 0,
+            retransmit_every: period,
+            next_retransmit: 0,
+            ever_suspected: ProcSet::new(),
+            actions: BTreeMap::new(),
+            out: Outbox::new(),
+        }
+    }
+
+    fn enter(&mut self, action: ActionId) {
+        self.actions.entry(action).or_default().live = true;
+    }
+
+    /// The performance guard: every peer has acked or has (at some point)
+    /// been suspected.
+    fn can_perform(&self, state: &ActionState) -> bool {
+        ProcessId::all(self.n)
+            .filter(|&q| q != self.me)
+            .all(|q| state.acked.contains(q) || self.ever_suspected.contains(q))
+    }
+
+    /// Peers still owed a retransmission for `state` (not yet acked).
+    fn unacked(&self, state: &ActionState) -> impl Iterator<Item = ProcessId> + '_ {
+        let acked = state.acked;
+        let me = self.me;
+        ProcessId::all(self.n).filter(move |&q| q != me && !acked.contains(q))
+    }
+}
+
+impl Default for StrongFdUdc {
+    fn default() -> Self {
+        StrongFdUdc::new()
+    }
+}
+
+impl Protocol<CoordMsg> for StrongFdUdc {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<CoordMsg>) {
+        match event {
+            Event::Init { action } => self.enter(*action),
+            Event::Recv {
+                from,
+                msg: CoordMsg::Alpha(action),
+            } => {
+                self.enter(*action);
+                // Acknowledge every α-message, every time (the sender may
+                // have lost earlier acks).
+                self.out.send(*from, CoordMsg::Ack(*action));
+            }
+            Event::Recv {
+                from,
+                msg: CoordMsg::Ack(action),
+            } => {
+                self.actions.entry(*action).or_default().acked.insert(*from);
+            }
+            Event::Suspect(SuspectReport::Standard(s)) => {
+                self.ever_suspected = self.ever_suspected.union(*s);
+            }
+            Event::Do { action } => {
+                self.actions.entry(*action).or_default().done = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn next_action(&mut self, time: Time) -> Option<ProtoAction<CoordMsg>> {
+        // Perform whatever is ready.
+        let ready = self
+            .actions
+            .iter()
+            .find(|(_, s)| s.live && !s.done && self.can_perform(s))
+            .map(|(&a, _)| a);
+        if let Some(action) = ready {
+            return Some(ProtoAction::Do(action));
+        }
+        if let Some(send) = self.out.pop() {
+            return Some(send);
+        }
+        if time >= self.next_retransmit {
+            self.next_retransmit = time + self.retransmit_every;
+            let planned: Vec<(ProcessId, ActionId)> = self
+                .actions
+                .iter()
+                .filter(|(_, s)| s.live)
+                .flat_map(|(&a, s)| self.unacked(s).map(move |q| (q, a)))
+                .collect();
+            for (q, a) in planned {
+                self.out.send(q, CoordMsg::Alpha(a));
+            }
+            return self.out.pop();
+        }
+        None
+    }
+
+    fn quiescent(&self) -> bool {
+        self.out.is_empty()
+            && self
+                .actions
+                .values()
+                .all(|s| !s.live || (s.done && s.acked.len() >= self.n - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{check_udc, Verdict};
+    use ktudc_fd::{
+        check_fd_property, FdProperty, ImpermanentStrongOracle, PerfectOracle, StrongOracle,
+        WeakOracle,
+    };
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+    fn lossy_config(n: usize, seed: u64) -> SimConfig {
+        SimConfig::new(n)
+            .channel(ChannelKind::fair_lossy(0.3))
+            .horizon(600)
+            .seed(seed)
+    }
+
+    #[test]
+    fn udc_with_strong_fd_under_loss_and_crashes() {
+        for seed in 0..8 {
+            let config = lossy_config(5, seed).crashes(CrashPlan::at(&[(1, 6), (3, 30)]));
+            let w = Workload::single(0, 2);
+            let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+            // Sanity: the oracle really is a strong FD on this run.
+            check_fd_property(&out.run, FdProperty::StrongCompleteness).unwrap();
+            check_fd_property(&out.run, FdProperty::WeakAccuracy).unwrap();
+            assert_eq!(
+                check_udc(&out.run, &w.actions()),
+                Verdict::Satisfied,
+                "seed {seed}"
+            );
+            out.run.check_conditions(0).unwrap();
+        }
+    }
+
+    #[test]
+    fn udc_with_perfect_fd_and_unbounded_failures() {
+        // n−1 of n crash; the last process must still perform everything
+        // that anyone performed.
+        for seed in 0..6 {
+            let config = lossy_config(4, seed)
+                .crashes(CrashPlan::at(&[(0, 25), (1, 35), (2, 45)]))
+                .horizon(800);
+            let w = Workload::single(0, 2);
+            let out =
+                run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+            assert_eq!(
+                check_udc(&out.run, &w.actions()),
+                Verdict::Satisfied,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn udc_with_impermanent_strong_fd() {
+        // Retracting detectors are fine because suspicions are latched.
+        for seed in 0..6 {
+            let config = lossy_config(5, seed).crashes(CrashPlan::at(&[(2, 8)]));
+            let w = Workload::single(0, 2);
+            let out = run_protocol(
+                &config,
+                |_| StrongFdUdc::new(),
+                &mut ImpermanentStrongOracle::new(),
+                &w,
+            );
+            assert_eq!(
+                check_udc(&out.run, &w.actions()),
+                Verdict::Satisfied,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_fd_without_conversion_can_strand_the_initiator() {
+        // With only weak completeness, a non-monitor process may wait
+        // forever on a crashed peer it never suspects: DC1 stalls. This is
+        // why Proposition 2.1's conversion is needed before Corollary 3.2.
+        let w = Workload::single(3, 2); // initiator p3 is not the monitor (p0)
+        let mut stalled = false;
+        for seed in 0..60 {
+            let config = SimConfig::new(4)
+                .channel(ChannelKind::fair_lossy(0.2))
+                .crashes(CrashPlan::at(&[(1, 4)]))
+                .horizon(500)
+                .seed(seed);
+            let out = run_protocol(
+                &config,
+                |_| StrongFdUdc::new(),
+                &mut WeakOracle { false_prob: 0.0 },
+                &w,
+            );
+            if !check_udc(&out.run, &w.actions()).is_satisfied() {
+                stalled = true;
+                break;
+            }
+        }
+        assert!(
+            stalled,
+            "a weak detector should leave the non-monitor initiator waiting on the crashed peer"
+        );
+    }
+
+    #[test]
+    fn performer_keeps_retransmitting_after_do() {
+        // The paper's protocol keeps sending to unacked peers even after
+        // performing — drop acks aggressively and watch retransmissions
+        // continue past the do.
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.6))
+            .horizon(400)
+            .seed(11);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        let do_tick = out
+            .run
+            .timed_history(ktudc_model::ProcessId::new(0))
+            .find(|(_, e)| matches!(e, Event::Do { .. }))
+            .map(|(t, _)| t);
+        if let Some(do_tick) = do_tick {
+            let sends_after = out
+                .run
+                .timed_history(ktudc_model::ProcessId::new(0))
+                .filter(|(t, e)| *t > do_tick && matches!(e, Event::Send { .. }))
+                .count();
+            assert!(
+                sends_after > 0 || out.quiescent,
+                "either still retransmitting or fully acked"
+            );
+        }
+        assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn heavy_workload_many_actions() {
+        let config = lossy_config(4, 21)
+            .crashes(CrashPlan::at(&[(2, 40)]))
+            .horizon(2000);
+        let w = Workload::periodic(4, 9, 120);
+        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+        assert!(w.actions().len() >= 12);
+    }
+}

@@ -1,0 +1,289 @@
+//! The failure-detector **simulation constructions** of Theorems 3.6 and
+//! 4.3: systems that attain UDC can manufacture failure detectors out of
+//! the processes' *knowledge*.
+//!
+//! Given a system `R`, the map `f` builds `R^f = {f(r) : r ∈ R}` by
+//! stretching time by two and interleaving knowledge-derived reports
+//! (conditions P1–P3 of §3):
+//!
+//! * **P1** — `f(r)` starts with empty histories;
+//! * **P2** — the original (non-failure-detector) event of tick `m + 1`
+//!   lands at tick `2m + 2`; original failure-detector events are deleted;
+//! * **P3** — at tick `2m + 1` every live process `p` gets the report
+//!   `suspect′_p(S)` with `S = {q : (R, r, m) ⊨ K_p crash(q)}`.
+//!
+//! Theorem 3.6: if `R` attains UDC, satisfies A1–A4 and A5_{n−1}, and
+//! initiates infinitely many actions, then `R^f` has **perfect** failure
+//! detectors. The map `f′` ([`simulate_t_useful_fd`]) differs only in P3′:
+//! the report is the generalized `(S_l, k)` where `l` is the length of
+//! `p`'s history at `m + 1` modulo `2^n` (so the subset index cycles as the
+//! history grows) and `k` is the largest number of members of `S_l` that
+//! `p` *knows* have crashed; Theorem 4.3 then yields **t-useful**
+//! detectors.
+//!
+//! Both maps are computable exactly as the paper suggests: the input is a
+//! finite run prefix and `{q : K_p crash(q)}` is computed by the epistemic
+//! model checker over the given system. Strong accuracy of the simulated
+//! detector is *unconditional* — knowledge is veridical, so `K_p crash(q)`
+//! can only report processes that really crashed. Completeness is where
+//! the theorems earn their keep, and holds at finite horizons whenever the
+//! underlying system gives processes distinguishing evidence of crashes
+//! (as the Proposition 3.1 protocol does through its latched suspicions
+//! and acknowledgment discipline).
+
+use ktudc_epistemic::ModelChecker;
+use ktudc_model::{Event, Point, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, System, Time};
+use std::hash::Hash;
+
+/// Applies the Theorem 3.6 construction `f` to every run of `system`,
+/// returning `R^f` with the knowledge-derived **standard** reports of P3.
+///
+/// # Panics
+///
+/// Panics if the rebuilt runs violate R1–R4, which cannot happen for
+/// systems produced by `ktudc-sim`.
+#[must_use]
+pub fn simulate_perfect_fd<M: Clone + Eq + Hash>(system: &System<M>) -> System<M> {
+    let mut mc = ModelChecker::new(system);
+    let new_runs: Vec<Run<M>> = (0..system.len())
+        .map(|ri| {
+            transform_run(system, ri, |p, m| {
+                Some(SuspectReport::Standard(mc.knowledge_of_crashes(
+                    p,
+                    Point::new(ri, m),
+                )))
+            })
+        })
+        .collect();
+    System::new(new_runs)
+}
+
+/// Applies the Theorem 4.3 construction `f′` (P3′) for failure bound `t`,
+/// returning `R^{f′}` with knowledge-derived **generalized** reports.
+///
+/// The subset order `S_0, …, S_{2^n − 1}` is the binary encoding: process
+/// `i` is in `S_l` iff bit `i` of `l` is set.
+///
+/// # Panics
+///
+/// Panics if `system.n() > 16` (the construction enumerates `2^n` subset
+/// indices; the paper's cycling trick is pointless beyond tiny systems).
+#[must_use]
+pub fn simulate_t_useful_fd<M: Clone + Eq + Hash>(system: &System<M>, _t: usize) -> System<M> {
+    let n = system.n();
+    assert!(n <= 16, "f′ cycles through 2^n subsets; n = {n} is too large");
+    let subsets = 1usize << n;
+    let mut mc = ModelChecker::new(system);
+    let new_runs: Vec<Run<M>> = (0..system.len())
+        .map(|ri| {
+            transform_run(system, ri, |p, m| {
+                // l = |r_p(m + 1)| mod 2^n.
+                let run = mc.system().run(ri);
+                let l = run.history_at(p, m + 1).len() % subsets;
+                let set = subset_by_index(n, l);
+                let k = mc.max_known_crashed_in(p, set, Point::new(ri, m));
+                Some(SuspectReport::Generalized {
+                    set,
+                    min_faulty: k,
+                })
+            })
+        })
+        .collect();
+    System::new(new_runs)
+}
+
+/// The `l`-th subset of `Proc` in the binary order used by P3′.
+#[must_use]
+pub fn subset_by_index(n: usize, l: usize) -> ProcSet {
+    ProcessId::all(n)
+        .filter(|p| l & (1usize << p.index()) != 0)
+        .collect()
+}
+
+/// Shared P1/P2 skeleton: stretches run `ri` of `system` onto the doubled
+/// timeline, deleting original failure-detector events and inserting the
+/// report produced by `report(p, m)` at tick `2m + 1` for every `p` still
+/// live at `m`.
+fn transform_run<M: Clone + Eq + Hash>(
+    system: &System<M>,
+    ri: usize,
+    mut report: impl FnMut(ProcessId, Time) -> Option<SuspectReport>,
+) -> Run<M> {
+    let run = system.run(ri);
+    let n = run.n();
+    let h = run.horizon();
+    let mut b: RunBuilder<M> = RunBuilder::new(n);
+    for m in 0..=h {
+        // P3 / P3′: reports at tick 2m + 1, from knowledge at (r, m).
+        for p in ProcessId::all(n) {
+            if matches!(run.crash_time(p), Some(c) if c <= m) {
+                continue;
+            }
+            if let Some(rep) = report(p, m) {
+                b.append_suspect(p, 2 * m + 1, rep)
+                    .expect("suspect on doubled timeline");
+            }
+        }
+        // P2: original events of tick m + 1 land at tick 2m + 2, sends
+        // before receives so R3 re-validates.
+        if m == h {
+            break;
+        }
+        let mut tick_events: Vec<(u8, ProcessId, &Event<M>)> = Vec::new();
+        for p in ProcessId::all(n) {
+            for (t, e) in run.timed_history(p) {
+                if t == m + 1 && !e.is_suspect() {
+                    tick_events.push((u8::from(matches!(e, Event::Recv { .. })), p, e));
+                }
+            }
+        }
+        tick_events.sort_by_key(|&(phase, p, _)| (phase, p));
+        for (_, p, e) in tick_events {
+            b.append(p, 2 * m + 2, e.clone())
+                .expect("original event on doubled timeline");
+        }
+    }
+    b.finish(2 * h + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::strong_fd::StrongFdUdc;
+    use crate::spec::{check_udc, Verdict};
+    use ktudc_fd::{check_fd_property, FdProperty, PerfectOracle};
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Samples a UDC-attaining system: the Proposition 3.1 protocol with a
+    /// perfect oracle, over several seeds and the given crash plans.
+    fn udc_system(n: usize, horizon: Time, plans: &[CrashPlan], seeds: u64) -> System<crate::CoordMsg> {
+        let w = Workload::periodic(n, 15, horizon / 4);
+        let mut runs = Vec::new();
+        for plan in plans {
+            for seed in 0..seeds {
+                let config = SimConfig::new(n)
+                    .channel(ChannelKind::fair_lossy(0.25))
+                    .crashes(plan.clone())
+                    .horizon(horizon)
+                    .seed(seed);
+                let out =
+                    run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+                assert_eq!(
+                    check_udc(&out.run, &w.actions()),
+                    Verdict::Satisfied,
+                    "substrate must attain UDC"
+                );
+                runs.push(out.run);
+            }
+        }
+        System::new(runs)
+    }
+
+    #[test]
+    fn subset_index_roundtrip() {
+        assert_eq!(subset_by_index(3, 0), ProcSet::new());
+        assert_eq!(subset_by_index(3, 0b101), [p(0), p(2)].into_iter().collect());
+        assert_eq!(subset_by_index(3, 0b111), ProcSet::full(3));
+    }
+
+    #[test]
+    fn f_preserves_original_events_and_structure() {
+        let sys = udc_system(3, 150, &[CrashPlan::at(&[(2, 10)])], 2);
+        let simulated = simulate_perfect_fd(&sys);
+        assert_eq!(simulated.len(), sys.len());
+        for (orig, new) in sys.runs().iter().zip(simulated.runs()) {
+            new.check_conditions(0).unwrap();
+            assert_eq!(new.horizon(), 2 * orig.horizon() + 1);
+            // Every non-FD event survives, in order, per process.
+            for q in ProcessId::all(3) {
+                let orig_events: Vec<_> = orig
+                    .history(q)
+                    .iter()
+                    .filter(|e| !e.is_suspect())
+                    .collect();
+                let new_events: Vec<_> = new
+                    .history(q)
+                    .iter()
+                    .filter(|e| !e.is_suspect())
+                    .collect();
+                assert_eq!(orig_events, new_events, "run content changed for {q}");
+            }
+            // Crash ticks are doubled: c ↦ 2c.
+            assert_eq!(new.crash_time(p(2)), orig.crash_time(p(2)).map(|c| 2 * c));
+        }
+    }
+
+    #[test]
+    fn theorem_3_6_simulated_fd_is_perfect() {
+        // A UDC-attaining sampled system: f(r) must carry a perfect FD.
+        let plans = [
+            CrashPlan::None,
+            CrashPlan::at(&[(1, 8)]),
+            CrashPlan::at(&[(1, 8), (2, 30)]),
+        ];
+        let sys = udc_system(3, 150, &plans, 3);
+        let simulated = simulate_perfect_fd(&sys);
+        for (i, run) in simulated.runs().iter().enumerate() {
+            check_fd_property(run, FdProperty::StrongAccuracy)
+                .unwrap_or_else(|e| panic!("run {i}: {e}"));
+            check_fd_property(run, FdProperty::StrongCompleteness)
+                .unwrap_or_else(|e| panic!("run {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn simulated_accuracy_is_unconditional() {
+        // Even over a *one-run* system (maximal spurious knowledge),
+        // veridicality keeps the simulated detector strongly accurate.
+        let sys = udc_system(3, 100, &[CrashPlan::at(&[(0, 15)])], 1);
+        let one_run = System::new(vec![sys.run(0).clone()]);
+        let simulated = simulate_perfect_fd(&one_run);
+        check_fd_property(simulated.run(0), FdProperty::StrongAccuracy).unwrap();
+    }
+
+    #[test]
+    fn theorem_4_3_simulated_fd_is_t_useful() {
+        let t = 2;
+        let plans = [
+            CrashPlan::None,
+            CrashPlan::at(&[(2, 8)]),
+            CrashPlan::at(&[(1, 12), (2, 8)]),
+        ];
+        let sys = udc_system(3, 240, &plans, 3);
+        let simulated = simulate_t_useful_fd(&sys, t);
+        for (i, run) in simulated.runs().iter().enumerate() {
+            check_fd_property(run, FdProperty::GeneralizedStrongAccuracy)
+                .unwrap_or_else(|e| panic!("run {i}: {e}"));
+            check_fd_property(
+                run,
+                FdProperty::GeneralizedImpermanentStrongCompleteness(t),
+            )
+            .unwrap_or_else(|e| panic!("run {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn f_reports_track_knowledge_growth() {
+        // Before anyone learns of the crash, reports are empty; after the
+        // (perfect) oracle told a process in the *original* run, the
+        // simulated detector suspects too — knowledge extraction works.
+        let sys = udc_system(3, 120, &[CrashPlan::at(&[(2, 10)])], 2);
+        let simulated = simulate_perfect_fd(&sys);
+        let run = simulated.run(0);
+        // At the first report tick (1), nobody can know anything.
+        for q in ProcessId::all(3) {
+            assert!(run.suspects_at(q, 1).is_empty());
+        }
+        // By the horizon, the correct processes suspect p2.
+        for q in [p(0), p(1)] {
+            assert!(
+                run.suspects_at(q, run.horizon()).contains(p(2)),
+                "{q} should have extracted knowledge of p2's crash"
+            );
+        }
+    }
+}

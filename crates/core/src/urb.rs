@@ -1,0 +1,261 @@
+//! Uniform Reliable Broadcast as a facade over UDC.
+//!
+//! Section 5 of the paper (footnote 9) observes that **URB and UDC are
+//! isomorphic problems**: `broadcast` in URB corresponds to `init` in UDC
+//! and `deliver` to `do`. Aguilera–Toueg–Deianov's companion paper is
+//! stated for URB; this module makes the isomorphism executable so results
+//! can be read in either vocabulary — and because URB (e.g.
+//! Schiper–Sandoz's Uniform Reliable Multicast over Isis-style virtual
+//! synchrony, which *simulates perfect failure detection*, exactly as
+//! Theorem 3.6 says it must) is how practitioners usually meet UDC.
+//!
+//! The facade maps a broadcast workload onto a UDC workload, runs any of
+//! the crate's UDC protocols, and re-reads the run through URB's
+//! specification: **validity** (a correct broadcaster's message is
+//! delivered), **uniform agreement** (if *any* process delivers `m`, every
+//! correct process delivers `m`), and **integrity** (deliver at most once,
+//! only broadcast messages).
+
+use crate::spec::{check_udc, SpecViolation, Verdict};
+use ktudc_model::{ActionId, ProcessId, Run, Time};
+
+/// A broadcast instance: `message` is identified by its broadcaster and a
+/// per-broadcaster sequence number — precisely an [`ActionId`] under the
+/// isomorphism.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BroadcastId(ActionId);
+
+impl BroadcastId {
+    /// The `seq`-th broadcast of `broadcaster`.
+    #[must_use]
+    pub fn new(broadcaster: ProcessId, seq: u32) -> Self {
+        BroadcastId(ActionId::new(broadcaster, seq))
+    }
+
+    /// The broadcasting process.
+    #[must_use]
+    pub fn broadcaster(self) -> ProcessId {
+        self.0.initiator()
+    }
+
+    /// The underlying coordination action (`broadcast ↦ init`,
+    /// `deliver ↦ do`).
+    #[must_use]
+    pub fn as_action(self) -> ActionId {
+        self.0
+    }
+}
+
+impl From<ActionId> for BroadcastId {
+    fn from(action: ActionId) -> Self {
+        BroadcastId(action)
+    }
+}
+
+/// A URB specification violation, phrased in broadcast vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UrbViolation {
+    /// A correct broadcaster's message was never delivered by itself.
+    Validity {
+        /// The undelivered broadcast.
+        broadcast: BroadcastId,
+    },
+    /// Some process delivered `m` but a correct process never did.
+    UniformAgreement {
+        /// The broadcast.
+        broadcast: BroadcastId,
+        /// A process that delivered.
+        deliverer: ProcessId,
+        /// The correct process that did not.
+        missing: ProcessId,
+    },
+    /// A delivery of a message nobody broadcast, or a double delivery.
+    Integrity {
+        /// The offending broadcast id.
+        broadcast: BroadcastId,
+        /// The offending process.
+        process: ProcessId,
+    },
+}
+
+impl std::fmt::Display for UrbViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrbViolation::Validity { broadcast } => write!(
+                f,
+                "validity: correct {} never delivered its own broadcast {:?}",
+                broadcast.broadcaster(),
+                broadcast
+            ),
+            UrbViolation::UniformAgreement {
+                broadcast,
+                deliverer,
+                missing,
+            } => write!(
+                f,
+                "uniform agreement: {deliverer} delivered {broadcast:?} but correct {missing} did not"
+            ),
+            UrbViolation::Integrity { broadcast, process } => {
+                write!(f, "integrity: {process} mis-delivered {broadcast:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UrbViolation {}
+
+/// Which processes delivered `broadcast` in `run`, with delivery ticks.
+#[must_use]
+pub fn deliveries<M>(run: &Run<M>, broadcast: BroadcastId) -> Vec<(ProcessId, Time)> {
+    let action = broadcast.as_action();
+    let mut out = Vec::new();
+    for p in ProcessId::all(run.n()) {
+        for (t, e) in run.timed_history(p) {
+            if matches!(e, ktudc_model::Event::Do { action: a } if *a == action) {
+                out.push((p, t));
+            }
+        }
+    }
+    out
+}
+
+/// Checks URB (validity + uniform agreement + integrity) on a run, for the
+/// listed broadcasts, under the usual finite-horizon reading of liveness.
+///
+/// # Errors
+///
+/// Returns the first violation, in broadcast vocabulary. Internally this
+/// *is* the UDC checker plus integrity — the isomorphism at work.
+pub fn check_urb<M>(run: &Run<M>, broadcasts: &[BroadcastId]) -> Result<(), UrbViolation> {
+    // Integrity: at most one delivery per process per broadcast.
+    for &bc in broadcasts {
+        for p in ProcessId::all(run.n()) {
+            let count = deliveries(run, bc).iter().filter(|(q, _)| *q == p).count();
+            if count > 1 {
+                return Err(UrbViolation::Integrity { broadcast: bc, process: p });
+            }
+        }
+    }
+    let actions: Vec<ActionId> = broadcasts.iter().map(|b| b.as_action()).collect();
+    match check_udc(run, &actions) {
+        Verdict::Satisfied => Ok(()),
+        Verdict::Violated(SpecViolation::Dc1 { action }) => Err(UrbViolation::Validity {
+            broadcast: action.into(),
+        }),
+        Verdict::Violated(SpecViolation::Dc2 {
+            action,
+            performer,
+            missing,
+        }) => Err(UrbViolation::UniformAgreement {
+            broadcast: action.into(),
+            deliverer: performer,
+            missing,
+        }),
+        Verdict::Violated(SpecViolation::Dc3 {
+            action, performer, ..
+        }) => Err(UrbViolation::Integrity {
+            broadcast: action.into(),
+            process: performer,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::strong_fd::StrongFdUdc;
+    use ktudc_fd::StrongOracle;
+    use ktudc_model::{Event, RunBuilder};
+    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn broadcast_id_roundtrip() {
+        let bc = BroadcastId::new(p(2), 7);
+        assert_eq!(bc.broadcaster(), p(2));
+        assert_eq!(bc.as_action(), ActionId::new(p(2), 7));
+        assert_eq!(BroadcastId::from(ActionId::new(p(2), 7)), bc);
+    }
+
+    #[test]
+    fn urb_over_the_prop_3_1_protocol() {
+        // URB = UDC with broadcast/deliver names: run the strong-FD UDC
+        // protocol and read the result as uniform reliable broadcast.
+        let config = SimConfig::new(5)
+            .channel(ChannelKind::fair_lossy(0.3))
+            .crashes(CrashPlan::at(&[(1, 6), (3, 25)]))
+            .horizon(600)
+            .seed(3);
+        let w = Workload::single(0, 2);
+        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        let bc: BroadcastId = w.actions()[0].into();
+        check_urb(&out.run, &[bc]).unwrap();
+        // Every correct process delivered exactly once.
+        let delivered = deliveries(&out.run, bc);
+        for q in out.run.correct().iter() {
+            assert_eq!(delivered.iter().filter(|(d, _)| *d == q).count(), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_agreement_violation_translates() {
+        // The broadcaster delivers then crashes; nobody else delivers.
+        let bc = BroadcastId::new(p(0), 0);
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(0), 1, Event::Init { action: bc.as_action() }).unwrap();
+        b.append(p(0), 2, Event::Do { action: bc.as_action() }).unwrap();
+        b.append(p(0), 3, Event::Crash).unwrap();
+        let run = b.finish(6);
+        assert!(matches!(
+            check_urb(&run, &[bc]),
+            Err(UrbViolation::UniformAgreement { deliverer, missing, .. })
+                if deliverer == p(0) && missing == p(1)
+        ));
+    }
+
+    #[test]
+    fn validity_violation_translates() {
+        let bc = BroadcastId::new(p(0), 0);
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(0), 1, Event::Init { action: bc.as_action() }).unwrap();
+        let run = b.finish(5);
+        assert!(matches!(
+            check_urb(&run, &[bc]),
+            Err(UrbViolation::Validity { .. })
+        ));
+    }
+
+    #[test]
+    fn integrity_catches_double_delivery_and_ghosts() {
+        let bc = BroadcastId::new(p(0), 0);
+        // Double delivery.
+        let mut b = RunBuilder::<u8>::new(1);
+        b.append(p(0), 1, Event::Init { action: bc.as_action() }).unwrap();
+        b.append(p(0), 2, Event::Do { action: bc.as_action() }).unwrap();
+        b.append(p(0), 3, Event::Do { action: bc.as_action() }).unwrap();
+        let run = b.finish(5);
+        assert!(matches!(
+            check_urb(&run, &[bc]),
+            Err(UrbViolation::Integrity { .. })
+        ));
+        // Ghost delivery (never broadcast) = DC3 in UDC terms.
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(1), 2, Event::Do { action: bc.as_action() }).unwrap();
+        let run = b.finish(5);
+        assert!(matches!(
+            check_urb(&run, &[bc]),
+            Err(UrbViolation::Integrity { process, .. }) if process == p(1)
+        ));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = UrbViolation::Validity {
+            broadcast: BroadcastId::new(p(0), 1),
+        };
+        assert!(v.to_string().contains("never delivered"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Edge cases of the UDC/nUDC specification checkers: verdict precedence,
+//! multi-action interplay, vacuous cases, and agreement between the
+//! run-level checkers and the formula-level semantics on adversarial
+//! hand-built runs.
+
+use ktudc_core::spec::{
+    check_nudc, check_udc, nudc_formula, udc_formula, SpecViolation, Verdict,
+};
+use ktudc_epistemic::ModelChecker;
+use ktudc_model::{ActionId, Event, ProcessId, Run, RunBuilder, System};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn a(owner: usize, seq: u32) -> ActionId {
+    ActionId::new(p(owner), seq)
+}
+
+#[test]
+fn dc3_is_safety_and_reported_per_action() {
+    // An uninitiated do of β AND an unfinished initiation of α. Verdicts
+    // are per-action in list order, with DC3 (safety) first within each
+    // action: asking about β first must surface the DC3 violation.
+    let mut b = RunBuilder::<u8>::new(2);
+    b.append(p(0), 1, Event::Init { action: a(0, 0) }).unwrap();
+    b.append(p(1), 2, Event::Do { action: a(0, 1) }).unwrap();
+    let run = b.finish(4);
+    assert!(matches!(
+        check_udc(&run, &[a(0, 1), a(0, 0)]),
+        Verdict::Violated(SpecViolation::Dc3 { .. })
+    ));
+    // Asking about α first surfaces its DC1 stall instead.
+    assert!(matches!(
+        check_udc(&run, &[a(0, 0), a(0, 1)]),
+        Verdict::Violated(SpecViolation::Dc1 { .. })
+    ));
+}
+
+#[test]
+fn independent_actions_are_judged_independently() {
+    // α completes everywhere, β is stranded: the verdict must name β.
+    let mut b = RunBuilder::<u8>::new(2);
+    b.append(p(0), 1, Event::Init { action: a(0, 0) }).unwrap();
+    b.append(p(0), 2, Event::Do { action: a(0, 0) }).unwrap();
+    b.append(p(1), 3, Event::Do { action: a(0, 0) }).unwrap();
+    b.append(p(1), 4, Event::Init { action: a(1, 0) }).unwrap();
+    b.append(p(1), 5, Event::Do { action: a(1, 0) }).unwrap();
+    let run = b.finish(9);
+    assert_eq!(check_udc(&run, &[a(0, 0)]), Verdict::Satisfied);
+    match check_udc(&run, &[a(0, 0), a(1, 0)]) {
+        Verdict::Violated(SpecViolation::Dc2 { action, .. }) => assert_eq!(action, a(1, 0)),
+        other => panic!("expected β's DC2, got {other:?}"),
+    }
+}
+
+#[test]
+fn performer_other_than_initiator_triggers_obligations() {
+    // Only a *non-initiator* performs; DC2 binds everyone else all the
+    // same (and DC1 is separately violated for the idle initiator).
+    let mut b = RunBuilder::<u8>::new(3);
+    b.append(p(0), 1, Event::Init { action: a(0, 0) }).unwrap();
+    b.append(p(0), 2, Event::Send { to: p(1), msg: 1 }).unwrap();
+    b.append(p(1), 3, Event::Recv { from: p(0), msg: 1 }).unwrap();
+    b.append(p(1), 4, Event::Do { action: a(0, 0) }).unwrap();
+    let run = b.finish(8);
+    // p0 (initiator) and p2 both failed to perform; DC1 fires first.
+    assert!(matches!(
+        check_udc(&run, &[a(0, 0)]),
+        Verdict::Violated(SpecViolation::Dc1 { .. })
+    ));
+}
+
+#[test]
+fn all_crashed_run_satisfies_udc_vacuously() {
+    // Initiator crashes before doing anything; everyone else crashes too:
+    // DC1's disjunct `crash(p)` discharges it, DC2 has no performer.
+    let mut b = RunBuilder::<u8>::new(2);
+    b.append(p(0), 1, Event::Init { action: a(0, 0) }).unwrap();
+    b.append(p(0), 2, Event::Crash).unwrap();
+    b.append(p(1), 3, Event::Crash).unwrap();
+    let run = b.finish(6);
+    assert_eq!(check_udc(&run, &[a(0, 0)]), Verdict::Satisfied);
+    assert_eq!(check_nudc(&run, &[a(0, 0)]), Verdict::Satisfied);
+}
+
+#[test]
+fn empty_action_list_is_trivially_satisfied() {
+    let run: Run<u8> = RunBuilder::new(3).finish(5);
+    assert_eq!(check_udc(&run, &[]), Verdict::Satisfied);
+}
+
+#[test]
+fn duplicate_do_events_do_not_confuse_the_checker() {
+    // Performing twice is permitted by UDC (it has no integrity clause —
+    // unlike URB, whose facade adds one).
+    let mut b = RunBuilder::<u8>::new(1);
+    b.append(p(0), 1, Event::Init { action: a(0, 0) }).unwrap();
+    b.append(p(0), 2, Event::Do { action: a(0, 0) }).unwrap();
+    b.append(p(0), 3, Event::Do { action: a(0, 0) }).unwrap();
+    let run = b.finish(5);
+    assert_eq!(check_udc(&run, &[a(0, 0)]), Verdict::Satisfied);
+    assert!(ktudc_core::urb::check_urb(&run, &[a(0, 0).into()]).is_err());
+}
+
+#[test]
+fn checker_and_formula_agree_on_adversarial_runs() {
+    // A small zoo of hand-built runs; for each, the run checker and the
+    // model-checked formula must give the same verdict at the initial
+    // point of a singleton system.
+    let alpha = a(0, 0);
+    let build = |script: &dyn Fn(&mut RunBuilder<u8>)| {
+        let mut b = RunBuilder::<u8>::new(2);
+        script(&mut b);
+        b.finish(10)
+    };
+    let runs: Vec<Run<u8>> = vec![
+        build(&|b| {
+            b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+            b.append(p(0), 2, Event::Do { action: alpha }).unwrap();
+            b.append(p(1), 3, Event::Do { action: alpha }).unwrap();
+        }),
+        build(&|b| {
+            b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+            b.append(p(0), 2, Event::Do { action: alpha }).unwrap();
+            b.append(p(0), 3, Event::Crash).unwrap();
+        }),
+        build(&|b| {
+            b.append(p(1), 2, Event::Do { action: alpha }).unwrap();
+        }),
+        build(&|b| {
+            b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+        }),
+        build(&|_| {}),
+    ];
+    for (i, run) in runs.into_iter().enumerate() {
+        let run_verdict = check_udc(&run, &[alpha]).is_satisfied();
+        let nudc_verdict = check_nudc(&run, &[alpha]).is_satisfied();
+        let sys = System::new(vec![run]);
+        let mut mc = ModelChecker::new(&sys);
+        let formula_verdict = mc.valid(&udc_formula::<u8>(2, alpha)).is_ok();
+        let nudc_formula_verdict = mc.valid(&nudc_formula::<u8>(2, alpha)).is_ok();
+        assert_eq!(run_verdict, formula_verdict, "UDC mismatch on run {i}");
+        assert_eq!(nudc_verdict, nudc_formula_verdict, "nUDC mismatch on run {i}");
+    }
+}

@@ -1,0 +1,560 @@
+//! The model checker: global evaluation of epistemic-temporal formulas.
+//!
+//! [`ModelChecker`] evaluates each distinct subformula to a truth table over
+//! *every* point of the system (global model checking), caching tables by
+//! structural formula equality. The `K_p` clause is computed exactly: the
+//! value at a point is the conjunction of the subformula's value over the
+//! point's entire `~_p`-equivalence class, found via the
+//! [`System`](ktudc_model::System) history index.
+
+use crate::formula::{Formula, Prim};
+use ktudc_model::{Event, Point, ProcSet, ProcessId, Run, SuspectReport, System, Time};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// An epistemic-temporal model checker over one system.
+///
+/// # Example
+///
+/// ```
+/// use ktudc_epistemic::{Formula, ModelChecker};
+/// use ktudc_model::{Event, Point, ProcessId, RunBuilder, System};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+///
+/// // Run A: p1 crashes at tick 1. Run B: nothing happens.
+/// let mut b = RunBuilder::<u8>::new(2);
+/// b.append(p1, 1, Event::Crash)?;
+/// let run_a = b.finish(3);
+/// let run_b = RunBuilder::<u8>::new(2).finish(3);
+/// let system = System::new(vec![run_a, run_b]);
+/// let mut mc = ModelChecker::new(&system);
+///
+/// // p1 has crashed at (A, 2) — but p0 cannot know it: (B, 2) looks the same.
+/// assert!(mc.eval(&Formula::crashed(p1), Point::new(0, 2)));
+/// assert!(!mc.eval(&Formula::knows(p0, Formula::crashed(p1)), Point::new(0, 2)));
+/// # Ok::<(), ktudc_model::ModelError>(())
+/// ```
+pub struct ModelChecker<'a, M> {
+    system: &'a System<M>,
+    /// Global point index offsets: point `(r, m)` lives at
+    /// `offsets[r] + m`.
+    offsets: Vec<usize>,
+    total: usize,
+    cache: HashMap<Formula<M>, Rc<Vec<bool>>>,
+}
+
+impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
+    /// Creates a checker over `system`.
+    #[must_use]
+    pub fn new(system: &'a System<M>) -> Self {
+        let mut offsets = Vec::with_capacity(system.len());
+        let mut total = 0usize;
+        for run in system.runs() {
+            offsets.push(total);
+            total += run.horizon() as usize + 1;
+        }
+        ModelChecker {
+            system,
+            offsets,
+            total,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The system under analysis.
+    #[must_use]
+    pub fn system(&self) -> &'a System<M> {
+        self.system
+    }
+
+    fn index(&self, pt: Point) -> usize {
+        self.offsets[pt.run] + pt.time as usize
+    }
+
+    /// Evaluates `(R, r, m) ⊨ φ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is out of range for the system.
+    pub fn eval(&mut self, formula: &Formula<M>, pt: Point) -> bool {
+        let table = self.table(formula);
+        table[self.index(pt)]
+    }
+
+    /// Checks validity `R ⊨ φ`; on failure returns the first counterexample
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the earliest point (in run order, then time) where `φ` is
+    /// false.
+    pub fn valid(&mut self, formula: &Formula<M>) -> Result<(), Point> {
+        let table = self.table(formula);
+        for (ri, run) in self.system.runs().iter().enumerate() {
+            for m in 0..=run.horizon() {
+                if !table[self.offsets[ri] + m as usize] {
+                    return Err(Point::new(ri, m));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All points satisfying `φ`.
+    pub fn satisfying_points(&mut self, formula: &Formula<M>) -> Vec<Point> {
+        let table = self.table(formula);
+        let mut out = Vec::new();
+        for (ri, run) in self.system.runs().iter().enumerate() {
+            for m in 0..=run.horizon() {
+                if table[self.offsets[ri] + m as usize] {
+                    out.push(Point::new(ri, m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `φ` is **local to** `p` (§2.3): at every point, `p` knows
+    /// whether `φ` holds, i.e. `K_p φ ∨ K_p ¬φ` is valid.
+    pub fn is_local(&mut self, formula: &Formula<M>, p: ProcessId) -> bool {
+        let f = Formula::or(vec![
+            Formula::knows(p, formula.clone()),
+            Formula::knows(p, Formula::not(formula.clone())),
+        ]);
+        self.valid(&f).is_ok()
+    }
+
+    /// Whether `φ` is **stable** (§2.3): `φ ⇒ ✷φ` is valid.
+    pub fn is_stable(&mut self, formula: &Formula<M>) -> bool {
+        let f = Formula::implies(formula.clone(), Formula::always(formula.clone()));
+        self.valid(&f).is_ok()
+    }
+
+    /// Whether `φ` (local to `q`) is **insensitive to failure by** `q`
+    /// (Definition 3.3): whenever `r′_q(m′) = r_q(m) · crash_q`, `φ` has the
+    /// same truth value at `(r, m)` and `(r′, m′)`.
+    ///
+    /// Checked exactly over the system: for each crash event of `q`, the
+    /// class of points whose `q`-history is the pre-crash prefix and the
+    /// class whose `q`-history is that prefix plus `crash_q` must agree on
+    /// `φ`.
+    pub fn is_insensitive_to_failure(&mut self, formula: &Formula<M>, q: ProcessId) -> bool {
+        let table = self.table(formula);
+        for (ri, run) in self.system.runs().iter().enumerate() {
+            let Some(crash_tick) = run.crash_time(q) else {
+                continue;
+            };
+            let before = self
+                .system
+                .indistinguishable_blocks(q, ri, crash_tick - 1);
+            let after = self.system.indistinguishable_blocks(q, ri, crash_tick);
+            let mut values = before
+                .iter()
+                .chain(after.iter())
+                .flat_map(|b| b.points())
+                .map(|pt| table[self.index(pt)]);
+            let Some(first) = values.next() else { continue };
+            if values.any(|v| v != first) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `{q : (R, r, m) ⊨ K_p crash(q)}` — the set used by the paper's
+    /// `f(r)` construction (P3 of §3) to define the simulated perfect
+    /// detector's reports.
+    pub fn knowledge_of_crashes(&mut self, p: ProcessId, pt: Point) -> ProcSet {
+        ProcessId::all(self.system.n())
+            .filter(|&q| self.eval(&Formula::knows(p, Formula::crashed(q)), pt))
+            .collect()
+    }
+
+    /// The largest `k` such that `p` *knows* at `pt` that at least `k`
+    /// processes of `set` have crashed — i.e. the minimum of
+    /// `|crashed ∩ set|` over `pt`'s `~_p`-class. Used by the `f′(r)`
+    /// construction (P3′ of §4).
+    pub fn max_known_crashed_in(&mut self, p: ProcessId, set: ProcSet, pt: Point) -> usize {
+        self.system
+            .indistinguishable_blocks(p, pt.run, pt.time)
+            .iter()
+            .flat_map(|b| b.points())
+            .map(|q_pt| {
+                self.system.run(q_pt.run).crashed_by(q_pt.time).intersection(set).len()
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Computes (or fetches) the truth table of `formula` over all points.
+    fn table(&mut self, formula: &Formula<M>) -> Rc<Vec<bool>> {
+        if let Some(t) = self.cache.get(formula) {
+            return Rc::clone(t);
+        }
+        let table = match formula {
+            Formula::True => Rc::new(vec![true; self.total]),
+            Formula::Prim(prim) => Rc::new(self.prim_table(prim)),
+            Formula::Not(inner) => {
+                let t = self.table(inner);
+                Rc::new(t.iter().map(|&b| !b).collect())
+            }
+            Formula::And(parts) => {
+                let mut acc = vec![true; self.total];
+                for part in parts {
+                    let t = self.table(part);
+                    for (a, &b) in acc.iter_mut().zip(t.iter()) {
+                        *a &= b;
+                    }
+                }
+                Rc::new(acc)
+            }
+            Formula::Or(parts) => {
+                let mut acc = vec![false; self.total];
+                for part in parts {
+                    let t = self.table(part);
+                    for (a, &b) in acc.iter_mut().zip(t.iter()) {
+                        *a |= b;
+                    }
+                }
+                Rc::new(acc)
+            }
+            Formula::Always(inner) => {
+                let t = self.table(inner);
+                let mut acc = vec![false; self.total];
+                for (ri, run) in self.system.runs().iter().enumerate() {
+                    let off = self.offsets[ri];
+                    let mut suffix = true;
+                    for m in (0..=run.horizon() as usize).rev() {
+                        suffix &= t[off + m];
+                        acc[off + m] = suffix;
+                    }
+                }
+                Rc::new(acc)
+            }
+            Formula::Eventually(inner) => {
+                let t = self.table(inner);
+                let mut acc = vec![false; self.total];
+                for (ri, run) in self.system.runs().iter().enumerate() {
+                    let off = self.offsets[ri];
+                    let mut suffix = false;
+                    for m in (0..=run.horizon() as usize).rev() {
+                        suffix |= t[off + m];
+                        acc[off + m] = suffix;
+                    }
+                }
+                Rc::new(acc)
+            }
+            Formula::Knows(p, inner) => {
+                let t = self.table(inner);
+                let mut acc = vec![false; self.total];
+                let mut visited = vec![false; self.total];
+                for (ri, run) in self.system.runs().iter().enumerate() {
+                    for m in 0..=run.horizon() {
+                        let idx = self.offsets[ri] + m as usize;
+                        if visited[idx] {
+                            continue;
+                        }
+                        let blocks = self.system.indistinguishable_blocks(*p, ri, m);
+                        let value = blocks
+                            .iter()
+                            .flat_map(|b| b.points())
+                            .all(|pt| t[self.index(pt)]);
+                        for pt in blocks.iter().flat_map(|b| b.points()) {
+                            let i = self.index(pt);
+                            acc[i] = value;
+                            visited[i] = true;
+                        }
+                    }
+                }
+                Rc::new(acc)
+            }
+        };
+        self.cache.insert(formula.clone(), Rc::clone(&table));
+        table
+    }
+
+    /// Evaluates a primitive over every point, run by run.
+    fn prim_table(&self, prim: &Prim<M>) -> Vec<bool> {
+        let mut acc = vec![false; self.total];
+        for (ri, run) in self.system.runs().iter().enumerate() {
+            let off = self.offsets[ri];
+            match prim {
+                Prim::Crashed(p) => {
+                    if let Some(c) = run.crash_time(*p) {
+                        fill_from(&mut acc, off, run, c);
+                    }
+                }
+                Prim::Initiated(action) => {
+                    if let Some(t) = first_event_tick(run, action.initiator(), |e| {
+                        matches!(e, Event::Init { action: a } if a == action)
+                    }) {
+                        fill_from(&mut acc, off, run, t);
+                    }
+                }
+                Prim::Did { p, action } => {
+                    if let Some(t) = first_event_tick(run, *p, |e| {
+                        matches!(e, Event::Do { action: a } if a == action)
+                    }) {
+                        fill_from(&mut acc, off, run, t);
+                    }
+                }
+                Prim::Sent { from, to, msg } => {
+                    if let Some(t) = first_event_tick(run, *from, |e| {
+                        matches!(e, Event::Send { to: q, msg: m } if q == to && m == msg)
+                    }) {
+                        fill_from(&mut acc, off, run, t);
+                    }
+                }
+                Prim::Received { by, from, msg } => {
+                    if let Some(t) = first_event_tick(run, *by, |e| {
+                        matches!(e, Event::Recv { from: q, msg: m } if q == from && m == msg)
+                    }) {
+                        fill_from(&mut acc, off, run, t);
+                    }
+                }
+                Prim::Suspects { p, q } => {
+                    // Non-stable: value steps at each standard report.
+                    let mut current = false;
+                    let mut change_ticks: Vec<(Time, bool)> = Vec::new();
+                    for (t, e) in run.timed_history(*p) {
+                        if let Event::Suspect(SuspectReport::Standard(s)) = e {
+                            change_ticks.push((t, s.contains(*q)));
+                        }
+                    }
+                    let mut iter = change_ticks.into_iter().peekable();
+                    for m in 0..=run.horizon() {
+                        while matches!(iter.peek(), Some(&(t, _)) if t <= m) {
+                            current = iter.next().expect("peeked").1;
+                        }
+                        acc[off + m as usize] = current;
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+fn fill_from<M>(acc: &mut [bool], off: usize, run: &Run<M>, from_tick: Time) {
+    for m in from_tick..=run.horizon() {
+        acc[off + m as usize] = true;
+    }
+}
+
+fn first_event_tick<M>(
+    run: &Run<M>,
+    p: ProcessId,
+    mut pred: impl FnMut(&Event<M>) -> bool,
+) -> Option<Time> {
+    run.timed_history(p)
+        .find_map(|(t, e)| pred(e).then_some(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktudc_model::{ActionId, RunBuilder};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// System of two runs over 2 processes:
+    /// * run 0: p0 sends "m" at 1; p1 receives at 2; p1 crashes at 3.
+    /// * run 1: p0 sends "m" at 1; nothing else (message lost).
+    fn lost_message_system() -> System<&'static str> {
+        let mut b = RunBuilder::new(2);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b.append(p(1), 2, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append(p(1), 3, Event::Crash).unwrap();
+        let r0 = b.finish(4);
+        let mut b = RunBuilder::new(2);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
+        let r1 = b.finish(4);
+        System::new(vec![r0, r1])
+    }
+
+    #[test]
+    fn primitives_track_events() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let sent = Formula::sent(p(0), p(1), "m");
+        assert!(!mc.eval(&sent, Point::new(0, 0)));
+        assert!(mc.eval(&sent, Point::new(0, 1)));
+        assert!(mc.eval(&sent, Point::new(1, 4)));
+        let recv = Formula::received(p(1), p(0), "m");
+        assert!(mc.eval(&recv, Point::new(0, 2)));
+        assert!(!mc.eval(&recv, Point::new(1, 4)));
+        let crash = Formula::crashed(p(1));
+        assert!(!mc.eval(&crash, Point::new(0, 2)));
+        assert!(mc.eval(&crash, Point::new(0, 3)));
+    }
+
+    #[test]
+    fn temporal_operators() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let crash = Formula::crashed(p(1));
+        // ✸crash(p1) true from the start of run 0, never in run 1.
+        assert!(mc.eval(&Formula::eventually(crash.clone()), Point::new(0, 0)));
+        assert!(!mc.eval(&Formula::eventually(crash.clone()), Point::new(1, 0)));
+        // ✷crash(p1): only from tick 3 of run 0.
+        assert!(mc.eval(&Formula::always(crash.clone()), Point::new(0, 3)));
+        assert!(!mc.eval(&Formula::always(crash.clone()), Point::new(0, 2)));
+        // ✷¬crash(p1) holds everywhere in run 1.
+        assert!(mc.eval(
+            &Formula::always(Formula::not(crash)),
+            Point::new(1, 0)
+        ));
+    }
+
+    #[test]
+    fn knowledge_requires_distinguishing_evidence() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let k_crash = Formula::knows(p(0), Formula::crashed(p(1)));
+        // p0's history is identical in both runs — it can never know.
+        for m in 0..=4 {
+            assert!(!mc.eval(&k_crash, Point::new(0, m)), "tick {m}");
+        }
+        // p1 knows its own receive.
+        let k_recv = Formula::knows(p(1), Formula::received(p(1), p(0), "m"));
+        assert!(mc.eval(&k_recv, Point::new(0, 2)));
+        assert!(!mc.eval(&k_recv, Point::new(1, 2)));
+    }
+
+    #[test]
+    fn knowledge_axioms_hold() {
+        // Veridicality (K_p φ ⇒ φ) and positive introspection
+        // (K_p φ ⇒ K_p K_p φ) are validities of the S5-style semantics.
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let phi = Formula::received(p(1), p(0), "m");
+        let k = Formula::knows(p(1), phi.clone());
+        mc.valid(&Formula::implies(k.clone(), phi)).unwrap();
+        mc.valid(&Formula::implies(
+            k.clone(),
+            Formula::knows(p(1), k.clone()),
+        ))
+        .unwrap();
+        // Negative introspection: ¬K_p φ ⇒ K_p ¬K_p φ.
+        mc.valid(&Formula::implies(
+            Formula::not(k.clone()),
+            Formula::knows(p(1), Formula::not(k)),
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn validity_returns_counterexample() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let crash = Formula::crashed(p(1));
+        let err = mc.valid(&crash).unwrap_err();
+        assert_eq!(err, Point::new(0, 0));
+        let sat = mc.satisfying_points(&crash);
+        assert_eq!(sat, vec![Point::new(0, 3), Point::new(0, 4)]);
+    }
+
+    #[test]
+    fn locality_and_stability() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        // recv_p1 is local to p1, not to p0.
+        let recv = Formula::received(p(1), p(0), "m");
+        assert!(mc.is_local(&recv, p(1)));
+        assert!(!mc.is_local(&recv, p(0)));
+        // K_p φ formulas are local to p (standard property).
+        let kf = Formula::knows(p(0), Formula::crashed(p(1)));
+        assert!(mc.is_local(&kf, p(0)));
+        // Event-existence primitives are stable; Suspects is not in general.
+        assert!(mc.is_stable(&recv));
+        assert!(mc.is_stable(&Formula::crashed(p(1))));
+        assert!(mc.is_stable(&Formula::sent(p(0), p(1), "m")));
+    }
+
+    #[test]
+    fn suspects_primitive_is_not_stable() {
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append_suspect(p(0), 1, SuspectReport::Standard(ProcSet::singleton(p(1))))
+            .unwrap();
+        b.append_suspect(p(0), 3, SuspectReport::Standard(ProcSet::new()))
+            .unwrap();
+        let sys = System::new(vec![b.finish(5)]);
+        let mut mc = ModelChecker::new(&sys);
+        let susp = Formula::suspects(p(0), p(1));
+        assert!(mc.eval(&susp, Point::new(0, 1)));
+        assert!(mc.eval(&susp, Point::new(0, 2)));
+        assert!(!mc.eval(&susp, Point::new(0, 3)));
+        assert!(!mc.is_stable(&susp));
+    }
+
+    #[test]
+    fn insensitivity_to_failure() {
+        // K_q(recv) is insensitive to q's crash: crashing doesn't teach q
+        // anything. Build runs where q receives then crashes vs receives
+        // and survives.
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let k_recv = Formula::knows(p(1), Formula::received(p(1), p(0), "m"));
+        assert!(mc.is_insensitive_to_failure(&k_recv, p(1)));
+        // crash(p1) itself is maximally *sensitive* to failure by p1.
+        assert!(!mc.is_insensitive_to_failure(&Formula::crashed(p(1)), p(1)));
+    }
+
+    #[test]
+    fn knowledge_of_crashes_and_counting() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        // p1 (before crashing) knows nothing about crashes; p0 never does.
+        assert!(mc.knowledge_of_crashes(p(0), Point::new(0, 4)).is_empty());
+        // p1 at (0,3) has crashed; its class is just itself (a crash event
+        // is visible in its own history), so K_p1 crash(p1) holds there.
+        assert_eq!(
+            mc.knowledge_of_crashes(p(1), Point::new(0, 3)),
+            ProcSet::singleton(p(1))
+        );
+        // Counting: in p0's class at (0,4) there are points with 0 crashes.
+        assert_eq!(
+            mc.max_known_crashed_in(p(0), ProcSet::full(2), Point::new(0, 4)),
+            0
+        );
+        assert_eq!(
+            mc.max_known_crashed_in(p(1), ProcSet::full(2), Point::new(0, 3)),
+            1
+        );
+    }
+
+    #[test]
+    fn initiated_and_did_primitives() {
+        let alpha = ActionId::new(p(0), 0);
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+        b.append(p(0), 2, Event::Do { action: alpha }).unwrap();
+        let sys = System::new(vec![b.finish(4)]);
+        let mut mc = ModelChecker::new(&sys);
+        assert!(!mc.eval(&Formula::initiated(alpha), Point::new(0, 0)));
+        assert!(mc.eval(&Formula::initiated(alpha), Point::new(0, 1)));
+        assert!(!mc.eval(&Formula::did(p(0), alpha), Point::new(0, 1)));
+        assert!(mc.eval(&Formula::did(p(0), alpha), Point::new(0, 2)));
+        // The initiator knows it initiated.
+        assert!(mc.eval(
+            &Formula::knows(p(0), Formula::initiated(alpha)),
+            Point::new(0, 1)
+        ));
+    }
+
+    #[test]
+    fn caching_is_shared_across_eval_calls() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let f = Formula::knows(p(0), Formula::eventually(Formula::crashed(p(1))));
+        let a = mc.eval(&f, Point::new(0, 0));
+        let b = mc.eval(&f, Point::new(0, 0));
+        assert_eq!(a, b);
+        assert!(mc.cache.len() >= 3, "subformulas should be cached");
+    }
+}

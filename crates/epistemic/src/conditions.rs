@@ -1,0 +1,475 @@
+//! The conditions A1–A5t of §3, as checkable properties of finite systems.
+//!
+//! Theorems 3.6 and 4.3 assume the system under analysis satisfies:
+//!
+//! * **A1** — failure independence: any failure pattern that occurs at all
+//!   can strike as a continuation of any compatible point;
+//! * **A2** — schedulable mass-crash with continued indistinguishability
+//!   (this is the condition that *precludes reliable communication*);
+//! * **A3** — `K_q init_p(α)` is insensitive to failure by `q`;
+//! * **A4** — the full-information-flavoured "if nobody in `S` knows φ,
+//!   some simultaneously-possible point refutes φ";
+//! * **A5t** — every failure set of size ≤ t occurs in some run.
+//!
+//! On finite systems these checks are exact *for the system given*: over an
+//! exhaustively enumerated system they decide whether the modelled context
+//! satisfies the condition (up to the horizon); over a sampled system a
+//! *failure* is witness-backed and sound, while a *pass* may be an artifact
+//! of under-sampling. All checkers are `O(polynomial)` in the number of
+//! points but with high degree (A2 is quartic in the number of runs) —
+//! intended for the explorer's small systems.
+
+use crate::checker::ModelChecker;
+use crate::formula::Formula;
+use ktudc_model::{ActionId, ProcSet, ProcessId, System, Time};
+use std::hash::Hash;
+
+/// Why a condition check failed; carries a human-readable witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConditionViolation {
+    /// Which condition failed ("A1", "A2", …).
+    pub condition: &'static str,
+    /// Description of the witnessing configuration.
+    pub witness: String,
+}
+
+impl std::fmt::Display for ConditionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated: {}", self.condition, self.witness)
+    }
+}
+
+impl std::error::Error for ConditionViolation {}
+
+fn fail(condition: &'static str, witness: String) -> Result<(), ConditionViolation> {
+    Err(ConditionViolation { condition, witness })
+}
+
+/// **A1** (failure independence): if some run crashes exactly the set `S`,
+/// then from every point at which no process outside `S` has crashed, some
+/// run of the system extends the point with final faulty set exactly `S`.
+///
+/// Horizon points (`m = horizon`) are excluded: a failure pattern that has
+/// not struck by the final tick has no room left to strike, which is a
+/// finite-prefix artifact rather than a property of the modelled context.
+///
+/// # Errors
+///
+/// Returns the first `(S, point)` pair with no witnessing extension.
+pub fn check_a1<M: Eq>(system: &System<M>) -> Result<(), ConditionViolation> {
+    let fault_sets: Vec<ProcSet> = {
+        let mut v: Vec<ProcSet> = system.runs().iter().map(|r| r.faulty()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    for &s in &fault_sets {
+        for (ri, run) in system.runs().iter().enumerate() {
+            for m in 0..run.horizon() {
+                if !run.crashed_by(m).is_subset_of(s) {
+                    continue;
+                }
+                let extended = system
+                    .runs()
+                    .iter()
+                    .any(|r2| r2.faulty() == s && run.is_extended_by(m, r2));
+                if !extended {
+                    return fail(
+                        "A1",
+                        format!("no run with F = {s} extends point (r{ri}, {m})"),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **A2** (mass-crash schedulability / unreliable communication): for any
+/// two runs with the same faulty set `F` that are indistinguishable to all
+/// correct processes at time `m`, there exist extensions in which all of `F`
+/// has crashed by `m + 1` and which stay indistinguishable to the correct
+/// processes forever after (through the horizon).
+///
+/// # Errors
+///
+/// Returns the first `(r1, r2, m)` with no witnessing pair of extensions.
+pub fn check_a2<M: Eq>(system: &System<M>) -> Result<(), ConditionViolation> {
+    let runs = system.runs();
+    let n = system.n();
+    for (i1, r1) in runs.iter().enumerate() {
+        for (i2, r2) in runs.iter().enumerate() {
+            let f = r1.faulty();
+            if r2.faulty() != f {
+                continue;
+            }
+            let correct = f.complement(n);
+            let max_m = r1.horizon().min(r2.horizon());
+            for m in 0..max_m {
+                let indist = correct
+                    .iter()
+                    .all(|q| r1.indistinguishable(m, r2, m, q));
+                if !indist {
+                    continue;
+                }
+                let witnessed = runs.iter().any(|e1| {
+                    if !(r1.is_extended_by(m, e1)
+                        && f.is_subset_of(e1.crashed_by(m + 1))
+                        && e1.faulty() == f)
+                    {
+                        return false;
+                    }
+                    runs.iter().any(|e2| {
+                        r2.is_extended_by(m, e2)
+                            && f.is_subset_of(e2.crashed_by(m + 1))
+                            && e2.faulty() == f
+                            && (m..=e1.horizon().min(e2.horizon())).all(|m2| {
+                                correct.iter().all(|q| e1.indistinguishable(m2, e2, m2, q))
+                            })
+                    })
+                });
+                if !witnessed {
+                    return fail(
+                        "A2",
+                        format!(
+                            "no mass-crash extensions for runs r{i1}/r{i2} at time {m} (F = {f})"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **A3**: `K_q init_p(α)` is insensitive to failure by `q`, for every `q`
+/// — crashing teaches a process nothing about initiations.
+///
+/// # Errors
+///
+/// Returns the offending `q`.
+pub fn check_a3<M: Clone + Eq + Hash>(
+    mc: &mut ModelChecker<'_, M>,
+    action: ActionId,
+) -> Result<(), ConditionViolation> {
+    for q in ProcessId::all(mc.system().n()) {
+        let f = Formula::knows(q, Formula::initiated(action));
+        if !mc.is_insensitive_to_failure(&f, q) {
+            return fail(
+                "A3",
+                format!("K_{q} init({action}) changes truth value across {q}'s crash"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// **A4** (full-information condition): for the given stable,
+/// failure-insensitive formula `phi` local to `owner`, whenever every
+/// process of some nonempty `S` fails to know `phi` at `(r, m)`, there must
+/// be a point `(r′, m)` agreeing with `(r, m)` on all of `S`'s local
+/// states, where every process outside `S` has a (possibly crash-capped)
+/// prefix of its `(r, m)` state, and where `phi` is false.
+///
+/// The premises (stability, locality, insensitivity) are verified first;
+/// a formula failing them vacuously satisfies A4's guard and the checker
+/// reports that as an error, since calling A4 on such a formula is a bug.
+///
+/// # Errors
+///
+/// Returns the first `(point, S)` pair with no witnessing point, or a
+/// premise failure.
+pub fn check_a4<M: Clone + Eq + Hash>(
+    mc: &mut ModelChecker<'_, M>,
+    phi: &Formula<M>,
+    owner: ProcessId,
+) -> Result<(), ConditionViolation> {
+    if !mc.is_stable(phi) {
+        return fail("A4", "premise failure: formula is not stable".to_string());
+    }
+    if !mc.is_local(phi, owner) {
+        return fail(
+            "A4",
+            format!("premise failure: formula is not local to {owner}"),
+        );
+    }
+    if !mc.is_insensitive_to_failure(phi, owner) {
+        return fail(
+            "A4",
+            format!("premise failure: formula is sensitive to failure by {owner}"),
+        );
+    }
+    let n = mc.system().n();
+    let full = ProcSet::full(n);
+    let subsets: Vec<ProcSet> = full.subsets().filter(|s| !s.is_empty()).collect();
+    let not_phi = Formula::not(phi.clone());
+    for ri in 0..mc.system().len() {
+        let horizon = mc.system().run(ri).horizon();
+        for m in 0..=horizon {
+            let pt = ktudc_model::Point::new(ri, m);
+            for &s in &subsets {
+                let nobody_knows = s
+                    .iter()
+                    .all(|q| !mc.eval(&Formula::knows(q, phi.clone()), pt));
+                if !nobody_knows {
+                    continue;
+                }
+                if !a4_witness_exists(mc, &not_phi, ri, m, s) {
+                    return fail(
+                        "A4",
+                        format!("no witness point for (r{ri}, {m}) with S = {s}"),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn a4_witness_exists<M: Clone + Eq + Hash>(
+    mc: &mut ModelChecker<'_, M>,
+    not_phi: &Formula<M>,
+    ri: usize,
+    m: Time,
+    s: ProcSet,
+) -> bool {
+    let n = mc.system().n();
+    let candidates: Vec<usize> = (0..mc.system().len())
+        .filter(|&rj| mc.system().run(rj).horizon() >= m)
+        .collect();
+    for rj in candidates {
+        let pt = ktudc_model::Point::new(rj, m);
+        // (c) ¬φ there.
+        if !mc.eval(not_phi, pt) {
+            continue;
+        }
+        let r = mc.system().run(ri);
+        let r2 = mc.system().run(rj);
+        // (a) agreement on S.
+        if !s.iter().all(|q| r.indistinguishable(m, r2, m, q)) {
+            continue;
+        }
+        // (b) prefix-or-prefix-plus-crash outside S.
+        let ok_outside = ProcessId::all(n)
+            .filter(|q| !s.contains(*q))
+            .all(|q| {
+                let h = r.history_at(q, m);
+                let h2 = r2.history_at(q, m);
+                if h2.len() <= h.len() && h2 == &h[..h2.len()] {
+                    return true;
+                }
+                if h2.len() >= 1 && h2.len() - 1 <= h.len() {
+                    let (init, last) = h2.split_at(h2.len() - 1);
+                    return last[0].is_crash() && init == &h[..init.len()];
+                }
+                false
+            });
+        if ok_outside {
+            return true;
+        }
+    }
+    false
+}
+
+/// **A5t**: for every `S ⊆ Proc` with `|S| ≤ t`, some run has `F(r) = S`.
+///
+/// # Errors
+///
+/// Returns the first missing failure set.
+pub fn check_a5<M: Eq>(system: &System<M>, t: usize) -> Result<(), ConditionViolation> {
+    let n = system.n();
+    for s in ProcSet::full(n).subsets() {
+        if s.len() > t {
+            continue;
+        }
+        if !system.runs().iter().any(|r| r.faulty() == s) {
+            return fail("A5", format!("no run with F(r) = {s} (t = {t})"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktudc_model::{Event, Run, RunBuilder};
+    use ktudc_sim::{explore, ExploreConfig, ProtoAction, Protocol};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A protocol that does nothing; the explorer supplies crash/stutter
+    /// nondeterminism.
+    #[derive(Clone, Debug)]
+    struct Idle;
+
+    impl<M> Protocol<M> for Idle {
+        fn start(&mut self, _me: ProcessId, _n: usize) {}
+        fn observe(&mut self, _t: Time, _e: &Event<M>) {}
+        fn next_action(&mut self, _t: Time) -> Option<ProtoAction<M>> {
+            None
+        }
+        fn quiescent(&self) -> bool {
+            true
+        }
+    }
+
+    fn explored_idle(n: usize, horizon: Time, t: usize) -> System<u8> {
+        explore::<u8, _, _>(&ExploreConfig::new(n, horizon).max_failures(t), |_| Idle)
+            .system
+    }
+
+    #[test]
+    fn a1_holds_for_exhaustive_idle_system() {
+        let sys = explored_idle(2, 3, 2);
+        check_a1(&sys).unwrap();
+    }
+
+    #[test]
+    fn a1_fails_when_extensions_are_pruned() {
+        // Hand-build: one run where p1 crashes at 1, one where nobody ever
+        // crashes — but NO run where p1 crashes later than 1. From the
+        // crash-free run's point (r, 2) the pattern {p1} can no longer
+        // strike, violating A1.
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(1), 1, Event::Crash).unwrap();
+        let crash_early = b.finish(4);
+        let calm = RunBuilder::<u8>::new(2).finish(4);
+        let sys = System::new(vec![crash_early, calm]);
+        let err = check_a1(&sys).unwrap_err();
+        assert_eq!(err.condition, "A1");
+    }
+
+    #[test]
+    fn a5_counts_failure_patterns() {
+        let sys = explored_idle(2, 2, 1);
+        check_a5(&sys, 1).unwrap();
+        // t = 2 requires the doubleton {p0, p1}, which budget 1 forbids.
+        assert!(check_a5(&sys, 2).is_err());
+    }
+
+    #[test]
+    fn a2_holds_for_exhaustive_idle_system() {
+        let sys = explored_idle(2, 3, 1);
+        check_a2(&sys).unwrap();
+    }
+
+    #[test]
+    fn a2_fails_without_prompt_crash_extensions() {
+        // Runs: p1 crashes at tick 3 (only), plus the calm run. At m = 0
+        // the two runs with F = {p1}... actually pair (crash_at_3,
+        // crash_at_3) at m = 0 needs an extension with the crash by m+1 = 1,
+        // which does not exist.
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(1), 3, Event::Crash).unwrap();
+        let late = b.finish(4);
+        let sys = System::new(vec![late]);
+        let err = check_a2(&sys).unwrap_err();
+        assert_eq!(err.condition, "A2");
+    }
+
+    #[test]
+    fn a3_holds_in_explored_system_with_optional_initiation() {
+        let alpha = ActionId::new(p(0), 0);
+        let cfg = ExploreConfig::new(2, 3)
+            .max_failures(1)
+            .initiate(1, alpha)
+            .optional_initiations();
+        let sys = explore::<u8, _, _>(&cfg, |_| Idle).system;
+        let mut mc = ModelChecker::new(&sys);
+        check_a3(&mut mc, alpha).unwrap();
+    }
+
+    #[test]
+    fn a3_fails_with_forced_initiation() {
+        // A forced initiation makes init(α) derivable from elapsed time, so
+        // crashing (which proves time has passed) *teaches* p1 that α was
+        // initiated — exactly the out-of-band knowledge A3 forbids. This
+        // documents why the A-conditions need asynchronous workloads.
+        let alpha = ActionId::new(p(0), 0);
+        let cfg = ExploreConfig::new(2, 3).max_failures(1).initiate(1, alpha);
+        let sys = explore::<u8, _, _>(&cfg, |_| Idle).system;
+        let mut mc = ModelChecker::new(&sys);
+        let err = check_a3(&mut mc, alpha).unwrap_err();
+        assert_eq!(err.condition, "A3");
+    }
+
+    #[test]
+    fn a4_premise_failures_are_reported() {
+        // A run whose suspicion is later retracted makes Suspects unstable.
+        use ktudc_model::SuspectReport;
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append_suspect(p(0), 1, SuspectReport::Standard(ProcSet::singleton(p(1))))
+            .unwrap();
+        b.append_suspect(p(0), 2, SuspectReport::Standard(ProcSet::new()))
+            .unwrap();
+        let sys = System::new(vec![b.finish(3)]);
+        let mut mc = ModelChecker::new(&sys);
+        let phi: Formula<u8> = Formula::suspects(p(0), p(1));
+        let err = check_a4(&mut mc, &phi, p(0)).unwrap_err();
+        assert!(err.witness.contains("stable"));
+
+        // crash(p0) is local to p0 and stable but failure-*sensitive*.
+        let sys = explored_idle(2, 2, 1);
+        let mut mc = ModelChecker::new(&sys);
+        let phi: Formula<u8> = Formula::crashed(p(0));
+        let err = check_a4(&mut mc, &phi, p(0)).unwrap_err();
+        assert!(err.witness.contains("sensitive"));
+    }
+
+    #[test]
+    fn a4_holds_for_optional_initiation_in_explored_system() {
+        let alpha = ActionId::new(p(0), 0);
+        let cfg = ExploreConfig::new(2, 3)
+            .max_failures(1)
+            .initiate(2, alpha)
+            .optional_initiations();
+        let sys = explore::<u8, _, _>(&cfg, |_| Idle).system;
+        let mut mc = ModelChecker::new(&sys);
+        // init(α) is stable, local to p0, and insensitive to p0's failure;
+        // with optional initiation, a point where nobody knows init(α)
+        // always has a simultaneous sibling where it never happened.
+        let phi: Formula<u8> = Formula::initiated(alpha);
+        check_a4(&mut mc, &phi, p(0)).unwrap();
+    }
+
+    #[test]
+    fn a4_detects_out_of_band_knowledge() {
+        // A system where p1's state encodes φ = init(α) without any prefix
+        // point refuting it: both runs have p0 initiating at tick 1, and p1
+        // "knows" nothing... construct a failing case: a single run where
+        // init happens at tick 1 and S = {p1} never learns it. The witness
+        // needs a point (r′, m) with ¬init — but with only one run, at
+        // m ≥ 1 no such point exists, and (b) forbids borrowing earlier
+        // times. So A4 fails for this degenerate one-run system.
+        let alpha = ActionId::new(p(0), 0);
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+        let sys = System::new(vec![b.finish(3)]);
+        let mut mc = ModelChecker::new(&sys);
+        let phi: Formula<u8> = Formula::initiated(alpha);
+        let err = check_a4(&mut mc, &phi, p(0)).unwrap_err();
+        assert_eq!(err.condition, "A4");
+        assert!(err.witness.contains("no witness"));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = ConditionViolation {
+            condition: "A1",
+            witness: "details".into(),
+        };
+        assert_eq!(v.to_string(), "A1 violated: details");
+    }
+
+    #[test]
+    fn exhaustive_system_runs_are_all_wellformed() {
+        let sys = explored_idle(2, 3, 2);
+        for run in sys.runs() {
+            run.check_conditions(0).unwrap();
+        }
+        // All runs share the declared horizon.
+        assert!(sys.runs().iter().all(|r: &Run<u8>| r.horizon() == 3));
+    }
+}

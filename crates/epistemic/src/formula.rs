@@ -1,0 +1,314 @@
+//! The formula language of §2.3.
+//!
+//! Formulas are built from primitives about events ([`Prim`]), boolean
+//! connectives, the temporal operators `✷` / `✸`, and knowledge operators
+//! `K_p`. Constructors are provided as combinators so specifications read
+//! close to the paper's notation:
+//!
+//! ```
+//! use ktudc_epistemic::Formula;
+//! use ktudc_model::{ActionId, ProcessId};
+//!
+//! let p = ProcessId::new(0);
+//! let q = ProcessId::new(1);
+//! let alpha = ActionId::new(p, 0);
+//!
+//! // K_q init_p(α) ∨ crash(q), eventually:
+//! let phi: Formula<u8> = Formula::eventually(Formula::or(vec![
+//!     Formula::knows(q, Formula::initiated(alpha)),
+//!     Formula::crashed(q),
+//! ]));
+//! assert!(phi.to_string().contains("K_p1"));
+//! ```
+
+use ktudc_model::{ActionId, ProcessId};
+use std::fmt;
+
+/// Primitive propositions, interpreted over a cut "in the obvious way":
+/// a primitive holds at `(r, m)` iff the matching event appears in the
+/// relevant history prefix. All primitives are *stable* (once true, forever
+/// true) because histories only grow.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Prim<M> {
+    /// `send_from(to, msg)` appears in `from`'s history.
+    Sent {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// `recv_by(from, msg)` appears in `by`'s history.
+    Received {
+        /// Receiver.
+        by: ProcessId,
+        /// Claimed sender.
+        from: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// `crash(p)`: the process has crashed.
+    Crashed(ProcessId),
+    /// `do_p(α)` appears in `p`'s history.
+    Did {
+        /// The executing process.
+        p: ProcessId,
+        /// The action.
+        action: ActionId,
+    },
+    /// `init_p(α)` appears in the initiator's history (the initiator is
+    /// `action.initiator()`; no other process may initiate).
+    Initiated(ActionId),
+    /// `q ∈ Suspects_p(r, m)` — the §2.2 derived suspicion state. Unlike
+    /// the event-existence primitives this one is **not** stable (a newer
+    /// report may drop `q`).
+    Suspects {
+        /// The suspecting process.
+        p: ProcessId,
+        /// The suspected process.
+        q: ProcessId,
+    },
+}
+
+impl<M: fmt::Debug> fmt::Debug for Prim<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prim::Sent { from, to, msg } => write!(f, "sent_{from}({to}, {msg:?})"),
+            Prim::Received { by, from, msg } => write!(f, "recv_{by}({from}, {msg:?})"),
+            Prim::Crashed(p) => write!(f, "crash({p})"),
+            Prim::Did { p, action } => write!(f, "do_{p}({action})"),
+            Prim::Initiated(a) => write!(f, "init_{}({a})", a.initiator()),
+            Prim::Suspects { p, q } => write!(f, "{q}∈Suspects_{p}"),
+        }
+    }
+}
+
+/// A formula of the epistemic-temporal language.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula<M> {
+    /// Truth.
+    True,
+    /// A primitive proposition.
+    Prim(Prim<M>),
+    /// Negation.
+    Not(Box<Formula<M>>),
+    /// Finite conjunction (`True` when empty).
+    And(Vec<Formula<M>>),
+    /// Finite disjunction (`¬True` when empty).
+    Or(Vec<Formula<M>>),
+    /// `✷φ`: φ holds from now through the horizon.
+    Always(Box<Formula<M>>),
+    /// `✸φ`: φ holds at some time from now through the horizon.
+    Eventually(Box<Formula<M>>),
+    /// `K_p φ`: φ holds at every point of the system `p` cannot
+    /// distinguish from here.
+    Knows(ProcessId, Box<Formula<M>>),
+}
+
+impl<M> Formula<M> {
+    /// `¬φ`.
+    #[must_use]
+    pub fn not(phi: Formula<M>) -> Self {
+        Formula::Not(Box::new(phi))
+    }
+
+    /// `⋀ conjuncts`.
+    #[must_use]
+    pub fn and(conjuncts: Vec<Formula<M>>) -> Self {
+        Formula::And(conjuncts)
+    }
+
+    /// `⋁ disjuncts`.
+    #[must_use]
+    pub fn or(disjuncts: Vec<Formula<M>>) -> Self {
+        Formula::Or(disjuncts)
+    }
+
+    /// `φ ⇒ ψ` (sugar for `¬φ ∨ ψ`).
+    #[must_use]
+    pub fn implies(phi: Formula<M>, psi: Formula<M>) -> Self {
+        Formula::Or(vec![Formula::not(phi), psi])
+    }
+
+    /// `φ ⇔ ψ`.
+    #[must_use]
+    pub fn iff(phi: Formula<M>, psi: Formula<M>) -> Self
+    where
+        M: Clone,
+    {
+        Formula::And(vec![
+            Formula::implies(phi.clone(), psi.clone()),
+            Formula::implies(psi, phi),
+        ])
+    }
+
+    /// `✷φ`.
+    #[must_use]
+    pub fn always(phi: Formula<M>) -> Self {
+        Formula::Always(Box::new(phi))
+    }
+
+    /// `✸φ`.
+    #[must_use]
+    pub fn eventually(phi: Formula<M>) -> Self {
+        Formula::Eventually(Box::new(phi))
+    }
+
+    /// `K_p φ`.
+    #[must_use]
+    pub fn knows(p: ProcessId, phi: Formula<M>) -> Self {
+        Formula::Knows(p, Box::new(phi))
+    }
+
+    /// `crash(p)`.
+    #[must_use]
+    pub fn crashed(p: ProcessId) -> Self {
+        Formula::Prim(Prim::Crashed(p))
+    }
+
+    /// `init(α)` (performed by `α`'s owner).
+    #[must_use]
+    pub fn initiated(action: ActionId) -> Self {
+        Formula::Prim(Prim::Initiated(action))
+    }
+
+    /// `do_p(α)`.
+    #[must_use]
+    pub fn did(p: ProcessId, action: ActionId) -> Self {
+        Formula::Prim(Prim::Did { p, action })
+    }
+
+    /// `send_from(to, msg)`.
+    #[must_use]
+    pub fn sent(from: ProcessId, to: ProcessId, msg: M) -> Self {
+        Formula::Prim(Prim::Sent { from, to, msg })
+    }
+
+    /// `recv_by(from, msg)`.
+    #[must_use]
+    pub fn received(by: ProcessId, from: ProcessId, msg: M) -> Self {
+        Formula::Prim(Prim::Received { by, from, msg })
+    }
+
+    /// `q ∈ Suspects_p`.
+    #[must_use]
+    pub fn suspects(p: ProcessId, q: ProcessId) -> Self {
+        Formula::Prim(Prim::Suspects { p, q })
+    }
+
+    /// Number of nodes in the formula tree (used for cache sizing and
+    /// testing).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::Prim(_) => 1,
+            Formula::Not(f) | Formula::Always(f) | Formula::Eventually(f) | Formula::Knows(_, f) => {
+                1 + f.size()
+            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+        }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Formula<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::Prim(p) => write!(f, "{p:?}"),
+            Formula::Not(inner) => write!(f, "¬{inner:?}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Always(inner) => write!(f, "✷{inner:?}"),
+            Formula::Eventually(inner) => write!(f, "✸{inner:?}"),
+            Formula::Knows(p, inner) => write!(f, "K_{p}{inner:?}"),
+        }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Display for Formula<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn combinators_build_expected_shapes() {
+        let alpha = ActionId::new(p(0), 0);
+        let f: Formula<u8> = Formula::implies(
+            Formula::initiated(alpha),
+            Formula::eventually(Formula::or(vec![
+                Formula::did(p(0), alpha),
+                Formula::crashed(p(0)),
+            ])),
+        );
+        assert_eq!(f.size(), 7);
+        match &f {
+            Formula::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("implies should desugar to Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_notation() {
+        let alpha = ActionId::new(p(1), 2);
+        let f: Formula<&str> = Formula::knows(
+            p(0),
+            Formula::always(Formula::not(Formula::initiated(alpha))),
+        );
+        assert_eq!(f.to_string(), "K_p0✷¬init_p1(a1.2)");
+        let g: Formula<&str> = Formula::suspects(p(0), p(1));
+        assert_eq!(g.to_string(), "p1∈Suspects_p0");
+        let h: Formula<&str> = Formula::and(vec![Formula::True, Formula::crashed(p(2))]);
+        assert_eq!(h.to_string(), "(⊤ ∧ crash(p2))");
+    }
+
+    #[test]
+    fn formulas_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let a: Formula<u8> = Formula::crashed(p(0));
+        let b: Formula<u8> = Formula::crashed(p(0));
+        let c: Formula<u8> = Formula::crashed(p(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(c);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn iff_is_two_implications() {
+        let a: Formula<u8> = Formula::crashed(p(0));
+        let b: Formula<u8> = Formula::crashed(p(1));
+        let f = Formula::iff(a, b);
+        assert_eq!(f.size(), 1 + 2 * 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Logical laws of the implemented semantics, checked as validities over
+//! explored systems: the S5 axioms for `K_p`, distribution over
+//! conjunction, temporal dualities and fixpoint identities, and the
+//! interaction between knowledge and stability the paper's proofs lean on.
+
+use ktudc_epistemic::{Formula, ModelChecker};
+use ktudc_model::{ActionId, Event, ProcessId, System, Time};
+use ktudc_sim::{explore, ExploreConfig, ProtoAction, Protocol};
+
+/// A tiny protocol generating varied histories: p0 sends one message to p1
+/// at its first opportunity (the explorer branches over when, and whether,
+/// the message is delivered).
+#[derive(Clone, Debug)]
+struct OneShot {
+    me: ProcessId,
+    sent: bool,
+}
+
+impl Protocol<u8> for OneShot {
+    fn start(&mut self, me: ProcessId, _n: usize) {
+        self.me = me;
+    }
+    fn observe(&mut self, _t: Time, e: &Event<u8>) {
+        if matches!(e, Event::Send { .. }) {
+            self.sent = true;
+        }
+    }
+    fn next_action(&mut self, _t: Time) -> Option<ProtoAction<u8>> {
+        (self.me == ProcessId::new(0) && !self.sent).then_some(ProtoAction::Send {
+            to: ProcessId::new(1),
+            msg: 7,
+        })
+    }
+    fn quiescent(&self) -> bool {
+        self.sent
+    }
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn rich_system() -> System<u8> {
+    let alpha = ActionId::new(p(0), 0);
+    let cfg = ExploreConfig::new(2, 3)
+        .max_failures(1)
+        .initiate(1, alpha)
+        .optional_initiations();
+    explore(&cfg, |_| OneShot {
+        me: p(0),
+        sent: false,
+    })
+    .system
+}
+
+/// Sample formulas with varied shape over the rich system's vocabulary.
+fn samples() -> Vec<Formula<u8>> {
+    let alpha = ActionId::new(p(0), 0);
+    vec![
+        Formula::initiated(alpha),
+        Formula::crashed(p(1)),
+        Formula::sent(p(0), p(1), 7),
+        Formula::received(p(1), p(0), 7),
+        Formula::or(vec![Formula::crashed(p(0)), Formula::initiated(alpha)]),
+        Formula::eventually(Formula::crashed(p(1))),
+        Formula::knows(p(1), Formula::sent(p(0), p(1), 7)),
+    ]
+}
+
+#[test]
+fn s5_axioms_are_valid() {
+    let sys = rich_system();
+    let mut mc = ModelChecker::new(&sys);
+    for phi in samples() {
+        for q in [p(0), p(1)] {
+            let k = Formula::knows(q, phi.clone());
+            // T (veridicality): K φ ⇒ φ.
+            mc.valid(&Formula::implies(k.clone(), phi.clone()))
+                .unwrap_or_else(|pt| panic!("T fails for {phi} at {pt}"));
+            // 4 (positive introspection): K φ ⇒ K K φ.
+            mc.valid(&Formula::implies(
+                k.clone(),
+                Formula::knows(q, k.clone()),
+            ))
+            .unwrap_or_else(|pt| panic!("4 fails for {phi} at {pt}"));
+            // 5 (negative introspection): ¬K φ ⇒ K ¬K φ.
+            mc.valid(&Formula::implies(
+                Formula::not(k.clone()),
+                Formula::knows(q, Formula::not(k.clone())),
+            ))
+            .unwrap_or_else(|pt| panic!("5 fails for {phi} at {pt}"));
+        }
+    }
+}
+
+#[test]
+fn knowledge_distributes_over_conjunction() {
+    let sys = rich_system();
+    let mut mc = ModelChecker::new(&sys);
+    let phis = samples();
+    for a in &phis {
+        for b in &phis {
+            for q in [p(0), p(1)] {
+                let lhs = Formula::knows(q, Formula::and(vec![a.clone(), b.clone()]));
+                let rhs = Formula::and(vec![
+                    Formula::knows(q, a.clone()),
+                    Formula::knows(q, b.clone()),
+                ]);
+                mc.valid(&Formula::iff(lhs, rhs))
+                    .unwrap_or_else(|pt| panic!("K(∧) ≠ ∧K at {pt} for {a} / {b}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn temporal_dualities_and_fixpoints() {
+    let sys = rich_system();
+    let mut mc = ModelChecker::new(&sys);
+    for phi in samples() {
+        // ✸φ ⇔ ¬✷¬φ.
+        mc.valid(&Formula::iff(
+            Formula::eventually(phi.clone()),
+            Formula::not(Formula::always(Formula::not(phi.clone()))),
+        ))
+        .unwrap_or_else(|pt| panic!("duality fails for {phi} at {pt}"));
+        // ✷φ ⇒ φ and φ ⇒ ✸φ (reflexive readings).
+        mc.valid(&Formula::implies(Formula::always(phi.clone()), phi.clone()))
+            .unwrap();
+        mc.valid(&Formula::implies(phi.clone(), Formula::eventually(phi.clone())))
+            .unwrap();
+        // Idempotence: ✷✷φ ⇔ ✷φ, ✸✸φ ⇔ ✸φ.
+        mc.valid(&Formula::iff(
+            Formula::always(Formula::always(phi.clone())),
+            Formula::always(phi.clone()),
+        ))
+        .unwrap();
+        mc.valid(&Formula::iff(
+            Formula::eventually(Formula::eventually(phi.clone())),
+            Formula::eventually(phi.clone()),
+        ))
+        .unwrap();
+    }
+}
+
+#[test]
+fn stable_formulas_equal_their_always() {
+    // For stable φ (event-existence primitives), φ ⇔ ✷φ wherever φ holds:
+    // φ ⇒ ✷φ is exactly stability, and the checker's is_stable agrees with
+    // the validity of the implication.
+    let sys = rich_system();
+    let mut mc = ModelChecker::new(&sys);
+    let alpha = ActionId::new(p(0), 0);
+    for phi in [
+        Formula::initiated(alpha),
+        Formula::crashed(p(0)),
+        Formula::sent(p(0), p(1), 7),
+        Formula::received(p(1), p(0), 7),
+    ] {
+        assert!(mc.is_stable(&phi), "{phi} must be stable");
+        mc.valid(&Formula::implies(phi.clone(), Formula::always(phi.clone())))
+            .unwrap();
+    }
+    // Knowledge of a stable formula is stable too (histories only grow, so
+    // an agent never *loses* a stable fact) — a lemma the paper's proofs
+    // use implicitly.
+    let k = Formula::knows(p(1), Formula::received(p(1), p(0), 7));
+    assert!(mc.is_stable(&k), "knowledge of a stable local fact is stable");
+}
+
+#[test]
+fn locality_of_knowledge_formulas() {
+    // K_p φ is local to p for arbitrary φ — the property §2.3 notes
+    // follows from standard knowledge axioms.
+    let sys = rich_system();
+    let mut mc = ModelChecker::new(&sys);
+    for phi in samples() {
+        for q in [p(0), p(1)] {
+            let k = Formula::knows(q, phi.clone());
+            assert!(mc.is_local(&k, q), "K_{q}{phi} must be local to {q}");
+        }
+    }
+}
+
+#[test]
+fn knowledge_is_monotone_under_system_refinement() {
+    // Dropping runs from a system can only *create* knowledge, never
+    // destroy it: K over the sub-system is implied by... the converse —
+    // knowledge over the full system implies knowledge over the
+    // sub-system, for points the sub-system retains. (This is the
+    // soundness direction quoted for sampled systems.)
+    let full = rich_system();
+    let half: Vec<_> = full.runs().iter().take(full.len() / 2).cloned().collect();
+    let sub = System::new(half);
+    let mut mc_full = ModelChecker::new(&full);
+    let mut mc_sub = ModelChecker::new(&sub);
+    let phi = Formula::initiated(ActionId::new(p(0), 0));
+    let k = Formula::knows(p(1), phi);
+    for pt in mc_sub.satisfying_points(&Formula::True) {
+        if mc_full.eval(&k, pt) {
+            assert!(
+                mc_sub.eval(&k, pt),
+                "knowledge lost by shrinking the system at {pt}"
+            );
+        }
+    }
+}

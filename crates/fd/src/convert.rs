@@ -1,0 +1,432 @@
+//! Failure-detector class conversions as run-to-run transformations.
+//!
+//! Section 2.2 of the paper defines converting one detector class into
+//! another as a function `f` on runs such that every non-failure-detector
+//! event of `r` appears, in order, in `f(r)`, while `f(r)` may add
+//! communication and carries *new* failure-detector events that are the ones
+//! judged for the target class. This module implements the three
+//! conversions the paper uses:
+//!
+//! * [`weak_to_strong`] — **Proposition 2.1**: processes gossip their
+//!   suspicions and the converted detector reports everything heard, turning
+//!   weak (resp. impermanent-weak) completeness into strong (resp.
+//!   impermanent-strong) completeness while preserving accuracy.
+//! * [`accumulate_reports`] — **Proposition 2.2**: reporting the union of
+//!   all previously suspected processes turns impermanent-strong
+//!   completeness into strong completeness while preserving accuracy.
+//! * [`n_useful_to_perfect`] / [`perfect_to_n_useful`] — the §4 observation
+//!   that `n`-useful (and `(n−1)`-useful) generalized detectors and perfect
+//!   detectors are inter-convertible: an `(S, k)` report with `|S| = k`
+//!   pins down its members as crashed, and conversely a perfect report `S`
+//!   yields the generalized report `(S∪previous, |S∪previous|)`.
+
+use ktudc_model::{Event, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, Time};
+use std::hash::Hash;
+
+/// Replays a run through a per-event rewrite, revalidating R1–R4 via
+/// [`RunBuilder`]. The rewrite may change payload type and may drop
+/// failure-detector events (returning `None`), but must not drop sends that
+/// have matching receives.
+///
+/// Events are replayed in tick order, with sends before receives at equal
+/// ticks so R3 re-validation cannot spuriously fail.
+///
+/// # Panics
+///
+/// Panics if the rewrite produces an ill-formed run.
+pub fn replay_map<M, N, F>(run: &Run<M>, mut rewrite: F) -> Run<N>
+where
+    N: Eq + Hash + Clone,
+    F: FnMut(ProcessId, Time, &Event<M>) -> Option<Event<N>>,
+{
+    let n = run.n();
+    let mut items: Vec<(Time, u8, ProcessId, &Event<M>)> = Vec::new();
+    for p in ProcessId::all(n) {
+        for (t, e) in run.timed_history(p) {
+            let phase = u8::from(matches!(e, Event::Recv { .. }));
+            items.push((t, phase, p, e));
+        }
+    }
+    items.sort_by_key(|&(t, phase, p, _)| (t, phase, p));
+    let mut b: RunBuilder<N> = RunBuilder::new(n);
+    for (t, _, p, e) in items {
+        if let Some(new_event) = rewrite(p, t, e) {
+            b.append(p, t, new_event)
+                .expect("rewrite of a well-formed run stayed well-formed");
+        }
+    }
+    b.finish(run.horizon())
+}
+
+/// **Proposition 2.2**: converts a detector satisfying *impermanent* strong
+/// (resp. weak) completeness into one satisfying strong (resp. weak)
+/// completeness, by making each standard report the union of all standard
+/// reports the process has received so far. Accuracy properties are
+/// preserved: a suspicion that was accurate when first emitted stays
+/// accurate forever, because crashes are permanent.
+#[must_use]
+pub fn accumulate_reports<M: Eq + Hash + Clone>(run: &Run<M>) -> Run<M> {
+    let mut acc: Vec<ProcSet> = vec![ProcSet::new(); run.n()];
+    replay_map(run, |p, _t, e| {
+        Some(match e {
+            Event::Suspect(SuspectReport::Standard(s)) => {
+                acc[p.index()] = acc[p.index()].union(*s);
+                Event::Suspect(SuspectReport::Standard(acc[p.index()]))
+            }
+            other => other.clone(),
+        })
+    })
+}
+
+/// Message payload of a [`weak_to_strong`]-converted run: either an original
+/// message or a gossiped suspicion set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GossipMsg<M> {
+    /// An original message of the underlying run.
+    Original(M),
+    /// A gossiped set of suspicions.
+    Suspicions(ProcSet),
+}
+
+/// **Proposition 2.1**: converts a system with weak (resp. impermanent-
+/// weak) detectors into one with strong (resp. impermanent-strong)
+/// detectors by adding suspicion gossip.
+///
+/// The transformed run stretches each original tick `m` into a block of
+/// `2n` ticks:
+///
+/// 1. slot 1 carries the original tick-`m` events (failure-detector events
+///    are absorbed into gossip state instead of copied);
+/// 2. slots `2..=n` have each live process send its accumulated suspicions
+///    to every peer (one send per slot, per R2);
+/// 3. slots `n+1..=2n−1` deliver those messages to live recipients;
+/// 4. slot `2n` emits the converted report: everything the process has
+///    ever suspected or heard suspected.
+///
+/// Gossip happens every `period`-th original tick (pass 1 to gossip every
+/// tick); completeness needs gossip to recur unboundedly, which any finite
+/// period provides.
+///
+/// Accuracy is preserved: the weak-accuracy immune process is never in any
+/// original report, hence never in any gossiped set; under strong accuracy
+/// every gossiped suspicion was of an already-crashed process.
+///
+/// # Panics
+///
+/// Panics if `period == 0`.
+#[must_use]
+pub fn weak_to_strong<M: Eq + Hash + Clone>(run: &Run<M>, period: Time) -> Run<GossipMsg<M>> {
+    assert!(period >= 1, "gossip period must be positive");
+    let n = run.n();
+    let block = 2 * n as Time;
+    let mut b: RunBuilder<GossipMsg<M>> = RunBuilder::new(n);
+    // Accumulated suspicions per process (own reports + heard gossip).
+    let mut acc: Vec<ProcSet> = vec![ProcSet::new(); n];
+    let mut crashed = ProcSet::new();
+
+    for m in 1..=run.horizon() {
+        let base = (m - 1) * block;
+        // Slot 1: original events (sends before receives is automatic here
+        // because within one tick each process has at most one event, and
+        // original receives at tick m correspond to original sends at ticks
+        // ≤ m, which were replayed in earlier blocks or this slot; replay
+        // sends first across processes to satisfy the builder).
+        let mut slot_events: Vec<(u8, ProcessId, &Event<M>)> = Vec::new();
+        for p in ProcessId::all(n) {
+            for (t, e) in run.timed_history(p) {
+                if t == m {
+                    let phase = u8::from(matches!(e, Event::Recv { .. }));
+                    slot_events.push((phase, p, e));
+                }
+            }
+        }
+        slot_events.sort_by_key(|&(phase, p, _)| (phase, p));
+        for (_, p, e) in slot_events {
+            match e {
+                Event::Suspect(SuspectReport::Standard(s)) => {
+                    // Absorbed, not copied: the converted run carries only
+                    // the new detector's reports.
+                    acc[p.index()] = acc[p.index()].union(*s);
+                }
+                Event::Suspect(SuspectReport::Generalized { .. }) => {
+                    // Generalized reports carry no standard suspicion set;
+                    // dropped (this conversion targets standard detectors).
+                }
+                Event::Crash => {
+                    crashed.insert(p);
+                    b.append(p, base + 1, Event::Crash).expect("crash replay");
+                }
+                other => {
+                    b.append(p, base + 1, other.clone().map_msg(GossipMsg::Original))
+                        .expect("original event replay");
+                }
+            }
+        }
+        if m % period != 0 {
+            continue;
+        }
+        // Slots 2..=n: gossip sends.
+        for p in ProcessId::all(n) {
+            if crashed.contains(p) {
+                continue;
+            }
+            let peers: Vec<ProcessId> = ProcessId::all(n).filter(|&q| q != p).collect();
+            for (i, &q) in peers.iter().enumerate() {
+                b.append(
+                    p,
+                    base + 2 + i as Time,
+                    Event::Send {
+                        to: q,
+                        msg: GossipMsg::Suspicions(acc[p.index()]),
+                    },
+                )
+                .expect("gossip send");
+            }
+        }
+        // Slots n+1..=2n−1: deliveries to live recipients, plus state update.
+        let snapshot = acc.clone();
+        for q in ProcessId::all(n) {
+            if crashed.contains(q) {
+                continue;
+            }
+            let senders: Vec<ProcessId> = ProcessId::all(n)
+                .filter(|&s| s != q && !crashed.contains(s))
+                .collect();
+            for (i, &s) in senders.iter().enumerate() {
+                b.append(
+                    q,
+                    base + n as Time + 1 + i as Time,
+                    Event::Recv {
+                        from: s,
+                        msg: GossipMsg::Suspicions(snapshot[s.index()]),
+                    },
+                )
+                .expect("gossip delivery");
+                acc[q.index()] = acc[q.index()].union(snapshot[s.index()]);
+            }
+        }
+        // Slot 2n: the converted detector's report.
+        for p in ProcessId::all(n) {
+            if crashed.contains(p) {
+                continue;
+            }
+            b.append_suspect(p, base + block, SuspectReport::Standard(acc[p.index()]))
+                .expect("converted report");
+        }
+    }
+    b.finish(run.horizon() * block)
+}
+
+/// §4: converts an `n`-useful (or `(n−1)`-useful) generalized detector into
+/// a perfect one. A generalized report `(S, k)` with `|S| = k` certifies
+/// every member of `S` crashed; the converted detector reports the union of
+/// all such certified sets seen so far. Reports with `|S| > k` certify
+/// nothing individually and emit the current accumulated set.
+#[must_use]
+pub fn n_useful_to_perfect<M: Eq + Hash + Clone>(run: &Run<M>) -> Run<M> {
+    let mut acc: Vec<ProcSet> = vec![ProcSet::new(); run.n()];
+    replay_map(run, |p, _t, e| {
+        Some(match e {
+            Event::Suspect(SuspectReport::Generalized { set, min_faulty }) => {
+                if set.len() == *min_faulty {
+                    acc[p.index()] = acc[p.index()].union(*set);
+                }
+                Event::Suspect(SuspectReport::Standard(acc[p.index()]))
+            }
+            other => other.clone(),
+        })
+    })
+}
+
+/// §4: converts a perfect detector into an `n`-useful generalized one —
+/// each standard report `S` becomes `(S ∪ previous, |S ∪ previous|)`.
+#[must_use]
+pub fn perfect_to_n_useful<M: Eq + Hash + Clone>(run: &Run<M>) -> Run<M> {
+    let mut acc: Vec<ProcSet> = vec![ProcSet::new(); run.n()];
+    replay_map(run, |p, _t, e| {
+        Some(match e {
+            Event::Suspect(SuspectReport::Standard(s)) => {
+                acc[p.index()] = acc[p.index()].union(*s);
+                Event::Suspect(SuspectReport::Generalized {
+                    set: acc[p.index()],
+                    min_faulty: acc[p.index()].len(),
+                })
+            }
+            other => other.clone(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{check_fd_property, FdProperty};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn set(ids: &[usize]) -> ProcSet {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    /// 3-process run: p2 crashes at 2; p0 (the weak monitor) suspects p2 at
+    /// tick 4 and retracts at tick 6; p1 never suspects anyone.
+    fn impermanent_weak_run() -> Run<u8> {
+        let mut b = RunBuilder::<u8>::new(3);
+        b.append(p(2), 2, Event::Crash).unwrap();
+        b.append_suspect(p(0), 4, SuspectReport::Standard(set(&[2]))).unwrap();
+        b.append_suspect(p(0), 6, SuspectReport::Standard(set(&[]))).unwrap();
+        b.finish(8)
+    }
+
+    #[test]
+    fn accumulate_turns_impermanent_into_permanent() {
+        let run = impermanent_weak_run();
+        // Before: p0's final Suspects is empty → weak completeness fails.
+        assert!(check_fd_property(&run, FdProperty::WeakCompleteness).is_err());
+        check_fd_property(&run, FdProperty::ImpermanentWeakCompleteness).unwrap();
+        let converted = accumulate_reports(&run);
+        check_fd_property(&converted, FdProperty::WeakCompleteness).unwrap();
+        // Accuracy preserved (suspicion was post-crash).
+        check_fd_property(&converted, FdProperty::StrongAccuracy).unwrap();
+        converted.check_conditions(0).unwrap();
+    }
+
+    #[test]
+    fn accumulate_preserves_non_fd_events() {
+        let mut b = RunBuilder::<&str>::new(2);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b.append(p(1), 2, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append_suspect(p(0), 3, SuspectReport::Standard(set(&[1]))).unwrap();
+        let run = b.finish(5);
+        let converted = accumulate_reports(&run);
+        assert_eq!(converted.history(p(1)).len(), 1);
+        assert_eq!(converted.history(p(0)).len(), 2);
+        assert_eq!(converted.horizon(), 5);
+    }
+
+    #[test]
+    fn weak_to_strong_upgrades_completeness() {
+        let run = impermanent_weak_run();
+        // p1 never suspects p2 in the original: strong completeness (even
+        // impermanent) fails.
+        assert!(check_fd_property(&run, FdProperty::ImpermanentStrongCompleteness).is_err());
+        let converted = weak_to_strong(&run, 1);
+        converted.check_conditions(0).unwrap();
+        // After gossip, every correct process permanently suspects p2.
+        check_fd_property(&converted, FdProperty::StrongCompleteness).unwrap();
+        // Accuracy preserved.
+        check_fd_property(&converted, FdProperty::StrongAccuracy).unwrap();
+        check_fd_property(&converted, FdProperty::WeakAccuracy).unwrap();
+    }
+
+    #[test]
+    fn weak_to_strong_preserves_original_events_in_order() {
+        let mut b = RunBuilder::<&str>::new(2);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
+        b.append(p(1), 2, Event::Recv { from: p(0), msg: "x" }).unwrap();
+        let run = b.finish(3);
+        let converted = weak_to_strong(&run, 1);
+        // Original events appear, in order, with Original payloads.
+        let p0_events: Vec<_> = converted
+            .history(p(0))
+            .iter()
+            .filter(|e| matches!(e, Event::Send { msg: GossipMsg::Original(_), .. }))
+            .collect();
+        assert_eq!(p0_events.len(), 1);
+        let p1_orig: Vec<_> = converted
+            .history(p(1))
+            .iter()
+            .filter(|e| matches!(e, Event::Recv { msg: GossipMsg::Original(_), .. }))
+            .collect();
+        assert_eq!(p1_orig.len(), 1);
+        converted.check_conditions(0).unwrap();
+    }
+
+    #[test]
+    fn weak_to_strong_respects_crashes() {
+        let run = impermanent_weak_run();
+        let converted = weak_to_strong(&run, 1);
+        // p2 crashed in block 2 → its new crash tick is (2-1)*6 + 1 = 7,
+        // after participating in block 1's gossip round (2 sends, 2
+        // receives, 1 report = 5 events, then the crash).
+        assert_eq!(converted.crash_time(p(2)), Some(7));
+        assert_eq!(converted.history(p(2)).len(), 6);
+        assert!(converted.history(p(2)).last().unwrap().is_crash());
+    }
+
+    #[test]
+    fn weak_to_strong_period_thins_gossip() {
+        let run = impermanent_weak_run();
+        let every = weak_to_strong(&run, 1);
+        let sparse = weak_to_strong(&run, 4);
+        assert!(sparse.event_count() < every.event_count());
+        // Completeness still achieved: gossip at ticks 4 and 8 suffices
+        // (the monitor's suspicion happens at tick 4).
+        check_fd_property(&sparse, FdProperty::StrongCompleteness).unwrap();
+    }
+
+    #[test]
+    fn n_useful_round_trip_with_perfect() {
+        // Perfect-style run: p1 crashes at 2, both observers report it.
+        let mut b = RunBuilder::<u8>::new(3);
+        b.append(p(1), 2, Event::Crash).unwrap();
+        b.append_suspect(p(0), 3, SuspectReport::Standard(set(&[1]))).unwrap();
+        b.append_suspect(p(2), 4, SuspectReport::Standard(set(&[1]))).unwrap();
+        let perfect_run = b.finish(6);
+        check_fd_property(&perfect_run, FdProperty::StrongAccuracy).unwrap();
+        check_fd_property(&perfect_run, FdProperty::StrongCompleteness).unwrap();
+
+        let generalized = perfect_to_n_useful(&perfect_run);
+        check_fd_property(&generalized, FdProperty::GeneralizedStrongAccuracy).unwrap();
+        // (S, |S|) reports with F(r) ⊆ S are n-useful.
+        check_fd_property(
+            &generalized,
+            FdProperty::GeneralizedImpermanentStrongCompleteness(3),
+        )
+        .unwrap();
+
+        let back = n_useful_to_perfect(&generalized);
+        check_fd_property(&back, FdProperty::StrongAccuracy).unwrap();
+        check_fd_property(&back, FdProperty::StrongCompleteness).unwrap();
+    }
+
+    #[test]
+    fn n_useful_to_perfect_ignores_uninformative_reports() {
+        // A report (S, k) with |S| > k certifies nothing.
+        let mut b = RunBuilder::<u8>::new(3);
+        b.append_suspect(
+            p(0),
+            1,
+            SuspectReport::Generalized {
+                set: set(&[1, 2]),
+                min_faulty: 1,
+            },
+        )
+        .unwrap();
+        let run = b.finish(3);
+        let converted = n_useful_to_perfect(&run);
+        // Converted report is the empty standard set — accurate.
+        assert!(converted.suspects_at(p(0), 3).is_empty());
+        check_fd_property(&converted, FdProperty::StrongAccuracy).unwrap();
+    }
+
+    #[test]
+    fn replay_map_can_drop_fd_events() {
+        let run = impermanent_weak_run();
+        let stripped: Run<u8> = replay_map(&run, |_p, _t, e| match e {
+            Event::Suspect(_) => None,
+            other => Some(other.clone()),
+        });
+        assert_eq!(
+            stripped
+                .history(p(0))
+                .iter()
+                .filter(|e| e.is_suspect())
+                .count(),
+            0
+        );
+        assert_eq!(stripped.crash_time(p(2)), Some(2));
+    }
+}

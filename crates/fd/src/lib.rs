@@ -1,0 +1,47 @@
+//! The failure-detector zoo of Halpern & Ricciardi §2.2 and §4 (after
+//! Chandra & Toueg), with machine-checkable property definitions and the
+//! class conversions of Propositions 2.1 and 2.2.
+//!
+//! # Contents
+//!
+//! * [`oracle`] — concrete per-process oracles pluggable into the
+//!   `ktudc-sim` scheduler:
+//!   [`PerfectOracle`](oracle::PerfectOracle) (strong completeness + strong
+//!   accuracy), [`StrongOracle`](oracle::StrongOracle) (strong completeness
+//!   + weak accuracy), [`WeakOracle`](oracle::WeakOracle) (weak completeness
+//!   + weak accuracy), the impermanent variants
+//!   ([`ImpermanentStrongOracle`](oracle::ImpermanentStrongOracle),
+//!   [`ImpermanentWeakOracle`](oracle::ImpermanentWeakOracle)) that may
+//!   *retract* suspicions, the eventually-accurate
+//!   [`EventuallyStrongOracle`](oracle::EventuallyStrongOracle) (◇S, for the
+//!   consensus baselines), the generalized
+//!   [`TUsefulOracle`](oracle::TUsefulOracle) of §4, and the oracle-free
+//!   [`CyclingSubsetOracle`](oracle::CyclingSubsetOracle) that realizes the
+//!   paper's observation that a t-useful detector is *trivially*
+//!   constructible when `t < n/2`.
+//! * [`props`] — checkers for every accuracy/completeness property named in
+//!   the paper, evaluated on finished runs with explicit finite-horizon
+//!   readings.
+//! * [`convert`] — the run-to-run conversions: weak → strong completeness
+//!   via suspicion gossip (Proposition 2.1), impermanent-strong → strong via
+//!   accumulation (Proposition 2.2), and the §4 equivalences between
+//!   `n`-useful generalized detectors and perfect detectors.
+//! * [`atd`] — the §5 extension: the Aguilera–Toueg–Deianov weakest-class
+//!   accuracy ("at all times *some* correct process is unsuspected", with
+//!   the safe process allowed to rotate) and an oracle that maximally
+//!   exercises the rotation freedom.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atd;
+pub mod convert;
+pub mod oracle;
+pub mod props;
+
+pub use oracle::{
+    CyclingSubsetOracle, EventuallyStrongOracle, ImpermanentStrongOracle, ImpermanentWeakOracle,
+    PerfectOracle, StrongOracle, TUsefulOracle, WeakOracle,
+};
+pub use atd::{check_atd_accuracy, RotatingAccuracyOracle};
+pub use props::{check_fd_property, FdProperty, FdViolation};

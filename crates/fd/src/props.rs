@@ -1,0 +1,522 @@
+//! Machine-checkable failure-detector properties (§2.2, §4).
+//!
+//! Each checker evaluates one property on a finished run. Accuracy
+//! properties are *safety* properties and the verdicts are exact.
+//! Completeness properties are *liveness* properties; on a finite prefix
+//! they are evaluated under the standard finite-horizon reading —
+//! "eventually" means "by the horizon" and "permanently" means "through the
+//! horizon". Experiments pick horizons at which the oracles under test have
+//! long since stabilized, so a failure at the horizon is reported as a
+//! violation.
+//!
+//! A *system* satisfies a property iff every run does; use
+//! [`check_fd_property_system`] for that quantification.
+
+use ktudc_model::{ProcSet, ProcessId, Run, SuspectReport, System, Time};
+use std::fmt;
+
+/// The failure-detector properties named in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FdProperty {
+    /// No process is suspected before it crashes.
+    StrongAccuracy,
+    /// If any process is correct, some correct process is never suspected
+    /// (by anyone, at any time).
+    WeakAccuracy,
+    /// Every faulty process is eventually permanently suspected by every
+    /// correct process.
+    StrongCompleteness,
+    /// Every faulty process is eventually permanently suspected by some
+    /// correct process (provided some process is correct).
+    WeakCompleteness,
+    /// Every faulty process is eventually suspected (not necessarily
+    /// permanently) by every correct process.
+    ImpermanentStrongCompleteness,
+    /// Every faulty process is eventually suspected (not necessarily
+    /// permanently) by some correct process (provided some process is
+    /// correct).
+    ImpermanentWeakCompleteness,
+    /// §4: every generalized report `(S, k)` is true when emitted — at
+    /// least `k` members of `S` have crashed by then.
+    GeneralizedStrongAccuracy,
+    /// §4: every correct process eventually holds a t-useful report:
+    /// `(S, k)` with `F(r) ⊆ S`, `k ≤ |S|`, and
+    /// `n − |S| > min(t, n−1) − k`. The payload is the bound `t`.
+    GeneralizedImpermanentStrongCompleteness(usize),
+}
+
+impl fmt::Display for FdProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdProperty::StrongAccuracy => write!(f, "strong accuracy"),
+            FdProperty::WeakAccuracy => write!(f, "weak accuracy"),
+            FdProperty::StrongCompleteness => write!(f, "strong completeness"),
+            FdProperty::WeakCompleteness => write!(f, "weak completeness"),
+            FdProperty::ImpermanentStrongCompleteness => {
+                write!(f, "impermanent strong completeness")
+            }
+            FdProperty::ImpermanentWeakCompleteness => {
+                write!(f, "impermanent weak completeness")
+            }
+            FdProperty::GeneralizedStrongAccuracy => write!(f, "generalized strong accuracy"),
+            FdProperty::GeneralizedImpermanentStrongCompleteness(t) => {
+                write!(f, "generalized impermanent strong completeness (t={t})")
+            }
+        }
+    }
+}
+
+/// Why a property check failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdViolation {
+    /// The violated property.
+    pub property: FdProperty,
+    /// Human-readable witness description.
+    pub witness: String,
+}
+
+impl fmt::Display for FdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.property, self.witness)
+    }
+}
+
+impl std::error::Error for FdViolation {}
+
+fn violation(property: FdProperty, witness: impl Into<String>) -> Result<(), FdViolation> {
+    Err(FdViolation {
+        property,
+        witness: witness.into(),
+    })
+}
+
+/// Checks one failure-detector property on one run (finite-horizon
+/// readings; see the module docs).
+///
+/// # Errors
+///
+/// Returns the first violation found, with a witness description.
+pub fn check_fd_property<M>(run: &Run<M>, property: FdProperty) -> Result<(), FdViolation> {
+    match property {
+        FdProperty::StrongAccuracy => check_strong_accuracy(run),
+        FdProperty::WeakAccuracy => check_weak_accuracy(run),
+        FdProperty::StrongCompleteness => check_strong_completeness(run, true),
+        FdProperty::WeakCompleteness => check_weak_completeness(run, true),
+        FdProperty::ImpermanentStrongCompleteness => check_strong_completeness(run, false),
+        FdProperty::ImpermanentWeakCompleteness => check_weak_completeness(run, false),
+        FdProperty::GeneralizedStrongAccuracy => check_generalized_accuracy(run),
+        FdProperty::GeneralizedImpermanentStrongCompleteness(t) => check_t_useful(run, t),
+    }
+}
+
+/// Checks one property across a whole system: the property holds iff it
+/// holds in every run.
+///
+/// # Errors
+///
+/// Returns the first violation found, tagged with the offending run index.
+pub fn check_fd_property_system<M>(
+    system: &System<M>,
+    property: FdProperty,
+) -> Result<(), FdViolation> {
+    for (i, run) in system.runs().iter().enumerate() {
+        check_fd_property(run, property).map_err(|v| FdViolation {
+            property: v.property,
+            witness: format!("run {i}: {}", v.witness),
+        })?;
+    }
+    Ok(())
+}
+
+/// Iterates all standard reports of `p` with their emission ticks.
+fn standard_reports<M>(run: &Run<M>, p: ProcessId) -> Vec<(Time, ProcSet)> {
+    run.timed_history(p)
+        .filter_map(|(t, e)| match e {
+            ktudc_model::Event::Suspect(SuspectReport::Standard(s)) => Some((t, *s)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn check_strong_accuracy<M>(run: &Run<M>) -> Result<(), FdViolation> {
+    for p in ProcessId::all(run.n()) {
+        for (t, s) in standard_reports(run, p) {
+            // `Suspects_p` keeps the value `s` until the next report, but
+            // the crashed set only grows, so checking at emission time is
+            // exact: if `q ∈ s` and `q` crashes at c > t, then at time t the
+            // property already fails.
+            let crashed = run.crashed_by(t);
+            if let Some(q) = s.difference(crashed).first() {
+                return violation(
+                    FdProperty::StrongAccuracy,
+                    format!("{p} suspected {q} at tick {t} before it crashed"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_weak_accuracy<M>(run: &Run<M>) -> Result<(), FdViolation> {
+    let correct = run.correct();
+    if correct.is_empty() {
+        return Ok(()); // vacuous when F(r) = Proc
+    }
+    // Union of everything anyone ever suspected.
+    let mut ever_suspected = ProcSet::new();
+    for p in ProcessId::all(run.n()) {
+        for (_, s) in standard_reports(run, p) {
+            ever_suspected = ever_suspected.union(s);
+        }
+    }
+    if correct.difference(ever_suspected).is_empty() {
+        return violation(
+            FdProperty::WeakAccuracy,
+            format!("every correct process in {correct} was suspected at some point"),
+        );
+    }
+    Ok(())
+}
+
+/// Strong / impermanent-strong completeness: every correct `p` must suspect
+/// every faulty `q` — permanently (at the horizon) if `permanent`, at least
+/// once otherwise.
+fn check_strong_completeness<M>(run: &Run<M>, permanent: bool) -> Result<(), FdViolation> {
+    let property = if permanent {
+        FdProperty::StrongCompleteness
+    } else {
+        FdProperty::ImpermanentStrongCompleteness
+    };
+    let faulty = run.faulty();
+    for p in run.correct().iter() {
+        for q in faulty.iter() {
+            let ok = if permanent {
+                run.suspects_at(p, run.horizon()).contains(q)
+            } else {
+                standard_reports(run, p).iter().any(|(_, s)| s.contains(q))
+            };
+            if !ok {
+                return violation(
+                    property,
+                    format!(
+                        "correct {p} {} faulty {q} by the horizon",
+                        if permanent {
+                            "does not permanently suspect"
+                        } else {
+                            "never suspected"
+                        }
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Weak / impermanent-weak completeness: every faulty `q` must be suspected
+/// by *some* correct process (vacuous if all crash).
+fn check_weak_completeness<M>(run: &Run<M>, permanent: bool) -> Result<(), FdViolation> {
+    let property = if permanent {
+        FdProperty::WeakCompleteness
+    } else {
+        FdProperty::ImpermanentWeakCompleteness
+    };
+    let correct = run.correct();
+    if correct.is_empty() {
+        return Ok(());
+    }
+    for q in run.faulty().iter() {
+        let ok = correct.iter().any(|p| {
+            if permanent {
+                run.suspects_at(p, run.horizon()).contains(q)
+            } else {
+                standard_reports(run, p).iter().any(|(_, s)| s.contains(q))
+            }
+        });
+        if !ok {
+            return violation(
+                property,
+                format!("no correct process suspects faulty {q} by the horizon"),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_generalized_accuracy<M>(run: &Run<M>) -> Result<(), FdViolation> {
+    for p in ProcessId::all(run.n()) {
+        for (t, e) in run.timed_history(p) {
+            if let ktudc_model::Event::Suspect(SuspectReport::Generalized { set, min_faulty }) = e
+            {
+                let actually_crashed = run.crashed_by(t).intersection(*set).len();
+                if actually_crashed < *min_faulty {
+                    return violation(
+                        FdProperty::GeneralizedStrongAccuracy,
+                        format!(
+                            "{p}'s report ({set}, ≥{min_faulty}) at tick {t} overstates: only {actually_crashed} of {set} had crashed"
+                        ),
+                    );
+                }
+                if *min_faulty > set.len() {
+                    return violation(
+                        FdProperty::GeneralizedStrongAccuracy,
+                        format!("{p}'s report claims more failures than |S| at tick {t}"),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether `(set, k)` is a t-useful report for a run with faulty set
+/// `faulty` in an `n`-process system (§4, Definition of t-useful events):
+/// (a) `F(r) ⊆ S`, (b) `n − |S| > min(t, n−1) − k`, (c) `k ≤ |S|`.
+#[must_use]
+pub fn is_t_useful_event(n: usize, t: usize, faulty: ProcSet, set: ProcSet, k: usize) -> bool {
+    faulty.is_subset_of(set)
+        && k <= set.len()
+        && (n - set.len()) as isize > t.min(n - 1) as isize - k as isize
+}
+
+fn check_t_useful<M>(run: &Run<M>, t: usize) -> Result<(), FdViolation> {
+    let n = run.n();
+    let faulty = run.faulty();
+    for p in run.correct().iter() {
+        let has_useful = run
+            .view_at(p, run.horizon())
+            .generalized_reports()
+            .any(|(set, k)| is_t_useful_event(n, t, faulty, set, k));
+        if !has_useful {
+            return violation(
+                FdProperty::GeneralizedImpermanentStrongCompleteness(t),
+                format!("correct {p} never received a {t}-useful report"),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktudc_model::{Event, RunBuilder};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn set(ids: &[usize]) -> ProcSet {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    /// Builds a 3-process run: p2 crashes at tick 5; standard reports per
+    /// the given schedule of (process, tick, suspected set).
+    fn run_with_reports(reports: &[(usize, Time, &[usize])]) -> Run<u8> {
+        let mut b = RunBuilder::<u8>::new(3);
+        let mut items: Vec<(usize, Time, ProcSet)> = reports
+            .iter()
+            .map(|&(pi, t, s)| (pi, t, set(s)))
+            .collect();
+        items.sort_by_key(|&(_, t, _)| t);
+        let mut crash_done = false;
+        for (pi, t, s) in items {
+            if t >= 5 && !crash_done {
+                b.append(p(2), 5, Event::Crash).unwrap();
+                crash_done = true;
+            }
+            b.append_suspect(p(pi), t, SuspectReport::Standard(s)).unwrap();
+        }
+        if !crash_done {
+            b.append(p(2), 5, Event::Crash).unwrap();
+        }
+        b.finish(20)
+    }
+
+    #[test]
+    fn strong_accuracy_accepts_post_crash_suspicion() {
+        let run = run_with_reports(&[(0, 6, &[2]), (1, 7, &[2])]);
+        check_fd_property(&run, FdProperty::StrongAccuracy).unwrap();
+    }
+
+    #[test]
+    fn strong_accuracy_rejects_premature_suspicion() {
+        let run = run_with_reports(&[(0, 3, &[2])]); // p2 crashes only at 5
+        let err = check_fd_property(&run, FdProperty::StrongAccuracy).unwrap_err();
+        assert!(err.witness.contains("p0 suspected p2 at tick 3"));
+    }
+
+    #[test]
+    fn weak_accuracy_needs_one_unsuspected_correct_process() {
+        // p0 and p1 correct; suspecting p1 everywhere is fine as long as p0
+        // stays clean.
+        let run = run_with_reports(&[(0, 6, &[1, 2]), (1, 7, &[1, 2])]);
+        check_fd_property(&run, FdProperty::WeakAccuracy).unwrap();
+        // Suspecting both correct processes at some point violates it.
+        let run = run_with_reports(&[(0, 6, &[1]), (1, 7, &[0])]);
+        assert!(check_fd_property(&run, FdProperty::WeakAccuracy).is_err());
+    }
+
+    #[test]
+    fn weak_accuracy_vacuous_when_all_crash() {
+        let mut b = RunBuilder::<u8>::new(2);
+        b.append_suspect(p(0), 1, SuspectReport::Standard(set(&[1]))).unwrap();
+        b.append(p(0), 2, Event::Crash).unwrap();
+        b.append(p(1), 2, Event::Crash).unwrap();
+        let run = b.finish(5);
+        check_fd_property(&run, FdProperty::WeakAccuracy).unwrap();
+    }
+
+    #[test]
+    fn strong_completeness_requires_everyone_permanently() {
+        // Both correct processes end with p2 suspected.
+        let run = run_with_reports(&[(0, 6, &[2]), (1, 7, &[2])]);
+        check_fd_property(&run, FdProperty::StrongCompleteness).unwrap();
+        // p1's *last* report retracts the suspicion → strong fails,
+        // impermanent passes.
+        let run = run_with_reports(&[(0, 6, &[2]), (1, 7, &[2]), (1, 9, &[])]);
+        assert!(check_fd_property(&run, FdProperty::StrongCompleteness).is_err());
+        check_fd_property(&run, FdProperty::ImpermanentStrongCompleteness).unwrap();
+    }
+
+    #[test]
+    fn strong_completeness_missing_observer() {
+        // Only p0 ever suspects p2.
+        let run = run_with_reports(&[(0, 6, &[2])]);
+        let err = check_fd_property(&run, FdProperty::StrongCompleteness).unwrap_err();
+        assert!(err.witness.contains("p1"));
+        // Weak completeness is satisfied (someone suspects).
+        check_fd_property(&run, FdProperty::WeakCompleteness).unwrap();
+    }
+
+    #[test]
+    fn weak_completeness_fails_when_nobody_notices() {
+        let run = run_with_reports(&[(0, 6, &[]), (1, 7, &[])]);
+        assert!(check_fd_property(&run, FdProperty::WeakCompleteness).is_err());
+        assert!(check_fd_property(&run, FdProperty::ImpermanentWeakCompleteness).is_err());
+    }
+
+    #[test]
+    fn impermanent_weak_accepts_one_transient_sighting() {
+        let run = run_with_reports(&[(0, 6, &[2]), (0, 8, &[])]);
+        check_fd_property(&run, FdProperty::ImpermanentWeakCompleteness).unwrap();
+        assert!(check_fd_property(&run, FdProperty::WeakCompleteness).is_err());
+    }
+
+    #[test]
+    fn generalized_accuracy_checks_emission_time_truth() {
+        let mut b = RunBuilder::<u8>::new(3);
+        b.append(p(2), 2, Event::Crash).unwrap();
+        b.append_suspect(
+            p(0),
+            3,
+            SuspectReport::Generalized {
+                set: set(&[1, 2]),
+                min_faulty: 1,
+            },
+        )
+        .unwrap();
+        let run = b.finish(10);
+        check_fd_property(&run, FdProperty::GeneralizedStrongAccuracy).unwrap();
+
+        // Claiming 2 faulty in {1,2} when only p2 crashed: violation.
+        let mut b = RunBuilder::<u8>::new(3);
+        b.append(p(2), 2, Event::Crash).unwrap();
+        b.append_suspect(
+            p(0),
+            3,
+            SuspectReport::Generalized {
+                set: set(&[1, 2]),
+                min_faulty: 2,
+            },
+        )
+        .unwrap();
+        let run = b.finish(10);
+        assert!(check_fd_property(&run, FdProperty::GeneralizedStrongAccuracy).is_err());
+    }
+
+    #[test]
+    fn t_useful_event_predicate() {
+        // n=5, t=3, F = {p0}: (F, 1) is useful once p0 crashed:
+        // 5 - 1 > min(3,4) - 1 = 2 → 4 > 2 ✓.
+        assert!(is_t_useful_event(5, 3, set(&[0]), set(&[0]), 1));
+        // Padded too far: |S|=4, k=1 → 5-4=1 > 3-1=2? no.
+        assert!(!is_t_useful_event(5, 3, set(&[0]), set(&[0, 1, 2, 3]), 1));
+        // F ⊄ S disqualifies.
+        assert!(!is_t_useful_event(5, 3, set(&[0]), set(&[1]), 1));
+        // k > |S| disqualifies.
+        assert!(!is_t_useful_event(5, 3, set(&[0]), set(&[0]), 2));
+        // The trivial (S, 0) with |S| = t is useful iff t < n/2 and F ⊆ S.
+        assert!(is_t_useful_event(5, 2, set(&[0]), set(&[0, 1]), 0));
+        assert!(!is_t_useful_event(4, 2, set(&[0]), set(&[0, 1]), 0));
+    }
+
+    #[test]
+    fn t_useful_completeness_checker() {
+        let t = 2;
+        let mut b = RunBuilder::<u8>::new(5);
+        b.append(p(4), 1, Event::Crash).unwrap();
+        for pi in 0..4 {
+            b.append_suspect(
+                p(pi),
+                3 + pi as Time,
+                SuspectReport::Generalized {
+                    set: set(&[4]),
+                    min_faulty: 1,
+                },
+            )
+            .unwrap();
+        }
+        let run = b.finish(10);
+        check_fd_property(
+            &run,
+            FdProperty::GeneralizedImpermanentStrongCompleteness(t),
+        )
+        .unwrap();
+
+        // Remove p3's report: completeness fails.
+        let mut b = RunBuilder::<u8>::new(5);
+        b.append(p(4), 1, Event::Crash).unwrap();
+        for pi in 0..3 {
+            b.append_suspect(
+                p(pi),
+                3 + pi as Time,
+                SuspectReport::Generalized {
+                    set: set(&[4]),
+                    min_faulty: 1,
+                },
+            )
+            .unwrap();
+        }
+        let run = b.finish(10);
+        let err = check_fd_property(
+            &run,
+            FdProperty::GeneralizedImpermanentStrongCompleteness(t),
+        )
+        .unwrap_err();
+        assert!(err.witness.contains("p3"));
+    }
+
+    #[test]
+    fn system_quantification_reports_run_index() {
+        let good = run_with_reports(&[(0, 6, &[2]), (1, 7, &[2])]);
+        let bad = run_with_reports(&[(0, 3, &[2])]);
+        let sys = System::new(vec![good, bad]);
+        let err = check_fd_property_system(&sys, FdProperty::StrongAccuracy).unwrap_err();
+        assert!(err.witness.starts_with("run 1:"));
+    }
+
+    #[test]
+    fn property_display_names() {
+        assert_eq!(FdProperty::StrongAccuracy.to_string(), "strong accuracy");
+        assert_eq!(
+            FdProperty::GeneralizedImpermanentStrongCompleteness(3).to_string(),
+            "generalized impermanent strong completeness (t=3)"
+        );
+        let v = FdViolation {
+            property: FdProperty::WeakAccuracy,
+            witness: "w".into(),
+        };
+        assert!(v.to_string().contains("weak accuracy violated"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The class matrix: every oracle in the zoo, checked against every
+//! standard property, with the verdicts the §2.2 hierarchy predicts.
+//!
+//! Each oracle is run through the same crash schedule (two failures among
+//! four processes) at adversarial parameter settings, and the resulting run
+//! is judged by every checker. A `yes` means the class *guarantees* the
+//! property (so the checker must pass); a `no` means the adversarial oracle
+//! is built to exploit the freedom (so, at these settings, the checker must
+//! fail — a stronger statement than "not guaranteed").
+
+use ktudc_fd::{
+    check_fd_property, EventuallyStrongOracle, FdProperty, ImpermanentStrongOracle,
+    ImpermanentWeakOracle, PerfectOracle, StrongOracle, WeakOracle,
+};
+use ktudc_model::{Event, ProcessId, Run, Time};
+use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, FdOracle, ProtoAction, Protocol, SimConfig, Workload};
+
+/// An idle protocol: the runs exist purely to carry detector reports.
+#[derive(Clone, Debug)]
+struct Idle;
+
+impl Protocol<u8> for Idle {
+    fn start(&mut self, _me: ProcessId, _n: usize) {}
+    fn observe(&mut self, _t: Time, _e: &Event<u8>) {}
+    fn next_action(&mut self, _t: Time) -> Option<ProtoAction<u8>> {
+        None
+    }
+    fn quiescent(&self) -> bool {
+        true
+    }
+}
+
+fn sample(oracle: &mut dyn FdOracle, seed: u64) -> Run<u8> {
+    let config = SimConfig::new(4)
+        .channel(ChannelKind::reliable())
+        .crashes(CrashPlan::at(&[(1, 10), (3, 30)]))
+        .horizon(300)
+        .seed(seed)
+        .fd_period(3);
+    run_protocol(&config, |_| Idle, oracle, &Workload::none()).run
+}
+
+use FdProperty::{
+    ImpermanentStrongCompleteness as ImpSC, ImpermanentWeakCompleteness as ImpWC,
+    StrongAccuracy as SA, StrongCompleteness as SC, WeakAccuracy as WA, WeakCompleteness as WC,
+};
+
+/// Asserts the verdict of `prop` on runs of `oracle` matches `expected`,
+/// across several seeds (all seeds must agree — the guarantees and the
+/// engineered violations are both deterministic consequences of the class).
+fn assert_matrix_row(mut make: impl FnMut() -> Box<dyn FdOracle>, expected: &[(FdProperty, bool)]) {
+    for seed in 0..4 {
+        let run = sample(make().as_mut(), seed);
+        for &(prop, should_hold) in expected {
+            let verdict = check_fd_property(&run, prop);
+            assert_eq!(
+                verdict.is_ok(),
+                should_hold,
+                "seed {seed}: {prop} expected {} but got {verdict:?}",
+                if should_hold { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+}
+
+#[test]
+fn perfect_satisfies_everything() {
+    assert_matrix_row(
+        || Box::new(PerfectOracle::new()),
+        &[
+            (SA, true),
+            (WA, true),
+            (SC, true),
+            (WC, true),
+            (ImpSC, true),
+            (ImpWC, true),
+        ],
+    );
+}
+
+#[test]
+fn strong_lies_but_completes() {
+    // High false-suspicion rate: strong accuracy must break, weak accuracy
+    // and the completeness properties must survive.
+    assert_matrix_row(
+        || Box::new(StrongOracle::with_false_prob(0.9)),
+        &[
+            (SA, false),
+            (WA, true),
+            (SC, true),
+            (WC, true),
+            (ImpSC, true),
+            (ImpWC, true),
+        ],
+    );
+}
+
+#[test]
+fn weak_only_monitor_completes() {
+    // Zero noise isolates the class structure: only the monitor reports,
+    // so strong completeness fails but weak completeness holds.
+    assert_matrix_row(
+        || Box::new(WeakOracle { false_prob: 0.0 }),
+        &[
+            (SA, true), // no noise ⇒ nothing inaccurate
+            (WA, true),
+            (SC, false),
+            (WC, true),
+            (ImpSC, false),
+            (ImpWC, true),
+        ],
+    );
+}
+
+#[test]
+fn impermanent_strong_retracts() {
+    // Always-retract: the permanent completeness properties fail at the
+    // horizon, the impermanent ones hold.
+    assert_matrix_row(
+        || {
+            Box::new(ImpermanentStrongOracle {
+                retract_prob: 1.0,
+                false_prob: 0.0,
+            })
+        },
+        &[
+            (SA, true),
+            (WA, true),
+            (SC, false),
+            (WC, false),
+            (ImpSC, true),
+            (ImpWC, true),
+        ],
+    );
+}
+
+#[test]
+fn impermanent_weak_is_the_weakest() {
+    assert_matrix_row(
+        || Box::new(ImpermanentWeakOracle { retract_prob: 1.0 }),
+        &[
+            (SA, true),
+            (WA, true),
+            (SC, false),
+            (WC, false),
+            (ImpSC, false),
+            (ImpWC, true),
+        ],
+    );
+}
+
+#[test]
+fn eventually_strong_settles() {
+    // GST well before the horizon: by the end, reports are perfect, so the
+    // horizon-read completeness properties hold; pre-GST garbage breaks
+    // strong accuracy (it suspects live processes early).
+    assert_matrix_row(
+        || Box::new(EventuallyStrongOracle::new(60)),
+        &[
+            (SA, false),
+            (SC, true),
+            (WC, true),
+            (ImpSC, true),
+            (ImpWC, true),
+        ],
+    );
+}
+
+/// The hierarchy is a chain on completeness: SC ⇒ WC ⇒ ImpWC and
+/// SC ⇒ ImpSC ⇒ ImpWC, on *every* run any oracle produces.
+#[test]
+fn completeness_implications_hold_on_all_runs() {
+    let mut oracles: Vec<Box<dyn FdOracle>> = vec![
+        Box::new(PerfectOracle::new()),
+        Box::new(StrongOracle::new()),
+        Box::new(WeakOracle::new()),
+        Box::new(ImpermanentStrongOracle::new()),
+        Box::new(ImpermanentWeakOracle::new()),
+        Box::new(EventuallyStrongOracle::new(40)),
+    ];
+    for oracle in &mut oracles {
+        for seed in 0..3 {
+            let run = sample(oracle.as_mut(), seed);
+            let sc = check_fd_property(&run, SC).is_ok();
+            let wc = check_fd_property(&run, WC).is_ok();
+            let isc = check_fd_property(&run, ImpSC).is_ok();
+            let iwc = check_fd_property(&run, ImpWC).is_ok();
+            assert!(!sc || wc, "SC ⇒ WC broken ({})", oracle.class_name());
+            assert!(!sc || isc, "SC ⇒ ImpSC broken ({})", oracle.class_name());
+            assert!(!wc || iwc, "WC ⇒ ImpWC broken ({})", oracle.class_name());
+            assert!(!isc || iwc, "ImpSC ⇒ ImpWC broken ({})", oracle.class_name());
+            // And on accuracy: SA ⇒ WA.
+            let sa = check_fd_property(&run, SA).is_ok();
+            let wa = check_fd_property(&run, WA).is_ok();
+            assert!(!sa || wa, "SA ⇒ WA broken ({})", oracle.class_name());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Coordination actions.
+//!
+//! Section 2.4 of the paper assumes each process `p` has a set `A_p` of
+//! coordination actions it can *initiate*, with `A_p` and `A_q` disjoint for
+//! `p ≠ q` ("think of the actions in `A_p` as somehow being tagged by `p`").
+//! We realize the tagging literally: an [`ActionId`] carries its initiator,
+//! so disjointness holds by construction.
+
+use crate::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A coordination action `α ∈ A_p`, identified by its initiating process and
+/// a per-initiator sequence number.
+///
+/// Only `initiator` may perform the `init_p(α)` event for this action (and at
+/// most once per run); any process may perform `do(α)` once the action has
+/// been initiated. Both constraints are enforced by
+/// [`RunBuilder`](crate::RunBuilder).
+///
+/// # Example
+///
+/// ```
+/// use ktudc_model::{ActionId, ProcessId};
+/// let alpha = ActionId::new(ProcessId::new(2), 7);
+/// assert_eq!(alpha.initiator(), ProcessId::new(2));
+/// assert_eq!(alpha.seq(), 7);
+/// assert_eq!(alpha.to_string(), "a2.7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionId {
+    initiator: ProcessId,
+    seq: u32,
+}
+
+impl ActionId {
+    /// Creates the `seq`-th action of `initiator`'s action set `A_p`.
+    #[must_use]
+    pub fn new(initiator: ProcessId, seq: u32) -> Self {
+        ActionId { initiator, seq }
+    }
+
+    /// The process that owns (and alone may initiate) this action.
+    #[must_use]
+    pub fn initiator(self) -> ProcessId {
+        self.initiator
+    }
+
+    /// The per-initiator sequence number distinguishing actions in `A_p`.
+    #[must_use]
+    pub fn seq(self) -> u32 {
+        self.seq
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.initiator.index(), self.seq)
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.initiator.index(), self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = ActionId::new(ProcessId::new(1), 4);
+        assert_eq!(a.initiator().index(), 1);
+        assert_eq!(a.seq(), 4);
+    }
+
+    #[test]
+    fn action_sets_are_disjoint_by_construction() {
+        // Two actions with the same sequence number but different initiators
+        // are different actions: A_p ∩ A_q = ∅ for p ≠ q.
+        let a = ActionId::new(ProcessId::new(0), 0);
+        let b = ActionId::new(ProcessId::new(1), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_groups_by_initiator() {
+        let a00 = ActionId::new(ProcessId::new(0), 0);
+        let a01 = ActionId::new(ProcessId::new(0), 1);
+        let a10 = ActionId::new(ProcessId::new(1), 0);
+        assert!(a00 < a01);
+        assert!(a01 < a10);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = ActionId::new(ProcessId::new(3), 12);
+        assert_eq!(a.to_string(), "a3.12");
+        assert_eq!(format!("{a:?}"), "a3.12");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = ActionId::new(ProcessId::new(5), 9);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(a, serde_json::from_str::<ActionId>(&json).unwrap());
+    }
+}

@@ -1,0 +1,201 @@
+//! Error type for run-construction and run-condition violations.
+
+use crate::{ProcessId, Time};
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the well-formedness conditions R1–R5 (or of the §2.4
+/// initiation constraints) detected while building or checking a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A process index was out of range for the run's system size.
+    UnknownProcess {
+        /// The offending process.
+        process: ProcessId,
+        /// The run's system size `n`.
+        n: usize,
+    },
+    /// R2 violation: two events appended to the same process at the same
+    /// tick, or an event appended at a tick earlier than the previous one.
+    NonMonotonicTime {
+        /// The process whose history was being extended.
+        process: ProcessId,
+        /// Tick of the previous event.
+        last: Time,
+        /// Tick of the offending append.
+        attempted: Time,
+    },
+    /// R3 violation: a `recv` with no matching earlier (or simultaneous)
+    /// `send` in the claimed sender's history.
+    ReceiveWithoutSend {
+        /// The receiving process.
+        receiver: ProcessId,
+        /// The claimed sender.
+        sender: ProcessId,
+        /// Tick of the offending receive.
+        time: Time,
+    },
+    /// R4 violation: an event appended after `crash_p`.
+    EventAfterCrash {
+        /// The crashed process.
+        process: ProcessId,
+        /// Tick of the offending append.
+        time: Time,
+    },
+    /// §2.4 violation: `init_p(α)` performed by a process other than
+    /// `α.initiator()`.
+    ForeignInit {
+        /// The process that attempted the initiation.
+        process: ProcessId,
+    },
+    /// §2.4 violation: `init_p(α)` appeared twice for the same `α`.
+    DuplicateInit {
+        /// The process that attempted the re-initiation.
+        process: ProcessId,
+        /// Tick of the offending append.
+        time: Time,
+    },
+    /// A `do(α)` for an action that was never initiated anywhere in the run.
+    /// (This is DC3 of the UDC spec, checked structurally when requested.)
+    DoWithoutInit {
+        /// The process that executed the action.
+        process: ProcessId,
+        /// Tick of the offending execution.
+        time: Time,
+    },
+    /// R5 (finite-horizon reading) violation: a message was sent at least
+    /// `threshold` times to a process that never crashed, yet was never
+    /// received.
+    UnfairChannel {
+        /// The sending process.
+        sender: ProcessId,
+        /// The receiving process.
+        receiver: ProcessId,
+        /// How many copies were sent by the horizon.
+        sent: usize,
+        /// The fairness threshold used by the check.
+        threshold: usize,
+    },
+    /// An event was appended at or beyond the run's declared horizon.
+    BeyondHorizon {
+        /// Tick of the offending append.
+        time: Time,
+        /// The declared horizon.
+        horizon: Time,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownProcess { process, n } => {
+                write!(f, "process {process} out of range for a {n}-process system")
+            }
+            ModelError::NonMonotonicTime {
+                process,
+                last,
+                attempted,
+            } => write!(
+                f,
+                "R2 violation at {process}: event at tick {attempted} not after previous tick {last}"
+            ),
+            ModelError::ReceiveWithoutSend {
+                receiver,
+                sender,
+                time,
+            } => write!(
+                f,
+                "R3 violation: {receiver} received from {sender} at tick {time} without a matching send"
+            ),
+            ModelError::EventAfterCrash { process, time } => {
+                write!(f, "R4 violation: event at {process} at tick {time} after crash")
+            }
+            ModelError::ForeignInit { process } => {
+                write!(f, "init by {process} for an action it does not own")
+            }
+            ModelError::DuplicateInit { process, time } => {
+                write!(f, "duplicate init at {process} at tick {time}")
+            }
+            ModelError::DoWithoutInit { process, time } => {
+                write!(f, "do at {process} at tick {time} for an action never initiated")
+            }
+            ModelError::UnfairChannel {
+                sender,
+                receiver,
+                sent,
+                threshold,
+            } => write!(
+                f,
+                "R5 violation: {sent} copies (≥ threshold {threshold}) sent {sender}→{receiver} but none received and {receiver} never crashed"
+            ),
+            ModelError::BeyondHorizon { time, horizon } => {
+                write!(f, "event at tick {time} at or beyond horizon {horizon}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let errs = [
+            ModelError::UnknownProcess {
+                process: ProcessId::new(9),
+                n: 3,
+            },
+            ModelError::NonMonotonicTime {
+                process: ProcessId::new(0),
+                last: 5,
+                attempted: 5,
+            },
+            ModelError::ReceiveWithoutSend {
+                receiver: ProcessId::new(1),
+                sender: ProcessId::new(0),
+                time: 3,
+            },
+            ModelError::EventAfterCrash {
+                process: ProcessId::new(2),
+                time: 7,
+            },
+            ModelError::ForeignInit {
+                process: ProcessId::new(1),
+            },
+            ModelError::DuplicateInit {
+                process: ProcessId::new(1),
+                time: 2,
+            },
+            ModelError::DoWithoutInit {
+                process: ProcessId::new(0),
+                time: 4,
+            },
+            ModelError::UnfairChannel {
+                sender: ProcessId::new(0),
+                receiver: ProcessId::new(1),
+                sent: 12,
+                threshold: 10,
+            },
+            ModelError::BeyondHorizon { time: 10, horizon: 10 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(ModelError::ForeignInit {
+            process: ProcessId::new(1)
+        }
+        .to_string()
+        .contains("p1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(ModelError::ForeignInit {
+            process: ProcessId::new(0),
+        });
+    }
+}

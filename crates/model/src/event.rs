@@ -1,0 +1,251 @@
+//! Events recorded in process histories.
+//!
+//! Section 2.1 of the paper lists the events that may appear in a process
+//! `p`'s history: communication events `send_p(q, msg)` / `recv_p(q, msg)`,
+//! internal events `do_p(α)` / `init_p(α)`, the special `crash_p` event, and
+//! failure-detector events `suspect_p(x)`. The owning process `p` is implicit
+//! in *which* history an event appears in, so [`Event`] records only the
+//! remaining data.
+
+use crate::{ActionId, ProcSet, ProcessId, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A failure-detector report, i.e. the payload `x` of a `suspect_p(x)` event.
+///
+/// * [`SuspectReport::Standard`] is the paper's *standard* report "the
+///   processes in `S` are faulty" (§2.2). The paper's *g-standard* detectors,
+///   whose raw reports map to such sets via a function `g`, are represented
+///   post-`g`: whatever oracle produced the report has already applied `g`.
+/// * [`SuspectReport::Generalized`] is the *generalized* report of §4, "at
+///   least `min_faulty` processes in `set` are faulty" (without saying
+///   which), written `suspect_p(S, k)` in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SuspectReport {
+    /// "The processes in `S` are faulty."
+    Standard(ProcSet),
+    /// "At least `min_faulty` of the processes in `set` are faulty."
+    Generalized {
+        /// The component `S` within which failures are suspected.
+        set: ProcSet,
+        /// The claimed lower bound `k ≤ |S|` on failures within `set`.
+        min_faulty: usize,
+    },
+}
+
+impl SuspectReport {
+    /// For a standard report, the suspected set `S`; for a generalized
+    /// report, `None` (a generalized report does not identify individuals).
+    #[must_use]
+    pub fn standard_set(self) -> Option<ProcSet> {
+        match self {
+            SuspectReport::Standard(s) => Some(s),
+            SuspectReport::Generalized { .. } => None,
+        }
+    }
+
+    /// For a generalized report, the pair `(S, k)`.
+    #[must_use]
+    pub fn generalized(self) -> Option<(ProcSet, usize)> {
+        match self {
+            SuspectReport::Standard(_) => None,
+            SuspectReport::Generalized { set, min_faulty } => Some((set, min_faulty)),
+        }
+    }
+}
+
+impl fmt::Debug for SuspectReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuspectReport::Standard(s) => write!(f, "suspect({s})"),
+            SuspectReport::Generalized { set, min_faulty } => {
+                write!(f, "suspect({set}, ≥{min_faulty})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SuspectReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One event in a process history.
+///
+/// The type parameter `M` is the protocol's message payload. The model crate
+/// places no constraint on it beyond what each operation needs (`Eq` for
+/// history comparison, `Clone` for run construction, and so on).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event<M> {
+    /// `send_p(q, msg)`: the owning process sends `msg` to `to`.
+    Send {
+        /// The destination process `q`.
+        to: ProcessId,
+        /// The message payload.
+        msg: M,
+    },
+    /// `recv_p(q, msg)`: the owning process receives `msg` from `from`.
+    Recv {
+        /// The sending process `q`.
+        from: ProcessId,
+        /// The message payload.
+        msg: M,
+    },
+    /// `init_p(α)`: the owning process initiates coordination action `α`.
+    /// Only `α.initiator()` may perform this, at most once per run.
+    Init {
+        /// The action being initiated.
+        action: ActionId,
+    },
+    /// `do_p(α)`: the owning process executes coordination action `α`.
+    Do {
+        /// The action being executed.
+        action: ActionId,
+    },
+    /// `crash_p`: the owning process crashes; by R4 this is the final event
+    /// of its history.
+    Crash,
+    /// `suspect_p(x)`: the owning process receives report `x` from its
+    /// failure detector.
+    Suspect(SuspectReport),
+}
+
+impl<M> Event<M> {
+    /// Returns `true` for `crash_p`.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Event::Crash)
+    }
+
+    /// Returns `true` for failure-detector events.
+    #[must_use]
+    pub fn is_suspect(&self) -> bool {
+        matches!(self, Event::Suspect(_))
+    }
+
+    /// The action of an `Init` or `Do` event, if this is one.
+    #[must_use]
+    pub fn action(&self) -> Option<ActionId> {
+        match self {
+            Event::Init { action } | Event::Do { action } => Some(*action),
+            _ => None,
+        }
+    }
+
+    /// Maps the message payload type, preserving everything else.
+    ///
+    /// Used by the failure-detector *conversions* and the `f(r)` simulation
+    /// construction, which rewrite runs into runs over a different (or the
+    /// same) payload type.
+    pub fn map_msg<N>(self, mut f: impl FnMut(M) -> N) -> Event<N> {
+        match self {
+            Event::Send { to, msg } => Event::Send { to, msg: f(msg) },
+            Event::Recv { from, msg } => Event::Recv { from, msg: f(msg) },
+            Event::Init { action } => Event::Init { action },
+            Event::Do { action } => Event::Do { action },
+            Event::Crash => Event::Crash,
+            Event::Suspect(x) => Event::Suspect(x),
+        }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Event<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Send { to, msg } => write!(f, "send({to}, {msg:?})"),
+            Event::Recv { from, msg } => write!(f, "recv({from}, {msg:?})"),
+            Event::Init { action } => write!(f, "init({action})"),
+            Event::Do { action } => write!(f, "do({action})"),
+            Event::Crash => write!(f, "crash"),
+            Event::Suspect(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+/// An event together with the tick at which it was appended to its history.
+///
+/// Timestamps situate an event within the run `r : Time → Cut`; they are
+/// *not* part of the local history for indistinguishability purposes
+/// (`(r,m) ~_p (r′,m′)` compares event sequences only — an asynchronous
+/// process cannot read the global clock).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TimedEvent<M> {
+    /// The tick at which the event was appended (the smallest `m` with the
+    /// event present in `r_p(m)`).
+    pub time: Time,
+    /// The event itself.
+    pub event: Event<M>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn suspect_report_accessors() {
+        let s: ProcSet = [p(1)].into_iter().collect();
+        let std = SuspectReport::Standard(s);
+        assert_eq!(std.standard_set(), Some(s));
+        assert_eq!(std.generalized(), None);
+
+        let gen = SuspectReport::Generalized {
+            set: s,
+            min_faulty: 1,
+        };
+        assert_eq!(gen.standard_set(), None);
+        assert_eq!(gen.generalized(), Some((s, 1)));
+    }
+
+    #[test]
+    fn event_classifiers() {
+        let e: Event<u8> = Event::Crash;
+        assert!(e.is_crash());
+        assert!(!e.is_suspect());
+        let e: Event<u8> = Event::Suspect(SuspectReport::Standard(ProcSet::new()));
+        assert!(e.is_suspect());
+        let a = ActionId::new(p(0), 1);
+        assert_eq!(Event::<u8>::Init { action: a }.action(), Some(a));
+        assert_eq!(Event::<u8>::Do { action: a }.action(), Some(a));
+        assert_eq!(Event::<u8>::Crash.action(), None);
+    }
+
+    #[test]
+    fn map_msg_preserves_structure() {
+        let e = Event::Send { to: p(1), msg: 7u8 };
+        match e.map_msg(|m| m as u32 * 2) {
+            Event::Send { to, msg } => {
+                assert_eq!(to, p(1));
+                assert_eq!(msg, 14u32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e: Event<u8> = Event::Crash;
+        assert_eq!(e.map_msg(|m| m as u32), Event::Crash);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let e = Event::Send { to: p(2), msg: "x" };
+        assert_eq!(format!("{e:?}"), "send(p2, \"x\")");
+        let e: Event<&str> = Event::Suspect(SuspectReport::Generalized {
+            set: ProcSet::singleton(p(0)),
+            min_faulty: 1,
+        });
+        assert_eq!(format!("{e:?}"), "suspect({p0}, ≥1)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::Recv {
+            from: p(3),
+            msg: String::from("hello"),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(e, serde_json::from_str::<Event<String>>(&json).unwrap());
+    }
+}

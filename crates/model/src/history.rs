@@ -1,0 +1,263 @@
+//! Query helpers over a local history prefix `r_p(m)`.
+//!
+//! A history is just a slice of [`Event`]s; [`HistoryView`] wraps such a
+//! slice with the derived quantities the paper keeps referring to: whether
+//! `crash_p` has occurred, whether `init_p(α)` / `do_p(α)` appear, message
+//! send/receive counts (for the fairness condition R5), and the
+//! `Suspects_p(r,m)` function of §2.2 (the most recent standard
+//! failure-detector report, or `∅` if there has been none).
+
+use crate::{ActionId, Event, ProcSet, ProcessId, SuspectReport};
+
+/// A read-only view over a local history prefix `r_p(m)`.
+///
+/// # Example
+///
+/// ```
+/// use ktudc_model::{Event, HistoryView, ProcSet, ProcessId, SuspectReport};
+///
+/// let q = ProcessId::new(1);
+/// let history = [
+///     Event::Send { to: q, msg: "m" },
+///     Event::Suspect(SuspectReport::Standard(ProcSet::singleton(q))),
+///     Event::Send { to: q, msg: "m" },
+/// ];
+/// let view = HistoryView::new(&history);
+/// assert_eq!(view.send_count(q, &"m"), 2);
+/// assert!(view.suspects().contains(q));
+/// assert!(!view.crashed());
+/// ```
+#[derive(Debug)]
+pub struct HistoryView<'a, M> {
+    events: &'a [Event<M>],
+}
+
+impl<M> Clone for HistoryView<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for HistoryView<'_, M> {}
+
+impl<'a, M> HistoryView<'a, M> {
+    /// Wraps a history slice.
+    #[must_use]
+    pub fn new(events: &'a [Event<M>]) -> Self {
+        HistoryView { events }
+    }
+
+    /// The underlying event slice.
+    #[must_use]
+    pub fn events(self) -> &'a [Event<M>] {
+        self.events
+    }
+
+    /// Number of events in the prefix.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` for the empty history (R1 start state).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns `true` if `crash_p` appears (i.e. the process is faulty and
+    /// has already crashed within this prefix).
+    #[must_use]
+    pub fn crashed(self) -> bool {
+        // By R4 a crash can only be the final event, so checking the last
+        // event suffices; we still scan defensively for unvalidated input.
+        self.events.iter().any(Event::is_crash)
+    }
+
+    /// Returns `true` if `init(α)` appears in the prefix.
+    #[must_use]
+    pub fn initiated(self, action: ActionId) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, Event::Init { action: a } if *a == action))
+    }
+
+    /// Returns `true` if `do(α)` appears in the prefix.
+    #[must_use]
+    pub fn did(self, action: ActionId) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, Event::Do { action: a } if *a == action))
+    }
+
+    /// All actions initiated in the prefix, in order of initiation.
+    pub fn initiated_actions(self) -> impl Iterator<Item = ActionId> + 'a {
+        self.events.iter().filter_map(|e| match e {
+            Event::Init { action } => Some(*action),
+            _ => None,
+        })
+    }
+
+    /// All actions executed in the prefix, in order of execution.
+    pub fn done_actions(self) -> impl Iterator<Item = ActionId> + 'a {
+        self.events.iter().filter_map(|e| match e {
+            Event::Do { action } => Some(*action),
+            _ => None,
+        })
+    }
+
+    /// `Suspects_p(r,m)` of §2.2: the set carried by the most recent
+    /// *standard* failure-detector report in the prefix, or the empty set if
+    /// there has been none. Generalized reports do not affect this value.
+    #[must_use]
+    pub fn suspects(self) -> ProcSet {
+        self.events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::Suspect(SuspectReport::Standard(s)) => Some(*s),
+                _ => None,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every failure-detector report in the prefix, in order of arrival.
+    pub fn suspect_reports(self) -> impl Iterator<Item = SuspectReport> + 'a {
+        self.events.iter().filter_map(|e| match e {
+            Event::Suspect(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Every *generalized* report `(S, k)` in the prefix, in order.
+    pub fn generalized_reports(self) -> impl Iterator<Item = (ProcSet, usize)> + 'a {
+        self.suspect_reports().filter_map(SuspectReport::generalized)
+    }
+}
+
+impl<'a, M: Eq> HistoryView<'a, M> {
+    /// Number of `send(to, msg)` events in the prefix. Used by the fairness
+    /// condition R5, which counts occurrences of the *same* send event.
+    #[must_use]
+    pub fn send_count(self, to: ProcessId, msg: &M) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Send { to: t, msg: m } if *t == to && m == msg))
+            .count()
+    }
+
+    /// Number of `recv(from, msg)` events in the prefix.
+    #[must_use]
+    pub fn recv_count(self, from: ProcessId, msg: &M) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Recv { from: f, msg: m } if *f == from && m == msg))
+            .count()
+    }
+
+    /// Returns `true` if `send(to, msg)` appears at least once.
+    #[must_use]
+    pub fn sent(self, to: ProcessId, msg: &M) -> bool {
+        self.send_count(to, msg) > 0
+    }
+
+    /// Returns `true` if `recv(from, msg)` appears at least once.
+    #[must_use]
+    pub fn received(self, from: ProcessId, msg: &M) -> bool {
+        self.recv_count(from, msg) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample() -> Vec<Event<&'static str>> {
+        let q = p(1);
+        vec![
+            Event::Init {
+                action: ActionId::new(p(0), 0),
+            },
+            Event::Send { to: q, msg: "a" },
+            Event::Send { to: q, msg: "a" },
+            Event::Recv { from: q, msg: "ack" },
+            Event::Suspect(SuspectReport::Standard(ProcSet::singleton(p(2)))),
+            Event::Do {
+                action: ActionId::new(p(0), 0),
+            },
+            Event::Suspect(SuspectReport::Generalized {
+                set: ProcSet::full(3),
+                min_faulty: 1,
+            }),
+        ]
+    }
+
+    #[test]
+    fn counting_sends_and_recvs() {
+        let h = sample();
+        let v = HistoryView::new(&h);
+        assert_eq!(v.send_count(p(1), &"a"), 2);
+        assert_eq!(v.send_count(p(1), &"b"), 0);
+        assert_eq!(v.send_count(p(2), &"a"), 0);
+        assert_eq!(v.recv_count(p(1), &"ack"), 1);
+        assert!(v.sent(p(1), &"a"));
+        assert!(v.received(p(1), &"ack"));
+        assert!(!v.received(p(1), &"a"));
+    }
+
+    #[test]
+    fn action_queries() {
+        let h = sample();
+        let v = HistoryView::new(&h);
+        let alpha = ActionId::new(p(0), 0);
+        let beta = ActionId::new(p(0), 1);
+        assert!(v.initiated(alpha));
+        assert!(v.did(alpha));
+        assert!(!v.initiated(beta));
+        assert!(!v.did(beta));
+        assert_eq!(v.initiated_actions().collect::<Vec<_>>(), vec![alpha]);
+        assert_eq!(v.done_actions().collect::<Vec<_>>(), vec![alpha]);
+    }
+
+    #[test]
+    fn suspects_is_latest_standard_report() {
+        let h = sample();
+        let v = HistoryView::new(&h);
+        // Trailing generalized report does not override the standard one.
+        assert_eq!(v.suspects(), ProcSet::singleton(p(2)));
+        assert_eq!(v.suspect_reports().count(), 2);
+        assert_eq!(
+            v.generalized_reports().collect::<Vec<_>>(),
+            vec![(ProcSet::full(3), 1)]
+        );
+    }
+
+    #[test]
+    fn suspects_defaults_to_empty() {
+        let h: Vec<Event<u8>> = vec![];
+        let v = HistoryView::new(&h);
+        assert!(v.suspects().is_empty());
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert!(!v.crashed());
+    }
+
+    #[test]
+    fn crash_detection() {
+        let h: Vec<Event<u8>> = vec![Event::Crash];
+        assert!(HistoryView::new(&h).crashed());
+    }
+
+    #[test]
+    fn suspects_overridden_by_newer_standard_report() {
+        let h: Vec<Event<u8>> = vec![
+            Event::Suspect(SuspectReport::Standard(ProcSet::singleton(p(1)))),
+            Event::Suspect(SuspectReport::Standard(ProcSet::singleton(p(2)))),
+        ];
+        assert_eq!(HistoryView::new(&h).suspects(), ProcSet::singleton(p(2)));
+    }
+}

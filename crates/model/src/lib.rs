@@ -1,0 +1,85 @@
+//! Formal model of asynchronous message-passing runs, following Section 2.1
+//! of Halpern & Ricciardi, *A Knowledge-Theoretic Analysis of Uniform
+//! Distributed Coordination and Failure Detectors* (PODC 1999).
+//!
+//! The paper models an execution of a distributed system as a **run**: a
+//! function from time (natural numbers) to **cuts**, where a cut is a tuple of
+//! finite per-process **histories** and a history is a sequence of **events**
+//! (sends, receives, action initiations/executions, crashes, and
+//! failure-detector reports). Runs must satisfy conditions **R1–R5**
+//! (initially-empty histories, one event per process per tick, receives are
+//! preceded by matching sends, crashes are final, and fair channels).
+//!
+//! This crate provides that model as plain data:
+//!
+//! * [`ProcessId`] and [`ProcSet`] — the fixed finite set `Proc` of processes;
+//! * [`ActionId`] — coordination actions `α ∈ A_p`, tagged by their initiator;
+//! * [`Event`] — the six event kinds of the paper, generic over the protocol
+//!   message payload `M`;
+//! * [`Run`] and [`RunBuilder`] — time-stamped per-process event logs with the
+//!   structural conditions R1–R4 enforced at construction and all five
+//!   conditions checkable after the fact ([`Run::check_conditions`]);
+//! * [`HistoryView`] — query helpers over a local history prefix `r_p(m)`;
+//! * [`System`] — a set of runs with an index for the indistinguishability
+//!   relation `(r,m) ~_p (r′,m′)` that underlies the knowledge operator `K_p`.
+//!
+//! Everything downstream — the simulator, the failure-detector checkers, the
+//! epistemic model checker, and the UDC protocols — speaks in terms of these
+//! types. Payloads are a type parameter `M` so that this crate stays agnostic
+//! of any particular protocol's wire format.
+//!
+//! # Finite horizons
+//!
+//! Paper runs are infinite; ours are finite prefixes up to a **horizon**.
+//! Conditions whose statement quantifies over all of time (R5 fairness, the
+//! "eventually"/"permanently" clauses of failure-detector properties) are
+//! therefore *approximated* at the horizon; each checker documents its
+//! finite-horizon reading and the rest of the workspace picks horizons at
+//! which the protocols under test quiesce.
+//!
+//! # Example
+//!
+//! ```
+//! use ktudc_model::{ActionId, Event, ProcessId, RunBuilder};
+//!
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//! let alpha = ActionId::new(p0, 0);
+//!
+//! let mut b = RunBuilder::<&'static str>::new(2);
+//! b.append(p0, 1, Event::Init { action: alpha })?;
+//! b.append(p0, 2, Event::Send { to: p1, msg: "do-alpha" })?;
+//! b.append(p1, 3, Event::Recv { from: p0, msg: "do-alpha" })?;
+//! b.append(p0, 3, Event::Do { action: alpha })?;
+//! b.append(p1, 4, Event::Do { action: alpha })?;
+//! let run = b.finish(5);
+//!
+//! assert!(run.faulty().is_empty());
+//! assert_eq!(run.history_at(p1, 3).len(), 1);
+//! run.check_conditions(1)?;
+//! # Ok::<(), ktudc_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod error;
+mod event;
+mod history;
+mod process;
+mod run;
+mod system;
+pub mod trace;
+
+pub use action::ActionId;
+pub use error::ModelError;
+pub use event::{Event, SuspectReport, TimedEvent};
+pub use history::HistoryView;
+pub use process::{ProcSet, ProcessId};
+pub use run::{Point, Run, RunBuilder};
+pub use system::{IndistinguishableBlock, System};
+pub use trace::{summary, trace, trace_window};
+
+/// Discrete time, ranging over the natural numbers as in the paper.
+pub type Time = u64;

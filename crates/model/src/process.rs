@@ -1,0 +1,416 @@
+//! Process identifiers and sets of processes.
+//!
+//! The paper fixes a finite set `Proc = {p_1, …, p_n}`. We identify processes
+//! by a zero-based index and represent subsets of `Proc` as a 128-bit bitset,
+//! which bounds supported system sizes at 128 processes — far above anything
+//! the experiments exercise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one process in the fixed finite set `Proc`.
+///
+/// Process ids are zero-based indices; the paper's `p_1, …, p_n` correspond
+/// to `ProcessId::new(0), …, ProcessId::new(n - 1)`.
+///
+/// # Example
+///
+/// ```
+/// use ktudc_model::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Maximum number of processes supported by [`ProcSet`].
+    pub const MAX_PROCESSES: usize = 128;
+
+    /// Creates the process id with the given zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ProcessId::MAX_PROCESSES`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < Self::MAX_PROCESSES,
+            "process index {index} exceeds the supported maximum of {}",
+            Self::MAX_PROCESSES
+        );
+        ProcessId(index as u32)
+    }
+
+    /// Returns the zero-based index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all process ids of a system with `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ProcessId::MAX_PROCESSES`.
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + Clone {
+        assert!(n <= Self::MAX_PROCESSES);
+        (0..n).map(ProcessId::new)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A subset of `Proc`, represented as a 128-bit bitset.
+///
+/// `ProcSet` is used for failure-detector reports ("the processes in `S` are
+/// faulty"), for the faulty set `F(r)` of a run, and throughout the condition
+/// checkers. It is a cheap [`Copy`] value.
+///
+/// # Example
+///
+/// ```
+/// use ktudc_model::{ProcSet, ProcessId};
+///
+/// let mut s = ProcSet::new();
+/// s.insert(ProcessId::new(0));
+/// s.insert(ProcessId::new(2));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(ProcessId::new(2)));
+/// assert!(!s.contains(ProcessId::new(1)));
+///
+/// let t = ProcSet::full(3); // {p0, p1, p2}
+/// assert!(s.is_subset_of(t));
+/// assert_eq!(t.difference(s), ProcSet::from_iter([ProcessId::new(1)]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ProcSet(u128);
+
+impl ProcSet {
+    /// Creates the empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ProcSet(0)
+    }
+
+    /// Creates the set `{p_0, …, p_{n-1}}` of all processes in an
+    /// `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ProcessId::MAX_PROCESSES`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= ProcessId::MAX_PROCESSES);
+        if n == ProcessId::MAX_PROCESSES {
+            ProcSet(u128::MAX)
+        } else {
+            ProcSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Creates a singleton set.
+    #[must_use]
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcSet(1u128 << p.index())
+    }
+
+    /// Returns `true` if the set has no elements.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the number of processes in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if `p` is a member.
+    #[must_use]
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u128 << p.index()) != 0
+    }
+
+    /// Inserts `p`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let bit = 1u128 << p.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes `p`; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let bit = 1u128 << p.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Returns the union `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: ProcSet) -> ProcSet {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Returns the intersection `self ∩ other`.
+    #[must_use]
+    pub fn intersection(self, other: ProcSet) -> ProcSet {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// Returns the difference `self ∖ other`.
+    #[must_use]
+    pub fn difference(self, other: ProcSet) -> ProcSet {
+        ProcSet(self.0 & !other.0)
+    }
+
+    /// Returns the complement relative to an `n`-process universe, i.e.
+    /// `Proc ∖ self`.
+    #[must_use]
+    pub fn complement(self, n: usize) -> ProcSet {
+        ProcSet::full(n).difference(self)
+    }
+
+    /// Returns `true` if every member of `self` is in `other`.
+    #[must_use]
+    pub fn is_subset_of(self, other: ProcSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if the two sets share no members.
+    #[must_use]
+    pub fn is_disjoint_from(self, other: ProcSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Returns an arbitrary member (the one with the smallest index), if any.
+    #[must_use]
+    pub fn first(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Enumerates every subset of `self` (including the empty set and `self`
+    /// itself). Useful for exhaustive checks on small systems.
+    ///
+    /// The number of subsets is `2^len`, so call this only on small sets.
+    pub fn subsets(self) -> impl Iterator<Item = ProcSet> {
+        let members: Vec<ProcessId> = self.iter().collect();
+        let count = 1usize << members.len();
+        (0..count).map(move |mask| {
+            let mut s = ProcSet::new();
+            for (i, &p) in members.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(p);
+                }
+            }
+            s
+        })
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`], in increasing index order.
+#[derive(Clone, Debug)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn process_id_roundtrip() {
+        for i in [0, 1, 63, 127] {
+            assert_eq!(ProcessId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn process_id_out_of_range_panics() {
+        let _ = ProcessId::new(128);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let v: Vec<usize> = ProcessId::all(4).map(ProcessId::index).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(ProcSet::new().is_empty());
+        assert_eq!(ProcSet::new().len(), 0);
+        let f = ProcSet::full(5);
+        assert_eq!(f.len(), 5);
+        for i in 0..5 {
+            assert!(f.contains(p(i)));
+        }
+        assert!(!f.contains(p(5)));
+        assert_eq!(ProcSet::full(128).len(), 128);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcSet::new();
+        assert!(s.insert(p(2)));
+        assert!(!s.insert(p(2)));
+        assert!(s.contains(p(2)));
+        assert!(s.remove(p(2)));
+        assert!(!s.remove(p(2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ProcSet = [p(0), p(1), p(2)].into_iter().collect();
+        let b: ProcSet = [p(1), p(3)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), ProcSet::singleton(p(1)));
+        assert_eq!(a.difference(b), [p(0), p(2)].into_iter().collect());
+        assert!(ProcSet::singleton(p(1)).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.is_disjoint_from(ProcSet::singleton(p(5))));
+        assert_eq!(a.complement(4), [p(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn iteration_order_and_first() {
+        let s: ProcSet = [p(5), p(0), p(9)].into_iter().collect();
+        let v: Vec<usize> = s.iter().map(ProcessId::index).collect();
+        assert_eq!(v, vec![0, 5, 9]);
+        assert_eq!(s.first(), Some(p(0)));
+        assert_eq!(ProcSet::new().first(), None);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s: ProcSet = [p(0), p(2)].into_iter().collect();
+        let subs: Vec<ProcSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&ProcSet::new()));
+        assert!(subs.contains(&s));
+        assert!(subs.contains(&ProcSet::singleton(p(0))));
+        assert!(subs.contains(&ProcSet::singleton(p(2))));
+    }
+
+    #[test]
+    fn display_formatting() {
+        let s: ProcSet = [p(1), p(3)].into_iter().collect();
+        assert_eq!(s.to_string(), "{p1, p3}");
+        assert_eq!(ProcSet::new().to_string(), "{}");
+        assert_eq!(format!("{s:?}"), "{p1, p3}");
+    }
+
+    #[test]
+    fn extend_adds_members() {
+        let mut s = ProcSet::singleton(p(0));
+        s.extend([p(1), p(2)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s: ProcSet = [p(0), p(7)].into_iter().collect();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ProcSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        let q = ProcessId::new(7);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: ProcessId = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

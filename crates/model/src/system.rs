@@ -1,0 +1,308 @@
+//! Systems: sets of runs, with an index for indistinguishability.
+//!
+//! A *system* `R` is a set of runs (§2.1); knowledge is defined relative to a
+//! system: `(R, r, m) ⊨ K_p φ` iff `φ` holds at **every** point `(r′, m′)` of
+//! `R` with `r′_p(m′) = r_p(m)`. Evaluating `K_p` therefore needs, given a
+//! local history, all points of the system sharing it. [`System`] maintains
+//! that index: for every run, process, and distinct history *length*, one
+//! entry covering the contiguous tick range over which the history is
+//! unchanged, keyed by a hash of the event sequence (with exact comparison on
+//! lookup, so hash collisions cannot produce wrong answers).
+
+use crate::{Event, Point, ProcessId, Run, Time};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A contiguous block of points of one run sharing a local history for some
+/// process: ticks `from ..= to` of run `run`, at which the process's history
+/// prefix has length `len`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndistinguishableBlock {
+    /// Run index within the system.
+    pub run: usize,
+    /// First tick of the block.
+    pub from: Time,
+    /// Last tick of the block (inclusive).
+    pub to: Time,
+    /// Length of the local history prefix throughout the block.
+    pub len: usize,
+}
+
+impl IndistinguishableBlock {
+    /// Iterates the points of the block.
+    pub fn points(self) -> impl Iterator<Item = Point> {
+        (self.from..=self.to).map(move |t| Point::new(self.run, t))
+    }
+}
+
+/// A finite system of runs over a common process set, indexed for the
+/// indistinguishability relation `~_p`.
+///
+/// # Example
+///
+/// ```
+/// use ktudc_model::{Event, ProcessId, RunBuilder, System};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let mut b = RunBuilder::<&str>::new(2);
+/// b.append(p0, 1, Event::Send { to: p1, msg: "m" })?;
+/// let r0 = b.finish(3);
+///
+/// let mut b = RunBuilder::<&str>::new(2);
+/// b.append(p0, 2, Event::Send { to: p1, msg: "m" })?;
+/// b.append(p1, 3, Event::Recv { from: p0, msg: "m" })?;
+/// let r1 = b.finish(3);
+///
+/// let sys = System::new(vec![r0, r1]);
+/// // After sending, p0 cannot tell the two runs apart at any tick:
+/// let blocks = sys.indistinguishable_blocks(p0, 0, 1);
+/// assert_eq!(blocks.iter().map(|b| b.run).collect::<Vec<_>>(), vec![0, 1]);
+/// # Ok::<(), ktudc_model::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct System<M> {
+    runs: Vec<Run<M>>,
+    n: usize,
+    /// (process, history hash) → blocks of points with that history.
+    index: HashMap<(ProcessId, u64), Vec<IndistinguishableBlock>>,
+}
+
+fn hash_history<M: Hash>(events: &[Event<M>]) -> u64 {
+    let mut h = DefaultHasher::new();
+    events.hash(&mut h);
+    h.finish()
+}
+
+impl<M: Eq + Hash> System<M> {
+    /// Builds a system from runs, indexing local histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs disagree on the number of processes, or if `runs`
+    /// is empty (a system must be nonempty for knowledge to be well
+    /// defined).
+    #[must_use]
+    pub fn new(runs: Vec<Run<M>>) -> Self {
+        assert!(!runs.is_empty(), "a system must contain at least one run");
+        let n = runs[0].n();
+        assert!(
+            runs.iter().all(|r| r.n() == n),
+            "all runs of a system must share the same process set"
+        );
+        let mut index: HashMap<(ProcessId, u64), Vec<IndistinguishableBlock>> = HashMap::new();
+        for (ri, run) in runs.iter().enumerate() {
+            for p in ProcessId::all(n) {
+                // Event ticks partition [0, horizon] into blocks of constant
+                // history.
+                let ticks: Vec<Time> = run.timed_history(p).map(|(t, _)| t).collect();
+                let mut block_start: Time = 0;
+                for (len, boundary) in ticks
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(run.horizon() + 1))
+                    .enumerate()
+                {
+                    if boundary > block_start {
+                        let history = &run.history(p)[..len];
+                        let key = (p, hash_history(history));
+                        index.entry(key).or_default().push(IndistinguishableBlock {
+                            run: ri,
+                            from: block_start,
+                            to: boundary - 1,
+                            len,
+                        });
+                    }
+                    block_start = boundary;
+                }
+            }
+        }
+        System { runs, n, index }
+    }
+
+    /// All blocks of points of the system whose `p`-history equals the
+    /// `p`-history at `(run, m)` — i.e. the equivalence class of `(run, m)`
+    /// under `~_p`, as contiguous blocks. Always includes a block containing
+    /// `(run, m)` itself (reflexivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range or `m` exceeds that run's horizon.
+    #[must_use]
+    pub fn indistinguishable_blocks(
+        &self,
+        p: ProcessId,
+        run: usize,
+        m: Time,
+    ) -> Vec<IndistinguishableBlock> {
+        let r = &self.runs[run];
+        assert!(m <= r.horizon(), "tick {m} beyond horizon {}", r.horizon());
+        let history = r.history_at(p, m);
+        let key = (p, hash_history(history));
+        match self.index.get(&key) {
+            None => Vec::new(),
+            Some(blocks) => blocks
+                .iter()
+                .copied()
+                .filter(|b| self.runs[b.run].history_at(p, b.from) == history)
+                .collect(),
+        }
+    }
+}
+
+impl<M> System<M> {
+    /// The number of processes shared by every run.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The runs of the system.
+    #[must_use]
+    pub fn runs(&self) -> &[Run<M>] {
+        &self.runs
+    }
+
+    /// The run at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn run(&self, index: usize) -> &Run<M> {
+        &self.runs[index]
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Always `false`: systems are nonempty by construction. Provided for
+    /// API completeness alongside [`System::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates over every point `(r, m)` of the system, `m` ranging over
+    /// `0 ..= horizon` of each run.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.runs
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, r)| (0..=r.horizon()).map(move |m| Point::new(ri, m)))
+    }
+
+    /// Total number of points.
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.runs.iter().map(|r| r.horizon() as usize + 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, RunBuilder};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn send_run(tick: Time, horizon: Time) -> Run<&'static str> {
+        let mut b = RunBuilder::new(2);
+        b.append(p(0), tick, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b.finish(horizon)
+    }
+
+    #[test]
+    fn blocks_partition_the_timeline() {
+        let sys = System::new(vec![send_run(2, 5)]);
+        // p0's history is empty on [0,1] and has one event on [2,5].
+        let empty_blocks = sys.indistinguishable_blocks(p(0), 0, 0);
+        assert_eq!(empty_blocks.len(), 1);
+        assert_eq!((empty_blocks[0].from, empty_blocks[0].to), (0, 1));
+        assert_eq!(empty_blocks[0].len, 0);
+        let sent_blocks = sys.indistinguishable_blocks(p(0), 0, 3);
+        assert_eq!(sent_blocks.len(), 1);
+        assert_eq!((sent_blocks[0].from, sent_blocks[0].to), (2, 5));
+        // p1 never observes anything: one block covering everything.
+        let p1_blocks = sys.indistinguishable_blocks(p(1), 0, 4);
+        assert_eq!((p1_blocks[0].from, p1_blocks[0].to), (0, 5));
+    }
+
+    #[test]
+    fn cross_run_indistinguishability() {
+        // Two runs where p0 sends at different ticks: after the send the
+        // histories coincide, so the classes span both runs.
+        let sys = System::new(vec![send_run(1, 4), send_run(3, 4)]);
+        let blocks = sys.indistinguishable_blocks(p(0), 0, 2);
+        let runs: Vec<usize> = blocks.iter().map(|b| b.run).collect();
+        assert_eq!(runs, vec![0, 1]);
+        // Point expansion covers the right ticks.
+        let pts: Vec<Point> = blocks.iter().flat_map(|b| b.points()).collect();
+        assert!(pts.contains(&Point::new(0, 1)));
+        assert!(pts.contains(&Point::new(1, 3)));
+        assert!(!pts.contains(&Point::new(1, 2))); // history still empty there
+    }
+
+    #[test]
+    fn reflexivity() {
+        let sys = System::new(vec![send_run(1, 3)]);
+        for pt in sys.points() {
+            for q in ProcessId::all(2) {
+                let blocks = sys.indistinguishable_blocks(q, pt.run, pt.time);
+                assert!(
+                    blocks
+                        .iter()
+                        .any(|b| b.run == pt.run && b.from <= pt.time && pt.time <= b.to),
+                    "point {pt} missing from its own ~_{q} class"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishable_histories_are_separated() {
+        let mut b = RunBuilder::<&str>::new(2);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
+        let rx = b.finish(3);
+        let sys = System::new(vec![send_run(1, 3), rx]);
+        // At tick 1, p0 sent "m" in run 0 and "x" in run 1: different classes.
+        let blocks = sys.indistinguishable_blocks(p(0), 0, 1);
+        assert!(blocks.iter().all(|b| b.run == 0));
+        // p1 saw nothing in either: same class.
+        let blocks = sys.indistinguishable_blocks(p(1), 0, 1);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn points_enumeration_and_count() {
+        let sys = System::new(vec![send_run(1, 2), send_run(1, 4)]);
+        assert_eq!(sys.point_count(), 3 + 5);
+        assert_eq!(sys.points().count(), 8);
+        assert_eq!(sys.len(), 2);
+        assert!(!sys.is_empty());
+        assert_eq!(sys.n(), 2);
+        assert_eq!(sys.run(1).horizon(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_system_panics() {
+        let _ = System::<u8>::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same process set")]
+    fn mismatched_process_counts_panic() {
+        let r2 = send_run(1, 2);
+        let mut b = RunBuilder::<&str>::new(3);
+        b.append(p(0), 1, Event::Crash).unwrap();
+        let r3 = b.finish(2);
+        let _ = System::new(vec![r2, r3]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Human-readable run traces.
+//!
+//! Debugging a distributed protocol means reading executions; [`trace`]
+//! renders a run as a tick-by-tick timeline with one column per process,
+//! in the spirit of the space–time diagrams of the literature. Only ticks
+//! carrying at least one event are printed.
+//!
+//! ```
+//! use ktudc_model::{trace, Event, ProcessId, RunBuilder};
+//!
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//! let mut b = RunBuilder::<&str>::new(2);
+//! b.append(p0, 1, Event::Send { to: p1, msg: "hi" })?;
+//! b.append(p1, 3, Event::Recv { from: p0, msg: "hi" })?;
+//! b.append(p1, 4, Event::Crash)?;
+//! let run = b.finish(5);
+//!
+//! let text = trace(&run);
+//! assert!(text.contains("send(p1, \"hi\")"));
+//! assert!(text.contains("crash"));
+//! # Ok::<(), ktudc_model::ModelError>(())
+//! ```
+
+use crate::{ProcessId, Run, Time};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+/// Renders the full run as a timeline table.
+#[must_use]
+pub fn trace<M: Debug>(run: &Run<M>) -> String {
+    trace_window(run, 0, run.horizon())
+}
+
+/// Renders the ticks of `[from, to]` (inclusive) as a timeline table.
+///
+/// # Panics
+///
+/// Panics if `to` exceeds the run's horizon.
+#[must_use]
+pub fn trace_window<M: Debug>(run: &Run<M>, from: Time, to: Time) -> String {
+    assert!(to <= run.horizon());
+    let n = run.n();
+    // Collect events per tick.
+    let mut by_tick: BTreeMap<Time, Vec<(ProcessId, String)>> = BTreeMap::new();
+    for p in ProcessId::all(n) {
+        for (t, e) in run.timed_history(p) {
+            if t >= from && t <= to {
+                by_tick.entry(t).or_default().push((p, format!("{e:?}")));
+            }
+        }
+    }
+    let width = by_tick
+        .values()
+        .flatten()
+        .map(|(_, s)| s.len())
+        .max()
+        .unwrap_or(8)
+        .max(8)
+        + 2;
+    let mut out = String::new();
+    let _ = write!(out, "{:>6} ", "tick");
+    for p in ProcessId::all(n) {
+        let _ = write!(out, "| {:<width$}", p.to_string());
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{:-<1$}", "", 7 + n * (width + 2));
+    for (t, events) in by_tick {
+        let _ = write!(out, "{t:>6} ");
+        for p in ProcessId::all(n) {
+            let cell = events
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, s)| s.as_str())
+                .unwrap_or("");
+            let _ = write!(out, "| {cell:<width$}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "horizon {} · F(r) = {} · {} events",
+        run.horizon(),
+        run.faulty(),
+        run.event_count()
+    );
+    out
+}
+
+/// One-line statistics summary of a run.
+#[must_use]
+pub fn summary<M>(run: &Run<M>) -> String {
+    format!(
+        "n={} horizon={} events={} sends={} faulty={}",
+        run.n(),
+        run.horizon(),
+        run.event_count(),
+        run.send_count_total(),
+        run.faulty()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, RunBuilder};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample() -> Run<&'static str> {
+        let mut b = RunBuilder::new(3);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
+        b.append(p(1), 2, Event::Recv { from: p(0), msg: "x" }).unwrap();
+        b.append(p(2), 4, Event::Crash).unwrap();
+        b.finish(6)
+    }
+
+    #[test]
+    fn trace_contains_all_events_and_metadata() {
+        let run = sample();
+        let text = trace(&run);
+        assert!(text.contains("send(p1, \"x\")"));
+        assert!(text.contains("recv(p0, \"x\")"));
+        assert!(text.contains("crash"));
+        assert!(text.contains("F(r) = {p2}"));
+        assert!(text.contains("3 events"));
+        // Header names every process column.
+        let header = text.lines().next().unwrap();
+        for i in 0..3 {
+            assert!(header.contains(&format!("p{i}")), "missing column p{i}");
+        }
+    }
+
+    #[test]
+    fn window_restricts_ticks() {
+        let run = sample();
+        let text = trace_window(&run, 3, 6);
+        assert!(!text.contains("send"));
+        assert!(text.contains("crash"));
+    }
+
+    #[test]
+    fn empty_run_still_renders() {
+        let run = RunBuilder::<u8>::new(2).finish(3);
+        let text = trace(&run);
+        assert!(text.contains("0 events"));
+        assert!(summary(&run).contains("events=0"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_beyond_horizon_panics() {
+        let run = sample();
+        let _ = trace_window(&run, 0, 99);
+    }
+}

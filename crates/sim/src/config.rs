@@ -1,0 +1,489 @@
+//! Simulation configuration: the *context* of a run.
+//!
+//! Section 2.1 of the paper defines a context as "a bound on the number of
+//! processes that can fail, a specification of properties of failure
+//! detectors, and a specification of communication properties".
+//! [`SimConfig`] captures the first and third (the failure-detector wiring
+//! is supplied separately as an [`FdOracle`](crate::FdOracle)), plus the
+//! operational knobs a finite simulation needs: horizon, seed, delivery
+//! delays, and the failure-detector polling period.
+
+use ktudc_model::{ActionId, ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel reliability regime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChannelKind {
+    /// Reliable channels: every sent copy is eventually delivered (after an
+    /// RNG-chosen delay of at most `max_delay` ticks). Used for the
+    /// Proposition 2.4 context.
+    Reliable {
+        /// Maximum delivery delay in ticks (≥ 1).
+        max_delay: Time,
+    },
+    /// Fair-lossy channels: each copy is independently dropped with
+    /// probability `drop_prob`; surviving copies are delivered after an
+    /// RNG-chosen delay of at most `max_delay` ticks. Messages are never
+    /// corrupted or duplicated (R3) and a message sent unboundedly often is
+    /// received unboundedly often (R5).
+    FairLossy {
+        /// Per-copy drop probability in `[0, 1)`. `1.0` would violate R5
+        /// and is rejected by [`SimConfig::channel`].
+        drop_prob: f64,
+        /// Maximum delivery delay in ticks (≥ 1).
+        max_delay: Time,
+    },
+}
+
+impl ChannelKind {
+    /// Reliable channels with the default maximum delay of 3 ticks.
+    #[must_use]
+    pub fn reliable() -> Self {
+        ChannelKind::Reliable { max_delay: 3 }
+    }
+
+    /// Fair-lossy channels with the given drop probability and the default
+    /// maximum delay of 3 ticks.
+    #[must_use]
+    pub fn fair_lossy(drop_prob: f64) -> Self {
+        ChannelKind::FairLossy {
+            drop_prob,
+            max_delay: 3,
+        }
+    }
+
+    /// The per-copy drop probability (0 for reliable channels).
+    #[must_use]
+    pub fn drop_prob(self) -> f64 {
+        match self {
+            ChannelKind::Reliable { .. } => 0.0,
+            ChannelKind::FairLossy { drop_prob, .. } => drop_prob,
+        }
+    }
+
+    /// The maximum delivery delay.
+    #[must_use]
+    pub fn max_delay(self) -> Time {
+        match self {
+            ChannelKind::Reliable { max_delay } | ChannelKind::FairLossy { max_delay, .. } => {
+                max_delay
+            }
+        }
+    }
+}
+
+/// When processes crash.
+///
+/// The plan is resolved to a concrete per-process crash tick at simulation
+/// start (see [`CrashPlan::resolve`]), so oracles that need the ground truth
+/// (e.g. a weakly-accurate detector choosing a never-suspected correct
+/// process) can consult it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrashPlan {
+    /// Nobody crashes.
+    None,
+    /// The listed processes crash at the listed ticks.
+    At(Vec<(ProcessId, Time)>),
+    /// Up to `max_failures` processes (chosen by the seed) crash at
+    /// RNG-chosen ticks within `1..=latest`.
+    Random {
+        /// Maximum number of crashes (the bound `t` of the context).
+        max_failures: usize,
+        /// Latest tick at which a crash may be scheduled.
+        latest: Time,
+    },
+}
+
+impl CrashPlan {
+    /// Convenience constructor for [`CrashPlan::At`] from `(index, tick)`
+    /// pairs.
+    #[must_use]
+    pub fn at(pairs: &[(usize, Time)]) -> Self {
+        CrashPlan::At(
+            pairs
+                .iter()
+                .map(|&(i, t)| (ProcessId::new(i), t))
+                .collect(),
+        )
+    }
+
+    /// Resolves the plan to a concrete crash tick per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit plan names a process out of range, schedules a
+    /// crash at tick 0, or names a process twice.
+    #[must_use]
+    pub fn resolve(&self, n: usize, rng: &mut StdRng) -> Vec<Option<Time>> {
+        let mut times = vec![None; n];
+        match self {
+            CrashPlan::None => {}
+            CrashPlan::At(pairs) => {
+                for &(p, t) in pairs {
+                    assert!(p.index() < n, "crash plan names {p} in a {n}-process system");
+                    assert!(t >= 1, "crashes cannot be scheduled at tick 0 (R1)");
+                    assert!(times[p.index()].is_none(), "duplicate crash for {p}");
+                    times[p.index()] = Some(t);
+                }
+            }
+            CrashPlan::Random { max_failures, latest } => {
+                let count = rng.gen_range(0..=(*max_failures).min(n));
+                let mut indices: Vec<usize> = (0..n).collect();
+                for _ in 0..count {
+                    let k = rng.gen_range(0..indices.len());
+                    let idx = indices.swap_remove(k);
+                    times[idx] = Some(rng.gen_range(1..=(*latest).max(1)));
+                }
+            }
+        }
+        times
+    }
+}
+
+/// The coordination workload: which actions get initiated, by whom, when.
+///
+/// Initiation is driven by the environment (a client request arriving at a
+/// process), not by the protocol: the scheduler appends `init_p(α)` to `p`'s
+/// history at the scheduled tick (if `p` is still alive and has a free slot)
+/// and the protocol reacts to observing it — exactly the paper's reading of
+/// "`init_p(α)` is in `p`'s history".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Workload {
+    schedule: Vec<(Time, ActionId)>,
+}
+
+impl Workload {
+    /// The empty workload.
+    #[must_use]
+    pub fn none() -> Self {
+        Workload::default()
+    }
+
+    /// One action, owned by process `initiator`, initiated at `tick`.
+    #[must_use]
+    pub fn single(initiator: usize, tick: Time) -> Self {
+        Workload {
+            schedule: vec![(tick, ActionId::new(ProcessId::new(initiator), 0))],
+        }
+    }
+
+    /// A recurring workload: starting at tick 1, every `period` ticks a
+    /// fresh action is initiated, with initiators rotating round-robin over
+    /// all `n` processes, until `until`. This realizes the "infinitely many
+    /// actions are initiated" hypothesis of Theorems 3.6 and 4.3 on a finite
+    /// window.
+    #[must_use]
+    pub fn periodic(n: usize, period: Time, until: Time) -> Self {
+        assert!(period >= 1);
+        let mut schedule = Vec::new();
+        let mut seqs = vec![0u32; n];
+        let mut t = 1;
+        let mut who = 0usize;
+        while t <= until {
+            let p = ProcessId::new(who);
+            schedule.push((t, ActionId::new(p, seqs[who])));
+            seqs[who] += 1;
+            who = (who + 1) % n;
+            t += period;
+        }
+        Workload { schedule }
+    }
+
+    /// Adds one initiation to the schedule.
+    pub fn push(&mut self, tick: Time, action: ActionId) -> &mut Self {
+        self.schedule.push((tick, action));
+        self
+    }
+
+    /// The scheduled initiations, in schedule order.
+    #[must_use]
+    pub fn schedule(&self) -> &[(Time, ActionId)] {
+        &self.schedule
+    }
+
+    /// All distinct actions in the workload.
+    #[must_use]
+    pub fn actions(&self) -> Vec<ActionId> {
+        let mut v: Vec<ActionId> = self.schedule.iter().map(|&(_, a)| a).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Initiations scheduled at exactly `tick`.
+    pub fn at_tick(&self, tick: Time) -> impl Iterator<Item = ActionId> + '_ {
+        self.schedule
+            .iter()
+            .filter(move |&&(t, _)| t == tick)
+            .map(|&(_, a)| a)
+    }
+}
+
+/// Full configuration of one simulated context.
+///
+/// Built with a fluent API:
+///
+/// ```
+/// use ktudc_sim::{ChannelKind, CrashPlan, SimConfig};
+///
+/// let config = SimConfig::new(5)
+///     .channel(ChannelKind::fair_lossy(0.3))
+///     .crashes(CrashPlan::at(&[(1, 4)]))
+///     .horizon(400)
+///     .seed(42);
+/// assert_eq!(config.n(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    n: usize,
+    horizon: Time,
+    seed: u64,
+    channel: ChannelKind,
+    crashes: CrashPlan,
+    fd_period: Time,
+    /// Probability that, when both a deliverable message and a protocol
+    /// action are available, the scheduler picks the delivery.
+    deliver_bias: f64,
+}
+
+impl SimConfig {
+    /// A configuration for `n` processes with reliable channels, no crashes,
+    /// horizon 200, seed 0, failure-detector polling every 4 ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`ProcessId::MAX_PROCESSES`].
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= ProcessId::MAX_PROCESSES);
+        SimConfig {
+            n,
+            horizon: 200,
+            seed: 0,
+            channel: ChannelKind::reliable(),
+            crashes: CrashPlan::None,
+            fd_period: 4,
+            deliver_bias: 0.6,
+        }
+    }
+
+    /// Sets the channel regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fair-lossy drop probability is not in `[0, 1)`.
+    #[must_use]
+    pub fn channel(mut self, channel: ChannelKind) -> Self {
+        if let ChannelKind::FairLossy { drop_prob, .. } = channel {
+            assert!(
+                (0.0..1.0).contains(&drop_prob),
+                "drop_prob must be in [0,1): a channel dropping everything is not fair (R5)"
+            );
+        }
+        assert!(channel.max_delay() >= 1);
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the crash plan.
+    #[must_use]
+    pub fn crashes(mut self, crashes: CrashPlan) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Sets the horizon (last simulated tick).
+    #[must_use]
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        assert!(horizon >= 1);
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the RNG seed. Identical configurations with identical seeds
+    /// produce identical runs.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how often (in ticks) each process polls its failure detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn fd_period(mut self, period: Time) -> Self {
+        assert!(period >= 1);
+        self.fd_period = period;
+        self
+    }
+
+    /// Sets the scheduler's bias toward deliveries over protocol actions
+    /// when both are available (default 0.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not in `[0, 1]`.
+    #[must_use]
+    pub fn deliver_bias(mut self, bias: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bias));
+        self.deliver_bias = bias;
+        self
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The last simulated tick.
+    #[must_use]
+    pub fn horizon_ticks(&self) -> Time {
+        self.horizon
+    }
+
+    /// The RNG seed.
+    #[must_use]
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The channel regime.
+    #[must_use]
+    pub fn channel_kind(&self) -> ChannelKind {
+        self.channel
+    }
+
+    /// The crash plan.
+    #[must_use]
+    pub fn crash_plan(&self) -> &CrashPlan {
+        &self.crashes
+    }
+
+    /// The failure-detector polling period.
+    #[must_use]
+    pub fn fd_period_ticks(&self) -> Time {
+        self.fd_period
+    }
+
+    /// The delivery bias.
+    #[must_use]
+    pub fn deliver_bias_value(&self) -> f64 {
+        self.deliver_bias
+    }
+
+    /// Creates the seeded RNG for this configuration.
+    #[must_use]
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_accessors() {
+        assert_eq!(ChannelKind::reliable().drop_prob(), 0.0);
+        assert_eq!(ChannelKind::fair_lossy(0.4).drop_prob(), 0.4);
+        assert_eq!(ChannelKind::fair_lossy(0.4).max_delay(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn total_loss_is_rejected() {
+        let _ = SimConfig::new(2).channel(ChannelKind::fair_lossy(1.0));
+    }
+
+    #[test]
+    fn crash_plan_resolution_explicit() {
+        let plan = CrashPlan::at(&[(0, 3), (2, 7)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let times = plan.resolve(3, &mut rng);
+        assert_eq!(times, vec![Some(3), None, Some(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash")]
+    fn crash_plan_rejects_duplicates() {
+        let plan = CrashPlan::at(&[(0, 3), (0, 7)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = plan.resolve(3, &mut rng);
+    }
+
+    #[test]
+    fn crash_plan_random_respects_bound() {
+        let plan = CrashPlan::Random {
+            max_failures: 2,
+            latest: 10,
+        };
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let times = plan.resolve(5, &mut rng);
+            let crashed = times.iter().filter(|t| t.is_some()).count();
+            assert!(crashed <= 2, "seed {seed} crashed {crashed}");
+            for t in times.into_iter().flatten() {
+                assert!((1..=10).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_plan_random_is_deterministic_per_seed() {
+        let plan = CrashPlan::Random {
+            max_failures: 3,
+            latest: 9,
+        };
+        let a = plan.resolve(6, &mut StdRng::seed_from_u64(11));
+        let b = plan.resolve(6, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_single_and_actions() {
+        let w = Workload::single(2, 5);
+        assert_eq!(w.schedule().len(), 1);
+        let a = w.actions()[0];
+        assert_eq!(a.initiator(), ProcessId::new(2));
+        assert_eq!(w.at_tick(5).count(), 1);
+        assert_eq!(w.at_tick(4).count(), 0);
+    }
+
+    #[test]
+    fn workload_periodic_rotates_initiators() {
+        let w = Workload::periodic(3, 2, 10);
+        // Ticks 1,3,5,7,9 → 5 initiations, initiators 0,1,2,0,1.
+        assert_eq!(w.schedule().len(), 5);
+        let initiators: Vec<usize> = w
+            .schedule()
+            .iter()
+            .map(|(_, a)| a.initiator().index())
+            .collect();
+        assert_eq!(initiators, vec![0, 1, 2, 0, 1]);
+        // Actions are all distinct (fresh sequence numbers per initiator).
+        assert_eq!(w.actions().len(), 5);
+    }
+
+    #[test]
+    fn config_fluent_api() {
+        let c = SimConfig::new(4)
+            .channel(ChannelKind::fair_lossy(0.2))
+            .crashes(CrashPlan::at(&[(1, 2)]))
+            .horizon(99)
+            .seed(5)
+            .fd_period(7)
+            .deliver_bias(0.5);
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.horizon_ticks(), 99);
+        assert_eq!(c.seed_value(), 5);
+        assert_eq!(c.fd_period_ticks(), 7);
+        assert_eq!(c.deliver_bias_value(), 0.5);
+        assert_eq!(c.channel_kind().drop_prob(), 0.2);
+        assert_eq!(c.crash_plan(), &CrashPlan::at(&[(1, 2)]));
+    }
+}

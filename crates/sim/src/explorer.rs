@@ -1,0 +1,559 @@
+//! Exhaustive schedule enumeration for small systems.
+//!
+//! The epistemic model checker of `ktudc-epistemic` is *exact* only over the
+//! complete system of runs a protocol generates in a context. For small
+//! parameters (2–3 processes, horizons of a handful of ticks) that system is
+//! finite and enumerable: at each tick each live process nondeterministically
+//! chooses to **stutter**, **crash** (while the failure budget lasts),
+//! **receive** one pending message, or take its next **protocol action**.
+//! The explorer branches over every combination, capturing the scheduler
+//! adversary in full.
+//!
+//! Message loss needs no separate branch: at a finite horizon, a message
+//! dropped by the channel is indistinguishable from one that is still in
+//! flight, and the stutter branch already covers "not delivered yet" at
+//! every tick. The generated systems therefore satisfy the unreliable-
+//! communication reading of the paper's condition A2 (any message may fail
+//! to arrive).
+//!
+//! Failure-detector behaviour is *not* branched over (that would explode the
+//! state space); instead an optional deterministic oracle function maps the
+//! branch-local crashed set to a report, which suffices for perfect-FD
+//! contexts.
+
+use crate::protocol::{ProtoAction, Protocol};
+use ktudc_model::{Event, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, System, Time};
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// Deterministic failure-detector rule for the explorer: given the polling
+/// process, the tick, and the branch-local crashed set, optionally produce a
+/// report.
+pub type ExplorerFd = fn(ProcessId, Time, ProcSet) -> Option<SuspectReport>;
+
+/// Configuration of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Number of processes (keep at 2–3).
+    pub n: usize,
+    /// Last tick to simulate (keep small; branching is exponential in
+    /// `n · horizon`).
+    pub horizon: Time,
+    /// Maximum number of crashes across the run (the context's bound `t`).
+    pub max_failures: usize,
+    /// If `false`, a process only stutters when it has no other choice,
+    /// shrinking the space at the cost of scheduler coverage.
+    pub allow_stutter: bool,
+    /// Optional deterministic failure-detector rule.
+    pub fd: Option<ExplorerFd>,
+    /// With `fd_forced` (the default) a tick where the rule emits gives the
+    /// process no other choice (deterministic reports, smaller state
+    /// space); otherwise the report is one more branch — needed when the
+    /// A-conditions must hold, since a forced report can preempt a crash.
+    pub fd_forced: bool,
+    /// Initiations: `(tick, action)`. With `forced_initiations` (the
+    /// default) the initiator deterministically takes the `init` slot at
+    /// that tick; with optional initiations the `init` becomes one more
+    /// *branch* available at every tick from the scheduled one onward (and
+    /// may never be taken at all), which matches contexts where requests
+    /// arrive asynchronously — the setting the knowledge conditions A3/A4
+    /// of the paper presuppose.
+    pub initiations: Vec<(Time, ktudc_model::ActionId)>,
+    /// See [`ExploreConfig::initiations`].
+    pub forced_initiations: bool,
+    /// Hard cap on generated runs; exceeded explorations are truncated and
+    /// flagged in [`ExploreResult::complete`].
+    pub max_runs: usize,
+}
+
+impl ExploreConfig {
+    /// A default exploration: `n` processes, the given horizon, up to
+    /// `n − 1` failures, stutter allowed, no failure detector, no workload,
+    /// 200 000-run cap.
+    #[must_use]
+    pub fn new(n: usize, horizon: Time) -> Self {
+        ExploreConfig {
+            n,
+            horizon,
+            max_failures: n.saturating_sub(1),
+            allow_stutter: true,
+            fd: None,
+            fd_forced: true,
+            initiations: Vec::new(),
+            forced_initiations: true,
+            max_runs: 200_000,
+        }
+    }
+
+    /// Sets the failure budget.
+    #[must_use]
+    pub fn max_failures(mut self, t: usize) -> Self {
+        self.max_failures = t;
+        self
+    }
+
+    /// Sets the deterministic failure-detector rule.
+    #[must_use]
+    pub fn fd(mut self, fd: ExplorerFd) -> Self {
+        self.fd = Some(fd);
+        self
+    }
+
+    /// Makes failure-detector reports a branch instead of preempting the
+    /// slot (see [`ExploreConfig::fd_forced`]).
+    #[must_use]
+    pub fn optional_fd(mut self) -> Self {
+        self.fd_forced = false;
+        self
+    }
+
+    /// Adds an initiation to the workload.
+    #[must_use]
+    pub fn initiate(mut self, tick: Time, action: ktudc_model::ActionId) -> Self {
+        self.initiations.push((tick, action));
+        self
+    }
+
+    /// Makes initiations optional branches instead of forced events: from
+    /// the scheduled tick onward the initiator *may* initiate (once), or
+    /// never. Required for the A3/A4 context conditions to hold, since
+    /// forced initiations make `init` derivable from elapsed time.
+    #[must_use]
+    pub fn optional_initiations(mut self) -> Self {
+        self.forced_initiations = false;
+        self
+    }
+
+    /// Sets the run cap.
+    #[must_use]
+    pub fn max_runs(mut self, cap: usize) -> Self {
+        self.max_runs = cap;
+        self
+    }
+
+    /// Disables the unconditional stutter branch.
+    #[must_use]
+    pub fn without_stutter(mut self) -> Self {
+        self.allow_stutter = false;
+        self
+    }
+}
+
+/// The result of an exploration.
+#[derive(Debug)]
+pub struct ExploreResult<M> {
+    /// The generated system.
+    pub system: System<M>,
+    /// `false` if the run cap truncated the enumeration, in which case
+    /// downstream epistemic verdicts are only sound for *violations* (a
+    /// larger system can only refute more knowledge, not restore it).
+    pub complete: bool,
+}
+
+#[derive(Clone)]
+struct ExploreState<M, P> {
+    builder: RunBuilder<M>,
+    protocols: Vec<P>,
+    /// FIFO channel contents, indexed `from * n + to`.
+    channels: Vec<VecDeque<M>>,
+    crashes: usize,
+    /// Which entries of `config.initiations` have fired, by index.
+    inits_done: Vec<bool>,
+}
+
+/// One process's options at a tick.
+enum Choice<M> {
+    Stutter,
+    Crash,
+    Init(ktudc_model::ActionId),
+    Suspect(SuspectReport),
+    Recv(ProcessId),
+    Act(ProtoAction<M>),
+}
+
+/// Exhaustively enumerates the system generated by the protocol in the
+/// configured context.
+///
+/// # Panics
+///
+/// Panics if `config.n` is zero or exceeds the supported maximum.
+pub fn explore<M, P, F>(config: &ExploreConfig, make: F) -> ExploreResult<M>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+    F: Fn(ProcessId) -> P,
+{
+    let n = config.n;
+    let mut protocols: Vec<P> = ProcessId::all(n)
+        .map(|p| {
+            let mut proto = make(p);
+            proto.start(p, n);
+            proto
+        })
+        .collect();
+    let state = ExploreState {
+        builder: RunBuilder::new(n),
+        protocols: std::mem::take(&mut protocols),
+        channels: (0..n * n).map(|_| VecDeque::new()).collect(),
+        crashes: 0,
+        inits_done: vec![false; config.initiations.len()],
+    };
+    let mut runs: Vec<Run<M>> = Vec::new();
+    let mut complete = true;
+    dfs(config, state, 1, 0, &mut runs, &mut complete);
+    ExploreResult {
+        system: System::new(runs),
+        complete,
+    }
+}
+
+fn choices_for<M, P>(
+    config: &ExploreConfig,
+    state: &mut ExploreState<M, P>,
+    p: ProcessId,
+    t: Time,
+) -> Vec<Choice<M>>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    let n = config.n;
+    if state.builder.crashed().contains(p) {
+        return vec![Choice::Stutter];
+    }
+    // Scheduled initiations: deterministic preemption when forced, an
+    // extra branch when optional.
+    let mut pending_init: Option<(usize, ktudc_model::ActionId)> = None;
+    for (i, &(it, a)) in config.initiations.iter().enumerate() {
+        if a.initiator() != p || state.inits_done[i] {
+            continue;
+        }
+        if config.forced_initiations {
+            if it == t {
+                return vec![Choice::Init(a)];
+            }
+        } else if it <= t {
+            pending_init = Some((i, a));
+            break;
+        }
+    }
+    // A deterministic failure-detector report takes the slot when forced;
+    // otherwise it becomes one more branch below.
+    let mut fd_report = None;
+    if let Some(fd) = config.fd {
+        if let Some(report) = fd(p, t, state.builder.crashed()) {
+            if config.fd_forced {
+                return vec![Choice::Suspect(report)];
+            }
+            fd_report = Some(report);
+        }
+    }
+    let mut choices = Vec::new();
+    if config.allow_stutter {
+        choices.push(Choice::Stutter);
+    }
+    if state.crashes < config.max_failures {
+        choices.push(Choice::Crash);
+    }
+    if let Some((_, a)) = pending_init {
+        choices.push(Choice::Init(a));
+    }
+    if let Some(report) = fd_report {
+        choices.push(Choice::Suspect(report));
+    }
+    for from in ProcessId::all(n) {
+        if !state.channels[from.index() * n + p.index()].is_empty() {
+            choices.push(Choice::Recv(from));
+        }
+    }
+    // `next_action` may mutate protocol state, so probe on a clone and keep
+    // the original untouched; the action is re-derived on the branch clone.
+    let mut probe = state.protocols[p.index()].clone();
+    if let Some(action) = probe.next_action(t) {
+        choices.push(Choice::Act(action));
+    }
+    if choices.is_empty() {
+        choices.push(Choice::Stutter);
+    }
+    choices
+}
+
+fn dfs<M, P>(
+    config: &ExploreConfig,
+    mut state: ExploreState<M, P>,
+    t: Time,
+    p_idx: usize,
+    runs: &mut Vec<Run<M>>,
+    complete: &mut bool,
+) where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    if runs.len() >= config.max_runs {
+        *complete = false;
+        return;
+    }
+    if t > config.horizon {
+        runs.push(state.builder.finish(config.horizon));
+        return;
+    }
+    if p_idx == config.n {
+        dfs(config, state, t + 1, 0, runs, complete);
+        return;
+    }
+    let p = ProcessId::new(p_idx);
+    let n = config.n;
+    let choices = choices_for(config, &mut state, p, t);
+    let last = choices.len() - 1;
+    for (i, choice) in choices.into_iter().enumerate() {
+        // Reuse the state on the final branch instead of cloning it.
+        let mut s = if i == last {
+            std::mem::replace(
+                &mut state,
+                ExploreState {
+                    builder: RunBuilder::new(n),
+                    protocols: Vec::new(),
+                    channels: Vec::new(),
+                    crashes: 0,
+                    inits_done: Vec::new(),
+                },
+            )
+        } else {
+            state.clone()
+        };
+        match choice {
+            Choice::Stutter => {}
+            Choice::Crash => {
+                s.builder.append(p, t, Event::Crash).expect("crash append");
+                s.crashes += 1;
+                // Undelivered messages to a crashed process can never be
+                // received; clear them so they do not generate choices.
+                for from in ProcessId::all(n) {
+                    s.channels[from.index() * n + p.index()].clear();
+                }
+            }
+            Choice::Init(action) => {
+                let event = Event::Init { action };
+                s.builder.append(p, t, event.clone()).expect("init append");
+                s.protocols[p.index()].observe(t, &event);
+                if let Some(i) = config
+                    .initiations
+                    .iter()
+                    .position(|&(_, a)| a == action)
+                {
+                    s.inits_done[i] = true;
+                }
+            }
+            Choice::Suspect(report) => {
+                let event = Event::Suspect(report);
+                s.builder.append(p, t, event.clone()).expect("suspect append");
+                s.protocols[p.index()].observe(t, &event);
+            }
+            Choice::Recv(from) => {
+                let msg = s.channels[from.index() * n + p.index()]
+                    .pop_front()
+                    .expect("choice guaranteed a pending message");
+                let event = Event::Recv { from, msg };
+                s.builder.append(p, t, event.clone()).expect("recv append");
+                s.protocols[p.index()].observe(t, &event);
+            }
+            Choice::Act(_) => {
+                // Re-derive the action on this branch's own protocol state.
+                match s.protocols[p.index()].next_action(t) {
+                    Some(ProtoAction::Send { to, msg }) => {
+                        let event = Event::Send {
+                            to,
+                            msg: msg.clone(),
+                        };
+                        s.builder.append(p, t, event.clone()).expect("send append");
+                        s.protocols[p.index()].observe(t, &event);
+                        if !s.builder.crashed().contains(to) {
+                            s.channels[p.index() * n + to.index()].push_back(msg);
+                        }
+                    }
+                    Some(ProtoAction::Do(action)) => {
+                        let event = Event::Do { action };
+                        s.builder.append(p, t, event.clone()).expect("do append");
+                        s.protocols[p.index()].observe(t, &event);
+                    }
+                    None => unreachable!("probe saw an action; protocols are deterministic"),
+                }
+            }
+        }
+        dfs(config, s, t, p_idx + 1, runs, complete);
+        if runs.len() >= config.max_runs {
+            *complete = false;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktudc_model::ActionId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A protocol that does nothing, ever.
+    #[derive(Clone, Debug)]
+    struct Idle;
+
+    impl<M> Protocol<M> for Idle {
+        fn start(&mut self, _me: ProcessId, _n: usize) {}
+        fn observe(&mut self, _time: Time, _event: &Event<M>) {}
+        fn next_action(&mut self, _time: Time) -> Option<ProtoAction<M>> {
+            None
+        }
+        fn quiescent(&self) -> bool {
+            true
+        }
+    }
+
+    /// Sends one message p0 → p1 at the first opportunity.
+    #[derive(Clone, Debug)]
+    struct OneShot {
+        me: ProcessId,
+        sent: bool,
+    }
+
+    impl Protocol<u8> for OneShot {
+        fn start(&mut self, me: ProcessId, _n: usize) {
+            self.me = me;
+        }
+        fn observe(&mut self, _time: Time, event: &Event<u8>) {
+            if matches!(event, Event::Send { .. }) {
+                self.sent = true;
+            }
+        }
+        fn next_action(&mut self, _time: Time) -> Option<ProtoAction<u8>> {
+            if self.me == ProcessId::new(0) && !self.sent {
+                Some(ProtoAction::Send {
+                    to: ProcessId::new(1),
+                    msg: 42,
+                })
+            } else {
+                None
+            }
+        }
+        fn quiescent(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn idle_no_failures_yields_single_run() {
+        let cfg = ExploreConfig::new(2, 3).max_failures(0);
+        let result = explore::<u8, _, _>(&cfg, |_| Idle);
+        assert!(result.complete);
+        // Only stuttering: exactly one run, with empty histories.
+        assert_eq!(result.system.len(), 1);
+        assert_eq!(result.system.run(0).event_count(), 0);
+    }
+
+    #[test]
+    fn failure_budget_bounds_crash_count() {
+        let cfg = ExploreConfig::new(2, 2).max_failures(1);
+        let result = explore::<u8, _, _>(&cfg, |_| Idle);
+        assert!(result.complete);
+        assert!(result.system.len() > 1);
+        for run in result.system.runs() {
+            assert!(run.faulty().len() <= 1);
+            run.check_conditions(0).unwrap();
+        }
+        // Some run crashes p0, some run crashes p1, some run crashes nobody.
+        let faulties: Vec<ProcSet> = result.system.runs().iter().map(Run::faulty).collect();
+        assert!(faulties.contains(&ProcSet::new()));
+        assert!(faulties.contains(&ProcSet::singleton(p(0))));
+        assert!(faulties.contains(&ProcSet::singleton(p(1))));
+    }
+
+    #[test]
+    fn oneshot_generates_delivered_and_undelivered_branches() {
+        let cfg = ExploreConfig::new(2, 3).max_failures(0);
+        let result = explore(&cfg, |_| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        });
+        assert!(result.complete);
+        let mut saw_delivery = false;
+        let mut saw_loss = false;
+        for run in result.system.runs() {
+            run.check_conditions(0).unwrap();
+            let received = run.view_at(p(1), run.horizon()).received(p(0), &42);
+            let sent = run.view_at(p(0), run.horizon()).sent(p(1), &42);
+            if sent && received {
+                saw_delivery = true;
+            }
+            if sent && !received {
+                saw_loss = true;
+            }
+        }
+        assert!(saw_delivery, "some schedule delivers the message");
+        assert!(saw_loss, "some schedule never delivers it (loss/delay)");
+    }
+
+    #[test]
+    fn initiations_are_forced_deterministically() {
+        let alpha = ActionId::new(p(0), 0);
+        let cfg = ExploreConfig::new(2, 2).max_failures(0).initiate(1, alpha);
+        let result = explore::<u8, _, _>(&cfg, |_| Idle);
+        for run in result.system.runs() {
+            assert!(
+                run.view_at(p(0), run.horizon()).initiated(alpha),
+                "initiation must appear in every run (no crash can preempt it with budget 0)"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_rule_takes_the_slot() {
+        fn always_report(p: ProcessId, t: Time, crashed: ProcSet) -> Option<SuspectReport> {
+            // Report the crashed set at tick 2 only.
+            (t == 2 && !crashed.contains(p)).then_some(SuspectReport::Standard(crashed))
+        }
+        let cfg = ExploreConfig::new(2, 2).max_failures(1).fd(always_report);
+        let result = explore::<u8, _, _>(&cfg, |_| Idle);
+        for run in result.system.runs() {
+            for q in ProcessId::all(2) {
+                if run.crash_time(q).map_or(true, |ct| ct > 2) {
+                    let reports: Vec<_> = run.view_at(q, 2).suspect_reports().collect();
+                    assert_eq!(reports.len(), 1, "live process must report at tick 2");
+                    // Perfect-style accuracy: only actually-crashed suspected.
+                    if let SuspectReport::Standard(s) = reports[0] {
+                        assert!(s.is_subset_of(run.crashed_by(2)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_cap_truncates_and_flags() {
+        let cfg = ExploreConfig::new(3, 3).max_runs(10);
+        let result = explore::<u8, _, _>(&cfg, |_| Idle);
+        assert!(!result.complete);
+        assert!(result.system.len() <= 10);
+    }
+
+    #[test]
+    fn without_stutter_shrinks_the_space() {
+        let big = explore(
+            &ExploreConfig::new(2, 3).max_failures(0),
+            |_| OneShot {
+                me: ProcessId::new(0),
+                sent: false,
+            },
+        );
+        let small = explore(
+            &ExploreConfig::new(2, 3).max_failures(0).without_stutter(),
+            |_| OneShot {
+                me: ProcessId::new(0),
+                sent: false,
+            },
+        );
+        assert!(small.system.len() < big.system.len());
+    }
+}

@@ -1,0 +1,221 @@
+//! In-flight message state for the Monte-Carlo runner.
+//!
+//! Channels are unidirectional, per ordered pair of processes. They never
+//! corrupt or duplicate (R3 holds by construction: only sent copies are
+//! enqueued, each at most once). Loss is decided *at send time*: under
+//! [`ChannelKind::FairLossy`](crate::ChannelKind) each copy independently
+//! survives with probability `1 − drop_prob`; surviving copies receive an
+//! RNG-chosen arrival tick. Delivery order within a channel follows arrival
+//! ticks, not send order — channels are not FIFO, matching the paper's
+//! minimal assumptions.
+
+use crate::config::ChannelKind;
+use ktudc_model::{ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+struct InFlight<M> {
+    msg: M,
+    arrival: Time,
+    /// Monotone sequence number breaking arrival ties deterministically.
+    seq: u64,
+}
+
+/// The in-flight message state of all `n²` channels.
+#[derive(Clone, Debug)]
+pub struct Network<M> {
+    n: usize,
+    channels: Vec<Vec<InFlight<M>>>,
+    next_seq: u64,
+    sent: u64,
+    dropped: u64,
+}
+
+impl<M> Network<M> {
+    /// Creates an empty network for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Network {
+            n,
+            channels: (0..n * n).map(|_| Vec::new()).collect(),
+            next_seq: 0,
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    fn idx(&self, from: ProcessId, to: ProcessId) -> usize {
+        from.index() * self.n + to.index()
+    }
+
+    /// Records a send at tick `now`; the copy may be dropped (fair-lossy) or
+    /// scheduled for a later arrival.
+    pub fn send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        now: Time,
+        kind: ChannelKind,
+        rng: &mut StdRng,
+    ) {
+        self.sent += 1;
+        if let ChannelKind::FairLossy { drop_prob, .. } = kind {
+            if rng.gen_bool(drop_prob) {
+                self.dropped += 1;
+                return;
+            }
+        }
+        let delay = rng.gen_range(1..=kind.max_delay());
+        let idx = self.idx(from, to);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.channels[idx].push(InFlight {
+            msg,
+            arrival: now + delay,
+            seq,
+        });
+    }
+
+    /// Removes and returns the deliverable message for `to` with the
+    /// earliest arrival tick ≤ `now` (ties broken by send order, then by
+    /// sender index), if any.
+    pub fn deliver_one(&mut self, to: ProcessId, now: Time) -> Option<(ProcessId, M)> {
+        let mut best: Option<(usize, usize, Time, u64)> = None; // (chan, pos, arrival, seq)
+        for from in ProcessId::all(self.n) {
+            let c = self.idx(from, to);
+            for (pos, inf) in self.channels[c].iter().enumerate() {
+                if inf.arrival <= now {
+                    let better = match best {
+                        None => true,
+                        Some((_, _, a, s)) => (inf.arrival, inf.seq) < (a, s),
+                    };
+                    if better {
+                        best = Some((c, pos, inf.arrival, inf.seq));
+                    }
+                }
+            }
+        }
+        best.map(|(c, pos, _, _)| {
+            let inf = self.channels[c].remove(pos);
+            (ProcessId::new(c / self.n), inf.msg)
+        })
+    }
+
+    /// Whether any message for `to` is deliverable at `now`.
+    #[must_use]
+    pub fn has_deliverable(&self, to: ProcessId, now: Time) -> bool {
+        ProcessId::all(self.n).any(|from| {
+            self.channels[self.idx(from, to)]
+                .iter()
+                .any(|inf| inf.arrival <= now)
+        })
+    }
+
+    /// Discards everything still in flight toward `to` (used when `to`
+    /// crashes: undelivered copies can never be received).
+    pub fn drop_all_to(&mut self, to: ProcessId) {
+        for from in ProcessId::all(self.n) {
+            let idx = self.idx(from, to);
+            self.dropped += self.channels[idx].len() as u64;
+            self.channels[idx].clear();
+        }
+    }
+
+    /// Whether nothing is in flight anywhere.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(Vec::is_empty)
+    }
+
+    /// Total copies handed to the network (including dropped ones).
+    #[must_use]
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Copies lost to channel unreliability (plus copies discarded at a
+    /// receiver's crash).
+    #[must_use]
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn reliable_delivery_in_arrival_order() {
+        let mut net = Network::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let kind = ChannelKind::Reliable { max_delay: 1 };
+        net.send(p(0), p(1), "a", 1, kind, &mut rng);
+        net.send(p(0), p(1), "b", 2, kind, &mut rng);
+        assert!(!net.has_deliverable(p(1), 1));
+        assert!(net.has_deliverable(p(1), 2));
+        assert_eq!(net.deliver_one(p(1), 5), Some((p(0), "a")));
+        assert_eq!(net.deliver_one(p(1), 5), Some((p(0), "b")));
+        assert_eq!(net.deliver_one(p(1), 5), None);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn lossy_channels_drop_some_but_not_all() {
+        let mut net = Network::new(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let kind = ChannelKind::fair_lossy(0.5);
+        for t in 1..=200 {
+            net.send(p(0), p(1), t, t, kind, &mut rng);
+        }
+        let delivered = std::iter::from_fn(|| net.deliver_one(p(1), 10_000)).count();
+        assert!(delivered > 50, "delivered only {delivered} of 200");
+        assert!(delivered < 150, "delivered {delivered} of 200 at 50% loss");
+        assert_eq!(net.sent_count(), 200);
+        assert_eq!(net.dropped_count() as usize, 200 - delivered);
+    }
+
+    #[test]
+    fn no_delivery_to_other_process() {
+        let mut net = Network::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        net.send(p(0), p(1), 1u8, 1, ChannelKind::Reliable { max_delay: 1 }, &mut rng);
+        assert_eq!(net.deliver_one(p(2), 100), None);
+        assert_eq!(net.deliver_one(p(0), 100), None);
+        assert!(net.deliver_one(p(1), 100).is_some());
+    }
+
+    #[test]
+    fn drop_all_to_clears_inbound() {
+        let mut net = Network::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let kind = ChannelKind::Reliable { max_delay: 2 };
+        net.send(p(0), p(1), 1u8, 1, kind, &mut rng);
+        net.send(p(1), p(0), 2u8, 1, kind, &mut rng);
+        net.drop_all_to(p(1));
+        assert_eq!(net.deliver_one(p(1), 100), None);
+        assert_eq!(net.deliver_one(p(0), 100), Some((p(1), 2u8)));
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let run = |seed: u64| {
+            let mut net = Network::new(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kind = ChannelKind::fair_lossy(0.3);
+            for t in 1..=50 {
+                net.send(p(0), p(1), t, t, kind, &mut rng);
+            }
+            std::iter::from_fn(|| net.deliver_one(p(1), 1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4)); // overwhelmingly likely
+    }
+}

@@ -1,0 +1,196 @@
+//! The protocol interface: deterministic state machines over local
+//! histories.
+//!
+//! The paper defines a protocol for process `p` as a function from finite
+//! histories to actions (§2.1). Re-deriving decisions from the whole history
+//! at every step would be needlessly slow, so [`Protocol`] is the standard
+//! incremental equivalent: the state machine *observes* each event as it is
+//! appended to its own history ([`Protocol::observe`]) and, when the
+//! scheduler grants it an event slot, proposes at most one action
+//! ([`Protocol::next_action`]). Because `observe` is driven exclusively by
+//! the process's own history, any `Protocol` is semantically a function of
+//! the local history, as required.
+//!
+//! Coordination-action *initiations* are driven by the environment (the
+//! [`Workload`](crate::Workload)), so a protocol action is either a send or
+//! the execution (`do`) of a coordination action.
+
+use ktudc_model::{ActionId, Event, ProcessId, Time};
+use std::collections::VecDeque;
+
+/// An action a protocol may take when granted an event slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoAction<M> {
+    /// Send `msg` to `to` (the event `send_p(to, msg)`).
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Execute coordination action `α` (the event `do_p(α)`).
+    Do(ActionId),
+}
+
+/// A deterministic protocol state machine for one process.
+///
+/// Implementations must be deterministic functions of the observed history:
+/// given the same sequence of `observe` calls, `next_action` must propose
+/// the same actions. (The exhaustive explorer clones protocol states when
+/// branching, which is only sound under this assumption.)
+pub trait Protocol<M> {
+    /// Called once before the run starts, with this process's identity and
+    /// the system size.
+    fn start(&mut self, me: ProcessId, n: usize);
+
+    /// Called for **every** event appended to this process's history — both
+    /// events the protocol itself proposed (sends, dos) and environment
+    /// events (receives, initiations, failure-detector reports). Never
+    /// called for `crash` (a crashed process takes no further steps).
+    fn observe(&mut self, time: Time, event: &Event<M>);
+
+    /// Called when the scheduler grants this process an event slot; may
+    /// propose at most one action. Returning `None` yields the slot (the
+    /// scheduler may then use it for a delivery, or leave it idle).
+    fn next_action(&mut self, time: Time) -> Option<ProtoAction<M>>;
+
+    /// Reports whether the protocol has quiesced: no pending work remains
+    /// and, absent further input, `next_action` will return `None` forever.
+    /// Retransmission-based protocols return `false` while retransmissions
+    /// are still pending. Used by experiments to distinguish "terminated"
+    /// from "ran out of horizon".
+    fn quiescent(&self) -> bool;
+}
+
+/// A FIFO outbox of pending sends, the common currency of every protocol in
+/// this workspace.
+///
+/// Broadcasting under the one-event-per-tick rule (R2) takes `n − 1` ticks;
+/// protocols enqueue the sends here and drain them one per slot.
+///
+/// # Example
+///
+/// ```
+/// use ktudc_sim::{Outbox, ProtoAction};
+/// use ktudc_model::ProcessId;
+///
+/// let mut out = Outbox::new();
+/// out.broadcast(ProcessId::new(0), 3, "hello");
+/// assert_eq!(out.len(), 2); // to p1 and p2, not to self
+/// match out.pop() {
+///     Some(ProtoAction::Send { to, msg }) => {
+///         assert_eq!(to, ProcessId::new(1));
+///         assert_eq!(msg, "hello");
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outbox<M> {
+    queue: VecDeque<(ProcessId, M)>,
+}
+
+impl<M: Clone> Outbox<M> {
+    /// Creates an empty outbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Outbox {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Enqueues one send.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.queue.push_back((to, msg));
+    }
+
+    /// Enqueues a send of `msg` to every process except `me`.
+    pub fn broadcast(&mut self, me: ProcessId, n: usize, msg: M) {
+        for q in ProcessId::all(n) {
+            if q != me {
+                self.queue.push_back((q, msg.clone()));
+            }
+        }
+    }
+
+    /// Dequeues the oldest pending send as a [`ProtoAction`].
+    pub fn pop(&mut self) -> Option<ProtoAction<M>> {
+        self.queue
+            .pop_front()
+            .map(|(to, msg)| ProtoAction::Send { to, msg })
+    }
+
+    /// Number of pending sends.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the outbox is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Removes every pending send to `to` (used when a peer is discovered
+    /// crashed and retransmission to it becomes pointless).
+    pub fn cancel_to(&mut self, to: ProcessId) {
+        self.queue.retain(|(q, _)| *q != to);
+    }
+
+    /// Removes every pending send matching the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(ProcessId, &M) -> bool) {
+        self.queue.retain(|(q, m)| keep(*q, m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn outbox_fifo_order() {
+        let mut out = Outbox::new();
+        out.send(p(1), "a");
+        out.send(p(2), "b");
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out.pop(),
+            Some(ProtoAction::Send { to: p(1), msg: "a" })
+        );
+        assert_eq!(
+            out.pop(),
+            Some(ProtoAction::Send { to: p(2), msg: "b" })
+        );
+        assert_eq!(out.pop(), None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut out = Outbox::new();
+        out.broadcast(p(1), 4, 9u8);
+        let dests: Vec<usize> = std::iter::from_fn(|| out.pop())
+            .map(|a| match a {
+                ProtoAction::Send { to, .. } => to.index(),
+                ProtoAction::Do(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(dests, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_and_retain() {
+        let mut out = Outbox::new();
+        out.broadcast(p(0), 4, 1u8);
+        out.cancel_to(p(2));
+        assert_eq!(out.len(), 2);
+        out.retain(|q, _| q == p(3));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.pop(), Some(ProtoAction::Send { to: p(3), msg: 1 }));
+    }
+}

@@ -1,0 +1,339 @@
+//! The seeded Monte-Carlo executor.
+//!
+//! [`run_protocol`] drives one run to the configured horizon: at each tick,
+//! each live process gets at most one event (R2), chosen with the priority
+//! order *crash* > *workload initiation* > *failure-detector report* >
+//! *delivery-or-protocol-action* (the last pair arbitrated by the seeded
+//! RNG). The result is a well-formed [`Run`] (R1–R4 by construction)
+//! together with the ground-truth fault schedule and quiescence information.
+
+use crate::config::{SimConfig, Workload};
+use crate::network::Network;
+use crate::oracle::{FaultTruth, FdOracle};
+use crate::protocol::{ProtoAction, Protocol};
+use ktudc_model::{ActionId, Event, ProcessId, Run, RunBuilder, Time};
+use rand::Rng;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// The outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome<M> {
+    /// The generated run (R1–R4 hold by construction; R5 holds with high
+    /// probability at adequate horizons and can be re-checked via
+    /// [`Run::check_conditions`]).
+    pub run: Run<M>,
+    /// The resolved fault schedule the oracles saw.
+    pub truth: FaultTruth,
+    /// `true` if, at the horizon, every live protocol reported quiescence,
+    /// the network was idle, and the workload was fully dispatched —
+    /// i.e. the run genuinely *terminated* rather than running out of time.
+    pub quiescent: bool,
+    /// Total message copies handed to the network.
+    pub messages_sent: u64,
+    /// Copies lost to channel unreliability or receiver crashes.
+    pub messages_dropped: u64,
+}
+
+/// Runs `make(p)`-built protocols in the context described by `config`,
+/// with failure detector `oracle` and workload `workload`, and returns the
+/// generated run.
+///
+/// Identical inputs (including [`SimConfig::seed`]) produce identical runs.
+///
+/// # Panics
+///
+/// Panics if the workload initiates an action on behalf of a process other
+/// than the action's owner, or if the crash plan is malformed (see
+/// [`CrashPlan::resolve`](crate::CrashPlan::resolve)).
+pub fn run_protocol<M, P, F, O>(
+    config: &SimConfig,
+    make: F,
+    oracle: &mut O,
+    workload: &Workload,
+) -> SimOutcome<M>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M>,
+    F: Fn(ProcessId) -> P,
+    O: FdOracle + ?Sized,
+{
+    let n = config.n();
+    let mut rng = config.rng();
+    let truth = FaultTruth::new(config.crash_plan().resolve(n, &mut rng));
+    let mut protocols: Vec<P> = ProcessId::all(n)
+        .map(|p| {
+            let mut proto = make(p);
+            proto.start(p, n);
+            proto
+        })
+        .collect();
+    let mut builder: RunBuilder<M> = RunBuilder::new(n);
+    let mut net: Network<M> = Network::new(n);
+    let mut pending_inits: Vec<VecDeque<ActionId>> = vec![VecDeque::new(); n];
+    let kind = config.channel_kind();
+    let fd_period = config.fd_period_ticks();
+    let horizon = config.horizon_ticks();
+
+    for t in 1..=horizon {
+        // Enqueue this tick's workload initiations.
+        for action in workload.at_tick(t) {
+            pending_inits[action.initiator().index()].push_back(action);
+        }
+        for p in ProcessId::all(n) {
+            if builder.crashed().contains(p) {
+                continue;
+            }
+            // 1. Crash, if scheduled for this tick.
+            if truth.crash_time(p) == Some(t) {
+                builder
+                    .append(p, t, Event::Crash)
+                    .expect("crash append cannot violate R1-R4 on a live process");
+                net.drop_all_to(p);
+                pending_inits[p.index()].clear();
+                continue;
+            }
+            // 2. Workload initiation.
+            if let Some(action) = pending_inits[p.index()].pop_front() {
+                assert_eq!(action.initiator(), p, "workload action owned by another process");
+                let event = Event::Init { action };
+                builder.append(p, t, event.clone()).expect("init append");
+                protocols[p.index()].observe(t, &event);
+                continue;
+            }
+            // 3. Failure-detector report (staggered polling).
+            if (t + p.index() as Time) % fd_period == 0 {
+                if let Some(report) = oracle.poll(p, t, &truth, &mut rng) {
+                    let event = Event::Suspect(report);
+                    builder.append(p, t, event.clone()).expect("suspect append");
+                    protocols[p.index()].observe(t, &event);
+                    continue;
+                }
+            }
+            // 4. Delivery vs protocol action, arbitrated by the RNG when
+            //    both are available.
+            let deliverable = net.has_deliverable(p, t);
+            let prefer_delivery = deliverable
+                && (rng.gen_bool(config.deliver_bias_value()) || {
+                    // Peek whether the protocol even has an action; if not,
+                    // delivery is the only productive use of the slot.
+                    false
+                });
+            if prefer_delivery {
+                if let Some((from, msg)) = net.deliver_one(p, t) {
+                    let event = Event::Recv { from, msg };
+                    builder.append(p, t, event.clone()).expect("recv append");
+                    protocols[p.index()].observe(t, &event);
+                    continue;
+                }
+            }
+            match protocols[p.index()].next_action(t) {
+                Some(ProtoAction::Send { to, msg }) => {
+                    let event = Event::Send {
+                        to,
+                        msg: msg.clone(),
+                    };
+                    builder.append(p, t, event.clone()).expect("send append");
+                    protocols[p.index()].observe(t, &event);
+                    net.send(p, to, msg, t, kind, &mut rng);
+                }
+                Some(ProtoAction::Do(action)) => {
+                    let event = Event::Do { action };
+                    builder.append(p, t, event.clone()).expect("do append");
+                    protocols[p.index()].observe(t, &event);
+                }
+                None => {
+                    // No protocol action; fall back to a delivery if one was
+                    // available but lost the coin flip.
+                    if deliverable {
+                        if let Some((from, msg)) = net.deliver_one(p, t) {
+                            let event = Event::Recv { from, msg };
+                            builder.append(p, t, event.clone()).expect("recv append");
+                            protocols[p.index()].observe(t, &event);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let crashed = builder.crashed();
+    let quiescent = net.is_idle()
+        && pending_inits.iter().all(VecDeque::is_empty)
+        && workload
+            .schedule()
+            .iter()
+            .all(|&(t, a)| t <= horizon || crashed.contains(a.initiator()))
+        && ProcessId::all(n)
+            .filter(|&p| !crashed.contains(p))
+            .all(|p| protocols[p.index()].quiescent());
+    SimOutcome {
+        run: builder.finish(horizon),
+        truth,
+        quiescent,
+        messages_sent: net.sent_count(),
+        messages_dropped: net.dropped_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChannelKind, CrashPlan};
+    use crate::oracle::NullOracle;
+    use crate::protocol::Outbox;
+    use ktudc_model::ProcSet;
+    use std::collections::BTreeSet;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Toy flooding protocol: on observing `init(α)` or receiving `α`,
+    /// perform `α` and (once) relay it to everyone. Not retransmitting, so
+    /// only correct under reliable channels — exactly what these tests use.
+    #[derive(Clone, Debug)]
+    struct Flood {
+        me: ProcessId,
+        n: usize,
+        seen: BTreeSet<ActionId>,
+        done: BTreeSet<ActionId>,
+        to_do: VecDeque<ActionId>,
+        out: Outbox<ActionId>,
+    }
+
+    impl Flood {
+        fn new() -> Self {
+            Flood {
+                me: ProcessId::new(0),
+                n: 0,
+                seen: BTreeSet::new(),
+                done: BTreeSet::new(),
+                to_do: VecDeque::new(),
+                out: Outbox::new(),
+            }
+        }
+
+        fn learn(&mut self, action: ActionId) {
+            if self.seen.insert(action) {
+                self.out.broadcast(self.me, self.n, action);
+                self.to_do.push_back(action);
+            }
+        }
+    }
+
+    impl Protocol<ActionId> for Flood {
+        fn start(&mut self, me: ProcessId, n: usize) {
+            self.me = me;
+            self.n = n;
+        }
+
+        fn observe(&mut self, _time: Time, event: &Event<ActionId>) {
+            match event {
+                Event::Init { action } => self.learn(*action),
+                Event::Recv { msg, .. } => self.learn(*msg),
+                _ => {}
+            }
+        }
+
+        fn next_action(&mut self, _time: Time) -> Option<ProtoAction<ActionId>> {
+            if let Some(a) = self.to_do.pop_front() {
+                self.done.insert(a);
+                return Some(ProtoAction::Do(a));
+            }
+            self.out.pop()
+        }
+
+        fn quiescent(&self) -> bool {
+            self.to_do.is_empty() && self.out.is_empty()
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_on_reliable_channels() {
+        let config = SimConfig::new(4)
+            .channel(ChannelKind::reliable())
+            .horizon(60)
+            .seed(1);
+        let w = Workload::single(0, 1);
+        let alpha = w.actions()[0];
+        let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        assert!(out.quiescent, "flood should quiesce well before tick 60");
+        for q in ProcessId::all(4) {
+            assert!(
+                out.run.view_at(q, 60).did(alpha),
+                "{q} never performed the action"
+            );
+        }
+        out.run.check_conditions(0).unwrap();
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.4))
+            .horizon(80)
+            .seed(99);
+        let w = Workload::periodic(3, 5, 40);
+        let a = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        let b = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        assert_eq!(a.run, b.run);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        let c = run_protocol(
+            &config.clone().seed(100),
+            |_| Flood::new(),
+            &mut NullOracle::new(),
+            &w,
+        );
+        assert_ne!(a.run, c.run, "different seeds should diverge");
+    }
+
+    #[test]
+    fn crashes_happen_on_schedule_and_silence_processes() {
+        let config = SimConfig::new(3)
+            .crashes(CrashPlan::at(&[(1, 5)]))
+            .horizon(40)
+            .seed(3);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        assert_eq!(out.run.crash_time(p(1)), Some(5));
+        assert_eq!(out.run.faulty(), ProcSet::singleton(p(1)));
+        // Nothing after the crash.
+        let events_after: Vec<_> = out
+            .run
+            .timed_history(p(1))
+            .filter(|(t, _)| *t > 5)
+            .collect();
+        assert!(events_after.is_empty());
+        out.run.check_conditions(0).unwrap();
+    }
+
+    #[test]
+    fn workload_initiations_appear_in_history() {
+        let config = SimConfig::new(2).horizon(30).seed(0);
+        let w = Workload::periodic(2, 3, 12);
+        let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        let inits: Vec<ActionId> = out.run.initiations().map(|(_, a)| a).collect();
+        assert_eq!(inits.len(), w.actions().len());
+    }
+
+    #[test]
+    fn lossy_channels_lose_messages_but_run_stays_wellformed() {
+        let config = SimConfig::new(4)
+            .channel(ChannelKind::fair_lossy(0.5))
+            .horizon(100)
+            .seed(12);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        assert!(out.messages_dropped > 0, "50% loss should drop something");
+        out.run.check_conditions(0).unwrap();
+    }
+
+    #[test]
+    fn quiescence_is_false_when_horizon_too_short() {
+        let config = SimConfig::new(6).horizon(3).seed(0);
+        let w = Workload::single(0, 1);
+        let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+        assert!(!out.quiescent, "6-process flood cannot finish by tick 3");
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests of the simulator's scheduling discipline, fairness
+//! realization, and explorer coverage guarantees.
+
+use ktudc_model::{ActionId, Event, ModelError, ProcSet, ProcessId, Run, Time};
+use ktudc_sim::{
+    explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, NullOracle, Outbox,
+    ProtoAction, Protocol, SimConfig, Workload,
+};
+use std::collections::BTreeSet;
+
+/// A chatty protocol: retransmits a ping to every peer forever, acks
+/// everything it receives — maximal channel pressure for fairness tests.
+#[derive(Clone, Debug)]
+struct Chatty {
+    me: ProcessId,
+    n: usize,
+    next: Time,
+    out: Outbox<&'static str>,
+}
+
+impl Chatty {
+    fn new() -> Self {
+        Chatty {
+            me: ProcessId::new(0),
+            n: 0,
+            next: 0,
+            out: Outbox::new(),
+        }
+    }
+}
+
+impl Protocol<&'static str> for Chatty {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+    }
+    fn observe(&mut self, _t: Time, _e: &Event<&'static str>) {}
+    fn next_action(&mut self, t: Time) -> Option<ProtoAction<&'static str>> {
+        if let Some(a) = self.out.pop() {
+            return Some(a);
+        }
+        if t >= self.next {
+            self.next = t + 3;
+            self.out.broadcast(self.me, self.n, "ping");
+            return self.out.pop();
+        }
+        None
+    }
+    fn quiescent(&self) -> bool {
+        false
+    }
+}
+
+/// R2 at the scheduler level: no process ever has two events on one tick.
+#[test]
+fn at_most_one_event_per_process_per_tick() {
+    let config = SimConfig::new(4)
+        .channel(ChannelKind::fair_lossy(0.3))
+        .crashes(CrashPlan::at(&[(2, 20)]))
+        .horizon(300)
+        .seed(5);
+    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+    for p in ProcessId::all(4) {
+        let ticks: Vec<Time> = out.run.timed_history(p).map(|(t, _)| t).collect();
+        let set: BTreeSet<Time> = ticks.iter().copied().collect();
+        assert_eq!(set.len(), ticks.len(), "duplicate tick at {p}");
+    }
+}
+
+/// Fairness realized: under heavy sustained traffic at 50% loss, every
+/// live pair communicates — the R5 checker passes at a strict threshold.
+#[test]
+fn fair_lossy_channels_satisfy_r5_under_pressure() {
+    let config = SimConfig::new(3)
+        .channel(ChannelKind::fair_lossy(0.5))
+        .horizon(800)
+        .seed(9);
+    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+    out.run.check_conditions(40).unwrap();
+    // Every ordered live pair exchanged at least one ping.
+    for from in ProcessId::all(3) {
+        for to in ProcessId::all(3) {
+            if from != to {
+                assert!(
+                    out.run.view_at(to, 800).received(from, &"ping"),
+                    "{to} never heard from {from}"
+                );
+            }
+        }
+    }
+}
+
+/// No delivery after a crash, ever; in-flight messages to the dead are
+/// counted as dropped.
+#[test]
+fn crashed_processes_receive_nothing() {
+    let config = SimConfig::new(3)
+        .channel(ChannelKind::reliable())
+        .crashes(CrashPlan::at(&[(1, 15)]))
+        .horizon(200)
+        .seed(1);
+    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+    let p1 = ProcessId::new(1);
+    assert!(out
+        .run
+        .timed_history(p1)
+        .all(|(t, _)| t <= 15));
+    assert!(out.messages_dropped > 0, "in-flight to the dead must be dropped");
+    out.run.check_conditions(0).unwrap();
+}
+
+/// Workload initiations survive busy slots: they are queued, not lost, and
+/// each appears exactly once.
+#[test]
+fn initiations_are_queued_not_lost() {
+    let config = SimConfig::new(2).horizon(120).seed(3);
+    let mut w = Workload::none();
+    for i in 0..5u32 {
+        // All five initiations at tick 1: only one can land per tick.
+        w.push(1, ActionId::new(ProcessId::new(0), i));
+    }
+    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &w);
+    let inits: Vec<ActionId> = out.run.initiations().map(|(_, a)| a).collect();
+    assert_eq!(inits.len(), 5, "all queued initiations must eventually land");
+    let ticks: Vec<Time> = out.run.initiations().map(|(t, _)| t).collect();
+    let distinct: BTreeSet<Time> = ticks.iter().copied().collect();
+    assert_eq!(distinct.len(), 5, "one initiation per tick (R2)");
+}
+
+/// Explorer coverage: every run the Monte-Carlo runner can produce for a
+/// tiny context is present in the exhaustive enumeration (projected to
+/// event content), for the one-shot protocol.
+#[test]
+fn explorer_covers_sampled_behaviours() {
+    #[derive(Clone, Debug)]
+    struct OneShot {
+        me: ProcessId,
+        sent: bool,
+    }
+    impl Protocol<u8> for OneShot {
+        fn start(&mut self, me: ProcessId, _n: usize) {
+            self.me = me;
+        }
+        fn observe(&mut self, _t: Time, e: &Event<u8>) {
+            if matches!(e, Event::Send { .. }) {
+                self.sent = true;
+            }
+        }
+        fn next_action(&mut self, _t: Time) -> Option<ProtoAction<u8>> {
+            (self.me == ProcessId::new(0) && !self.sent).then_some(ProtoAction::Send {
+                to: ProcessId::new(1),
+                msg: 1,
+            })
+        }
+        fn quiescent(&self) -> bool {
+            self.sent
+        }
+    }
+    let make = |_: ProcessId| OneShot {
+        me: ProcessId::new(0),
+        sent: false,
+    };
+    let explored = explore(&ExploreConfig::new(2, 4).max_failures(1), make);
+    assert!(explored.complete);
+    // Project runs to per-process event sequences (ignore ticks).
+    let signature = |run: &Run<u8>| -> Vec<Vec<Event<u8>>> {
+        ProcessId::all(2).map(|p| run.history(p).to_vec()).collect()
+    };
+    let explored_sigs: BTreeSet<String> = explored
+        .system
+        .runs()
+        .iter()
+        .map(|r| format!("{:?}", signature(r)))
+        .collect();
+    for seed in 0..60 {
+        let config = SimConfig::new(2)
+            .channel(ChannelKind::fair_lossy(0.5))
+            .crashes(CrashPlan::Random { max_failures: 1, latest: 4 })
+            .horizon(4)
+            .seed(seed);
+        let sampled = run_protocol(&config, make, &mut NullOracle::new(), &Workload::none());
+        let sig = format!("{:?}", signature(&sampled.run));
+        assert!(
+            explored_sigs.contains(&sig),
+            "sampled behaviour missing from exhaustive enumeration: {sig}"
+        );
+    }
+}
+
+/// Config validation catches misuse early.
+#[test]
+fn config_panics_are_informative() {
+    assert!(std::panic::catch_unwind(|| SimConfig::new(0)).is_err());
+    assert!(std::panic::catch_unwind(|| {
+        SimConfig::new(2).channel(ChannelKind::FairLossy {
+            drop_prob: 1.5,
+            max_delay: 2,
+        })
+    })
+    .is_err());
+    assert!(std::panic::catch_unwind(|| SimConfig::new(2).fd_period(0)).is_err());
+    // Crash plan validation happens at resolve time inside run_protocol.
+    let bad = SimConfig::new(2).crashes(CrashPlan::at(&[(7, 3)]));
+    let result = std::panic::catch_unwind(|| {
+        run_protocol(&bad, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none())
+    });
+    assert!(result.is_err());
+}
+
+/// The fault truth handed to oracles always matches the produced run.
+#[test]
+fn truth_and_run_agree_for_random_plans() {
+    for seed in 0..30 {
+        let config = SimConfig::new(5)
+            .crashes(CrashPlan::Random { max_failures: 4, latest: 50 })
+            .horizon(120)
+            .seed(seed);
+        let out =
+            run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+        assert_eq!(out.truth.faulty(), out.run.faulty(), "seed {seed}");
+        assert_eq!(
+            out.truth.crashed_by(120),
+            out.run.crashed_by(120),
+            "seed {seed}"
+        );
+    }
+}
+
+/// ProcSet/display plumbing used by error paths stays stable.
+#[test]
+fn run_condition_errors_render() {
+    let e = ModelError::UnfairChannel {
+        sender: ProcessId::new(0),
+        receiver: ProcessId::new(1),
+        sent: 50,
+        threshold: 10,
+    };
+    assert!(e.to_string().contains("p0→p1"));
+    let s: ProcSet = [ProcessId::new(1)].into_iter().collect();
+    assert_eq!(format!("{s}"), "{p1}");
+}

@@ -1,0 +1,56 @@
+//! `ktudc` — facade crate for the reproduction of Halpern & Ricciardi,
+//! *A Knowledge-Theoretic Analysis of Uniform Distributed Coordination and
+//! Failure Detectors* (PODC 1999).
+//!
+//! This crate re-exports the workspace's component crates under one roof and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`). See the individual crates for the substance:
+//!
+//! * [`model`] — the formal run model of §2.1 (events, histories, runs,
+//!   cuts, R1–R5, indistinguishability).
+//! * [`sim`] — a deterministic discrete-event simulator of asynchronous
+//!   crash-prone systems with fair-lossy channels, plus an exhaustive
+//!   explorer for small systems.
+//! * [`fd`] — the failure-detector zoo (§2.2, §4), property checkers, and
+//!   class conversions (Propositions 2.1 and 2.2).
+//! * [`epistemic`] — the epistemic-temporal model checker (§2.3) and the
+//!   conditions A1–A5t of §3.
+//! * [`core`] — UDC/nUDC specifications (§2.4), the four coordination
+//!   protocols (Propositions 2.3, 2.4, 3.1, 4.1), the `f`/`f′` simulation
+//!   constructions (Theorems 3.6 and 4.3), and the Table 1 harness.
+//! * [`consensus`] — Chandra–Toueg consensus baselines for the comparison
+//!   rows of Table 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ktudc::core::protocols::strong_fd::StrongFdUdc;
+//! use ktudc::core::spec::{check_udc, Verdict};
+//! use ktudc::fd::StrongOracle;
+//! use ktudc::sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+//!
+//! // Five processes, lossy-but-fair channels, two crashes, a strong failure
+//! // detector: run the Proposition 3.1 protocol and machine-check DC1–DC3.
+//! let config = SimConfig::new(5)
+//!     .channel(ChannelKind::fair_lossy(0.3))
+//!     .crashes(CrashPlan::at(&[(1, 4), (3, 9)]))
+//!     .horizon(600)
+//!     .seed(7);
+//! let workload = Workload::single(0, 2);
+//! let out = run_protocol(
+//!     &config,
+//!     |_| StrongFdUdc::new(),
+//!     &mut StrongOracle::new(),
+//!     &workload,
+//! );
+//! assert_eq!(check_udc(&out.run, &workload.actions()), Verdict::Satisfied);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ktudc_consensus as consensus;
+pub use ktudc_core as core;
+pub use ktudc_epistemic as epistemic;
+pub use ktudc_fd as fd;
+pub use ktudc_model as model;
+pub use ktudc_sim as sim;

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: full pipelines from context
+//! configuration through protocol execution to specification checking.
+
+use ktudc::core::protocols::{
+    generalized::GeneralizedUdc, nudc::NUdcFlood, reliable::ReliableUdc, strong_fd::StrongFdUdc,
+};
+use ktudc::core::spec::{check_nudc, check_udc, Verdict};
+use ktudc::fd::{
+    check_fd_property, CyclingSubsetOracle, FdProperty, PerfectOracle, StrongOracle,
+    TUsefulOracle,
+};
+use ktudc::model::{ProcSet, ProcessId, Run};
+use ktudc::sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
+
+/// Every protocol, in its designated context, attains its designated spec
+/// while the run itself satisfies R1–R5 (fairness threshold 25: a message
+/// sent 25+ times to a live process must have arrived).
+#[test]
+fn every_protocol_in_its_home_context() {
+    let w = Workload::single(0, 2);
+
+    // Prop 2.3: nUDC / lossy / no FD.
+    let config = SimConfig::new(5)
+        .channel(ChannelKind::fair_lossy(0.4))
+        .crashes(CrashPlan::at(&[(2, 15)]))
+        .horizon(500)
+        .seed(1);
+    let out = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+    assert_eq!(check_nudc(&out.run, &w.actions()), Verdict::Satisfied);
+    out.run.check_conditions(25).unwrap();
+
+    // Prop 2.4: UDC / reliable / no FD.
+    let config = SimConfig::new(5)
+        .channel(ChannelKind::reliable())
+        .crashes(CrashPlan::at(&[(0, 9), (4, 16)]))
+        .horizon(400)
+        .seed(2);
+    let out = run_protocol(&config, |_| ReliableUdc::new(), &mut NullOracle::new(), &w);
+    assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+    out.run.check_conditions(25).unwrap();
+
+    // Prop 3.1: UDC / lossy / strong FD.
+    let config = SimConfig::new(5)
+        .channel(ChannelKind::fair_lossy(0.3))
+        .crashes(CrashPlan::at(&[(1, 7), (2, 40)]))
+        .horizon(800)
+        .seed(3);
+    let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+    assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+    out.run.check_conditions(25).unwrap();
+
+    // Prop 4.1: UDC / lossy / t-useful FD.
+    let t = 3;
+    let config = SimConfig::new(5)
+        .channel(ChannelKind::fair_lossy(0.3))
+        .crashes(CrashPlan::at(&[(1, 7), (2, 40), (4, 90)]))
+        .horizon(900)
+        .seed(4);
+    let out = run_protocol(
+        &config,
+        |_| GeneralizedUdc::new(t),
+        &mut TUsefulOracle::new(t),
+        &w,
+    );
+    assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+    out.run.check_conditions(25).unwrap();
+}
+
+/// Whole-pipeline determinism: identical configs produce byte-identical
+/// runs, across protocols and oracles.
+#[test]
+fn pipelines_are_deterministic() {
+    let w = Workload::periodic(4, 9, 60);
+    let run_once = || {
+        let config = SimConfig::new(4)
+            .channel(ChannelKind::fair_lossy(0.35))
+            .crashes(CrashPlan::Random {
+                max_failures: 2,
+                latest: 50,
+            })
+            .horizon(400)
+            .seed(77);
+        run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w).run
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+/// Serde round-trip of a full protocol run (golden-format smoke test).
+#[test]
+fn runs_serialize_and_deserialize() {
+    let w = Workload::single(0, 2);
+    let config = SimConfig::new(3)
+        .channel(ChannelKind::fair_lossy(0.2))
+        .crashes(CrashPlan::at(&[(1, 12)]))
+        .horizon(200)
+        .seed(5);
+    let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+    let json = serde_json::to_string(&out.run).expect("serialize");
+    let back: Run<ktudc::core::CoordMsg> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, out.run);
+    // Reserialized form is stable.
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}
+
+/// Corollary 4.2 at scale: the oracle-free cycling detector serves a
+/// larger deployment with multiple actions and crashes, as long as
+/// `t < n/2`.
+#[test]
+fn corollary_4_2_scales_to_seven_processes() {
+    let n = 7;
+    let t = 3;
+    let w = Workload::periodic(n, 16, 80);
+    let config = SimConfig::new(n)
+        .channel(ChannelKind::fair_lossy(0.25))
+        .crashes(CrashPlan::at(&[(1, 20), (3, 44), (5, 70)]))
+        .horizon(1500)
+        .seed(11);
+    let out = run_protocol(
+        &config,
+        |_| GeneralizedUdc::new(t),
+        &mut CyclingSubsetOracle::new(n, t),
+        &w,
+    );
+    assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
+}
+
+/// The perfect oracle stays perfect when wired through a real protocol
+/// run (the fd crate's property checkers see the scheduler's event
+/// placement, not the oracle's intent).
+#[test]
+fn wired_perfect_oracle_satisfies_perfect_properties() {
+    let w = Workload::single(0, 2);
+    let config = SimConfig::new(4)
+        .channel(ChannelKind::fair_lossy(0.3))
+        .crashes(CrashPlan::at(&[(2, 9), (3, 33)]))
+        .horizon(500)
+        .seed(6);
+    let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+    check_fd_property(&out.run, FdProperty::StrongAccuracy).unwrap();
+    check_fd_property(&out.run, FdProperty::StrongCompleteness).unwrap();
+    check_fd_property(&out.run, FdProperty::WeakAccuracy).unwrap();
+}
+
+/// Uniformity separation in one picture: the same crash schedule under
+/// the same loss, with the nUDC protocol (no uniformity) vs the strong-FD
+/// protocol (uniform). Finds a seed where the initiator performed and
+/// crashed while flooding failed — nUDC fine, UDC violated — and checks
+/// the strong-FD protocol fixes exactly that run's outcome.
+#[test]
+fn uniformity_separation_and_cure() {
+    let w = Workload::single(0, 1);
+    for seed in 0..300 {
+        let config = SimConfig::new(4)
+            .channel(ChannelKind::fair_lossy(0.9))
+            .crashes(CrashPlan::at(&[(0, 4)]))
+            .horizon(900)
+            .seed(seed);
+        let flood = run_protocol(&config, |_| NUdcFlood::new(), &mut NullOracle::new(), &w);
+        assert_eq!(check_nudc(&flood.run, &w.actions()), Verdict::Satisfied);
+        if check_udc(&flood.run, &w.actions()).is_satisfied() {
+            continue;
+        }
+        // Found the separating schedule. The Prop 3.1 protocol, in the
+        // same context (plus a strong FD), achieves full UDC.
+        let cured = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        assert_eq!(check_udc(&cured.run, &w.actions()), Verdict::Satisfied);
+        return;
+    }
+    panic!("no separating schedule found in 300 seeds at 90% loss");
+}
+
+/// Faulty-set bookkeeping is consistent across the sim/model boundary.
+#[test]
+fn fault_truth_matches_run_faulty_set() {
+    let w = Workload::single(0, 2);
+    let config = SimConfig::new(5)
+        .crashes(CrashPlan::Random {
+            max_failures: 4,
+            latest: 100,
+        })
+        .horizon(300)
+        .seed(123);
+    let out = run_protocol(&config, |_| ReliableUdc::new(), &mut NullOracle::new(), &w);
+    assert_eq!(out.truth.faulty(), out.run.faulty());
+    for p in ProcessId::all(5) {
+        assert_eq!(out.truth.crash_time(p), out.run.crash_time(p));
+    }
+    let correct: ProcSet = out.run.correct();
+    assert_eq!(correct, out.truth.correct());
+}

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-crate invariants.
+
+use ktudc::core::protocols::strong_fd::StrongFdUdc;
+use ktudc::core::spec::check_udc;
+use ktudc::fd::convert::{accumulate_reports, perfect_to_n_useful};
+use ktudc::fd::{check_fd_property, FdProperty, PerfectOracle, StrongOracle};
+use ktudc::model::{ActionId, Event, ProcSet, ProcessId, RunBuilder, SuspectReport};
+use ktudc::sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
+use proptest::prelude::*;
+
+fn procset_strategy() -> impl Strategy<Value = ProcSet> {
+    proptest::collection::vec(0usize..16, 0..8)
+        .prop_map(|v| v.into_iter().map(ProcessId::new).collect())
+}
+
+proptest! {
+    /// ProcSet algebra laws.
+    #[test]
+    fn procset_union_intersection_laws(a in procset_strategy(), b in procset_strategy()) {
+        let u = a.union(b);
+        let i = a.intersection(b);
+        prop_assert!(a.is_subset_of(u));
+        prop_assert!(b.is_subset_of(u));
+        prop_assert!(i.is_subset_of(a));
+        prop_assert!(i.is_subset_of(b));
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+        prop_assert_eq!(a.difference(b).union(i), a);
+        // Complement within a 16-process universe.
+        prop_assert_eq!(a.complement(16).complement(16), a);
+        prop_assert!(a.is_disjoint_from(a.complement(16)));
+    }
+
+    /// Subset enumeration yields exactly 2^|S| distinct subsets of S.
+    #[test]
+    fn procset_subsets_are_exhaustive(a in proptest::collection::vec(0usize..10, 0..5)) {
+        let s: ProcSet = a.into_iter().map(ProcessId::new).collect();
+        let subs: Vec<ProcSet> = s.subsets().collect();
+        prop_assert_eq!(subs.len(), 1usize << s.len());
+        let dedup: std::collections::BTreeSet<ProcSet> = subs.iter().copied().collect();
+        prop_assert_eq!(dedup.len(), subs.len());
+        prop_assert!(subs.iter().all(|x| x.is_subset_of(s)));
+    }
+
+    /// RunBuilder enforces R2 (strict tick monotonicity per process):
+    /// whatever the append sequence, accepted events have strictly
+    /// increasing ticks and runs validate.
+    #[test]
+    fn run_builder_accepts_only_wellformed(
+        ops in proptest::collection::vec((0usize..3, 1u64..20, 0usize..4), 0..40)
+    ) {
+        let mut b = RunBuilder::<u8>::new(3);
+        for (pi, t, kind) in ops {
+            let p = ProcessId::new(pi);
+            let event = match kind {
+                0 => Event::Send { to: ProcessId::new((pi + 1) % 3), msg: 1u8 },
+                1 => Event::Crash,
+                2 => Event::Suspect(SuspectReport::Standard(ProcSet::new())),
+                _ => Event::Init { action: ActionId::new(p, t as u32) },
+            };
+            let _ = b.append(p, t, event); // errors are fine; commits must be legal
+        }
+        let run = b.finish(25);
+        run.check_conditions(0).unwrap();
+        for p in ProcessId::all(3) {
+            let ticks: Vec<u64> = run.timed_history(p).map(|(t, _)| t).collect();
+            prop_assert!(ticks.windows(2).all(|w| w[0] < w[1]), "R2 broken: {ticks:?}");
+        }
+    }
+
+    /// Indistinguishability is an equivalence relation on sampled runs:
+    /// reflexive by construction, and symmetric across two prefixes of the
+    /// same run at different cut times.
+    #[test]
+    fn indistinguishability_is_symmetric(seed in 0u64..50, m1 in 0u64..120, m2 in 0u64..120) {
+        let w = Workload::single(0, 2);
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.3))
+            .horizon(120)
+            .seed(seed);
+        let run = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w).run;
+        for p in ProcessId::all(3) {
+            let ab = run.indistinguishable(m1, &run, m2, p);
+            let ba = run.indistinguishable(m2, &run, m1, p);
+            prop_assert_eq!(ab, ba);
+            prop_assert!(run.indistinguishable(m1, &run, m1, p));
+        }
+    }
+
+    /// Report accumulation (Prop 2.2) is idempotent and monotone: applying
+    /// it twice equals applying it once, and the final Suspects set only
+    /// grows along each history.
+    #[test]
+    fn accumulation_is_idempotent_and_monotone(seed in 0u64..40) {
+        let w = Workload::single(0, 2);
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.2))
+            .crashes(CrashPlan::at(&[(2, 9)]))
+            .horizon(150)
+            .seed(seed);
+        let run = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w).run;
+        let once = accumulate_reports(&run);
+        let twice = accumulate_reports(&once);
+        prop_assert_eq!(&once, &twice);
+        for p in ProcessId::all(3) {
+            let mut last = ProcSet::new();
+            for (_, e) in once.timed_history(p) {
+                if let Event::Suspect(SuspectReport::Standard(s)) = e {
+                    prop_assert!(last.is_subset_of(*s), "retraction after accumulation");
+                    last = *s;
+                }
+            }
+        }
+    }
+
+    /// Perfect → n-useful conversion always yields generalized reports that
+    /// pass generalized strong accuracy, for any perfect-oracle run.
+    #[test]
+    fn perfect_to_n_useful_is_accurate(seed in 0u64..40) {
+        let w = Workload::single(0, 2);
+        let config = SimConfig::new(4)
+            .channel(ChannelKind::fair_lossy(0.25))
+            .crashes(CrashPlan::Random { max_failures: 3, latest: 60 })
+            .horizon(200)
+            .seed(seed);
+        let run = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w).run;
+        check_fd_property(&run, FdProperty::StrongAccuracy).unwrap();
+        let converted = perfect_to_n_useful(&run);
+        check_fd_property(&converted, FdProperty::GeneralizedStrongAccuracy).unwrap();
+    }
+
+    /// Under any random ≤(n−1)-crash schedule and moderate loss, the
+    /// Proposition 3.1 protocol with a perfect oracle attains UDC by a
+    /// generous horizon — the paper's headline, fuzzed.
+    #[test]
+    fn prop_3_1_fuzzed(seed in 0u64..30) {
+        let w = Workload::single(0, 2);
+        let config = SimConfig::new(4)
+            .channel(ChannelKind::fair_lossy(0.3))
+            .crashes(CrashPlan::Random { max_failures: 3, latest: 80 })
+            .horizon(900)
+            .seed(seed);
+        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+        prop_assert!(check_udc(&out.run, &w.actions()).is_satisfied(), "seed {seed}");
+        out.run.check_conditions(0).unwrap();
+    }
+}

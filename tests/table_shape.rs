@@ -1,0 +1,62 @@
+//! Fast shape checks on the Table 1 harness: the qualitative structure of
+//! the paper's table must hold even at small trial counts, so regressions
+//! in any protocol/oracle pairing surface in `cargo test` without running
+//! the full bench binary.
+
+use ktudc::core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
+
+#[test]
+fn reliable_udc_row_needs_no_fd() {
+    for t in [2usize, 3, 4] {
+        let out = run_cell(
+            &CellSpec::new(5, t, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(3)
+                .horizon(700),
+        );
+        assert!(out.achieved(), "t = {t}: {out}");
+    }
+}
+
+#[test]
+fn unreliable_udc_row_positive_cells() {
+    let cells = [
+        (2usize, FdChoice::Cycling, ProtocolChoice::Generalized),
+        (3, FdChoice::TUseful, ProtocolChoice::Generalized),
+        (4, FdChoice::Strong, ProtocolChoice::StrongFd),
+        (4, FdChoice::Perfect, ProtocolChoice::StrongFd),
+        (3, FdChoice::ImpermanentStrong, ProtocolChoice::StrongFd),
+    ];
+    for (t, fd, proto) in cells {
+        let out = run_cell(
+            &CellSpec::new(5, t, Some(0.3), fd, proto)
+                .trials(3)
+                .horizon(1200),
+        );
+        assert!(out.achieved(), "t = {t}, fd = {fd}: {out}");
+    }
+}
+
+#[test]
+fn unreliable_udc_negative_cell_certifies() {
+    let out = run_cell(
+        &CellSpec::new(4, 3, Some(0.6), FdChoice::None, ProtocolChoice::Reliable)
+            .trials(15)
+            .horizon(600),
+    );
+    assert!(!out.achieved(), "{out}");
+    assert!(
+        out.violated_permanent > 0,
+        "negative cell must produce at least one certified violation: {out}"
+    );
+}
+
+#[test]
+fn message_cost_is_reported() {
+    let out = run_cell(
+        &CellSpec::new(4, 2, Some(0.2), FdChoice::Strong, ProtocolChoice::StrongFd)
+            .trials(2)
+            .horizon(800),
+    );
+    assert!(out.achieved());
+    assert!(out.mean_messages > 0.0);
+}
