@@ -1,0 +1,320 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the surface ktudc's property tests use: the [`Strategy`] trait
+//! (integer ranges, tuples, `collection::vec`, `prop_map`, `Just`), the
+//! `proptest! {}` test-wrapper macro, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports its generated inputs (via
+//!   `Debug`) but is not minimized.
+//! - **Deterministic cases.** Each test runs `PROPTEST_CASES` (default 64)
+//!   cases from seeds derived from the test name, so failures reproduce
+//!   exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+pub use rand::{Rng, SeedableRng};
+
+/// A failed `prop_assert*` inside a proptest case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` env override, else 64.
+#[must_use]
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-(test, case) seed: FNV-1a over the test name, mixed
+/// with the case index.
+#[must_use]
+pub fn seed_for(test_name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running [`case_count`] deterministic
+/// cases; `prop_assert*` failures report the case's generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::case_count();
+            for case in 0..cases {
+                let mut rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name), case),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    // The body may have consumed the inputs; regenerate them
+                    // from the same seed for the failure report.
+                    let mut rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                        $crate::seed_for(stringify!($name), case),
+                    );
+                    let mut msg =
+                        ::std::format!("proptest case {case}/{cases} failed: {e}\n  inputs:");
+                    $(msg.push_str(&::std::format!(
+                        "\n    {} = {:?}",
+                        stringify!($arg),
+                        $crate::Strategy::generate(&($strat), &mut rng)
+                    ));)+
+                    panic!("{msg}");
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through proptest's case machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through proptest's case machinery.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through proptest's case machinery.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(seed_for("x", 0), seed_for("x", 0));
+        assert_ne!(seed_for("x", 0), seed_for("x", 1));
+        assert_ne!(seed_for("x", 0), seed_for("y", 0));
+    }
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (0usize..4, 1u64..30).generate(&mut rng);
+            assert!(v.0 < 4 && (1..30).contains(&v.1));
+        }
+        let s = collection::vec(0u8..6, 0..80).prop_map(|v| v.len());
+        for _ in 0..50 {
+            assert!(s.generate(&mut rng) < 80);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_wires_strategies(x in 0u32..10, ys in collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(ys.len() < 5);
+            prop_assert_eq!(x + 1, x + 1);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            fn inner(x in 5u32..6) {
+                prop_assert_eq!(x, 0, "forced failure");
+            }
+        }
+        let err = std::panic::catch_unwind(inner).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("forced failure"), "{msg}");
+        assert!(msg.contains("x = 5"), "{msg}");
+    }
+}

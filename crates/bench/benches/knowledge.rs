@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ktudc_core::protocols::strong_fd::StrongFdUdc;
 use ktudc_core::simulate::simulate_perfect_fd;
 use ktudc_epistemic::{Formula, ModelChecker};
-use ktudc_model::{Point, ProcessId, System};
 use ktudc_fd::PerfectOracle;
+use ktudc_model::{Point, ProcessId, System};
 use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};
 
 fn sampled_system(runs: u64) -> System<ktudc_core::CoordMsg> {
@@ -20,7 +20,13 @@ fn sampled_system(runs: u64) -> System<ktudc_core::CoordMsg> {
             .horizon(160)
             .seed(seed);
         out.push(
-            run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w).run,
+            run_protocol(
+                &config,
+                |_| StrongFdUdc::new(),
+                &mut PerfectOracle::new(),
+                &w,
+            )
+            .run,
         );
     }
     System::new(out)
@@ -38,10 +44,7 @@ fn bench_knowledge(c: &mut Criterion) {
             |b, system| {
                 b.iter(|| {
                     let mut mc = ModelChecker::new(system);
-                    let f = Formula::knows(
-                        ProcessId::new(0),
-                        Formula::crashed(ProcessId::new(2)),
-                    );
+                    let f = Formula::knows(ProcessId::new(0), Formula::crashed(ProcessId::new(2)));
                     mc.satisfying_points(&f).len()
                 });
             },

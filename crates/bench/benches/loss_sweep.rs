@@ -64,12 +64,7 @@ fn bench_loss(c: &mut Criterion) {
             &loss_pct,
             |b, _| {
                 b.iter(|| {
-                    run_protocol(
-                        &mk(0),
-                        |_| StrongFdUdc::new(),
-                        &mut StrongOracle::new(),
-                        &w,
-                    )
+                    run_protocol(&mk(0), |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w)
                 });
             },
         );

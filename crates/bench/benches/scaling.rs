@@ -3,9 +3,7 @@
 //! counts (the series the figure plots) alongside Criterion's timings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ktudc_core::protocols::{
-    generalized::GeneralizedUdc, nudc::NUdcFlood, strong_fd::StrongFdUdc,
-};
+use ktudc_core::protocols::{generalized::GeneralizedUdc, nudc::NUdcFlood, strong_fd::StrongFdUdc};
 use ktudc_core::spec::{check_nudc, check_udc};
 use ktudc_fd::{StrongOracle, TUsefulOracle};
 use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};

@@ -26,7 +26,10 @@ fn main() {
         for seed in 0..10 {
             let config = SimConfig::new(5)
                 .channel(ChannelKind::fair_lossy(0.4))
-                .crashes(CrashPlan::Random { max_failures: 5, latest: 100 })
+                .crashes(CrashPlan::Random {
+                    max_failures: 5,
+                    latest: 100,
+                })
                 .horizon(600)
                 .seed(seed);
             let w = Workload::single(0, 2);
@@ -43,7 +46,11 @@ fn main() {
                 .trials(10)
                 .horizon(900),
         );
-        report("Prop 2.4 (UDC, reliable, no FD, t = n)", out.achieved(), &out.to_string());
+        report(
+            "Prop 2.4 (UDC, reliable, no FD, t = n)",
+            out.achieved(),
+            &out.to_string(),
+        );
     }
 
     // Proposition 3.1 / Corollary 3.2: UDC, lossy, strong (and, via the
@@ -54,7 +61,11 @@ fn main() {
                 .trials(10)
                 .horizon(1500),
         );
-        report("Prop 3.1 (UDC, lossy, strong FD, t = n-1)", out.achieved(), &out.to_string());
+        report(
+            "Prop 3.1 (UDC, lossy, strong FD, t = n-1)",
+            out.achieved(),
+            &out.to_string(),
+        );
         let out = run_cell(
             &CellSpec::new(
                 5,
@@ -76,17 +87,37 @@ fn main() {
     // Proposition 4.1 and Corollary 4.2.
     {
         let out = run_cell(
-            &CellSpec::new(5, 3, Some(0.3), FdChoice::TUseful, ProtocolChoice::Generalized)
-                .trials(10)
-                .horizon(1500),
+            &CellSpec::new(
+                5,
+                3,
+                Some(0.3),
+                FdChoice::TUseful,
+                ProtocolChoice::Generalized,
+            )
+            .trials(10)
+            .horizon(1500),
         );
-        report("Prop 4.1 (UDC, lossy, t-useful FD, t = 3)", out.achieved(), &out.to_string());
+        report(
+            "Prop 4.1 (UDC, lossy, t-useful FD, t = 3)",
+            out.achieved(),
+            &out.to_string(),
+        );
         let out = run_cell(
-            &CellSpec::new(5, 2, Some(0.3), FdChoice::Cycling, ProtocolChoice::Generalized)
-                .trials(10)
-                .horizon(1500),
+            &CellSpec::new(
+                5,
+                2,
+                Some(0.3),
+                FdChoice::Cycling,
+                ProtocolChoice::Generalized,
+            )
+            .trials(10)
+            .horizon(1500),
         );
-        report("Cor 4.2 (UDC, lossy, no FD, t < n/2)", out.achieved(), &out.to_string());
+        report(
+            "Cor 4.2 (UDC, lossy, no FD, t < n/2)",
+            out.achieved(),
+            &out.to_string(),
+        );
     }
 
     // Propositions 2.1 and 2.2: the conversions, on a run with a weak,
@@ -106,11 +137,19 @@ fn main() {
         );
         let accumulated = accumulate_reports(&out.run);
         let p22 = check_fd_property(&accumulated, FdProperty::WeakCompleteness).is_ok();
-        report("Prop 2.2 (accumulation: impermanent → permanent)", p22, "weak completeness after");
+        report(
+            "Prop 2.2 (accumulation: impermanent → permanent)",
+            p22,
+            "weak completeness after",
+        );
         let gossiped = weak_to_strong(&accumulated, 4);
         let p21 = check_fd_property(&gossiped, FdProperty::StrongCompleteness).is_ok()
             && check_fd_property(&gossiped, FdProperty::WeakAccuracy).is_ok();
-        report("Prop 2.1 (gossip: weak → strong completeness)", p21, "strong completeness + weak accuracy after");
+        report(
+            "Prop 2.1 (gossip: weak → strong completeness)",
+            p21,
+            "strong completeness + weak accuracy after",
+        );
     }
 
     // Theorems 3.6 and 4.3: the f / f′ simulation constructions.
@@ -128,8 +167,12 @@ fn main() {
                     .crashes(plan.clone())
                     .horizon(240)
                     .seed(seed);
-                let out =
-                    run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+                let out = run_protocol(
+                    &config,
+                    |_| StrongFdUdc::new(),
+                    &mut PerfectOracle::new(),
+                    &w,
+                );
                 assert!(check_udc(&out.run, &w.actions()).is_satisfied());
                 runs.push(out.run);
             }

@@ -1,0 +1,360 @@
+//! Fixed performance workloads for the bitset/parallel machinery, emitting
+//! `BENCH_ktudc.json` in the working directory.
+//!
+//! Three workloads run, each pinned so results are comparable across
+//! commits:
+//!
+//! 1. **checker** — an exhaustively explored n = 3 system (horizon 24,
+//!    capped at 4000 runs) checked against a knowledge-heavy formula set
+//!    of ~150 distinct knowledge/temporal shapes, once with the scalar
+//!    [`ReferenceChecker`] and once with the bitset-backed
+//!    [`ModelChecker`]. Verdicts are asserted identical point-for-point;
+//!    the JSON records both wall times, the speedup, throughput in
+//!    points/sec, and the fast checker's peak table footprint.
+//! 2. **explorer** — exhaustive run enumeration with the copy-light
+//!    parallel [`explore`] vs. the clone-per-branch
+//!    [`explore_reference`], asserted to produce the same run set.
+//! 3. **cell** — one positive Table 1 cell through the (parallel) harness,
+//!    timed end to end.
+//!
+//! `--smoke` shrinks every workload to a few seconds total for CI; the
+//! schema of the emitted JSON is unchanged (`"mode"` records which ran).
+
+use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
+use ktudc_epistemic::{Formula, ModelChecker, ReferenceChecker};
+use ktudc_model::{ActionId, Event, ProcessId, System, Time};
+use ktudc_sim::{explore, explore_reference, ExploreConfig, ProtoAction, Protocol};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CheckerReport {
+    n: usize,
+    horizon: Time,
+    runs: usize,
+    points: usize,
+    formulas: usize,
+    reference_secs: f64,
+    fast_secs: f64,
+    speedup: f64,
+    points_per_sec_reference: f64,
+    points_per_sec_fast: f64,
+    peak_table_bytes: usize,
+    verdicts_equal: bool,
+}
+
+#[derive(Serialize)]
+struct ExplorerReport {
+    n: usize,
+    horizon: Time,
+    runs_explored: usize,
+    complete: bool,
+    reference_secs: f64,
+    fast_secs: f64,
+    speedup: f64,
+    runs_equal: bool,
+}
+
+#[derive(Serialize)]
+struct CellReport {
+    spec: String,
+    trials: u64,
+    achieved: bool,
+    secs: f64,
+    trials_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    threads: usize,
+    checker: CheckerReport,
+    explorer: ExplorerReport,
+    cell: CellReport,
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// The checker workload's system: an exhaustively explored n = 3 system.
+/// Explored runs share long prefixes, so the per-process
+/// indistinguishability classes are *large* — exactly the regime the
+/// epistemic checker is built for (and where the scalar reference's
+/// per-point `K_p` evaluation pays quadratically per class).
+fn checker_system(horizon: Time, cap: usize) -> System<u8> {
+    let alpha = ActionId::new(p(0), 0);
+    let cfg = ExploreConfig::new(3, horizon)
+        .max_failures(1)
+        .initiate(1, alpha)
+        .optional_initiations()
+        .max_runs(cap);
+    explore(&cfg, |_| OneShot {
+        me: p(0),
+        sent: false,
+    })
+    .system
+}
+
+/// Knowledge-heavy formula set over the explored system's vocabulary.
+/// Every shape the checker optimizes is represented: plain prims, boolean
+/// connectives, both temporal operators, and (nested) knowledge.
+fn checker_formulas() -> Vec<Formula<u8>> {
+    let alpha = ActionId::new(p(0), 0);
+    let crashed2 = Formula::crashed(p(2));
+    let sent = Formula::sent(p(0), p(1), 7);
+    let received = Formula::received(p(1), p(0), 7);
+    let mut out = vec![
+        crashed2.clone(),
+        Formula::not(crashed2.clone()),
+        sent.clone(),
+        Formula::initiated(alpha),
+        Formula::eventually(crashed2.clone()),
+        Formula::always(Formula::not(crashed2.clone())),
+        Formula::knows(p(0), crashed2.clone()),
+        Formula::knows(p(1), sent.clone()),
+        Formula::knows(p(0), Formula::knows(p(1), crashed2.clone())),
+        Formula::knows(p(0), Formula::eventually(crashed2.clone())),
+        Formula::always(Formula::implies(
+            received.clone(),
+            Formula::eventually(Formula::knows(p(0), received.clone())),
+        )),
+        Formula::or(vec![
+            Formula::knows(p(0), crashed2.clone()),
+            Formula::knows(p(1), crashed2.clone()),
+        ]),
+        Formula::eventually(Formula::and(vec![
+            Formula::knows(p(0), Formula::initiated(alpha)),
+            Formula::not(Formula::knows(p(1), crashed2.clone())),
+        ])),
+    ];
+    // Many small, pairwise-distinct knowledge formulas over the prim
+    // vocabulary. Prim and temporal subtables are shared through the cache;
+    // each formula's marginal cost is one or two fresh `K_p` passes over
+    // every indistinguishability class — the checker's dominant operation
+    // in real condition-checking (locality, stability, Theorem 3.4).
+    let base = [crashed2, sent, received, Formula::initiated(alpha)];
+    for proc in 0..3 {
+        for (i, x) in base.iter().enumerate() {
+            out.push(Formula::knows(p(proc), x.clone()));
+            out.push(Formula::knows(p(proc), Formula::eventually(x.clone())));
+            out.push(Formula::knows(
+                p(proc),
+                Formula::always(Formula::not(x.clone())),
+            ));
+            for (j, y) in base.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                out.push(Formula::knows(
+                    p(proc),
+                    Formula::or(vec![x.clone(), y.clone()]),
+                ));
+                out.push(Formula::eventually(Formula::knows(
+                    p(proc),
+                    Formula::and(vec![x.clone(), Formula::not(y.clone())]),
+                )));
+            }
+            for q in 0..3 {
+                if q != proc {
+                    out.push(Formula::knows(p(proc), Formula::knows(p(q), x.clone())));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn checker_workload(smoke: bool) -> CheckerReport {
+    let (horizon, cap) = if smoke { (8, 300) } else { (24, 4_000) };
+    let system = checker_system(horizon, cap);
+    let formulas = checker_formulas();
+
+    let t0 = Instant::now();
+    let mut reference = ReferenceChecker::new(&system);
+    let slow: Vec<bool> = formulas
+        .iter()
+        .map(|f| reference.valid(f).is_ok())
+        .collect();
+    let reference_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut fast = ModelChecker::new(&system);
+    let quick: Vec<bool> = formulas.iter().map(|f| fast.valid(f).is_ok()).collect();
+    let fast_secs = t0.elapsed().as_secs_f64();
+
+    // Verdict equality down to individual points, checked outside the timed
+    // region (the Vec<Point> materialization costs the same on both sides
+    // and would only dilute the comparison).
+    let verdicts_equal = slow == quick
+        && formulas
+            .iter()
+            .all(|f| reference.satisfying_points(f) == fast.satisfying_points(f));
+    assert!(verdicts_equal, "checker verdict mismatch vs reference");
+
+    let work = (system.point_count() * formulas.len()) as f64;
+    CheckerReport {
+        n: 3,
+        horizon,
+        runs: system.len(),
+        points: system.point_count(),
+        formulas: formulas.len(),
+        reference_secs,
+        fast_secs,
+        speedup: reference_secs / fast_secs,
+        points_per_sec_reference: work / reference_secs,
+        points_per_sec_fast: work / fast_secs,
+        peak_table_bytes: fast.table_bytes(),
+        verdicts_equal,
+    }
+}
+
+/// The explorer workload's protocol: p0 sends one message to p1; the
+/// explorer branches over crash timing, delivery timing, and initiations.
+#[derive(Clone, Debug)]
+struct OneShot {
+    me: ProcessId,
+    sent: bool,
+}
+
+impl Protocol<u8> for OneShot {
+    fn start(&mut self, me: ProcessId, _n: usize) {
+        self.me = me;
+    }
+    fn observe(&mut self, _t: Time, e: &Event<u8>) {
+        if matches!(e, Event::Send { .. }) {
+            self.sent = true;
+        }
+    }
+    fn next_action(&mut self, _t: Time) -> Option<ProtoAction<u8>> {
+        (self.me == ProcessId::new(0) && !self.sent).then_some(ProtoAction::Send {
+            to: ProcessId::new(1),
+            msg: 7,
+        })
+    }
+    fn quiescent(&self) -> bool {
+        self.sent
+    }
+}
+
+fn explorer_workload(smoke: bool) -> ExplorerReport {
+    let (horizon, cap) = if smoke { (5, 4_000) } else { (7, 40_000) };
+    let alpha = ActionId::new(p(0), 0);
+    let cfg = ExploreConfig::new(3, horizon)
+        .max_failures(1)
+        .initiate(1, alpha)
+        .optional_initiations()
+        .max_runs(cap);
+    let make = |_| OneShot {
+        me: p(0),
+        sent: false,
+    };
+
+    let t0 = Instant::now();
+    let slow = explore_reference(&cfg, make);
+    let reference_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let fast = explore(&cfg, make);
+    let fast_secs = t0.elapsed().as_secs_f64();
+
+    let runs_equal = fast.system.runs() == slow.system.runs() && fast.complete == slow.complete;
+    assert!(runs_equal, "explorer run-set mismatch vs reference");
+
+    ExplorerReport {
+        n: 3,
+        horizon,
+        runs_explored: fast.system.len(),
+        complete: fast.complete,
+        reference_secs,
+        fast_secs,
+        speedup: reference_secs / fast_secs,
+        runs_equal,
+    }
+}
+
+fn cell_workload(smoke: bool) -> CellReport {
+    let spec = if smoke {
+        CellSpec::new(4, 3, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(4)
+            .horizon(400)
+    } else {
+        CellSpec::new(
+            5,
+            3,
+            Some(0.3),
+            FdChoice::TUseful,
+            ProtocolChoice::Generalized,
+        )
+        .trials(16)
+        .horizon(900)
+    };
+    let t0 = Instant::now();
+    let out = run_cell(&spec);
+    let secs = t0.elapsed().as_secs_f64();
+    CellReport {
+        spec: format!(
+            "n={} t={} drop={:?} fd={} protocol={}",
+            spec.n, spec.t, spec.drop_prob, spec.fd, spec.protocol
+        ),
+        trials: spec.trials,
+        achieved: out.achieved(),
+        secs,
+        trials_per_sec: spec.trials as f64 / secs,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("perf: unknown argument `{other}` (accepted: --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("perf: mode={mode} threads={}", ktudc_par::thread_count());
+
+    let checker = checker_workload(smoke);
+    eprintln!(
+        "perf: checker {} points x {} formulas: reference {:.3}s, fast {:.3}s ({:.1}x), {} table bytes",
+        checker.points,
+        checker.formulas,
+        checker.reference_secs,
+        checker.fast_secs,
+        checker.speedup,
+        checker.peak_table_bytes,
+    );
+
+    let explorer = explorer_workload(smoke);
+    eprintln!(
+        "perf: explorer {} runs (complete={}): reference {:.3}s, fast {:.3}s ({:.1}x)",
+        explorer.runs_explored,
+        explorer.complete,
+        explorer.reference_secs,
+        explorer.fast_secs,
+        explorer.speedup,
+    );
+
+    let cell = cell_workload(smoke);
+    eprintln!(
+        "perf: cell [{}] {} trials in {:.3}s (achieved={})",
+        cell.spec, cell.trials, cell.secs, cell.achieved,
+    );
+
+    let report = Report {
+        schema: "ktudc-bench-perf/1".to_string(),
+        mode: mode.to_string(),
+        threads: ktudc_par::thread_count(),
+        checker,
+        explorer,
+        cell,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_ktudc.json", &json).expect("write BENCH_ktudc.json");
+    println!("{json}");
+}

@@ -91,9 +91,24 @@ fn main() {
     println!(
         "{:<32}{:<40}{:<40}{:<40}",
         "Unreliable / UDC",
-        udc(t_low, Some(LOSS), FdChoice::Cycling, ProtocolChoice::Generalized),
-        udc(t_mid, Some(LOSS), FdChoice::TUseful, ProtocolChoice::Generalized),
-        udc(t_high, Some(LOSS), FdChoice::Strong, ProtocolChoice::StrongFd),
+        udc(
+            t_low,
+            Some(LOSS),
+            FdChoice::Cycling,
+            ProtocolChoice::Generalized
+        ),
+        udc(
+            t_mid,
+            Some(LOSS),
+            FdChoice::TUseful,
+            ProtocolChoice::Generalized
+        ),
+        udc(
+            t_high,
+            Some(LOSS),
+            FdChoice::Strong,
+            ProtocolChoice::StrongFd
+        ),
     );
     println!(
         "{:<32}{:<40}{:<40}{:<40}",
@@ -107,7 +122,12 @@ fn main() {
         "  (strong ≈ perfect, Prop 3.4)",
         "-",
         "-",
-        udc(t_high, Some(LOSS), FdChoice::Perfect, ProtocolChoice::StrongFd),
+        udc(
+            t_high,
+            Some(LOSS),
+            FdChoice::Perfect,
+            ProtocolChoice::StrongFd
+        ),
     );
 
     // --- Unreliable channels, consensus: per CT, same classes as the

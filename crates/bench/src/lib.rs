@@ -53,7 +53,9 @@ impl ConsensusOutcome {
 
 /// Runs a consensus cell: seeded trials over **reliable** channels (the
 /// Chandra–Toueg setting; see EXPERIMENTS.md for the substitution note)
-/// with random crash schedules bounded by `t`.
+/// with random crash schedules bounded by `t`. Trials are independent and
+/// seed-determined, so they run in parallel (feature `parallel`); the tally
+/// is identical either way.
 #[must_use]
 pub fn run_consensus_cell(
     n: usize,
@@ -63,8 +65,8 @@ pub fn run_consensus_cell(
     horizon: Time,
 ) -> ConsensusOutcome {
     let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
-    let mut outcome = ConsensusOutcome::default();
-    for seed in 0..trials {
+    let seeds: Vec<u64> = (0..trials).collect();
+    let verdicts = ktudc_par::par_map(seeds, |seed| {
         let config = SimConfig::new(n)
             .channel(ChannelKind::reliable())
             .crashes(CrashPlan::Random {
@@ -75,27 +77,29 @@ pub fn run_consensus_cell(
             })
             .horizon(horizon)
             .seed(seed);
-        let props = proposals.clone();
-        let ok = match choice {
+        match choice {
             ConsensusChoice::RotatingEventuallyStrong => {
                 let out = run_protocol(
                     &config,
-                    |p| RotatingConsensus::new(proposal_for(&props, p)),
+                    |p| RotatingConsensus::new(proposal_for(&proposals, p)),
                     &mut EventuallyStrongOracle::new(horizon / 8),
                     &Workload::none(),
                 );
-                check_consensus(&out.run, &props).is_ok()
+                check_consensus(&out.run, &proposals).is_ok()
             }
             ConsensusChoice::StrongDetector => {
                 let out = run_protocol(
                     &config,
-                    |p| StrongConsensus::new(proposal_for(&props, p)),
+                    |p| StrongConsensus::new(proposal_for(&proposals, p)),
                     &mut StrongOracle::new(),
                     &Workload::none(),
                 );
-                check_consensus(&out.run, &props).is_ok()
+                check_consensus(&out.run, &proposals).is_ok()
             }
-        };
+        }
+    });
+    let mut outcome = ConsensusOutcome::default();
+    for ok in verdicts {
         if ok {
             outcome.satisfied += 1;
         } else {

@@ -119,7 +119,14 @@ mod tests {
     #[test]
     fn message_debug_formats() {
         assert_eq!(
-            format!("{:?}", ConsMsg::Estimate { round: 1, value: 7, ts: 0 }),
+            format!(
+                "{:?}",
+                ConsMsg::Estimate {
+                    round: 1,
+                    value: 7,
+                    ts: 0
+                }
+            ),
             "est(r1, v7, ts0)"
         );
         assert_eq!(format!("{:?}", ConsMsg::Decide { value: 3 }), "decide(v3)");

@@ -168,7 +168,8 @@ impl RotatingConsensus {
                     // Coordinator self-acks and stays for phase 4.
                     *self.acks.entry(r).or_default() += 1;
                 } else {
-                    self.plan.push_back(Step::Send(coord, ConsMsg::Ack { round: r }));
+                    self.plan
+                        .push_back(Step::Send(coord, ConsMsg::Ack { round: r }));
                     self.advance_round();
                     return;
                 }
@@ -182,9 +183,7 @@ impl RotatingConsensus {
         }
         // Coordinator duties.
         if coord == self.me {
-            if !self.try_sent
-                && self.estimates.get(&r).map_or(0, Vec::len) >= self.majority()
-            {
+            if !self.try_sent && self.estimates.get(&r).map_or(0, Vec::len) >= self.majority() {
                 let &(_, v, _) = self
                     .estimates
                     .get(&r)
@@ -244,10 +243,7 @@ impl Protocol<ConsMsg> for RotatingConsensus {
                 ConsMsg::Nack { round } => *self.nacks.entry(*round).or_default() += 1,
                 ConsMsg::Decide { value } => {
                     if self.decided.is_none()
-                        && !self
-                            .plan
-                            .iter()
-                            .any(|s| matches!(s, Step::Decide(_)))
+                        && !self.plan.iter().any(|s| matches!(s, Step::Decide(_)))
                     {
                         self.enqueue_decide(*value);
                     }

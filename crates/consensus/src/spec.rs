@@ -107,7 +107,10 @@ pub fn check_consensus<M>(run: &Run<M>, proposals: &[u64]) -> Result<(), Consens
     // Validity.
     for &(p, v, _) in &decided {
         if !proposals.contains(&v) {
-            return Err(ConsensusViolation::Validity { process: p, value: v });
+            return Err(ConsensusViolation::Validity {
+                process: p,
+                value: v,
+            });
         }
     }
     // Termination (finite-horizon reading).
@@ -129,9 +132,13 @@ mod tests {
     }
 
     fn decide(b: &mut RunBuilder<u8>, who: usize, value: u32, t: Time) {
-        b.append(p(who), t, Event::Do {
-            action: ActionId::new(p(who), value),
-        })
+        b.append(
+            p(who),
+            t,
+            Event::Do {
+                action: ActionId::new(p(who), value),
+            },
+        )
         .unwrap();
     }
 

@@ -192,12 +192,11 @@ impl Protocol<ConsMsg> for StrongConsensus {
                         .or_default()
                         .insert(*from, known.clone());
                 }
-                ConsMsg::Decide { value } => {
+                ConsMsg::Decide { value }
                     if self.decided.is_none()
-                        && !self.plan.iter().any(|s| matches!(s, Step::Decide(_)))
-                    {
-                        self.enqueue_decide(*value);
-                    }
+                        && !self.plan.iter().any(|s| matches!(s, Step::Decide(_))) =>
+                {
+                    self.enqueue_decide(*value);
                 }
                 _ => {}
             },

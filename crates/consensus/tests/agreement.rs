@@ -1,10 +1,10 @@
 //! Consensus scenario tests: coordinator-crash cascades, proposal
 //! diversity, determinism, and the interplay with detector quality.
 
+use ktudc_consensus::proposal_for;
 use ktudc_consensus::rotating::RotatingConsensus;
 use ktudc_consensus::spec::{check_consensus, decisions, ConsensusViolation};
 use ktudc_consensus::strong::StrongConsensus;
-use ktudc_consensus::proposal_for;
 use ktudc_fd::{EventuallyStrongOracle, PerfectOracle, StrongOracle};
 use ktudc_model::{ProcessId, Time};
 use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, SimConfig, Workload};

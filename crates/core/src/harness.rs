@@ -103,7 +103,13 @@ pub struct CellSpec {
 impl CellSpec {
     /// A cell with sensible defaults (horizon 800, 20 trials).
     #[must_use]
-    pub fn new(n: usize, t: usize, drop_prob: Option<f64>, fd: FdChoice, protocol: ProtocolChoice) -> Self {
+    pub fn new(
+        n: usize,
+        t: usize,
+        drop_prob: Option<f64>,
+        fd: FdChoice,
+        protocol: ProtocolChoice,
+    ) -> Self {
         CellSpec {
             n,
             t,
@@ -174,7 +180,9 @@ impl fmt::Display for CellOutcome {
 }
 
 /// Runs one cell: `spec.trials` seeded trials with randomized (≤ t) crash
-/// schedules, tallying UDC verdicts.
+/// schedules, tallying UDC verdicts. Trials are fully determined by their
+/// seed and independent of one another, so they run in parallel (feature
+/// `parallel`); the tally is identical either way.
 ///
 /// # Panics
 ///
@@ -182,46 +190,71 @@ impl fmt::Display for CellOutcome {
 /// `t ≥ n/2`, which the trivial construction cannot serve).
 #[must_use]
 pub fn run_cell(spec: &CellSpec) -> CellOutcome {
+    let seeds: Vec<u64> = (0..spec.trials).collect();
+    let trials = ktudc_par::par_map(seeds, |seed| run_trial(spec, seed));
     let mut outcome = CellOutcome::default();
     let mut total_msgs: u64 = 0;
-    for seed in 0..spec.trials {
-        let channel = match spec.drop_prob {
-            None => ChannelKind::reliable(),
-            Some(p) => ChannelKind::fair_lossy(p),
-        };
-        let config = SimConfig::new(spec.n)
-            .channel(channel)
-            .crashes(CrashPlan::Random {
-                max_failures: spec.t,
-                latest: spec.horizon / 4,
-            })
-            .horizon(spec.horizon)
-            .seed(seed);
-        let workload = Workload::periodic(spec.n, 9, spec.horizon / 6);
-        let mut oracle = make_oracle(spec);
-        let out = match spec.protocol {
-            ProtocolChoice::Reliable => {
-                run_protocol(&config, |_| ReliableUdc::new(), oracle.as_mut(), &workload)
-            }
-            ProtocolChoice::StrongFd => {
-                run_protocol(&config, |_| StrongFdUdc::new(), oracle.as_mut(), &workload)
-            }
-            ProtocolChoice::Generalized => run_protocol(
-                &config,
-                |_| GeneralizedUdc::new(spec.t),
-                oracle.as_mut(),
-                &workload,
-            ),
-        };
-        total_msgs += out.messages_sent;
-        match check_udc(&out.run, &workload.actions()) {
-            Verdict::Satisfied => outcome.satisfied += 1,
-            Verdict::Violated(_) if out.quiescent => outcome.violated_permanent += 1,
-            Verdict::Violated(_) => outcome.unsatisfied_pending += 1,
+    for trial in trials {
+        total_msgs += trial.messages_sent;
+        match trial.verdict {
+            TrialVerdict::Satisfied => outcome.satisfied += 1,
+            TrialVerdict::ViolatedPermanent => outcome.violated_permanent += 1,
+            TrialVerdict::UnsatisfiedPending => outcome.unsatisfied_pending += 1,
         }
     }
     outcome.mean_messages = total_msgs as f64 / spec.trials.max(1) as f64;
     outcome
+}
+
+enum TrialVerdict {
+    Satisfied,
+    ViolatedPermanent,
+    UnsatisfiedPending,
+}
+
+struct TrialResult {
+    messages_sent: u64,
+    verdict: TrialVerdict,
+}
+
+fn run_trial(spec: &CellSpec, seed: u64) -> TrialResult {
+    let channel = match spec.drop_prob {
+        None => ChannelKind::reliable(),
+        Some(p) => ChannelKind::fair_lossy(p),
+    };
+    let config = SimConfig::new(spec.n)
+        .channel(channel)
+        .crashes(CrashPlan::Random {
+            max_failures: spec.t,
+            latest: spec.horizon / 4,
+        })
+        .horizon(spec.horizon)
+        .seed(seed);
+    let workload = Workload::periodic(spec.n, 9, spec.horizon / 6);
+    let mut oracle = make_oracle(spec);
+    let out = match spec.protocol {
+        ProtocolChoice::Reliable => {
+            run_protocol(&config, |_| ReliableUdc::new(), oracle.as_mut(), &workload)
+        }
+        ProtocolChoice::StrongFd => {
+            run_protocol(&config, |_| StrongFdUdc::new(), oracle.as_mut(), &workload)
+        }
+        ProtocolChoice::Generalized => run_protocol(
+            &config,
+            |_| GeneralizedUdc::new(spec.t),
+            oracle.as_mut(),
+            &workload,
+        ),
+    };
+    let verdict = match check_udc(&out.run, &workload.actions()) {
+        Verdict::Satisfied => TrialVerdict::Satisfied,
+        Verdict::Violated(_) if out.quiescent => TrialVerdict::ViolatedPermanent,
+        Verdict::Violated(_) => TrialVerdict::UnsatisfiedPending,
+    };
+    TrialResult {
+        messages_sent: out.messages_sent,
+        verdict,
+    }
 }
 
 fn make_oracle(spec: &CellSpec) -> Box<dyn FdOracle> {

@@ -271,8 +271,7 @@ mod tests {
             &w,
         );
         assert!(!check_udc(&out.run, &w.actions()).is_satisfied());
-        let did_any = (0..4)
-            .any(|i| out.run.view_at(ProcessId::new(i), 200).did(w.actions()[0]));
+        let did_any = (0..4).any(|i| out.run.view_at(ProcessId::new(i), 200).did(w.actions()[0]));
         assert!(!did_any);
     }
 
@@ -300,10 +299,9 @@ mod tests {
         // 5 − 4 = 1 > 3 − 1 = 2 is false.
         let mut proto2 = GeneralizedUdc::new(3);
         proto2.start(ProcessId::new(0), 5);
-        proto2.reports.push((
-            (1..5).map(ProcessId::new).collect(),
-            1,
-        ));
+        proto2
+            .reports
+            .push(((1..5).map(ProcessId::new).collect(), 1));
         let full_acks = ActionState {
             live: true,
             done: false,

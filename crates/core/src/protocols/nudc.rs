@@ -148,9 +148,10 @@ impl Protocol<CoordMsg> for NUdcFlood {
         // Keeps flooding forever; quiescent only while idle or once every
         // peer is a known holder of every live action.
         self.out.is_empty()
-            && self.actions.values().all(|s| {
-                !s.live || (s.done && s.holders.len() >= self.n - 1)
-            })
+            && self
+                .actions
+                .values()
+                .all(|s| !s.live || (s.done && s.holders.len() >= self.n - 1))
     }
 }
 

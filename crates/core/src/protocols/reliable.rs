@@ -130,7 +130,13 @@ mod tests {
         // DC2's consequent is discharged by the crashes.
         let config = SimConfig::new(5)
             .channel(ChannelKind::reliable())
-            .crashes(CrashPlan::at(&[(0, 40), (1, 42), (2, 44), (3, 46), (4, 48)]))
+            .crashes(CrashPlan::at(&[
+                (0, 40),
+                (1, 42),
+                (2, 44),
+                (3, 46),
+                (4, 48),
+            ]))
             .horizon(200)
             .seed(3);
         let w = Workload::single(0, 1);
@@ -154,8 +160,7 @@ mod tests {
                 .horizon(300)
                 .seed(seed);
             let out = run_protocol(&config, |_| ReliableUdc::new(), &mut NullOracle::new(), &w);
-            if let Verdict::Violated(SpecViolation::Dc2 { .. }) =
-                check_udc(&out.run, &w.actions())
+            if let Verdict::Violated(SpecViolation::Dc2 { .. }) = check_udc(&out.run, &w.actions())
             {
                 // Certify permanence: nothing in flight, nobody working.
                 assert!(out.quiescent, "violation must be permanent, seed {seed}");
@@ -196,15 +201,25 @@ mod tests {
         let mut proto = ReliableUdc::new();
         proto.start(ProcessId::new(0), 2);
         let alpha = ActionId::new(ProcessId::new(1), 0);
-        proto.observe(1, &Event::Recv {
-            from: ProcessId::new(1),
-            msg: CoordMsg::Alpha(alpha),
-        });
-        proto.observe(2, &Event::Recv {
-            from: ProcessId::new(1),
-            msg: CoordMsg::Alpha(alpha),
-        });
+        proto.observe(
+            1,
+            &Event::Recv {
+                from: ProcessId::new(1),
+                msg: CoordMsg::Alpha(alpha),
+            },
+        );
+        proto.observe(
+            2,
+            &Event::Recv {
+                from: ProcessId::new(1),
+                msg: CoordMsg::Alpha(alpha),
+            },
+        );
         let steps: Vec<_> = std::iter::from_fn(|| proto.next_action(3)).collect();
-        assert_eq!(steps.len(), 2, "one send + one do despite duplicate receipt");
+        assert_eq!(
+            steps.len(),
+            2,
+            "one send + one do despite duplicate receipt"
+        );
     }
 }

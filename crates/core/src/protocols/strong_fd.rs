@@ -195,7 +195,12 @@ mod tests {
         for seed in 0..8 {
             let config = lossy_config(5, seed).crashes(CrashPlan::at(&[(1, 6), (3, 30)]));
             let w = Workload::single(0, 2);
-            let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+            let out = run_protocol(
+                &config,
+                |_| StrongFdUdc::new(),
+                &mut StrongOracle::new(),
+                &w,
+            );
             // Sanity: the oracle really is a strong FD on this run.
             check_fd_property(&out.run, FdProperty::StrongCompleteness).unwrap();
             check_fd_property(&out.run, FdProperty::WeakAccuracy).unwrap();
@@ -217,8 +222,12 @@ mod tests {
                 .crashes(CrashPlan::at(&[(0, 25), (1, 35), (2, 45)]))
                 .horizon(800);
             let w = Workload::single(0, 2);
-            let out =
-                run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+            let out = run_protocol(
+                &config,
+                |_| StrongFdUdc::new(),
+                &mut PerfectOracle::new(),
+                &w,
+            );
             assert_eq!(
                 check_udc(&out.run, &w.actions()),
                 Verdict::Satisfied,
@@ -287,7 +296,12 @@ mod tests {
             .horizon(400)
             .seed(11);
         let w = Workload::single(0, 1);
-        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        let out = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut StrongOracle::new(),
+            &w,
+        );
         let do_tick = out
             .run
             .timed_history(ktudc_model::ProcessId::new(0))
@@ -313,7 +327,12 @@ mod tests {
             .crashes(CrashPlan::at(&[(2, 40)]))
             .horizon(2000);
         let w = Workload::periodic(4, 9, 120);
-        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        let out = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut StrongOracle::new(),
+            &w,
+        );
         assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
         assert!(w.actions().len() >= 12);
     }

@@ -48,10 +48,9 @@ pub fn simulate_perfect_fd<M: Clone + Eq + Hash>(system: &System<M>) -> System<M
     let new_runs: Vec<Run<M>> = (0..system.len())
         .map(|ri| {
             transform_run(system, ri, |p, m| {
-                Some(SuspectReport::Standard(mc.knowledge_of_crashes(
-                    p,
-                    Point::new(ri, m),
-                )))
+                Some(SuspectReport::Standard(
+                    mc.knowledge_of_crashes(p, Point::new(ri, m)),
+                ))
             })
         })
         .collect();
@@ -71,7 +70,10 @@ pub fn simulate_perfect_fd<M: Clone + Eq + Hash>(system: &System<M>) -> System<M
 #[must_use]
 pub fn simulate_t_useful_fd<M: Clone + Eq + Hash>(system: &System<M>, _t: usize) -> System<M> {
     let n = system.n();
-    assert!(n <= 16, "f′ cycles through 2^n subsets; n = {n} is too large");
+    assert!(
+        n <= 16,
+        "f′ cycles through 2^n subsets; n = {n} is too large"
+    );
     let subsets = 1usize << n;
     let mut mc = ModelChecker::new(system);
     let new_runs: Vec<Run<M>> = (0..system.len())
@@ -82,10 +84,7 @@ pub fn simulate_t_useful_fd<M: Clone + Eq + Hash>(system: &System<M>, _t: usize)
                 let l = run.history_at(p, m + 1).len() % subsets;
                 let set = subset_by_index(n, l);
                 let k = mc.max_known_crashed_in(p, set, Point::new(ri, m));
-                Some(SuspectReport::Generalized {
-                    set,
-                    min_faulty: k,
-                })
+                Some(SuspectReport::Generalized { set, min_faulty: k })
             })
         })
         .collect();
@@ -160,7 +159,12 @@ mod tests {
 
     /// Samples a UDC-attaining system: the Proposition 3.1 protocol with a
     /// perfect oracle, over several seeds and the given crash plans.
-    fn udc_system(n: usize, horizon: Time, plans: &[CrashPlan], seeds: u64) -> System<crate::CoordMsg> {
+    fn udc_system(
+        n: usize,
+        horizon: Time,
+        plans: &[CrashPlan],
+        seeds: u64,
+    ) -> System<crate::CoordMsg> {
         let w = Workload::periodic(n, 15, horizon / 4);
         let mut runs = Vec::new();
         for plan in plans {
@@ -170,8 +174,12 @@ mod tests {
                     .crashes(plan.clone())
                     .horizon(horizon)
                     .seed(seed);
-                let out =
-                    run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+                let out = run_protocol(
+                    &config,
+                    |_| StrongFdUdc::new(),
+                    &mut PerfectOracle::new(),
+                    &w,
+                );
                 assert_eq!(
                     check_udc(&out.run, &w.actions()),
                     Verdict::Satisfied,
@@ -186,7 +194,10 @@ mod tests {
     #[test]
     fn subset_index_roundtrip() {
         assert_eq!(subset_by_index(3, 0), ProcSet::new());
-        assert_eq!(subset_by_index(3, 0b101), [p(0), p(2)].into_iter().collect());
+        assert_eq!(
+            subset_by_index(3, 0b101),
+            [p(0), p(2)].into_iter().collect()
+        );
         assert_eq!(subset_by_index(3, 0b111), ProcSet::full(3));
     }
 
@@ -200,16 +211,10 @@ mod tests {
             assert_eq!(new.horizon(), 2 * orig.horizon() + 1);
             // Every non-FD event survives, in order, per process.
             for q in ProcessId::all(3) {
-                let orig_events: Vec<_> = orig
-                    .history(q)
-                    .iter()
-                    .filter(|e| !e.is_suspect())
-                    .collect();
-                let new_events: Vec<_> = new
-                    .history(q)
-                    .iter()
-                    .filter(|e| !e.is_suspect())
-                    .collect();
+                let orig_events: Vec<_> =
+                    orig.history(q).iter().filter(|e| !e.is_suspect()).collect();
+                let new_events: Vec<_> =
+                    new.history(q).iter().filter(|e| !e.is_suspect()).collect();
                 assert_eq!(orig_events, new_events, "run content changed for {q}");
             }
             // Crash ticks are doubled: c ↦ 2c.
@@ -258,11 +263,8 @@ mod tests {
         for (i, run) in simulated.runs().iter().enumerate() {
             check_fd_property(run, FdProperty::GeneralizedStrongAccuracy)
                 .unwrap_or_else(|e| panic!("run {i}: {e}"));
-            check_fd_property(
-                run,
-                FdProperty::GeneralizedImpermanentStrongCompleteness(t),
-            )
-            .unwrap_or_else(|e| panic!("run {i}: {e}"));
+            check_fd_property(run, FdProperty::GeneralizedImpermanentStrongCompleteness(t))
+                .unwrap_or_else(|e| panic!("run {i}: {e}"));
         }
     }
 

@@ -61,7 +61,10 @@ impl fmt::Display for SpecViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecViolation::Dc1 { action } => {
-                write!(f, "DC1: {action} initiated but initiator neither did it nor crashed")
+                write!(
+                    f,
+                    "DC1: {action} initiated but initiator neither did it nor crashed"
+                )
             }
             SpecViolation::Dc2 {
                 action,
@@ -75,7 +78,10 @@ impl fmt::Display for SpecViolation {
                 action,
                 performer,
                 time,
-            } => write!(f, "DC3: {performer} performed uninitiated {action} at tick {time}"),
+            } => write!(
+                f,
+                "DC3: {performer} performed uninitiated {action} at tick {time}"
+            ),
         }
     }
 }
@@ -123,10 +129,9 @@ fn check<M>(run: &Run<M>, actions: &[ActionId], uniform: bool) -> Verdict {
         let initiated = run.view_at(initiator, horizon).initiated(action);
         // DC3 first (safety): any do without init.
         for q in ProcessId::all(n) {
-            if let Some((t, _)) = run
-                .timed_history(q)
-                .find(|(_, e)| e.action() == Some(action) && matches!(e, ktudc_model::Event::Do { .. }))
-            {
+            if let Some((t, _)) = run.timed_history(q).find(|(_, e)| {
+                e.action() == Some(action) && matches!(e, ktudc_model::Event::Do { .. })
+            }) {
                 if !initiated {
                     return Verdict::Violated(SpecViolation::Dc3 {
                         action,

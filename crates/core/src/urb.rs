@@ -132,7 +132,10 @@ pub fn check_urb<M>(run: &Run<M>, broadcasts: &[BroadcastId]) -> Result<(), UrbV
         for p in ProcessId::all(run.n()) {
             let count = deliveries(run, bc).iter().filter(|(q, _)| *q == p).count();
             if count > 1 {
-                return Err(UrbViolation::Integrity { broadcast: bc, process: p });
+                return Err(UrbViolation::Integrity {
+                    broadcast: bc,
+                    process: p,
+                });
             }
         }
     }
@@ -190,7 +193,12 @@ mod tests {
             .horizon(600)
             .seed(3);
         let w = Workload::single(0, 2);
-        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        let out = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut StrongOracle::new(),
+            &w,
+        );
         let bc: BroadcastId = w.actions()[0].into();
         check_urb(&out.run, &[bc]).unwrap();
         // Every correct process delivered exactly once.
@@ -205,8 +213,22 @@ mod tests {
         // The broadcaster delivers then crashes; nobody else delivers.
         let bc = BroadcastId::new(p(0), 0);
         let mut b = RunBuilder::<u8>::new(2);
-        b.append(p(0), 1, Event::Init { action: bc.as_action() }).unwrap();
-        b.append(p(0), 2, Event::Do { action: bc.as_action() }).unwrap();
+        b.append(
+            p(0),
+            1,
+            Event::Init {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
+        b.append(
+            p(0),
+            2,
+            Event::Do {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
         b.append(p(0), 3, Event::Crash).unwrap();
         let run = b.finish(6);
         assert!(matches!(
@@ -220,7 +242,14 @@ mod tests {
     fn validity_violation_translates() {
         let bc = BroadcastId::new(p(0), 0);
         let mut b = RunBuilder::<u8>::new(2);
-        b.append(p(0), 1, Event::Init { action: bc.as_action() }).unwrap();
+        b.append(
+            p(0),
+            1,
+            Event::Init {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
         let run = b.finish(5);
         assert!(matches!(
             check_urb(&run, &[bc]),
@@ -233,9 +262,30 @@ mod tests {
         let bc = BroadcastId::new(p(0), 0);
         // Double delivery.
         let mut b = RunBuilder::<u8>::new(1);
-        b.append(p(0), 1, Event::Init { action: bc.as_action() }).unwrap();
-        b.append(p(0), 2, Event::Do { action: bc.as_action() }).unwrap();
-        b.append(p(0), 3, Event::Do { action: bc.as_action() }).unwrap();
+        b.append(
+            p(0),
+            1,
+            Event::Init {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
+        b.append(
+            p(0),
+            2,
+            Event::Do {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
+        b.append(
+            p(0),
+            3,
+            Event::Do {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
         let run = b.finish(5);
         assert!(matches!(
             check_urb(&run, &[bc]),
@@ -243,7 +293,14 @@ mod tests {
         ));
         // Ghost delivery (never broadcast) = DC3 in UDC terms.
         let mut b = RunBuilder::<u8>::new(2);
-        b.append(p(1), 2, Event::Do { action: bc.as_action() }).unwrap();
+        b.append(
+            p(1),
+            2,
+            Event::Do {
+                action: bc.as_action(),
+            },
+        )
+        .unwrap();
         let run = b.finish(5);
         assert!(matches!(
             check_urb(&run, &[bc]),

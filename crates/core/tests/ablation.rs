@@ -71,7 +71,10 @@ fn do_before_send_breaks_uniformity_even_on_reliable_channels() {
         fn observe(&mut self, _t: Time, e: &Event<CoordMsg>) {
             let action = match e {
                 Event::Init { action } => Some(*action),
-                Event::Recv { msg: CoordMsg::Alpha(a), .. } => Some(*a),
+                Event::Recv {
+                    msg: CoordMsg::Alpha(a),
+                    ..
+                } => Some(*a),
                 _ => None,
             };
             if let Some(a) = action {
@@ -121,7 +124,12 @@ fn do_before_send_breaks_uniformity_even_on_reliable_channels() {
     );
     assert!(wrong.quiescent, "violation is permanent, not a stall");
     // The correct ordering survives the identical schedule.
-    let right = run_protocol(&config, |_| ReliableUdc::new(), &mut ktudc_sim::NullOracle::new(), &w);
+    let right = run_protocol(
+        &config,
+        |_| ReliableUdc::new(),
+        &mut ktudc_sim::NullOracle::new(),
+        &w,
+    );
     assert_eq!(check_udc(&right.run, &w.actions()), Verdict::Satisfied);
 }
 
@@ -160,8 +168,17 @@ fn fd_polling_period_affects_discovery_not_correctness() {
     let w = Workload::single(0, 2);
     let first_report = |fd_period: Time| {
         let config = lossy(8, 1200).fd_period(fd_period);
-        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
-        assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied, "period {fd_period}");
+        let out = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut PerfectOracle::new(),
+            &w,
+        );
+        assert_eq!(
+            check_udc(&out.run, &w.actions()),
+            Verdict::Satisfied,
+            "period {fd_period}"
+        );
         // Earliest failure-detector report anywhere in the run.
         ProcessId::all(4)
             .filter_map(|p| {

@@ -3,9 +3,7 @@
 //! run-level checkers and the formula-level semantics on adversarial
 //! hand-built runs.
 
-use ktudc_core::spec::{
-    check_nudc, check_udc, nudc_formula, udc_formula, SpecViolation, Verdict,
-};
+use ktudc_core::spec::{check_nudc, check_udc, nudc_formula, udc_formula, SpecViolation, Verdict};
 use ktudc_epistemic::ModelChecker;
 use ktudc_model::{ActionId, Event, ProcessId, Run, RunBuilder, System};
 
@@ -61,7 +59,8 @@ fn performer_other_than_initiator_triggers_obligations() {
     let mut b = RunBuilder::<u8>::new(3);
     b.append(p(0), 1, Event::Init { action: a(0, 0) }).unwrap();
     b.append(p(0), 2, Event::Send { to: p(1), msg: 1 }).unwrap();
-    b.append(p(1), 3, Event::Recv { from: p(0), msg: 1 }).unwrap();
+    b.append(p(1), 3, Event::Recv { from: p(0), msg: 1 })
+        .unwrap();
     b.append(p(1), 4, Event::Do { action: a(0, 0) }).unwrap();
     let run = b.finish(8);
     // p0 (initiator) and p2 both failed to perform; DC1 fires first.
@@ -141,6 +140,9 @@ fn checker_and_formula_agree_on_adversarial_runs() {
         let formula_verdict = mc.valid(&udc_formula::<u8>(2, alpha)).is_ok();
         let nudc_formula_verdict = mc.valid(&nudc_formula::<u8>(2, alpha)).is_ok();
         assert_eq!(run_verdict, formula_verdict, "UDC mismatch on run {i}");
-        assert_eq!(nudc_verdict, nudc_formula_verdict, "nUDC mismatch on run {i}");
+        assert_eq!(
+            nudc_verdict, nudc_formula_verdict,
+            "nUDC mismatch on run {i}"
+        );
     }
 }

@@ -1,0 +1,595 @@
+//! Packed truth tables: one bit per point of the system.
+//!
+//! The checker's previous representation was `Vec<bool>` — one byte per
+//! point, every connective a per-point loop. [`BitTable`] packs points into
+//! `u64` words so that boolean connectives are word-wide (64 points per
+//! instruction) and the `K_p`/temporal clauses become range scans over
+//! masked words.
+//!
+//! # Layout
+//!
+//! Bits are **word-aligned per run**: run `ri`'s points start at word
+//! `word_off[ri]`, bit `m` of the run at word `word_off[ri] + m / 64`,
+//! bit position `m % 64` (LSB first). Aligning each run to a word boundary
+//! costs at most 63 padding bits per run and buys two things:
+//!
+//! * temporal operators (`✷`, `✸`) and per-run fills never cross run
+//!   boundaries inside a word, and
+//! * disjoint runs occupy disjoint *words*, so per-run passes can hand out
+//!   `&mut` word segments to worker threads with no synchronization
+//!   (see `ktudc_par::par_segments_mut`).
+//!
+//! Padding bits are **don't-care**: operations never read them (all range
+//! scans mask the final partial word) and `not_inplace` may flip them.
+//! Equality, counting, and extraction mask them off.
+
+use ktudc_model::{IndistinguishableBlock, System, Time};
+use std::sync::Arc;
+
+/// The bit layout of a system's points: per-run point counts and word
+/// offsets. Shared (via `Arc`) by every table of one checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Points per run (`horizon + 1`).
+    run_points: Vec<usize>,
+    /// First word of each run, plus a final entry = total words.
+    word_off: Vec<usize>,
+    /// Total points (without padding).
+    points: usize,
+}
+
+impl Layout {
+    /// Builds a layout from per-run point counts.
+    #[must_use]
+    pub fn from_counts(run_points: Vec<usize>) -> Self {
+        let mut word_off = Vec::with_capacity(run_points.len() + 1);
+        let mut words = 0usize;
+        let mut points = 0usize;
+        for &c in &run_points {
+            word_off.push(words);
+            words += c.div_ceil(64);
+            points += c;
+        }
+        word_off.push(words);
+        Layout {
+            run_points,
+            word_off,
+            points,
+        }
+    }
+
+    /// The layout of `system`'s points.
+    #[must_use]
+    pub fn for_system<M>(system: &System<M>) -> Self {
+        Self::from_counts(
+            system
+                .runs()
+                .iter()
+                .map(|r| r.horizon() as usize + 1)
+                .collect(),
+        )
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.run_points.len()
+    }
+
+    /// Points in run `ri`.
+    #[must_use]
+    pub fn run_points(&self, ri: usize) -> usize {
+        self.run_points[ri]
+    }
+
+    /// Total points across runs (padding excluded).
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.points
+    }
+
+    /// Total words of a table with this layout.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        *self.word_off.last().expect("word_off is never empty")
+    }
+
+    /// Word range of run `ri`.
+    #[must_use]
+    pub fn word_range(&self, ri: usize) -> std::ops::Range<usize> {
+        self.word_off[ri]..self.word_off[ri + 1]
+    }
+
+    /// Interior word boundaries between consecutive runs — the cut list for
+    /// [`ktudc_par::par_segments_mut`] over a table's words.
+    #[must_use]
+    pub fn interior_word_cuts(&self) -> Vec<usize> {
+        self.word_off[1..self.word_off.len() - 1].to_vec()
+    }
+
+    /// Mask of valid bits in the last word of a run of `points` bits
+    /// (`u64::MAX` when the run fills its last word exactly).
+    fn tail_mask(points: usize) -> u64 {
+        match points % 64 {
+            0 => u64::MAX,
+            rem => (1u64 << rem) - 1,
+        }
+    }
+}
+
+/// A truth table over all points of a system, packed one bit per point.
+#[derive(Clone, Debug)]
+pub struct BitTable {
+    layout: Arc<Layout>,
+    words: Vec<u64>,
+}
+
+impl BitTable {
+    /// All-false table.
+    #[must_use]
+    pub fn zeros(layout: Arc<Layout>) -> Self {
+        let words = vec![0u64; layout.word_count()];
+        BitTable { layout, words }
+    }
+
+    /// All-true (or all-false) table.
+    #[must_use]
+    pub fn filled(layout: Arc<Layout>, value: bool) -> Self {
+        let fill = if value { u64::MAX } else { 0 };
+        let words = vec![fill; layout.word_count()];
+        BitTable { layout, words }
+    }
+
+    /// The table's layout.
+    #[must_use]
+    pub fn layout(&self) -> &Arc<Layout> {
+        &self.layout
+    }
+
+    /// Bytes of backing storage (for memory accounting).
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The bit at point `(run, m)`.
+    #[must_use]
+    pub fn get(&self, run: usize, m: Time) -> bool {
+        let m = m as usize;
+        debug_assert!(m < self.layout.run_points(run));
+        let w = self.layout.word_off[run] + m / 64;
+        (self.words[w] >> (m % 64)) & 1 == 1
+    }
+
+    /// Sets ticks `from ..= to` of `run` to `value`, word-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the range exceeds the run.
+    pub fn fill_range(&mut self, run: usize, from: Time, to: Time, value: bool) {
+        let base = self.layout.word_off[run];
+        debug_assert!((to as usize) < self.layout.run_points(run) && from <= to);
+        fill_bit_range(&mut self.words[base..], from as usize, to as usize, value);
+    }
+
+    /// Whether every bit of ticks `from ..= to` of `run` is set.
+    #[must_use]
+    pub fn all_ones_range(&self, run: usize, from: Time, to: Time) -> bool {
+        let base = self.layout.word_off[run];
+        debug_assert!((to as usize) < self.layout.run_points(run) && from <= to);
+        all_ones_bit_range(&self.words[base..], from as usize, to as usize)
+    }
+
+    /// Whether every bit of every block is set — the `K_p` conjunction over
+    /// one equivalence class.
+    #[must_use]
+    pub fn all_ones_blocks(&self, blocks: &[IndistinguishableBlock]) -> bool {
+        blocks
+            .iter()
+            .all(|b| self.all_ones_range(b.run, b.from, b.to))
+    }
+
+    /// Word-wise negation (padding bits flip too — they are don't-care).
+    pub fn not_inplace(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+    }
+
+    /// Word-wise conjunction with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn and_inplace(&mut self, other: &BitTable) {
+        assert!(self.layout == other.layout, "layout mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Word-wise disjunction with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn or_inplace(&mut self, other: &BitTable) {
+        assert!(self.layout == other.layout, "layout mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `✷` (always): `out[m] = self[m] ∧ self[m+1] ∧ … ∧ self[horizon]`,
+    /// per run. A run's result is one range fill: everything strictly after
+    /// its last zero bit. Runs are processed in parallel.
+    #[must_use]
+    pub fn always(&self) -> BitTable {
+        let mut out = BitTable::zeros(Arc::clone(&self.layout));
+        let cuts = self.layout.interior_word_cuts();
+        let layout = &self.layout;
+        let words = &self.words;
+        ktudc_par::par_segments_mut(&mut out.words, &cuts, |ri, seg| {
+            let bits = layout.run_points(ri);
+            let src = &words[layout.word_range(ri)];
+            match last_zero_bit(src, bits) {
+                None => fill_bit_range(seg, 0, bits - 1, true),
+                Some(z) if z + 1 < bits => fill_bit_range(seg, z + 1, bits - 1, true),
+                Some(_) => {}
+            }
+        });
+        out
+    }
+
+    /// `✸` (eventually): `out[m] = self[m] ∨ … ∨ self[horizon]`, per run —
+    /// everything up to the run's last one bit. Runs are processed in
+    /// parallel.
+    #[must_use]
+    pub fn eventually(&self) -> BitTable {
+        let mut out = BitTable::zeros(Arc::clone(&self.layout));
+        let cuts = self.layout.interior_word_cuts();
+        let layout = &self.layout;
+        let words = &self.words;
+        ktudc_par::par_segments_mut(&mut out.words, &cuts, |ri, seg| {
+            let bits = layout.run_points(ri);
+            let src = &words[layout.word_range(ri)];
+            if let Some(o) = last_one_bit(src, bits) {
+                fill_bit_range(seg, 0, o, true);
+            }
+        });
+        out
+    }
+
+    /// The earliest point (run-major, then tick) whose bit is clear, or
+    /// `None` if every point is set. Scans word-wise, so an all-ones table
+    /// costs one pass over the words, not one branch per point.
+    #[must_use]
+    pub fn first_zero(&self) -> Option<(usize, Time)> {
+        for ri in 0..self.layout.run_count() {
+            let bits = self.layout.run_points(ri);
+            let src = &self.words[self.layout.word_range(ri)];
+            for (wi, &w) in src.iter().enumerate() {
+                let masked = if wi + 1 == src.len() {
+                    w | !Layout::tail_mask(bits)
+                } else {
+                    w
+                };
+                if masked != u64::MAX {
+                    let bit = (!masked).trailing_zeros() as usize;
+                    return Some((ri, (wi * 64 + bit) as Time));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of set bits (padding excluded).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        let mut total = 0usize;
+        for ri in 0..self.layout.run_count() {
+            let bits = self.layout.run_points(ri);
+            let src = &self.words[self.layout.word_range(ri)];
+            for (wi, &w) in src.iter().enumerate() {
+                let masked = if wi + 1 == src.len() {
+                    w & Layout::tail_mask(bits)
+                } else {
+                    w
+                };
+                total += masked.count_ones() as usize;
+            }
+        }
+        total
+    }
+
+    /// Unpacks to one `bool` per point, in `(run, m)` order — the reference
+    /// checker's representation, for differential comparison.
+    #[must_use]
+    pub fn to_bools(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.layout.point_count());
+        for ri in 0..self.layout.run_count() {
+            for m in 0..self.layout.run_points(ri) {
+                out.push(self.get(ri, m as Time));
+            }
+        }
+        out
+    }
+
+    /// Packs one `bool` per point, in `(run, m)` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bools` has the wrong length for the layout.
+    #[must_use]
+    pub fn from_bools(layout: Arc<Layout>, bools: &[bool]) -> Self {
+        assert_eq!(bools.len(), layout.point_count(), "length mismatch");
+        let mut t = BitTable::zeros(layout);
+        let mut i = 0;
+        for ri in 0..t.layout.run_count() {
+            for m in 0..t.layout.run_points(ri) {
+                if bools[i] {
+                    let w = t.layout.word_off[ri] + m / 64;
+                    t.words[w] |= 1 << (m % 64);
+                }
+                i += 1;
+            }
+        }
+        t
+    }
+}
+
+impl PartialEq for BitTable {
+    /// Equality over valid bits only (padding ignored).
+    fn eq(&self, other: &Self) -> bool {
+        if self.layout != other.layout {
+            return false;
+        }
+        for ri in 0..self.layout.run_count() {
+            let bits = self.layout.run_points(ri);
+            let a = &self.words[self.layout.word_range(ri)];
+            let b = &other.words[other.layout.word_range(ri)];
+            for wi in 0..a.len() {
+                let mask = if wi + 1 == a.len() {
+                    Layout::tail_mask(bits)
+                } else {
+                    u64::MAX
+                };
+                if (a[wi] ^ b[wi]) & mask != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Eq for BitTable {}
+
+/// Sets or clears bits `from ..= to` of a word segment (`from`/`to` are bit
+/// indices local to the segment).
+fn fill_bit_range(words: &mut [u64], from: usize, to: usize, value: bool) {
+    let (fw, fb) = (from / 64, from % 64);
+    let (tw, tb) = (to / 64, to % 64);
+    let head = u64::MAX << fb;
+    let tail = u64::MAX >> (63 - tb);
+    if fw == tw {
+        let mask = head & tail;
+        if value {
+            words[fw] |= mask;
+        } else {
+            words[fw] &= !mask;
+        }
+        return;
+    }
+    if value {
+        words[fw] |= head;
+        for w in &mut words[fw + 1..tw] {
+            *w = u64::MAX;
+        }
+        words[tw] |= tail;
+    } else {
+        words[fw] &= !head;
+        for w in &mut words[fw + 1..tw] {
+            *w = 0;
+        }
+        words[tw] &= !tail;
+    }
+}
+
+/// Whether bits `from ..= to` of a word segment are all ones.
+fn all_ones_bit_range(words: &[u64], from: usize, to: usize) -> bool {
+    let (fw, fb) = (from / 64, from % 64);
+    let (tw, tb) = (to / 64, to % 64);
+    let head = u64::MAX << fb;
+    let tail = u64::MAX >> (63 - tb);
+    if fw == tw {
+        let mask = head & tail;
+        return words[fw] & mask == mask;
+    }
+    if words[fw] & head != head || words[tw] & tail != tail {
+        return false;
+    }
+    words[fw + 1..tw].iter().all(|&w| w == u64::MAX)
+}
+
+/// Index of the highest zero bit among the first `bits` bits, if any.
+fn last_zero_bit(words: &[u64], bits: usize) -> Option<usize> {
+    for (wi, &w) in words.iter().enumerate().rev() {
+        let valid = if wi + 1 == words.len() {
+            Layout::tail_mask(bits)
+        } else {
+            u64::MAX
+        };
+        let zeros = !w & valid;
+        if zeros != 0 {
+            return Some(wi * 64 + 63 - zeros.leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Index of the highest one bit among the first `bits` bits, if any.
+fn last_one_bit(words: &[u64], bits: usize) -> Option<usize> {
+    for (wi, &w) in words.iter().enumerate().rev() {
+        let valid = if wi + 1 == words.len() {
+            Layout::tail_mask(bits)
+        } else {
+            u64::MAX
+        };
+        let ones = w & valid;
+        if ones != 0 {
+            return Some(wi * 64 + 63 - ones.leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(counts: &[usize]) -> Arc<Layout> {
+        Arc::new(Layout::from_counts(counts.to_vec()))
+    }
+
+    #[test]
+    fn layout_word_alignment() {
+        let l = layout(&[5, 64, 65, 1]);
+        assert_eq!(l.word_range(0), 0..1);
+        assert_eq!(l.word_range(1), 1..2);
+        assert_eq!(l.word_range(2), 2..4);
+        assert_eq!(l.word_range(3), 4..5);
+        assert_eq!(l.word_count(), 5);
+        assert_eq!(l.point_count(), 5 + 64 + 65 + 1);
+        assert_eq!(l.interior_word_cuts(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn get_set_roundtrip_across_word_boundaries() {
+        let l = layout(&[130, 7]);
+        let mut t = BitTable::zeros(Arc::clone(&l));
+        t.fill_range(0, 62, 66, true);
+        t.fill_range(1, 0, 6, true);
+        t.fill_range(1, 2, 3, false);
+        for m in 0..130u64 {
+            assert_eq!(t.get(0, m), (62..=66).contains(&m), "bit {m}");
+        }
+        for m in 0..7u64 {
+            assert_eq!(t.get(1, m), !(2..=3).contains(&m));
+        }
+        assert_eq!(t.count_ones(), 5 + 5);
+    }
+
+    #[test]
+    fn boolean_ops_match_scalar() {
+        let l = layout(&[100, 3]);
+        let bools_a: Vec<bool> = (0..103).map(|i| i % 3 == 0).collect();
+        let bools_b: Vec<bool> = (0..103).map(|i| i % 2 == 0).collect();
+        let a = BitTable::from_bools(Arc::clone(&l), &bools_a);
+        let b = BitTable::from_bools(Arc::clone(&l), &bools_b);
+
+        let mut and = a.clone();
+        and.and_inplace(&b);
+        let mut or = a.clone();
+        or.or_inplace(&b);
+        let mut not = a.clone();
+        not.not_inplace();
+
+        for i in 0..103 {
+            let (ri, m) = if i < 100 { (0, i) } else { (1, i - 100) };
+            assert_eq!(and.get(ri, m as Time), bools_a[i] && bools_b[i]);
+            assert_eq!(or.get(ri, m as Time), bools_a[i] || bools_b[i]);
+            assert_eq!(not.get(ri, m as Time), !bools_a[i]);
+        }
+        // Double negation restores equality (padding is ignored by ==).
+        not.not_inplace();
+        assert_eq!(not, a);
+    }
+
+    #[test]
+    fn temporal_ops_match_scalar() {
+        let l = layout(&[70, 70, 5]);
+        // Run 0: holes; run 1: all true; run 2: all false.
+        let mut bools = vec![true; 145];
+        bools[10] = false;
+        bools[69] = false; // last tick of run 0 false → always(run 0) all false
+        for b in bools.iter_mut().skip(140) {
+            *b = false;
+        }
+        let t = BitTable::from_bools(Arc::clone(&l), &bools);
+        let always = t.always();
+        let eventually = t.eventually();
+
+        let mut offset = 0;
+        for (ri, &points) in [70usize, 70, 5].iter().enumerate() {
+            for m in 0..points {
+                let scalar_always = (m..points).all(|k| bools[offset + k]);
+                let scalar_event = (m..points).any(|k| bools[offset + k]);
+                assert_eq!(
+                    always.get(ri, m as Time),
+                    scalar_always,
+                    "always r{ri} m{m}"
+                );
+                assert_eq!(
+                    eventually.get(ri, m as Time),
+                    scalar_event,
+                    "eventually r{ri} m{m}"
+                );
+            }
+            offset += points;
+        }
+    }
+
+    #[test]
+    fn all_ones_ranges_and_blocks() {
+        let l = layout(&[200]);
+        let mut t = BitTable::zeros(Arc::clone(&l));
+        t.fill_range(0, 50, 180, true);
+        assert!(t.all_ones_range(0, 50, 180));
+        assert!(t.all_ones_range(0, 64, 128));
+        assert!(!t.all_ones_range(0, 49, 60));
+        assert!(!t.all_ones_range(0, 170, 181));
+        assert!(t.all_ones_range(0, 70, 70));
+        let blocks = [
+            IndistinguishableBlock {
+                run: 0,
+                from: 55,
+                to: 60,
+                len: 1,
+            },
+            IndistinguishableBlock {
+                run: 0,
+                from: 100,
+                to: 170,
+                len: 1,
+            },
+        ];
+        assert!(t.all_ones_blocks(&blocks));
+        let bad = [IndistinguishableBlock {
+            run: 0,
+            from: 0,
+            to: 51,
+            len: 0,
+        }];
+        assert!(!t.all_ones_blocks(&bad));
+    }
+
+    #[test]
+    fn bools_roundtrip() {
+        let l = layout(&[66, 1, 64]);
+        let bools: Vec<bool> = (0..131).map(|i| (i * 7) % 5 < 2).collect();
+        let t = BitTable::from_bools(Arc::clone(&l), &bools);
+        assert_eq!(t.to_bools(), bools);
+        assert_eq!(t.count_ones(), bools.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn filled_tables() {
+        let l = layout(&[3, 65]);
+        let t = BitTable::filled(Arc::clone(&l), true);
+        assert_eq!(t.count_ones(), 68);
+        assert!(t.all_ones_range(1, 0, 64));
+        let z = BitTable::zeros(l);
+        assert_eq!(z.count_ones(), 0);
+    }
+}

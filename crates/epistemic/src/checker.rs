@@ -1,17 +1,33 @@
 //! The model checker: global evaluation of epistemic-temporal formulas.
 //!
-//! [`ModelChecker`] evaluates each distinct subformula to a truth table over
-//! *every* point of the system (global model checking), caching tables by
-//! structural formula equality. The `K_p` clause is computed exactly: the
-//! value at a point is the conjunction of the subformula's value over the
-//! point's entire `~_p`-equivalence class, found via the
-//! [`System`](ktudc_model::System) history index.
+//! [`ModelChecker`] evaluates each distinct subformula to a packed truth
+//! table ([`BitTable`]) over *every* point of the system (global model
+//! checking). Distinct subformulas are hash-consed to small integer ids and
+//! their tables memoized behind `Arc`, so a subformula shared between
+//! queries is computed once and its table shared without copying.
+//!
+//! The `K_p` clause is computed exactly, and *per equivalence class* rather
+//! than per point: the system's precomputed `~_p` partition
+//! ([`System::class_range`]/[`System::class_blocks`]) gives each class as a
+//! handful of contiguous tick ranges, the subformula table is AND-reduced
+//! over those ranges word-wise, and the verdict is written back to the
+//! whole class with range fills. Classes are independent, so they are
+//! evaluated in parallel (`ktudc_par`; sequential when the `parallel`
+//! feature is off). Temporal operators are word-level range scans, also
+//! parallel across runs. Primitive tables are built from per-run event
+//! scans (cheap, `O(events)`) followed by word-wise range fills.
+//!
+//! The previous per-point scalar evaluator is preserved unchanged in
+//! [`crate::reference`] as the differential-testing baseline.
 
+use crate::bittable::{BitTable, Layout};
 use crate::formula::{Formula, Prim};
-use ktudc_model::{Event, Point, ProcSet, ProcessId, Run, SuspectReport, System, Time};
+use ktudc_model::{
+    Event, IndistinguishableBlock, Point, ProcSet, ProcessId, SuspectReport, System, Time,
+};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An epistemic-temporal model checker over one system.
 ///
@@ -39,28 +55,27 @@ use std::rc::Rc;
 /// ```
 pub struct ModelChecker<'a, M> {
     system: &'a System<M>,
-    /// Global point index offsets: point `(r, m)` lives at
-    /// `offsets[r] + m`.
-    offsets: Vec<usize>,
-    total: usize,
-    cache: HashMap<Formula<M>, Rc<Vec<bool>>>,
+    layout: Arc<Layout>,
+    /// Hash-consing: each distinct subformula gets a dense id on first
+    /// sight; `tables[id]` memoizes its truth table.
+    ids: HashMap<Formula<M>, u32>,
+    tables: Vec<Option<Arc<BitTable>>>,
+    /// Per-process `~_p` class structure, gathered once on first use: one
+    /// block-slice per equivalence class.
+    class_blocks: Vec<Option<Vec<&'a [IndistinguishableBlock]>>>,
 }
 
 impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
     /// Creates a checker over `system`.
     #[must_use]
     pub fn new(system: &'a System<M>) -> Self {
-        let mut offsets = Vec::with_capacity(system.len());
-        let mut total = 0usize;
-        for run in system.runs() {
-            offsets.push(total);
-            total += run.horizon() as usize + 1;
-        }
+        let n = system.n();
         ModelChecker {
             system,
-            offsets,
-            total,
-            cache: HashMap::new(),
+            layout: Arc::new(Layout::for_system(system)),
+            ids: HashMap::new(),
+            tables: Vec::new(),
+            class_blocks: vec![None; n],
         }
     }
 
@@ -70,8 +85,16 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
         self.system
     }
 
-    fn index(&self, pt: Point) -> usize {
-        self.offsets[pt.run] + pt.time as usize
+    /// The `~_p` classes of `p`, as one block-slice per class, gathered
+    /// once and reused by every `K_p` evaluation.
+    fn class_blocks_for(&mut self, p: ProcessId) -> &[&'a [IndistinguishableBlock]] {
+        let system = self.system;
+        self.class_blocks[p.index()].get_or_insert_with(|| {
+            system
+                .class_range(p)
+                .map(|cid| system.class_blocks(cid))
+                .collect()
+        })
     }
 
     /// Evaluates `(R, r, m) ⊨ φ`.
@@ -80,8 +103,7 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
     ///
     /// Panics if the point is out of range for the system.
     pub fn eval(&mut self, formula: &Formula<M>, pt: Point) -> bool {
-        let table = self.table(formula);
-        table[self.index(pt)]
+        self.table(formula).get(pt.run, pt.time)
     }
 
     /// Checks validity `R ⊨ φ`; on failure returns the first counterexample
@@ -93,23 +115,19 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
     /// false.
     pub fn valid(&mut self, formula: &Formula<M>) -> Result<(), Point> {
         let table = self.table(formula);
-        for (ri, run) in self.system.runs().iter().enumerate() {
-            for m in 0..=run.horizon() {
-                if !table[self.offsets[ri] + m as usize] {
-                    return Err(Point::new(ri, m));
-                }
-            }
+        match table.first_zero() {
+            None => Ok(()),
+            Some((ri, m)) => Err(Point::new(ri, m)),
         }
-        Ok(())
     }
 
     /// All points satisfying `φ`.
     pub fn satisfying_points(&mut self, formula: &Formula<M>) -> Vec<Point> {
         let table = self.table(formula);
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(table.count_ones());
         for (ri, run) in self.system.runs().iter().enumerate() {
             for m in 0..=run.horizon() {
-                if table[self.offsets[ri] + m as usize] {
+                if table.get(ri, m) {
                     out.push(Point::new(ri, m));
                 }
             }
@@ -147,15 +165,13 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
             let Some(crash_tick) = run.crash_time(q) else {
                 continue;
             };
-            let before = self
-                .system
-                .indistinguishable_blocks(q, ri, crash_tick - 1);
+            let before = self.system.indistinguishable_blocks(q, ri, crash_tick - 1);
             let after = self.system.indistinguishable_blocks(q, ri, crash_tick);
             let mut values = before
                 .iter()
                 .chain(after.iter())
                 .flat_map(|b| b.points())
-                .map(|pt| table[self.index(pt)]);
+                .map(|pt| table.get(pt.run, pt.time));
             let Some(first) = values.next() else { continue };
             if values.any(|v| v != first) {
                 return false;
@@ -183,153 +199,150 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
             .iter()
             .flat_map(|b| b.points())
             .map(|q_pt| {
-                self.system.run(q_pt.run).crashed_by(q_pt.time).intersection(set).len()
+                self.system
+                    .run(q_pt.run)
+                    .crashed_by(q_pt.time)
+                    .intersection(set)
+                    .len()
             })
             .min()
             .unwrap_or(0)
     }
 
+    /// Number of distinct subformula tables memoized so far.
+    #[must_use]
+    pub fn cached_table_count(&self) -> usize {
+        self.tables.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Total bytes of memoized truth tables — the checker's dominant memory
+    /// cost. Tables are `Arc`-shared, so this is also the peak: tables are
+    /// never copied, only borrowed.
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.tables.iter().flatten().map(|t| t.byte_size()).sum()
+    }
+
     /// Computes (or fetches) the truth table of `formula` over all points.
-    fn table(&mut self, formula: &Formula<M>) -> Rc<Vec<bool>> {
-        if let Some(t) = self.cache.get(formula) {
-            return Rc::clone(t);
-        }
-        let table = match formula {
-            Formula::True => Rc::new(vec![true; self.total]),
-            Formula::Prim(prim) => Rc::new(self.prim_table(prim)),
-            Formula::Not(inner) => {
-                let t = self.table(inner);
-                Rc::new(t.iter().map(|&b| !b).collect())
-            }
-            Formula::And(parts) => {
-                let mut acc = vec![true; self.total];
-                for part in parts {
-                    let t = self.table(part);
-                    for (a, &b) in acc.iter_mut().zip(t.iter()) {
-                        *a &= b;
-                    }
-                }
-                Rc::new(acc)
-            }
-            Formula::Or(parts) => {
-                let mut acc = vec![false; self.total];
-                for part in parts {
-                    let t = self.table(part);
-                    for (a, &b) in acc.iter_mut().zip(t.iter()) {
-                        *a |= b;
-                    }
-                }
-                Rc::new(acc)
-            }
-            Formula::Always(inner) => {
-                let t = self.table(inner);
-                let mut acc = vec![false; self.total];
-                for (ri, run) in self.system.runs().iter().enumerate() {
-                    let off = self.offsets[ri];
-                    let mut suffix = true;
-                    for m in (0..=run.horizon() as usize).rev() {
-                        suffix &= t[off + m];
-                        acc[off + m] = suffix;
-                    }
-                }
-                Rc::new(acc)
-            }
-            Formula::Eventually(inner) => {
-                let t = self.table(inner);
-                let mut acc = vec![false; self.total];
-                for (ri, run) in self.system.runs().iter().enumerate() {
-                    let off = self.offsets[ri];
-                    let mut suffix = false;
-                    for m in (0..=run.horizon() as usize).rev() {
-                        suffix |= t[off + m];
-                        acc[off + m] = suffix;
-                    }
-                }
-                Rc::new(acc)
-            }
-            Formula::Knows(p, inner) => {
-                let t = self.table(inner);
-                let mut acc = vec![false; self.total];
-                let mut visited = vec![false; self.total];
-                for (ri, run) in self.system.runs().iter().enumerate() {
-                    for m in 0..=run.horizon() {
-                        let idx = self.offsets[ri] + m as usize;
-                        if visited[idx] {
-                            continue;
-                        }
-                        let blocks = self.system.indistinguishable_blocks(*p, ri, m);
-                        let value = blocks
-                            .iter()
-                            .flat_map(|b| b.points())
-                            .all(|pt| t[self.index(pt)]);
-                        for pt in blocks.iter().flat_map(|b| b.points()) {
-                            let i = self.index(pt);
-                            acc[i] = value;
-                            visited[i] = true;
-                        }
-                    }
-                }
-                Rc::new(acc)
+    fn table(&mut self, formula: &Formula<M>) -> Arc<BitTable> {
+        let id = match self.ids.get(formula) {
+            Some(&id) => id as usize,
+            None => {
+                let id = self.tables.len();
+                self.ids.insert(
+                    formula.clone(),
+                    u32::try_from(id).expect("more than u32::MAX distinct subformulas"),
+                );
+                self.tables.push(None);
+                id
             }
         };
-        self.cache.insert(formula.clone(), Rc::clone(&table));
+        if let Some(t) = &self.tables[id] {
+            return Arc::clone(t);
+        }
+        let table = match formula {
+            Formula::True => BitTable::filled(Arc::clone(&self.layout), true),
+            Formula::Prim(prim) => self.prim_table(prim),
+            Formula::Not(inner) => {
+                let mut t = (*self.table(inner)).clone();
+                t.not_inplace();
+                t
+            }
+            Formula::And(parts) => {
+                let mut acc = BitTable::filled(Arc::clone(&self.layout), true);
+                for part in parts {
+                    acc.and_inplace(&self.table(part));
+                }
+                acc
+            }
+            Formula::Or(parts) => {
+                let mut acc = BitTable::filled(Arc::clone(&self.layout), false);
+                for part in parts {
+                    acc.or_inplace(&self.table(part));
+                }
+                acc
+            }
+            Formula::Always(inner) => self.table(inner).always(),
+            Formula::Eventually(inner) => self.table(inner).eventually(),
+            Formula::Knows(p, inner) => {
+                let t = self.table(inner);
+                let layout = Arc::clone(&self.layout);
+                knows_table(self.class_blocks_for(*p), layout, &t)
+            }
+        };
+        let table = Arc::new(table);
+        self.tables[id] = Some(Arc::clone(&table));
         table
     }
 
-    /// Evaluates a primitive over every point, run by run.
-    fn prim_table(&self, prim: &Prim<M>) -> Vec<bool> {
-        let mut acc = vec![false; self.total];
+    /// Evaluates a primitive over every point: per run, a cheap event scan
+    /// finds where the primitive's value changes, then word-wise fills
+    /// paint the ranges.
+    fn prim_table(&self, prim: &Prim<M>) -> BitTable {
+        let mut acc = BitTable::zeros(Arc::clone(&self.layout));
         for (ri, run) in self.system.runs().iter().enumerate() {
-            let off = self.offsets[ri];
+            let horizon = run.horizon();
             match prim {
                 Prim::Crashed(p) => {
                     if let Some(c) = run.crash_time(*p) {
-                        fill_from(&mut acc, off, run, c);
+                        acc.fill_range(ri, c, horizon, true);
                     }
                 }
                 Prim::Initiated(action) => {
-                    if let Some(t) = first_event_tick(run, action.initiator(), |e| {
-                        matches!(e, Event::Init { action: a } if a == action)
-                    }) {
-                        fill_from(&mut acc, off, run, t);
+                    if let Some(t) = first_event_tick(
+                        run,
+                        action.initiator(),
+                        |e| matches!(e, Event::Init { action: a } if a == action),
+                    ) {
+                        acc.fill_range(ri, t, horizon, true);
                     }
                 }
                 Prim::Did { p, action } => {
-                    if let Some(t) = first_event_tick(run, *p, |e| {
-                        matches!(e, Event::Do { action: a } if a == action)
-                    }) {
-                        fill_from(&mut acc, off, run, t);
+                    if let Some(t) = first_event_tick(
+                        run,
+                        *p,
+                        |e| matches!(e, Event::Do { action: a } if a == action),
+                    ) {
+                        acc.fill_range(ri, t, horizon, true);
                     }
                 }
                 Prim::Sent { from, to, msg } => {
-                    if let Some(t) = first_event_tick(run, *from, |e| {
-                        matches!(e, Event::Send { to: q, msg: m } if q == to && m == msg)
-                    }) {
-                        fill_from(&mut acc, off, run, t);
+                    if let Some(t) = first_event_tick(
+                        run,
+                        *from,
+                        |e| matches!(e, Event::Send { to: q, msg: m } if q == to && m == msg),
+                    ) {
+                        acc.fill_range(ri, t, horizon, true);
                     }
                 }
                 Prim::Received { by, from, msg } => {
-                    if let Some(t) = first_event_tick(run, *by, |e| {
-                        matches!(e, Event::Recv { from: q, msg: m } if q == from && m == msg)
-                    }) {
-                        fill_from(&mut acc, off, run, t);
+                    if let Some(t) = first_event_tick(
+                        run,
+                        *by,
+                        |e| matches!(e, Event::Recv { from: q, msg: m } if q == from && m == msg),
+                    ) {
+                        acc.fill_range(ri, t, horizon, true);
                     }
                 }
                 Prim::Suspects { p, q } => {
-                    // Non-stable: value steps at each standard report.
+                    // Non-stable: value steps at each standard report. Paint
+                    // each maximal true interval.
                     let mut current = false;
-                    let mut change_ticks: Vec<(Time, bool)> = Vec::new();
+                    let mut start: Time = 0;
                     for (t, e) in run.timed_history(*p) {
                         if let Event::Suspect(SuspectReport::Standard(s)) = e {
-                            change_ticks.push((t, s.contains(*q)));
+                            let next = s.contains(*q);
+                            if next != current {
+                                if current && t > start {
+                                    acc.fill_range(ri, start, t - 1, true);
+                                }
+                                current = next;
+                                start = t;
+                            }
                         }
                     }
-                    let mut iter = change_ticks.into_iter().peekable();
-                    for m in 0..=run.horizon() {
-                        while matches!(iter.peek(), Some(&(t, _)) if t <= m) {
-                            current = iter.next().expect("peeked").1;
-                        }
-                        acc[off + m as usize] = current;
+                    if current {
+                        acc.fill_range(ri, start, horizon, true);
                     }
                 }
             }
@@ -338,19 +351,33 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
     }
 }
 
-fn fill_from<M>(acc: &mut [bool], off: usize, run: &Run<M>, from_tick: Time) {
-    for m in from_tick..=run.horizon() {
-        acc[off + m as usize] = true;
+/// The `K_p` table: for each `~_p` equivalence class, AND the subformula
+/// table over the class's tick ranges (word-wise), then paint the verdict
+/// over the class. Classes are independent — evaluated in parallel.
+fn knows_table(
+    class_blocks: &[&[IndistinguishableBlock]],
+    layout: Arc<Layout>,
+    inner: &BitTable,
+) -> BitTable {
+    let verdicts =
+        ktudc_par::par_map_slice(class_blocks, |_, blocks| inner.all_ones_blocks(blocks));
+    let mut out = BitTable::zeros(layout);
+    for (blocks, verdict) in class_blocks.iter().zip(verdicts) {
+        if verdict {
+            for b in *blocks {
+                out.fill_range(b.run, b.from, b.to, true);
+            }
+        }
     }
+    out
 }
 
 fn first_event_tick<M>(
-    run: &Run<M>,
+    run: &ktudc_model::Run<M>,
     p: ProcessId,
     mut pred: impl FnMut(&Event<M>) -> bool,
 ) -> Option<Time> {
-    run.timed_history(p)
-        .find_map(|(t, e)| pred(e).then_some(t))
+    run.timed_history(p).find_map(|(t, e)| pred(e).then_some(t))
 }
 
 #[cfg(test)]
@@ -367,12 +394,22 @@ mod tests {
     /// * run 1: p0 sends "m" at 1; nothing else (message lost).
     fn lost_message_system() -> System<&'static str> {
         let mut b = RunBuilder::new(2);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
-        b.append(p(1), 2, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        b.append(
+            p(1),
+            2,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
         b.append(p(1), 3, Event::Crash).unwrap();
         let r0 = b.finish(4);
         let mut b = RunBuilder::new(2);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
         let r1 = b.finish(4);
         System::new(vec![r0, r1])
     }
@@ -405,10 +442,7 @@ mod tests {
         assert!(mc.eval(&Formula::always(crash.clone()), Point::new(0, 3)));
         assert!(!mc.eval(&Formula::always(crash.clone()), Point::new(0, 2)));
         // ✷¬crash(p1) holds everywhere in run 1.
-        assert!(mc.eval(
-            &Formula::always(Formula::not(crash)),
-            Point::new(1, 0)
-        ));
+        assert!(mc.eval(&Formula::always(Formula::not(crash)), Point::new(1, 0)));
     }
 
     #[test]
@@ -555,6 +589,27 @@ mod tests {
         let a = mc.eval(&f, Point::new(0, 0));
         let b = mc.eval(&f, Point::new(0, 0));
         assert_eq!(a, b);
-        assert!(mc.cache.len() >= 3, "subformulas should be cached");
+        assert!(mc.cached_table_count() >= 3, "subformulas should be cached");
+        assert!(mc.table_bytes() > 0);
+    }
+
+    #[test]
+    fn suspects_toggling_paints_correct_intervals() {
+        // On-off-on pattern exercises the interval painter.
+        let mut b = RunBuilder::<u8>::new(2);
+        let q1 = ProcSet::singleton(p(1));
+        b.append_suspect(p(0), 1, SuspectReport::Standard(q1))
+            .unwrap();
+        b.append_suspect(p(0), 2, SuspectReport::Standard(ProcSet::new()))
+            .unwrap();
+        b.append_suspect(p(0), 4, SuspectReport::Standard(q1))
+            .unwrap();
+        let sys = System::new(vec![b.finish(6)]);
+        let mut mc = ModelChecker::new(&sys);
+        let susp = Formula::suspects(p(0), p(1));
+        let expected = [false, true, false, false, true, true, true];
+        for (m, &want) in expected.iter().enumerate() {
+            assert_eq!(mc.eval(&susp, Point::new(0, m as Time)), want, "tick {m}");
+        }
     }
 }

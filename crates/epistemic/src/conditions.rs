@@ -106,9 +106,7 @@ pub fn check_a2<M: Eq>(system: &System<M>) -> Result<(), ConditionViolation> {
             let correct = f.complement(n);
             let max_m = r1.horizon().min(r2.horizon());
             for m in 0..max_m {
-                let indist = correct
-                    .iter()
-                    .all(|q| r1.indistinguishable(m, r2, m, q));
+                let indist = correct.iter().all(|q| r1.indistinguishable(m, r2, m, q));
                 if !indist {
                     continue;
                 }
@@ -250,20 +248,18 @@ fn a4_witness_exists<M: Clone + Eq + Hash>(
             continue;
         }
         // (b) prefix-or-prefix-plus-crash outside S.
-        let ok_outside = ProcessId::all(n)
-            .filter(|q| !s.contains(*q))
-            .all(|q| {
-                let h = r.history_at(q, m);
-                let h2 = r2.history_at(q, m);
-                if h2.len() <= h.len() && h2 == &h[..h2.len()] {
-                    return true;
-                }
-                if h2.len() >= 1 && h2.len() - 1 <= h.len() {
-                    let (init, last) = h2.split_at(h2.len() - 1);
-                    return last[0].is_crash() && init == &h[..init.len()];
-                }
-                false
-            });
+        let ok_outside = ProcessId::all(n).filter(|q| !s.contains(*q)).all(|q| {
+            let h = r.history_at(q, m);
+            let h2 = r2.history_at(q, m);
+            if h2.len() <= h.len() && h2 == &h[..h2.len()] {
+                return true;
+            }
+            if !h2.is_empty() && h2.len() - 1 <= h.len() {
+                let (init, last) = h2.split_at(h2.len() - 1);
+                return last[0].is_crash() && init == &h[..init.len()];
+            }
+            false
+        });
         if ok_outside {
             return true;
         }
@@ -316,8 +312,7 @@ mod tests {
     }
 
     fn explored_idle(n: usize, horizon: Time, t: usize) -> System<u8> {
-        explore::<u8, _, _>(&ExploreConfig::new(n, horizon).max_failures(t), |_| Idle)
-            .system
+        explore::<u8, _, _>(&ExploreConfig::new(n, horizon).max_failures(t), |_| Idle).system
     }
 
     #[test]

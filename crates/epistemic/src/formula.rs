@@ -109,6 +109,9 @@ pub enum Formula<M> {
 impl<M> Formula<M> {
     /// `¬φ`.
     #[must_use]
+    // An associated constructor, not a `self` method — `Formula::not(f)`
+    // reads as the connective and cannot collide with `std::ops::Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(phi: Formula<M>) -> Self {
         Formula::Not(Box::new(phi))
     }
@@ -203,9 +206,10 @@ impl<M> Formula<M> {
     pub fn size(&self) -> usize {
         match self {
             Formula::True | Formula::Prim(_) => 1,
-            Formula::Not(f) | Formula::Always(f) | Formula::Eventually(f) | Formula::Knows(_, f) => {
-                1 + f.size()
-            }
+            Formula::Not(f)
+            | Formula::Always(f)
+            | Formula::Eventually(f)
+            | Formula::Knows(_, f) => 1 + f.size(),
             Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
         }
     }

@@ -17,6 +17,14 @@
 //! indistinguishability class, not an approximation), with tables cached
 //! per subformula.
 //!
+//! Truth tables are bit-packed ([`bittable::BitTable`]) so boolean
+//! connectives work 64 points per instruction, `K_p` is evaluated once per
+//! `~_p`-equivalence class, and independent classes / runs are processed in
+//! parallel when the `parallel` feature (on by default) is enabled. The
+//! original per-point scalar evaluator survives as
+//! [`reference::ReferenceChecker`] and the two are held bit-identical by
+//! differential tests.
+//!
 //! # Finite-horizon reading
 //!
 //! `✷φ` at `(r, m)` means "φ at every `m′` with `m ≤ m′ ≤ horizon(r)`", and
@@ -29,10 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bittable;
 pub mod checker;
 pub mod conditions;
 pub mod formula;
+pub mod reference;
 
+pub use bittable::{BitTable, Layout};
 pub use checker::ModelChecker;
 pub use conditions::{check_a1, check_a2, check_a3, check_a4, check_a5, ConditionViolation};
 pub use formula::{Formula, Prim};
+pub use reference::ReferenceChecker;

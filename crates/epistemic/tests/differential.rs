@@ -1,0 +1,118 @@
+//! Differential property tests: the bitset-backed [`ModelChecker`] must
+//! agree with the scalar [`ReferenceChecker`] — verdict for verdict, point
+//! for point — on randomized small systems (n ≤ 3, horizon ≤ 5) and
+//! randomized formulas.
+
+use ktudc_epistemic::{Formula, ModelChecker, ReferenceChecker};
+use ktudc_model::{ActionId, Event, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, System};
+use proptest::prelude::*;
+
+const N: usize = 3;
+const HORIZON: u64 = 5;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Builds one run from an adversarial append script; illegal appends are
+/// simply rejected by the builder, so every script yields a valid run.
+fn run_from_script(script: &[(usize, u64, u8, usize)]) -> Run<u16> {
+    let mut b = RunBuilder::<u16>::new(N);
+    for &(pi, t, kind, other) in script {
+        let pr = ProcessId::new(pi % N);
+        let q = ProcessId::new(other % N);
+        let event = match kind % 6 {
+            0 => Event::Send {
+                to: q,
+                msg: (t % 3) as u16,
+            },
+            1 => Event::Recv {
+                from: q,
+                msg: (t % 3) as u16,
+            },
+            2 => Event::Init {
+                action: ActionId::new(pr, (t % 2) as u32),
+            },
+            3 => Event::Do {
+                action: ActionId::new(q, (t % 2) as u32),
+            },
+            4 => Event::Crash,
+            _ => Event::Suspect(SuspectReport::Standard(ProcSet::singleton(q))),
+        };
+        let _ = b.append(pr, t, event);
+    }
+    b.finish(HORIZON)
+}
+
+/// Decodes a byte script into a formula, consuming bytes as it recurses.
+fn formula_from_script(bytes: &[u8], pos: &mut usize, depth: u8) -> Formula<u16> {
+    let mut next = || {
+        let b = bytes.get(*pos).copied().unwrap_or(0);
+        *pos += 1;
+        b
+    };
+    let op = next();
+    let a = next() as usize;
+    let b = next() as usize;
+    let prim = |a: usize, b: usize| match a % 6 {
+        0 => Formula::crashed(p(b % N)),
+        1 => Formula::sent(p(a % N), p(b % N), (b % 3) as u16),
+        2 => Formula::received(p(a % N), p(b % N), (b % 3) as u16),
+        3 => Formula::initiated(ActionId::new(p(a % N), (b % 2) as u32)),
+        4 => Formula::did(p(a % N), ActionId::new(p(b % N), (b % 2) as u32)),
+        _ => Formula::suspects(p(a % N), p(b % N)),
+    };
+    if depth == 0 {
+        return prim(a, b);
+    }
+    match op % 8 {
+        0 | 1 => prim(a, b),
+        2 => Formula::not(formula_from_script(bytes, pos, depth - 1)),
+        3 => Formula::and(vec![
+            formula_from_script(bytes, pos, depth - 1),
+            formula_from_script(bytes, pos, depth - 1),
+        ]),
+        4 => Formula::or(vec![
+            formula_from_script(bytes, pos, depth - 1),
+            formula_from_script(bytes, pos, depth - 1),
+        ]),
+        5 => Formula::always(formula_from_script(bytes, pos, depth - 1)),
+        6 => Formula::eventually(formula_from_script(bytes, pos, depth - 1)),
+        _ => Formula::knows(p(a % N), formula_from_script(bytes, pos, depth - 1)),
+    }
+}
+
+proptest! {
+    /// On a random system and a batch of random formulas, the packed
+    /// checker and the scalar reference agree on validity (including the
+    /// counterexample point), on the full satisfying-point set, and on
+    /// single-point evaluation — sharing one checker instance across the
+    /// batch so the subformula cache is exercised too.
+    #[test]
+    fn packed_checker_matches_reference(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0usize..3, 1u64..5, 0u8..6, 0usize..3), 0..24),
+            1..5,
+        ),
+        fscript in proptest::collection::vec(0u8..255, 24..96),
+    ) {
+        let runs: Vec<Run<u16>> = scripts.iter().map(|s| run_from_script(s)).collect();
+        let system = System::new(runs);
+        let mut fast = ModelChecker::new(&system);
+        let mut reference = ReferenceChecker::new(&system);
+
+        let mut pos = 0;
+        while pos + 3 < fscript.len() {
+            let f = formula_from_script(&fscript, &mut pos, 3);
+            prop_assert_eq!(fast.valid(&f), reference.valid(&f), "valid: {:?}", f);
+            prop_assert_eq!(
+                fast.satisfying_points(&f),
+                reference.satisfying_points(&f),
+                "satisfying_points: {:?}",
+                f
+            );
+            let pt = ktudc_model::Point::new(0, system.run(0).horizon().min(2));
+            prop_assert_eq!(fast.eval(&f, pt), reference.eval(&f, pt), "eval: {:?}", f);
+        }
+    }
+}

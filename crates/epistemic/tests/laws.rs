@@ -78,11 +78,8 @@ fn s5_axioms_are_valid() {
             mc.valid(&Formula::implies(k.clone(), phi.clone()))
                 .unwrap_or_else(|pt| panic!("T fails for {phi} at {pt}"));
             // 4 (positive introspection): K φ ⇒ K K φ.
-            mc.valid(&Formula::implies(
-                k.clone(),
-                Formula::knows(q, k.clone()),
-            ))
-            .unwrap_or_else(|pt| panic!("4 fails for {phi} at {pt}"));
+            mc.valid(&Formula::implies(k.clone(), Formula::knows(q, k.clone())))
+                .unwrap_or_else(|pt| panic!("4 fails for {phi} at {pt}"));
             // 5 (negative introspection): ¬K φ ⇒ K ¬K φ.
             mc.valid(&Formula::implies(
                 Formula::not(k.clone()),
@@ -127,8 +124,11 @@ fn temporal_dualities_and_fixpoints() {
         // ✷φ ⇒ φ and φ ⇒ ✸φ (reflexive readings).
         mc.valid(&Formula::implies(Formula::always(phi.clone()), phi.clone()))
             .unwrap();
-        mc.valid(&Formula::implies(phi.clone(), Formula::eventually(phi.clone())))
-            .unwrap();
+        mc.valid(&Formula::implies(
+            phi.clone(),
+            Formula::eventually(phi.clone()),
+        ))
+        .unwrap();
         // Idempotence: ✷✷φ ⇔ ✷φ, ✸✸φ ⇔ ✸φ.
         mc.valid(&Formula::iff(
             Formula::always(Formula::always(phi.clone())),
@@ -165,7 +165,10 @@ fn stable_formulas_equal_their_always() {
     // an agent never *loses* a stable fact) — a lemma the paper's proofs
     // use implicitly.
     let k = Formula::knows(p(1), Formula::received(p(1), p(0), 7));
-    assert!(mc.is_stable(&k), "knowledge of a stable local fact is stable");
+    assert!(
+        mc.is_stable(&k),
+        "knowledge of a stable local fact is stable"
+    );
 }
 
 #[test]

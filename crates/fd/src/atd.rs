@@ -118,7 +118,9 @@ mod tests {
     use super::*;
     use crate::props::check_fd_property;
     use ktudc_model::{Event, RunBuilder};
-    use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, ProtoAction, Protocol, SimConfig, Workload};
+    use ktudc_sim::{
+        run_protocol, ChannelKind, CrashPlan, ProtoAction, Protocol, SimConfig, Workload,
+    };
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -211,7 +213,9 @@ mod tests {
             }
         }
         assert!(
-            run.correct().difference(ProcSet::singleton(p(0))).is_subset_of(latched),
+            run.correct()
+                .difference(ProcSet::singleton(p(0)))
+                .is_subset_of(latched),
             "rotation must eventually have suspected every correct peer"
         );
     }

@@ -275,8 +275,10 @@ mod tests {
     fn impermanent_weak_run() -> Run<u8> {
         let mut b = RunBuilder::<u8>::new(3);
         b.append(p(2), 2, Event::Crash).unwrap();
-        b.append_suspect(p(0), 4, SuspectReport::Standard(set(&[2]))).unwrap();
-        b.append_suspect(p(0), 6, SuspectReport::Standard(set(&[]))).unwrap();
+        b.append_suspect(p(0), 4, SuspectReport::Standard(set(&[2])))
+            .unwrap();
+        b.append_suspect(p(0), 6, SuspectReport::Standard(set(&[])))
+            .unwrap();
         b.finish(8)
     }
 
@@ -296,9 +298,19 @@ mod tests {
     #[test]
     fn accumulate_preserves_non_fd_events() {
         let mut b = RunBuilder::<&str>::new(2);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
-        b.append(p(1), 2, Event::Recv { from: p(0), msg: "m" }).unwrap();
-        b.append_suspect(p(0), 3, SuspectReport::Standard(set(&[1]))).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        b.append(
+            p(1),
+            2,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
+        b.append_suspect(p(0), 3, SuspectReport::Standard(set(&[1])))
+            .unwrap();
         let run = b.finish(5);
         let converted = accumulate_reports(&run);
         assert_eq!(converted.history(p(1)).len(), 1);
@@ -324,21 +336,46 @@ mod tests {
     #[test]
     fn weak_to_strong_preserves_original_events_in_order() {
         let mut b = RunBuilder::<&str>::new(2);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
-        b.append(p(1), 2, Event::Recv { from: p(0), msg: "x" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" })
+            .unwrap();
+        b.append(
+            p(1),
+            2,
+            Event::Recv {
+                from: p(0),
+                msg: "x",
+            },
+        )
+        .unwrap();
         let run = b.finish(3);
         let converted = weak_to_strong(&run, 1);
         // Original events appear, in order, with Original payloads.
         let p0_events: Vec<_> = converted
             .history(p(0))
             .iter()
-            .filter(|e| matches!(e, Event::Send { msg: GossipMsg::Original(_), .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Send {
+                        msg: GossipMsg::Original(_),
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(p0_events.len(), 1);
         let p1_orig: Vec<_> = converted
             .history(p(1))
             .iter()
-            .filter(|e| matches!(e, Event::Recv { msg: GossipMsg::Original(_), .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Recv {
+                        msg: GossipMsg::Original(_),
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(p1_orig.len(), 1);
         converted.check_conditions(0).unwrap();
@@ -372,8 +409,10 @@ mod tests {
         // Perfect-style run: p1 crashes at 2, both observers report it.
         let mut b = RunBuilder::<u8>::new(3);
         b.append(p(1), 2, Event::Crash).unwrap();
-        b.append_suspect(p(0), 3, SuspectReport::Standard(set(&[1]))).unwrap();
-        b.append_suspect(p(2), 4, SuspectReport::Standard(set(&[1]))).unwrap();
+        b.append_suspect(p(0), 3, SuspectReport::Standard(set(&[1])))
+            .unwrap();
+        b.append_suspect(p(2), 4, SuspectReport::Standard(set(&[1])))
+            .unwrap();
         let perfect_run = b.finish(6);
         check_fd_property(&perfect_run, FdProperty::StrongAccuracy).unwrap();
         check_fd_property(&perfect_run, FdProperty::StrongCompleteness).unwrap();

@@ -7,9 +7,9 @@
 //! * [`oracle`] — concrete per-process oracles pluggable into the
 //!   `ktudc-sim` scheduler:
 //!   [`PerfectOracle`](oracle::PerfectOracle) (strong completeness + strong
-//!   accuracy), [`StrongOracle`](oracle::StrongOracle) (strong completeness
-//!   + weak accuracy), [`WeakOracle`](oracle::WeakOracle) (weak completeness
-//!   + weak accuracy), the impermanent variants
+//!   accuracy), [`StrongOracle`](oracle::StrongOracle) (strong
+//!   completeness + weak accuracy), [`WeakOracle`](oracle::WeakOracle)
+//!   (weak completeness + weak accuracy), the impermanent variants
 //!   ([`ImpermanentStrongOracle`](oracle::ImpermanentStrongOracle),
 //!   [`ImpermanentWeakOracle`](oracle::ImpermanentWeakOracle)) that may
 //!   *retract* suspicions, the eventually-accurate
@@ -39,9 +39,9 @@ pub mod convert;
 pub mod oracle;
 pub mod props;
 
+pub use atd::{check_atd_accuracy, RotatingAccuracyOracle};
 pub use oracle::{
     CyclingSubsetOracle, EventuallyStrongOracle, ImpermanentStrongOracle, ImpermanentWeakOracle,
     PerfectOracle, StrongOracle, TUsefulOracle, WeakOracle,
 };
-pub use atd::{check_atd_accuracy, RotatingAccuracyOracle};
 pub use props::{check_fd_property, FdProperty, FdViolation};

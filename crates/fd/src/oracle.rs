@@ -25,12 +25,7 @@ fn immune(truth: &FaultTruth) -> Option<ProcessId> {
 
 /// A random subset of `Proc − exclusions`, each member included with
 /// probability `prob`. Used for class-permitted false suspicions.
-fn random_suspects(
-    n: usize,
-    exclusions: ProcSet,
-    prob: f64,
-    rng: &mut StdRng,
-) -> ProcSet {
+fn random_suspects(n: usize, exclusions: ProcSet, prob: f64, rng: &mut StdRng) -> ProcSet {
     ProcessId::all(n)
         .filter(|&q| !exclusions.contains(q) && rng.gen_bool(prob))
         .collect()
@@ -115,9 +110,12 @@ impl FdOracle for StrongOracle {
         if let Some(star) = immune(truth) {
             exclusions.insert(star);
         }
-        let report = truth
-            .crashed_by(time)
-            .union(random_suspects(truth.n(), exclusions, self.false_prob, rng));
+        let report = truth.crashed_by(time).union(random_suspects(
+            truth.n(),
+            exclusions,
+            self.false_prob,
+            rng,
+        ));
         Some(SuspectReport::Standard(report))
     }
 
@@ -179,9 +177,9 @@ impl FdOracle for WeakOracle {
     }
 }
 
-/// **Impermanent-strong failure detector** (impermanent strong completeness
-/// + weak accuracy): every correct process suspects every faulty process at
-/// least once after it crashes — but the suspicion is *retracted* on
+/// **Impermanent-strong failure detector** (impermanent strong
+/// completeness + weak accuracy): every correct process suspects every
+/// faulty process at least once after it crashes — but the suspicion is *retracted* on
 /// subsequent polls with probability `retract_prob`, so `Suspects_p` does
 /// not stabilize. This is the class Proposition 2.2 converts into a strong
 /// detector by accumulation.
@@ -562,7 +560,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_false, "a 90% false-prob strong oracle must lie sometimes");
+        assert!(
+            saw_false,
+            "a 90% false-prob strong oracle must lie sometimes"
+        );
     }
 
     #[test]

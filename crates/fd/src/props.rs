@@ -246,8 +246,7 @@ fn check_weak_completeness<M>(run: &Run<M>, permanent: bool) -> Result<(), FdVio
 fn check_generalized_accuracy<M>(run: &Run<M>) -> Result<(), FdViolation> {
     for p in ProcessId::all(run.n()) {
         for (t, e) in run.timed_history(p) {
-            if let ktudc_model::Event::Suspect(SuspectReport::Generalized { set, min_faulty }) = e
-            {
+            if let ktudc_model::Event::Suspect(SuspectReport::Generalized { set, min_faulty }) = e {
                 let actually_crashed = run.crashed_by(t).intersection(*set).len();
                 if actually_crashed < *min_faulty {
                     return violation(
@@ -314,10 +313,8 @@ mod tests {
     /// the given schedule of (process, tick, suspected set).
     fn run_with_reports(reports: &[(usize, Time, &[usize])]) -> Run<u8> {
         let mut b = RunBuilder::<u8>::new(3);
-        let mut items: Vec<(usize, Time, ProcSet)> = reports
-            .iter()
-            .map(|&(pi, t, s)| (pi, t, set(s)))
-            .collect();
+        let mut items: Vec<(usize, Time, ProcSet)> =
+            reports.iter().map(|&(pi, t, s)| (pi, t, set(s))).collect();
         items.sort_by_key(|&(_, t, _)| t);
         let mut crash_done = false;
         for (pi, t, s) in items {
@@ -325,7 +322,8 @@ mod tests {
                 b.append(p(2), 5, Event::Crash).unwrap();
                 crash_done = true;
             }
-            b.append_suspect(p(pi), t, SuspectReport::Standard(s)).unwrap();
+            b.append_suspect(p(pi), t, SuspectReport::Standard(s))
+                .unwrap();
         }
         if !crash_done {
             b.append(p(2), 5, Event::Crash).unwrap();
@@ -360,7 +358,8 @@ mod tests {
     #[test]
     fn weak_accuracy_vacuous_when_all_crash() {
         let mut b = RunBuilder::<u8>::new(2);
-        b.append_suspect(p(0), 1, SuspectReport::Standard(set(&[1]))).unwrap();
+        b.append_suspect(p(0), 1, SuspectReport::Standard(set(&[1])))
+            .unwrap();
         b.append(p(0), 2, Event::Crash).unwrap();
         b.append(p(1), 2, Event::Crash).unwrap();
         let run = b.finish(5);

@@ -13,7 +13,9 @@ use ktudc_fd::{
     ImpermanentWeakOracle, PerfectOracle, StrongOracle, WeakOracle,
 };
 use ktudc_model::{Event, ProcessId, Run, Time};
-use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, FdOracle, ProtoAction, Protocol, SimConfig, Workload};
+use ktudc_sim::{
+    run_protocol, ChannelKind, CrashPlan, FdOracle, ProtoAction, Protocol, SimConfig, Workload,
+};
 
 /// An idle protocol: the runs exist purely to carry detector reports.
 #[derive(Clone, Debug)]
@@ -188,7 +190,11 @@ fn completeness_implications_hold_on_all_runs() {
             assert!(!sc || wc, "SC ⇒ WC broken ({})", oracle.class_name());
             assert!(!sc || isc, "SC ⇒ ImpSC broken ({})", oracle.class_name());
             assert!(!wc || iwc, "WC ⇒ ImpWC broken ({})", oracle.class_name());
-            assert!(!isc || iwc, "ImpSC ⇒ ImpWC broken ({})", oracle.class_name());
+            assert!(
+                !isc || iwc,
+                "ImpSC ⇒ ImpWC broken ({})",
+                oracle.class_name()
+            );
             // And on accuracy: SA ⇒ WA.
             let sa = check_fd_property(&run, SA).is_ok();
             let wa = check_fd_property(&run, WA).is_ok();

@@ -179,7 +179,10 @@ mod tests {
                 sent: 12,
                 threshold: 10,
             },
-            ModelError::BeyondHorizon { time: 10, horizon: 10 },
+            ModelError::BeyondHorizon {
+                time: 10,
+                horizon: 10,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

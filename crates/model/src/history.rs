@@ -131,7 +131,8 @@ impl<'a, M> HistoryView<'a, M> {
 
     /// Every *generalized* report `(S, k)` in the prefix, in order.
     pub fn generalized_reports(self) -> impl Iterator<Item = (ProcSet, usize)> + 'a {
-        self.suspect_reports().filter_map(SuspectReport::generalized)
+        self.suspect_reports()
+            .filter_map(SuspectReport::generalized)
     }
 }
 
@@ -184,7 +185,10 @@ mod tests {
             },
             Event::Send { to: q, msg: "a" },
             Event::Send { to: q, msg: "a" },
-            Event::Recv { from: q, msg: "ack" },
+            Event::Recv {
+                from: q,
+                msg: "ack",
+            },
             Event::Suspect(SuspectReport::Standard(ProcSet::singleton(p(2)))),
             Event::Do {
                 action: ActionId::new(p(0), 0),

@@ -66,6 +66,7 @@
 mod action;
 mod error;
 mod event;
+pub mod hashing;
 mod history;
 mod process;
 mod run;

@@ -21,9 +21,7 @@
 //! finite-horizon reading (a message sent at least `threshold` times to a
 //! never-crashing process must have been received at least once).
 
-use crate::{
-    ActionId, Event, HistoryView, ModelError, ProcSet, ProcessId, SuspectReport, Time,
-};
+use crate::{ActionId, Event, HistoryView, ModelError, ProcSet, ProcessId, SuspectReport, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -331,7 +329,10 @@ impl<M: Eq + Hash + Clone> Run<M> {
                 }
                 last = Some(t);
                 if crashed {
-                    return Err(ModelError::EventAfterCrash { process: p, time: t });
+                    return Err(ModelError::EventAfterCrash {
+                        process: p,
+                        time: t,
+                    });
                 }
                 match e {
                     Event::Crash => crashed = true,
@@ -340,7 +341,10 @@ impl<M: Eq + Hash + Clone> Run<M> {
                             return Err(ModelError::ForeignInit { process: p });
                         }
                         if inits.insert(*action, p).is_some() {
-                            return Err(ModelError::DuplicateInit { process: p, time: t });
+                            return Err(ModelError::DuplicateInit {
+                                process: p,
+                                time: t,
+                            });
                         }
                     }
                     _ => {}
@@ -388,7 +392,10 @@ impl<M: Eq + Hash + Clone> Run<M> {
             for ((sender, receiver, msg), ticks) in &send_ticks {
                 if ticks.len() >= fairness_threshold
                     && self.crash_time(*receiver).is_none()
-                    && self.view_at(*receiver, self.horizon).recv_count(*sender, msg) == 0
+                    && self
+                        .view_at(*receiver, self.horizon)
+                        .recv_count(*sender, msg)
+                        == 0
                 {
                     return Err(ModelError::UnfairChannel {
                         sender: *sender,
@@ -472,7 +479,10 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
     /// * [`ModelError::ForeignInit`] / [`ModelError::DuplicateInit`] — §2.4.
     pub fn append(&mut self, p: ProcessId, time: Time, event: Event<M>) -> Result<(), ModelError> {
         if p.index() >= self.n {
-            return Err(ModelError::UnknownProcess { process: p, n: self.n });
+            return Err(ModelError::UnknownProcess {
+                process: p,
+                n: self.n,
+            });
         }
         let log = &self.logs[p.index()];
         let last = log.times.last().copied().unwrap_or(0);
@@ -507,10 +517,11 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
                     });
                 }
             }
-            Event::Send { to, .. } => {
-                if to.index() >= self.n {
-                    return Err(ModelError::UnknownProcess { process: *to, n: self.n });
-                }
+            Event::Send { to, .. } if to.index() >= self.n => {
+                return Err(ModelError::UnknownProcess {
+                    process: *to,
+                    n: self.n,
+                });
             }
             Event::Init { action } => {
                 if action.initiator() != p {
@@ -571,6 +582,48 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
         self.logs[p.index()].times.last().copied().unwrap_or(0)
     }
 
+    /// Removes and returns `p`'s most recent event, reversing every side
+    /// effect of the [`RunBuilder::append`] that added it (crash flag, init
+    /// registry, channel send/receive accounting). This is the backbone of
+    /// the explorer's undo log: branches share one builder and rewind it
+    /// instead of cloning it.
+    ///
+    /// Undos must be performed in reverse append order *across the whole
+    /// builder* (strict LIFO), not just per process — e.g. un-appending a
+    /// send while a later receive of that message is still present would
+    /// corrupt the R3 accounting. The explorer's depth-first structure
+    /// guarantees this discipline.
+    pub fn unappend(&mut self, p: ProcessId) -> Option<Event<M>> {
+        let log = &mut self.logs[p.index()];
+        let time = log.times.pop()?;
+        let event = log.events.pop().expect("times and events move in lockstep");
+        match &event {
+            Event::Crash => {
+                self.crashed.remove(p);
+            }
+            Event::Init { action } => {
+                self.inits.remove(action);
+            }
+            Event::Send { to, msg } => {
+                let entry = self
+                    .channel
+                    .get_mut(&(p, *to, msg.clone()))
+                    .expect("send was recorded at append time");
+                let popped = entry.0.pop();
+                debug_assert_eq!(popped, Some(time), "sends must be unappended LIFO");
+            }
+            Event::Recv { from, msg } => {
+                let entry = self
+                    .channel
+                    .get_mut(&(*from, p, msg.clone()))
+                    .expect("receive was recorded at append time");
+                entry.1 -= 1;
+            }
+            _ => {}
+        }
+        Some(event)
+    }
+
     /// Freezes the run at `horizon` (which must be at least the tick of the
     /// latest appended event).
     ///
@@ -579,6 +632,32 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
     /// Panics if an appended event lies beyond `horizon`.
     #[must_use]
     pub fn finish(self, horizon: Time) -> Run<M> {
+        self.assert_horizon(horizon);
+        Run {
+            n: self.n,
+            horizon,
+            logs: self.logs,
+        }
+    }
+
+    /// Like [`RunBuilder::finish`], but leaves the builder usable: only the
+    /// event logs are copied out. Used by the copy-light explorer, which
+    /// snapshots a run at each leaf and then rewinds the shared builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an appended event lies beyond `horizon`.
+    #[must_use]
+    pub fn snapshot(&self, horizon: Time) -> Run<M> {
+        self.assert_horizon(horizon);
+        Run {
+            n: self.n,
+            horizon,
+            logs: self.logs.clone(),
+        }
+    }
+
+    fn assert_horizon(&self, horizon: Time) {
         let max = self
             .logs
             .iter()
@@ -589,11 +668,6 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
             horizon >= max,
             "horizon {horizon} precedes an appended event at tick {max}"
         );
-        Run {
-            n: self.n,
-            horizon,
-            logs: self.logs,
-        }
     }
 }
 
@@ -609,8 +683,17 @@ mod tests {
         let alpha = ActionId::new(p(0), 0);
         let mut b = RunBuilder::new(2);
         b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
-        b.append(p(0), 2, Event::Send { to: p(1), msg: "m" }).unwrap();
-        b.append(p(1), 3, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append(p(0), 2, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        b.append(
+            p(1),
+            3,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
         b.append(p(0), 3, Event::Do { action: alpha }).unwrap();
         b.append(p(1), 4, Event::Do { action: alpha }).unwrap();
         b.finish(6)
@@ -666,19 +749,51 @@ mod tests {
     fn r3_rejects_unmatched_receive() {
         let mut b = RunBuilder::<&str>::new(2);
         assert!(matches!(
-            b.append(p(1), 1, Event::Recv { from: p(0), msg: "m" }),
+            b.append(
+                p(1),
+                1,
+                Event::Recv {
+                    from: p(0),
+                    msg: "m"
+                }
+            ),
             Err(ModelError::ReceiveWithoutSend { .. })
         ));
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
-        b.append(p(1), 2, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        b.append(
+            p(1),
+            2,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
         // No duplication: a second receive of a once-sent message is refused.
         assert!(matches!(
-            b.append(p(1), 3, Event::Recv { from: p(0), msg: "m" }),
+            b.append(
+                p(1),
+                3,
+                Event::Recv {
+                    from: p(0),
+                    msg: "m"
+                }
+            ),
             Err(ModelError::ReceiveWithoutSend { .. })
         ));
         // But a second send enables a second receive.
-        b.append(p(0), 3, Event::Send { to: p(1), msg: "m" }).unwrap();
-        b.append(p(1), 4, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append(p(0), 3, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        b.append(
+            p(1),
+            4,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
     }
 
     #[test]
@@ -690,15 +805,31 @@ mod tests {
         // out-of-order appends per process; cross-process the tick check in
         // append covers it.
         let mut b = RunBuilder::<&str>::new(2);
-        b.append(p(0), 5, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b.append(p(0), 5, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
         // Receive at tick 3 < send tick 5 is refused even though the send is
         // already in the builder.
         assert!(matches!(
-            b.append(p(1), 3, Event::Recv { from: p(0), msg: "m" }),
+            b.append(
+                p(1),
+                3,
+                Event::Recv {
+                    from: p(0),
+                    msg: "m"
+                }
+            ),
             Err(ModelError::ReceiveWithoutSend { .. })
         ));
         // Same tick as the send is allowed (R3 says "in r_p(m)", inclusive).
-        b.append(p(1), 5, Event::Recv { from: p(0), msg: "m" }).unwrap();
+        b.append(
+            p(1),
+            5,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
     }
 
     #[test]
@@ -749,7 +880,15 @@ mod tests {
     fn check_conditions_flags_unfairness() {
         let mut b = RunBuilder::<&str>::new(2);
         for t in 1..=10 {
-            b.append(p(0), t, Event::Send { to: p(1), msg: "lost" }).unwrap();
+            b.append(
+                p(0),
+                t,
+                Event::Send {
+                    to: p(1),
+                    msg: "lost",
+                },
+            )
+            .unwrap();
         }
         let r = b.finish(12);
         assert!(matches!(
@@ -766,7 +905,15 @@ mod tests {
     fn unfairness_excused_by_receiver_crash() {
         let mut b = RunBuilder::<&str>::new(2);
         for t in 1..=10 {
-            b.append(p(0), t, Event::Send { to: p(1), msg: "lost" }).unwrap();
+            b.append(
+                p(0),
+                t,
+                Event::Send {
+                    to: p(1),
+                    msg: "lost",
+                },
+            )
+            .unwrap();
         }
         b.append(p(1), 11, Event::Crash).unwrap();
         let r = b.finish(12);
@@ -777,10 +924,12 @@ mod tests {
     fn indistinguishability_ignores_ticks() {
         // Same event sequence at different ticks ⇒ indistinguishable.
         let mut b1 = RunBuilder::<&str>::new(2);
-        b1.append(p(0), 1, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b1.append(p(0), 1, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
         let r1 = b1.finish(4);
         let mut b2 = RunBuilder::<&str>::new(2);
-        b2.append(p(0), 3, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b2.append(p(0), 3, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
         let r2 = b2.finish(4);
         assert!(r1.indistinguishable(1, &r2, 3, p(0)));
         assert!(r1.indistinguishable(2, &r2, 4, p(0)));
@@ -798,7 +947,8 @@ mod tests {
         assert!(pref.is_extended_by(2, &r));
         // A different run does not extend it.
         let mut b = RunBuilder::<&str>::new(2);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" })
+            .unwrap();
         let other = b.finish(6);
         assert!(!pref.is_extended_by(1, &other));
     }
@@ -838,6 +988,72 @@ mod tests {
         assert_eq!(r.last_event_time(p(0), 8), 4);
         assert!(r.suspects_at(p(0), 3).is_empty());
         assert_eq!(r.suspects_at(p(0), 4), ProcSet::singleton(p(1)));
+    }
+
+    #[test]
+    fn unappend_reverses_every_side_effect() {
+        let alpha = ActionId::new(p(0), 0);
+        let mut b = RunBuilder::<&str>::new(2);
+        b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+        b.append(p(0), 2, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        b.append(
+            p(1),
+            3,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
+        b.append(p(1), 4, Event::Crash).unwrap();
+
+        // Rewind everything, strictly LIFO.
+        assert!(matches!(b.unappend(p(1)), Some(Event::Crash)));
+        assert!(!b.crashed().contains(p(1)));
+        assert!(matches!(b.unappend(p(1)), Some(Event::Recv { .. })));
+        assert!(matches!(b.unappend(p(0)), Some(Event::Send { .. })));
+        assert!(matches!(b.unappend(p(0)), Some(Event::Init { .. })));
+        assert!(b.unappend(p(0)).is_none());
+
+        // The builder is as-new: the receive is unmatched again, the init is
+        // re-appendable, and a crashed process may act.
+        assert!(matches!(
+            b.append(
+                p(1),
+                1,
+                Event::Recv {
+                    from: p(0),
+                    msg: "m"
+                }
+            ),
+            Err(ModelError::ReceiveWithoutSend { .. })
+        ));
+        b.append(p(0), 1, Event::Init { action: alpha }).unwrap();
+        b.append(p(1), 1, Event::Send { to: p(0), msg: "x" })
+            .unwrap();
+        assert_eq!(b.finish(2).event_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_leaves_builder_usable() {
+        let mut b = RunBuilder::<&str>::new(2);
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
+        let r1 = b.snapshot(3);
+        b.append(
+            p(1),
+            2,
+            Event::Recv {
+                from: p(0),
+                msg: "m",
+            },
+        )
+        .unwrap();
+        let r2 = b.snapshot(3);
+        assert_eq!(r1.event_count(), 1);
+        assert_eq!(r2.event_count(), 2);
+        assert_eq!(b.finish(3), r2);
     }
 
     #[test]

@@ -3,16 +3,23 @@
 //! A *system* `R` is a set of runs (§2.1); knowledge is defined relative to a
 //! system: `(R, r, m) ⊨ K_p φ` iff `φ` holds at **every** point `(r′, m′)` of
 //! `R` with `r′_p(m′) = r_p(m)`. Evaluating `K_p` therefore needs, given a
-//! local history, all points of the system sharing it. [`System`] maintains
-//! that index: for every run, process, and distinct history *length*, one
-//! entry covering the contiguous tick range over which the history is
-//! unchanged, keyed by a hash of the event sequence (with exact comparison on
-//! lookup, so hash collisions cannot produce wrong answers).
+//! local history, all points of the system sharing it.
+//!
+//! [`System`] resolves the whole `~_p` relation at construction: every
+//! `(run, process)` timeline is partitioned into contiguous blocks of
+//! constant history, blocks with equal histories (hash first — via the
+//! stable hasher in [`crate::hashing`] — then exact comparison, so
+//! collisions cannot produce wrong answers) are merged into *equivalence
+//! classes*, and each block remembers its class id. A query is then a binary
+//! search plus a slice borrow: no hashing, no history comparison, no
+//! allocation. The epistemic checker leans on this heavily — it evaluates
+//! `K_p` once per class instead of once per point.
 
-use crate::{Event, Point, ProcessId, Run, Time};
-use std::collections::hash_map::DefaultHasher;
+use crate::hashing::hash_history;
+use crate::{Point, ProcessId, Run, Time};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
+use std::ops::Range;
 
 /// A contiguous block of points of one run sharing a local history for some
 /// process: ticks `from ..= to` of run `run`, at which the process's history
@@ -33,6 +40,12 @@ impl IndistinguishableBlock {
     /// Iterates the points of the block.
     pub fn points(self) -> impl Iterator<Item = Point> {
         (self.from..=self.to).map(move |t| Point::new(self.run, t))
+    }
+
+    /// Number of points in the block.
+    #[must_use]
+    pub fn point_count(self) -> usize {
+        (self.to - self.from) as usize + 1
     }
 }
 
@@ -65,18 +78,22 @@ impl IndistinguishableBlock {
 pub struct System<M> {
     runs: Vec<Run<M>>,
     n: usize,
-    /// (process, history hash) → blocks of points with that history.
-    index: HashMap<(ProcessId, u64), Vec<IndistinguishableBlock>>,
-}
-
-fn hash_history<M: Hash>(events: &[Event<M>]) -> u64 {
-    let mut h = DefaultHasher::new();
-    events.hash(&mut h);
-    h.finish()
+    /// `classes[cid]` = the blocks of one `~_p` equivalence class, in run
+    /// order. Class ids are grouped by process (see `class_offsets`) and
+    /// assigned in first-encounter order over (process, run, tick), so they
+    /// are deterministic for a given run list.
+    classes: Vec<Vec<IndistinguishableBlock>>,
+    /// `class_offsets[p] .. class_offsets[p + 1]` is the id range of
+    /// process `p`'s classes. Length `n + 1`.
+    class_offsets: Vec<usize>,
+    /// `run_blocks[p][ri]` = ascending `(block_start, class_id)` pairs
+    /// partitioning `[0, horizon]` of run `ri` for process `p`.
+    run_blocks: Vec<Vec<Vec<(Time, u32)>>>,
 }
 
 impl<M: Eq + Hash> System<M> {
-    /// Builds a system from runs, indexing local histories.
+    /// Builds a system from runs, resolving the full indistinguishability
+    /// relation up front.
     ///
     /// # Panics
     ///
@@ -91,9 +108,17 @@ impl<M: Eq + Hash> System<M> {
             runs.iter().all(|r| r.n() == n),
             "all runs of a system must share the same process set"
         );
-        let mut index: HashMap<(ProcessId, u64), Vec<IndistinguishableBlock>> = HashMap::new();
-        for (ri, run) in runs.iter().enumerate() {
-            for p in ProcessId::all(n) {
+        let mut classes: Vec<Vec<IndistinguishableBlock>> = Vec::new();
+        let mut class_offsets = Vec::with_capacity(n + 1);
+        class_offsets.push(0);
+        let mut run_blocks: Vec<Vec<Vec<(Time, u32)>>> = Vec::with_capacity(n);
+        for p in ProcessId::all(n) {
+            // hash → candidate class ids; exact comparison picks within the
+            // bucket, so collisions merge nothing.
+            let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
+            let mut per_run: Vec<Vec<(Time, u32)>> = Vec::with_capacity(runs.len());
+            for (ri, run) in runs.iter().enumerate() {
+                let mut table: Vec<(Time, u32)> = Vec::new();
                 // Event ticks partition [0, horizon] into blocks of constant
                 // history.
                 let ticks: Vec<Time> = run.timed_history(p).map(|(t, _)| t).collect();
@@ -106,25 +131,51 @@ impl<M: Eq + Hash> System<M> {
                 {
                     if boundary > block_start {
                         let history = &run.history(p)[..len];
-                        let key = (p, hash_history(history));
-                        index.entry(key).or_default().push(IndistinguishableBlock {
+                        let candidates = by_hash.entry(hash_history(history)).or_default();
+                        let cid = candidates
+                            .iter()
+                            .copied()
+                            .find(|&c| {
+                                let rep = classes[c as usize][0];
+                                runs[rep.run].history(p)[..rep.len] == *history
+                            })
+                            .unwrap_or_else(|| {
+                                let c = u32::try_from(classes.len())
+                                    .expect("more than u32::MAX history classes");
+                                classes.push(Vec::new());
+                                candidates.push(c);
+                                c
+                            });
+                        classes[cid as usize].push(IndistinguishableBlock {
                             run: ri,
                             from: block_start,
                             to: boundary - 1,
                             len,
                         });
+                        table.push((block_start, cid));
                     }
                     block_start = boundary;
                 }
+                per_run.push(table);
             }
+            run_blocks.push(per_run);
+            class_offsets.push(classes.len());
         }
-        System { runs, n, index }
+        System {
+            runs,
+            n,
+            classes,
+            class_offsets,
+            run_blocks,
+        }
     }
+}
 
+impl<M> System<M> {
     /// All blocks of points of the system whose `p`-history equals the
     /// `p`-history at `(run, m)` — i.e. the equivalence class of `(run, m)`
-    /// under `~_p`, as contiguous blocks. Always includes a block containing
-    /// `(run, m)` itself (reflexivity).
+    /// under `~_p`, as contiguous blocks in run order. Always includes a
+    /// block containing `(run, m)` itself (reflexivity).
     ///
     /// # Panics
     ///
@@ -135,23 +186,52 @@ impl<M: Eq + Hash> System<M> {
         p: ProcessId,
         run: usize,
         m: Time,
-    ) -> Vec<IndistinguishableBlock> {
+    ) -> &[IndistinguishableBlock] {
+        &self.classes[self.class_id(p, run, m) as usize]
+    }
+
+    /// The equivalence-class id of point `(run, m)` under `~_p`. Ids are
+    /// global across processes; use [`System::class_range`] for a process's
+    /// id range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range or `m` exceeds that run's horizon.
+    #[must_use]
+    pub fn class_id(&self, p: ProcessId, run: usize, m: Time) -> u32 {
         let r = &self.runs[run];
         assert!(m <= r.horizon(), "tick {m} beyond horizon {}", r.horizon());
-        let history = r.history_at(p, m);
-        let key = (p, hash_history(history));
-        match self.index.get(&key) {
-            None => Vec::new(),
-            Some(blocks) => blocks
-                .iter()
-                .copied()
-                .filter(|b| self.runs[b.run].history_at(p, b.from) == history)
-                .collect(),
-        }
+        let table = &self.run_blocks[p.index()][run];
+        let i = table.partition_point(|&(from, _)| from <= m) - 1;
+        table[i].1
     }
-}
 
-impl<M> System<M> {
+    /// The blocks of equivalence class `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a class id of this system.
+    #[must_use]
+    pub fn class_blocks(&self, id: u32) -> &[IndistinguishableBlock] {
+        &self.classes[id as usize]
+    }
+
+    /// The id range of process `p`'s equivalence classes; together with
+    /// [`System::class_blocks`] this iterates the whole `~_p` partition
+    /// without touching individual points.
+    #[must_use]
+    pub fn class_range(&self, p: ProcessId) -> Range<u32> {
+        let lo = self.class_offsets[p.index()] as u32;
+        let hi = self.class_offsets[p.index() + 1] as u32;
+        lo..hi
+    }
+
+    /// Total number of equivalence classes over all processes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
     /// The number of processes shared by every run.
     #[must_use]
     pub fn n(&self) -> usize {
@@ -214,7 +294,8 @@ mod tests {
 
     fn send_run(tick: Time, horizon: Time) -> Run<&'static str> {
         let mut b = RunBuilder::new(2);
-        b.append(p(0), tick, Event::Send { to: p(1), msg: "m" }).unwrap();
+        b.append(p(0), tick, Event::Send { to: p(1), msg: "m" })
+            .unwrap();
         b.finish(horizon)
     }
 
@@ -268,7 +349,8 @@ mod tests {
     #[test]
     fn distinguishable_histories_are_separated() {
         let mut b = RunBuilder::<&str>::new(2);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" })
+            .unwrap();
         let rx = b.finish(3);
         let sys = System::new(vec![send_run(1, 3), rx]);
         // At tick 1, p0 sent "m" in run 0 and "x" in run 1: different classes.
@@ -288,6 +370,59 @@ mod tests {
         assert!(!sys.is_empty());
         assert_eq!(sys.n(), 2);
         assert_eq!(sys.run(1).horizon(), 4);
+    }
+
+    #[test]
+    fn class_index_is_consistent() {
+        let sys = System::new(vec![send_run(1, 4), send_run(3, 4), send_run(1, 4)]);
+        for q in ProcessId::all(2) {
+            let range = sys.class_range(q);
+            // Every point's class id is in its process's range, and the
+            // class's blocks contain the point.
+            for pt in sys.points() {
+                let cid = sys.class_id(q, pt.run, pt.time);
+                assert!(range.contains(&cid));
+                assert!(sys
+                    .class_blocks(cid)
+                    .iter()
+                    .any(|b| b.run == pt.run && b.from <= pt.time && pt.time <= b.to));
+                assert_eq!(
+                    sys.class_blocks(cid),
+                    sys.indistinguishable_blocks(q, pt.run, pt.time)
+                );
+            }
+            // Each class's blocks are disjoint, in run order, and their
+            // union over the range partitions all points.
+            let mut covered = 0;
+            for cid in range {
+                let blocks = sys.class_blocks(cid);
+                assert!(!blocks.is_empty());
+                for w in blocks.windows(2) {
+                    assert!(w[0].run < w[1].run || (w[0].run == w[1].run && w[0].to < w[1].from));
+                }
+                covered += blocks.iter().map(|b| b.point_count()).sum::<usize>();
+            }
+            assert_eq!(covered, sys.point_count());
+        }
+        assert_eq!(
+            sys.class_count(),
+            (0..2).map(|q| sys.class_range(p(q)).len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn class_ids_are_deterministic() {
+        let build = || System::new(vec![send_run(1, 4), send_run(3, 4)]);
+        let a = build();
+        let b = build();
+        for pt in a.points() {
+            for q in ProcessId::all(2) {
+                assert_eq!(
+                    a.class_id(q, pt.run, pt.time),
+                    b.class_id(q, pt.run, pt.time)
+                );
+            }
+        }
     }
 
     #[test]

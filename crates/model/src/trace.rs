@@ -112,8 +112,17 @@ mod tests {
 
     fn sample() -> Run<&'static str> {
         let mut b = RunBuilder::new(3);
-        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" }).unwrap();
-        b.append(p(1), 2, Event::Recv { from: p(0), msg: "x" }).unwrap();
+        b.append(p(0), 1, Event::Send { to: p(1), msg: "x" })
+            .unwrap();
+        b.append(
+            p(1),
+            2,
+            Event::Recv {
+                from: p(0),
+                msg: "x",
+            },
+        )
+        .unwrap();
         b.append(p(2), 4, Event::Crash).unwrap();
         b.finish(6)
     }

@@ -18,8 +18,14 @@ fn build_from_script(script: &[(usize, u64, u8, usize)]) -> Run<u16> {
         let p = ProcessId::new(pi);
         let q = ProcessId::new(other);
         let event = match kind {
-            0 => Event::Send { to: q, msg: (t % 7) as u16 },
-            1 => Event::Recv { from: q, msg: (t % 7) as u16 },
+            0 => Event::Send {
+                to: q,
+                msg: (t % 7) as u16,
+            },
+            1 => Event::Recv {
+                from: q,
+                msg: (t % 7) as u16,
+            },
             2 => Event::Init {
                 action: ActionId::new(p, (t % 3) as u32),
             },
@@ -157,8 +163,15 @@ proptest! {
 fn validator_flags_unfair_channels() {
     let mut b = RunBuilder::<u16>::new(2);
     for t in 1..=20 {
-        b.append(ProcessId::new(0), t, Event::Send { to: ProcessId::new(1), msg: 1 })
-            .unwrap();
+        b.append(
+            ProcessId::new(0),
+            t,
+            Event::Send {
+                to: ProcessId::new(1),
+                msg: 1,
+            },
+        )
+        .unwrap();
     }
     let run = b.finish(25);
     assert!(matches!(

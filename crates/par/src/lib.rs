@@ -1,0 +1,210 @@
+//! Scoped-thread data parallelism for ktudc.
+//!
+//! rayon cannot be vendored in the offline build, so the hot loops in the
+//! checker and explorer parallelize through this crate instead: ordered
+//! `par_map` over owned items or slices, and `par_segments_mut` for
+//! mutating disjoint sub-slices (e.g. per-run word ranges of a bit table).
+//!
+//! All functions preserve sequential semantics exactly — results are
+//! returned in input order and each worker owns a contiguous range — so
+//! flipping the `threads` feature (or setting `KTUDC_THREADS=1`) changes
+//! wall-clock time only, never output. With the `threads` feature off,
+//! every helper runs inline on the calling thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Worker count: `KTUDC_THREADS` env override if set, else the machine's
+/// available parallelism. Always at least 1.
+#[must_use]
+pub fn thread_count() -> usize {
+    if !cfg!(feature = "threads") {
+        return 1;
+    }
+    if let Ok(s) = std::env::var("KTUDC_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over owned `items` in input order, splitting the work across
+/// threads when that is enabled and worthwhile.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per worker; concatenating in chunk order
+    // restores input order.
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let f = &f;
+    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ktudc-par worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Maps `f` over `items` by reference, in input order. `f` also receives
+/// the item's index.
+pub fn par_map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                s.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk_len + j, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ktudc-par worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Splits `data` at the given ascending cut points and runs `f` on each
+/// segment (with its index) — segments are disjoint, so workers mutate
+/// without synchronization. `cuts` must be ascending and `<= data.len()`;
+/// segment `i` spans `[cuts[i-1], cuts[i])` with implicit first/last cuts
+/// at `0` and `data.len()`.
+///
+/// # Panics
+///
+/// Panics if `cuts` is not ascending or exceeds `data.len()`.
+pub fn par_segments_mut<T, F>(data: &mut [T], cuts: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let mut segments: Vec<(usize, &mut [T])> = Vec::with_capacity(cuts.len() + 1);
+    let mut rest = data;
+    let mut consumed = 0;
+    for (i, &cut) in cuts.iter().enumerate() {
+        assert!(cut >= consumed, "cuts must be ascending");
+        let (seg, tail) = rest.split_at_mut(cut - consumed);
+        segments.push((i, seg));
+        rest = tail;
+        consumed = cut;
+    }
+    segments.push((cuts.len(), rest));
+
+    let threads = thread_count().min(segments.len());
+    if threads <= 1 {
+        for (i, seg) in segments {
+            f(i, seg);
+        }
+        return;
+    }
+    let group_len = segments.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut iter = segments.into_iter();
+        loop {
+            let group: Vec<(usize, &mut [T])> = iter.by_ref().take(group_len).collect();
+            if group.is_empty() {
+                break;
+            }
+            handles.push(s.spawn(move || {
+                for (i, seg) in group {
+                    f(i, seg);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("ktudc-par worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(items.clone(), |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(par_map(Vec::<u64>::new(), |x| x), Vec::<u64>::new());
+        assert_eq!(par_map(vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_slice_passes_correct_indices() {
+        let items: Vec<u32> = (0..257).collect();
+        let out = par_map_slice(&items, |i, &x| (i as u32, x));
+        for (i, (idx, x)) in out.iter().enumerate() {
+            assert_eq!(*idx as usize, i);
+            assert_eq!(*x as usize, i);
+        }
+    }
+
+    #[test]
+    fn par_segments_mut_covers_disjointly() {
+        let mut data = vec![0u8; 100];
+        par_segments_mut(&mut data, &[10, 10, 55], |i, seg| {
+            for b in seg {
+                *b += 1 + i as u8;
+            }
+        });
+        // Segment 1 is empty (cuts 10,10); every element written exactly once.
+        assert!(data[..10].iter().all(|&b| b == 1));
+        assert!(data[10..55].iter().all(|&b| b == 3));
+        assert!(data[55..].iter().all(|&b| b == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn par_segments_mut_rejects_descending_cuts() {
+        let mut data = vec![0u8; 10];
+        par_segments_mut(&mut data, &[5, 3], |_, _| {});
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -100,12 +100,7 @@ impl CrashPlan {
     /// pairs.
     #[must_use]
     pub fn at(pairs: &[(usize, Time)]) -> Self {
-        CrashPlan::At(
-            pairs
-                .iter()
-                .map(|&(i, t)| (ProcessId::new(i), t))
-                .collect(),
-        )
+        CrashPlan::At(pairs.iter().map(|&(i, t)| (ProcessId::new(i), t)).collect())
     }
 
     /// Resolves the plan to a concrete crash tick per process.
@@ -121,13 +116,19 @@ impl CrashPlan {
             CrashPlan::None => {}
             CrashPlan::At(pairs) => {
                 for &(p, t) in pairs {
-                    assert!(p.index() < n, "crash plan names {p} in a {n}-process system");
+                    assert!(
+                        p.index() < n,
+                        "crash plan names {p} in a {n}-process system"
+                    );
                     assert!(t >= 1, "crashes cannot be scheduled at tick 0 (R1)");
                     assert!(times[p.index()].is_none(), "duplicate crash for {p}");
                     times[p.index()] = Some(t);
                 }
             }
-            CrashPlan::Random { max_failures, latest } => {
+            CrashPlan::Random {
+                max_failures,
+                latest,
+            } => {
                 let count = rng.gen_range(0..=(*max_failures).min(n));
                 let mut indices: Vec<usize> = (0..n).collect();
                 for _ in 0..count {
@@ -256,7 +257,7 @@ impl SimConfig {
     /// Panics if `n` is zero or exceeds [`ProcessId::MAX_PROCESSES`].
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= ProcessId::MAX_PROCESSES);
+        assert!((1..=ProcessId::MAX_PROCESSES).contains(&n));
         SimConfig {
             n,
             horizon: 200,

@@ -20,6 +20,19 @@
 //! state space); instead an optional deterministic oracle function maps the
 //! branch-local crashed set to a report, which suffices for perfect-FD
 //! contexts.
+//!
+//! # Exploration strategy
+//!
+//! [`explore`] shares ONE mutable state across the whole depth-first tree
+//! and rewinds it with an undo log ([`RunBuilder::unappend`] plus reverse
+//! channel/protocol bookkeeping) instead of deep-cloning builder, channels
+//! and every protocol at each branch; only the one protocol a branch
+//! actually steps is cloned. The first few scheduling slots are expanded
+//! breadth-first into independent subtrees which are then explored on
+//! multiple threads (`ktudc-par`, feature `parallel`). Both changes are
+//! invisible in the output: runs come back in exactly the depth-first
+//! branch order of the original clone-per-branch enumerator, which is kept
+//! as [`explore_reference`] and held identical by differential tests.
 
 use crate::protocol::{ProtoAction, Protocol};
 use ktudc_model::{Event, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, System, Time};
@@ -171,36 +184,138 @@ enum Choice<M> {
     Act(ProtoAction<M>),
 }
 
-/// Exhaustively enumerates the system generated by the protocol in the
-/// configured context.
-///
-/// # Panics
-///
-/// Panics if `config.n` is zero or exceeds the supported maximum.
-pub fn explore<M, P, F>(config: &ExploreConfig, make: F) -> ExploreResult<M>
+fn initial_state<M, P, F>(config: &ExploreConfig, make: &F) -> ExploreState<M, P>
 where
     M: Clone + Eq + Hash,
     P: Protocol<M> + Clone,
     F: Fn(ProcessId) -> P,
 {
     let n = config.n;
-    let mut protocols: Vec<P> = ProcessId::all(n)
-        .map(|p| {
-            let mut proto = make(p);
-            proto.start(p, n);
-            proto
-        })
-        .collect();
-    let state = ExploreState {
+    ExploreState {
         builder: RunBuilder::new(n),
-        protocols: std::mem::take(&mut protocols),
+        protocols: ProcessId::all(n)
+            .map(|p| {
+                let mut proto = make(p);
+                proto.start(p, n);
+                proto
+            })
+            .collect(),
         channels: (0..n * n).map(|_| VecDeque::new()).collect(),
         crashes: 0,
         inits_done: vec![false; config.initiations.len()],
-    };
+    }
+}
+
+/// Exhaustively enumerates the system generated by the protocol in the
+/// configured context.
+///
+/// Runs are produced in depth-first branch order — identical, run for run,
+/// to [`explore_reference`] — but the tree is walked copy-light (one shared
+/// state, rewound via an undo log) and the top-level branches fan out
+/// across threads when the `parallel` feature is on.
+///
+/// # Panics
+///
+/// Panics if `config.n` is zero or exceeds the supported maximum.
+pub fn explore<M, P, F>(config: &ExploreConfig, make: F) -> ExploreResult<M>
+where
+    M: Clone + Eq + Hash + Send,
+    P: Protocol<M> + Clone + Send,
+    F: Fn(ProcessId) -> P,
+{
+    let threads = ktudc_par::thread_count();
+    if threads <= 1 {
+        let mut state = initial_state(config, &make);
+        let mut runs: Vec<Run<M>> = Vec::new();
+        let mut complete = true;
+        dfs(config, &mut state, 1, 0, &mut runs, &mut complete);
+        return ExploreResult {
+            system: System::new(runs),
+            complete,
+        };
+    }
+
+    // Expand the first scheduling slots breadth-first until there are
+    // enough independent subtrees to keep every worker busy. All states of
+    // a level sit at the same (tick, process) slot, so the subsequent
+    // fan-out explores disjoint subtrees whose concatenation (in level
+    // order) is exactly the sequential depth-first run order.
+    let target = threads * 4;
+    let mut t: Time = 1;
+    let mut p_idx = 0usize;
+    let mut level: Vec<ExploreState<M, P>> = vec![initial_state(config, &make)];
+    while level.len() < target && t <= config.horizon {
+        let p = ProcessId::new(p_idx);
+        let mut next = Vec::with_capacity(level.len() * 2);
+        for mut st in level {
+            for choice in choices_for(config, &mut st, p, t) {
+                let mut s = st.clone();
+                let _ = apply(config, &mut s, p, t, choice);
+                next.push(s);
+            }
+        }
+        level = next;
+        p_idx += 1;
+        if p_idx == config.n {
+            p_idx = 0;
+            t += 1;
+        }
+    }
+
+    if t > config.horizon {
+        // The whole space fit inside the frontier: every state is a leaf.
+        let mut runs: Vec<Run<M>> = level
+            .iter()
+            .map(|s| s.builder.snapshot(config.horizon))
+            .collect();
+        let complete = runs.len() < config.max_runs;
+        runs.truncate(config.max_runs);
+        return ExploreResult {
+            system: System::new(runs),
+            complete,
+        };
+    }
+
+    let results: Vec<(Vec<Run<M>>, bool)> = ktudc_par::par_map(level, |mut st| {
+        let mut runs = Vec::new();
+        let mut complete = true;
+        dfs(config, &mut st, t, p_idx, &mut runs, &mut complete);
+        (runs, complete)
+    });
+    // Each subtree was capped at `max_runs` on its own, so the first
+    // `max_runs` runs of the concatenation equal the sequential result;
+    // the enumeration is complete iff every subtree finished and the total
+    // stayed under the cap (matching the sequential flag semantics).
+    let mut runs: Vec<Run<M>> = Vec::new();
+    let mut total = 0usize;
+    let mut all_subtrees_complete = true;
+    for (rs, c) in results {
+        total += rs.len();
+        all_subtrees_complete &= c;
+        if runs.len() < config.max_runs {
+            let room = config.max_runs - runs.len();
+            runs.extend(rs.into_iter().take(room));
+        }
+    }
+    ExploreResult {
+        system: System::new(runs),
+        complete: all_subtrees_complete && total < config.max_runs,
+    }
+}
+
+/// The original clone-per-branch enumerator, kept as the baseline the
+/// copy-light [`explore`] is differentially tested (and benchmarked)
+/// against.
+pub fn explore_reference<M, P, F>(config: &ExploreConfig, make: F) -> ExploreResult<M>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+    F: Fn(ProcessId) -> P,
+{
+    let state = initial_state(config, &make);
     let mut runs: Vec<Run<M>> = Vec::new();
     let mut complete = true;
-    dfs(config, state, 1, 0, &mut runs, &mut complete);
+    dfs_reference(config, state, 1, 0, &mut runs, &mut complete);
     ExploreResult {
         system: System::new(runs),
         complete,
@@ -278,7 +393,230 @@ where
     choices
 }
 
+/// What [`apply`] did to the shared state, with everything needed to take
+/// it back. The protocol is the one piece that cannot be rewound (its state
+/// transition is opaque), so mutating choices stash a clone of the *single*
+/// protocol they step — far lighter than the old whole-state clone.
+enum Undo<M, P> {
+    Stutter,
+    Crash {
+        /// Channels to the crashed process that were emptied.
+        drained: Vec<(usize, VecDeque<M>)>,
+    },
+    Init {
+        proto: P,
+        /// Index into `config.initiations` that was marked done.
+        slot: Option<usize>,
+    },
+    Suspect {
+        proto: P,
+    },
+    Recv {
+        proto: P,
+        /// Channel index the message was popped from (the message itself is
+        /// recovered from the unappended event).
+        chan: usize,
+    },
+    Act {
+        proto: P,
+        /// Channel index a sent message was enqueued to, if any.
+        sent_chan: Option<usize>,
+    },
+}
+
+/// Applies `choice` to the shared state, returning the undo record.
+fn apply<M, P>(
+    config: &ExploreConfig,
+    state: &mut ExploreState<M, P>,
+    p: ProcessId,
+    t: Time,
+    choice: Choice<M>,
+) -> Undo<M, P>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    let n = config.n;
+    match choice {
+        Choice::Stutter => Undo::Stutter,
+        Choice::Crash => {
+            state
+                .builder
+                .append(p, t, Event::Crash)
+                .expect("crash append");
+            state.crashes += 1;
+            // Undelivered messages to a crashed process can never be
+            // received; clear them so they do not generate choices.
+            let mut drained = Vec::new();
+            for from in ProcessId::all(n) {
+                let idx = from.index() * n + p.index();
+                if !state.channels[idx].is_empty() {
+                    drained.push((idx, std::mem::take(&mut state.channels[idx])));
+                }
+            }
+            Undo::Crash { drained }
+        }
+        Choice::Init(action) => {
+            let proto = state.protocols[p.index()].clone();
+            let event = Event::Init { action };
+            state
+                .builder
+                .append(p, t, event.clone())
+                .expect("init append");
+            state.protocols[p.index()].observe(t, &event);
+            let slot = config.initiations.iter().position(|&(_, a)| a == action);
+            if let Some(i) = slot {
+                state.inits_done[i] = true;
+            }
+            Undo::Init { proto, slot }
+        }
+        Choice::Suspect(report) => {
+            let proto = state.protocols[p.index()].clone();
+            let event = Event::Suspect(report);
+            state
+                .builder
+                .append(p, t, event.clone())
+                .expect("suspect append");
+            state.protocols[p.index()].observe(t, &event);
+            Undo::Suspect { proto }
+        }
+        Choice::Recv(from) => {
+            let proto = state.protocols[p.index()].clone();
+            let chan = from.index() * n + p.index();
+            let msg = state.channels[chan]
+                .pop_front()
+                .expect("choice guaranteed a pending message");
+            let event = Event::Recv { from, msg };
+            state
+                .builder
+                .append(p, t, event.clone())
+                .expect("recv append");
+            state.protocols[p.index()].observe(t, &event);
+            Undo::Recv { proto, chan }
+        }
+        Choice::Act(_) => {
+            let proto = state.protocols[p.index()].clone();
+            // Re-derive the action on this branch's own protocol state.
+            match state.protocols[p.index()].next_action(t) {
+                Some(ProtoAction::Send { to, msg }) => {
+                    let event = Event::Send {
+                        to,
+                        msg: msg.clone(),
+                    };
+                    state
+                        .builder
+                        .append(p, t, event.clone())
+                        .expect("send append");
+                    state.protocols[p.index()].observe(t, &event);
+                    let sent_chan = if state.builder.crashed().contains(to) {
+                        None
+                    } else {
+                        let c = p.index() * n + to.index();
+                        state.channels[c].push_back(msg);
+                        Some(c)
+                    };
+                    Undo::Act { proto, sent_chan }
+                }
+                Some(ProtoAction::Do(action)) => {
+                    let event = Event::Do { action };
+                    state
+                        .builder
+                        .append(p, t, event.clone())
+                        .expect("do append");
+                    state.protocols[p.index()].observe(t, &event);
+                    Undo::Act {
+                        proto,
+                        sent_chan: None,
+                    }
+                }
+                None => unreachable!("probe saw an action; protocols are deterministic"),
+            }
+        }
+    }
+}
+
+/// Rewinds [`apply`]. Undo records must be replayed strictly LIFO across
+/// the whole exploration (the recursion structure guarantees it).
+fn revert<M, P>(state: &mut ExploreState<M, P>, p: ProcessId, undo: Undo<M, P>)
+where
+    M: Clone + Eq + Hash,
+{
+    match undo {
+        Undo::Stutter => {}
+        Undo::Crash { drained } => {
+            state.builder.unappend(p);
+            state.crashes -= 1;
+            for (idx, q) in drained {
+                state.channels[idx] = q;
+            }
+        }
+        Undo::Init { proto, slot } => {
+            state.builder.unappend(p);
+            state.protocols[p.index()] = proto;
+            if let Some(i) = slot {
+                state.inits_done[i] = false;
+            }
+        }
+        Undo::Suspect { proto } => {
+            state.builder.unappend(p);
+            state.protocols[p.index()] = proto;
+        }
+        Undo::Recv { proto, chan } => {
+            match state.builder.unappend(p) {
+                Some(Event::Recv { msg, .. }) => state.channels[chan].push_front(msg),
+                _ => unreachable!("recv undo must pop the recv it appended"),
+            }
+            state.protocols[p.index()] = proto;
+        }
+        Undo::Act { proto, sent_chan } => {
+            state.builder.unappend(p);
+            if let Some(c) = sent_chan {
+                state.channels[c].pop_back();
+            }
+            state.protocols[p.index()] = proto;
+        }
+    }
+}
+
+/// Copy-light depth-first walk: one shared state, rewound after every
+/// branch. Check placement mirrors [`dfs_reference`] exactly so the
+/// truncation flag semantics stay identical.
 fn dfs<M, P>(
+    config: &ExploreConfig,
+    state: &mut ExploreState<M, P>,
+    t: Time,
+    p_idx: usize,
+    runs: &mut Vec<Run<M>>,
+    complete: &mut bool,
+) where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    if runs.len() >= config.max_runs {
+        *complete = false;
+        return;
+    }
+    if t > config.horizon {
+        runs.push(state.builder.snapshot(config.horizon));
+        return;
+    }
+    if p_idx == config.n {
+        dfs(config, state, t + 1, 0, runs, complete);
+        return;
+    }
+    let p = ProcessId::new(p_idx);
+    for choice in choices_for(config, state, p, t) {
+        let undo = apply(config, state, p, t, choice);
+        dfs(config, state, t, p_idx + 1, runs, complete);
+        revert(state, p, undo);
+        if runs.len() >= config.max_runs {
+            *complete = false;
+            return;
+        }
+    }
+}
+
+fn dfs_reference<M, P>(
     config: &ExploreConfig,
     mut state: ExploreState<M, P>,
     t: Time,
@@ -298,7 +636,7 @@ fn dfs<M, P>(
         return;
     }
     if p_idx == config.n {
-        dfs(config, state, t + 1, 0, runs, complete);
+        dfs_reference(config, state, t + 1, 0, runs, complete);
         return;
     }
     let p = ProcessId::new(p_idx);
@@ -321,66 +659,8 @@ fn dfs<M, P>(
         } else {
             state.clone()
         };
-        match choice {
-            Choice::Stutter => {}
-            Choice::Crash => {
-                s.builder.append(p, t, Event::Crash).expect("crash append");
-                s.crashes += 1;
-                // Undelivered messages to a crashed process can never be
-                // received; clear them so they do not generate choices.
-                for from in ProcessId::all(n) {
-                    s.channels[from.index() * n + p.index()].clear();
-                }
-            }
-            Choice::Init(action) => {
-                let event = Event::Init { action };
-                s.builder.append(p, t, event.clone()).expect("init append");
-                s.protocols[p.index()].observe(t, &event);
-                if let Some(i) = config
-                    .initiations
-                    .iter()
-                    .position(|&(_, a)| a == action)
-                {
-                    s.inits_done[i] = true;
-                }
-            }
-            Choice::Suspect(report) => {
-                let event = Event::Suspect(report);
-                s.builder.append(p, t, event.clone()).expect("suspect append");
-                s.protocols[p.index()].observe(t, &event);
-            }
-            Choice::Recv(from) => {
-                let msg = s.channels[from.index() * n + p.index()]
-                    .pop_front()
-                    .expect("choice guaranteed a pending message");
-                let event = Event::Recv { from, msg };
-                s.builder.append(p, t, event.clone()).expect("recv append");
-                s.protocols[p.index()].observe(t, &event);
-            }
-            Choice::Act(_) => {
-                // Re-derive the action on this branch's own protocol state.
-                match s.protocols[p.index()].next_action(t) {
-                    Some(ProtoAction::Send { to, msg }) => {
-                        let event = Event::Send {
-                            to,
-                            msg: msg.clone(),
-                        };
-                        s.builder.append(p, t, event.clone()).expect("send append");
-                        s.protocols[p.index()].observe(t, &event);
-                        if !s.builder.crashed().contains(to) {
-                            s.channels[p.index() * n + to.index()].push_back(msg);
-                        }
-                    }
-                    Some(ProtoAction::Do(action)) => {
-                        let event = Event::Do { action };
-                        s.builder.append(p, t, event.clone()).expect("do append");
-                        s.protocols[p.index()].observe(t, &event);
-                    }
-                    None => unreachable!("probe saw an action; protocols are deterministic"),
-                }
-            }
-        }
-        dfs(config, s, t, p_idx + 1, runs, complete);
+        let _ = apply(config, &mut s, p, t, choice);
+        dfs_reference(config, s, t, p_idx + 1, runs, complete);
         if runs.len() >= config.max_runs {
             *complete = false;
             return;
@@ -518,7 +798,7 @@ mod tests {
         let result = explore::<u8, _, _>(&cfg, |_| Idle);
         for run in result.system.runs() {
             for q in ProcessId::all(2) {
-                if run.crash_time(q).map_or(true, |ct| ct > 2) {
+                if run.crash_time(q).is_none_or(|ct| ct > 2) {
                     let reports: Vec<_> = run.view_at(q, 2).suspect_reports().collect();
                     assert_eq!(reports.len(), 1, "live process must report at tick 2");
                     // Perfect-style accuracy: only actually-crashed suspected.
@@ -539,14 +819,48 @@ mod tests {
     }
 
     #[test]
+    fn copy_light_explorer_matches_reference() {
+        fn report_at_two(p: ProcessId, t: Time, crashed: ProcSet) -> Option<SuspectReport> {
+            (t == 2 && !crashed.contains(p)).then_some(SuspectReport::Standard(crashed))
+        }
+        let alpha = ActionId::new(p(0), 0);
+        let configs = vec![
+            ExploreConfig::new(2, 3),
+            ExploreConfig::new(2, 3).max_failures(0),
+            ExploreConfig::new(3, 2).max_runs(50),
+            ExploreConfig::new(2, 2)
+                .initiate(1, alpha)
+                .optional_initiations(),
+            ExploreConfig::new(2, 2)
+                .max_failures(1)
+                .fd(report_at_two)
+                .optional_fd(),
+            ExploreConfig::new(2, 3).without_stutter(),
+        ];
+        for cfg in configs {
+            let fast = explore::<u8, _, _>(&cfg, |_| Idle);
+            let slow = explore_reference::<u8, _, _>(&cfg, |_| Idle);
+            assert_eq!(fast.system.runs(), slow.system.runs(), "config {cfg:?}");
+            assert_eq!(fast.complete, slow.complete, "config {cfg:?}");
+        }
+        // And with a protocol that actually sends/receives.
+        let cfg = ExploreConfig::new(2, 3).max_failures(1);
+        let mk = |_| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        };
+        let fast = explore(&cfg, mk);
+        let slow = explore_reference(&cfg, mk);
+        assert_eq!(fast.system.runs(), slow.system.runs());
+        assert_eq!(fast.complete, slow.complete);
+    }
+
+    #[test]
     fn without_stutter_shrinks_the_space() {
-        let big = explore(
-            &ExploreConfig::new(2, 3).max_failures(0),
-            |_| OneShot {
-                me: ProcessId::new(0),
-                sent: false,
-            },
-        );
+        let big = explore(&ExploreConfig::new(2, 3).max_failures(0), |_| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        });
         let small = explore(
             &ExploreConfig::new(2, 3).max_failures(0).without_stutter(),
             |_| OneShot {

@@ -186,7 +186,14 @@ mod tests {
     fn no_delivery_to_other_process() {
         let mut net = Network::new(3);
         let mut rng = StdRng::seed_from_u64(0);
-        net.send(p(0), p(1), 1u8, 1, ChannelKind::Reliable { max_delay: 1 }, &mut rng);
+        net.send(
+            p(0),
+            p(1),
+            1u8,
+            1,
+            ChannelKind::Reliable { max_delay: 1 },
+            &mut rng,
+        );
         assert_eq!(net.deliver_one(p(2), 100), None);
         assert_eq!(net.deliver_one(p(0), 100), None);
         assert!(net.deliver_one(p(1), 100).is_some());

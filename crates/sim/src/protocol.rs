@@ -158,14 +158,8 @@ mod tests {
         out.send(p(1), "a");
         out.send(p(2), "b");
         assert_eq!(out.len(), 2);
-        assert_eq!(
-            out.pop(),
-            Some(ProtoAction::Send { to: p(1), msg: "a" })
-        );
-        assert_eq!(
-            out.pop(),
-            Some(ProtoAction::Send { to: p(2), msg: "b" })
-        );
+        assert_eq!(out.pop(), Some(ProtoAction::Send { to: p(1), msg: "a" }));
+        assert_eq!(out.pop(), Some(ProtoAction::Send { to: p(2), msg: "b" }));
         assert_eq!(out.pop(), None);
         assert!(out.is_empty());
     }

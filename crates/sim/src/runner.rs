@@ -95,14 +95,18 @@ where
             }
             // 2. Workload initiation.
             if let Some(action) = pending_inits[p.index()].pop_front() {
-                assert_eq!(action.initiator(), p, "workload action owned by another process");
+                assert_eq!(
+                    action.initiator(),
+                    p,
+                    "workload action owned by another process"
+                );
                 let event = Event::Init { action };
                 builder.append(p, t, event.clone()).expect("init append");
                 protocols[p.index()].observe(t, &event);
                 continue;
             }
             // 3. Failure-detector report (staggered polling).
-            if (t + p.index() as Time) % fd_period == 0 {
+            if (t + p.index() as Time).is_multiple_of(fd_period) {
                 if let Some(report) = oracle.poll(p, t, &truth, &mut rng) {
                     let event = Event::Suspect(report);
                     builder.append(p, t, event.clone()).expect("suspect append");
@@ -174,6 +178,34 @@ where
         messages_sent: net.sent_count(),
         messages_dropped: net.dropped_count(),
     }
+}
+
+/// Simulates one run per seed, in parallel (feature `parallel`; sequential
+/// and bit-identical otherwise). Element `i` of the result is exactly
+/// `run_protocol(&config.clone().seed(seeds[i]), ..)` with a fresh
+/// `make_oracle(seeds[i])` oracle — batching never changes outcomes, only
+/// wall-clock time. This is the sampling loop behind every Monte-Carlo
+/// approximation of a system: the per-seed runs are independent by
+/// construction, so they are embarrassingly parallel.
+pub fn run_protocol_batch<M, P, F, O, G>(
+    config: &SimConfig,
+    seeds: &[u64],
+    make: F,
+    make_oracle: G,
+    workload: &Workload,
+) -> Vec<SimOutcome<M>>
+where
+    M: Clone + Eq + Hash + Send,
+    P: Protocol<M>,
+    F: Fn(ProcessId) -> P + Sync,
+    O: FdOracle,
+    G: Fn(u64) -> O + Sync,
+{
+    ktudc_par::par_map(seeds.to_vec(), |seed| {
+        let cfg = config.clone().seed(seed);
+        let mut oracle = make_oracle(seed);
+        run_protocol(&cfg, &make, &mut oracle, workload)
+    })
 }
 
 #[cfg(test)]
@@ -327,6 +359,29 @@ mod tests {
         let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
         assert!(out.messages_dropped > 0, "50% loss should drop something");
         out.run.check_conditions(0).unwrap();
+    }
+
+    #[test]
+    fn batch_matches_sequential_per_seed_runs() {
+        let config = SimConfig::new(3)
+            .channel(ChannelKind::fair_lossy(0.3))
+            .horizon(40);
+        let w = Workload::single(0, 1);
+        let seeds: Vec<u64> = (0..16).collect();
+        let batch =
+            run_protocol_batch(&config, &seeds, |_| Flood::new(), |_| NullOracle::new(), &w);
+        assert_eq!(batch.len(), seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            let solo = run_protocol(
+                &config.clone().seed(seed),
+                |_| Flood::new(),
+                &mut NullOracle::new(),
+                &w,
+            );
+            assert_eq!(batch[i].run, solo.run, "seed {seed}");
+            assert_eq!(batch[i].quiescent, solo.quiescent);
+            assert_eq!(batch[i].messages_sent, solo.messages_sent);
+        }
     }
 
     #[test]

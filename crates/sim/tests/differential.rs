@@ -1,0 +1,82 @@
+//! Differential property tests: the copy-light (and, with the `parallel`
+//! feature, multi-threaded) [`explore`] must enumerate exactly the same
+//! run set as the clone-per-branch [`explore_reference`], in the same
+//! order, on randomized small configurations (n ≤ 3, horizon ≤ 5).
+
+use ktudc_model::{ActionId, Event, ProcessId, Time};
+use ktudc_sim::{explore, explore_reference, ExploreConfig, ProtoAction, Protocol};
+use proptest::prelude::*;
+
+/// A small protocol with script-selected behavior: the sender transmits
+/// one message to a chosen peer; others idle. Deterministic per config, so
+/// both explorers face the same branching structure.
+#[derive(Clone, Debug)]
+struct Scripted {
+    me: ProcessId,
+    sender: ProcessId,
+    to: ProcessId,
+    msg: u8,
+    sent: bool,
+}
+
+impl Protocol<u8> for Scripted {
+    fn start(&mut self, me: ProcessId, _n: usize) {
+        self.me = me;
+    }
+    fn observe(&mut self, _t: Time, e: &Event<u8>) {
+        if matches!(e, Event::Send { .. }) {
+            self.sent = true;
+        }
+    }
+    fn next_action(&mut self, _t: Time) -> Option<ProtoAction<u8>> {
+        (self.me == self.sender && self.to != self.me && !self.sent).then_some(ProtoAction::Send {
+            to: self.to,
+            msg: self.msg,
+        })
+    }
+    fn quiescent(&self) -> bool {
+        self.sent || self.me != self.sender
+    }
+}
+
+proptest! {
+    /// Random n / horizon / fault bound / initiation & FD knobs / run cap:
+    /// the fast explorer's run list, order included, and its completeness
+    /// flag must match the reference enumeration exactly.
+    #[test]
+    fn copy_light_explorer_matches_reference(
+        n in 2usize..4,
+        horizon in 2u64..6,
+        max_failures in 0usize..3,
+        sender in 0usize..3,
+        to in 0usize..3,
+        optional_inits in proptest::collection::vec((1u64..4, 0u32..2), 0..2),
+        knobs in (0u8..4, 10usize..200),
+    ) {
+        let (flags, max_runs) = knobs;
+        let mut cfg = ExploreConfig::new(n, horizon)
+            .max_failures(max_failures.min(n))
+            .max_runs(max_runs);
+        for &(tick, a) in &optional_inits {
+            cfg = cfg.initiate(tick.min(horizon), ActionId::new(ProcessId::new(sender % n), a));
+        }
+        if flags & 1 != 0 {
+            cfg = cfg.optional_initiations();
+        }
+        if flags & 2 != 0 {
+            cfg = cfg.without_stutter();
+        }
+        let make = |_| Scripted {
+            me: ProcessId::new(0),
+            sender: ProcessId::new(sender % n),
+            to: ProcessId::new(to % n),
+            msg: 7,
+            sent: false,
+        };
+
+        let fast = explore(&cfg, make);
+        let slow = explore_reference(&cfg, make);
+        prop_assert_eq!(fast.complete, slow.complete);
+        prop_assert_eq!(fast.system.runs(), slow.system.runs());
+    }
+}

@@ -3,8 +3,8 @@
 
 use ktudc_model::{ActionId, Event, ModelError, ProcSet, ProcessId, Run, Time};
 use ktudc_sim::{
-    explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, NullOracle, Outbox,
-    ProtoAction, Protocol, SimConfig, Workload,
+    explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, NullOracle, Outbox, ProtoAction,
+    Protocol, SimConfig, Workload,
 };
 use std::collections::BTreeSet;
 
@@ -59,7 +59,12 @@ fn at_most_one_event_per_process_per_tick() {
         .crashes(CrashPlan::at(&[(2, 20)]))
         .horizon(300)
         .seed(5);
-    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+    let out = run_protocol(
+        &config,
+        |_| Chatty::new(),
+        &mut NullOracle::new(),
+        &Workload::none(),
+    );
     for p in ProcessId::all(4) {
         let ticks: Vec<Time> = out.run.timed_history(p).map(|(t, _)| t).collect();
         let set: BTreeSet<Time> = ticks.iter().copied().collect();
@@ -75,7 +80,12 @@ fn fair_lossy_channels_satisfy_r5_under_pressure() {
         .channel(ChannelKind::fair_lossy(0.5))
         .horizon(800)
         .seed(9);
-    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+    let out = run_protocol(
+        &config,
+        |_| Chatty::new(),
+        &mut NullOracle::new(),
+        &Workload::none(),
+    );
     out.run.check_conditions(40).unwrap();
     // Every ordered live pair exchanged at least one ping.
     for from in ProcessId::all(3) {
@@ -99,13 +109,18 @@ fn crashed_processes_receive_nothing() {
         .crashes(CrashPlan::at(&[(1, 15)]))
         .horizon(200)
         .seed(1);
-    let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+    let out = run_protocol(
+        &config,
+        |_| Chatty::new(),
+        &mut NullOracle::new(),
+        &Workload::none(),
+    );
     let p1 = ProcessId::new(1);
-    assert!(out
-        .run
-        .timed_history(p1)
-        .all(|(t, _)| t <= 15));
-    assert!(out.messages_dropped > 0, "in-flight to the dead must be dropped");
+    assert!(out.run.timed_history(p1).all(|(t, _)| t <= 15));
+    assert!(
+        out.messages_dropped > 0,
+        "in-flight to the dead must be dropped"
+    );
     out.run.check_conditions(0).unwrap();
 }
 
@@ -121,7 +136,11 @@ fn initiations_are_queued_not_lost() {
     }
     let out = run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &w);
     let inits: Vec<ActionId> = out.run.initiations().map(|(_, a)| a).collect();
-    assert_eq!(inits.len(), 5, "all queued initiations must eventually land");
+    assert_eq!(
+        inits.len(),
+        5,
+        "all queued initiations must eventually land"
+    );
     let ticks: Vec<Time> = out.run.initiations().map(|(t, _)| t).collect();
     let distinct: BTreeSet<Time> = ticks.iter().copied().collect();
     assert_eq!(distinct.len(), 5, "one initiation per tick (R2)");
@@ -175,7 +194,10 @@ fn explorer_covers_sampled_behaviours() {
     for seed in 0..60 {
         let config = SimConfig::new(2)
             .channel(ChannelKind::fair_lossy(0.5))
-            .crashes(CrashPlan::Random { max_failures: 1, latest: 4 })
+            .crashes(CrashPlan::Random {
+                max_failures: 1,
+                latest: 4,
+            })
             .horizon(4)
             .seed(seed);
         let sampled = run_protocol(&config, make, &mut NullOracle::new(), &Workload::none());
@@ -202,7 +224,12 @@ fn config_panics_are_informative() {
     // Crash plan validation happens at resolve time inside run_protocol.
     let bad = SimConfig::new(2).crashes(CrashPlan::at(&[(7, 3)]));
     let result = std::panic::catch_unwind(|| {
-        run_protocol(&bad, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none())
+        run_protocol(
+            &bad,
+            |_| Chatty::new(),
+            &mut NullOracle::new(),
+            &Workload::none(),
+        )
     });
     assert!(result.is_err());
 }
@@ -212,11 +239,18 @@ fn config_panics_are_informative() {
 fn truth_and_run_agree_for_random_plans() {
     for seed in 0..30 {
         let config = SimConfig::new(5)
-            .crashes(CrashPlan::Random { max_failures: 4, latest: 50 })
+            .crashes(CrashPlan::Random {
+                max_failures: 4,
+                latest: 50,
+            })
             .horizon(120)
             .seed(seed);
-        let out =
-            run_protocol(&config, |_| Chatty::new(), &mut NullOracle::new(), &Workload::none());
+        let out = run_protocol(
+            &config,
+            |_| Chatty::new(),
+            &mut NullOracle::new(),
+            &Workload::none(),
+        );
         assert_eq!(out.truth.faulty(), out.run.faulty(), "seed {seed}");
         assert_eq!(
             out.truth.crashed_by(120),

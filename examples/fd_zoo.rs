@@ -41,7 +41,10 @@ fn main() {
         ("weak accuracy", FdProperty::WeakAccuracy),
         ("strong compl.", FdProperty::StrongCompleteness),
         ("weak compl.", FdProperty::WeakCompleteness),
-        ("imp. strong compl.", FdProperty::ImpermanentStrongCompleteness),
+        (
+            "imp. strong compl.",
+            FdProperty::ImpermanentStrongCompleteness,
+        ),
         ("imp. weak compl.", FdProperty::ImpermanentWeakCompleteness),
     ];
     let mut oracles: Vec<(&str, Box<dyn FdOracle>)> = vec![
@@ -50,13 +53,19 @@ fn main() {
         ("weak", Box::new(WeakOracle::new())),
         ("imp-strong", Box::new(ImpermanentStrongOracle::new())),
         ("imp-weak", Box::new(ImpermanentWeakOracle::new())),
-        ("eventually-strong", Box::new(EventuallyStrongOracle::new(120))),
+        (
+            "eventually-strong",
+            Box::new(EventuallyStrongOracle::new(120)),
+        ),
     ];
 
     println!(
         "{:<20}{}",
         "oracle",
-        props.iter().map(|(n, _)| format!("{n:<20}")).collect::<String>()
+        props
+            .iter()
+            .map(|(n, _)| format!("{n:<20}"))
+            .collect::<String>()
     );
     println!("{:-<140}", "");
     for (name, oracle) in &mut oracles {
@@ -75,8 +84,11 @@ fn main() {
         "\nt-useful (t = {t}): generalized strong accuracy {}, t-useful completeness {}",
         tick(check_fd_property(&run, FdProperty::GeneralizedStrongAccuracy).is_ok()),
         tick(
-            check_fd_property(&run, FdProperty::GeneralizedImpermanentStrongCompleteness(t))
-                .is_ok()
+            check_fd_property(
+                &run,
+                FdProperty::GeneralizedImpermanentStrongCompleteness(t)
+            )
+            .is_ok()
         ),
     );
 

@@ -15,7 +15,9 @@ use ktudc::epistemic::conditions::{check_a1, check_a2, check_a3, check_a5};
 use ktudc::epistemic::{Formula, ModelChecker};
 use ktudc::fd::{check_fd_property, FdProperty, PerfectOracle};
 use ktudc::model::{ActionId, Point, ProcessId, System};
-use ktudc::sim::{explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, SimConfig, Workload};
+use ktudc::sim::{
+    explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, SimConfig, Workload,
+};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -51,19 +53,28 @@ fn main() {
         mc.satisfying_points(&k1_init).len()
     );
     // Knowledge is veridical: K_p0 init ⇒ init, everywhere.
-    mc.valid(&Formula::implies(
-        k_init.clone(),
-        Formula::initiated(alpha),
-    ))
-    .expect("veridicality");
+    mc.valid(&Formula::implies(k_init.clone(), Formula::initiated(alpha)))
+        .expect("veridicality");
     println!("  K_p0 init(α) ⇒ init(α) is valid (knowledge is veridical)");
 
     // Audit the context conditions of §3.
     println!("\ncontext conditions on the explored system:");
-    println!("  A1 (failure independence) : {:?}", check_a1(&system).is_ok());
-    println!("  A2 (mass-crash/unreliable): {:?}", check_a2(&system).is_ok());
-    println!("  A3 (crash teaches nothing): {:?}", check_a3(&mut mc, alpha).is_ok());
-    println!("  A5 (t = 1 patterns occur) : {:?}", check_a5(&system, 1).is_ok());
+    println!(
+        "  A1 (failure independence) : {:?}",
+        check_a1(&system).is_ok()
+    );
+    println!(
+        "  A2 (mass-crash/unreliable): {:?}",
+        check_a2(&system).is_ok()
+    );
+    println!(
+        "  A3 (crash teaches nothing): {:?}",
+        check_a3(&mut mc, alpha).is_ok()
+    );
+    println!(
+        "  A5 (t = 1 patterns occur) : {:?}",
+        check_a5(&system, 1).is_ok()
+    );
 
     // ------------------------------------------------------------------
     // Part 2: Theorem 3.6 — extract a *perfect* failure detector from the
@@ -82,7 +93,12 @@ fn main() {
                 .crashes(plan.clone())
                 .horizon(200)
                 .seed(seed);
-            let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+            let out = run_protocol(
+                &config,
+                |_| StrongFdUdc::new(),
+                &mut PerfectOracle::new(),
+                &w,
+            );
             assert!(check_udc(&out.run, &w.actions()).is_satisfied());
             runs.push(out.run);
         }

@@ -36,7 +36,10 @@ fn main() {
     // The produced run is a first-class object: inspect it.
     println!("run horizon           : {}", out.run.horizon());
     println!("faulty processes F(r) : {}", out.run.faulty());
-    println!("messages sent / lost  : {} / {}", out.messages_sent, out.messages_dropped);
+    println!(
+        "messages sent / lost  : {} / {}",
+        out.messages_sent, out.messages_dropped
+    );
     for p in ProcessId::all(5) {
         let view = out.run.view_at(p, out.run.horizon());
         println!(

@@ -59,7 +59,7 @@ fn main() {
 
     // Audit: the communal history. Every operation any replica executed
     // must be executed by every correct replica — non-repudiation.
-    println!("{:<28}{}", "operation", "executed by");
+    println!("{:<28}executed by", "operation");
     for (i, &(_, replica, label)) in ops.iter().enumerate() {
         let action = ActionId::new(ProcessId::new(replica), i as u32);
         let executors: Vec<String> = ProcessId::all(n)
@@ -70,7 +70,11 @@ fn main() {
     }
 
     let verdict = check_udc(&out.run, &workload.actions());
-    assert_eq!(verdict, Verdict::Satisfied, "service repudiated an operation!");
+    assert_eq!(
+        verdict,
+        Verdict::Satisfied,
+        "service repudiated an operation!"
+    );
     println!("\nUDC holds: no operation was repudiated, even ones initiated by");
     println!("replicas that later crashed. Clients never see the failures.");
 }

@@ -6,8 +6,7 @@ use ktudc::core::protocols::{
 };
 use ktudc::core::spec::{check_nudc, check_udc, Verdict};
 use ktudc::fd::{
-    check_fd_property, CyclingSubsetOracle, FdProperty, PerfectOracle, StrongOracle,
-    TUsefulOracle,
+    check_fd_property, CyclingSubsetOracle, FdProperty, PerfectOracle, StrongOracle, TUsefulOracle,
 };
 use ktudc::model::{ProcSet, ProcessId, Run};
 use ktudc::sim::{run_protocol, ChannelKind, CrashPlan, NullOracle, SimConfig, Workload};
@@ -45,7 +44,12 @@ fn every_protocol_in_its_home_context() {
         .crashes(CrashPlan::at(&[(1, 7), (2, 40)]))
         .horizon(800)
         .seed(3);
-    let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+    let out = run_protocol(
+        &config,
+        |_| StrongFdUdc::new(),
+        &mut StrongOracle::new(),
+        &w,
+    );
     assert_eq!(check_udc(&out.run, &w.actions()), Verdict::Satisfied);
     out.run.check_conditions(25).unwrap();
 
@@ -80,7 +84,13 @@ fn pipelines_are_deterministic() {
             })
             .horizon(400)
             .seed(77);
-        run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w).run
+        run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut StrongOracle::new(),
+            &w,
+        )
+        .run
     };
     assert_eq!(run_once(), run_once());
 }
@@ -94,7 +104,12 @@ fn runs_serialize_and_deserialize() {
         .crashes(CrashPlan::at(&[(1, 12)]))
         .horizon(200)
         .seed(5);
-    let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+    let out = run_protocol(
+        &config,
+        |_| StrongFdUdc::new(),
+        &mut PerfectOracle::new(),
+        &w,
+    );
     let json = serde_json::to_string(&out.run).expect("serialize");
     let back: Run<ktudc::core::CoordMsg> = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back, out.run);
@@ -135,7 +150,12 @@ fn wired_perfect_oracle_satisfies_perfect_properties() {
         .crashes(CrashPlan::at(&[(2, 9), (3, 33)]))
         .horizon(500)
         .seed(6);
-    let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+    let out = run_protocol(
+        &config,
+        |_| StrongFdUdc::new(),
+        &mut PerfectOracle::new(),
+        &w,
+    );
     check_fd_property(&out.run, FdProperty::StrongAccuracy).unwrap();
     check_fd_property(&out.run, FdProperty::StrongCompleteness).unwrap();
     check_fd_property(&out.run, FdProperty::WeakAccuracy).unwrap();
@@ -162,7 +182,12 @@ fn uniformity_separation_and_cure() {
         }
         // Found the separating schedule. The Prop 3.1 protocol, in the
         // same context (plus a strong FD), achieves full UDC.
-        let cured = run_protocol(&config, |_| StrongFdUdc::new(), &mut StrongOracle::new(), &w);
+        let cured = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut StrongOracle::new(),
+            &w,
+        );
         assert_eq!(check_udc(&cured.run, &w.actions()), Verdict::Satisfied);
         return;
     }

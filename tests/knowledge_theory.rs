@@ -1,16 +1,16 @@
 //! Knowledge-theoretic integration tests: the §3 analysis machinery run
 //! end-to-end over exhaustively enumerated and sampled systems.
 
+use ktudc::core::protocols::{reliable::ReliableUdc, strong_fd::StrongFdUdc};
 use ktudc::core::simulate::{simulate_perfect_fd, simulate_t_useful_fd};
 use ktudc::core::spec::{check_udc, dc3_formula};
-use ktudc::core::protocols::{reliable::ReliableUdc, strong_fd::StrongFdUdc};
 use ktudc::epistemic::conditions::{check_a1, check_a2, check_a3, check_a4, check_a5};
 use ktudc::epistemic::{Formula, ModelChecker};
 use ktudc::fd::{check_fd_property, FdProperty, PerfectOracle};
 use ktudc::model::{ActionId, Event, ProcSet, ProcessId, SuspectReport, System, Time};
 use ktudc::sim::{
-    explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, ProtoAction, Protocol,
-    SimConfig, Workload,
+    explore, run_protocol, ChannelKind, CrashPlan, ExploreConfig, ProtoAction, Protocol, SimConfig,
+    Workload,
 };
 
 #[derive(Clone, Debug)]
@@ -148,11 +148,16 @@ fn proposition_3_5_consequence_on_udc_runs() {
             .crashes(CrashPlan::at(&[(1, 8)]))
             .horizon(260)
             .seed(seed);
-        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+        let out = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut PerfectOracle::new(),
+            &w,
+        );
         assert!(check_udc(&out.run, &w.actions()).is_satisfied());
         for action in w.actions() {
-            let performed = ProcessId::all(3)
-                .any(|q| out.run.view_at(q, out.run.horizon()).did(action));
+            let performed =
+                ProcessId::all(3).any(|q| out.run.view_at(q, out.run.horizon()).did(action));
             if !performed || out.run.correct().is_empty() {
                 continue;
             }
@@ -164,7 +169,10 @@ fn proposition_3_5_consequence_on_udc_runs() {
                         .iter()
                         .any(|e| matches!(e, Event::Recv { msg, .. } if msg.action() == action))
             });
-            assert!(witness, "seed {seed}: no correct process knows about {action}");
+            assert!(
+                witness,
+                "seed {seed}: no correct process knows about {action}"
+            );
         }
     }
 }
@@ -182,7 +190,12 @@ fn f_prime_at_n_minus_1_converts_to_perfect() {
             .crashes(CrashPlan::at(&[(1, 8), (2, 30)]))
             .horizon(260)
             .seed(seed);
-        let out = run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w);
+        let out = run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut PerfectOracle::new(),
+            &w,
+        );
         runs.push(out.run);
     }
     // Include a crash-free sibling so knowledge stays honest.
@@ -190,7 +203,15 @@ fn f_prime_at_n_minus_1_converts_to_perfect() {
         .channel(ChannelKind::fair_lossy(0.25))
         .horizon(260)
         .seed(9);
-    runs.push(run_protocol(&config, |_| StrongFdUdc::new(), &mut PerfectOracle::new(), &w).run);
+    runs.push(
+        run_protocol(
+            &config,
+            |_| StrongFdUdc::new(),
+            &mut PerfectOracle::new(),
+            &w,
+        )
+        .run,
+    );
     let sys = System::new(runs);
 
     let t = 2; // n − 1
