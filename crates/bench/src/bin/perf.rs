@@ -19,6 +19,12 @@
 //!
 //! `--smoke` shrinks every workload to a few seconds total for CI; the
 //! schema of the emitted JSON is unchanged (`"mode"` records which ran).
+//!
+//! `--via-serve` additionally routes a batch of cell requests through an
+//! in-process `ktudc-serve` daemon (ephemeral port, pipelined client) and
+//! records the service-path throughput — cold (computed) and warm
+//! (scenario-cache) — under the `via_serve` key. The key is `null` when
+//! the flag is absent, keeping the `ktudc-bench-perf/1` schema additive.
 
 use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
 use ktudc_epistemic::{Formula, ModelChecker, ReferenceChecker};
@@ -65,6 +71,18 @@ struct CellReport {
 }
 
 #[derive(Serialize)]
+struct ViaServeReport {
+    requests: usize,
+    workers: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    cold_requests_per_sec: f64,
+    warm_requests_per_sec: f64,
+    cache_hits: u64,
+    results_identical: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
@@ -72,6 +90,7 @@ struct Report {
     checker: CheckerReport,
     explorer: ExplorerReport,
     cell: CellReport,
+    via_serve: Option<ViaServeReport>,
 }
 
 fn p(i: usize) -> ProcessId {
@@ -305,13 +324,81 @@ fn cell_workload(smoke: bool) -> CellReport {
     }
 }
 
+/// The same cell workload, emitted through an in-process `ktudc-serve`
+/// daemon as one pipelined batch — cold (every request computed), then
+/// warm (every request answered from the scenario cache).
+fn via_serve_workload(smoke: bool) -> ViaServeReport {
+    use ktudc_serve::{serve, Client, RequestKind, ServeConfig};
+
+    let count = if smoke { 4 } else { 8 };
+    let kinds: Vec<RequestKind> = (0..count)
+        .map(|i| {
+            let spec = if smoke {
+                CellSpec::new(4, 3, None, FdChoice::None, ProtocolChoice::Reliable)
+                    .trials(4)
+                    .horizon(400 + i as u64)
+            } else {
+                CellSpec::new(
+                    5,
+                    3,
+                    Some(0.3),
+                    FdChoice::TUseful,
+                    ProtocolChoice::Generalized,
+                )
+                .trials(8)
+                .horizon(900 + i as u64)
+            };
+            RequestKind::Cell(spec)
+        })
+        .collect();
+
+    let handle = serve(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_capacity: count.max(16),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let t0 = Instant::now();
+    let cold = client.batch(kinds.clone()).expect("cold batch");
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let warm = client.batch(kinds).expect("warm batch");
+    let warm_secs = t0.elapsed().as_secs_f64();
+
+    let results_identical = cold
+        .iter()
+        .zip(&warm)
+        .all(|(a, b)| a.result == b.result && b.cached);
+    assert!(results_identical, "warm sweep diverged from cold sweep");
+    let stats = client.stats().expect("stats");
+    let cache_hits: u64 = stats.endpoints.iter().map(|e| e.cache_hits).sum();
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+
+    ViaServeReport {
+        requests: count,
+        workers: stats.workers,
+        cold_secs,
+        warm_secs,
+        cold_requests_per_sec: count as f64 / cold_secs,
+        warm_requests_per_sec: count as f64 / warm_secs,
+        cache_hits,
+        results_identical,
+    }
+}
+
 fn main() {
     let mut smoke = false;
+    let mut via_serve = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--via-serve" => via_serve = true,
             other => {
-                eprintln!("perf: unknown argument `{other}` (accepted: --smoke)");
+                eprintln!("perf: unknown argument `{other}` (accepted: --smoke, --via-serve)");
                 std::process::exit(2);
             }
         }
@@ -346,6 +433,20 @@ fn main() {
         cell.spec, cell.trials, cell.secs, cell.achieved,
     );
 
+    let via_serve = via_serve.then(|| {
+        let r = via_serve_workload(smoke);
+        eprintln!(
+            "perf: via-serve {} requests: cold {:.3}s ({:.1} req/s), warm {:.3}s ({:.1} req/s), {} cache hits",
+            r.requests,
+            r.cold_secs,
+            r.cold_requests_per_sec,
+            r.warm_secs,
+            r.warm_requests_per_sec,
+            r.cache_hits,
+        );
+        r
+    });
+
     let report = Report {
         schema: "ktudc-bench-perf/1".to_string(),
         mode: mode.to_string(),
@@ -353,6 +454,7 @@ fn main() {
         checker,
         explorer,
         cell,
+        via_serve,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_ktudc.json", &json).expect("write BENCH_ktudc.json");

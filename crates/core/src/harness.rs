@@ -19,10 +19,11 @@ use ktudc_fd::{
 };
 use ktudc_model::Time;
 use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, FdOracle, NullOracle, SimConfig, Workload};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Failure-detector classes selectable by the harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FdChoice {
     /// No detector at all.
     None,
@@ -58,7 +59,7 @@ impl fmt::Display for FdChoice {
 }
 
 /// Protocols selectable by the harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProtocolChoice {
     /// Proposition 2.4 (send-then-do; correct only on reliable channels).
     Reliable,
@@ -80,7 +81,12 @@ impl fmt::Display for ProtocolChoice {
 }
 
 /// One cell's experimental setup.
-#[derive(Clone, Debug)]
+///
+/// Serializes to a flat JSON object so it doubles as the `ktudc-serve` wire
+/// schema for `cell` requests; the encoding is pinned by a unit test below
+/// (any change to it is a wire-protocol break and must bump the serve
+/// schema version).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
     /// System size.
     pub n: usize,
@@ -137,7 +143,10 @@ impl CellSpec {
 }
 
 /// Tallied outcome of a cell.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+///
+/// Round-trips through serde (the `ktudc-serve` `cell` response body);
+/// encoding pinned alongside [`CellSpec`]'s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CellOutcome {
     /// Trials whose run satisfied UDC (by the horizon).
     pub satisfied: u64,
@@ -332,6 +341,50 @@ mod tests {
         let out = run_cell(&spec);
         assert!(!out.achieved(), "{out}");
         assert!(out.unsatisfied_pending > 0, "{out}");
+    }
+
+    #[test]
+    fn wire_schema_is_pinned() {
+        // These exact strings are the serve wire schema (schema_version 1).
+        // If this test fails, the encoding changed: bump
+        // `ktudc_serve::SCHEMA_VERSION` and repin deliberately — never
+        // silently.
+        let spec = CellSpec::new(
+            4,
+            2,
+            Some(0.25),
+            FdChoice::TUseful,
+            ProtocolChoice::Generalized,
+        )
+        .trials(6)
+        .horizon(300);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(
+            json,
+            r#"{"n":4,"t":2,"drop_prob":0.25,"fd":"TUseful","protocol":"Generalized","horizon":300,"trials":6}"#
+        );
+        assert_eq!(serde_json::from_str::<CellSpec>(&json).unwrap(), spec);
+
+        // `None` channels encode as an explicit null, and every FD /
+        // protocol variant is a bare string tag.
+        let reliable = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable);
+        let json = serde_json::to_string(&reliable).unwrap();
+        assert!(json.contains(r#""drop_prob":null"#), "{json}");
+        assert!(json.contains(r#""fd":"None""#), "{json}");
+        assert_eq!(serde_json::from_str::<CellSpec>(&json).unwrap(), reliable);
+
+        let outcome = CellOutcome {
+            satisfied: 5,
+            violated_permanent: 1,
+            unsatisfied_pending: 0,
+            mean_messages: 12.5,
+        };
+        let json = serde_json::to_string(&outcome).unwrap();
+        assert_eq!(
+            json,
+            r#"{"satisfied":5,"violated_permanent":1,"unsatisfied_pending":0,"mean_messages":12.5}"#
+        );
+        assert_eq!(serde_json::from_str::<CellOutcome>(&json).unwrap(), outcome);
     }
 
     #[test]

@@ -22,13 +22,14 @@
 //! ```
 
 use ktudc_model::{ActionId, ProcessId};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Primitive propositions, interpreted over a cut "in the obvious way":
 /// a primitive holds at `(r, m)` iff the matching event appears in the
 /// relevant history prefix. All primitives are *stable* (once true, forever
 /// true) because histories only grow.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Prim<M> {
     /// `send_from(to, msg)` appears in `from`'s history.
     Sent {
@@ -85,7 +86,11 @@ impl<M: fmt::Debug> fmt::Debug for Prim<M> {
 }
 
 /// A formula of the epistemic-temporal language.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Formulas serialize (via the workspace serde layer) in externally-tagged
+/// form — e.g. `{"Knows":[0,{"Prim":{"Crashed":2}}]}` — so they can travel
+/// over the `ktudc-serve` wire; a round-trip test below pins the encoding.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Formula<M> {
     /// Truth.
     True,
@@ -306,6 +311,36 @@ mod tests {
         set.insert(b);
         set.insert(c);
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn wire_serialization_round_trips_and_is_pinned() {
+        let alpha = ActionId::new(p(1), 2);
+        let formulas: Vec<Formula<u8>> = vec![
+            Formula::True,
+            Formula::knows(
+                p(0),
+                Formula::eventually(Formula::or(vec![
+                    Formula::sent(p(0), p(1), 7),
+                    Formula::not(Formula::initiated(alpha)),
+                ])),
+            ),
+            Formula::always(Formula::and(vec![
+                Formula::suspects(p(0), p(1)),
+                Formula::did(p(2), alpha),
+            ])),
+        ];
+        for f in &formulas {
+            let json = serde_json::to_string(f).unwrap();
+            let back: Formula<u8> = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, f, "round-trip through {json}");
+        }
+        // Shape pin: the serve wire depends on this exact encoding.
+        let f: Formula<u8> = Formula::knows(p(0), Formula::crashed(p(2)));
+        assert_eq!(
+            serde_json::to_string(&f).unwrap(),
+            r#"{"Knows":[0,{"Prim":{"Crashed":2}}]}"#
+        );
     }
 
     #[test]

@@ -14,6 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{Pool, SubmitError};
+
 /// Worker count: `KTUDC_THREADS` env override if set, else the machine's
 /// available parallelism. Always at least 1.
 #[must_use]

@@ -1,0 +1,272 @@
+//! A bounded-queue worker pool for long-lived services.
+//!
+//! The `par_map` family in this crate is built for one-shot fork/join over
+//! a known work list; a daemon needs the opposite shape — a fixed set of
+//! worker threads draining an *open-ended* stream of jobs. [`Pool`]
+//! provides that with two properties the service layer relies on:
+//!
+//! * **Explicit backpressure** — the queue has a hard capacity and
+//!   [`Pool::try_execute`] fails fast with [`SubmitError::Full`] instead of
+//!   buffering without bound. The caller turns that into a typed
+//!   `overloaded` response; the pool never blocks a submitter.
+//! * **Draining shutdown** — [`Pool::shutdown`] closes the queue to new
+//!   jobs, lets the workers finish everything already accepted (queued and
+//!   in flight), and joins them before returning.
+//!
+//! Unlike the `par_map` helpers, the pool always spawns real threads — it
+//! exists to serve concurrent callers, so it is independent of the
+//! `threads` feature (which only governs the fork/join helpers).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job: any one-shot closure.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later or shed the request.
+    Full,
+    /// The pool is shutting down and accepts no new work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => f.write_str("worker pool queue is full"),
+            SubmitError::Closed => f.write_str("worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    /// Jobs popped but not yet finished, tracked so shutdown can certify a
+    /// complete drain.
+    in_flight: usize,
+    closed: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signaled when a job arrives, a job finishes, or the pool closes.
+    signal: Condvar,
+}
+
+/// A fixed-size worker pool over a bounded FIFO job queue.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+}
+
+impl Pool {
+    /// Spawns `workers` threads (at least 1) sharing a queue that holds at
+    /// most `capacity` pending jobs (at least 1).
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+            }),
+            signal: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, failing fast when the queue is at capacity or the
+    /// pool is closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::Closed`] after
+    /// [`Pool::shutdown`] began.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.signal.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs queued but not yet started.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .jobs
+            .len()
+    }
+
+    /// The queue capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Closes the queue, drains every accepted job (queued and in flight),
+    /// and joins the workers. New submissions fail with
+    /// [`SubmitError::Closed`] as soon as this is called.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.closed = true;
+        }
+        self.shared.signal.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("pool worker panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // A dropped (not shut down) pool still drains: close and join.
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.closed = true;
+        }
+        self.shared.signal.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.signal.wait(state).expect("pool lock poisoned");
+            }
+        };
+        job();
+        let mut state = shared.state.lock().expect("pool lock poisoned");
+        state.in_flight -= 1;
+        drop(state);
+        // Wake shutdown waiters (and idle peers) so drain progress is seen.
+        shared.signal.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_accepted_job() {
+        let pool = Pool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.try_execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn rejects_when_full_then_recovers() {
+        let pool = Pool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker until released.
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        // Fill the queue slot, then overflow it.
+        pool.try_execute(|| {}).unwrap();
+        let overflow = pool.try_execute(|| {});
+        assert_eq!(overflow, Err(SubmitError::Full));
+        assert_eq!(pool.queue_depth(), 1);
+        // After releasing the worker, capacity frees up again.
+        release_tx.send(()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if pool.try_execute(|| {}).is_ok() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "queue never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_and_in_flight_work() {
+        let pool = Pool::new(2, 32);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.try_execute(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        // Every job accepted before shutdown completed.
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn closed_pool_rejects_submissions() {
+        let pool = Pool::new(1, 4);
+        let shared = Arc::clone(&pool.shared);
+        pool.shutdown();
+        // The pool value is consumed; verify through the shared state that
+        // a late submission would be refused.
+        assert!(shared.state.lock().unwrap().closed);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SubmitError::Full.to_string().contains("full"));
+        assert!(SubmitError::Closed.to_string().contains("shut down"));
+    }
+}

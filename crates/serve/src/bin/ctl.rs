@@ -1,0 +1,296 @@
+//! `ctl` — the companion client for `ktudc-serve`.
+//!
+//! ```text
+//! ctl [--addr HOST:PORT] sweep [--smoke] [--twice]
+//! ctl [--addr HOST:PORT] stats
+//! ctl [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `sweep` submits the UDC rows of Table 1 (the harness cells of the
+//! `table1` bench binary) as **one pipelined batch** and prints the
+//! assembled table from the responses. With `--twice` it submits the
+//! identical batch again and verifies the warm pass is byte-identical
+//! to the cold one (it is answered from the scenario cache). `--smoke`
+//! shrinks the grid to seconds for CI.
+
+use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
+use ktudc_serve::{Client, RequestKind, Response, ResponseKind};
+
+struct SweepParams {
+    n: usize,
+    trials: u64,
+    horizon: u64,
+    loss: f64,
+    /// Regime representatives: t < n/2, n/2 ≤ t < n−1, t = n−1.
+    t: (usize, usize, usize),
+}
+
+impl SweepParams {
+    fn full() -> Self {
+        SweepParams {
+            n: 5,
+            trials: 10,
+            horizon: 1200,
+            loss: 0.3,
+            t: (2, 3, 4),
+        }
+    }
+
+    fn smoke() -> Self {
+        SweepParams {
+            n: 4,
+            trials: 2,
+            horizon: 400,
+            loss: 0.25,
+            t: (1, 2, 3),
+        }
+    }
+}
+
+/// The UDC cells of Table 1, in row order, with display labels.
+fn sweep_cells(p: &SweepParams) -> Vec<(String, CellSpec)> {
+    let (t_low, t_mid, t_high) = p.t;
+    let cell = |t: usize, drop: Option<f64>, fd: FdChoice, proto: ProtocolChoice| {
+        CellSpec::new(p.n, t, drop, fd, proto)
+            .trials(p.trials)
+            .horizon(p.horizon)
+    };
+    vec![
+        (
+            format!("reliable / UDC / t={t_low}"),
+            cell(t_low, None, FdChoice::None, ProtocolChoice::Reliable),
+        ),
+        (
+            format!("reliable / UDC / t={t_mid}"),
+            cell(t_mid, None, FdChoice::None, ProtocolChoice::Reliable),
+        ),
+        (
+            format!("reliable / UDC / t={t_high}"),
+            cell(t_high, None, FdChoice::None, ProtocolChoice::Reliable),
+        ),
+        (
+            format!("unreliable / UDC / t={t_low}"),
+            cell(
+                t_low,
+                Some(p.loss),
+                FdChoice::Cycling,
+                ProtocolChoice::Generalized,
+            ),
+        ),
+        (
+            format!("unreliable / UDC / t={t_mid}"),
+            cell(
+                t_mid,
+                Some(p.loss),
+                FdChoice::TUseful,
+                ProtocolChoice::Generalized,
+            ),
+        ),
+        (
+            format!("unreliable / UDC / t={t_high}"),
+            cell(
+                t_high,
+                Some(p.loss),
+                FdChoice::Strong,
+                ProtocolChoice::StrongFd,
+            ),
+        ),
+        (
+            format!("negative note / t={t_mid}"),
+            cell(t_mid, Some(0.6), FdChoice::None, ProtocolChoice::Reliable),
+        ),
+        (
+            format!("negative note / t={t_high}"),
+            cell(
+                t_high,
+                Some(p.loss),
+                FdChoice::Weak,
+                ProtocolChoice::StrongFd,
+            ),
+        ),
+        (
+            format!("strong ≈ perfect / t={t_high}"),
+            cell(
+                t_high,
+                Some(p.loss),
+                FdChoice::Perfect,
+                ProtocolChoice::StrongFd,
+            ),
+        ),
+    ]
+}
+
+fn run_sweep(client: &mut Client, cells: &[(String, CellSpec)]) -> Vec<Response> {
+    let kinds: Vec<RequestKind> = cells
+        .iter()
+        .map(|(_, spec)| RequestKind::Cell(spec.clone()))
+        .collect();
+    match client.batch(kinds) {
+        Ok(responses) => responses,
+        Err(e) => {
+            eprintln!("ctl: sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The cache-invariant portion of a sweep: just the result payloads,
+/// serialized. Cold and warm passes must agree on this byte-for-byte.
+fn payload_bytes(responses: &[Response]) -> String {
+    responses
+        .iter()
+        .map(|r| serde_json::to_string(&r.result).expect("payload encodes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn print_sweep(cells: &[(String, CellSpec)], responses: &[Response]) {
+    println!("{:-<78}", "");
+    println!(
+        "{:<28}{:<12}{:<24}{:>6}{:>8}",
+        "cell", "FD", "outcome", "cache", " µs"
+    );
+    println!("{:-<78}", "");
+    for ((label, spec), response) in cells.iter().zip(responses) {
+        let outcome = match &response.result {
+            ResponseKind::Cell(out) => format!(
+                "{}/{} ok{}",
+                out.satisfied,
+                out.trials(),
+                if out.violated_permanent > 0 {
+                    format!(", {} violations", out.violated_permanent)
+                } else if out.unsatisfied_pending > 0 {
+                    format!(", {} stalls", out.unsatisfied_pending)
+                } else {
+                    String::new()
+                }
+            ),
+            ResponseKind::Error(e) => format!("{:?}: {}", e.code, e.message),
+            other => format!("unexpected payload: {other:?}"),
+        };
+        println!(
+            "{:<28}{:<12}{:<24}{:>6}{:>8}",
+            label,
+            format!("{:?}", spec.fd),
+            outcome,
+            if response.cached { "hit" } else { "miss" },
+            response.micros
+        );
+    }
+    println!("{:-<78}", "");
+}
+
+fn cmd_sweep(client: &mut Client, smoke: bool, twice: bool) {
+    let params = if smoke {
+        SweepParams::smoke()
+    } else {
+        SweepParams::full()
+    };
+    let cells = sweep_cells(&params);
+    println!(
+        "Table-1 UDC sweep via ktudc-serve (n = {}, {} trials/cell, loss = {})",
+        params.n, params.trials, params.loss
+    );
+    let cold = run_sweep(client, &cells);
+    print_sweep(&cells, &cold);
+    if twice {
+        let warm = run_sweep(client, &cells);
+        let identical = payload_bytes(&cold) == payload_bytes(&warm);
+        let warm_hits = warm.iter().filter(|r| r.cached).count();
+        println!(
+            "warm sweep: {} / {} answered from cache, payloads {}",
+            warm_hits,
+            warm.len(),
+            if identical {
+                "byte-identical to cold pass"
+            } else {
+                "DIFFER from cold pass"
+            }
+        );
+        if !identical || warm_hits == 0 {
+            eprintln!("ctl: warm sweep was not served coherently from cache");
+            std::process::exit(1);
+        }
+    }
+    match client.stats() {
+        Ok(stats) => println!(
+            "server: {} workers, queue {}/{}, cache {}/{} entries, hit rate {:.2}, {} shed",
+            stats.workers,
+            stats.queue_depth,
+            stats.queue_capacity,
+            stats.cache_entries,
+            stats.cache_capacity,
+            stats.cache_hit_rate,
+            stats.overloaded
+        ),
+        Err(e) => {
+            eprintln!("ctl: stats failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_stats(client: &mut Client) {
+    match client.stats() {
+        Ok(stats) => println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("stats encodes")
+        ),
+        Err(e) => {
+            eprintln!("ctl: stats failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_shutdown(client: &mut Client) {
+    match client.shutdown_server() {
+        Ok(()) => println!("server acknowledged shutdown; draining"),
+        Err(e) => {
+            eprintln!("ctl: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] | stats | shutdown>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7199".to_string();
+    let mut command: Option<String> = None;
+    let mut smoke = false;
+    let mut twice = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            },
+            "--smoke" => smoke = true,
+            "--twice" => twice = true,
+            "--help" | "-h" => usage(),
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(command) = command else { usage() };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ctl: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match command.as_str() {
+        "sweep" => cmd_sweep(&mut client, smoke, twice),
+        "stats" => cmd_stats(&mut client),
+        "shutdown" => cmd_shutdown(&mut client),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,175 @@
+//! The scenario cache: an LRU over canonical request bodies.
+//!
+//! Every cacheable endpoint computes a pure function of its request body
+//! ([`RequestKind::cacheable`](crate::wire::RequestKind::cacheable)), so
+//! the server memoizes outcomes keyed by the body's *canonical JSON* —
+//! the exact string `serde_json::to_string` produces, whose field order
+//! is fixed by the struct definitions. The map is keyed by the pinned
+//! 64-bit [`StableHasher`] digest of that string for cheap lookup, but
+//! every hit re-compares the stored canonical string, so a (≈2⁻⁶⁴) hash
+//! collision degrades to a miss instead of serving the wrong scenario's
+//! outcome.
+//!
+//! Eviction is least-recently-used under a logical clock bumped on every
+//! access. The victim scan is linear in the entry count; capacities here
+//! are hundreds of entries guarding seconds-long computations, so the
+//! scan is noise.
+
+use crate::wire::ResponseKind;
+use ktudc_model::hashing::StableHasher;
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+struct Entry {
+    /// Full canonical body, kept to guard against digest collisions.
+    canon: String,
+    value: ResponseKind,
+    last_used: u64,
+}
+
+/// A bounded least-recently-used outcome cache.
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, Entry>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` outcomes. Capacity 0 disables
+    /// caching (every lookup misses, every insert is dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// The pinned digest of a canonical body.
+    #[must_use]
+    pub fn key_of(canon: &str) -> u64 {
+        let mut h = StableHasher::new();
+        h.write(canon.as_bytes());
+        h.finish()
+    }
+
+    /// Looks up the outcome of a canonical body, refreshing its recency.
+    pub fn get(&mut self, canon: &str) -> Option<ResponseKind> {
+        self.clock += 1;
+        let entry = self.entries.get_mut(&Self::key_of(canon))?;
+        if entry.canon != canon {
+            // Digest collision: miss, and keep the incumbent.
+            return None;
+        }
+        entry.last_used = self.clock;
+        Some(entry.value.clone())
+    }
+
+    /// Stores an outcome, evicting the least-recently-used entry at
+    /// capacity. A digest collision overwrites the incumbent (one of the
+    /// two scenarios stays uncached; correctness is preserved by the
+    /// canonical-string check in [`LruCache::get`]).
+    pub fn insert(&mut self, canon: String, value: ResponseKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let key = Self::key_of(&canon);
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                canon,
+                value,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Number of cached outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(tag: u64) -> ResponseKind {
+        ResponseKind::Explore(ktudc_sim::ExploreOutcome {
+            runs: tag as usize,
+            complete: true,
+            events: tag,
+            digest: tag,
+        })
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut cache = LruCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a".to_string(), outcome(1));
+        assert_eq!(cache.get("a"), Some(outcome(1)));
+        assert!(cache.get("b").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".to_string(), outcome(1));
+        cache.insert("b".to_string(), outcome(2));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".to_string(), outcome(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".to_string(), outcome(1));
+        cache.insert("b".to_string(), outcome(2));
+        cache.insert("a".to_string(), outcome(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), Some(outcome(9)));
+        assert_eq!(cache.get("b"), Some(outcome(2)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a".to_string(), outcome(1));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn digest_is_stable_across_calls() {
+        assert_eq!(LruCache::key_of("scenario"), LruCache::key_of("scenario"));
+        assert_ne!(LruCache::key_of("scenario"), LruCache::key_of("scenari0"));
+    }
+}

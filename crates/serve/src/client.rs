@@ -1,0 +1,171 @@
+//! A blocking client for the service protocol.
+//!
+//! [`Client::batch`] is the workhorse: it writes every request line
+//! before reading any response (the requests pipeline through the
+//! server's worker pool and complete in whatever order they finish),
+//! then reads one line per request and reorders the responses by their
+//! echoed `id`s. [`Client::request`] is the batch of one.
+
+use crate::metrics::StatsReport;
+use crate::wire::{Request, RequestKind, Response, ResponseKind, SCHEMA_VERSION};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(std::io::Error),
+    /// The server sent something outside the protocol (bad JSON, an
+    /// unknown id, a mismatched payload kind).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to a `ktudc-serve` daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// A typed server-side failure is a *successful* call returning a
+    /// [`ResponseKind::Error`] payload; `Err` means the conversation
+    /// itself broke.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connection failure, [`ClientError::Protocol`]
+    /// on an out-of-protocol reply.
+    pub fn request(&mut self, kind: RequestKind) -> Result<Response, ClientError> {
+        let mut responses = self.batch(vec![kind])?;
+        responses
+            .pop()
+            .ok_or_else(|| ClientError::Protocol("empty batch response".to_string()))
+    }
+
+    /// Pipelines a batch: writes every request line, then collects one
+    /// response per request and returns them **in request order**
+    /// (matching the out-of-order completions by id).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connection failure, [`ClientError::Protocol`]
+    /// if a reply doesn't parse, answers an id outside the batch, or
+    /// duplicates an id.
+    pub fn batch(&mut self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        let first_id = self.next_id;
+        let count = kinds.len();
+        let mut lines = String::new();
+        for (offset, kind) in kinds.into_iter().enumerate() {
+            let request = Request::new(first_id + offset as u64, kind);
+            lines
+                .push_str(&serde_json::to_string(&request).map_err(|e| {
+                    ClientError::Protocol(format!("request failed to encode: {e}"))
+                })?);
+            lines.push('\n');
+        }
+        self.next_id += count as u64;
+        self.writer.write_all(lines.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut slots: Vec<Option<Response>> = vec![None; count];
+        for _ in 0..count {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-batch".to_string(),
+                ));
+            }
+            let response: Response = serde_json::from_str(line.trim_end())
+                .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+            if response.schema_version != SCHEMA_VERSION {
+                return Err(ClientError::Protocol(format!(
+                    "response schema_version {}, expected {SCHEMA_VERSION}",
+                    response.schema_version
+                )));
+            }
+            let slot = response
+                .id
+                .checked_sub(first_id)
+                .map(|o| o as usize)
+                .filter(|&o| o < count)
+                .ok_or_else(|| {
+                    ClientError::Protocol(format!("response for unknown id {}", response.id))
+                })?;
+            if slots[slot].is_some() {
+                return Err(ClientError::Protocol(format!(
+                    "duplicate response for id {}",
+                    response.id
+                )));
+            }
+            slots[slot] = Some(response);
+        }
+        Ok(slots.into_iter().flatten().collect())
+    }
+
+    /// Fetches a metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// server answers with anything but a stats payload.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.request(RequestKind::Stats)?.result {
+            ResponseKind::Stats(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected a stats payload, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::stats`], for the shutdown acknowledgement.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(RequestKind::Shutdown)?.result {
+            ResponseKind::Shutdown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected a shutdown acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+}

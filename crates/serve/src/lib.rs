@@ -1,0 +1,50 @@
+//! A std-only TCP service layer over the ktudc workspace.
+//!
+//! `ktudc-serve` turns the Table-1 achievability harness
+//! ([`ktudc_core::harness`]), the exhaustive explorer
+//! ([`ktudc_sim::wire`]) and the epistemic model checker
+//! ([`ktudc_epistemic`]) into a long-lived daemon speaking
+//! newline-delimited JSON: one [`wire::Request`] per line in, one
+//! [`wire::Response`] per line out, in whatever order the work finishes
+//! (responses carry the request `id`, so clients pipeline freely).
+//!
+//! The daemon is deliberately boring infrastructure, built only on `std`
+//! and the workspace's own crates:
+//!
+//! * **Bounded concurrency** — requests dispatch onto a
+//!   [`ktudc_par::Pool`] with a hard queue capacity. When the queue is
+//!   full the server *refuses* with a typed
+//!   [`wire::ErrorCode::Overloaded`] response instead of buffering
+//!   without bound; clients decide whether to retry.
+//! * **Scenario cache** — outcomes are memoized in an LRU keyed by the
+//!   canonical JSON of the request body ([`cache::LruCache`]), hashed
+//!   with the platform-pinned
+//!   [`StableHasher`](ktudc_model::hashing::StableHasher). Identical
+//!   sweeps are answered from memory, byte-identically.
+//! * **Observability** — per-endpoint request counts, cache hit rates
+//!   and p50/p99 latencies ([`metrics::Metrics`]) are served by the
+//!   `Stats` endpoint.
+//! * **Graceful shutdown** — a `Shutdown` request (or, in the binary,
+//!   SIGTERM/ctrl-c) stops accepting work, drains everything already
+//!   queued or in flight, answers it, and only then exits.
+//!
+//! The companion binaries are `ktudc-serve` (the daemon) and `ctl` (a
+//! client that submits the Table-1 UDC sweep as one pipelined batch and
+//! prints the assembled table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use metrics::{Endpoint, StatsReport};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use wire::{
+    CheckOutcome, CheckSpec, ErrorCode, Request, RequestKind, Response, ResponseKind, WireError,
+    SCHEMA_VERSION,
+};

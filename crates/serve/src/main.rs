@@ -1,0 +1,124 @@
+//! The `ktudc-serve` daemon binary.
+//!
+//! ```text
+//! ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound, then runs
+//! until a client sends a `Shutdown` request or the process receives
+//! SIGTERM/SIGINT (ctrl-c), either of which drains every accepted
+//! request before exiting.
+
+use ktudc_serve::{serve, ServeConfig};
+use std::time::Duration;
+
+/// Signal handling without a runtime: `std` exposes no signal API, so on
+/// Unix we register a C handler through libc's `signal` (in scope for a
+/// daemon: this is the one place the workspace steps outside safe Rust,
+/// and the handler only stores to an atomic — async-signal-safe). On
+/// other platforms termination is request-driven only.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the C standard library's registration call;
+        // the handler is a plain `extern "C"` fn that only stores to a
+        // static atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn received() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7199".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-cap" => {
+                config.queue_capacity = parse_num(&value("--queue-cap"), "--queue-cap")
+            }
+            "--cache-cap" => {
+                config.cache_capacity = parse_num(&value("--cache-cap"), "--cache-cap")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s}");
+        usage()
+    })
+}
+
+fn main() {
+    let config = parse_args();
+    signals::install();
+    let handle = match serve(&config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ktudc-serve: failed to bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    while !handle.is_shutdown() && !signals::received() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    handle.join();
+    println!("ktudc-serve: drained and stopped");
+}

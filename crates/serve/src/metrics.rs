@@ -1,0 +1,317 @@
+//! Per-endpoint service metrics.
+//!
+//! Counters are lock-free atomics bumped on every completed request;
+//! latencies go into a fixed-size ring of recent samples per endpoint
+//! (a mutex-guarded overwrite buffer — the lock is held for an index
+//! increment and a store, never across work). Percentiles are computed
+//! on demand from whatever the ring currently holds, so they are
+//! *recent* p50/p99, not all-time: exactly what you want when deciding
+//! whether the daemon is currently keeping up.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Samples retained per endpoint for percentile estimates.
+const RING_CAPACITY: usize = 4096;
+
+/// The metrics endpoints, one per [`RequestKind`](crate::wire::RequestKind)
+/// variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// Table-1 cell runs.
+    Cell,
+    /// Epistemic checks.
+    Check,
+    /// Explorations.
+    Explore,
+    /// Metrics snapshots.
+    Stats,
+    /// Shutdown requests.
+    Shutdown,
+}
+
+impl Endpoint {
+    /// Every endpoint, in report order.
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::Cell,
+        Endpoint::Check,
+        Endpoint::Explore,
+        Endpoint::Stats,
+        Endpoint::Shutdown,
+    ];
+
+    /// The wire name of the endpoint.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Cell => "cell",
+            Endpoint::Check => "check",
+            Endpoint::Explore => "explore",
+            Endpoint::Stats => "stats",
+            Endpoint::Shutdown => "shutdown",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Cell => 0,
+            Endpoint::Check => 1,
+            Endpoint::Explore => 2,
+            Endpoint::Stats => 3,
+            Endpoint::Shutdown => 4,
+        }
+    }
+}
+
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+struct EndpointMetrics {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    errors: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl EndpointMetrics {
+    fn new() -> Self {
+        EndpointMetrics {
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                samples: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+}
+
+/// Server-lifetime metrics, shared across workers and connections.
+pub struct Metrics {
+    started: Instant,
+    overloaded: AtomicU64,
+    per: [EndpointMetrics; 5],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; the uptime clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            overloaded: AtomicU64::new(0),
+            per: std::array::from_fn(|_| EndpointMetrics::new()),
+        }
+    }
+
+    /// Records a served request: latency sample plus hit accounting.
+    pub fn record(&self, endpoint: Endpoint, micros: u64, cache_hit: bool) {
+        let m = &self.per[endpoint.index()];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut ring = m.latencies.lock().expect("metrics lock poisoned");
+        if ring.samples.len() < RING_CAPACITY {
+            ring.samples.push(micros);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = micros;
+        }
+        ring.next = (ring.next + 1) % RING_CAPACITY;
+    }
+
+    /// Records a request that failed (no latency sample).
+    pub fn record_error(&self, endpoint: Endpoint) {
+        let m = &self.per[endpoint.index()];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        m.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed by backpressure (also counts as an error on
+    /// its endpoint).
+    pub fn record_overload(&self, endpoint: Endpoint) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+        self.record_error(endpoint);
+    }
+
+    /// Snapshots everything into a wire-serializable report. Queue and
+    /// cache occupancy are passed in by the server, which owns them.
+    #[must_use]
+    pub fn report(
+        &self,
+        workers: usize,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache_entries: usize,
+        cache_capacity: usize,
+    ) -> StatsReport {
+        let endpoints: Vec<EndpointStats> = Endpoint::ALL
+            .iter()
+            .map(|&ep| {
+                let m = &self.per[ep.index()];
+                let (p50, p99) = {
+                    let ring = m.latencies.lock().expect("metrics lock poisoned");
+                    percentiles(&ring.samples)
+                };
+                EndpointStats {
+                    endpoint: ep.name().to_string(),
+                    requests: m.requests.load(Ordering::Relaxed),
+                    cache_hits: m.cache_hits.load(Ordering::Relaxed),
+                    errors: m.errors.load(Ordering::Relaxed),
+                    p50_micros: p50,
+                    p99_micros: p99,
+                }
+            })
+            .collect();
+        let (cacheable_requests, cacheable_hits) = endpoints
+            .iter()
+            .take(3) // cell, check, explore
+            .fold((0u64, 0u64), |(r, h), e| (r + e.requests, h + e.cache_hits));
+        StatsReport {
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+            workers,
+            queue_depth,
+            queue_capacity,
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            cache_entries,
+            cache_capacity,
+            cache_hit_rate: if cacheable_requests == 0 {
+                0.0
+            } else {
+                cacheable_hits as f64 / cacheable_requests as f64
+            },
+            endpoints,
+        }
+    }
+}
+
+/// (p50, p99) of a sample set; (0, 0) when empty.
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |q: usize| sorted[(sorted.len() - 1) * q / 100];
+    (rank(50), rank(99))
+}
+
+/// Wire form of one endpoint's counters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name (`cell`, `check`, `explore`, `stats`, `shutdown`).
+    pub endpoint: String,
+    /// Requests handled (served + failed).
+    pub requests: u64,
+    /// Requests answered from the scenario cache.
+    pub cache_hits: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Median service latency over the recent sample ring.
+    pub p50_micros: u64,
+    /// 99th-percentile service latency over the recent sample ring.
+    pub p99_micros: u64,
+}
+
+/// Wire form of a full metrics snapshot (the `Stats` response body).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs queued (accepted, not yet started) at snapshot time.
+    pub queue_depth: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+    /// Requests shed with `Overloaded` since start.
+    pub overloaded: u64,
+    /// Outcomes currently cached.
+    pub cache_entries: usize,
+    /// The cache's capacity.
+    pub cache_capacity: usize,
+    /// Cache hits / requests over the cacheable endpoints (cell, check,
+    /// explore); 0 when none have been served.
+    pub cache_hit_rate: f64,
+    /// Per-endpoint counters, in [`Endpoint::ALL`] order.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_report() {
+        let m = Metrics::new();
+        m.record(Endpoint::Cell, 100, false);
+        m.record(Endpoint::Cell, 300, true);
+        m.record(Endpoint::Explore, 50, false);
+        m.record_error(Endpoint::Check);
+        m.record_overload(Endpoint::Cell);
+
+        let report = m.report(4, 2, 64, 1, 256);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.queue_depth, 2);
+        assert_eq!(report.overloaded, 1);
+        let cell = &report.endpoints[0];
+        assert_eq!(cell.endpoint, "cell");
+        assert_eq!(cell.requests, 3); // 2 served + 1 shed
+        assert_eq!(cell.cache_hits, 1);
+        assert_eq!(cell.errors, 1);
+        assert_eq!(cell.p50_micros, 100);
+        let check = &report.endpoints[1];
+        assert_eq!(check.errors, 1);
+        assert_eq!(check.p50_micros, 0);
+        // 5 cacheable-endpoint requests total (3 cell + 1 check + 1
+        // explore), 1 hit.
+        assert!((report.cache_hit_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_when_idle() {
+        let m = Metrics::new();
+        m.record(Endpoint::Stats, 10, false);
+        let report = m.report(1, 0, 1, 0, 0);
+        assert_eq!(report.cache_hit_rate, 0.0);
+        // The report must serialize (a NaN would be unencodable).
+        assert!(serde_json::to_string(&report).is_ok());
+    }
+
+    #[test]
+    fn percentile_ranks() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let (p50, p99) = percentiles(&samples);
+        assert_eq!(p50, 50);
+        assert_eq!(p99, 99);
+        assert_eq!(percentiles(&[]), (0, 0));
+        assert_eq!(percentiles(&[7]), (7, 7));
+    }
+
+    #[test]
+    fn latency_ring_overwrites_oldest() {
+        let m = Metrics::new();
+        for _ in 0..RING_CAPACITY {
+            m.record(Endpoint::Cell, 1_000_000, false);
+        }
+        // A full ring of slow samples, then a full ring of fast ones:
+        // the slow ones must be gone from the percentile window.
+        for _ in 0..RING_CAPACITY {
+            m.record(Endpoint::Cell, 10, false);
+        }
+        let report = m.report(1, 0, 1, 0, 0);
+        assert_eq!(report.endpoints[0].p99_micros, 10);
+    }
+}

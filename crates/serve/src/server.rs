@@ -1,0 +1,505 @@
+//! The daemon: accept loop, connection readers, worker dispatch.
+//!
+//! # Threading model
+//!
+//! One nonblocking accept thread polls the listener and a shutdown flag.
+//! Each connection gets a reader thread that parses request lines and
+//! dispatches them; the actual computations run on a shared bounded
+//! [`Pool`], so a connection burst cannot spawn unbounded compute. Each
+//! connection's write half sits behind a mutex shared by the reader (for
+//! inline answers: cache hits, stats, errors) and the workers (for
+//! computed answers), which is what lets responses stream back in
+//! completion order.
+//!
+//! # Backpressure
+//!
+//! [`Pool::try_execute`] fails fast when the queue is at capacity; the
+//! server converts that into an [`ErrorCode::Overloaded`] response
+//! immediately. Nothing ever waits for queue space and no queue grows
+//! without bound, so an oversized burst costs each shed request one
+//! line of JSON.
+//!
+//! # Shutdown
+//!
+//! A `Shutdown` request (or [`ServerHandle::shutdown`], which the binary
+//! wires to SIGTERM/SIGINT) sets one flag. The accept thread notices
+//! within its poll interval, stops accepting, and calls
+//! [`Pool::shutdown`], which drains every job already accepted — their
+//! responses still go out — then joins the workers. Requests arriving
+//! during the drain get [`ErrorCode::ShuttingDown`].
+
+use crate::cache::LruCache;
+use crate::metrics::Metrics;
+use crate::wire::{
+    CheckOutcome, ErrorCode, Request, RequestKind, Response, ResponseKind, WireError,
+    SCHEMA_VERSION,
+};
+use ktudc_core::harness::run_cell;
+use ktudc_epistemic::ModelChecker;
+use ktudc_par::{Pool, SubmitError};
+use ktudc_sim::{explore_spec, run_explore_spec, system_digest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port (the bound address
+    /// is available from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means [`ktudc_par::thread_count`].
+    pub workers: usize,
+    /// Bounded request-queue capacity (jobs accepted but not started).
+    pub queue_capacity: usize,
+    /// Scenario-cache capacity in outcomes; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+struct Shared {
+    /// `None` once shutdown has taken the pool for draining.
+    pool: Mutex<Option<Pool>>,
+    cache: Mutex<LruCache>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("pool lock poisoned")
+            .as_ref()
+            .map_or(0, Pool::queue_depth)
+    }
+}
+
+/// A handle to a running server.
+///
+/// Dropping the handle shuts the server down (and drains it) if it is
+/// still running.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stop accepting, drain, exit. Returns
+    /// immediately; use [`ServerHandle::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (locally or by a client).
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has stopped accepting and drained every
+    /// accepted job. Waits for a shutdown request if none was made yet.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.shutdown();
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Binds and starts a server.
+///
+/// # Errors
+///
+/// Propagates the bind failure, if any; everything after the bind is
+/// handled on the server's own threads.
+pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = if config.workers == 0 {
+        ktudc_par::thread_count()
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(Shared {
+        pool: Mutex::new(Some(Pool::new(workers, config.queue_capacity))),
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        workers,
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Responses are small sequential lines; leaving Nagle on
+                // makes each one wait out the peer's delayed ACK.
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || connection_loop(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: take the pool so late submitters see ShuttingDown, then let
+    // every accepted job finish and answer before we return.
+    let pool = shared.pool.lock().expect("pool lock poisoned").take();
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(stream));
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(shared, &line, &out);
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            // No recoverable id: 0 marks an unattributable failure.
+            write_response(
+                out,
+                &Response::error(0, ErrorCode::BadRequest, e.to_string()),
+            );
+            return;
+        }
+    };
+    if request.schema_version != SCHEMA_VERSION {
+        write_response(
+            out,
+            &Response::error(
+                request.id,
+                ErrorCode::UnsupportedVersion,
+                format!(
+                    "request schema_version {} but this server speaks {SCHEMA_VERSION}",
+                    request.schema_version
+                ),
+            ),
+        );
+        return;
+    }
+    let endpoint = request.kind.endpoint();
+    let start = Instant::now();
+    match request.kind {
+        RequestKind::Stats => {
+            let (cache_entries, cache_capacity) = {
+                let cache = shared.cache.lock().expect("cache lock poisoned");
+                (cache.len(), cache.capacity())
+            };
+            let report = shared.metrics.report(
+                shared.workers,
+                shared.queue_depth(),
+                queue_capacity(shared),
+                cache_entries,
+                cache_capacity,
+            );
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                &Response::new(request.id, false, micros, ResponseKind::Stats(report)),
+            );
+        }
+        RequestKind::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                &Response::new(request.id, false, micros, ResponseKind::Shutdown),
+            );
+        }
+        kind @ (RequestKind::Cell(_) | RequestKind::Check(_) | RequestKind::Explore(_)) => {
+            dispatch_compute(shared, request.id, kind, start, out);
+        }
+    }
+}
+
+/// Cache-or-queue path for the compute endpoints.
+fn dispatch_compute(
+    shared: &Arc<Shared>,
+    id: u64,
+    kind: RequestKind,
+    start: Instant,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let endpoint = kind.endpoint();
+    let Ok(canon) = serde_json::to_string(&kind) else {
+        write_response(
+            out,
+            &Response::error(id, ErrorCode::Internal, "request body is unencodable"),
+        );
+        shared.metrics.record_error(endpoint);
+        return;
+    };
+    if let Some(hit) = shared
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(&canon)
+    {
+        let micros = elapsed_micros(start);
+        shared.metrics.record(endpoint, micros, true);
+        write_response(out, &Response::new(id, true, micros, hit));
+        return;
+    }
+    let job = {
+        let shared = Arc::clone(shared);
+        let out = Arc::clone(out);
+        move || match compute(&kind) {
+            Ok(result) => {
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(canon, result.clone());
+                let micros = elapsed_micros(start);
+                shared.metrics.record(endpoint, micros, false);
+                write_response(&out, &Response::new(id, false, micros, result));
+            }
+            Err(err) => {
+                shared.metrics.record_error(endpoint);
+                write_response(&out, &Response::error(id, err.code, err.message));
+            }
+        }
+    };
+    let submitted = shared
+        .pool
+        .lock()
+        .expect("pool lock poisoned")
+        .as_ref()
+        .map_or(Err(SubmitError::Closed), |pool| pool.try_execute(job));
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            shared.metrics.record_overload(endpoint);
+            write_response(
+                out,
+                &Response::error(
+                    id,
+                    ErrorCode::Overloaded,
+                    format!(
+                        "request queue is at capacity ({}); retry later",
+                        queue_capacity(shared)
+                    ),
+                ),
+            );
+        }
+        Err(SubmitError::Closed) => {
+            shared.metrics.record_error(endpoint);
+            write_response(
+                out,
+                &Response::error(id, ErrorCode::ShuttingDown, "server is draining"),
+            );
+        }
+    }
+}
+
+/// Runs one compute request. Panics inside the libraries (e.g. a
+/// [`CellSpec`](ktudc_core::harness::CellSpec) the harness refuses) are
+/// caught and surfaced as [`ErrorCode::Internal`] so a worker is never
+/// lost to a bad request.
+fn compute(kind: &RequestKind) -> Result<ResponseKind, WireError> {
+    let guarded = catch_unwind(AssertUnwindSafe(|| match kind {
+        RequestKind::Cell(spec) => Ok(ResponseKind::Cell(run_cell(spec))),
+        RequestKind::Explore(spec) => match run_explore_spec(spec) {
+            Ok(outcome) => Ok(ResponseKind::Explore(outcome)),
+            Err(msg) => Err(WireError {
+                code: ErrorCode::BadRequest,
+                message: msg,
+            }),
+        },
+        RequestKind::Check(spec) => {
+            let explored = match explore_spec(&spec.scenario) {
+                Ok(r) => r,
+                Err(msg) => {
+                    return Err(WireError {
+                        code: ErrorCode::BadRequest,
+                        message: msg,
+                    })
+                }
+            };
+            let digest = system_digest(&explored.system);
+            let mut checker = ModelChecker::new(&explored.system);
+            let (valid, counterexample) = match checker.valid(&spec.formula) {
+                Ok(()) => (true, None),
+                Err(point) => (false, Some(point)),
+            };
+            Ok(ResponseKind::Check(CheckOutcome {
+                valid,
+                counterexample,
+                runs: explored.system.len(),
+                complete: explored.complete,
+                digest,
+            }))
+        }
+        RequestKind::Stats | RequestKind::Shutdown => Err(WireError {
+            code: ErrorCode::Internal,
+            message: "non-compute request reached a worker".to_string(),
+        }),
+    }));
+    match guarded {
+        Ok(result) => result,
+        Err(panic) => Err(WireError {
+            code: ErrorCode::Internal,
+            message: format!("computation panicked: {}", panic_message(&panic)),
+        }),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+fn queue_capacity(shared: &Shared) -> usize {
+    shared
+        .pool
+        .lock()
+        .expect("pool lock poisoned")
+        .as_ref()
+        .map_or(0, Pool::capacity)
+}
+
+fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Serializes and writes one response line. Write failures are dropped:
+/// the client is gone, and the server has nothing useful to do about it.
+fn write_response(out: &Mutex<TcpStream>, response: &Response) {
+    let Ok(mut line) = serde_json::to_string(response) else {
+        return;
+    };
+    line.push('\n');
+    let mut stream = out.lock().expect("stream lock poisoned");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::CheckSpec;
+    use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
+    use ktudc_epistemic::Formula;
+    use ktudc_model::ProcessId;
+    use ktudc_sim::ExploreSpec;
+
+    #[test]
+    fn compute_cell_matches_direct_call() {
+        let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(2)
+            .horizon(120);
+        let direct = run_cell(&spec);
+        match compute(&RequestKind::Cell(spec)).unwrap() {
+            ResponseKind::Cell(outcome) => assert_eq!(outcome, direct),
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_check_finds_tautologies_and_counterexamples() {
+        let scenario = ExploreSpec::new(2, 2);
+        let tautology = CheckSpec {
+            scenario: scenario.clone(),
+            formula: Formula::or(vec![
+                Formula::crashed(ProcessId::new(0)),
+                Formula::not(Formula::crashed(ProcessId::new(0))),
+            ]),
+        };
+        match compute(&RequestKind::Check(tautology)).unwrap() {
+            ResponseKind::Check(out) => {
+                assert!(out.valid && out.complete);
+                assert!(out.counterexample.is_none());
+                assert!(out.runs > 0);
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+        // "Process 0 has crashed" is false somewhere (e.g. the crash-free
+        // run), so the check must fail with a counterexample.
+        let falsifiable = CheckSpec {
+            scenario,
+            formula: Formula::crashed(ProcessId::new(0)),
+        };
+        match compute(&RequestKind::Check(falsifiable)).unwrap() {
+            ResponseKind::Check(out) => {
+                assert!(!out.valid);
+                assert!(out.counterexample.is_some());
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_rejects_invalid_specs_as_bad_request() {
+        let err = compute(&RequestKind::Explore(ExploreSpec::new(0, 2))).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        let err = compute(&RequestKind::Stats).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Internal);
+    }
+}

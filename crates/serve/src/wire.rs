@@ -1,0 +1,276 @@
+//! The request/response envelope of the service protocol.
+//!
+//! Transport framing is one JSON object per `\n`-terminated line. The
+//! *bodies* — [`CellSpec`]/[`CellOutcome`], [`ExploreSpec`]/
+//! [`ExploreOutcome`], [`Formula`] — are the wire types the library
+//! crates already pin in their own unit tests; this module adds the
+//! envelope around them: a schema version, a client-chosen request `id`
+//! (echoed back so pipelined responses can be matched out of order), and
+//! a typed error vocabulary.
+//!
+//! Compatibility contract: [`SCHEMA_VERSION`] names the encoding of
+//! *everything* on the wire. Any change to the envelope or to a pinned
+//! body encoding must bump it; the server refuses mismatched versions
+//! with [`ErrorCode::UnsupportedVersion`] rather than guessing.
+
+use crate::metrics::{Endpoint, StatsReport};
+use ktudc_core::harness::{CellOutcome, CellSpec};
+use ktudc_epistemic::Formula;
+use ktudc_model::Point;
+use ktudc_sim::wire::WireMsg;
+use ktudc_sim::{ExploreOutcome, ExploreSpec};
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire encoding (envelope + all body types).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One request line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Must equal [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Client-chosen correlation id, echoed in the [`Response`].
+    pub id: u64,
+    /// What to do.
+    pub kind: RequestKind,
+}
+
+impl Request {
+    /// A current-version request.
+    #[must_use]
+    pub fn new(id: u64, kind: RequestKind) -> Self {
+        Request {
+            schema_version: SCHEMA_VERSION,
+            id,
+            kind,
+        }
+    }
+}
+
+/// The service endpoints.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Run a Table-1 cell (seeded trials; deterministic tally).
+    Cell(CellSpec),
+    /// Exhaustively explore a scenario and model-check a formula over it.
+    Check(CheckSpec),
+    /// Exhaustively explore a scenario and return its summary + digest.
+    Explore(ExploreSpec),
+    /// Report server metrics.
+    Stats,
+    /// Stop accepting work, drain, and exit.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// The metrics endpoint this request counts against.
+    #[must_use]
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            RequestKind::Cell(_) => Endpoint::Cell,
+            RequestKind::Check(_) => Endpoint::Check,
+            RequestKind::Explore(_) => Endpoint::Explore,
+            RequestKind::Stats => Endpoint::Stats,
+            RequestKind::Shutdown => Endpoint::Shutdown,
+        }
+    }
+
+    /// Whether the outcome is a pure function of the body (and therefore
+    /// cacheable). `Stats` and `Shutdown` are not.
+    #[must_use]
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            RequestKind::Cell(_) | RequestKind::Check(_) | RequestKind::Explore(_)
+        )
+    }
+}
+
+/// An epistemic check: explore `scenario`, then ask whether `formula` is
+/// valid (true at every point) in the generated system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckSpec {
+    /// The system to generate.
+    pub scenario: ExploreSpec,
+    /// The formula to check over it (message alphabet is the wire
+    /// protocols' [`WireMsg`]).
+    pub formula: Formula<WireMsg>,
+}
+
+/// Result of a [`CheckSpec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckOutcome {
+    /// Whether the formula held at every point of the generated system.
+    pub valid: bool,
+    /// On failure, the earliest falsifying point (run index, time).
+    pub counterexample: Option<Point>,
+    /// Number of runs explored.
+    pub runs: usize,
+    /// Whether the enumeration finished under the spec's run cap. When
+    /// `false`, `valid: true` is only a verdict about the explored
+    /// prefix of the system.
+    pub complete: bool,
+    /// [`system_digest`](ktudc_sim::system_digest) of the explored
+    /// system, for certifying against a local exploration.
+    pub digest: u64,
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Always [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The request's `id` (0 when the request line didn't parse far
+    /// enough to recover one).
+    pub id: u64,
+    /// Whether the result was answered from the scenario cache.
+    pub cached: bool,
+    /// Service latency in microseconds as observed by the server
+    /// (submission to completion, queue wait included).
+    pub micros: u64,
+    /// The payload.
+    pub result: ResponseKind,
+}
+
+impl Response {
+    /// A current-version response.
+    #[must_use]
+    pub fn new(id: u64, cached: bool, micros: u64, result: ResponseKind) -> Self {
+        Response {
+            schema_version: SCHEMA_VERSION,
+            id,
+            cached,
+            micros,
+            result,
+        }
+    }
+
+    /// A current-version error response.
+    #[must_use]
+    pub fn error(id: u64, code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::new(
+            id,
+            false,
+            0,
+            ResponseKind::Error(WireError {
+                code,
+                message: message.into(),
+            }),
+        )
+    }
+}
+
+/// Response payloads, one per endpoint plus the error arm.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ResponseKind {
+    /// Tally of a [`RequestKind::Cell`].
+    Cell(CellOutcome),
+    /// Verdict of a [`RequestKind::Check`].
+    Check(CheckOutcome),
+    /// Summary of a [`RequestKind::Explore`].
+    Explore(ExploreOutcome),
+    /// Metrics snapshot.
+    Stats(StatsReport),
+    /// Shutdown acknowledged; the server drains and exits.
+    Shutdown,
+    /// The request was not served.
+    Error(WireError),
+}
+
+/// A typed failure.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Machine-readable failure classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The bounded request queue is full; retry later. This is the
+    /// backpressure signal — the server sheds load instead of buffering.
+    Overloaded,
+    /// The request line didn't parse, or its body failed validation.
+    BadRequest,
+    /// `schema_version` differs from the server's [`SCHEMA_VERSION`].
+    UnsupportedVersion,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The computation itself failed (e.g. an inconsistent spec the
+    /// harness refuses at runtime).
+    Internal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktudc_core::harness::{FdChoice, ProtocolChoice};
+
+    #[test]
+    fn envelope_encoding_is_pinned() {
+        // The envelope shape is the serve wire schema (schema_version 1);
+        // repin deliberately with a version bump, never silently.
+        let req = Request::new(7, RequestKind::Stats);
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":1,"id":7,"kind":"Stats"}"#
+        );
+
+        let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(2)
+            .horizon(100);
+        let req = Request::new(1, RequestKind::Cell(spec));
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":1,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+        );
+
+        let resp = Response::error(9, ErrorCode::Overloaded, "queue full");
+        assert_eq!(
+            serde_json::to_string(&resp).unwrap(),
+            r#"{"schema_version":1,"id":9,"cached":false,"micros":0,"result":{"Error":{"code":"Overloaded","message":"queue full"}}}"#
+        );
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let check = Request::new(
+            3,
+            RequestKind::Check(CheckSpec {
+                scenario: ExploreSpec::new(2, 2),
+                formula: Formula::crashed(ktudc_model::ProcessId::new(1)),
+            }),
+        );
+        let json = serde_json::to_string(&check).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), check);
+
+        let resp = Response::new(
+            3,
+            true,
+            42,
+            ResponseKind::Check(CheckOutcome {
+                valid: false,
+                counterexample: Some(Point::new(4, 2)),
+                runs: 17,
+                complete: true,
+                digest: 0xDEAD_BEEF,
+            }),
+        );
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn endpoints_and_cacheability() {
+        assert_eq!(RequestKind::Stats.endpoint(), Endpoint::Stats);
+        assert_eq!(
+            RequestKind::Explore(ExploreSpec::new(2, 2)).endpoint(),
+            Endpoint::Explore
+        );
+        assert!(RequestKind::Explore(ExploreSpec::new(2, 2)).cacheable());
+        assert!(!RequestKind::Stats.cacheable());
+        assert!(!RequestKind::Shutdown.cacheable());
+    }
+}
