@@ -1,7 +1,7 @@
 //! Fixed performance workloads for the bitset/parallel machinery, emitting
 //! `BENCH_ktudc.json` in the working directory.
 //!
-//! Three workloads run, each pinned so results are comparable across
+//! Four workloads run, each pinned so results are comparable across
 //! commits:
 //!
 //! 1. **checker** — an exhaustively explored n = 3 system (horizon 24,
@@ -16,6 +16,11 @@
 //!    [`explore_reference`], asserted to produce the same run set.
 //! 3. **cell** — one positive Table 1 cell through the (parallel) harness,
 //!    timed end to end.
+//! 4. **chaos** — the standard fault-injection campaign
+//!    ([`ktudc_core::chaos`]) at fixed seeds, asserted clean (zero false
+//!    alarms) and lethal (every out-of-model mutant detected), with
+//!    campaign throughput in plans/sec and the R3 structural-detection
+//!    latency in ticks recorded under the `chaos` key.
 //!
 //! `--smoke` shrinks every workload to a few seconds total for CI; the
 //! schema of the emitted JSON is unchanged (`"mode"` records which ran).
@@ -83,6 +88,26 @@ struct ViaServeReport {
 }
 
 #[derive(Serialize)]
+struct ChaosReportSummary {
+    cells: usize,
+    plans: usize,
+    seeds: Vec<u64>,
+    rows: usize,
+    clean: usize,
+    false_alarms: usize,
+    detected: usize,
+    survived: usize,
+    all_mutants_killed: bool,
+    secs: f64,
+    plans_per_sec: f64,
+    /// Mean tick of the first structural (R3) detection, over the rows
+    /// that produced one — how long a corrupt receive goes unnoticed.
+    detection_latency_ticks_mean: f64,
+    detection_latency_ticks_max: u64,
+    digest: String,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
@@ -90,6 +115,7 @@ struct Report {
     checker: CheckerReport,
     explorer: ExplorerReport,
     cell: CellReport,
+    chaos: ChaosReportSummary,
     via_serve: Option<ViaServeReport>,
 }
 
@@ -324,6 +350,59 @@ fn cell_workload(smoke: bool) -> CellReport {
     }
 }
 
+/// The standard fault-injection campaign at fixed seeds: every standard
+/// plan against the chaos grid, asserting the detection matrix (zero
+/// false alarms from in-model plans, every out-of-model mutant killed)
+/// and recording campaign throughput and structural-detection latency.
+fn chaos_workload(smoke: bool) -> ChaosReportSummary {
+    use ktudc_core::chaos::{chaos_cells, run_chaos_campaign, standard_plans};
+
+    let cells = chaos_cells(smoke);
+    let n = cells.first().expect("nonempty grid").1.n;
+    let plans = standard_plans(n);
+    let seeds = vec![1u64, 2, 5];
+    let t0 = Instant::now();
+    let report = run_chaos_campaign(&cells, &plans, &seeds);
+    let secs = t0.elapsed().as_secs_f64();
+
+    assert!(
+        report.zero_false_alarms(),
+        "in-model fault plans raised alarms: {:?}",
+        report.offending_rows()
+    );
+    assert!(
+        report.all_mutants_killed(),
+        "an out-of-model mutant was never detected"
+    );
+
+    let latencies: Vec<u64> = report
+        .rows
+        .iter()
+        .filter_map(|r| r.detection_tick)
+        .collect();
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    ChaosReportSummary {
+        cells: cells.len(),
+        plans: plans.len(),
+        seeds,
+        rows: report.rows.len(),
+        clean: report.clean,
+        false_alarms: report.false_alarms,
+        detected: report.detected,
+        survived: report.survived,
+        all_mutants_killed: report.all_mutants_killed(),
+        secs,
+        plans_per_sec: report.rows.len() as f64 / secs,
+        detection_latency_ticks_mean: mean,
+        detection_latency_ticks_max: latencies.iter().copied().max().unwrap_or(0),
+        digest: report.digest.clone(),
+    }
+}
+
 /// The same cell workload, emitted through an in-process `ktudc-serve`
 /// daemon as one pipelined batch — cold (every request computed), then
 /// warm (every request answered from the scenario cache).
@@ -433,6 +512,19 @@ fn main() {
         cell.spec, cell.trials, cell.secs, cell.achieved,
     );
 
+    let chaos = chaos_workload(smoke);
+    eprintln!(
+        "perf: chaos {} rows in {:.3}s ({:.1} plans/s): {} clean, {} false alarms, {} detected, {} survived, mean R3 latency {:.1} ticks",
+        chaos.rows,
+        chaos.secs,
+        chaos.plans_per_sec,
+        chaos.clean,
+        chaos.false_alarms,
+        chaos.detected,
+        chaos.survived,
+        chaos.detection_latency_ticks_mean,
+    );
+
     let via_serve = via_serve.then(|| {
         let r = via_serve_workload(smoke);
         eprintln!(
@@ -454,6 +546,7 @@ fn main() {
         checker,
         explorer,
         cell,
+        chaos,
         via_serve,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

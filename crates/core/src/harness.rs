@@ -266,7 +266,7 @@ fn run_trial(spec: &CellSpec, seed: u64) -> TrialResult {
     }
 }
 
-fn make_oracle(spec: &CellSpec) -> Box<dyn FdOracle> {
+pub(crate) fn make_oracle(spec: &CellSpec) -> Box<dyn FdOracle> {
     match spec.fd {
         FdChoice::None => Box::new(NullOracle::new()),
         FdChoice::Cycling => Box::new(CyclingSubsetOracle::new(spec.n, spec.t)),

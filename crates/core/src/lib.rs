@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod harness;
 pub mod protocols;
 pub mod simulate;
 pub mod spec;
 pub mod urb;
 
+pub use chaos::{run_chaos_campaign, ChaosPlan, ChaosReport, ChaosRow, PlanClass, RowOutcome};
 pub use protocols::CoordMsg;
 pub use spec::{check_nudc, check_udc, SpecViolation, Verdict};

@@ -22,6 +22,13 @@
 //! * [`props`] — checkers for every accuracy/completeness property named in
 //!   the paper, evaluated on finished runs with explicit finite-horizon
 //!   readings.
+//! * [`perturb`] — contract-*violating* wrappers for fault injection
+//!   ([`FalseSuspector`](perturb::FalseSuspector),
+//!   [`SuspicionSuppressor`](perturb::SuspicionSuppressor),
+//!   [`LateRetractor`](perturb::LateRetractor),
+//!   [`MinFaultyInflater`](perturb::MinFaultyInflater)): each breaks
+//!   exactly one class property on schedule, so every checker in
+//!   [`props`] is regression-tested against its own violation.
 //! * [`convert`] — the run-to-run conversions: weak → strong completeness
 //!   via suspicion gossip (Proposition 2.1), impermanent-strong → strong via
 //!   accumulation (Proposition 2.2), and the §4 equivalences between
@@ -37,6 +44,7 @@
 pub mod atd;
 pub mod convert;
 pub mod oracle;
+pub mod perturb;
 pub mod props;
 
 pub use atd::{check_atd_accuracy, RotatingAccuracyOracle};
@@ -44,4 +52,5 @@ pub use oracle::{
     CyclingSubsetOracle, EventuallyStrongOracle, ImpermanentStrongOracle, ImpermanentWeakOracle,
     PerfectOracle, StrongOracle, TUsefulOracle, WeakOracle,
 };
+pub use perturb::{FalseSuspector, LateRetractor, MinFaultyInflater, SuspicionSuppressor};
 pub use props::{check_fd_property, FdProperty, FdViolation};

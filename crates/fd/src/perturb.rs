@@ -1,0 +1,305 @@
+//! Contract-violating oracle wrappers for fault injection.
+//!
+//! Each wrapper composes over any [`FdOracle`] and breaks exactly one
+//! class property on schedule, so the property checkers in [`props`]
+//! can be demonstrated — and regression-tested — to catch their own
+//! violation:
+//!
+//! | wrapper | breaks | still holds |
+//! |---|---|---|
+//! | [`FalseSuspector`] | strong accuracy (and weak, if aimed at every correct process over time) | completeness |
+//! | [`SuspicionSuppressor`] | strong *and* weak completeness | accuracy |
+//! | [`LateRetractor`] | permanent completeness | impermanent completeness |
+//! | [`MinFaultyInflater`] | generalized strong accuracy | t-useful completeness |
+//!
+//! Wrappers only transform what the inner oracle emits (plus, for the
+//! false suspector, one fabricated report); they never draw from the RNG,
+//! so a perturbed run differs from its baseline only where the schedule
+//! says it should.
+//!
+//! [`props`]: crate::props
+
+use ktudc_model::{ProcSet, ProcessId, SuspectReport, Time};
+use ktudc_sim::{FaultTruth, FdOracle};
+use rand::rngs::StdRng;
+
+/// Injects one false suspicion: at the first poll at or after `at`, the
+/// report gains `victim` — even though `victim` may be alive and well.
+/// Wrapped around a perfect or strong detector this violates **strong
+/// accuracy** ("nobody is suspected before they crash"); aimed at the
+/// run's immune process (the lowest-indexed correct one) the violation is
+/// guaranteed rather than merely possible.
+#[derive(Clone, Debug)]
+pub struct FalseSuspector<O> {
+    inner: O,
+    victim: ProcessId,
+    at: Time,
+    fired: bool,
+}
+
+impl<O> FalseSuspector<O> {
+    /// Wraps `inner`, scheduling one false suspicion of `victim` at the
+    /// first poll at or after tick `at`.
+    pub fn new(inner: O, victim: ProcessId, at: Time) -> Self {
+        FalseSuspector {
+            inner,
+            victim,
+            at,
+            fired: false,
+        }
+    }
+}
+
+impl<O: FdOracle> FdOracle for FalseSuspector<O> {
+    fn poll(
+        &mut self,
+        p: ProcessId,
+        time: Time,
+        truth: &FaultTruth,
+        rng: &mut StdRng,
+    ) -> Option<SuspectReport> {
+        let base = self.inner.poll(p, time, truth, rng);
+        if self.fired || time < self.at {
+            return base;
+        }
+        self.fired = true;
+        let mut set = base
+            .and_then(SuspectReport::standard_set)
+            .unwrap_or_default();
+        set.insert(self.victim);
+        Some(SuspectReport::Standard(set))
+    }
+
+    fn class_name(&self) -> &'static str {
+        "perturbed:false-suspect"
+    }
+}
+
+/// Erases every suspicion of one process: wrapped around any standard
+/// detector, `of` never appears in a report. If `of` crashes, this
+/// violates **weak completeness** (and a fortiori strong completeness) —
+/// no correct process ever suspects it.
+#[derive(Clone, Debug)]
+pub struct SuspicionSuppressor<O> {
+    inner: O,
+    of: ProcessId,
+}
+
+impl<O> SuspicionSuppressor<O> {
+    /// Wraps `inner`, deleting `of` from every standard report.
+    pub fn new(inner: O, of: ProcessId) -> Self {
+        SuspicionSuppressor { inner, of }
+    }
+}
+
+impl<O: FdOracle> FdOracle for SuspicionSuppressor<O> {
+    fn poll(
+        &mut self,
+        p: ProcessId,
+        time: Time,
+        truth: &FaultTruth,
+        rng: &mut StdRng,
+    ) -> Option<SuspectReport> {
+        match self.inner.poll(p, time, truth, rng) {
+            Some(SuspectReport::Standard(mut set)) => {
+                set.remove(self.of);
+                Some(SuspectReport::Standard(set))
+            }
+            other => other,
+        }
+    }
+
+    fn class_name(&self) -> &'static str {
+        "perturbed:suppress"
+    }
+}
+
+/// Retracts everything late in the run: from tick `after` on, every
+/// standard report is replaced by the empty set. A permanent-completeness
+/// detector so wrapped violates **strong/weak completeness** (which are
+/// read off the *final* suspicion state at the horizon) while the
+/// *impermanent* completeness properties — "suspected at least once after
+/// the crash" — still hold, provided the crash was reported before
+/// `after`. This is the paper's permanent/impermanent distinction made
+/// executable.
+#[derive(Clone, Debug)]
+pub struct LateRetractor<O> {
+    inner: O,
+    after: Time,
+}
+
+impl<O> LateRetractor<O> {
+    /// Wraps `inner`, emptying every standard report from tick `after` on.
+    pub fn new(inner: O, after: Time) -> Self {
+        LateRetractor { inner, after }
+    }
+}
+
+impl<O: FdOracle> FdOracle for LateRetractor<O> {
+    fn poll(
+        &mut self,
+        p: ProcessId,
+        time: Time,
+        truth: &FaultTruth,
+        rng: &mut StdRng,
+    ) -> Option<SuspectReport> {
+        match self.inner.poll(p, time, truth, rng) {
+            Some(SuspectReport::Standard(_)) if time >= self.after => {
+                Some(SuspectReport::Standard(ProcSet::new()))
+            }
+            other => other,
+        }
+    }
+
+    fn class_name(&self) -> &'static str {
+        "perturbed:late-retract"
+    }
+}
+
+/// Overstates a generalized report once: at the first poll at or after
+/// `at`, the report's claimed lower bound `min_faulty` is inflated by one.
+/// Wrapped around a t-useful detector (whose bound is exact) this violates
+/// **generalized strong accuracy** — the claim "at least k+1 of S are
+/// faulty" is false at emission time.
+#[derive(Clone, Debug)]
+pub struct MinFaultyInflater<O> {
+    inner: O,
+    at: Time,
+    fired: bool,
+}
+
+impl<O> MinFaultyInflater<O> {
+    /// Wraps `inner`, scheduling one inflated bound at the first poll at
+    /// or after tick `at`.
+    pub fn new(inner: O, at: Time) -> Self {
+        MinFaultyInflater {
+            inner,
+            at,
+            fired: false,
+        }
+    }
+}
+
+impl<O: FdOracle> FdOracle for MinFaultyInflater<O> {
+    fn poll(
+        &mut self,
+        p: ProcessId,
+        time: Time,
+        truth: &FaultTruth,
+        rng: &mut StdRng,
+    ) -> Option<SuspectReport> {
+        match self.inner.poll(p, time, truth, rng) {
+            Some(SuspectReport::Generalized { set, min_faulty })
+                if !self.fired && time >= self.at =>
+            {
+                self.fired = true;
+                Some(SuspectReport::Generalized {
+                    set,
+                    min_faulty: min_faulty + 1,
+                })
+            }
+            other => other,
+        }
+    }
+
+    fn class_name(&self) -> &'static str {
+        "perturbed:inflate-min-faulty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{PerfectOracle, TUsefulOracle};
+    use crate::props::{check_fd_property, FdProperty};
+    use ktudc_model::{Event, Run};
+    use ktudc_sim::{run_protocol, CrashPlan, ProtoAction, Protocol, SimConfig, Workload};
+
+    /// A protocol that does nothing: the run consists purely of crashes
+    /// and suspect reports, which is all the FD property checkers read.
+    #[derive(Clone, Debug)]
+    struct Idle;
+
+    impl Protocol<u8> for Idle {
+        fn start(&mut self, _me: ProcessId, _n: usize) {}
+        fn observe(&mut self, _time: Time, _event: &Event<u8>) {}
+        fn next_action(&mut self, _time: Time) -> Option<ProtoAction<u8>> {
+            None
+        }
+        fn quiescent(&self) -> bool {
+            true
+        }
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::new(4)
+            .crashes(CrashPlan::at(&[(1, 10)]))
+            .horizon(100)
+            .seed(3)
+    }
+
+    fn run_with<O: FdOracle>(oracle: &mut O) -> Run<u8> {
+        run_protocol(&config(), |_| Idle, oracle, &Workload::none()).run
+    }
+
+    #[test]
+    fn false_suspector_breaks_strong_accuracy_and_its_checker_sees_it() {
+        let baseline = run_with(&mut PerfectOracle::new());
+        check_fd_property(&baseline, FdProperty::StrongAccuracy).unwrap();
+
+        // p0 is the immune (lowest-indexed correct) process: falsely
+        // suspecting it is unambiguously an accuracy violation.
+        let mut lying = FalseSuspector::new(PerfectOracle::new(), ProcessId::new(0), 20);
+        let run = run_with(&mut lying);
+        let violation = check_fd_property(&run, FdProperty::StrongAccuracy).unwrap_err();
+        assert_eq!(violation.property, FdProperty::StrongAccuracy);
+        // Completeness is untouched.
+        check_fd_property(&run, FdProperty::StrongCompleteness).unwrap();
+    }
+
+    #[test]
+    fn suppressor_breaks_completeness_and_its_checker_sees_it() {
+        let baseline = run_with(&mut PerfectOracle::new());
+        check_fd_property(&baseline, FdProperty::StrongCompleteness).unwrap();
+        check_fd_property(&baseline, FdProperty::WeakCompleteness).unwrap();
+
+        let mut muzzled = SuspicionSuppressor::new(PerfectOracle::new(), ProcessId::new(1));
+        let run = run_with(&mut muzzled);
+        check_fd_property(&run, FdProperty::StrongCompleteness).unwrap_err();
+        check_fd_property(&run, FdProperty::WeakCompleteness).unwrap_err();
+        // Accuracy is untouched: removing suspicions cannot create false ones.
+        check_fd_property(&run, FdProperty::StrongAccuracy).unwrap();
+    }
+
+    #[test]
+    fn late_retractor_separates_permanent_from_impermanent_completeness() {
+        let mut amnesiac = LateRetractor::new(PerfectOracle::new(), 60);
+        let run = run_with(&mut amnesiac);
+        // The final suspicion state is empty: permanent completeness fails…
+        check_fd_property(&run, FdProperty::StrongCompleteness).unwrap_err();
+        // …but the crash *was* reported before the retraction, so the
+        // impermanent reading still holds.
+        check_fd_property(&run, FdProperty::ImpermanentStrongCompleteness).unwrap();
+        check_fd_property(&run, FdProperty::StrongAccuracy).unwrap();
+    }
+
+    #[test]
+    fn inflater_breaks_generalized_accuracy_and_its_checker_sees_it() {
+        let t = 2;
+        let baseline = run_with(&mut TUsefulOracle::new(t));
+        check_fd_property(&baseline, FdProperty::GeneralizedStrongAccuracy).unwrap();
+
+        let mut braggart = MinFaultyInflater::new(TUsefulOracle::new(t), 20);
+        let run = run_with(&mut braggart);
+        let violation = check_fd_property(&run, FdProperty::GeneralizedStrongAccuracy).unwrap_err();
+        assert_eq!(violation.property, FdProperty::GeneralizedStrongAccuracy);
+    }
+
+    #[test]
+    fn wrappers_compose_over_boxed_oracles() {
+        let boxed: Box<dyn FdOracle> = Box::new(PerfectOracle::new());
+        let mut lying = FalseSuspector::new(boxed, ProcessId::new(0), 20);
+        let run = run_with(&mut lying);
+        check_fd_property(&run, FdProperty::StrongAccuracy).unwrap_err();
+    }
+}

@@ -83,6 +83,18 @@ pub enum ModelError {
         /// The declared horizon.
         horizon: Time,
     },
+    /// A probability parameter was outside its admissible range (NaN,
+    /// negative, or at/above an exclusive upper bound). Surfaced as a typed
+    /// error so callers fail at configuration time rather than panicking
+    /// deep inside the RNG.
+    InvalidProbability {
+        /// The parameter's name (e.g. `drop_prob`).
+        param: &'static str,
+        /// The offending value, rendered as text (keeps `Eq` derivable).
+        value: String,
+        /// Human-readable admissible range (e.g. `[0, 1)`).
+        range: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -130,6 +142,13 @@ impl fmt::Display for ModelError {
             ),
             ModelError::BeyondHorizon { time, horizon } => {
                 write!(f, "event at tick {time} at or beyond horizon {horizon}")
+            }
+            ModelError::InvalidProbability {
+                param,
+                value,
+                range,
+            } => {
+                write!(f, "{param} = {value} is outside the admissible range {range}")
             }
         }
     }
@@ -182,6 +201,11 @@ mod tests {
             ModelError::BeyondHorizon {
                 time: 10,
                 horizon: 10,
+            },
+            ModelError::InvalidProbability {
+                param: "drop_prob",
+                value: "NaN".to_string(),
+                range: "[0, 1)",
             },
         ];
         for e in errs {

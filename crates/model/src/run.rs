@@ -562,6 +562,101 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
         Ok(())
     }
 
+    /// Appends `event` like [`RunBuilder::append`] but *without* the R3
+    /// receive-matching check: a `Recv` is committed even when every
+    /// matching send has already been consumed.
+    ///
+    /// This exists for **fault injection**: a simulator delivering a
+    /// duplicated copy of a message must be able to record what actually
+    /// happened on the wire, producing a deliberately ill-formed run that
+    /// [`Run::check_conditions`] then flags with
+    /// [`ModelError::ReceiveWithoutSend`] — the detection signal. Channel
+    /// accounting is still updated (the extra receive is counted), and
+    /// every other constraint (process range, R2 monotonicity, R4
+    /// post-crash silence, §2.4 initiation) is still enforced, so the
+    /// *only* way a force-appended run can be ill-formed is the R3
+    /// violation deliberately introduced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RunBuilder::append`] minus
+    /// [`ModelError::ReceiveWithoutSend`].
+    pub fn force_append(
+        &mut self,
+        p: ProcessId,
+        time: Time,
+        event: Event<M>,
+    ) -> Result<(), ModelError> {
+        if p.index() >= self.n {
+            return Err(ModelError::UnknownProcess {
+                process: p,
+                n: self.n,
+            });
+        }
+        let log = &self.logs[p.index()];
+        let last = log.times.last().copied().unwrap_or(0);
+        if time <= last || time == 0 {
+            return Err(ModelError::NonMonotonicTime {
+                process: p,
+                last,
+                attempted: time,
+            });
+        }
+        if self.crashed.contains(p) {
+            return Err(ModelError::EventAfterCrash { process: p, time });
+        }
+        match &event {
+            Event::Recv { from, .. } if from.index() >= self.n => {
+                return Err(ModelError::UnknownProcess {
+                    process: *from,
+                    n: self.n,
+                });
+            }
+            Event::Send { to, .. } if to.index() >= self.n => {
+                return Err(ModelError::UnknownProcess {
+                    process: *to,
+                    n: self.n,
+                });
+            }
+            Event::Init { action } => {
+                if action.initiator() != p {
+                    return Err(ModelError::ForeignInit { process: p });
+                }
+                if self.inits.contains_key(action) {
+                    return Err(ModelError::DuplicateInit { process: p, time });
+                }
+            }
+            _ => {}
+        }
+        // Commit — identical to `append`.
+        match &event {
+            Event::Crash => {
+                self.crashed.insert(p);
+            }
+            Event::Init { action } => {
+                self.inits.insert(*action, time);
+            }
+            Event::Send { to, msg } => {
+                self.channel
+                    .entry((p, *to, msg.clone()))
+                    .or_insert_with(|| (Vec::new(), 0))
+                    .0
+                    .push(time);
+            }
+            Event::Recv { from, msg } => {
+                self.channel
+                    .entry((*from, p, msg.clone()))
+                    .or_insert_with(|| (Vec::new(), 0))
+                    .1 += 1;
+            }
+            _ => {}
+        }
+        let log = &mut self.logs[p.index()];
+        log.times.push(time);
+        log.events.push(event);
+        Ok(())
+    }
+
     /// Convenience: append a `suspect` event.
     ///
     /// # Errors

@@ -12,9 +12,17 @@
 //! identical batch again and verifies the warm pass is byte-identical
 //! to the cold one (it is answered from the scenario cache). `--smoke`
 //! shrinks the grid to seconds for CI.
+//!
+//! Requests go through the fault-masking [`HardenedClient`], so
+//! transient overload and dropped connections are retried with backoff.
+//! Exit status is scriptable: `0` success, `1` transport or protocol
+//! failure, `2` usage, `3` retry budget exhausted (persistent overload
+//! or a flapping server).
 
 use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
-use ktudc_serve::{Client, RequestKind, Response, ResponseKind};
+use ktudc_serve::{
+    Client, ClientError, HardenedClient, RequestKind, Response, ResponseKind, RetryPolicy,
+};
 
 struct SweepParams {
     n: usize,
@@ -120,17 +128,35 @@ fn sweep_cells(p: &SweepParams) -> Vec<(String, CellSpec)> {
     ]
 }
 
-fn run_sweep(client: &mut Client, cells: &[(String, CellSpec)]) -> Vec<Response> {
+/// Prints the failure and exits with the scriptable status for its
+/// class: `3` when the retry budget ran out (the server kept shedding
+/// load or dropping connections — a retry-later situation), `1` for
+/// everything else (transport/protocol failures retries can't mask).
+fn fail(context: &str, e: &ClientError) -> ! {
+    match e {
+        ClientError::RetriesExhausted { attempts, last } => {
+            eprintln!("ctl: {context}: gave up after {attempts} attempts (last failure: {last})");
+            eprintln!(
+                "ctl: hint: the server is overloaded or flapping; retry later, \
+                 or check queue pressure with `ctl stats`"
+            );
+            std::process::exit(3);
+        }
+        other => {
+            eprintln!("ctl: {context}: {other}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_sweep(client: &mut HardenedClient, cells: &[(String, CellSpec)]) -> Vec<Response> {
     let kinds: Vec<RequestKind> = cells
         .iter()
         .map(|(_, spec)| RequestKind::Cell(spec.clone()))
         .collect();
     match client.batch(kinds) {
         Ok(responses) => responses,
-        Err(e) => {
-            eprintln!("ctl: sweep failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail("sweep failed", &e),
     }
 }
 
@@ -180,7 +206,7 @@ fn print_sweep(cells: &[(String, CellSpec)], responses: &[Response]) {
     println!("{:-<78}", "");
 }
 
-fn cmd_sweep(client: &mut Client, smoke: bool, twice: bool) {
+fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool) {
     let params = if smoke {
         SweepParams::smoke()
     } else {
@@ -223,33 +249,24 @@ fn cmd_sweep(client: &mut Client, smoke: bool, twice: bool) {
             stats.cache_hit_rate,
             stats.overloaded
         ),
-        Err(e) => {
-            eprintln!("ctl: stats failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail("stats failed", &e),
     }
 }
 
-fn cmd_stats(client: &mut Client) {
+fn cmd_stats(client: &mut HardenedClient) {
     match client.stats() {
         Ok(stats) => println!(
             "{}",
             serde_json::to_string_pretty(&stats).expect("stats encodes")
         ),
-        Err(e) => {
-            eprintln!("ctl: stats failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail("stats failed", &e),
     }
 }
 
-fn cmd_shutdown(client: &mut Client) {
+fn cmd_shutdown(client: &mut HardenedClient) {
     match client.shutdown_server() {
         Ok(()) => println!("server acknowledged shutdown; draining"),
-        Err(e) => {
-            eprintln!("ctl: shutdown failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail("shutdown failed", &e),
     }
 }
 
@@ -280,13 +297,19 @@ fn main() {
         }
     }
     let Some(command) = command else { usage() };
-    let mut client = match Client::connect(&addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("ctl: cannot connect to {addr}: {e}");
-            std::process::exit(1);
-        }
-    };
+    // Reject unknown commands (exit 2) before touching the network, so a
+    // typo isn't misreported as a transport failure when the server is down.
+    if !matches!(command.as_str(), "sweep" | "stats" | "shutdown") {
+        usage();
+    }
+    // Probe once so an unreachable server is a crisp transport failure
+    // (exit 1), not a slow walk through the retry budget (exit 3); the
+    // hardened client then masks faults on the actual conversation.
+    if let Err(e) = Client::connect(&addr) {
+        eprintln!("ctl: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    }
+    let mut client = HardenedClient::new(addr, RetryPolicy::default());
     match command.as_str() {
         "sweep" => cmd_sweep(&mut client, smoke, twice),
         "stats" => cmd_stats(&mut client),

@@ -5,12 +5,21 @@
 //! server's worker pool and complete in whatever order they finish),
 //! then reads one line per request and reorders the responses by their
 //! echoed `id`s. [`Client::request`] is the batch of one.
+//!
+//! [`HardenedClient`] wraps `Client` with the fault-masking policy of a
+//! production caller: per-request socket deadlines, reconnect-and-resend
+//! on a broken or torn connection, and bounded exponential backoff with
+//! deterministic jitter on [`ErrorCode::Overloaded`]. Resending is safe
+//! because the server deduplicates identical in-flight bodies
+//! (single-flight) and memoizes results, so a retried request can only
+//! observe the one computation.
 
 use crate::metrics::StatsReport;
-use crate::wire::{Request, RequestKind, Response, ResponseKind, SCHEMA_VERSION};
+use crate::wire::{ErrorCode, Request, RequestKind, Response, ResponseKind, SCHEMA_VERSION};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -20,6 +29,14 @@ pub enum ClientError {
     /// The server sent something outside the protocol (bad JSON, an
     /// unknown id, a mismatched payload kind).
     Protocol(String),
+    /// A [`HardenedClient`] gave up: every attempt either found the
+    /// server overloaded or lost the connection.
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The failure that ended the final attempt.
+        last: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -27,6 +44,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
         }
     }
 }
@@ -53,8 +73,27 @@ impl Client {
     ///
     /// Propagates connect/clone failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        Client::connect_with_timeout(addr, None)
+    }
+
+    /// Connects to a daemon with an optional per-request deadline: both
+    /// socket halves time out after `timeout`, so a single read or write
+    /// can never block longer than that. A timed-out call surfaces as
+    /// [`ClientError::Io`] and leaves the connection unusable (a reply
+    /// may still arrive and desynchronize the stream) — reconnect, as
+    /// [`HardenedClient`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone/configuration failures.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
+        writer.set_read_timeout(timeout)?;
+        writer.set_write_timeout(timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
             writer,
@@ -90,54 +129,118 @@ impl Client {
     /// if a reply doesn't parse, answers an id outside the batch, or
     /// duplicates an id.
     pub fn batch(&mut self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        let count = kinds.len();
+        let (got, err) = self.batch_attempt(kinds);
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let mut slots: Vec<Option<Response>> = Vec::new();
+        slots.resize_with(count, || None);
+        for (offset, response) in got {
+            slots[offset] = Some(response);
+        }
+        Ok(slots.into_iter().flatten().collect())
+    }
+
+    /// One batch attempt that *salvages*: returns every response read
+    /// before the conversation broke (tagged by offset into `kinds`),
+    /// plus the breaking error, if any. [`Client::batch`] is the strict
+    /// all-or-error wrapper; [`HardenedClient`] uses the salvaged prefix
+    /// so a severed connection only costs the responses not yet read.
+    pub(crate) fn batch_attempt(
+        &mut self,
+        kinds: Vec<RequestKind>,
+    ) -> (Vec<(usize, Response)>, Option<ClientError>) {
         let first_id = self.next_id;
         let count = kinds.len();
         let mut lines = String::new();
         for (offset, kind) in kinds.into_iter().enumerate() {
             let request = Request::new(first_id + offset as u64, kind);
-            lines
-                .push_str(&serde_json::to_string(&request).map_err(|e| {
-                    ClientError::Protocol(format!("request failed to encode: {e}"))
-                })?);
-            lines.push('\n');
+            match serde_json::to_string(&request) {
+                Ok(encoded) => {
+                    lines.push_str(&encoded);
+                    lines.push('\n');
+                }
+                Err(e) => {
+                    return (
+                        Vec::new(),
+                        Some(ClientError::Protocol(format!(
+                            "request failed to encode: {e}"
+                        ))),
+                    )
+                }
+            }
         }
         self.next_id += count as u64;
-        self.writer.write_all(lines.as_bytes())?;
-        self.writer.flush()?;
+        if let Err(e) = self
+            .writer
+            .write_all(lines.as_bytes())
+            .and_then(|()| self.writer.flush())
+        {
+            return (Vec::new(), Some(ClientError::Io(e)));
+        }
 
-        let mut slots: Vec<Option<Response>> = vec![None; count];
+        let mut got: Vec<(usize, Response)> = Vec::new();
+        let mut seen = vec![false; count];
         for _ in 0..count {
             let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(ClientError::Protocol(
-                    "server closed the connection mid-batch".to_string(),
-                ));
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    return (
+                        got,
+                        Some(ClientError::Protocol(
+                            "server closed the connection mid-batch".to_string(),
+                        )),
+                    )
+                }
+                Ok(_) => {}
+                Err(e) => return (got, Some(ClientError::Io(e))),
             }
-            let response: Response = serde_json::from_str(line.trim_end())
-                .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+            let response: Response = match serde_json::from_str(line.trim_end()) {
+                Ok(r) => r,
+                Err(e) => {
+                    return (
+                        got,
+                        Some(ClientError::Protocol(format!("unparseable response: {e}"))),
+                    )
+                }
+            };
             if response.schema_version != SCHEMA_VERSION {
-                return Err(ClientError::Protocol(format!(
-                    "response schema_version {}, expected {SCHEMA_VERSION}",
-                    response.schema_version
-                )));
+                return (
+                    got,
+                    Some(ClientError::Protocol(format!(
+                        "response schema_version {}, expected {SCHEMA_VERSION}",
+                        response.schema_version
+                    ))),
+                );
             }
-            let slot = response
+            let Some(offset) = response
                 .id
                 .checked_sub(first_id)
                 .map(|o| o as usize)
                 .filter(|&o| o < count)
-                .ok_or_else(|| {
-                    ClientError::Protocol(format!("response for unknown id {}", response.id))
-                })?;
-            if slots[slot].is_some() {
-                return Err(ClientError::Protocol(format!(
-                    "duplicate response for id {}",
-                    response.id
-                )));
+            else {
+                return (
+                    got,
+                    Some(ClientError::Protocol(format!(
+                        "response for unknown id {}",
+                        response.id
+                    ))),
+                );
+            };
+            if seen[offset] {
+                return (
+                    got,
+                    Some(ClientError::Protocol(format!(
+                        "duplicate response for id {}",
+                        response.id
+                    ))),
+                );
             }
-            slots[slot] = Some(response);
+            seen[offset] = true;
+            got.push((offset, response));
         }
-        Ok(slots.into_iter().flatten().collect())
+        (got, None)
     }
 
     /// Fetches a metrics snapshot.
@@ -167,5 +270,305 @@ impl Client {
                 "expected a shutdown acknowledgement, got {other:?}"
             ))),
         }
+    }
+}
+
+/// Retry/backoff policy of a [`HardenedClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Socket deadline for each read/write (per-request deadline: no
+    /// single exchange can hang longer than this).
+    pub request_timeout: Duration,
+    /// Retries after the initial attempt before giving up with
+    /// [`ClientError::RetriesExhausted`]. The budget counts
+    /// *consecutive attempts without progress*: an attempt that lands at
+    /// least one new response resets it, so a long batch cannot starve
+    /// merely because every attempt loses its connection eventually.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            request_timeout: Duration::from_secs(10),
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x6b74_7564_6373_7276,
+        }
+    }
+}
+
+/// Whether an error means "reconnect and resend" rather than "give up".
+///
+/// Retriable: any I/O failure (includes deadline expiry), a connection
+/// closed mid-conversation, and a torn/unparseable reply (the signature
+/// of a short write). Not retriable: schema-version mismatches and
+/// id-accounting violations — those mean the peer is not the protocol
+/// partner we think it is, and resending cannot help.
+fn retriable(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(_) => true,
+        ClientError::Protocol(msg) => {
+            msg.contains("closed the connection")
+                || msg.contains("unparseable response")
+                || msg.contains("empty batch response")
+        }
+        ClientError::RetriesExhausted { .. } => false,
+    }
+}
+
+/// One step of `splitmix64`: the client-side jitter PRNG. Inlined so the
+/// crate needs no RNG dependency; deterministic per [`RetryPolicy::jitter_seed`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A self-healing client: [`Client`] plus deadlines, reconnection, and
+/// bounded jittered backoff.
+///
+/// Construction never touches the network; the connection is established
+/// lazily and re-established whenever an attempt loses it. On a
+/// transport failure the *entire outstanding remainder* of a batch is
+/// resent on a fresh connection — safe because the server computes each
+/// distinct body at most once (single-flight + memoization), so a
+/// resend returns the original computation's payload. On
+/// [`ErrorCode::Overloaded`] only the shed requests are retried, after a
+/// backoff sleep in `[cap/2, cap]` where `cap` doubles per retry up to
+/// [`RetryPolicy::max_backoff`].
+pub struct HardenedClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    jitter_state: u64,
+}
+
+impl HardenedClient {
+    /// Creates a client for `addr` (no connection is made yet).
+    #[must_use]
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> HardenedClient {
+        HardenedClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            jitter_state: policy.jitter_seed,
+        }
+    }
+
+    /// The backoff sleep before retry number `attempt` (1-based): a
+    /// deterministic jitter in `[cap/2, cap]`, `cap` doubling from
+    /// [`RetryPolicy::base_backoff`] up to [`RetryPolicy::max_backoff`].
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let base = u64::try_from(self.policy.base_backoff.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let max = u64::try_from(self.policy.max_backoff.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let exp = attempt.saturating_sub(1).min(16);
+        let cap = base.saturating_mul(1 << exp).min(max);
+        let low = cap.div_ceil(2);
+        let jitter = splitmix64(&mut self.jitter_state) % (cap - low + 1);
+        Duration::from_millis(low + jitter)
+    }
+
+    /// Records a failed attempt; returns the terminal error once the
+    /// budget is spent, otherwise sleeps the backoff and allows another.
+    fn spend_attempt(&mut self, attempts: &mut u32, last: &str) -> Result<(), ClientError> {
+        *attempts += 1;
+        if *attempts > self.policy.max_retries {
+            return Err(ClientError::RetriesExhausted {
+                attempts: *attempts,
+                last: last.to_string(),
+            });
+        }
+        std::thread::sleep(self.backoff_delay(*attempts));
+        Ok(())
+    }
+
+    /// As [`Client::batch`], but masking transport faults and overload.
+    ///
+    /// Returns responses in request order. Typed per-request failures
+    /// other than `Overloaded` (e.g. `BadRequest`) are still *successful*
+    /// responses, exactly as with the plain client. Responses salvaged
+    /// from an attempt that later lost its connection are kept — only
+    /// the still-unanswered requests are resent.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] when the retry budget runs out;
+    /// non-retriable protocol violations pass through unchanged.
+    pub fn batch(&mut self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        let total = kinds.len();
+        let mut slots: Vec<Option<Response>> = Vec::new();
+        slots.resize_with(total, || None);
+        let mut attempts: u32 = 0;
+        loop {
+            let outstanding: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+            if outstanding.is_empty() {
+                return Ok(slots.into_iter().flatten().collect());
+            }
+            if self.conn.is_none() {
+                match Client::connect_with_timeout(&self.addr, Some(self.policy.request_timeout)) {
+                    Ok(conn) => self.conn = Some(conn),
+                    Err(e) => {
+                        self.spend_attempt(&mut attempts, &e.to_string())?;
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection just established");
+            // After a zero-progress attempt, narrow to a single request:
+            // a periodic server fault can align with a fixed batch size
+            // so that the same request is always the one lost, and
+            // shrinking the batch breaks that alignment (it also eases
+            // the queue pressure behind an overload).
+            let selected: Vec<usize> = if attempts > 0 {
+                vec![outstanding[0]]
+            } else {
+                outstanding.clone()
+            };
+            let resend: Vec<RequestKind> = selected.iter().map(|&i| kinds[i].clone()).collect();
+            let (got, err) = conn.batch_attempt(resend);
+            let mut progress = false;
+            let mut shed = None;
+            for (offset, response) in got {
+                match &response.result {
+                    ResponseKind::Error(e) if e.code == ErrorCode::Overloaded => {
+                        shed = Some(e.message.clone());
+                    }
+                    _ => {
+                        slots[selected[offset]] = Some(response);
+                        progress = true;
+                    }
+                }
+            }
+            if progress {
+                attempts = 0;
+            }
+            match err {
+                None => {
+                    if let Some(message) = shed {
+                        self.spend_attempt(&mut attempts, &message)?;
+                    }
+                }
+                Some(e) if retriable(&e) => {
+                    self.conn = None;
+                    self.spend_attempt(&mut attempts, &e.to_string())?;
+                }
+                Some(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one request, masking faults; the batch of one.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::batch`].
+    pub fn request(&mut self, kind: RequestKind) -> Result<Response, ClientError> {
+        let mut responses = self.batch(vec![kind])?;
+        responses
+            .pop()
+            .ok_or_else(|| ClientError::Protocol("empty batch response".to_string()))
+    }
+
+    /// Fetches a metrics snapshot, masking faults.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::request`], plus [`ClientError::Protocol`]
+    /// when the server answers with anything but a stats payload.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.request(RequestKind::Stats)?.result {
+            ResponseKind::Stats(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected a stats payload, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit, masking faults (shutdown is
+    /// idempotent, so a resend is harmless).
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::stats`], for the shutdown acknowledgement.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(RequestKind::Shutdown)?.result {
+            ResponseKind::Shutdown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected a shutdown acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(8),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let delays: Vec<Duration> = {
+            let mut c = HardenedClient::new("unused:0", policy);
+            (1..=8).map(|a| c.backoff_delay(a)).collect()
+        };
+        let again: Vec<Duration> = {
+            let mut c = HardenedClient::new("unused:0", policy);
+            (1..=8).map(|a| c.backoff_delay(a)).collect()
+        };
+        assert_eq!(delays, again, "same seed must give the same schedule");
+        for (i, d) in delays.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            let cap = 8u64.saturating_mul(1 << (attempt - 1)).min(100);
+            let ms = u64::try_from(d.as_millis()).unwrap();
+            assert!(
+                ms >= cap.div_ceil(2) && ms <= cap,
+                "attempt {attempt}: {ms}ms outside [{}, {cap}]",
+                cap.div_ceil(2)
+            );
+        }
+        // The cap binds from attempt 5 on (8 << 4 = 128 > 100).
+        assert!(delays[7] <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn transport_faults_are_retriable_but_contract_violations_are_not() {
+        assert!(retriable(&ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "read deadline expired"
+        ))));
+        assert!(retriable(&ClientError::Protocol(
+            "server closed the connection mid-batch".to_string()
+        )));
+        assert!(retriable(&ClientError::Protocol(
+            "unparseable response: EOF while parsing".to_string()
+        )));
+        assert!(!retriable(&ClientError::Protocol(
+            "response schema_version 9, expected 1".to_string()
+        )));
+        assert!(!retriable(&ClientError::Protocol(
+            "duplicate response for id 3".to_string()
+        )));
+        assert!(!retriable(&ClientError::RetriesExhausted {
+            attempts: 6,
+            last: "queue full".to_string()
+        }));
     }
 }

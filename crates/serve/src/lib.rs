@@ -27,6 +27,12 @@
 //! * **Graceful shutdown** — a `Shutdown` request (or, in the binary,
 //!   SIGTERM/ctrl-c) stops accepting work, drains everything already
 //!   queued or in flight, answers it, and only then exits.
+//! * **Exactly-once compute under faults** — identical request bodies
+//!   that race share one computation (single-flight dedup in
+//!   [`server`]), so the [`client::HardenedClient`]'s
+//!   reconnect-and-resend strategy never causes duplicate work; a
+//!   test-only [`server::ServerFaults`] hook injects delayed, severed
+//!   and short-write responses to prove it.
 //!
 //! The companion binaries are `ktudc-serve` (the daemon) and `ctl` (a
 //! client that submits the Table-1 UDC sweep as one pipelined batch and
@@ -41,9 +47,9 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, HardenedClient, RetryPolicy};
 pub use metrics::{Endpoint, StatsReport};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{serve, ServeConfig, ServerFaults, ServerHandle};
 pub use wire::{
     CheckOutcome, CheckSpec, ErrorCode, Request, RequestKind, Response, ResponseKind, WireError,
     SCHEMA_VERSION,

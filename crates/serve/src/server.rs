@@ -38,16 +38,44 @@ use ktudc_core::harness::run_cell;
 use ktudc_epistemic::ModelChecker;
 use ktudc_par::{Pool, SubmitError};
 use ktudc_sim::{explore_spec, run_explore_spec, system_digest};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Test-only server fault injection, applied at the response-writing
+/// boundary. Every field counts *responses* (a shared monotone sequence
+/// across all connections): the k-th, 2k-th, … response suffers the
+/// fault. The default injects nothing; production paths never construct
+/// anything else. This is the server half of the chaos soak — the
+/// [`HardenedClient`](crate::client::HardenedClient) must mask all of it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerFaults {
+    /// Sleep for the given duration before writing every k-th response
+    /// (exercises client read deadlines).
+    pub delay_every: Option<(u64, Duration)>,
+    /// Sever the connection instead of writing every k-th response
+    /// (exercises reconnect-and-resend).
+    pub sever_every: Option<u64>,
+    /// Write only half of every k-th response line, then sever
+    /// (exercises the client's handling of torn, unparseable replies).
+    pub short_write_every: Option<u64>,
+}
+
+impl ServerFaults {
+    /// Whether any fault is armed.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.delay_every.is_some() || self.sever_every.is_some() || self.short_write_every.is_some()
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -61,6 +89,8 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Scenario-cache capacity in outcomes; 0 disables caching.
     pub cache_capacity: usize,
+    /// Test-only response faults (default: none).
+    pub faults: ServerFaults,
 }
 
 impl Default for ServeConfig {
@@ -70,17 +100,35 @@ impl Default for ServeConfig {
             workers: 0,
             queue_capacity: 64,
             cache_capacity: 256,
+            faults: ServerFaults::default(),
         }
     }
+}
+
+/// A request parked on an in-flight computation for the same canonical
+/// body (single-flight dedup): answered when that computation lands.
+struct Waiter {
+    id: u64,
+    out: Arc<Mutex<TcpStream>>,
+    start: Instant,
 }
 
 struct Shared {
     /// `None` once shutdown has taken the pool for draining.
     pool: Mutex<Option<Pool>>,
     cache: Mutex<LruCache>,
+    /// Canonical bodies currently being computed, with the requests
+    /// waiting on each. Guarantees a spec is computed at most once even
+    /// when identical requests race (e.g. a client resending after a
+    /// severed connection while the original job still runs). Lock order
+    /// is always `pending` → `cache`.
+    pending: Mutex<HashMap<String, Vec<Waiter>>>,
     metrics: Metrics,
     shutdown: AtomicBool,
     workers: usize,
+    faults: ServerFaults,
+    /// Monotone response sequence number driving [`ServerFaults`].
+    responses: AtomicU64,
 }
 
 impl Shared {
@@ -158,9 +206,12 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         pool: Mutex::new(Some(Pool::new(workers, config.queue_capacity))),
         cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        pending: Mutex::new(HashMap::new()),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         workers,
+        faults: config.faults,
+        responses: AtomicU64::new(0),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -217,6 +268,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
         Err(e) => {
             // No recoverable id: 0 marks an unattributable failure.
             write_response(
+                shared,
                 out,
                 &Response::error(0, ErrorCode::BadRequest, e.to_string()),
             );
@@ -225,6 +277,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
     };
     if request.schema_version != SCHEMA_VERSION {
         write_response(
+            shared,
             out,
             &Response::error(
                 request.id,
@@ -255,6 +308,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             let micros = elapsed_micros(start);
             shared.metrics.record(endpoint, micros, false);
             write_response(
+                shared,
                 out,
                 &Response::new(request.id, false, micros, ResponseKind::Stats(report)),
             );
@@ -264,6 +318,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             let micros = elapsed_micros(start);
             shared.metrics.record(endpoint, micros, false);
             write_response(
+                shared,
                 out,
                 &Response::new(request.id, false, micros, ResponseKind::Shutdown),
             );
@@ -274,7 +329,14 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
     }
 }
 
-/// Cache-or-queue path for the compute endpoints.
+/// Cache-or-queue path for the compute endpoints, with single-flight
+/// dedup: identical canonical bodies that race share one computation.
+///
+/// This is what makes client resend-after-reconnect safe. A retried
+/// request either hits the cache (the original job landed), joins the
+/// original job's waiter list (it is still running), or starts the one
+/// and only computation — in every case the spec is computed exactly
+/// once and every requester gets the same payload.
 fn dispatch_compute(
     shared: &Arc<Shared>,
     id: u64,
@@ -285,40 +347,95 @@ fn dispatch_compute(
     let endpoint = kind.endpoint();
     let Ok(canon) = serde_json::to_string(&kind) else {
         write_response(
+            shared,
             out,
             &Response::error(id, ErrorCode::Internal, "request body is unencodable"),
         );
         shared.metrics.record_error(endpoint);
         return;
     };
-    if let Some(hit) = shared
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .get(&canon)
+    // Consult the cache and the in-flight table under the `pending` lock
+    // (order pending → cache, matching the completion path) so a landing
+    // job cannot slip between the cache miss and the waiter registration.
     {
-        let micros = elapsed_micros(start);
-        shared.metrics.record(endpoint, micros, true);
-        write_response(out, &Response::new(id, true, micros, hit));
-        return;
+        let mut pending = shared.pending.lock().expect("pending lock poisoned");
+        let hit = shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&canon);
+        if let Some(hit) = hit {
+            drop(pending);
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, true);
+            write_response(shared, out, &Response::new(id, true, micros, hit));
+            return;
+        }
+        if let Some(waiters) = pending.get_mut(&canon) {
+            waiters.push(Waiter {
+                id,
+                out: Arc::clone(out),
+                start,
+            });
+            return;
+        }
+        pending.insert(canon.clone(), Vec::new());
     }
     let job = {
         let shared = Arc::clone(shared);
         let out = Arc::clone(out);
+        let canon = canon.clone();
         move || match compute(&kind) {
             Ok(result) => {
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .insert(canon, result.clone());
+                // Publish to the cache and claim the waiters atomically
+                // (pending → cache), so no request can miss both.
+                let waiters = {
+                    let mut pending = shared.pending.lock().expect("pending lock poisoned");
+                    shared
+                        .cache
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .insert(canon.clone(), result.clone());
+                    pending.remove(&canon).unwrap_or_default()
+                };
                 let micros = elapsed_micros(start);
                 shared.metrics.record(endpoint, micros, false);
-                write_response(&out, &Response::new(id, false, micros, result));
+                write_response(
+                    &shared,
+                    &out,
+                    &Response::new(id, false, micros, result.clone()),
+                );
+                for w in waiters {
+                    let micros = elapsed_micros(w.start);
+                    shared.metrics.record(endpoint, micros, true);
+                    write_response(
+                        &shared,
+                        &w.out,
+                        &Response::new(w.id, true, micros, result.clone()),
+                    );
+                }
             }
             Err(err) => {
+                let waiters = shared
+                    .pending
+                    .lock()
+                    .expect("pending lock poisoned")
+                    .remove(&canon)
+                    .unwrap_or_default();
                 shared.metrics.record_error(endpoint);
-                write_response(&out, &Response::error(id, err.code, err.message));
+                write_response(
+                    &shared,
+                    &out,
+                    &Response::error(id, err.code, err.message.clone()),
+                );
+                for w in waiters {
+                    shared.metrics.record_error(endpoint);
+                    write_response(
+                        &shared,
+                        &w.out,
+                        &Response::error(w.id, err.code, err.message.clone()),
+                    );
+                }
             }
         }
     };
@@ -328,27 +445,37 @@ fn dispatch_compute(
         .expect("pool lock poisoned")
         .as_ref()
         .map_or(Err(SubmitError::Closed), |pool| pool.try_execute(job));
-    match submitted {
-        Ok(()) => {}
-        Err(SubmitError::Full) => {
-            shared.metrics.record_overload(endpoint);
-            write_response(
-                out,
-                &Response::error(
-                    id,
-                    ErrorCode::Overloaded,
-                    format!(
-                        "request queue is at capacity ({}); retry later",
-                        queue_capacity(shared)
-                    ),
+    if let Err(reason) = submitted {
+        // The job never ran: retract the in-flight marker and fail the
+        // primary plus any waiters that raced in behind it.
+        let waiters = shared
+            .pending
+            .lock()
+            .expect("pending lock poisoned")
+            .remove(&canon)
+            .unwrap_or_default();
+        let (code, message) = match reason {
+            SubmitError::Full => (
+                ErrorCode::Overloaded,
+                format!(
+                    "request queue is at capacity ({}); retry later",
+                    queue_capacity(shared)
                 ),
-            );
-        }
-        Err(SubmitError::Closed) => {
-            shared.metrics.record_error(endpoint);
+            ),
+            SubmitError::Closed => (ErrorCode::ShuttingDown, "server is draining".to_string()),
+        };
+        let record = |endpoint| match reason {
+            SubmitError::Full => shared.metrics.record_overload(endpoint),
+            SubmitError::Closed => shared.metrics.record_error(endpoint),
+        };
+        record(endpoint);
+        write_response(shared, out, &Response::error(id, code, message.clone()));
+        for w in waiters {
+            record(endpoint);
             write_response(
-                out,
-                &Response::error(id, ErrorCode::ShuttingDown, "server is draining"),
+                shared,
+                &w.out,
+                &Response::error(w.id, code, message.clone()),
             );
         }
     }
@@ -429,14 +556,37 @@ fn elapsed_micros(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Serializes and writes one response line. Write failures are dropped:
-/// the client is gone, and the server has nothing useful to do about it.
-fn write_response(out: &Mutex<TcpStream>, response: &Response) {
+/// Serializes and writes one response line, applying any armed
+/// [`ServerFaults`] on its way out. Write failures are dropped: the
+/// client is gone, and the server has nothing useful to do about it.
+fn write_response(shared: &Shared, out: &Mutex<TcpStream>, response: &Response) {
     let Ok(mut line) = serde_json::to_string(response) else {
         return;
     };
     line.push('\n');
+    let seq = shared.responses.fetch_add(1, Ordering::SeqCst) + 1;
+    let faults = shared.faults;
+    if let Some((every, delay)) = faults.delay_every {
+        if every > 0 && seq.is_multiple_of(every) {
+            std::thread::sleep(delay);
+        }
+    }
     let mut stream = out.lock().expect("stream lock poisoned");
+    if let Some(every) = faults.sever_every {
+        if every > 0 && seq.is_multiple_of(every) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
+    if let Some(every) = faults.short_write_every {
+        if every > 0 && seq.is_multiple_of(every) {
+            let half = line.len() / 2;
+            let _ = stream.write_all(&line.as_bytes()[..half]);
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
     let _ = stream.write_all(line.as_bytes());
     let _ = stream.flush();
 }

@@ -8,9 +8,36 @@
 //! operational knobs a finite simulation needs: horizon, seed, delivery
 //! delays, and the failure-detector polling period.
 
-use ktudc_model::{ActionId, ProcessId, Time};
+use crate::faults::FaultPlan;
+use ktudc_model::{ActionId, ModelError, ProcessId, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Validates a probability parameter: finite and inside `[0, 1]`
+/// (`inclusive_one`) or `[0, 1)` (otherwise). NaN, infinities, negatives,
+/// and out-of-bound values all yield the typed
+/// [`ModelError::InvalidProbability`] instead of reaching
+/// `Rng::gen_bool`, whose contract check would panic with no context.
+pub(crate) fn check_probability(
+    param: &'static str,
+    value: f64,
+    inclusive_one: bool,
+) -> Result<(), ModelError> {
+    let in_range = if inclusive_one {
+        (0.0..=1.0).contains(&value)
+    } else {
+        (0.0..1.0).contains(&value)
+    };
+    if value.is_finite() && in_range {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidProbability {
+            param,
+            value: format!("{value}"),
+            range: if inclusive_one { "[0, 1]" } else { "[0, 1)" },
+        })
+    }
+}
 
 /// Channel reliability regime.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,12 +72,49 @@ impl ChannelKind {
 
     /// Fair-lossy channels with the given drop probability and the default
     /// maximum delay of 3 ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is NaN or outside `[0, 1)` (a channel dropping
+    /// everything is not fair — R5). Use [`ChannelKind::try_fair_lossy`]
+    /// for a fallible, typed-error form.
     #[must_use]
     pub fn fair_lossy(drop_prob: f64) -> Self {
-        ChannelKind::FairLossy {
+        match Self::try_fair_lossy(drop_prob) {
+            Ok(kind) => kind,
+            Err(e) => panic!("{e}: a channel dropping everything is not fair (R5)"),
+        }
+    }
+
+    /// Fallible form of [`ChannelKind::fair_lossy`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if `drop_prob` is NaN or outside
+    /// `[0, 1)`.
+    pub fn try_fair_lossy(drop_prob: f64) -> Result<Self, ModelError> {
+        check_probability("drop_prob", drop_prob, false)?;
+        Ok(ChannelKind::FairLossy {
             drop_prob,
             max_delay: 3,
+        })
+    }
+
+    /// Validates the regime's parameters (drop probability in `[0, 1)` for
+    /// fair-lossy channels, delays ≥ 1). Struct-literal construction can
+    /// bypass the checked constructors; [`SimConfig::channel`] re-validates
+    /// through this.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] on an inadmissible drop
+    /// probability.
+    pub fn validate(self) -> Result<(), ModelError> {
+        if let ChannelKind::FairLossy { drop_prob, .. } = self {
+            check_probability("drop_prob", drop_prob, false)?;
         }
+        assert!(self.max_delay() >= 1, "max_delay must be at least 1 tick");
+        Ok(())
     }
 
     /// The per-copy drop probability (0 for reliable channels).
@@ -246,6 +310,8 @@ pub struct SimConfig {
     /// Probability that, when both a deliverable message and a protocol
     /// action are available, the scheduler picks the delivery.
     deliver_bias: f64,
+    /// Adversarial fault schedule (defaults to [`FaultPlan::none`]).
+    faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -266,6 +332,7 @@ impl SimConfig {
             crashes: CrashPlan::None,
             fd_period: 4,
             deliver_bias: 0.6,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -273,16 +340,12 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if a fair-lossy drop probability is not in `[0, 1)`.
+    /// Panics if a fair-lossy drop probability is NaN or not in `[0, 1)`.
     #[must_use]
     pub fn channel(mut self, channel: ChannelKind) -> Self {
-        if let ChannelKind::FairLossy { drop_prob, .. } = channel {
-            assert!(
-                (0.0..1.0).contains(&drop_prob),
-                "drop_prob must be in [0,1): a channel dropping everything is not fair (R5)"
-            );
+        if let Err(e) = channel.validate() {
+            panic!("{e}: a channel dropping everything is not fair (R5)");
         }
-        assert!(channel.max_delay() >= 1);
         self.channel = channel;
         self
     }
@@ -327,11 +390,32 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `bias` is not in `[0, 1]`.
+    /// Panics if `bias` is NaN or not in `[0, 1]`. Use
+    /// [`SimConfig::try_deliver_bias`] for a fallible, typed-error form.
     #[must_use]
-    pub fn deliver_bias(mut self, bias: f64) -> Self {
-        assert!((0.0..=1.0).contains(&bias));
+    pub fn deliver_bias(self, bias: f64) -> Self {
+        match self.try_deliver_bias(bias) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::deliver_bias`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if `bias` is NaN or outside
+    /// `[0, 1]`.
+    pub fn try_deliver_bias(mut self, bias: f64) -> Result<Self, ModelError> {
+        check_probability("deliver_bias", bias, true)?;
         self.deliver_bias = bias;
+        Ok(self)
+    }
+
+    /// Sets the adversarial fault schedule (default: none).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -377,6 +461,12 @@ impl SimConfig {
         self.deliver_bias
     }
 
+    /// The adversarial fault schedule.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Creates the seeded RNG for this configuration.
     #[must_use]
     pub fn rng(&self) -> StdRng {
@@ -398,7 +488,58 @@ mod tests {
     #[test]
     #[should_panic(expected = "drop_prob")]
     fn total_loss_is_rejected() {
-        let _ = SimConfig::new(2).channel(ChannelKind::fair_lossy(1.0));
+        let _ = SimConfig::new(2).channel(ChannelKind::FairLossy {
+            drop_prob: 1.0,
+            max_delay: 3,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn fair_lossy_constructor_rejects_total_loss() {
+        let _ = ChannelKind::fair_lossy(1.0);
+    }
+
+    #[test]
+    fn out_of_range_drop_probs_are_typed_errors() {
+        for bad in [f64::NAN, -0.001, 1.0, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ChannelKind::try_fair_lossy(bad).unwrap_err();
+            match err {
+                ModelError::InvalidProbability { param, range, .. } => {
+                    assert_eq!(param, "drop_prob");
+                    assert_eq!(range, "[0, 1)");
+                }
+                other => panic!("{bad}: expected InvalidProbability, got {other:?}"),
+            }
+        }
+        assert!(ChannelKind::try_fair_lossy(0.0).is_ok());
+        assert!(ChannelKind::try_fair_lossy(0.999).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_deliver_bias_is_a_typed_error() {
+        for bad in [f64::NAN, -0.2, 1.0001, f64::INFINITY] {
+            let err = SimConfig::new(2).try_deliver_bias(bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ModelError::InvalidProbability {
+                        param: "deliver_bias",
+                        ..
+                    }
+                ),
+                "{bad}: {err:?}"
+            );
+        }
+        // Unlike drop_prob, bias 1.0 (always prefer delivery) is admissible.
+        assert!(SimConfig::new(2).try_deliver_bias(1.0).is_ok());
+        assert!(SimConfig::new(2).try_deliver_bias(0.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliver_bias")]
+    fn nan_deliver_bias_panics_with_context() {
+        let _ = SimConfig::new(2).deliver_bias(f64::NAN);
     }
 
     #[test]

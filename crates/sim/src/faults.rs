@@ -1,0 +1,487 @@
+//! Deterministic, seed-reproducible fault injection.
+//!
+//! A [`FaultPlan`] describes *adversarial* network behavior layered on top
+//! of the base channel regime: message duplication (an R3 violation),
+//! delay spikes (bounded extra latency — in-model, since asynchrony permits
+//! arbitrary finite delays), burst loss windows, and targeted per-link
+//! partitions, including *permanent* ones — an unfair channel that drops
+//! every copy on a link, violating R5.
+//!
+//! Two invariants make the engine safe to thread through the existing
+//! simulator:
+//!
+//! 1. **Determinism.** All fault randomness comes from a dedicated RNG
+//!    derived from the run seed (`seed ^ FAULT_STREAM_SALT`), never from
+//!    the scheduler's RNG. Identical `FaultPlan` + seed ⇒ identical
+//!    injections ⇒ identical runs.
+//! 2. **Zero perturbation when empty.** [`FaultPlan::none`] (the default)
+//!    draws nothing and decides nothing: the runner takes the exact code
+//!    path it took before this module existed, so every previously pinned
+//!    run is byte-identical.
+//!
+//! Every injection is *recorded in the run itself*: duplicated deliveries
+//! are force-appended as ordinary `recv` events (which
+//! [`Run::check_conditions`](ktudc_model::Run::check_conditions) then
+//! flags as R3 violations), dropped copies simply never arrive (so a
+//! permanently severed link surfaces as an R5 `UnfairChannel` at a finite
+//! fairness threshold, or as a coordination-spec violation), and the
+//! aggregate [`FaultStats`] travel with the
+//! [`SimOutcome`](crate::runner::SimOutcome).
+
+use crate::config::check_probability;
+use ktudc_model::{ModelError, ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// XOR-salt separating the fault RNG stream from the scheduler's stream.
+const FAULT_STREAM_SALT: u64 = 0x5eed_fa17_1bad_c0de;
+
+/// A periodic window: ticks `t` with `t % period < width` are "inside".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Window {
+    period: Time,
+    width: Time,
+}
+
+impl Window {
+    fn contains(self, t: Time) -> bool {
+        t % self.period < self.width
+    }
+}
+
+/// A targeted partition of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct LinkPartition {
+    from: ProcessId,
+    to: ProcessId,
+    start: Time,
+    /// Last affected tick; `None` makes the partition permanent (an unfair
+    /// channel in the sense of R5).
+    until: Option<Time>,
+}
+
+impl LinkPartition {
+    fn active(&self, from: ProcessId, to: ProcessId, t: Time) -> bool {
+        self.from == from && self.to == to && t >= self.start && self.until.is_none_or(|u| t <= u)
+    }
+}
+
+/// A declarative, seed-reproducible fault schedule.
+///
+/// Built fluently; the empty plan injects nothing:
+///
+/// ```
+/// use ktudc_sim::FaultPlan;
+///
+/// let plan = FaultPlan::none()
+///     .duplicate(0.2)
+///     .delay_spikes(50, 10, 7)
+///     .sever_link(0, 1, 30);
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::none().is_empty());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-surviving-copy probability of enqueuing a duplicate.
+    duplicate_prob: f64,
+    /// Extra latency added to copies sent inside the spike window.
+    delay_spike: Option<(Window, Time)>,
+    /// All copies sent inside the burst window are dropped (every link).
+    burst_loss: Option<Window>,
+    /// Targeted per-link partitions.
+    partitions: Vec<LinkPartition>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero perturbation of the simulation.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.duplicate_prob == 0.0
+            && self.delay_spike.is_none()
+            && self.burst_loss.is_none()
+            && self.partitions.is_empty()
+    }
+
+    /// Duplicates each surviving copy with probability `prob` — an R3
+    /// violation the model layer is guaranteed to flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is NaN or outside `[0, 1)`.
+    #[must_use]
+    pub fn duplicate(self, prob: f64) -> Self {
+        match self.try_duplicate(prob) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`FaultPlan::duplicate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if `prob` is NaN or outside
+    /// `[0, 1)`.
+    pub fn try_duplicate(mut self, prob: f64) -> Result<Self, ModelError> {
+        check_probability("duplicate_prob", prob, false)?;
+        self.duplicate_prob = prob;
+        Ok(self)
+    }
+
+    /// Adds `extra` ticks of latency to every copy sent during the first
+    /// `width` ticks of each `period`-tick cycle. Bounded extra delay is
+    /// *in-model*: asynchronous channels already permit arbitrary finite
+    /// delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `width` exceeds `period`.
+    #[must_use]
+    pub fn delay_spikes(mut self, period: Time, width: Time, extra: Time) -> Self {
+        assert!(period >= 1, "spike period must be at least 1");
+        assert!(width <= period, "spike width cannot exceed its period");
+        self.delay_spike = Some((Window { period, width }, extra));
+        self
+    }
+
+    /// Drops every copy (on every link) sent during the first `width` ticks
+    /// of each `period`-tick cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `width` exceeds `period`.
+    #[must_use]
+    pub fn burst_loss(mut self, period: Time, width: Time) -> Self {
+        assert!(period >= 1, "burst period must be at least 1");
+        assert!(width <= period, "burst width cannot exceed its period");
+        self.burst_loss = Some(Window { period, width });
+        self
+    }
+
+    /// Drops every copy sent on the directed link `from → to` during ticks
+    /// `start..=until` — a bounded partition, in-model for retransmitting
+    /// protocols.
+    #[must_use]
+    pub fn partition_link(mut self, from: usize, to: usize, start: Time, until: Time) -> Self {
+        self.partitions.push(LinkPartition {
+            from: ProcessId::new(from),
+            to: ProcessId::new(to),
+            start,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Permanently severs the directed link `from → to` from tick `start`
+    /// on: an *unfair* channel, violating R5. At finite horizons the
+    /// violation is detected once the sender has pushed at least the
+    /// fairness threshold's worth of copies into the void (see
+    /// `Run::check_conditions`).
+    #[must_use]
+    pub fn sever_link(mut self, from: usize, to: usize, start: Time) -> Self {
+        self.partitions.push(LinkPartition {
+            from: ProcessId::new(from),
+            to: ProcessId::new(to),
+            start,
+            until: None,
+        });
+        self
+    }
+
+    /// Whether the plan contains a permanent (R5-violating) partition.
+    #[must_use]
+    pub fn has_unfair_link(&self) -> bool {
+        self.partitions.iter().any(|p| p.until.is_none())
+    }
+
+    /// Whether the plan can duplicate copies (an R3 violation).
+    #[must_use]
+    pub fn duplicates(&self) -> bool {
+        self.duplicate_prob > 0.0
+    }
+
+    /// Whether the plan can destroy copies (burst loss or partitions).
+    /// Loss is in-model on channels already declared lossy, but breaks the
+    /// reliable-channel assumption of Proposition 2.4 otherwise.
+    #[must_use]
+    pub fn drops_copies(&self) -> bool {
+        self.burst_loss.is_some() || !self.partitions.is_empty()
+    }
+
+    /// Arms the plan for one run: pairs it with the dedicated fault RNG for
+    /// `seed` and zeroed counters.
+    #[must_use]
+    pub fn activate(&self, seed: u64) -> ActiveFaults {
+        ActiveFaults {
+            plan: self.clone(),
+            rng: StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT),
+            stats: FaultStats::default(),
+        }
+    }
+}
+
+/// What actually got injected during one run, for reports and assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Extra copies enqueued by duplication.
+    pub duplicated: u64,
+    /// Copies dropped by burst-loss windows.
+    pub burst_dropped: u64,
+    /// Copies dropped by link partitions (bounded or permanent).
+    pub partition_dropped: u64,
+    /// Copies delayed by spike windows.
+    pub spike_delayed: u64,
+    /// Tick of the first injection of any kind, if one fired.
+    pub first_injection: Option<Time>,
+}
+
+impl FaultStats {
+    /// Total injections of every kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.duplicated + self.burst_dropped + self.partition_dropped + self.spike_delayed
+    }
+
+    fn mark(&mut self, t: Time) {
+        if self.first_injection.is_none_or(|f| t < f) {
+            self.first_injection = Some(t);
+        }
+    }
+}
+
+/// The per-send verdict of the fault engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendDecision {
+    /// Drop every copy of this send (partition or burst window).
+    Drop,
+    /// Let the copy through, possibly perturbed.
+    Pass {
+        /// Extra latency to add to the base RNG-chosen delay.
+        extra_delay: Time,
+        /// If set, also enqueue a duplicate arriving this many ticks after
+        /// the original copy.
+        duplicate_after: Option<Time>,
+    },
+}
+
+/// A [`FaultPlan`] armed for one run: plan + dedicated RNG + counters.
+#[derive(Clone, Debug)]
+pub struct ActiveFaults {
+    plan: FaultPlan,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl ActiveFaults {
+    /// Decides the fate of one copy sent `from → to` at tick `now`, where
+    /// `max_delay` is the channel's maximum base delay (bounds the
+    /// duplicate's extra offset). Draws from the fault RNG only when the
+    /// corresponding injector is configured, so plans are independent of
+    /// each other's randomness.
+    pub fn on_send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        now: Time,
+        max_delay: Time,
+    ) -> SendDecision {
+        if self.plan.partitions.iter().any(|p| p.active(from, to, now)) {
+            self.stats.partition_dropped += 1;
+            self.stats.mark(now);
+            return SendDecision::Drop;
+        }
+        if self.plan.burst_loss.is_some_and(|w| w.contains(now)) {
+            self.stats.burst_dropped += 1;
+            self.stats.mark(now);
+            return SendDecision::Drop;
+        }
+        let mut extra_delay = 0;
+        if let Some((window, extra)) = self.plan.delay_spike {
+            if window.contains(now) {
+                extra_delay = extra;
+                self.stats.spike_delayed += 1;
+                self.stats.mark(now);
+            }
+        }
+        let duplicate_after =
+            if self.plan.duplicate_prob > 0.0 && self.rng.gen_bool(self.plan.duplicate_prob) {
+                Some(self.rng.gen_range(1..=max_delay.max(1)))
+            } else {
+                None
+            };
+        SendDecision::Pass {
+            extra_delay,
+            duplicate_after,
+        }
+    }
+
+    /// Records that the network actually enqueued a duplicate copy at tick
+    /// `now` (a decided duplicate whose original was dropped by base
+    /// channel loss never materializes and is *not* counted).
+    pub fn record_duplicate(&mut self, now: Time) {
+        self.stats.duplicated += 1;
+        self.stats.mark(now);
+    }
+
+    /// The injections so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Consumes the engine, yielding its final counters.
+    #[must_use]
+    pub fn into_stats(self) -> FaultStats {
+        self.stats
+    }
+
+    /// The plan this engine was armed with.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_plan_passes_everything_untouched() {
+        let mut active = FaultPlan::none().activate(7);
+        for t in 1..=100 {
+            assert_eq!(
+                active.on_send(p(0), p(1), t, 3),
+                SendDecision::Pass {
+                    extra_delay: 0,
+                    duplicate_after: None
+                }
+            );
+        }
+        assert_eq!(active.into_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn severed_link_drops_only_its_direction() {
+        let mut active = FaultPlan::none().sever_link(0, 1, 10).activate(0);
+        assert_eq!(
+            active.on_send(p(0), p(1), 9, 3),
+            SendDecision::Pass {
+                extra_delay: 0,
+                duplicate_after: None
+            }
+        );
+        assert_eq!(active.on_send(p(0), p(1), 10, 3), SendDecision::Drop);
+        assert_eq!(active.on_send(p(0), p(1), 9_999, 3), SendDecision::Drop);
+        // The reverse direction and other links are untouched.
+        assert!(matches!(
+            active.on_send(p(1), p(0), 50, 3),
+            SendDecision::Pass { .. }
+        ));
+        assert_eq!(active.stats().partition_dropped, 2);
+        assert_eq!(active.stats().first_injection, Some(10));
+    }
+
+    #[test]
+    fn bounded_partition_heals() {
+        let mut active = FaultPlan::none().partition_link(2, 0, 5, 8).activate(0);
+        assert!(matches!(
+            active.on_send(p(2), p(0), 4, 3),
+            SendDecision::Pass { .. }
+        ));
+        for t in 5..=8 {
+            assert_eq!(active.on_send(p(2), p(0), t, 3), SendDecision::Drop);
+        }
+        assert!(matches!(
+            active.on_send(p(2), p(0), 9, 3),
+            SendDecision::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn burst_window_is_periodic() {
+        let mut active = FaultPlan::none().burst_loss(10, 2).activate(0);
+        // Ticks ≡ 0,1 (mod 10) are inside the window.
+        assert_eq!(active.on_send(p(0), p(1), 10, 3), SendDecision::Drop);
+        assert_eq!(active.on_send(p(0), p(1), 11, 3), SendDecision::Drop);
+        assert!(matches!(
+            active.on_send(p(0), p(1), 12, 3),
+            SendDecision::Pass { .. }
+        ));
+        assert_eq!(active.on_send(p(0), p(1), 21, 3), SendDecision::Drop);
+        assert_eq!(active.stats().burst_dropped, 3);
+    }
+
+    #[test]
+    fn delay_spikes_add_bounded_latency() {
+        let mut active = FaultPlan::none().delay_spikes(20, 5, 9).activate(0);
+        match active.on_send(p(0), p(1), 40, 3) {
+            SendDecision::Pass { extra_delay, .. } => assert_eq!(extra_delay, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+        match active.on_send(p(0), p(1), 45, 3) {
+            SendDecision::Pass { extra_delay, .. } => assert_eq!(extra_delay, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(active.stats().spike_delayed, 1);
+    }
+
+    #[test]
+    fn duplication_fires_and_is_deterministic_per_seed() {
+        let draws = |seed: u64| {
+            let mut active = FaultPlan::none().duplicate(0.5).activate(seed);
+            (1..=200)
+                .map(|t| active.on_send(p(0), p(1), t, 3))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(3), draws(3));
+        assert_ne!(draws(3), draws(4)); // overwhelmingly likely
+        let dups = draws(3)
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d,
+                    SendDecision::Pass {
+                        duplicate_after: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!((50..150).contains(&dups), "dup coin badly biased: {dups}");
+    }
+
+    #[test]
+    fn invalid_duplication_probability_is_a_typed_error() {
+        for bad in [f64::NAN, -0.1, 1.0, 2.0] {
+            let err = FaultPlan::none().try_duplicate(bad).unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidProbability { param, .. } if param == "duplicate_prob"),
+                "{bad}: {err:?}"
+            );
+        }
+        assert!(FaultPlan::none().try_duplicate(0.0).is_ok());
+    }
+
+    #[test]
+    fn plan_classification_helpers() {
+        assert!(!FaultPlan::none().partition_link(0, 1, 1, 9).is_empty());
+        assert!(!FaultPlan::none()
+            .partition_link(0, 1, 1, 9)
+            .has_unfair_link());
+        assert!(FaultPlan::none().sever_link(0, 1, 1).has_unfair_link());
+        assert!(FaultPlan::none().duplicate(0.1).duplicates());
+        assert!(!FaultPlan::none().duplicates());
+    }
+}

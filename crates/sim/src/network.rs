@@ -2,7 +2,11 @@
 //!
 //! Channels are unidirectional, per ordered pair of processes. They never
 //! corrupt or duplicate (R3 holds by construction: only sent copies are
-//! enqueued, each at most once). Loss is decided *at send time*: under
+//! enqueued, each at most once) — unless a [`FaultPlan`](crate::FaultPlan)
+//! explicitly injects duplication through [`Network::send_faulty`], in
+//! which case the extra copies are tracked separately so the conservation
+//! law `sent + duplicated == delivered + dropped + in_flight` still holds.
+//! Loss is decided *at send time*: under
 //! [`ChannelKind::FairLossy`](crate::ChannelKind) each copy independently
 //! survives with probability `1 − drop_prob`; surviving copies receive an
 //! RNG-chosen arrival tick. Delivery order within a channel follows arrival
@@ -10,6 +14,7 @@
 //! minimal assumptions.
 
 use crate::config::ChannelKind;
+use crate::faults::{ActiveFaults, SendDecision};
 use ktudc_model::{ProcessId, Time};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -30,6 +35,8 @@ pub struct Network<M> {
     next_seq: u64,
     sent: u64,
     dropped: u64,
+    delivered: u64,
+    duplicated: u64,
 }
 
 impl<M> Network<M> {
@@ -42,6 +49,8 @@ impl<M> Network<M> {
             next_seq: 0,
             sent: 0,
             dropped: 0,
+            delivered: 0,
+            duplicated: 0,
         }
     }
 
@@ -99,6 +108,7 @@ impl<M> Network<M> {
         }
         best.map(|(c, pos, _, _)| {
             let inf = self.channels[c].remove(pos);
+            self.delivered += 1;
             (ProcessId::new(c / self.n), inf.msg)
         })
     }
@@ -135,11 +145,91 @@ impl<M> Network<M> {
         self.sent
     }
 
-    /// Copies lost to channel unreliability (plus copies discarded at a
-    /// receiver's crash).
+    /// Copies lost to channel unreliability, injected faults, and copies
+    /// discarded at a receiver's crash.
     #[must_use]
     pub fn dropped_count(&self) -> u64 {
         self.dropped
+    }
+
+    /// Copies removed from the network by delivery.
+    #[must_use]
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Extra copies enqueued by fault-injected duplication (counted on top
+    /// of `sent`, which only counts protocol-originated copies).
+    #[must_use]
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Copies currently in flight. Together with the other counters this
+    /// satisfies the conservation law
+    /// `sent + duplicated == delivered + dropped + in_flight`
+    /// at every instant.
+    #[must_use]
+    pub fn in_flight_count(&self) -> u64 {
+        self.channels.iter().map(|c| c.len() as u64).sum()
+    }
+}
+
+impl<M: Clone> Network<M> {
+    /// Like [`Network::send`], but routed through an armed fault engine:
+    /// the copy may be dropped by a partition or burst window, delayed by a
+    /// spike, or duplicated. Base channel loss and the base delay draw use
+    /// the scheduler RNG exactly as [`Network::send`] does; all fault
+    /// randomness comes from `faults`' dedicated stream.
+    #[allow(clippy::too_many_arguments)] // mirrors `send` plus the fault engine
+    pub fn send_faulty(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        now: Time,
+        kind: ChannelKind,
+        rng: &mut StdRng,
+        faults: &mut ActiveFaults,
+    ) {
+        self.sent += 1;
+        let (extra_delay, duplicate_after) = match faults.on_send(from, to, now, kind.max_delay()) {
+            SendDecision::Drop => {
+                self.dropped += 1;
+                return;
+            }
+            SendDecision::Pass {
+                extra_delay,
+                duplicate_after,
+            } => (extra_delay, duplicate_after),
+        };
+        if let ChannelKind::FairLossy { drop_prob, .. } = kind {
+            if rng.gen_bool(drop_prob) {
+                self.dropped += 1;
+                return;
+            }
+        }
+        let delay = rng.gen_range(1..=kind.max_delay()) + extra_delay;
+        let idx = self.idx(from, to);
+        let arrival = now + delay;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.channels[idx].push(InFlight {
+            msg: msg.clone(),
+            arrival,
+            seq,
+        });
+        if let Some(after) = duplicate_after {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.channels[idx].push(InFlight {
+                msg,
+                arrival: arrival + after,
+                seq,
+            });
+            self.duplicated += 1;
+            faults.record_duplicate(now);
+        }
     }
 }
 
@@ -209,6 +299,68 @@ mod tests {
         net.drop_all_to(p(1));
         assert_eq!(net.deliver_one(p(1), 100), None);
         assert_eq!(net.deliver_one(p(0), 100), Some((p(1), 2u8)));
+    }
+
+    #[test]
+    fn conservation_law_holds_through_faulty_sends() {
+        use crate::faults::FaultPlan;
+        let mut net = Network::new(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut faults = FaultPlan::none()
+            .duplicate(0.4)
+            .burst_loss(10, 3)
+            .sever_link(0, 2, 1)
+            .activate(5);
+        let kind = ChannelKind::fair_lossy(0.3);
+        let check = |net: &Network<u64>| {
+            assert_eq!(
+                net.sent_count() + net.duplicated_count(),
+                net.delivered_count() + net.dropped_count() + net.in_flight_count(),
+            );
+        };
+        for t in 1..=120 {
+            net.send_faulty(p(0), p(1), t, t, kind, &mut rng, &mut faults);
+            net.send_faulty(p(0), p(2), t, t, kind, &mut rng, &mut faults);
+            check(&net);
+            if t % 4 == 0 {
+                net.deliver_one(p(1), t);
+                check(&net);
+            }
+            if t == 60 {
+                net.drop_all_to(p(1));
+                check(&net);
+            }
+        }
+        // The severed link delivered nothing, ever.
+        assert_eq!(net.deliver_one(p(2), 10_000), None);
+        let stats = faults.into_stats();
+        assert_eq!(stats.partition_dropped, 120);
+        assert!(stats.duplicated > 0, "duplication never fired");
+        assert!(stats.burst_dropped > 0, "burst loss never fired");
+    }
+
+    #[test]
+    fn faulty_send_with_empty_plan_matches_plain_send() {
+        use crate::faults::FaultPlan;
+        let kind = ChannelKind::fair_lossy(0.3);
+        let plain = {
+            let mut net = Network::new(2);
+            let mut rng = StdRng::seed_from_u64(9);
+            for t in 1..=50 {
+                net.send(p(0), p(1), t, t, kind, &mut rng);
+            }
+            std::iter::from_fn(|| net.deliver_one(p(1), 1000)).collect::<Vec<_>>()
+        };
+        let faulty = {
+            let mut net = Network::new(2);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut faults = FaultPlan::none().activate(9);
+            for t in 1..=50 {
+                net.send_faulty(p(0), p(1), t, t, kind, &mut rng, &mut faults);
+            }
+            std::iter::from_fn(|| net.deliver_one(p(1), 1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(plain, faulty);
     }
 
     #[test]

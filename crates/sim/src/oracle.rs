@@ -98,6 +98,25 @@ pub trait FdOracle {
     }
 }
 
+/// Boxed oracles are oracles, so wrappers (e.g. the contract-violating
+/// perturbations in `ktudc-fd`) can compose with dynamically chosen
+/// detectors.
+impl FdOracle for Box<dyn FdOracle> {
+    fn poll(
+        &mut self,
+        p: ProcessId,
+        time: Time,
+        truth: &FaultTruth,
+        rng: &mut StdRng,
+    ) -> Option<SuspectReport> {
+        (**self).poll(p, time, truth, rng)
+    }
+
+    fn class_name(&self) -> &'static str {
+        (**self).class_name()
+    }
+}
+
 /// The absent failure detector: never reports anything. This is the "no FD"
 /// context of Table 1.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -8,10 +8,11 @@
 //! together with the ground-truth fault schedule and quiescence information.
 
 use crate::config::{SimConfig, Workload};
+use crate::faults::FaultStats;
 use crate::network::Network;
 use crate::oracle::{FaultTruth, FdOracle};
 use crate::protocol::{ProtoAction, Protocol};
-use ktudc_model::{ActionId, Event, ProcessId, Run, RunBuilder, Time};
+use ktudc_model::{ActionId, Event, ModelError, ProcessId, Run, RunBuilder, Time};
 use rand::Rng;
 use std::collections::VecDeque;
 use std::hash::Hash;
@@ -31,8 +32,35 @@ pub struct SimOutcome<M> {
     pub quiescent: bool,
     /// Total message copies handed to the network.
     pub messages_sent: u64,
-    /// Copies lost to channel unreliability or receiver crashes.
+    /// Copies lost to channel unreliability, injected faults, or receiver
+    /// crashes.
     pub messages_dropped: u64,
+    /// What the fault engine actually injected (all zeros for
+    /// [`FaultPlan::none`](crate::FaultPlan::none)).
+    pub faults: FaultStats,
+}
+
+/// Appends a receive, tolerating the R3 rejection that an injected
+/// duplicate provokes: when the fault plan can duplicate, the offending
+/// receive is force-appended so the run records exactly what happened on
+/// the wire (and `Run::check_conditions` will flag it). Any other append
+/// failure is a runner bug.
+fn append_recv<M: Clone + Eq + Hash>(
+    builder: &mut RunBuilder<M>,
+    p: ProcessId,
+    t: Time,
+    event: Event<M>,
+    duplication_possible: bool,
+) {
+    match builder.append(p, t, event.clone()) {
+        Ok(()) => {}
+        Err(ModelError::ReceiveWithoutSend { .. }) if duplication_possible => {
+            builder
+                .force_append(p, t, event)
+                .expect("force_append only relaxes R3");
+        }
+        Err(e) => panic!("recv append: {e}"),
+    }
 }
 
 /// Runs `make(p)`-built protocols in the context described by `config`,
@@ -74,6 +102,12 @@ where
     let kind = config.channel_kind();
     let fd_period = config.fd_period_ticks();
     let horizon = config.horizon_ticks();
+    // The armed fault engine draws from its own salted RNG stream, so an
+    // empty plan leaves the scheduler RNG sequence — and thus every
+    // previously pinned run — byte-identical.
+    let inject = !config.fault_plan().is_empty();
+    let duplication_possible = config.fault_plan().duplicates();
+    let mut faults = config.fault_plan().activate(config.seed_value());
 
     for t in 1..=horizon {
         // Enqueue this tick's workload initiations.
@@ -126,7 +160,7 @@ where
             if prefer_delivery {
                 if let Some((from, msg)) = net.deliver_one(p, t) {
                     let event = Event::Recv { from, msg };
-                    builder.append(p, t, event.clone()).expect("recv append");
+                    append_recv(&mut builder, p, t, event.clone(), duplication_possible);
                     protocols[p.index()].observe(t, &event);
                     continue;
                 }
@@ -139,7 +173,11 @@ where
                     };
                     builder.append(p, t, event.clone()).expect("send append");
                     protocols[p.index()].observe(t, &event);
-                    net.send(p, to, msg, t, kind, &mut rng);
+                    if inject {
+                        net.send_faulty(p, to, msg, t, kind, &mut rng, &mut faults);
+                    } else {
+                        net.send(p, to, msg, t, kind, &mut rng);
+                    }
                 }
                 Some(ProtoAction::Do(action)) => {
                     let event = Event::Do { action };
@@ -152,7 +190,7 @@ where
                     if deliverable {
                         if let Some((from, msg)) = net.deliver_one(p, t) {
                             let event = Event::Recv { from, msg };
-                            builder.append(p, t, event.clone()).expect("recv append");
+                            append_recv(&mut builder, p, t, event.clone(), duplication_possible);
                             protocols[p.index()].observe(t, &event);
                         }
                     }
@@ -177,6 +215,7 @@ where
         quiescent,
         messages_sent: net.sent_count(),
         messages_dropped: net.dropped_count(),
+        faults: faults.into_stats(),
     }
 }
 

@@ -1,0 +1,257 @@
+//! End-to-end fault injection through the Monte-Carlo runner: each
+//! injector leaves its intended fingerprint on the generated run, the
+//! model layer's condition checker flags exactly the out-of-model ones,
+//! and everything is deterministic per seed.
+
+use ktudc_model::{ActionId, Event, ModelError, ProcessId, Time};
+use ktudc_sim::{
+    run_protocol, ChannelKind, FaultPlan, NullOracle, Outbox, ProtoAction, Protocol, SimConfig,
+    Workload,
+};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Toy flooding protocol (same shape as the runner's unit-test protocol):
+/// on `init(α)` or first receipt of `α`, perform `α` and relay it once to
+/// everyone. Non-retransmitting.
+#[derive(Clone, Debug)]
+struct Flood {
+    me: ProcessId,
+    n: usize,
+    seen: BTreeSet<ActionId>,
+    to_do: VecDeque<ActionId>,
+    out: Outbox<ActionId>,
+}
+
+impl Flood {
+    fn new() -> Self {
+        Flood {
+            me: ProcessId::new(0),
+            n: 0,
+            seen: BTreeSet::new(),
+            to_do: VecDeque::new(),
+            out: Outbox::new(),
+        }
+    }
+
+    fn learn(&mut self, action: ActionId) {
+        if self.seen.insert(action) {
+            self.out.broadcast(self.me, self.n, action);
+            self.to_do.push_back(action);
+        }
+    }
+}
+
+impl Protocol<ActionId> for Flood {
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<ActionId>) {
+        match event {
+            Event::Init { action } => self.learn(*action),
+            Event::Recv { msg, .. } => self.learn(*msg),
+            _ => {}
+        }
+    }
+
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<ActionId>> {
+        if let Some(a) = self.to_do.pop_front() {
+            return Some(ProtoAction::Do(a));
+        }
+        self.out.pop()
+    }
+
+    fn quiescent(&self) -> bool {
+        self.to_do.is_empty() && self.out.is_empty()
+    }
+}
+
+/// Two-process ping/ack protocol that *retransmits*: process 0 sends
+/// `Ping` to process 1 on every free slot until it receives an `Ack`.
+/// Under a severed 0→1 link this pushes an unbounded stream of copies
+/// into the void — the finite-horizon R5 witness.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Msg {
+    Ping,
+    Ack,
+}
+
+#[derive(Clone, Debug)]
+struct Pester {
+    me: ProcessId,
+    acked: bool,
+    out: Outbox<Msg>,
+}
+
+impl Pester {
+    fn new() -> Self {
+        Pester {
+            me: ProcessId::new(0),
+            acked: false,
+            out: Outbox::new(),
+        }
+    }
+}
+
+impl Protocol<Msg> for Pester {
+    fn start(&mut self, me: ProcessId, _n: usize) {
+        self.me = me;
+    }
+
+    fn observe(&mut self, _time: Time, event: &Event<Msg>) {
+        if let Event::Recv { msg, .. } = event {
+            match msg {
+                Msg::Ping => self.out.send(ProcessId::new(0), Msg::Ack),
+                Msg::Ack => self.acked = true,
+            }
+        }
+    }
+
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<Msg>> {
+        if let Some(a) = self.out.pop() {
+            return Some(a);
+        }
+        if self.me.index() == 0 && !self.acked {
+            return Some(ProtoAction::Send {
+                to: ProcessId::new(1),
+                msg: Msg::Ping,
+            });
+        }
+        None
+    }
+
+    fn quiescent(&self) -> bool {
+        self.out.is_empty() && (self.me.index() != 0 || self.acked)
+    }
+}
+
+#[test]
+fn duplication_is_recorded_and_flagged_as_r3() {
+    let config = SimConfig::new(4)
+        .horizon(120)
+        .seed(2)
+        .faults(FaultPlan::none().duplicate(0.6));
+    let w = Workload::periodic(4, 6, 60);
+    let out = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+    assert!(out.faults.duplicated > 0, "duplication never fired");
+    assert!(out.faults.first_injection.is_some());
+    match out.run.check_conditions(0) {
+        Err(ModelError::ReceiveWithoutSend { .. }) => {}
+        other => panic!("expected an R3 violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn delay_spikes_are_in_model() {
+    let baseline = SimConfig::new(4).horizon(300).seed(7);
+    let spiky = baseline
+        .clone()
+        .faults(FaultPlan::none().delay_spikes(40, 10, 6));
+    let w = Workload::periodic(4, 9, 60);
+    let out = run_protocol(&spiky, |_| Flood::new(), &mut NullOracle::new(), &w);
+    assert!(out.faults.spike_delayed > 0, "no copy hit a spike window");
+    // Bounded extra latency violates nothing: the run is well-formed and
+    // the protocol still terminates at this horizon.
+    out.run.check_conditions(30).unwrap();
+    assert!(out.quiescent, "flood should still quiesce despite spikes");
+}
+
+#[test]
+fn severed_link_is_flagged_as_unfair_at_finite_threshold() {
+    let config = SimConfig::new(2)
+        .horizon(150)
+        .seed(4)
+        .faults(FaultPlan::none().sever_link(0, 1, 1));
+    let out = run_protocol(
+        &config,
+        |_| Pester::new(),
+        &mut NullOracle::new(),
+        &Workload::none(),
+    );
+    assert!(out.faults.partition_dropped > 0);
+    assert!(!out.quiescent, "the ack can never arrive");
+    // R1–R4 still hold: dropping is not a structural violation…
+    out.run.check_conditions(0).unwrap();
+    // …but at a finite fairness threshold the unbounded unanswered stream
+    // is an R5 witness.
+    match out.run.check_conditions(20) {
+        Err(ModelError::UnfairChannel {
+            sender, receiver, ..
+        }) => {
+            assert_eq!(sender, ProcessId::new(0));
+            assert_eq!(receiver, ProcessId::new(1));
+        }
+        other => panic!("expected an R5 violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn bounded_partition_and_burst_loss_are_survived_by_retransmission() {
+    let config = SimConfig::new(2).horizon(400).seed(11).faults(
+        FaultPlan::none()
+            .partition_link(0, 1, 1, 60)
+            .burst_loss(10, 3),
+    );
+    let out = run_protocol(
+        &config,
+        |_| Pester::new(),
+        &mut NullOracle::new(),
+        &Workload::none(),
+    );
+    assert!(out.faults.partition_dropped > 0);
+    assert!(out.faults.burst_dropped > 0);
+    // Retransmission rides out the healed partition and the periodic
+    // bursts: the ping gets through and the run satisfies every condition
+    // even at a finite fairness threshold.
+    assert!(
+        out.quiescent,
+        "ping/ack should complete after the partition heals"
+    );
+    out.run.check_conditions(40).unwrap();
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let plan = FaultPlan::none()
+        .duplicate(0.3)
+        .delay_spikes(30, 8, 5)
+        .burst_loss(25, 4)
+        .partition_link(1, 2, 10, 50);
+    let config = SimConfig::new(4)
+        .channel(ChannelKind::fair_lossy(0.2))
+        .horizon(200)
+        .seed(42)
+        .faults(plan);
+    let w = Workload::periodic(4, 7, 80);
+    let a = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+    let b = run_protocol(&config, |_| Flood::new(), &mut NullOracle::new(), &w);
+    assert_eq!(a.run, b.run, "identical plan+seed must reproduce the run");
+    assert_eq!(a.faults, b.faults);
+    let c = run_protocol(
+        &config.clone().seed(43),
+        |_| Flood::new(),
+        &mut NullOracle::new(),
+        &w,
+    );
+    assert_ne!(a.run, c.run, "different seeds should diverge");
+}
+
+#[test]
+fn empty_plan_changes_nothing() {
+    let base = SimConfig::new(3)
+        .channel(ChannelKind::fair_lossy(0.3))
+        .horizon(120)
+        .seed(5);
+    let w = Workload::periodic(3, 5, 50);
+    let plain = run_protocol(&base, |_| Flood::new(), &mut NullOracle::new(), &w);
+    let with_empty_plan = run_protocol(
+        &base.clone().faults(FaultPlan::none()),
+        |_| Flood::new(),
+        &mut NullOracle::new(),
+        &w,
+    );
+    assert_eq!(plain.run, with_empty_plan.run);
+    assert_eq!(plain.messages_sent, with_empty_plan.messages_sent);
+    assert_eq!(with_empty_plan.faults.total(), 0);
+}

@@ -1,0 +1,91 @@
+//! Property tests for crash-plan resolution and network accounting.
+//!
+//! Satellite coverage for the fault-injection engine: resolved crash sets
+//! respect the fault bound `t` and are deterministic per seed, and the
+//! network's conservation law `sent + duplicated == delivered + dropped +
+//! in_flight` survives arbitrary interleavings of (faulty) sends,
+//! deliveries, and crash-triggered `drop_all_to` sweeps.
+
+use ktudc_model::ProcessId;
+use ktudc_sim::network::Network;
+use ktudc_sim::{ChannelKind, CrashPlan, FaultPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn resolved_crashes_respect_the_bound(
+        n in 1usize..10,
+        max_failures in 0usize..8,
+        latest in 1u64..60,
+        seed in 0u64..u64::MAX,
+    ) {
+        let plan = CrashPlan::Random { max_failures, latest };
+        let times = plan.resolve(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(times.len(), n);
+        let crashed = times.iter().filter(|t| t.is_some()).count();
+        prop_assert!(crashed <= max_failures.min(n),
+            "{} crashes exceed bound {}", crashed, max_failures.min(n));
+        for t in times.into_iter().flatten() {
+            prop_assert!((1..=latest).contains(&t), "crash tick {} outside 1..={}", t, latest);
+        }
+    }
+
+    #[test]
+    fn resolution_is_deterministic_per_seed(
+        n in 1usize..10,
+        max_failures in 0usize..8,
+        latest in 1u64..60,
+        seed in 0u64..u64::MAX,
+    ) {
+        let plan = CrashPlan::Random { max_failures, latest };
+        let a = plan.resolve(n, &mut StdRng::seed_from_u64(seed));
+        let b = plan.resolve(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Ops: (kind, from, to, tick-ish). Encodes an arbitrary interleaving of
+    /// faulty sends, deliveries, and drop-all sweeps on a 3-process network.
+    #[test]
+    fn conservation_law_is_invariant(
+        ops in proptest::collection::vec((0u8..3, 0usize..3, 0usize..3, 1u64..40), 0..120),
+        seed in 0u64..u64::MAX,
+        dup_milli in 0u64..900,
+    ) {
+        let mut net: Network<u64> = Network::new(3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        #[allow(clippy::cast_precision_loss)]
+        let plan = FaultPlan::none()
+            .duplicate(dup_milli as f64 / 1000.0)
+            .burst_loss(7, 2)
+            .partition_link(0, 1, 5, 20);
+        let mut faults = plan.activate(seed);
+        let kind = ChannelKind::fair_lossy(0.25);
+        let mut now = 1u64;
+        for (op, from, to, dt) in ops {
+            now += dt;
+            match op {
+                0 => net.send_faulty(
+                    ProcessId::new(from), ProcessId::new(to), now, now, kind, &mut rng, &mut faults,
+                ),
+                1 => { net.deliver_one(ProcessId::new(to), now); }
+                _ => net.drop_all_to(ProcessId::new(to)),
+            }
+            prop_assert_eq!(
+                net.sent_count() + net.duplicated_count(),
+                net.delivered_count() + net.dropped_count() + net.in_flight_count(),
+                "conservation broken after op {} at tick {}", op, now
+            );
+        }
+        // Draining the network moves everything to delivered.
+        for p in 0..3 {
+            while net.deliver_one(ProcessId::new(p), u64::MAX).is_some() {}
+        }
+        prop_assert_eq!(net.in_flight_count(), 0);
+        prop_assert_eq!(
+            net.sent_count() + net.duplicated_count(),
+            net.delivered_count() + net.dropped_count()
+        );
+    }
+}

@@ -51,9 +51,13 @@ fn main() {
     }
 
     // Machine-check UDC (DC1–DC3 of §2.4) and the run conditions R1–R5.
+    // R5 uses the finite-horizon reading: on a 30%-lossy channel a message
+    // sent only once (e.g. by a process that crashes right after) may
+    // legitimately never arrive, so fairness is only demanded of messages
+    // resent at least 25 times — the same slack the chaos campaign uses.
     let verdict = check_udc(&out.run, &workload.actions());
     out.run
-        .check_conditions(1)
+        .check_conditions(25)
         .expect("R1-R5 hold on simulator output");
     println!("UDC verdict           : {verdict:?}");
     assert_eq!(verdict, Verdict::Satisfied);

@@ -20,6 +20,7 @@ fn server(workers: usize, queue: usize, cache: usize) -> (ktudc_serve::ServerHan
         workers,
         queue_capacity: queue,
         cache_capacity: cache,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr();
