@@ -1,7 +1,7 @@
 //! Fixed performance workloads for the bitset/parallel machinery, emitting
 //! `BENCH_ktudc.json` in the working directory.
 //!
-//! Four workloads run, each pinned so results are comparable across
+//! Five workloads run, each pinned so results are comparable across
 //! commits:
 //!
 //! 1. **checker** — an exhaustively explored n = 3 system (horizon 24,
@@ -21,6 +21,11 @@
 //!    alarms) and lethal (every out-of-model mutant detected), with
 //!    campaign throughput in plans/sec and the R3 structural-detection
 //!    latency in ticks recorded under the `chaos` key.
+//! 5. **recovery** — the durability tax and recovery speed: a pinned
+//!    exploration run plain vs. checkpoint-journaled (fsync per entry),
+//!    resumed from a torn journal (all three digest-identical), plus a
+//!    durable `ktudc-serve` reboot over a populated cache snapshot,
+//!    timed bind-to-ready. Recorded under the `recovery` key.
 //!
 //! `--smoke` shrinks every workload to a few seconds total for CI; the
 //! schema of the emitted JSON is unchanged (`"mode"` records which ran).
@@ -108,6 +113,31 @@ struct ChaosReportSummary {
 }
 
 #[derive(Serialize)]
+struct RecoveryBench {
+    n: usize,
+    horizon: Time,
+    runs: usize,
+    /// Wall time of the plain (journal-free) exploration.
+    plain_secs: f64,
+    /// Wall time of the same exploration with a fresh checkpoint
+    /// journal (fsync on every entry).
+    checkpointed_secs: f64,
+    /// What journaling costs, as a percentage of the plain time.
+    checkpoint_overhead_percent: f64,
+    /// Journal entries replayed when resuming the torn journal.
+    replayed_entries: u64,
+    replay_secs: f64,
+    replay_entries_per_sec: f64,
+    /// Whether plain, checkpointed, and torn-then-resumed explorations
+    /// all produced the same run-set digest.
+    digest_identical: bool,
+    /// A durable `ktudc-serve` reboot: bind → cache recovered → boot
+    /// snapshot persisted → accepting.
+    restart_to_ready_ms: f64,
+    recovered_cache_entries: usize,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
@@ -116,6 +146,7 @@ struct Report {
     explorer: ExplorerReport,
     cell: CellReport,
     chaos: ChaosReportSummary,
+    recovery: RecoveryBench,
     via_serve: Option<ViaServeReport>,
 }
 
@@ -403,6 +434,106 @@ fn chaos_workload(smoke: bool) -> ChaosReportSummary {
     }
 }
 
+/// The durability tax and the recovery speed, both sides of the
+/// checkpoint/restart subsystem:
+///
+/// * an exploration run plain, then with a checkpoint journal (fsync
+///   per entry — the worst case), then resumed from a deliberately torn
+///   journal, all three asserted digest-identical;
+/// * a durable `ktudc-serve` reboot over a populated cache snapshot,
+///   timed bind-to-ready.
+fn recovery_workload(smoke: bool) -> RecoveryBench {
+    use ktudc_serve::{serve, Client, RequestKind, ServeConfig};
+    use ktudc_sim::{
+        explore_spec_checkpointed, resume_checkpoint, run_explore_spec, system_digest, ExploreSpec,
+    };
+    use ktudc_store::SyncPolicy;
+
+    let mut tmp = std::env::temp_dir();
+    tmp.push(format!("ktudc-perf-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create scratch dir");
+
+    let mut spec = if smoke {
+        ExploreSpec::new(3, 6)
+    } else {
+        ExploreSpec::new(3, 8)
+    };
+    spec.max_failures = 2;
+
+    let t0 = Instant::now();
+    let plain = run_explore_spec(&spec).expect("valid spec");
+    let plain_secs = t0.elapsed().as_secs_f64();
+
+    let journal = tmp.join("explore.ckpt");
+    let t0 = Instant::now();
+    let (checkpointed, _) = explore_spec_checkpointed(&spec, &journal, SyncPolicy::Always)
+        .expect("checkpointed exploration");
+    let checkpointed_secs = t0.elapsed().as_secs_f64();
+    let checkpointed_digest = system_digest(&checkpointed.system);
+
+    // Tear the journal's tail, then resume: the lost subtrees are
+    // recomputed, the surviving ones replayed.
+    let len = std::fs::metadata(&journal).expect("stat journal").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&journal)
+        .expect("open journal")
+        .set_len(len.saturating_sub(37))
+        .expect("tear journal tail");
+    let t0 = Instant::now();
+    let (_, resumed, stats) =
+        resume_checkpoint(&journal, SyncPolicy::Always).expect("resume torn journal");
+    let replay_secs = t0.elapsed().as_secs_f64();
+    let resumed_digest = system_digest(&resumed.system);
+    let digest_identical = plain.digest == checkpointed_digest && plain.digest == resumed_digest;
+    assert!(digest_identical, "resume diverged from uninterrupted run");
+
+    // Durable serve reboot: populate, drain (snapshots), boot again.
+    let data_dir = tmp.join("serve");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: Some(data_dir),
+        snapshot_every: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(&config).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let kinds: Vec<RequestKind> = (0..4)
+        .map(|i| {
+            RequestKind::Cell(
+                CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+                    .trials(2)
+                    .horizon(80 + i),
+            )
+        })
+        .collect();
+    client.batch(kinds).expect("populate cache");
+    handle.shutdown();
+    handle.join();
+
+    let handle = serve(&config).expect("rebind");
+    let recovery = handle.recovery();
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    RecoveryBench {
+        n: spec.n,
+        horizon: spec.horizon,
+        runs: resumed.system.len(),
+        plain_secs,
+        checkpointed_secs,
+        checkpoint_overhead_percent: (checkpointed_secs / plain_secs - 1.0) * 100.0,
+        replayed_entries: stats.replayed_entries,
+        replay_secs,
+        replay_entries_per_sec: stats.replayed_entries as f64 / replay_secs,
+        digest_identical,
+        restart_to_ready_ms: recovery.restart_to_ready_micros as f64 / 1_000.0,
+        recovered_cache_entries: recovery.recovered_cache_entries,
+    }
+}
+
 /// The same cell workload, emitted through an in-process `ktudc-serve`
 /// daemon as one pipelined batch — cold (every request computed), then
 /// warm (every request answered from the scenario cache).
@@ -525,6 +656,20 @@ fn main() {
         chaos.detection_latency_ticks_mean,
     );
 
+    let recovery = recovery_workload(smoke);
+    eprintln!(
+        "perf: recovery {} runs: checkpoint overhead {:.1}% ({:.3}s vs {:.3}s), replay {} entries in {:.3}s ({:.0}/s), restart-to-ready {:.2} ms ({} entries recovered)",
+        recovery.runs,
+        recovery.checkpoint_overhead_percent,
+        recovery.checkpointed_secs,
+        recovery.plain_secs,
+        recovery.replayed_entries,
+        recovery.replay_secs,
+        recovery.replay_entries_per_sec,
+        recovery.restart_to_ready_ms,
+        recovery.recovered_cache_entries,
+    );
+
     let via_serve = via_serve.then(|| {
         let r = via_serve_workload(smoke);
         eprintln!(
@@ -547,6 +692,7 @@ fn main() {
         explorer,
         cell,
         chaos,
+        recovery,
         via_serve,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

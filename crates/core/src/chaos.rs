@@ -39,9 +39,10 @@ use ktudc_model::{ModelError, ProcessId, Time};
 use ktudc_sim::{
     run_protocol, ChannelKind, CrashPlan, FaultPlan, FdOracle, SimConfig, SimOutcome, Workload,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 
 /// Fairness threshold (R5 reading) used by the campaign's structural
 /// check: a message sent this many times to a live receiver with zero
@@ -51,7 +52,7 @@ use std::fmt;
 pub const FAIRNESS_THRESHOLD: usize = 25;
 
 /// Whether a plan stays inside the model assumptions of a given cell.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PlanClass {
     /// R1–R5 and the cell's context assumptions still hold; checkers must
     /// stay silent and the verdict must not move.
@@ -281,7 +282,7 @@ pub fn claimed_properties(fd: FdChoice) -> &'static [FdProperty] {
 }
 
 /// How one campaign row was classified.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RowOutcome {
     /// In-model plan, verdict unchanged, every checker silent.
     Clean,
@@ -296,12 +297,17 @@ pub enum RowOutcome {
 }
 
 /// One (cell, plan, seed) trial of the campaign.
-#[derive(Clone, Debug, Hash, Serialize)]
+///
+/// Owns its strings (rather than borrowing the plan catalog's `'static`
+/// names) so rows journaled by [`run_chaos_campaign_journaled`] can be
+/// deserialized on resume; `String` and `&str` hash identically, so the
+/// report digest is unaffected.
+#[derive(Clone, Debug, Hash, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChaosRow {
     /// Cell display label.
     pub cell: String,
     /// Plan name.
-    pub plan: &'static str,
+    pub plan: String,
     /// Plan classification relative to this cell.
     pub class: PlanClass,
     /// Trial seed.
@@ -310,9 +316,9 @@ pub struct ChaosRow {
     /// scheduled FD perturbations that could fire.
     pub injected: u64,
     /// UDC verdict of the unperturbed trial at the same seed.
-    pub baseline_verdict: &'static str,
+    pub baseline_verdict: String,
     /// UDC verdict of the perturbed trial.
-    pub verdict: &'static str,
+    pub verdict: String,
     /// Every alarm raised, in checker order (structural, FD-class,
     /// fault-bound, spec verdict).
     pub detections: Vec<String>,
@@ -445,12 +451,12 @@ pub fn run_chaos_trial(label: &str, cell: &CellSpec, plan: &ChaosPlan, seed: u64
     };
     ChaosRow {
         cell: label.to_string(),
-        plan: plan.name,
+        plan: plan.name.to_string(),
         class,
         seed,
         injected,
-        baseline_verdict,
-        verdict,
+        baseline_verdict: baseline_verdict.to_string(),
+        verdict: verdict.to_string(),
         detections,
         outcome,
         detection_tick,
@@ -507,7 +513,8 @@ impl ChaosReport {
         let mut killed: BTreeMap<&str, bool> = BTreeMap::new();
         for row in &self.rows {
             if row.class == PlanClass::OutOfModel {
-                *killed.entry(row.plan).or_insert(false) |= row.outcome == RowOutcome::Detected;
+                *killed.entry(row.plan.as_str()).or_insert(false) |=
+                    row.outcome == RowOutcome::Detected;
             }
         }
         !killed.is_empty() && killed.values().all(|&d| d)
@@ -560,6 +567,192 @@ pub fn run_chaos_campaign(
         run_chaos_trial(&label, &cell, &plan, seed)
     });
     ChaosReport::tally(rows)
+}
+
+/// What a journaled campaign replayed versus recomputed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosResumeStats {
+    /// Trials in the campaign's work list.
+    pub total_trials: usize,
+    /// Trials whose rows were replayed from the journal.
+    pub resumed_trials: usize,
+    /// Trials computed (and journaled) by this invocation.
+    pub computed_trials: usize,
+    /// Valid journal entries found at open (including the header).
+    pub replayed_entries: u64,
+    /// Torn/corrupt bytes the journal layer truncated at open.
+    pub truncated_bytes: u64,
+    /// Whether the journal already existed (i.e. this was a resume).
+    pub resumed: bool,
+}
+
+/// One journal entry of a checkpointed campaign, JSON-encoded.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum ChaosJournalEntry {
+    /// First entry: pins the exact work list (cells, plans, seeds, order).
+    Header {
+        /// [`campaign_fingerprint`] of the work list.
+        fingerprint: u64,
+    },
+    /// One completed trial, by work-list index.
+    Trial {
+        /// Index into the deterministic work list.
+        index: usize,
+        /// The finished row, exactly as a fresh run would produce it.
+        row: ChaosRow,
+    },
+}
+
+/// Stable fingerprint of a campaign's work list: every (label, cell,
+/// plan name, seed) in order. Two campaigns share a journal iff they
+/// agree on this.
+fn campaign_fingerprint(work: &[(String, CellSpec, ChaosPlan, u64)]) -> Result<u64, String> {
+    let mut items: Vec<(String, String, String, u64)> = Vec::with_capacity(work.len());
+    for (label, cell, plan, seed) in work {
+        let cell_json =
+            serde_json::to_string(cell).map_err(|e| format!("chaos journal: encode cell: {e}"))?;
+        items.push((label.clone(), cell_json, plan.name.to_string(), *seed));
+    }
+    Ok(stable_hash(&items))
+}
+
+/// [`run_chaos_campaign`], checkpointed: every completed trial is
+/// appended to the journal at `path`, so a killed campaign resumes from
+/// the last durable trial and — because trials are fully
+/// seed-determined — produces a report digest **identical** to an
+/// uninterrupted run's, whatever mixture of replay and recomputation
+/// built it.
+///
+/// # Errors
+///
+/// Returns I/O failures, a journal written for a different campaign
+/// (cells/plans/seeds mismatch), or an unparseable (version-skewed)
+/// journal.
+pub fn run_chaos_campaign_journaled(
+    cells: &[(String, CellSpec)],
+    plans: &[ChaosPlan],
+    seeds: &[u64],
+    path: &Path,
+    sync: ktudc_store::SyncPolicy,
+) -> Result<(ChaosReport, ChaosResumeStats), String> {
+    let mut work = Vec::new();
+    for (label, cell) in cells {
+        for plan in plans.iter().filter(|p| p.applies_to(cell)) {
+            for &seed in seeds {
+                work.push((label.clone(), cell.clone(), plan.clone(), seed));
+            }
+        }
+    }
+    let fingerprint = campaign_fingerprint(&work)?;
+
+    let (mut journal, recovered) = ktudc_store::Journal::recover(path, sync)
+        .map_err(|e| format!("chaos journal {}: {e}", path.display()))?;
+    let mut stats = ChaosResumeStats {
+        total_trials: work.len(),
+        replayed_entries: recovered.entries.len() as u64,
+        truncated_bytes: recovered.truncated_bytes,
+        resumed: recovered.existed && !recovered.entries.is_empty(),
+        ..ChaosResumeStats::default()
+    };
+
+    let mut done: BTreeMap<usize, ChaosRow> = BTreeMap::new();
+    for (i, bytes) in recovered.entries.iter().enumerate() {
+        let entry: ChaosJournalEntry = std::str::from_utf8(bytes)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+            .map_err(|e| {
+                format!(
+                    "chaos journal {}: entry {i} does not parse ({e}); \
+                     the journal was written by an incompatible version",
+                    path.display()
+                )
+            })?;
+        match (i, entry) {
+            (0, ChaosJournalEntry::Header { fingerprint: f }) if f == fingerprint => {}
+            (0, ChaosJournalEntry::Header { .. }) => {
+                return Err(format!(
+                    "chaos journal {} was written for a different campaign; \
+                     refusing to merge (delete it to start over)",
+                    path.display()
+                ));
+            }
+            (0, ChaosJournalEntry::Trial { .. }) => {
+                return Err(format!(
+                    "chaos journal {}: first entry is not a header",
+                    path.display()
+                ));
+            }
+            (_, ChaosJournalEntry::Trial { index, row }) if index < work.len() => {
+                done.insert(index, row);
+            }
+            (_, ChaosJournalEntry::Trial { index, .. }) => {
+                return Err(format!(
+                    "chaos journal {}: trial index {index} out of range",
+                    path.display()
+                ));
+            }
+            (_, ChaosJournalEntry::Header { .. }) => {
+                return Err(format!(
+                    "chaos journal {}: duplicate header at entry {i}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    if recovered.entries.is_empty() {
+        let bytes = serde_json::to_string(&ChaosJournalEntry::Header { fingerprint })
+            .map_err(|e| format!("chaos journal encode: {e}"))?;
+        journal
+            .append(bytes.as_bytes())
+            .map_err(|e| format!("chaos journal append: {e}"))?;
+    }
+
+    let mut rows: Vec<Option<ChaosRow>> = Vec::with_capacity(work.len());
+    let mut todo = Vec::new();
+    for (index, item) in work.into_iter().enumerate() {
+        match done.remove(&index) {
+            Some(row) => {
+                stats.resumed_trials += 1;
+                rows.push(Some(row));
+            }
+            None => {
+                rows.push(None);
+                todo.push((index, item));
+            }
+        }
+    }
+
+    // Compute missing trials in small parallel chunks, journaling after
+    // each chunk; chunking affects only the checkpoint cadence, never the
+    // report (assembly is by index).
+    let chunk = ktudc_par::thread_count().max(1) * 2;
+    for batch in todo.chunks(chunk) {
+        let computed: Vec<(usize, ChaosRow)> =
+            ktudc_par::par_map(batch.to_vec(), |(index, (label, cell, plan, seed))| {
+                (index, run_chaos_trial(&label, &cell, &plan, seed))
+            });
+        for (index, row) in computed {
+            let bytes = serde_json::to_string(&ChaosJournalEntry::Trial {
+                index,
+                row: row.clone(),
+            })
+            .map_err(|e| format!("chaos journal encode: {e}"))?;
+            journal
+                .append(bytes.as_bytes())
+                .map_err(|e| format!("chaos journal append: {e}"))?;
+            stats.computed_trials += 1;
+            rows[index] = Some(row);
+        }
+    }
+    journal
+        .sync()
+        .map_err(|e| format!("chaos journal {}: sync: {e}", path.display()))?;
+
+    let rows: Vec<ChaosRow> = rows
+        .into_iter()
+        .map(|r| r.expect("every trial index resolved"))
+        .collect();
+    Ok((ChaosReport::tally(rows), stats))
 }
 
 #[cfg(test)]
@@ -640,6 +833,63 @@ mod tests {
         );
         assert!(report.clean > 0, "campaign exercised no in-model rows");
         assert!(report.detected > 0, "campaign detected nothing");
+    }
+
+    #[test]
+    fn journaled_campaign_matches_direct_and_resumes_identically() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ktudc-chaos-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let cells = small_cells();
+        let plans = vec![
+            ChaosPlan::network("delay-spikes", FaultPlan::none().delay_spikes(40, 8, 5)),
+            ChaosPlan::network("duplication", FaultPlan::none().duplicate(0.25)),
+        ];
+        let seeds = [7, 8];
+        let direct = run_chaos_campaign(&cells, &plans, &seeds);
+
+        let (fresh, s1) = run_chaos_campaign_journaled(
+            &cells,
+            &plans,
+            &seeds,
+            &path,
+            ktudc_store::SyncPolicy::Never,
+        )
+        .unwrap();
+        assert_eq!(fresh.digest, direct.digest, "fresh journaled run drifted");
+        assert!(!s1.resumed);
+        assert_eq!(s1.computed_trials, s1.total_trials);
+
+        // Simulate a kill mid-campaign: tear bytes off the journal tail,
+        // losing the last trial(s); the resume must recompute exactly
+        // those and land on the identical digest.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - bytes.len() / 4]).unwrap();
+        let (resumed, s2) = run_chaos_campaign_journaled(
+            &cells,
+            &plans,
+            &seeds,
+            &path,
+            ktudc_store::SyncPolicy::Never,
+        )
+        .unwrap();
+        assert_eq!(resumed.digest, direct.digest, "resumed run drifted");
+        assert!(s2.resumed);
+        assert!(s2.resumed_trials > 0, "nothing was replayed");
+        assert!(s2.computed_trials > 0, "nothing was recomputed");
+
+        // A different campaign must be refused, not merged.
+        let err = run_chaos_campaign_journaled(
+            &cells,
+            &plans,
+            &[99],
+            &path,
+            ktudc_store::SyncPolicy::Never,
+        )
+        .unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

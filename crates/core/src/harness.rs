@@ -345,7 +345,8 @@ mod tests {
 
     #[test]
     fn wire_schema_is_pinned() {
-        // These exact strings are the serve wire schema (schema_version 1).
+        // These exact strings are the serve wire schema payloads (the
+        // envelope is versioned separately, see `SCHEMA_VERSION`).
         // If this test fails, the encoding changed: bump
         // `ktudc_serve::SCHEMA_VERSION` and repin deliberately — never
         // silently.

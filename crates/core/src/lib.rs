@@ -34,6 +34,9 @@ pub mod simulate;
 pub mod spec;
 pub mod urb;
 
-pub use chaos::{run_chaos_campaign, ChaosPlan, ChaosReport, ChaosRow, PlanClass, RowOutcome};
+pub use chaos::{
+    run_chaos_campaign, run_chaos_campaign_journaled, ChaosPlan, ChaosReport, ChaosResumeStats,
+    ChaosRow, PlanClass, RowOutcome,
+};
 pub use protocols::CoordMsg;
 pub use spec::{check_nudc, check_udc, SpecViolation, Verdict};

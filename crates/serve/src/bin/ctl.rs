@@ -3,7 +3,9 @@
 //! ```text
 //! ctl [--addr HOST:PORT] sweep [--smoke] [--twice]
 //! ctl [--addr HOST:PORT] stats
+//! ctl [--addr HOST:PORT] health
 //! ctl [--addr HOST:PORT] shutdown
+//! ctl resume <checkpoint>
 //! ```
 //!
 //! `sweep` submits the UDC rows of Table 1 (the harness cells of the
@@ -13,11 +15,17 @@
 //! to the cold one (it is answered from the scenario cache). `--smoke`
 //! shrinks the grid to seconds for CI.
 //!
+//! `health` prints the server's durability health report (generation,
+//! recovery counters). `resume` is *local*: it resumes the checkpointed
+//! exploration journaled at `<checkpoint>` — the spec is read from the
+//! journal header — and never touches the network.
+//!
 //! Requests go through the fault-masking [`HardenedClient`], so
 //! transient overload and dropped connections are retried with backoff.
-//! Exit status is scriptable: `0` success, `1` transport or protocol
-//! failure, `2` usage, `3` retry budget exhausted (persistent overload
-//! or a flapping server).
+//! Exit status is scriptable: `0` success, `1` transport, protocol or
+//! resume failure, `2` usage, `3` retry budget exhausted (persistent
+//! overload or a flapping server). Usage errors are checked before any
+//! network (or disk) access.
 
 use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
 use ktudc_serve::{
@@ -263,6 +271,49 @@ fn cmd_stats(client: &mut HardenedClient) {
     }
 }
 
+fn cmd_health(client: &mut HardenedClient) {
+    match client.health() {
+        Ok(health) => println!(
+            "{}",
+            serde_json::to_string_pretty(&health).expect("health encodes")
+        ),
+        Err(e) => fail("health failed", &e),
+    }
+}
+
+/// Resumes the checkpointed exploration at `path` — entirely locally.
+/// The journal header pins the spec, so nothing else needs restating; a
+/// torn tail (the usual kill-9 artifact) is truncated and recomputed.
+fn cmd_resume(path: &str) {
+    use ktudc_store::SyncPolicy;
+
+    match ktudc_sim::resume_checkpoint(std::path::Path::new(path), SyncPolicy::Always) {
+        Ok((spec, result, stats)) => {
+            let digest = ktudc_sim::system_digest(&result.system);
+            println!(
+                "resumed exploration (n = {}, horizon = {}): {} runs, complete = {}, digest = {digest:#018x}",
+                spec.n,
+                spec.horizon,
+                result.system.len(),
+                result.complete
+            );
+            println!(
+                "checkpoint: {} / {} subtrees replayed, {} computed this invocation, \
+                 {} journal entries replayed, {} torn bytes truncated",
+                stats.resumed_subtrees,
+                stats.total_subtrees,
+                stats.computed_subtrees,
+                stats.replayed_entries,
+                stats.truncated_bytes
+            );
+        }
+        Err(e) => {
+            eprintln!("ctl: resume failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_shutdown(client: &mut HardenedClient) {
     match client.shutdown_server() {
         Ok(()) => println!("server acknowledged shutdown; draining"),
@@ -271,13 +322,17 @@ fn cmd_shutdown(client: &mut HardenedClient) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] | stats | shutdown>");
+    eprintln!(
+        "usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] | stats | health | shutdown>\n\
+         \x20      ctl resume <checkpoint>"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut addr = "127.0.0.1:7199".to_string();
     let mut command: Option<String> = None;
+    let mut operand: Option<String> = None;
     let mut smoke = false;
     let mut twice = false;
     let mut args = std::env::args().skip(1);
@@ -293,14 +348,33 @@ fn main() {
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
+            other if command.is_some() && operand.is_none() && !other.starts_with('-') => {
+                operand = Some(other.to_string());
+            }
             _ => usage(),
         }
     }
     let Some(command) = command else { usage() };
-    // Reject unknown commands (exit 2) before touching the network, so a
-    // typo isn't misreported as a transport failure when the server is down.
-    if !matches!(command.as_str(), "sweep" | "stats" | "shutdown") {
-        usage();
+    // Usage errors exit 2 before touching the network or the disk, so a
+    // typo isn't misreported as a transport failure when the server is
+    // down (or as a resume failure when the journal is fine).
+    match command.as_str() {
+        "sweep" | "stats" | "health" | "shutdown" => {
+            if operand.is_some() {
+                usage();
+            }
+        }
+        "resume" => {
+            if operand.is_none() || smoke || twice {
+                usage();
+            }
+        }
+        _ => usage(),
+    }
+    if command == "resume" {
+        // Local: resumes a journaled exploration; no server involved.
+        cmd_resume(&operand.expect("checked above"));
+        return;
     }
     // Probe once so an unreachable server is a crisp transport failure
     // (exit 1), not a slow walk through the retry budget (exit 3); the
@@ -313,6 +387,7 @@ fn main() {
     match command.as_str() {
         "sweep" => cmd_sweep(&mut client, smoke, twice),
         "stats" => cmd_stats(&mut client),
+        "health" => cmd_health(&mut client),
         "shutdown" => cmd_shutdown(&mut client),
         _ => usage(),
     }

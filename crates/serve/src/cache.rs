@@ -91,6 +91,30 @@ impl LruCache {
         );
     }
 
+    /// Exports every cached outcome, least-recently-used first, so that
+    /// replaying the list through [`LruCache::warm_load`] reproduces both
+    /// the contents and the eviction order. This is the snapshot payload
+    /// of a durable server.
+    #[must_use]
+    pub fn export(&self) -> Vec<(String, ResponseKind)> {
+        let mut entries: Vec<(&Entry, u64)> =
+            self.entries.values().map(|e| (e, e.last_used)).collect();
+        entries.sort_by_key(|&(_, last_used)| last_used);
+        entries
+            .into_iter()
+            .map(|(e, _)| (e.canon.clone(), e.value.clone()))
+            .collect()
+    }
+
+    /// Replays an exported entry list into this cache (oldest first, so
+    /// recency — and therefore future eviction order — is preserved).
+    /// Entries beyond capacity evict exactly as live inserts would.
+    pub fn warm_load(&mut self, entries: Vec<(String, ResponseKind)>) {
+        for (canon, value) in entries {
+            self.insert(canon, value);
+        }
+    }
+
     /// Number of cached outcomes.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -165,6 +189,50 @@ mod tests {
         assert!(cache.get("a").is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn export_then_warm_load_round_trips_contents_and_recency() {
+        let mut cache = LruCache::new(3);
+        cache.insert("a".to_string(), outcome(1));
+        cache.insert("b".to_string(), outcome(2));
+        cache.insert("c".to_string(), outcome(3));
+        // Touch "a": it becomes the most recent, "b" the LRU victim.
+        assert!(cache.get("a").is_some());
+
+        let exported = cache.export();
+        assert_eq!(exported.len(), 3);
+
+        let mut revived = LruCache::new(3);
+        revived.warm_load(exported);
+        assert_eq!(revived.get("a"), Some(outcome(1)));
+        assert_eq!(revived.get("b"), Some(outcome(2)));
+        assert_eq!(revived.get("c"), Some(outcome(3)));
+
+        // Recency survived the round trip: inserting a fourth entry must
+        // evict "b" (the pre-export LRU victim), not "a".
+        let mut revived = LruCache::new(3);
+        revived.warm_load(cache.export());
+        revived.insert("d".to_string(), outcome(4));
+        assert!(revived.get("a").is_some());
+        assert!(revived.get("b").is_none());
+        assert!(revived.get("c").is_some());
+        assert!(revived.get("d").is_some());
+    }
+
+    #[test]
+    fn warm_load_respects_capacity() {
+        let mut big = LruCache::new(8);
+        for i in 0..8 {
+            big.insert(format!("k{i}"), outcome(i));
+        }
+        let mut small = LruCache::new(3);
+        small.warm_load(big.export());
+        assert_eq!(small.len(), 3);
+        // The newest three survive, exactly as live inserts would leave it.
+        assert!(small.get("k7").is_some());
+        assert!(small.get("k5").is_some());
+        assert!(small.get("k0").is_none());
     }
 
     #[test]

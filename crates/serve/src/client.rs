@@ -15,7 +15,9 @@
 //! observe the one computation.
 
 use crate::metrics::StatsReport;
-use crate::wire::{ErrorCode, Request, RequestKind, Response, ResponseKind, SCHEMA_VERSION};
+use crate::wire::{
+    ErrorCode, HealthReport, Request, RequestKind, Response, ResponseKind, SCHEMA_VERSION,
+};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -258,6 +260,21 @@ impl Client {
         }
     }
 
+    /// Fetches a durability health snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// server answers with anything but a health payload.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.request(RequestKind::Health)?.result {
+            ResponseKind::Health(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected a health payload, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors
@@ -334,6 +351,36 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A noteworthy event observed by a [`HardenedClient`] while masking
+/// faults, surfaced so callers can see *why* the masking happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// Responses started arriving from a different server generation:
+    /// the daemon restarted between two responses this client read.
+    /// Everything the dead process held only in memory — its
+    /// single-flight waiter lists, its un-snapshotted cache tail — is
+    /// gone with it, so the client re-derives outstanding work by
+    /// resending it to the new process instead of trusting any answer
+    /// the old one promised.
+    ServerRestarted {
+        /// Generation of the responses read before the change.
+        old_gen: u64,
+        /// Generation of the response that revealed the restart.
+        new_gen: u64,
+    },
+}
+
+/// Counters of what a [`HardenedClient`] has masked or observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientMetrics {
+    /// Connections established after the first one (reconnections).
+    pub reconnects: u64,
+    /// Backoff sleeps taken (overload sheds and transport failures).
+    pub backoffs: u64,
+    /// Server restarts detected via a response generation change.
+    pub server_restarts: u64,
+}
+
 /// A self-healing client: [`Client`] plus deadlines, reconnection, and
 /// bounded jittered backoff.
 ///
@@ -351,6 +398,11 @@ pub struct HardenedClient {
     policy: RetryPolicy,
     conn: Option<Client>,
     jitter_state: u64,
+    ever_connected: bool,
+    /// Generation of the last response read; `None` until the first one.
+    last_generation: Option<u64>,
+    metrics: ClientMetrics,
+    events: Vec<ClientEvent>,
 }
 
 impl HardenedClient {
@@ -362,7 +414,47 @@ impl HardenedClient {
             policy,
             conn: None,
             jitter_state: policy.jitter_seed,
+            ever_connected: false,
+            last_generation: None,
+            metrics: ClientMetrics::default(),
+            events: Vec::new(),
         }
+    }
+
+    /// What this client has masked and observed so far.
+    #[must_use]
+    pub fn metrics(&self) -> ClientMetrics {
+        self.metrics
+    }
+
+    /// Drains the accumulated [`ClientEvent`]s (oldest first).
+    pub fn take_events(&mut self) -> Vec<ClientEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The server generation observed on the most recent response.
+    #[must_use]
+    pub fn last_generation(&self) -> Option<u64> {
+        self.last_generation
+    }
+
+    /// Tracks the generation stamped on a response; returns `true` when
+    /// it reveals a server restart (the generation changed between two
+    /// responses this client read).
+    fn observe_generation(&mut self, generation: u64) -> bool {
+        let restarted = match self.last_generation {
+            Some(old) if old != generation => {
+                self.metrics.server_restarts += 1;
+                self.events.push(ClientEvent::ServerRestarted {
+                    old_gen: old,
+                    new_gen: generation,
+                });
+                true
+            }
+            _ => false,
+        };
+        self.last_generation = Some(generation);
+        restarted
     }
 
     /// The backoff sleep before retry number `attempt` (1-based): a
@@ -392,6 +484,7 @@ impl HardenedClient {
                 last: last.to_string(),
             });
         }
+        self.metrics.backoffs += 1;
         std::thread::sleep(self.backoff_delay(*attempts));
         Ok(())
     }
@@ -420,7 +513,13 @@ impl HardenedClient {
             }
             if self.conn.is_none() {
                 match Client::connect_with_timeout(&self.addr, Some(self.policy.request_timeout)) {
-                    Ok(conn) => self.conn = Some(conn),
+                    Ok(conn) => {
+                        if self.ever_connected {
+                            self.metrics.reconnects += 1;
+                        }
+                        self.ever_connected = true;
+                        self.conn = Some(conn);
+                    }
                     Err(e) => {
                         self.spend_attempt(&mut attempts, &e.to_string())?;
                         continue;
@@ -442,7 +541,9 @@ impl HardenedClient {
             let (got, err) = conn.batch_attempt(resend);
             let mut progress = false;
             let mut shed = None;
+            let mut restarted = false;
             for (offset, response) in got {
+                restarted |= self.observe_generation(response.generation);
                 match &response.result {
                     ResponseKind::Error(e) if e.code == ErrorCode::Overloaded => {
                         shed = Some(e.message.clone());
@@ -453,7 +554,11 @@ impl HardenedClient {
                     }
                 }
             }
-            if progress {
+            // Progress resets the no-progress budget; so does a detected
+            // restart — the process whose overload or in-flight state we
+            // were waiting out no longer exists, so stale evidence must
+            // not burn retries against its replacement.
+            if progress || restarted {
                 attempts = 0;
             }
             match err {
@@ -494,6 +599,21 @@ impl HardenedClient {
             ResponseKind::Stats(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
                 "expected a stats payload, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a durability health snapshot, masking faults.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::request`], plus [`ClientError::Protocol`]
+    /// when the server answers with anything but a health payload.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.request(RequestKind::Health)?.result {
+            ResponseKind::Health(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected a health payload, got {other:?}"
             ))),
         }
     }
@@ -561,7 +681,7 @@ mod tests {
             "unparseable response: EOF while parsing".to_string()
         )));
         assert!(!retriable(&ClientError::Protocol(
-            "response schema_version 9, expected 1".to_string()
+            "response schema_version 9, expected 2".to_string()
         )));
         assert!(!retriable(&ClientError::Protocol(
             "duplicate response for id 3".to_string()
@@ -570,5 +690,32 @@ mod tests {
             attempts: 6,
             last: "queue full".to_string()
         }));
+    }
+
+    #[test]
+    fn generation_changes_surface_as_server_restarted_events() {
+        let mut c = HardenedClient::new("unused:0", RetryPolicy::default());
+        assert_eq!(c.last_generation(), None);
+        // First observation establishes the baseline, no event.
+        assert!(!c.observe_generation(3));
+        // Same generation: steady state.
+        assert!(!c.observe_generation(3));
+        assert_eq!(c.metrics().server_restarts, 0);
+        assert!(c.take_events().is_empty());
+        // A different generation is a restart.
+        assert!(c.observe_generation(4));
+        assert_eq!(c.metrics().server_restarts, 1);
+        assert_eq!(
+            c.take_events(),
+            vec![ClientEvent::ServerRestarted {
+                old_gen: 3,
+                new_gen: 4
+            }]
+        );
+        // Events drain; metrics persist.
+        assert!(c.take_events().is_empty());
+        assert!(c.observe_generation(7));
+        assert_eq!(c.metrics().server_restarts, 2);
+        assert_eq!(c.last_generation(), Some(7));
     }
 }

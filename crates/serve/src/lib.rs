@@ -33,6 +33,16 @@
 //!   reconnect-and-resend strategy never causes duplicate work; a
 //!   test-only [`server::ServerFaults`] hook injects delayed, severed
 //!   and short-write responses to prove it.
+//! * **Crash-restart durability** — with a data directory configured
+//!   ([`server::ServeConfig::data_dir`]), the scenario cache is
+//!   periodically snapshotted through [`ktudc_store::SnapshotStore`]
+//!   (atomic rename, checksummed, generation-stamped) and warm-loaded
+//!   at boot; every response carries the server's restart *generation*,
+//!   the `Health` endpoint reports it alongside recovery counters, and
+//!   the [`client::HardenedClient`] turns a mid-conversation generation
+//!   change into a typed [`client::ClientEvent::ServerRestarted`] while
+//!   re-deriving outstanding work on the new process. The [`supervisor`]
+//!   module restarts a crashing daemon with crash-loop backoff.
 //!
 //! The companion binaries are `ktudc-serve` (the daemon) and `ctl` (a
 //! client that submits the Table-1 UDC sweep as one pipelined batch and
@@ -45,12 +55,14 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod server;
+pub mod supervisor;
 pub mod wire;
 
-pub use client::{Client, ClientError, HardenedClient, RetryPolicy};
+pub use client::{Client, ClientError, ClientEvent, ClientMetrics, HardenedClient, RetryPolicy};
 pub use metrics::{Endpoint, StatsReport};
-pub use server::{serve, ServeConfig, ServerFaults, ServerHandle};
+pub use server::{serve, RecoveryReport, ServeConfig, ServerFaults, ServerHandle};
+pub use supervisor::{supervise, CrashLoopBackoff, SupervisorPolicy, SupervisorReport};
 pub use wire::{
-    CheckOutcome, CheckSpec, ErrorCode, Request, RequestKind, Response, ResponseKind, WireError,
-    SCHEMA_VERSION,
+    CheckOutcome, CheckSpec, ErrorCode, HealthReport, Request, RequestKind, Response, ResponseKind,
+    WireError, SCHEMA_VERSION,
 };

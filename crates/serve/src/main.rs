@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
+//!             [--data-dir PATH] [--snapshot-every N] [--supervise]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound, then runs
 //! until a client sends a `Shutdown` request or the process receives
 //! SIGTERM/SIGINT (ctrl-c), either of which drains every accepted
 //! request before exiting.
+//!
+//! `--data-dir` makes the daemon durable: the scenario cache is
+//! snapshotted there (atomically, checksummed) every `--snapshot-every`
+//! computed outcomes and warm-loaded on the next boot, which claims a
+//! fresh generation. `--supervise` runs the daemon as a supervised
+//! child: the parent re-execs itself without the flag and restarts the
+//! child on abnormal exits with crash-loop backoff.
 
-use ktudc_serve::{serve, ServeConfig};
+use ktudc_serve::{serve, supervise, ServeConfig, SupervisorPolicy};
+use std::sync::atomic::AtomicBool;
 use std::time::Duration;
 
 /// Signal handling without a runtime: `std` exposes no signal API, so on
@@ -60,16 +69,18 @@ mod signals {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]"
+        "usage: ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] \
+         [--data-dir PATH] [--snapshot-every N] [--supervise]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> ServeConfig {
+fn parse_args() -> (ServeConfig, bool) {
     let mut config = ServeConfig {
         addr: "127.0.0.1:7199".to_string(),
         ..ServeConfig::default()
     };
+    let mut supervised = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -87,6 +98,12 @@ fn parse_args() -> ServeConfig {
             "--cache-cap" => {
                 config.cache_capacity = parse_num(&value("--cache-cap"), "--cache-cap")
             }
+            "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
+            "--snapshot-every" => {
+                config.snapshot_every =
+                    parse_num(&value("--snapshot-every"), "--snapshot-every") as u64
+            }
+            "--supervise" => supervised = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -94,7 +111,7 @@ fn parse_args() -> ServeConfig {
             }
         }
     }
-    config
+    (config, supervised)
 }
 
 fn parse_num(s: &str, flag: &str) -> usize {
@@ -105,15 +122,28 @@ fn parse_num(s: &str, flag: &str) -> usize {
 }
 
 fn main() {
-    let config = parse_args();
+    let (config, supervised) = parse_args();
     signals::install();
+    if supervised {
+        supervised_main();
+    }
     let handle = match serve(&config) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("ktudc-serve: failed to bind {}: {e}", config.addr);
+            eprintln!("ktudc-serve: failed to start on {}: {e}", config.addr);
             std::process::exit(1);
         }
     };
+    let recovery = handle.recovery();
+    if config.data_dir.is_some() {
+        println!(
+            "ktudc-serve: generation {} ({} cache entries recovered, {} corrupt snapshots skipped, ready in {} µs)",
+            recovery.generation,
+            recovery.recovered_cache_entries,
+            recovery.corrupt_snapshots_skipped,
+            recovery.restart_to_ready_micros
+        );
+    }
     println!("listening on {}", handle.addr());
     while !handle.is_shutdown() && !signals::received() {
         std::thread::sleep(Duration::from_millis(50));
@@ -121,4 +151,58 @@ fn main() {
     handle.shutdown();
     handle.join();
     println!("ktudc-serve: drained and stopped");
+}
+
+/// The `--supervise` parent: spawn the daemon as a child (same flags
+/// minus `--supervise`), restart it on abnormal exits with crash-loop
+/// backoff, and kill it when the operator signals the supervisor. A
+/// durable child recovers its cache from the last snapshot on every
+/// restart, so a crash here costs warm-up time, never correctness.
+fn supervised_main() -> ! {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("ktudc-serve: cannot find own executable: {e}");
+        std::process::exit(1);
+    });
+    let child_args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--supervise")
+        .collect();
+    static STOP: AtomicBool = AtomicBool::new(false);
+    // Bridge the signal flag into the supervisor's stop flag from a
+    // watcher thread (the C handler can only store to its own static).
+    std::thread::spawn(|| loop {
+        if signals::received() {
+            STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    match supervise(
+        move || {
+            let child = std::process::Command::new(&exe).args(&child_args).spawn()?;
+            println!("ktudc-serve: supervising pid {}", child.id());
+            Ok(child)
+        },
+        SupervisorPolicy::default(),
+        &STOP,
+    ) {
+        Ok(report) => {
+            if report.gave_up {
+                eprintln!(
+                    "ktudc-serve: giving up after {} restarts (crash loop)",
+                    report.restarts
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "ktudc-serve: supervision ended ({} restarts)",
+                report.restarts
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("ktudc-serve: supervision failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

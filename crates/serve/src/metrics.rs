@@ -30,16 +30,21 @@ pub enum Endpoint {
     Stats,
     /// Shutdown requests.
     Shutdown,
+    /// Durability health snapshots. Appended after `Shutdown` so the
+    /// cacheable endpoints stay the leading prefix of [`Endpoint::ALL`]
+    /// (the hit-rate fold depends on that ordering).
+    Health,
 }
 
 impl Endpoint {
-    /// Every endpoint, in report order.
-    pub const ALL: [Endpoint; 5] = [
+    /// Every endpoint, in report order (cacheable endpoints first).
+    pub const ALL: [Endpoint; 6] = [
         Endpoint::Cell,
         Endpoint::Check,
         Endpoint::Explore,
         Endpoint::Stats,
         Endpoint::Shutdown,
+        Endpoint::Health,
     ];
 
     /// The wire name of the endpoint.
@@ -51,6 +56,7 @@ impl Endpoint {
             Endpoint::Explore => "explore",
             Endpoint::Stats => "stats",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::Health => "health",
         }
     }
 
@@ -61,6 +67,7 @@ impl Endpoint {
             Endpoint::Explore => 2,
             Endpoint::Stats => 3,
             Endpoint::Shutdown => 4,
+            Endpoint::Health => 5,
         }
     }
 }
@@ -95,7 +102,7 @@ impl EndpointMetrics {
 pub struct Metrics {
     started: Instant,
     overloaded: AtomicU64,
-    per: [EndpointMetrics; 5],
+    per: [EndpointMetrics; 6],
 }
 
 impl Default for Metrics {
@@ -113,6 +120,12 @@ impl Metrics {
             overloaded: AtomicU64::new(0),
             per: std::array::from_fn(|_| EndpointMetrics::new()),
         }
+    }
+
+    /// Microseconds since the metrics (and hence the server) started.
+    #[must_use]
+    pub fn uptime_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
     }
 
     /// Records a served request: latency sample plus hit accounting.
@@ -211,7 +224,8 @@ fn percentiles(samples: &[u64]) -> (u64, u64) {
 /// Wire form of one endpoint's counters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EndpointStats {
-    /// Endpoint name (`cell`, `check`, `explore`, `stats`, `shutdown`).
+    /// Endpoint name (`cell`, `check`, `explore`, `stats`, `shutdown`,
+    /// `health`).
     pub endpoint: String,
     /// Requests handled (served + failed).
     pub requests: u64,

@@ -31,17 +31,19 @@
 use crate::cache::LruCache;
 use crate::metrics::Metrics;
 use crate::wire::{
-    CheckOutcome, ErrorCode, Request, RequestKind, Response, ResponseKind, WireError,
+    CheckOutcome, ErrorCode, HealthReport, Request, RequestKind, Response, ResponseKind, WireError,
     SCHEMA_VERSION,
 };
 use ktudc_core::harness::run_cell;
 use ktudc_epistemic::ModelChecker;
 use ktudc_par::{Pool, SubmitError};
 use ktudc_sim::{explore_spec, run_explore_spec, system_digest};
+use ktudc_store::SnapshotStore;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -89,6 +91,17 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Scenario-cache capacity in outcomes; 0 disables caching.
     pub cache_capacity: usize,
+    /// Data directory for durability. `Some(dir)` makes the server
+    /// *durable*: at boot it warm-loads the scenario cache from the
+    /// newest valid snapshot in `dir` (skipping — never loading —
+    /// corrupt ones) and claims a fresh generation; afterwards it
+    /// re-snapshots the cache every [`ServeConfig::snapshot_every`]
+    /// computed outcomes and once more at shutdown. `None` (the default)
+    /// is the original purely in-memory server at generation 0.
+    pub data_dir: Option<PathBuf>,
+    /// Computed (non-cached) outcomes between cache snapshots of a
+    /// durable server; 0 snapshots only at boot and shutdown.
+    pub snapshot_every: u64,
     /// Test-only response faults (default: none).
     pub faults: ServerFaults,
 }
@@ -100,9 +113,37 @@ impl Default for ServeConfig {
             workers: 0,
             queue_capacity: 64,
             cache_capacity: 256,
+            data_dir: None,
+            snapshot_every: 32,
             faults: ServerFaults::default(),
         }
     }
+}
+
+/// What a durable server's boot-time recovery found, exposed on
+/// [`ServerHandle::recovery`] and (minus the timing) via the `Health`
+/// endpoint. A non-durable server reports all zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryReport {
+    /// The generation this boot claimed (0 for a non-durable server).
+    pub generation: u64,
+    /// Cache outcomes warm-loaded from the newest valid snapshot.
+    pub recovered_cache_entries: usize,
+    /// Snapshot files skipped as corrupt during recovery.
+    pub corrupt_snapshots_skipped: u64,
+    /// Microseconds from bind to ready (recovery + boot snapshot
+    /// included); the bench's restart-to-ready figure.
+    pub restart_to_ready_micros: u64,
+}
+
+/// Durable state of a snapshotting server.
+struct Durability {
+    store: Mutex<SnapshotStore>,
+    snapshot_every: u64,
+    /// Computed outcomes inserted into the cache since the last snapshot.
+    computed_since_snapshot: AtomicU64,
+    /// Snapshots written since boot (boot snapshot included).
+    snapshots_written: AtomicU64,
 }
 
 /// A request parked on an in-flight computation for the same canonical
@@ -129,6 +170,12 @@ struct Shared {
     faults: ServerFaults,
     /// Monotone response sequence number driving [`ServerFaults`].
     responses: AtomicU64,
+    /// This boot's generation, stamped into every outgoing response.
+    generation: u64,
+    /// What boot-time recovery found (zeros when not durable).
+    recovery: RecoveryReport,
+    /// Snapshot machinery; `None` for an in-memory server.
+    durability: Option<Durability>,
 }
 
 impl Shared {
@@ -138,6 +185,59 @@ impl Shared {
             .expect("pool lock poisoned")
             .as_ref()
             .map_or(0, Pool::queue_depth)
+    }
+
+    /// Counts one computed outcome and snapshots the cache when the
+    /// cadence says so. Called off the worker that just published a
+    /// result; snapshot failures are reported and tolerated (the cache
+    /// is still authoritative in memory).
+    fn note_computed(&self) {
+        let Some(d) = &self.durability else { return };
+        if d.snapshot_every == 0 {
+            return;
+        }
+        let computed = d.computed_since_snapshot.fetch_add(1, Ordering::SeqCst) + 1;
+        if computed >= d.snapshot_every {
+            d.computed_since_snapshot.store(0, Ordering::SeqCst);
+            self.snapshot_now();
+        }
+    }
+
+    /// Writes one cache snapshot (atomic rename; crash-safe at any
+    /// point). Failures go to stderr: losing a snapshot costs warm-cache
+    /// time after the next crash, never correctness.
+    fn snapshot_now(&self) {
+        let Some(d) = &self.durability else { return };
+        let exported = self.cache.lock().expect("cache lock poisoned").export();
+        let payload = match serde_json::to_string(&exported) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("ktudc-serve: cache snapshot failed to encode: {e}");
+                return;
+            }
+        };
+        let mut store = d.store.lock().expect("snapshot store lock poisoned");
+        match store.save(payload.as_bytes()) {
+            Ok(_generation) => {
+                d.snapshots_written.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(e) => eprintln!("ktudc-serve: cache snapshot failed to write: {e}"),
+        }
+    }
+
+    fn health_report(&self) -> HealthReport {
+        HealthReport {
+            generation: self.generation,
+            durable: self.durability.is_some(),
+            recovered_cache_entries: self.recovery.recovered_cache_entries,
+            corrupt_snapshots_skipped: self.recovery.corrupt_snapshots_skipped,
+            snapshots_written: self
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.snapshots_written.load(Ordering::SeqCst)),
+            cache_entries: self.cache.lock().expect("cache lock poisoned").len(),
+            uptime_micros: self.metrics.uptime_micros(),
+        }
     }
 }
 
@@ -156,6 +256,12 @@ impl ServerHandle {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What boot-time recovery found (zeros for an in-memory server).
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryReport {
+        self.shared.recovery
     }
 
     /// Requests shutdown: stop accepting, drain, exit. Returns
@@ -190,11 +296,19 @@ impl Drop for ServerHandle {
 
 /// Binds and starts a server.
 ///
+/// A durable config ([`ServeConfig::data_dir`]) additionally recovers
+/// the scenario cache from the newest valid snapshot on disk and writes
+/// a boot snapshot that claims this boot's generation — a corrupt or
+/// torn snapshot is skipped (and counted), never loaded.
+///
 /// # Errors
 ///
-/// Propagates the bind failure, if any; everything after the bind is
-/// handled on the server's own threads.
+/// Propagates the bind failure and any failure to open the data
+/// directory or write the generation-claiming boot snapshot (a durable
+/// server that cannot persist must not come up claiming it can);
+/// everything after the bind is handled on the server's own threads.
 pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let boot = Instant::now();
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -203,15 +317,56 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     } else {
         config.workers
     };
+
+    let mut cache = LruCache::new(config.cache_capacity);
+    let mut recovery = RecoveryReport::default();
+    let durability = match &config.data_dir {
+        None => None,
+        Some(dir) => {
+            let mut store = SnapshotStore::open(dir, "cache")?;
+            if let Some(snapshot) = store.load_latest()? {
+                match serde_json::from_str::<Vec<(String, ResponseKind)>>(
+                    std::str::from_utf8(&snapshot.payload).unwrap_or(""),
+                ) {
+                    Ok(entries) => {
+                        recovery.recovered_cache_entries = entries.len();
+                        cache.warm_load(entries);
+                    }
+                    // A checksum-valid snapshot whose payload no longer
+                    // decodes was written by an incompatible version:
+                    // treat it like corruption — skip it, start cold.
+                    Err(_) => recovery.corrupt_snapshots_skipped += 1,
+                }
+            }
+            recovery.corrupt_snapshots_skipped += store.corrupt_seen();
+            // Claim this boot's generation with an immediate snapshot of
+            // the recovered cache, so restarts are observable on the
+            // wire even if the server never computes anything.
+            let payload = serde_json::to_string(&cache.export())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            recovery.generation = store.save(payload.as_bytes())?;
+            Some(Durability {
+                store: Mutex::new(store),
+                snapshot_every: config.snapshot_every,
+                computed_since_snapshot: AtomicU64::new(0),
+                snapshots_written: AtomicU64::new(1),
+            })
+        }
+    };
+    recovery.restart_to_ready_micros = elapsed_micros(boot);
+
     let shared = Arc::new(Shared {
         pool: Mutex::new(Some(Pool::new(workers, config.queue_capacity))),
-        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        cache: Mutex::new(cache),
         pending: Mutex::new(HashMap::new()),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         workers,
         faults: config.faults,
         responses: AtomicU64::new(0),
+        generation: recovery.generation,
+        recovery,
+        durability,
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -246,6 +401,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     if let Some(pool) = pool {
         pool.shutdown();
     }
+    // Final snapshot: everything the drain just computed becomes warm
+    // cache for the next boot.
+    shared.snapshot_now();
 }
 
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
@@ -270,7 +428,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
-                &Response::error(0, ErrorCode::BadRequest, e.to_string()),
+                Response::error(0, ErrorCode::BadRequest, e.to_string()),
             );
             return;
         }
@@ -279,7 +437,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
         write_response(
             shared,
             out,
-            &Response::error(
+            Response::error(
                 request.id,
                 ErrorCode::UnsupportedVersion,
                 format!(
@@ -310,7 +468,17 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
-                &Response::new(request.id, false, micros, ResponseKind::Stats(report)),
+                Response::new(request.id, false, micros, ResponseKind::Stats(report)),
+            );
+        }
+        RequestKind::Health => {
+            let report = shared.health_report();
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                shared,
+                out,
+                Response::new(request.id, false, micros, ResponseKind::Health(report)),
             );
         }
         RequestKind::Shutdown => {
@@ -320,7 +488,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
-                &Response::new(request.id, false, micros, ResponseKind::Shutdown),
+                Response::new(request.id, false, micros, ResponseKind::Shutdown),
             );
         }
         kind @ (RequestKind::Cell(_) | RequestKind::Check(_) | RequestKind::Explore(_)) => {
@@ -349,7 +517,7 @@ fn dispatch_compute(
         write_response(
             shared,
             out,
-            &Response::error(id, ErrorCode::Internal, "request body is unencodable"),
+            Response::error(id, ErrorCode::Internal, "request body is unencodable"),
         );
         shared.metrics.record_error(endpoint);
         return;
@@ -368,7 +536,7 @@ fn dispatch_compute(
             drop(pending);
             let micros = elapsed_micros(start);
             shared.metrics.record(endpoint, micros, true);
-            write_response(shared, out, &Response::new(id, true, micros, hit));
+            write_response(shared, out, Response::new(id, true, micros, hit));
             return;
         }
         if let Some(waiters) = pending.get_mut(&canon) {
@@ -403,7 +571,7 @@ fn dispatch_compute(
                 write_response(
                     &shared,
                     &out,
-                    &Response::new(id, false, micros, result.clone()),
+                    Response::new(id, false, micros, result.clone()),
                 );
                 for w in waiters {
                     let micros = elapsed_micros(w.start);
@@ -411,9 +579,10 @@ fn dispatch_compute(
                     write_response(
                         &shared,
                         &w.out,
-                        &Response::new(w.id, true, micros, result.clone()),
+                        Response::new(w.id, true, micros, result.clone()),
                     );
                 }
+                shared.note_computed();
             }
             Err(err) => {
                 let waiters = shared
@@ -426,14 +595,14 @@ fn dispatch_compute(
                 write_response(
                     &shared,
                     &out,
-                    &Response::error(id, err.code, err.message.clone()),
+                    Response::error(id, err.code, err.message.clone()),
                 );
                 for w in waiters {
                     shared.metrics.record_error(endpoint);
                     write_response(
                         &shared,
                         &w.out,
-                        &Response::error(w.id, err.code, err.message.clone()),
+                        Response::error(w.id, err.code, err.message.clone()),
                     );
                 }
             }
@@ -469,14 +638,10 @@ fn dispatch_compute(
             SubmitError::Closed => shared.metrics.record_error(endpoint),
         };
         record(endpoint);
-        write_response(shared, out, &Response::error(id, code, message.clone()));
+        write_response(shared, out, Response::error(id, code, message.clone()));
         for w in waiters {
             record(endpoint);
-            write_response(
-                shared,
-                &w.out,
-                &Response::error(w.id, code, message.clone()),
-            );
+            write_response(shared, &w.out, Response::error(w.id, code, message.clone()));
         }
     }
 }
@@ -519,7 +684,7 @@ fn compute(kind: &RequestKind) -> Result<ResponseKind, WireError> {
                 digest,
             }))
         }
-        RequestKind::Stats | RequestKind::Shutdown => Err(WireError {
+        RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => Err(WireError {
             code: ErrorCode::Internal,
             message: "non-compute request reached a worker".to_string(),
         }),
@@ -556,11 +721,13 @@ fn elapsed_micros(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Serializes and writes one response line, applying any armed
-/// [`ServerFaults`] on its way out. Write failures are dropped: the
-/// client is gone, and the server has nothing useful to do about it.
-fn write_response(shared: &Shared, out: &Mutex<TcpStream>, response: &Response) {
-    let Ok(mut line) = serde_json::to_string(response) else {
+/// Stamps the server's generation, then serializes and writes one
+/// response line, applying any armed [`ServerFaults`] on its way out.
+/// Write failures are dropped: the client is gone, and the server has
+/// nothing useful to do about it.
+fn write_response(shared: &Shared, out: &Mutex<TcpStream>, mut response: Response) {
+    response.generation = shared.generation;
+    let Ok(mut line) = serde_json::to_string(&response) else {
         return;
     };
     line.push('\n');
@@ -651,5 +818,120 @@ mod tests {
         assert_eq!(err.code, ErrorCode::BadRequest);
         let err = compute(&RequestKind::Stats).unwrap_err();
         assert_eq!(err.code, ErrorCode::Internal);
+    }
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("ktudc-serve-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            TempDir(p)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn durable_config(dir: &std::path::Path) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            data_dir: Some(dir.to_path_buf()),
+            snapshot_every: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_server_recovers_cache_and_advances_generation() {
+        let tmp = TempDir::new("recover");
+        let spec = ExploreSpec::new(2, 2);
+
+        // Boot 1: compute one exploration, then drain (which snapshots).
+        let (gen1, cold) = {
+            let handle = serve(&durable_config(&tmp.0)).unwrap();
+            let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+            let response = client.request(RequestKind::Explore(spec.clone())).unwrap();
+            assert!(!response.cached);
+            let health = client.health().unwrap();
+            assert!(health.durable);
+            assert_eq!(health.recovered_cache_entries, 0);
+            assert_eq!(health.corrupt_snapshots_skipped, 0);
+            assert_eq!(response.generation, health.generation);
+            handle.shutdown();
+            handle.join();
+            (health.generation, response.result)
+        };
+
+        // Boot 2: the same request must be a warm hit from the recovered
+        // cache, under a strictly newer generation.
+        let handle = serve(&durable_config(&tmp.0)).unwrap();
+        assert!(handle.recovery().recovered_cache_entries >= 1);
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        let health = client.health().unwrap();
+        assert!(health.generation > gen1, "{} vs {gen1}", health.generation);
+        assert!(health.recovered_cache_entries >= 1);
+        assert_eq!(health.corrupt_snapshots_skipped, 0);
+        let response = client.request(RequestKind::Explore(spec)).unwrap();
+        assert!(response.cached, "recovered cache must answer warm");
+        assert_eq!(response.result, cold);
+        assert_eq!(response.generation, health.generation);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_skipped_never_loaded() {
+        let tmp = TempDir::new("corrupt");
+        // Boot once so a valid snapshot exists, with one cached outcome.
+        let spec = ExploreSpec::new(2, 2);
+        {
+            let handle = serve(&durable_config(&tmp.0)).unwrap();
+            let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+            client.request(RequestKind::Explore(spec.clone())).unwrap();
+            handle.shutdown();
+            handle.join();
+        }
+        // Plant a corrupt snapshot claiming to be newer than everything.
+        std::fs::write(tmp.0.join("cache.999999.snap"), b"not a snapshot").unwrap();
+
+        let handle = serve(&durable_config(&tmp.0)).unwrap();
+        let recovery = handle.recovery();
+        assert!(
+            recovery.corrupt_snapshots_skipped >= 1,
+            "the planted corruption must be counted: {recovery:?}"
+        );
+        // Recovery fell back to the newest *valid* snapshot: the cached
+        // outcome from boot 1 is still served warm.
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        let response = client.request(RequestKind::Explore(spec)).unwrap();
+        assert!(response.cached);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn in_memory_server_reports_generation_zero_and_not_durable() {
+        let handle = serve(&ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        let health = client.health().unwrap();
+        assert!(!health.durable);
+        assert_eq!(health.generation, 0);
+        let recovery = handle.recovery();
+        assert_eq!(recovery.generation, 0);
+        assert_eq!(recovery.recovered_cache_entries, 0);
+        assert_eq!(recovery.corrupt_snapshots_skipped, 0);
+        handle.shutdown();
+        handle.join();
     }
 }

@@ -1,0 +1,298 @@
+//! Crash-loop supervision: restart a dying daemon, with backoff, until
+//! it is either stable or evidently hopeless.
+//!
+//! The policy logic ([`CrashLoopBackoff`]) is pure and unit-tested: each
+//! child exit is classified by its uptime. A *rapid* exit (the child died
+//! before [`SupervisorPolicy::stable_after`]) lengthens a doubling,
+//! capped backoff and counts toward a give-up budget; an exit after a
+//! stable run resets both, because a long-lived process that eventually
+//! crashed is a failure to recover from, not a crash loop. The process
+//! loop ([`supervise`]) wraps that policy around `std::process` children
+//! and a caller-owned stop flag, so the binary's `--supervise` mode and
+//! the kill-9 test harness share one implementation.
+//!
+//! Crucially, supervision composes with the durable server: every
+//! restart recovers the scenario cache from the newest valid snapshot
+//! and claims a fresh generation, so a supervised daemon converges to a
+//! warm cache instead of recomputing the world after every crash.
+
+use std::process::{Child, ExitStatus};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How often [`supervise`] polls the child and the stop flag.
+const WAIT_POLL: Duration = Duration::from_millis(20);
+
+/// Restart policy of a [`CrashLoopBackoff`].
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorPolicy {
+    /// A child that lived at least this long before dying is considered
+    /// to have been stable: its exit resets the crash streak.
+    pub stable_after: Duration,
+    /// Consecutive rapid crashes tolerated before giving up. The child
+    /// is restarted after each of these, so the total spawn count before
+    /// giving up is `max_rapid_crashes + 1`.
+    pub max_rapid_crashes: u32,
+    /// Backoff before the first restart of a streak; doubles per rapid
+    /// crash.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            stable_after: Duration::from_secs(5),
+            max_rapid_crashes: 5,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The pure restart-decision core: feed it child uptimes, get restart
+/// delays (or the verdict to give up).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashLoopBackoff {
+    policy: SupervisorPolicy,
+    rapid_crashes: u32,
+}
+
+impl CrashLoopBackoff {
+    /// A fresh streak under `policy`.
+    #[must_use]
+    pub fn new(policy: SupervisorPolicy) -> Self {
+        CrashLoopBackoff {
+            policy,
+            rapid_crashes: 0,
+        }
+    }
+
+    /// Classifies a child exit by its uptime: `Some(delay)` restarts
+    /// after that backoff, `None` declares a crash loop and gives up.
+    pub fn after_exit(&mut self, uptime: Duration) -> Option<Duration> {
+        if uptime >= self.policy.stable_after {
+            self.rapid_crashes = 0;
+            return Some(self.policy.base_backoff.min(self.policy.max_backoff));
+        }
+        self.rapid_crashes += 1;
+        if self.rapid_crashes > self.policy.max_rapid_crashes {
+            return None;
+        }
+        let exp = (self.rapid_crashes - 1).min(16);
+        let base = u64::try_from(self.policy.base_backoff.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let max = u64::try_from(self.policy.max_backoff.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        Some(Duration::from_millis(
+            base.saturating_mul(1 << exp).min(max),
+        ))
+    }
+
+    /// Rapid crashes in the current streak.
+    #[must_use]
+    pub fn rapid_crashes(&self) -> u32 {
+        self.rapid_crashes
+    }
+}
+
+/// What a [`supervise`] run did.
+#[derive(Debug)]
+pub struct SupervisorReport {
+    /// Times the child was restarted (spawns minus one).
+    pub restarts: u32,
+    /// `true` when supervision ended because the crash-loop budget ran
+    /// out rather than a clean child exit or a stop request.
+    pub gave_up: bool,
+    /// Exit status of the last child to exit, if any did.
+    pub last_status: Option<ExitStatus>,
+}
+
+/// Runs `spawn`ed children until one exits cleanly (status 0), the
+/// caller raises `stop`, or the crash-loop budget is spent.
+///
+/// When `stop` is raised the current child is killed and reaped before
+/// returning — the supervisor never leaks a running child. A child that
+/// exits with status 0 ends supervision: a clean exit means the daemon
+/// was asked to shut down, which is not a failure to mask.
+///
+/// # Errors
+///
+/// Propagates spawn and wait failures (a child that cannot even be
+/// spawned is not a crash to back off from, it is a configuration
+/// error).
+pub fn supervise<S>(
+    mut spawn: S,
+    policy: SupervisorPolicy,
+    stop: &AtomicBool,
+) -> std::io::Result<SupervisorReport>
+where
+    S: FnMut() -> std::io::Result<Child>,
+{
+    let mut backoff = CrashLoopBackoff::new(policy);
+    let mut report = SupervisorReport {
+        restarts: 0,
+        gave_up: false,
+        last_status: None,
+    };
+    loop {
+        let started = Instant::now();
+        let mut child = spawn()?;
+        let status = loop {
+            if let Some(status) = child.try_wait()? {
+                break Some(status);
+            }
+            if stop.load(Ordering::SeqCst) {
+                let _ = child.kill();
+                let _ = child.wait();
+                break None;
+            }
+            std::thread::sleep(WAIT_POLL);
+        };
+        let Some(status) = status else {
+            return Ok(report); // stopped by the caller
+        };
+        report.last_status = Some(status);
+        if status.success() {
+            return Ok(report);
+        }
+        match backoff.after_exit(started.elapsed()) {
+            Some(delay) => {
+                sleep_unless_stopped(delay, stop);
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(report);
+                }
+                report.restarts += 1;
+            }
+            None => {
+                report.gave_up = true;
+                return Ok(report);
+            }
+        }
+    }
+}
+
+/// Sleeps up to `total`, waking early if `stop` is raised.
+fn sleep_unless_stopped(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(WAIT_POLL.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            stable_after: Duration::from_secs(1),
+            max_rapid_crashes: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+        }
+    }
+
+    #[test]
+    fn rapid_crashes_escalate_then_give_up() {
+        let mut b = CrashLoopBackoff::new(policy());
+        let fast = Duration::from_millis(5);
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(10)));
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(20)));
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(40)));
+        assert_eq!(b.rapid_crashes(), 3);
+        // Budget spent: the fourth rapid crash is a crash loop.
+        assert_eq!(b.after_exit(fast), None);
+    }
+
+    #[test]
+    fn a_stable_run_resets_the_streak() {
+        let mut b = CrashLoopBackoff::new(policy());
+        let fast = Duration::from_millis(5);
+        assert!(b.after_exit(fast).is_some());
+        assert!(b.after_exit(fast).is_some());
+        // The child then ran well past stable_after before dying.
+        assert_eq!(
+            b.after_exit(Duration::from_secs(2)),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(b.rapid_crashes(), 0);
+        // The full rapid budget is available again.
+        assert!(b.after_exit(fast).is_some());
+        assert!(b.after_exit(fast).is_some());
+        assert!(b.after_exit(fast).is_some());
+        assert_eq!(b.after_exit(fast), None);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut b = CrashLoopBackoff::new(SupervisorPolicy {
+            max_rapid_crashes: 10,
+            ..policy()
+        });
+        let fast = Duration::from_millis(1);
+        let mut last = Duration::ZERO;
+        for _ in 0..8 {
+            last = b.after_exit(fast).unwrap();
+        }
+        assert_eq!(last, Duration::from_millis(40));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn supervise_restarts_crashing_children_and_honors_clean_exit() {
+        use std::process::Command;
+        use std::sync::atomic::AtomicU32;
+
+        // The child fails twice, then exits cleanly; supervision must
+        // restart exactly twice and stop on the clean exit.
+        let spawns = AtomicU32::new(0);
+        let stop = AtomicBool::new(false);
+        let report = supervise(
+            || {
+                let n = spawns.fetch_add(1, Ordering::SeqCst);
+                let code = if n < 2 { 1 } else { 0 };
+                Command::new("sh")
+                    .arg("-c")
+                    .arg(format!("exit {code}"))
+                    .spawn()
+            },
+            SupervisorPolicy {
+                stable_after: Duration::from_secs(60), // every exit is "rapid"
+                max_rapid_crashes: 5,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+            &stop,
+        )
+        .unwrap();
+        assert_eq!(report.restarts, 2);
+        assert!(!report.gave_up);
+        assert!(report.last_status.unwrap().success());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn supervise_gives_up_on_a_crash_loop() {
+        use std::process::Command;
+
+        let stop = AtomicBool::new(false);
+        let report = supervise(
+            || Command::new("sh").arg("-c").arg("exit 7").spawn(),
+            SupervisorPolicy {
+                stable_after: Duration::from_secs(60),
+                max_rapid_crashes: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+            &stop,
+        )
+        .unwrap();
+        assert!(report.gave_up);
+        assert_eq!(report.restarts, 2);
+        assert_eq!(report.last_status.unwrap().code(), Some(7));
+    }
+}

@@ -22,7 +22,10 @@ use ktudc_sim::{ExploreOutcome, ExploreSpec};
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire encoding (envelope + all body types).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 — original envelope; 2 — responses carry the server
+/// `generation` (restart counter) and the `Health` endpoint exists.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One request line.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -58,6 +61,8 @@ pub enum RequestKind {
     Explore(ExploreSpec),
     /// Report server metrics.
     Stats,
+    /// Report durability health: generation plus recovery counters.
+    Health,
     /// Stop accepting work, drain, and exit.
     Shutdown,
 }
@@ -71,12 +76,13 @@ impl RequestKind {
             RequestKind::Check(_) => Endpoint::Check,
             RequestKind::Explore(_) => Endpoint::Explore,
             RequestKind::Stats => Endpoint::Stats,
+            RequestKind::Health => Endpoint::Health,
             RequestKind::Shutdown => Endpoint::Shutdown,
         }
     }
 
     /// Whether the outcome is a pure function of the body (and therefore
-    /// cacheable). `Stats` and `Shutdown` are not.
+    /// cacheable). `Stats`, `Health` and `Shutdown` are not.
     #[must_use]
     pub fn cacheable(&self) -> bool {
         matches!(
@@ -128,12 +134,20 @@ pub struct Response {
     /// Service latency in microseconds as observed by the server
     /// (submission to completion, queue wait included).
     pub micros: u64,
+    /// The answering server's generation — a counter that strictly
+    /// increases across daemon restarts (persisted via the snapshot
+    /// store when the daemon is durable, constant 0 otherwise). A client
+    /// seeing this change mid-conversation knows the process it was
+    /// talking to is gone, along with all its in-flight single-flight
+    /// state. Stamped centrally at the write boundary.
+    pub generation: u64,
     /// The payload.
     pub result: ResponseKind,
 }
 
 impl Response {
-    /// A current-version response.
+    /// A current-version response (generation 0 until the server stamps
+    /// it at the write boundary).
     #[must_use]
     pub fn new(id: u64, cached: bool, micros: u64, result: ResponseKind) -> Self {
         Response {
@@ -141,6 +155,7 @@ impl Response {
             id,
             cached,
             micros,
+            generation: 0,
             result,
         }
     }
@@ -171,10 +186,36 @@ pub enum ResponseKind {
     Explore(ExploreOutcome),
     /// Metrics snapshot.
     Stats(StatsReport),
+    /// Durability health snapshot.
+    Health(HealthReport),
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
     /// The request was not served.
     Error(WireError),
+}
+
+/// The `Health` response body: the server's restart generation plus what
+/// its boot-time recovery found on disk. A non-durable server (no data
+/// directory) reports generation 0 and zeroed recovery counters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// The server's generation (strictly increasing across restarts of a
+    /// durable server; 0 when running without a data directory).
+    pub generation: u64,
+    /// Whether the server has a data directory (snapshots + recovery).
+    pub durable: bool,
+    /// Cache outcomes warm-loaded from the newest valid snapshot at boot.
+    pub recovered_cache_entries: usize,
+    /// Snapshot files that failed validation (bad magic, generation or
+    /// checksum) and were skipped — never loaded — during recovery.
+    pub corrupt_snapshots_skipped: u64,
+    /// Cache snapshots written since boot (including the boot snapshot
+    /// that claims the generation).
+    pub snapshots_written: u64,
+    /// Outcomes currently in the scenario cache.
+    pub cache_entries: usize,
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
 }
 
 /// A typed failure.
@@ -210,12 +251,18 @@ mod tests {
 
     #[test]
     fn envelope_encoding_is_pinned() {
-        // The envelope shape is the serve wire schema (schema_version 1);
-        // repin deliberately with a version bump, never silently.
+        // The envelope shape is the serve wire schema (schema_version 2:
+        // responses gained `generation`, requests gained `Health`); repin
+        // deliberately with a version bump, never silently.
         let req = Request::new(7, RequestKind::Stats);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":1,"id":7,"kind":"Stats"}"#
+            r#"{"schema_version":2,"id":7,"kind":"Stats"}"#
+        );
+        let req = Request::new(8, RequestKind::Health);
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":2,"id":8,"kind":"Health"}"#
         );
 
         let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
@@ -224,13 +271,13 @@ mod tests {
         let req = Request::new(1, RequestKind::Cell(spec));
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":1,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+            r#"{"schema_version":2,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
         );
 
         let resp = Response::error(9, ErrorCode::Overloaded, "queue full");
         assert_eq!(
             serde_json::to_string(&resp).unwrap(),
-            r#"{"schema_version":1,"id":9,"cached":false,"micros":0,"result":{"Error":{"code":"Overloaded","message":"queue full"}}}"#
+            r#"{"schema_version":2,"id":9,"cached":false,"micros":0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full"}}}"#
         );
     }
 
@@ -260,17 +307,36 @@ mod tests {
         );
         let json = serde_json::to_string(&resp).unwrap();
         assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+
+        let health = Response::new(
+            4,
+            false,
+            11,
+            ResponseKind::Health(HealthReport {
+                generation: 3,
+                durable: true,
+                recovered_cache_entries: 17,
+                corrupt_snapshots_skipped: 0,
+                snapshots_written: 2,
+                cache_entries: 19,
+                uptime_micros: 1_000,
+            }),
+        );
+        let json = serde_json::to_string(&health).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), health);
     }
 
     #[test]
     fn endpoints_and_cacheability() {
         assert_eq!(RequestKind::Stats.endpoint(), Endpoint::Stats);
+        assert_eq!(RequestKind::Health.endpoint(), Endpoint::Health);
         assert_eq!(
             RequestKind::Explore(ExploreSpec::new(2, 2)).endpoint(),
             Endpoint::Explore
         );
         assert!(RequestKind::Explore(ExploreSpec::new(2, 2)).cacheable());
         assert!(!RequestKind::Stats.cacheable());
+        assert!(!RequestKind::Health.cacheable());
         assert!(!RequestKind::Shutdown.cacheable());
     }
 }

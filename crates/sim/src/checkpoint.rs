@@ -1,0 +1,481 @@
+//! Checkpointed exhaustive exploration — kill it, restart it, get the
+//! same answer.
+//!
+//! [`explore`](crate::explore) fans the first scheduling slots out into
+//! independent subtrees whose level-order concatenation is the sequential
+//! depth-first run order, for *any* fan-out width. That makes the subtree
+//! the natural checkpoint unit: this module journals each completed
+//! subtree's runs to a [`ktudc_store::Journal`], so a SIGKILL'd
+//! exploration resumes from the last durable subtree instead of tick
+//! zero.
+//!
+//! # Bit-identical resumption
+//!
+//! The whole point is machine-checkable recovery: a resumed exploration
+//! must produce the **same** [`ExploreResult`] — run for run, byte for
+//! byte, hence the same [`system_digest`](crate::system_digest) — as an
+//! uninterrupted one. Three choices make that hold:
+//!
+//! * the fan-out width is a fixed constant ([`CHECKPOINT_SUBTREE_TARGET`])
+//!   recorded in the journal header, never the machine's thread count, so
+//!   the subtree split replays identically anywhere;
+//! * the journal header pins the full [`ExploreSpec`]; resuming against a
+//!   journal written for a different spec is an error, not a silent
+//!   garbage merge;
+//! * assembly is by subtree index with [`explore`](crate::explore)'s
+//!   exact run-cap semantics, so completion order (and how many crashes
+//!   interrupted the job) is invisible in the output.
+//!
+//! Torn final entries — the expected artifact of a kill mid-append — are
+//! truncated off by the journal layer; the affected subtree is simply
+//! recomputed.
+
+use crate::explorer::{assemble_subtrees, expand_frontier, subtree_runs, ExploreResult, Frontier};
+use crate::wire::{ExploreSpec, WireMsg};
+use ktudc_model::Run;
+use ktudc_store::{Journal, SyncPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The fixed breadth-first fan-out width of checkpointed explorations.
+///
+/// Deliberately NOT derived from the thread count: the subtree split must
+/// replay identically on any machine that resumes the journal.
+pub const CHECKPOINT_SUBTREE_TARGET: usize = 64;
+
+/// One journal entry of a checkpointed exploration, JSON-encoded.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum JournalEntry {
+    /// First entry of every journal: pins the job and the subtree split.
+    Header {
+        spec: ExploreSpec,
+        subtree_target: usize,
+    },
+    /// A completed subtree: its frontier index and its capped DFS output.
+    Subtree {
+        index: usize,
+        runs: Vec<Run<WireMsg>>,
+        complete: bool,
+    },
+    /// The degenerate all-leaves case (the whole space fit inside the
+    /// frontier): the final assembled result in one entry.
+    Leaves {
+        runs: Vec<Run<WireMsg>>,
+        complete: bool,
+    },
+}
+
+/// What a checkpointed exploration did: how much was replayed from the
+/// journal versus computed fresh.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointStats {
+    /// Independent subtrees the exploration splits into.
+    pub total_subtrees: usize,
+    /// Subtrees whose runs were replayed from the journal.
+    pub resumed_subtrees: usize,
+    /// Subtrees computed (and journaled) by this invocation.
+    pub computed_subtrees: usize,
+    /// Valid journal entries found at open (including the header).
+    pub replayed_entries: u64,
+    /// Torn/corrupt bytes the journal layer truncated at open.
+    pub truncated_bytes: u64,
+    /// Whether the journal already existed (i.e. this was a resume).
+    pub resumed: bool,
+}
+
+/// Runs the exploration a spec describes, checkpointing completed
+/// subtrees to the journal at `path` so a killed job can resume. The
+/// result is bit-identical to [`explore_spec`](crate::explore_spec) for
+/// the same spec, whatever mixture of replay and fresh computation
+/// produced it.
+///
+/// `sync` sets the fsync discipline of the journal
+/// ([`SyncPolicy::Always`] for crash tests, [`SyncPolicy::EveryN`] to
+/// amortize when losing a few recomputable subtrees is acceptable).
+///
+/// # Errors
+///
+/// Returns the spec-validation error, any I/O failure, a journal written
+/// for a *different* spec, or an unparseable (version-skewed) journal.
+pub fn explore_spec_checkpointed(
+    spec: &ExploreSpec,
+    path: &Path,
+    sync: SyncPolicy,
+) -> Result<(ExploreResult<WireMsg>, CheckpointStats), String> {
+    let config = spec.to_config()?;
+    let (mut journal, recovered) = Journal::recover(path, sync)
+        .map_err(|e| format!("checkpoint journal {}: {e}", path.display()))?;
+
+    let mut stats = CheckpointStats {
+        replayed_entries: recovered.entries.len() as u64,
+        truncated_bytes: recovered.truncated_bytes,
+        resumed: recovered.existed && !recovered.entries.is_empty(),
+        ..CheckpointStats::default()
+    };
+
+    // Replay the journal: header first, then completed subtrees.
+    let mut subtree_target = CHECKPOINT_SUBTREE_TARGET;
+    let mut done: HashMap<usize, (Vec<Run<WireMsg>>, bool)> = HashMap::new();
+    let mut leaves: Option<(Vec<Run<WireMsg>>, bool)> = None;
+    for (i, bytes) in recovered.entries.iter().enumerate() {
+        let entry: JournalEntry = std::str::from_utf8(bytes)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+            .map_err(|e| {
+                format!(
+                    "checkpoint journal {}: entry {i} does not parse ({e}); \
+                     the journal was written by an incompatible version",
+                    path.display()
+                )
+            })?;
+        match (i, entry) {
+            (
+                0,
+                JournalEntry::Header {
+                    spec: pinned,
+                    subtree_target: target,
+                },
+            ) => {
+                if pinned != *spec {
+                    return Err(format!(
+                        "checkpoint journal {} was written for a different exploration; \
+                         refusing to merge (delete it to start over)",
+                        path.display()
+                    ));
+                }
+                subtree_target = target;
+            }
+            (0, _) => {
+                return Err(format!(
+                    "checkpoint journal {}: first entry is not a header",
+                    path.display()
+                ));
+            }
+            (
+                _,
+                JournalEntry::Subtree {
+                    index,
+                    runs,
+                    complete,
+                },
+            ) => {
+                done.insert(index, (runs, complete));
+            }
+            (_, JournalEntry::Leaves { runs, complete }) => {
+                leaves = Some((runs, complete));
+            }
+            (_, JournalEntry::Header { .. }) => {
+                return Err(format!(
+                    "checkpoint journal {}: duplicate header at entry {i}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    if recovered.entries.is_empty() {
+        append(
+            &mut journal,
+            &JournalEntry::Header {
+                spec: spec.clone(),
+                subtree_target,
+            },
+        )?;
+    }
+
+    let frontier: Frontier<WireMsg, _> =
+        expand_frontier(&config, &|p| spec.protocol.instantiate(p), subtree_target);
+
+    if frontier.exhausted(&config) {
+        // Whole space fit inside the frontier: one terminal entry.
+        stats.total_subtrees = 1;
+        if let Some((runs, complete)) = leaves {
+            stats.resumed_subtrees = 1;
+            return Ok((
+                ExploreResult {
+                    system: ktudc_model::System::new(runs),
+                    complete,
+                },
+                stats,
+            ));
+        }
+        let result = frontier.leaves_result(&config);
+        append(
+            &mut journal,
+            &JournalEntry::Leaves {
+                runs: result.system.runs().to_vec(),
+                complete: result.complete,
+            },
+        )?;
+        stats.computed_subtrees = 1;
+        return Ok((result, stats));
+    }
+
+    let Frontier { level, t, p_idx } = frontier;
+    stats.total_subtrees = level.len();
+
+    // Split the frontier into already-journaled subtrees and fresh work.
+    let mut results: Vec<Option<(Vec<Run<WireMsg>>, bool)>> = Vec::with_capacity(level.len());
+    let mut todo = Vec::new();
+    for (index, state) in level.into_iter().enumerate() {
+        match done.remove(&index) {
+            Some(replayed) => {
+                stats.resumed_subtrees += 1;
+                results.push(Some(replayed));
+            }
+            None => {
+                results.push(None);
+                todo.push((index, state));
+            }
+        }
+    }
+
+    // Compute missing subtrees in small parallel chunks, journaling after
+    // each chunk so a kill between chunks loses at most one chunk of
+    // work. Chunk size tracks the worker count; it affects only the
+    // checkpoint cadence, never the output (assembly is by index).
+    // A computed subtree: its index, its runs, and its completeness.
+    type Computed = (usize, (Vec<Run<WireMsg>>, bool));
+    let chunk = ktudc_par::thread_count().max(1) * 2;
+    for batch in todo.chunks(chunk) {
+        let computed: Vec<Computed> = ktudc_par::par_map(batch.to_vec(), |(index, mut state)| {
+            (index, subtree_runs(&config, &mut state, t, p_idx))
+        });
+        for (index, (runs, complete)) in computed {
+            append(
+                &mut journal,
+                &JournalEntry::Subtree {
+                    index,
+                    runs: runs.clone(),
+                    complete,
+                },
+            )?;
+            stats.computed_subtrees += 1;
+            results[index] = Some((runs, complete));
+        }
+    }
+    journal
+        .sync()
+        .map_err(|e| format!("checkpoint journal {}: sync: {e}", path.display()))?;
+
+    let ordered: Vec<(Vec<Run<WireMsg>>, bool)> = results
+        .into_iter()
+        .map(|r| r.expect("every subtree index resolved"))
+        .collect();
+    Ok((assemble_subtrees(ordered, config.max_runs), stats))
+}
+
+/// Resumes (or, if already finished, replays) the checkpointed
+/// exploration journaled at `path`, reading the pinned [`ExploreSpec`]
+/// from the journal header instead of requiring the caller to restate
+/// it. This is what a `--resume <checkpoint>` CLI does.
+///
+/// # Errors
+///
+/// Returns an error when `path` does not exist (a missing journal is
+/// *not* silently started fresh — there is no spec to start from), has
+/// no parseable header, or when [`explore_spec_checkpointed`] fails.
+pub fn resume_checkpoint(
+    path: &Path,
+    sync: SyncPolicy,
+) -> Result<(ExploreSpec, ExploreResult<WireMsg>, CheckpointStats), String> {
+    if !path.exists() {
+        return Err(format!(
+            "no checkpoint journal at {}; nothing to resume",
+            path.display()
+        ));
+    }
+    let header = {
+        let (journal, recovered) = Journal::recover(path, SyncPolicy::Never)
+            .map_err(|e| format!("checkpoint journal {}: {e}", path.display()))?;
+        drop(journal);
+        let Some(first) = recovered.entries.first() else {
+            return Err(format!(
+                "checkpoint journal {} is empty; nothing to resume",
+                path.display()
+            ));
+        };
+        std::str::from_utf8(first)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<JournalEntry>(s).map_err(|e| e.to_string()))
+            .map_err(|e| {
+                format!(
+                    "checkpoint journal {}: header does not parse ({e})",
+                    path.display()
+                )
+            })?
+    };
+    let JournalEntry::Header { spec, .. } = header else {
+        return Err(format!(
+            "checkpoint journal {}: first entry is not a header",
+            path.display()
+        ));
+    };
+    let (result, stats) = explore_spec_checkpointed(&spec, path, sync)?;
+    Ok((spec, result, stats))
+}
+
+/// Serializes and appends one entry.
+fn append(journal: &mut Journal, entry: &JournalEntry) -> Result<(), String> {
+    let bytes = serde_json::to_string(entry)
+        .map_err(|e| format!("checkpoint encode: {e}"))?
+        .into_bytes();
+    journal
+        .append(&bytes)
+        .map_err(|e| format!("checkpoint append: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{run_explore_spec, system_digest, WireProtocol};
+    use std::path::PathBuf;
+
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "ktudc-checkpoint-test-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&p);
+            TempPath(p)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn oneshot_spec() -> ExploreSpec {
+        let mut spec = ExploreSpec::new(2, 3);
+        spec.max_failures = 1;
+        spec.protocol = WireProtocol::OneShot {
+            from: 0,
+            to: 1,
+            msg: 7,
+        };
+        spec
+    }
+
+    #[test]
+    fn fresh_checkpointed_run_matches_direct_exploration() {
+        let tmp = TempPath::new("fresh");
+        let spec = oneshot_spec();
+        let (result, stats) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        let direct = run_explore_spec(&spec).unwrap();
+        assert_eq!(system_digest(&result.system), direct.digest);
+        assert_eq!(result.complete, direct.complete);
+        assert_eq!(result.system.len(), direct.runs);
+        assert!(!stats.resumed);
+        assert_eq!(stats.computed_subtrees, stats.total_subtrees);
+        assert_eq!(stats.resumed_subtrees, 0);
+    }
+
+    #[test]
+    fn second_invocation_replays_everything_bit_identically() {
+        let tmp = TempPath::new("replay");
+        let spec = oneshot_spec();
+        let (first, _) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        let (second, stats) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert!(stats.resumed);
+        assert_eq!(stats.computed_subtrees, 0);
+        assert_eq!(stats.resumed_subtrees, stats.total_subtrees);
+        assert_eq!(first.system.runs(), second.system.runs());
+        assert_eq!(system_digest(&first.system), system_digest(&second.system));
+    }
+
+    #[test]
+    fn torn_tail_resumes_to_the_identical_digest() {
+        let tmp = TempPath::new("torn");
+        let spec = oneshot_spec();
+        let baseline = run_explore_spec(&spec).unwrap();
+        explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+
+        // Simulate a kill mid-append: tear bytes off the journal tail.
+        let bytes = std::fs::read(&tmp.0).unwrap();
+        std::fs::write(&tmp.0, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
+
+        let (resumed, stats) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert!(stats.truncated_bytes > 0 || stats.computed_subtrees > 0);
+        assert_eq!(system_digest(&resumed.system), baseline.digest);
+        assert_eq!(resumed.complete, baseline.complete);
+    }
+
+    #[test]
+    fn journal_for_a_different_spec_is_refused() {
+        let tmp = TempPath::new("mismatch");
+        let spec = oneshot_spec();
+        explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        let other = ExploreSpec::new(2, 2);
+        let err = explore_spec_checkpointed(&other, &tmp.0, SyncPolicy::Never).unwrap_err();
+        assert!(err.contains("different exploration"), "{err}");
+    }
+
+    #[test]
+    fn all_leaves_case_checkpoints_and_replays() {
+        // Horizon 1 with 2 idle processes: the space fits inside the
+        // frontier, exercising the Leaves path.
+        let tmp = TempPath::new("leaves");
+        let spec = ExploreSpec::new(2, 1);
+        let direct = run_explore_spec(&spec).unwrap();
+        let (first, s1) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(system_digest(&first.system), direct.digest);
+        assert_eq!(s1.computed_subtrees, 1);
+        let (second, s2) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(system_digest(&second.system), direct.digest);
+        assert_eq!(s2.resumed_subtrees, 1);
+        assert_eq!(s2.computed_subtrees, 0);
+    }
+
+    #[test]
+    fn resume_reads_the_spec_from_the_header() {
+        let tmp = TempPath::new("resume-header");
+        let spec = oneshot_spec();
+        let baseline = run_explore_spec(&spec).unwrap();
+        explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+
+        // Tear the tail so the resume has real work to do.
+        let bytes = std::fs::read(&tmp.0).unwrap();
+        std::fs::write(&tmp.0, &bytes[..bytes.len() - bytes.len() / 4]).unwrap();
+
+        let (recovered_spec, result, _stats) =
+            resume_checkpoint(&tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(recovered_spec, spec);
+        assert_eq!(system_digest(&result.system), baseline.digest);
+    }
+
+    #[test]
+    fn resume_refuses_missing_and_headerless_journals() {
+        let missing = TempPath::new("resume-missing");
+        let err = resume_checkpoint(&missing.0, SyncPolicy::Never).unwrap_err();
+        assert!(err.contains("nothing to resume"), "{err}");
+        // A missing journal must not be created by the failed resume.
+        assert!(!missing.0.exists());
+
+        let empty = TempPath::new("resume-empty");
+        {
+            let _ = ktudc_store::Journal::create(&empty.0, SyncPolicy::Never).unwrap();
+        }
+        let err = resume_checkpoint(&empty.0, SyncPolicy::Never).unwrap_err();
+        assert!(err.contains("nothing to resume"), "{err}");
+    }
+
+    #[test]
+    fn run_cap_semantics_survive_checkpointing() {
+        let tmp = TempPath::new("cap");
+        let mut spec = oneshot_spec();
+        spec.max_runs = 10;
+        let direct = run_explore_spec(&spec).unwrap();
+        assert!(!direct.complete);
+        let (result, _) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(system_digest(&result.system), direct.digest);
+        assert!(!result.complete);
+        let (replayed, _) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(system_digest(&replayed.system), direct.digest);
+    }
+}

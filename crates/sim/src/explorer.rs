@@ -164,7 +164,7 @@ pub struct ExploreResult<M> {
 }
 
 #[derive(Clone)]
-struct ExploreState<M, P> {
+pub(crate) struct ExploreState<M, P> {
     builder: RunBuilder<M>,
     protocols: Vec<P>,
     /// FIFO channel contents, indexed `from * n + to`.
@@ -235,15 +235,78 @@ where
         };
     }
 
-    // Expand the first scheduling slots breadth-first until there are
-    // enough independent subtrees to keep every worker busy. All states of
-    // a level sit at the same (tick, process) slot, so the subsequent
-    // fan-out explores disjoint subtrees whose concatenation (in level
-    // order) is exactly the sequential depth-first run order.
-    let target = threads * 4;
+    let frontier = expand_frontier(config, &make, threads * 4);
+    if frontier.exhausted(config) {
+        return frontier.leaves_result(config);
+    }
+
+    let Frontier { level, t, p_idx } = frontier;
+    let results: Vec<(Vec<Run<M>>, bool)> =
+        ktudc_par::par_map(level, |mut st| subtree_runs(config, &mut st, t, p_idx));
+    assemble_subtrees(results, config.max_runs)
+}
+
+/// A breadth-first expansion of the first scheduling slots: independent
+/// subtree roots, all parked at the same `(t, p_idx)` slot, whose
+/// level-order concatenation is exactly the sequential depth-first run
+/// order. Produced by [`expand_frontier`]; consumed by [`explore`]'s
+/// fan-out and by the checkpointed explorer (`crate::checkpoint`), which
+/// journals completed subtrees by their index in `level`.
+pub(crate) struct Frontier<M, P> {
+    /// The subtree roots, in sequential branch order.
+    pub(crate) level: Vec<ExploreState<M, P>>,
+    /// Tick of the next unexplored slot.
+    pub(crate) t: Time,
+    /// Process index of the next unexplored slot.
+    pub(crate) p_idx: usize,
+}
+
+impl<M, P> Frontier<M, P> {
+    /// Whether expansion ran off the horizon — every state is a complete
+    /// leaf and there are no subtrees to descend into.
+    pub(crate) fn exhausted(&self, config: &ExploreConfig) -> bool {
+        self.t > config.horizon
+    }
+
+    /// Assembles the all-leaves case into a result (only valid when
+    /// [`exhausted`](Self::exhausted)).
+    pub(crate) fn leaves_result(&self, config: &ExploreConfig) -> ExploreResult<M>
+    where
+        M: Clone + Eq + Hash,
+    {
+        let mut runs: Vec<Run<M>> = self
+            .level
+            .iter()
+            .map(|s| s.builder.snapshot(config.horizon))
+            .collect();
+        let complete = runs.len() < config.max_runs;
+        runs.truncate(config.max_runs);
+        ExploreResult {
+            system: System::new(runs),
+            complete,
+        }
+    }
+}
+
+/// Expands the first scheduling slots breadth-first until there are at
+/// least `target` independent subtrees (or the horizon is exhausted).
+/// The fan-out they seed is invisible in the output for ANY `target`,
+/// which is why the checkpointed explorer can pin its own fixed target
+/// (recorded in the checkpoint header) and still reproduce [`explore`]'s
+/// exact run order.
+pub(crate) fn expand_frontier<M, P, F>(
+    config: &ExploreConfig,
+    make: &F,
+    target: usize,
+) -> Frontier<M, P>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+    F: Fn(ProcessId) -> P,
+{
     let mut t: Time = 1;
     let mut p_idx = 0usize;
-    let mut level: Vec<ExploreState<M, P>> = vec![initial_state(config, &make)];
+    let mut level: Vec<ExploreState<M, P>> = vec![initial_state(config, make)];
     while level.len() < target && t <= config.horizon {
         let p = ProcessId::new(p_idx);
         let mut next = Vec::with_capacity(level.len() * 2);
@@ -261,45 +324,50 @@ where
             t += 1;
         }
     }
+    Frontier { level, t, p_idx }
+}
 
-    if t > config.horizon {
-        // The whole space fit inside the frontier: every state is a leaf.
-        let mut runs: Vec<Run<M>> = level
-            .iter()
-            .map(|s| s.builder.snapshot(config.horizon))
-            .collect();
-        let complete = runs.len() < config.max_runs;
-        runs.truncate(config.max_runs);
-        return ExploreResult {
-            system: System::new(runs),
-            complete,
-        };
-    }
+/// Runs one frontier subtree to completion (its own copy-light DFS,
+/// capped at `config.max_runs`), returning its runs and completeness.
+pub(crate) fn subtree_runs<M, P>(
+    config: &ExploreConfig,
+    state: &mut ExploreState<M, P>,
+    t: Time,
+    p_idx: usize,
+) -> (Vec<Run<M>>, bool)
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    let mut runs = Vec::new();
+    let mut complete = true;
+    dfs(config, state, t, p_idx, &mut runs, &mut complete);
+    (runs, complete)
+}
 
-    let results: Vec<(Vec<Run<M>>, bool)> = ktudc_par::par_map(level, |mut st| {
-        let mut runs = Vec::new();
-        let mut complete = true;
-        dfs(config, &mut st, t, p_idx, &mut runs, &mut complete);
-        (runs, complete)
-    });
-    // Each subtree was capped at `max_runs` on its own, so the first
-    // `max_runs` runs of the concatenation equal the sequential result;
-    // the enumeration is complete iff every subtree finished and the total
-    // stayed under the cap (matching the sequential flag semantics).
+/// Concatenates per-subtree results (in frontier order) under the run
+/// cap. Each subtree was capped at `max_runs` on its own, so the first
+/// `max_runs` runs of the concatenation equal the sequential result; the
+/// enumeration is complete iff every subtree finished and the total
+/// stayed under the cap (matching the sequential flag semantics).
+pub(crate) fn assemble_subtrees<M: Eq + Hash>(
+    results: Vec<(Vec<Run<M>>, bool)>,
+    max_runs: usize,
+) -> ExploreResult<M> {
     let mut runs: Vec<Run<M>> = Vec::new();
     let mut total = 0usize;
     let mut all_subtrees_complete = true;
     for (rs, c) in results {
         total += rs.len();
         all_subtrees_complete &= c;
-        if runs.len() < config.max_runs {
-            let room = config.max_runs - runs.len();
+        if runs.len() < max_runs {
+            let room = max_runs - runs.len();
             runs.extend(rs.into_iter().take(room));
         }
     }
     ExploreResult {
         system: System::new(runs),
-        complete: all_subtrees_complete && total < config.max_runs,
+        complete: all_subtrees_complete && total < max_runs,
     }
 }
 

@@ -251,6 +251,23 @@ impl Protocol<WireMsg> for WireProto {
     }
 }
 
+impl WireProtocol {
+    /// Instantiates the named protocol for process `me` (the factory the
+    /// explorer — direct or checkpointed — hands each process).
+    pub(crate) fn instantiate(self, me: ProcessId) -> WireProto {
+        match self {
+            WireProtocol::Idle => WireProto::Idle,
+            WireProtocol::OneShot { from, to, msg } => WireProto::OneShot {
+                me,
+                from: ProcessId::new(from),
+                to: ProcessId::new(to),
+                msg,
+                sent: false,
+            },
+        }
+    }
+}
+
 /// Runs the exploration a spec describes, returning the full system (for
 /// local analysis, e.g. an epistemic check) and its completeness flag.
 ///
@@ -260,16 +277,7 @@ impl Protocol<WireMsg> for WireProto {
 pub fn explore_spec(spec: &ExploreSpec) -> Result<ExploreResult<WireMsg>, String> {
     let config = spec.to_config()?;
     let proto = spec.protocol;
-    Ok(explore(&config, move |p| match proto {
-        WireProtocol::Idle => WireProto::Idle,
-        WireProtocol::OneShot { from, to, msg } => WireProto::OneShot {
-            me: p,
-            from: ProcessId::new(from),
-            to: ProcessId::new(to),
-            msg,
-            sent: false,
-        },
-    }))
+    Ok(explore(&config, move |p| proto.instantiate(p)))
 }
 
 /// Runs the exploration and summarizes it for the wire.

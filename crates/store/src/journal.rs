@@ -1,0 +1,387 @@
+//! The append-only journal: length+checksum framed entries.
+//!
+//! # On-disk format
+//!
+//! A journal file is an 8-byte magic (`b"KTUDCJL1"`) followed by zero or
+//! more frames. Each frame is
+//!
+//! ```text
+//! [len: u32 LE] [checksum: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! where `checksum = fnv64(payload)`. Frames carry opaque bytes; callers
+//! bring their own encoding.
+//!
+//! # Recovery semantics
+//!
+//! [`Journal::recover`] reads frames front to back and stops at the first
+//! one that fails validation — a short header, a length running past the
+//! end of the file, or a checksum mismatch. Everything before that point
+//! is returned as [`Recovered::entries`]; everything from it onward is
+//! **truncated off the file**, because a torn final frame is the expected
+//! artifact of a crash mid-append (the kernel got some of the bytes to
+//! disk, not all) and keeping it would poison the next append. The
+//! invariants callers rely on:
+//!
+//! * recovery never panics, whatever the file contains;
+//! * `recovered entries ≤ appended entries`;
+//! * every recovered entry is bit-identical to the entry appended at its
+//!   position (a corrupted entry is *dropped with its suffix*, never
+//!   surfaced mangled — the checksum catches it).
+//!
+//! A frame that validates by checksum but was never fully appended cannot
+//! exist: the checksum covers the whole payload, and FNV-1a of a prefix
+//! does not match the full-payload checksum (up to the 2⁻⁶⁴ collision
+//! bound carried by every 64-bit checksum).
+//!
+//! # Fsync discipline
+//!
+//! [`SyncPolicy`] sets how often appends are flushed to the device:
+//! `Always` fsyncs every append (maximum durability, one syscall per
+//! entry), `EveryN(n)` amortizes the fsync over `n` appends (a crash can
+//! lose at most the last `n` entries — fine when entries are recomputable
+//! checkpoints), `Never` leaves flushing to the OS. All policies
+//! `write_all` the frame in one call and fsync on [`Journal::sync`] and
+//! drop.
+
+use crate::fnv64;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic: identifies a ktudc journal, version 1.
+pub const MAGIC: &[u8; 8] = b"KTUDCJL1";
+
+/// Bytes of frame overhead ahead of each payload (u32 length + u64 checksum).
+pub const FRAME_HEADER: usize = 4 + 8;
+
+/// Hard cap on a single entry, so a corrupted length field cannot make
+/// recovery attempt a multi-gigabyte allocation.
+pub const MAX_ENTRY: usize = 256 << 20;
+
+/// How often appends reach the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every append.
+    Always,
+    /// fsync after every `n`-th append (and on [`Journal::sync`]/drop).
+    EveryN(u32),
+    /// Never fsync implicitly; the OS flushes when it pleases.
+    Never,
+}
+
+/// What [`Journal::recover`] found in an existing file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Recovered {
+    /// Every entry that validated, in append order, bit-identical to what
+    /// was written.
+    pub entries: Vec<Vec<u8>>,
+    /// Bytes of torn/corrupt tail that were truncated off the file
+    /// (0 for a cleanly closed journal).
+    pub truncated_bytes: u64,
+    /// Whether the file existed before recovery.
+    pub existed: bool,
+}
+
+/// An open journal, positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    policy: SyncPolicy,
+    appends_since_sync: u32,
+    entries: u64,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, failing if the file exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write failures.
+    pub fn create(path: &Path, policy: SyncPolicy) -> io::Result<Journal> {
+        let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_all()?;
+        Ok(Journal {
+            file,
+            policy,
+            appends_since_sync: 0,
+            entries: 0,
+        })
+    }
+
+    /// Opens (or creates) the journal at `path`, replaying and repairing
+    /// it: valid entries are returned, a torn or corrupt tail is truncated
+    /// off, and the returned journal is positioned to append after the
+    /// last valid frame.
+    ///
+    /// A file whose *magic* doesn't validate is rejected rather than
+    /// silently truncated to empty — overwriting a file that was never a
+    /// journal is more likely clobbering the wrong path than crash repair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; rejects non-journal files with
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recover(path: &Path, policy: SyncPolicy) -> io::Result<(Journal, Recovered)> {
+        if !path.exists() {
+            return Ok((Journal::create(path, policy)?, Recovered::default()));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a ktudc journal (bad magic)", path.display()),
+            ));
+        }
+        let (entries, valid_len) = scan_frames(&bytes);
+        let truncated = bytes.len() as u64 - valid_len;
+        if truncated > 0 {
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        let count = entries.len() as u64;
+        Ok((
+            Journal {
+                file,
+                policy,
+                appends_since_sync: 0,
+                entries: count,
+            },
+            Recovered {
+                entries,
+                truncated_bytes: truncated,
+                existed: true,
+            },
+        ))
+    }
+
+    /// Appends one entry, framed and checksummed, honoring the sync
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures; rejects entries over [`MAX_ENTRY`].
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_ENTRY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("journal entry of {} bytes exceeds MAX_ENTRY", payload.len()),
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv64(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.entries += 1;
+        self.appends_since_sync += 1;
+        let due = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            SyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes everything appended so far to the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Entries this handle has appended plus entries recovered at open.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Best-effort durability for `EveryN`/`Never` tails on a clean exit.
+        let _ = self.file.sync_all();
+    }
+}
+
+/// Walks frames after the magic; returns the valid entries and the byte
+/// offset of the first invalid (or absent) frame.
+fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, u64) {
+    let mut entries = Vec::new();
+    let mut at = MAGIC.len();
+    while let Some(header) = bytes.get(at..at + FRAME_HEADER) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_ENTRY {
+            break;
+        }
+        let checksum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+        let Some(payload) = bytes.get(at + FRAME_HEADER..at + FRAME_HEADER + len) else {
+            break;
+        };
+        if fnv64(payload) != checksum {
+            break;
+        }
+        entries.push(payload.to_vec());
+        at += FRAME_HEADER + len;
+    }
+    (entries, at as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A unique temp path that cleans up on drop.
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("ktudc-journal-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            TempPath(p)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn append_then_recover_round_trips() {
+        let tmp = TempPath::new("roundtrip");
+        let written: Vec<Vec<u8>> = vec![
+            b"one".to_vec(),
+            vec![0u8; 1000],
+            Vec::new(),
+            b"\xff\x00".to_vec(),
+        ];
+        {
+            let mut j = Journal::create(&tmp.0, SyncPolicy::Always).unwrap();
+            for e in &written {
+                j.append(e).unwrap();
+            }
+            assert_eq!(j.entries(), written.len() as u64);
+        }
+        let (j, rec) = Journal::recover(&tmp.0, SyncPolicy::Always).unwrap();
+        assert_eq!(rec.entries, written);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert!(rec.existed);
+        assert_eq!(j.entries(), written.len() as u64);
+    }
+
+    #[test]
+    fn recover_creates_missing_file() {
+        let tmp = TempPath::new("fresh");
+        let (j, rec) = Journal::recover(&tmp.0, SyncPolicy::Never).unwrap();
+        assert!(!rec.existed);
+        assert!(rec.entries.is_empty());
+        assert_eq!(j.entries(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let tmp = TempPath::new("torn");
+        {
+            let mut j = Journal::create(&tmp.0, SyncPolicy::Always).unwrap();
+            j.append(b"kept").unwrap();
+            j.append(b"torn-away").unwrap();
+        }
+        // Tear the final frame: chop 3 bytes off the end.
+        let full = std::fs::read(&tmp.0).unwrap();
+        std::fs::write(&tmp.0, &full[..full.len() - 3]).unwrap();
+
+        let (mut j, rec) = Journal::recover(&tmp.0, SyncPolicy::Always).unwrap();
+        assert_eq!(rec.entries, vec![b"kept".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+        // The repaired journal accepts appends and replays cleanly.
+        j.append(b"after-repair").unwrap();
+        drop(j);
+        let (_, rec) = Journal::recover(&tmp.0, SyncPolicy::Always).unwrap();
+        assert_eq!(
+            rec.entries,
+            vec![b"kept".to_vec(), b"after-repair".to_vec()]
+        );
+        assert_eq!(rec.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_payload_is_dropped_not_surfaced() {
+        let tmp = TempPath::new("corrupt");
+        {
+            let mut j = Journal::create(&tmp.0, SyncPolicy::Always).unwrap();
+            j.append(b"good").unwrap();
+            j.append(b"flipped").unwrap();
+        }
+        let mut bytes = std::fs::read(&tmp.0).unwrap();
+        // Flip one bit inside the *second* payload.
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x40;
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let (_, rec) = Journal::recover(&tmp.0, SyncPolicy::Always).unwrap();
+        assert_eq!(rec.entries, vec![b"good".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_without_allocating() {
+        let tmp = TempPath::new("oversized");
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let (_, rec) = Journal::recover(&tmp.0, SyncPolicy::Always).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.truncated_bytes, FRAME_HEADER as u64);
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected_not_clobbered() {
+        let tmp = TempPath::new("notajournal");
+        std::fs::write(&tmp.0, b"precious user data, definitely not a journal").unwrap();
+        let err = Journal::recover(&tmp.0, SyncPolicy::Always).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The file is untouched.
+        assert_eq!(
+            std::fs::read(&tmp.0).unwrap(),
+            b"precious user data, definitely not a journal"
+        );
+    }
+
+    #[test]
+    fn create_refuses_existing_file() {
+        let tmp = TempPath::new("exists");
+        std::fs::write(&tmp.0, b"x").unwrap();
+        assert!(Journal::create(&tmp.0, SyncPolicy::Always).is_err());
+    }
+
+    #[test]
+    fn every_n_policy_counts_appends() {
+        let tmp = TempPath::new("everyn");
+        let mut j = Journal::create(&tmp.0, SyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7u8 {
+            j.append(&[i]).unwrap();
+        }
+        // No crash here to observe the window; this just exercises the
+        // policy arithmetic and the explicit sync path.
+        j.sync().unwrap();
+        drop(j);
+        let (_, rec) = Journal::recover(&tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(rec.entries.len(), 7);
+    }
+}

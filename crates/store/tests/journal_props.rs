@@ -1,0 +1,186 @@
+//! Property tests for journal framing and recovery (ISSUE 4, satellite c).
+//!
+//! The contract under attack: take a valid journal, mangle its bytes at
+//! random — truncate anywhere, flip bits anywhere — and recovery must
+//! (1) never panic, (2) return `entries ≤ written`, and (3) return only
+//! entries bit-identical to a written *prefix* (the checksum must catch
+//! every mangled entry rather than surfacing it).
+//!
+//! Cases are deterministic (compat proptest derives seeds from the test
+//! name), so failures reproduce exactly; `PROPTEST_CASES` bounds runtime
+//! in CI.
+
+use ktudc_store::{fnv64, Journal, SyncPolicy};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A unique temp path per (test, case), cleaned up on drop.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str, case_key: u64) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ktudc-journal-prop-{tag}-{}-{case_key:016x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        TempPath(p)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Writes `entries` into a fresh journal at `path` and returns the raw
+/// file bytes.
+fn write_journal(path: &PathBuf, entries: &[Vec<u8>]) -> Vec<u8> {
+    let mut j = Journal::create(path, SyncPolicy::Never).expect("create");
+    for e in entries {
+        j.append(e).expect("append");
+    }
+    j.sync().expect("sync");
+    drop(j);
+    std::fs::read(path).expect("read back")
+}
+
+/// The three recovery invariants, checked against what was written.
+fn check_invariants(written: &[Vec<u8>], recovered: &[Vec<u8>]) -> Result<(), TestCaseError> {
+    prop_assert!(
+        recovered.len() <= written.len(),
+        "recovered {} entries from {} written",
+        recovered.len(),
+        written.len()
+    );
+    for (i, (got, want)) in recovered.iter().zip(written).enumerate() {
+        prop_assert_eq!(got, want, "entry {} not bit-identical", i);
+    }
+    Ok(())
+}
+
+/// A deterministic fingerprint of a case's inputs, to diversify temp
+/// file names across cases without real randomness.
+fn case_key(parts: &[&[u8]]) -> u64 {
+    let mut flat = Vec::new();
+    for p in parts {
+        flat.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        flat.extend_from_slice(p);
+    }
+    fnv64(&flat)
+}
+
+proptest! {
+    /// Truncating a valid journal at ANY byte offset yields a clean
+    /// prefix of the written entries — never a panic, never a mangled
+    /// entry.
+    #[test]
+    fn truncation_yields_a_clean_prefix(
+        entries in vec(vec(0u8..=255, 0..40), 0..12),
+        cut_frac in 0u32..=1000,
+    ) {
+        let key = case_key(&[&cut_frac.to_le_bytes(), &(entries.len() as u64).to_le_bytes()]);
+        let tmp = TempPath::new("trunc", key);
+        let bytes = write_journal(&tmp.0, &entries);
+        // Map the fraction onto [MAGIC..len]: always keep the magic, since
+        // destroying it is the (tested elsewhere) reject-don't-repair path.
+        let lo = 8usize.min(bytes.len());
+        let cut = lo + ((bytes.len() - lo) as u64 * u64::from(cut_frac) / 1000) as usize;
+        std::fs::write(&tmp.0, &bytes[..cut]).expect("truncate");
+
+        let (_, rec) = Journal::recover(&tmp.0, SyncPolicy::Never).expect("recover");
+        check_invariants(&entries, &rec.entries)?;
+        // Recovery repaired the file: a second recovery is clean.
+        let (_, again) = Journal::recover(&tmp.0, SyncPolicy::Never).expect("re-recover");
+        prop_assert_eq!(&again.entries, &rec.entries);
+        prop_assert_eq!(again.truncated_bytes, 0);
+    }
+
+    /// Flipping random bits anywhere past the magic yields only entries
+    /// bit-identical to a written prefix — a corrupted entry is dropped
+    /// with its suffix, never accepted.
+    #[test]
+    fn corruption_is_never_accepted(
+        entries in vec(vec(0u8..=255, 0..40), 1..12),
+        flips in vec((0u32..=1000, 0u8..8), 1..5),
+    ) {
+        let mut key_parts: Vec<Vec<u8>> = vec![(entries.len() as u64).to_le_bytes().to_vec()];
+        for (pos, bit) in &flips {
+            key_parts.push(pos.to_le_bytes().to_vec());
+            key_parts.push(vec![*bit]);
+        }
+        let key = case_key(&key_parts.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let tmp = TempPath::new("flip", key);
+        let mut bytes = write_journal(&tmp.0, &entries);
+        for (pos_frac, bit) in &flips {
+            if bytes.len() > 8 {
+                let at = 8 + ((bytes.len() - 8) as u64 * u64::from(*pos_frac) / 1001) as usize;
+                let at = at.min(bytes.len() - 1);
+                bytes[at] ^= 1 << bit;
+            }
+        }
+        std::fs::write(&tmp.0, &bytes).expect("mangle");
+
+        let (_, rec) = Journal::recover(&tmp.0, SyncPolicy::Never).expect("recover");
+        check_invariants(&entries, &rec.entries)?;
+    }
+
+    /// Truncate AND corrupt together — the compound crash: a torn tail on
+    /// top of bit rot. Same invariants hold, and the repaired journal
+    /// accepts new appends that then survive their own recovery.
+    #[test]
+    fn compound_damage_then_append_recovers(
+        entries in vec(vec(0u8..=255, 0..24), 1..8),
+        cut_frac in 0u32..=1000,
+        flip_frac in 0u32..=1000,
+    ) {
+        let key = case_key(&[
+            &cut_frac.to_le_bytes(),
+            &flip_frac.to_le_bytes(),
+            &(entries.len() as u64).to_le_bytes(),
+        ]);
+        let tmp = TempPath::new("compound", key);
+        let bytes = write_journal(&tmp.0, &entries);
+        let lo = 8usize.min(bytes.len());
+        let cut = lo + ((bytes.len() - lo) as u64 * u64::from(cut_frac) / 1000) as usize;
+        let mut mangled = bytes[..cut].to_vec();
+        if mangled.len() > 8 {
+            let at = 8 + ((mangled.len() - 8) as u64 * u64::from(flip_frac) / 1001) as usize;
+            let at = at.min(mangled.len() - 1);
+            mangled[at] ^= 0x10;
+        }
+        std::fs::write(&tmp.0, &mangled).expect("mangle");
+
+        let (mut j, rec) = Journal::recover(&tmp.0, SyncPolicy::Never).expect("recover");
+        check_invariants(&entries, &rec.entries)?;
+
+        // Appends after repair extend the surviving prefix.
+        j.append(b"post-crash").expect("append");
+        j.sync().expect("sync");
+        drop(j);
+        let (_, after) = Journal::recover(&tmp.0, SyncPolicy::Never).expect("re-recover");
+        let mut expected = rec.entries.clone();
+        expected.push(b"post-crash".to_vec());
+        prop_assert_eq!(&after.entries, &expected);
+    }
+
+    /// An untouched journal always recovers every entry, whatever the
+    /// entry sizes and counts (including empty payloads).
+    #[test]
+    fn undamaged_journal_recovers_everything(
+        entries in vec(vec(0u8..=255, 0..200), 0..10),
+    ) {
+        let key = case_key(
+            &entries.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let tmp = TempPath::new("intact", key);
+        write_journal(&tmp.0, &entries);
+        let (j, rec) = Journal::recover(&tmp.0, SyncPolicy::Never).expect("recover");
+        prop_assert_eq!(&rec.entries, &entries);
+        prop_assert_eq!(rec.truncated_bytes, 0);
+        prop_assert_eq!(j.entries(), entries.len() as u64);
+    }
+}

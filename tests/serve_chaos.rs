@@ -30,6 +30,7 @@ fn faulty_server(
         queue_capacity: queue,
         cache_capacity: 256,
         faults,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr();
