@@ -35,6 +35,15 @@
 //! records the service-path throughput — cold (computed) and warm
 //! (scenario-cache) — under the `via_serve` key. The key is `null` when
 //! the flag is absent, keeping the `ktudc-bench-perf/1` schema additive.
+//!
+//! `--overload` runs the degradation soak: a one-worker daemon with
+//! adaptive admission is saturated from several connections with a mix
+//! of plain, deadline-carrying, and partial-accepting requests. Recorded
+//! under the `overload` key (additively, like `via_serve`): shed counts
+//! by type, the admitted-vs-uncontended p99 ratio, whether every shed
+//! was typed, whether the watchdog saw a stuck worker, and whether a
+//! budget-aborted checkpointed exploration resumed to the digest of the
+//! uninterrupted run.
 
 use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
 use ktudc_epistemic::{Formula, ModelChecker, ReferenceChecker};
@@ -138,6 +147,33 @@ struct RecoveryBench {
 }
 
 #[derive(Serialize)]
+struct OverloadReport {
+    /// Total requests submitted during the storm.
+    requests: usize,
+    workers: usize,
+    queue_capacity: usize,
+    /// Requests that produced a successful (or typed-partial) payload.
+    admitted: usize,
+    /// Admitted requests that resolved as a typed `Aborted` partial.
+    aborted_partial: usize,
+    shed_overloaded: u64,
+    shed_deadline: u64,
+    shed_rate: f64,
+    uncontended_p99_ms: f64,
+    admitted_p99_ms: f64,
+    /// Admitted p99 over uncontended p99 — the overload tax on the work
+    /// the server chose to accept.
+    admitted_over_uncontended: f64,
+    /// Every non-success resolution was a typed shed or typed abort.
+    all_sheds_typed: bool,
+    /// The watchdog never latched a stuck worker during the storm.
+    zero_stuck_workers: bool,
+    /// A step-budget-aborted checkpointed exploration, resumed with a
+    /// fresh budget, reproduced the uninterrupted run's digest.
+    digest_identical_after_resume: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
@@ -148,6 +184,7 @@ struct Report {
     chaos: ChaosReportSummary,
     recovery: RecoveryBench,
     via_serve: Option<ViaServeReport>,
+    overload: Option<OverloadReport>,
 }
 
 fn p(i: usize) -> ProcessId {
@@ -600,15 +637,215 @@ fn via_serve_workload(smoke: bool) -> ViaServeReport {
     }
 }
 
+/// The degradation soak: saturate a deliberately tiny daemon and record
+/// how it sheds. Every assertion here is part of the overload contract —
+/// a violation is a bench *failure*, not a slow result.
+fn overload_workload(smoke: bool) -> OverloadReport {
+    use ktudc_model::Budget;
+    use ktudc_serve::{
+        serve, Client, ErrorCode, RequestKind, RequestOptions, ResponseKind, ServeConfig,
+    };
+    use ktudc_sim::{
+        explore_spec_checkpointed, explore_spec_checkpointed_budgeted, run_explore_spec,
+        system_digest, CheckpointOutcome, ExploreSpec, WireProtocol,
+    };
+    use ktudc_store::SyncPolicy;
+
+    let workers = 1;
+    let queue_capacity = 4;
+    let handle = serve(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity,
+        cache_capacity: 512,
+        target_p99_ms: 50,
+        watchdog_tick_ms: 5,
+        stuck_after_ticks: 400,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let cell = |i: usize| {
+        RequestKind::Cell(
+            CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(2)
+                .horizon(100 + i as u64),
+        )
+    };
+    // An exploration demonstrably too large for a millisecond deadline
+    // on *this* machine: grow the horizon until the uninterrupted walk
+    // takes ≥ 50 ms, so the deadline budget is guaranteed to trip.
+    let oneshot = |horizon| {
+        let mut spec = ExploreSpec::new(3, horizon);
+        spec.protocol = WireProtocol::OneShot {
+            from: 0,
+            to: 1,
+            msg: 7,
+        };
+        spec
+    };
+    let big_spec = (6..=30)
+        .map(oneshot)
+        .find(|spec| {
+            let t0 = Instant::now();
+            run_explore_spec(spec).expect("valid spec");
+            t0.elapsed().as_millis() >= 50
+        })
+        .expect("no horizon produced a 50ms exploration");
+
+    // Uncontended baseline: distinct cells, one at a time.
+    let mut probe = Client::connect(addr).expect("connect");
+    let mut uncontended: Vec<u64> = (0..8)
+        .map(|i| {
+            probe
+                .request(cell(10_000 + i))
+                .expect("uncontended request")
+                .micros
+        })
+        .collect();
+    uncontended.sort_unstable();
+    let uncontended_p99 = uncontended[(uncontended.len() - 1) * 99 / 100];
+
+    // The storm: parallel connections pipelining mixed batches.
+    let threads = if smoke { 3 } else { 6 };
+    let per_thread = if smoke { 12 } else { 32 };
+    let stormers: Vec<_> = (0..threads)
+        .map(|thread| {
+            let big_spec = big_spec.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let kinds: Vec<(RequestKind, RequestOptions)> = (0..per_thread)
+                    .map(|i| match i % 3 {
+                        0 => (cell(thread * per_thread + i), RequestOptions::default()),
+                        1 => (
+                            cell(thread * per_thread + i),
+                            RequestOptions {
+                                deadline_ms: Some(100),
+                                ..RequestOptions::default()
+                            },
+                        ),
+                        _ => (
+                            RequestKind::Explore(big_spec.clone()),
+                            RequestOptions {
+                                deadline_ms: Some(2),
+                                accept_partial: true,
+                                ..RequestOptions::default()
+                            },
+                        ),
+                    })
+                    .collect();
+                client.batch_with_options(kinds).expect("storm batch")
+            })
+        })
+        .collect();
+
+    let mut admitted_micros = Vec::new();
+    let mut aborted_partial = 0usize;
+    let mut shed_overloaded = 0u64;
+    let mut shed_deadline = 0u64;
+    let mut all_sheds_typed = true;
+    let mut requests = 0usize;
+    for stormer in stormers {
+        for response in stormer.join().expect("storm thread") {
+            requests += 1;
+            match &response.result {
+                ResponseKind::Cell(_) | ResponseKind::Explore(_) | ResponseKind::Check(_) => {
+                    admitted_micros.push(response.micros);
+                }
+                ResponseKind::Aborted(_) => {
+                    aborted_partial += 1;
+                    admitted_micros.push(response.micros);
+                }
+                ResponseKind::Error(e) => match e.code {
+                    ErrorCode::Overloaded => shed_overloaded += 1,
+                    ErrorCode::DeadlineExceeded => shed_deadline += 1,
+                    _ => all_sheds_typed = false,
+                },
+                _ => all_sheds_typed = false,
+            }
+        }
+    }
+    assert!(all_sheds_typed, "an overload resolution was not typed");
+    assert!(!admitted_micros.is_empty(), "the storm admitted nothing");
+    admitted_micros.sort_unstable();
+    let admitted_p99 = admitted_micros[(admitted_micros.len() - 1) * 99 / 100];
+
+    let health = probe.health().expect("health");
+    let zero_stuck_workers = health.stuck_workers == 0;
+    assert!(zero_stuck_workers, "watchdog latched a stuck worker");
+    handle.shutdown();
+    handle.join();
+
+    // Budget-abort + resume digest identity, through the checkpoint
+    // journal: probe the walk's step count, cap at half, resume clean.
+    let baseline = run_explore_spec(&big_spec).expect("valid spec");
+    let mut journal = std::env::temp_dir();
+    journal.push(format!("ktudc-perf-overload-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let steps_probe = Budget::unlimited();
+    {
+        let mut scratch = std::env::temp_dir();
+        scratch.push(format!(
+            "ktudc-perf-overload-probe-{}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&scratch);
+        explore_spec_checkpointed_budgeted(
+            &big_spec,
+            &scratch,
+            SyncPolicy::Never,
+            Some(&steps_probe),
+        )
+        .expect("probe walk");
+        let _ = std::fs::remove_file(&scratch);
+    }
+    let budget = Budget::unlimited().with_max_steps(steps_probe.steps() / 2);
+    let (outcome, _) =
+        explore_spec_checkpointed_budgeted(&big_spec, &journal, SyncPolicy::Never, Some(&budget))
+            .expect("budgeted walk");
+    assert!(
+        matches!(outcome, CheckpointOutcome::Aborted { .. }),
+        "a half-walk step cap must abort"
+    );
+    let (resumed, _) =
+        explore_spec_checkpointed(&big_spec, &journal, SyncPolicy::Never).expect("resume");
+    let digest_identical_after_resume = system_digest(&resumed.system) == baseline.digest;
+    assert!(digest_identical_after_resume, "resume diverged");
+    let _ = std::fs::remove_file(&journal);
+
+    let sheds = shed_overloaded + shed_deadline;
+    OverloadReport {
+        requests,
+        workers,
+        queue_capacity,
+        admitted: admitted_micros.len(),
+        aborted_partial,
+        shed_overloaded,
+        shed_deadline,
+        shed_rate: sheds as f64 / requests as f64,
+        uncontended_p99_ms: uncontended_p99 as f64 / 1_000.0,
+        admitted_p99_ms: admitted_p99 as f64 / 1_000.0,
+        admitted_over_uncontended: admitted_p99 as f64 / uncontended_p99.max(1) as f64,
+        all_sheds_typed,
+        zero_stuck_workers,
+        digest_identical_after_resume,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut via_serve = false;
+    let mut overload = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--via-serve" => via_serve = true,
+            "--overload" => overload = true,
             other => {
-                eprintln!("perf: unknown argument `{other}` (accepted: --smoke, --via-serve)");
+                eprintln!(
+                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload)"
+                );
                 std::process::exit(2);
             }
         }
@@ -684,6 +921,26 @@ fn main() {
         r
     });
 
+    let overload = overload.then(|| {
+        let r = overload_workload(smoke);
+        eprintln!(
+            "perf: overload {} requests ({} admitted, {} aborted-partial, {} overloaded, {} deadline sheds, shed rate {:.2}): admitted p99 {:.2}ms vs uncontended {:.2}ms ({:.1}x), typed={} stuck-free={} resume-digest-ok={}",
+            r.requests,
+            r.admitted,
+            r.aborted_partial,
+            r.shed_overloaded,
+            r.shed_deadline,
+            r.shed_rate,
+            r.admitted_p99_ms,
+            r.uncontended_p99_ms,
+            r.admitted_over_uncontended,
+            r.all_sheds_typed,
+            r.zero_stuck_workers,
+            r.digest_identical_after_resume,
+        );
+        r
+    });
+
     let report = Report {
         schema: "ktudc-bench-perf/1".to_string(),
         mode: mode.to_string(),
@@ -694,6 +951,7 @@ fn main() {
         chaos,
         recovery,
         via_serve,
+        overload,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_ktudc.json", &json).expect("write BENCH_ktudc.json");

@@ -17,6 +17,7 @@ use ktudc_fd::{
     CyclingSubsetOracle, ImpermanentStrongOracle, PerfectOracle, StrongOracle, TUsefulOracle,
     WeakOracle,
 };
+use ktudc_model::budget::{AbortReason, Budget};
 use ktudc_model::Time;
 use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, FdOracle, NullOracle, SimConfig, Workload};
 use serde::{Deserialize, Serialize};
@@ -199,11 +200,49 @@ impl fmt::Display for CellOutcome {
 /// `t ≥ n/2`, which the trivial construction cannot serve).
 #[must_use]
 pub fn run_cell(spec: &CellSpec) -> CellOutcome {
+    match run_cell_budgeted(spec, &Budget::unlimited()) {
+        CellStatus::Done(outcome) => outcome,
+        CellStatus::Aborted { .. } => unreachable!("an unlimited budget cannot abort"),
+    }
+}
+
+/// Outcome of a budget-constrained cell evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellStatus {
+    /// Every trial ran; the tally is complete.
+    Done(CellOutcome),
+    /// The budget tripped partway through the trial sweep.
+    Aborted {
+        /// Why the budget tripped.
+        reason: AbortReason,
+        /// Tally over the trials that did complete (may be empty).
+        partial: CellOutcome,
+        /// How many of `spec.trials` trials completed before the trip.
+        trials_completed: u64,
+    },
+}
+
+/// Like [`run_cell`], but polls `budget` once per trial and stops admitting
+/// new trials once it trips. Trials already completed are tallied into the
+/// `Aborted` partial, so a shed cell still reports what it learned.
+///
+/// Trials are horizon-bounded and short, so per-trial granularity keeps
+/// cancellation latency to one trial's worth of work per parallel worker.
+#[must_use]
+pub fn run_cell_budgeted(spec: &CellSpec, budget: &Budget) -> CellStatus {
     let seeds: Vec<u64> = (0..spec.trials).collect();
-    let trials = ktudc_par::par_map(seeds, |seed| run_trial(spec, seed));
+    let trials = ktudc_par::par_map(seeds, |seed| {
+        if budget.check().is_err() {
+            None
+        } else {
+            Some(run_trial(spec, seed))
+        }
+    });
     let mut outcome = CellOutcome::default();
     let mut total_msgs: u64 = 0;
-    for trial in trials {
+    let mut completed: u64 = 0;
+    for trial in trials.into_iter().flatten() {
+        completed += 1;
         total_msgs += trial.messages_sent;
         match trial.verdict {
             TrialVerdict::Satisfied => outcome.satisfied += 1,
@@ -211,8 +250,15 @@ pub fn run_cell(spec: &CellSpec) -> CellOutcome {
             TrialVerdict::UnsatisfiedPending => outcome.unsatisfied_pending += 1,
         }
     }
-    outcome.mean_messages = total_msgs as f64 / spec.trials.max(1) as f64;
-    outcome
+    outcome.mean_messages = total_msgs as f64 / completed.max(1) as f64;
+    match budget.tripped() {
+        Some(reason) => CellStatus::Aborted {
+            reason,
+            partial: outcome,
+            trials_completed: completed,
+        },
+        None => CellStatus::Done(outcome),
+    }
 }
 
 enum TrialVerdict {
@@ -341,6 +387,62 @@ mod tests {
         let out = run_cell(&spec);
         assert!(!out.achieved(), "{out}");
         assert!(out.unsatisfied_pending > 0, "{out}");
+    }
+
+    #[test]
+    fn budgeted_cell_with_headroom_matches_unbudgeted() {
+        let spec = CellSpec::new(4, 3, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(6)
+            .horizon(500);
+        let plain = run_cell(&spec);
+        let budget = Budget::unlimited();
+        match run_cell_budgeted(&spec, &budget) {
+            CellStatus::Done(outcome) => assert_eq!(outcome, plain),
+            CellStatus::Aborted { reason, .. } => panic!("unexpected abort: {reason}"),
+        }
+        assert_eq!(budget.steps(), spec.trials, "one budget poll per trial");
+    }
+
+    #[test]
+    fn step_capped_cell_aborts_with_partial_tally() {
+        let spec = CellSpec::new(4, 3, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(8)
+            .horizon(500);
+        let budget = Budget::unlimited().with_max_steps(3);
+        match run_cell_budgeted(&spec, &budget) {
+            CellStatus::Aborted {
+                reason,
+                partial,
+                trials_completed,
+            } => {
+                assert_eq!(reason, AbortReason::StepLimit);
+                assert!(trials_completed >= 1, "some trials run before the trip");
+                assert!(trials_completed < spec.trials, "the trip sheds trials");
+                assert_eq!(partial.trials(), trials_completed);
+            }
+            CellStatus::Done(outcome) => panic!("a 3-step cap must trip: {outcome}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_cell_runs_no_trials() {
+        let spec = CellSpec::new(4, 3, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(6)
+            .horizon(500);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        match run_cell_budgeted(&spec, &budget) {
+            CellStatus::Aborted {
+                reason,
+                partial,
+                trials_completed,
+            } => {
+                assert_eq!(reason, AbortReason::Cancelled);
+                assert_eq!(trials_completed, 0);
+                assert_eq!(partial.trials(), 0);
+            }
+            CellStatus::Done(outcome) => panic!("a cancelled budget must abort: {outcome}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::bittable::{BitTable, Layout};
 use crate::formula::{Formula, Prim};
+use ktudc_model::budget::{AbortReason, Budget};
 use ktudc_model::{
     Event, IndistinguishableBlock, Point, ProcSet, ProcessId, SuspectReport, System, Time,
 };
@@ -119,6 +120,30 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
             None => Ok(()),
             Some((ri, m)) => Err(Point::new(ri, m)),
         }
+    }
+
+    /// [`valid`](Self::valid) under a [`Budget`]: table construction polls
+    /// the budget (per class for `K_p`, per run for primitives and
+    /// temporal operators) and memoized table bytes are charged against
+    /// its memory cap. Tables whose construction the budget interrupted
+    /// are **not** memoized — a partially evaluated `K_p` table is
+    /// garbage, and caching it would silently corrupt every later query
+    /// on this checker.
+    ///
+    /// # Errors
+    ///
+    /// The outer error is the budget trip; the inner result is the usual
+    /// validity verdict with counterexample.
+    pub fn valid_budgeted(
+        &mut self,
+        formula: &Formula<M>,
+        budget: &Budget,
+    ) -> Result<Result<(), Point>, AbortReason> {
+        let table = self.table_budgeted(formula, Some(budget))?;
+        Ok(match table.first_zero() {
+            None => Ok(()),
+            Some((ri, m)) => Err(Point::new(ri, m)),
+        })
     }
 
     /// All points satisfying `φ`.
@@ -225,6 +250,20 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
 
     /// Computes (or fetches) the truth table of `formula` over all points.
     fn table(&mut self, formula: &Formula<M>) -> Arc<BitTable> {
+        match self.table_budgeted(formula, None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("an unbudgeted evaluation cannot abort"),
+        }
+    }
+
+    /// [`table`](Self::table) with optional budget polling. A tripped
+    /// budget propagates as `Err` *before* the offending table is
+    /// memoized: `self.tables` only ever holds fully computed tables.
+    fn table_budgeted(
+        &mut self,
+        formula: &Formula<M>,
+        budget: Option<&Budget>,
+    ) -> Result<Arc<BitTable>, AbortReason> {
         let id = match self.ids.get(formula) {
             Some(&id) => id as usize,
             None => {
@@ -238,49 +277,64 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
             }
         };
         if let Some(t) = &self.tables[id] {
-            return Arc::clone(t);
+            return Ok(Arc::clone(t));
+        }
+        if let Some(b) = budget {
+            b.check()?;
         }
         let table = match formula {
             Formula::True => BitTable::filled(Arc::clone(&self.layout), true),
-            Formula::Prim(prim) => self.prim_table(prim),
+            Formula::Prim(prim) => self.prim_table(prim, budget)?,
             Formula::Not(inner) => {
-                let mut t = (*self.table(inner)).clone();
+                let mut t = (*self.table_budgeted(inner, budget)?).clone();
                 t.not_inplace();
                 t
             }
             Formula::And(parts) => {
                 let mut acc = BitTable::filled(Arc::clone(&self.layout), true);
                 for part in parts {
-                    acc.and_inplace(&self.table(part));
+                    let t = self.table_budgeted(part, budget)?;
+                    acc.and_inplace(&t);
                 }
                 acc
             }
             Formula::Or(parts) => {
                 let mut acc = BitTable::filled(Arc::clone(&self.layout), false);
                 for part in parts {
-                    acc.or_inplace(&self.table(part));
+                    let t = self.table_budgeted(part, budget)?;
+                    acc.or_inplace(&t);
                 }
                 acc
             }
-            Formula::Always(inner) => self.table(inner).always(),
-            Formula::Eventually(inner) => self.table(inner).eventually(),
+            Formula::Always(inner) => self.table_budgeted(inner, budget)?.always(),
+            Formula::Eventually(inner) => self.table_budgeted(inner, budget)?.eventually(),
             Formula::Knows(p, inner) => {
-                let t = self.table(inner);
+                let t = self.table_budgeted(inner, budget)?;
                 let layout = Arc::clone(&self.layout);
-                knows_table(self.class_blocks_for(*p), layout, &t)
+                knows_table(self.class_blocks_for(*p), layout, &t, budget)?
             }
         };
+        if let Some(b) = budget {
+            // The table is the checker's dominant memory cost; charge it
+            // before memoizing so the cap bounds the cache, and re-check
+            // the latch so a trip during construction (e.g. a concurrent
+            // cancel) never publishes a suspect table.
+            b.charge_memory(table.byte_size() as u64)?;
+        }
         let table = Arc::new(table);
         self.tables[id] = Some(Arc::clone(&table));
-        table
+        Ok(table)
     }
 
     /// Evaluates a primitive over every point: per run, a cheap event scan
     /// finds where the primitive's value changes, then word-wise fills
-    /// paint the ranges.
-    fn prim_table(&self, prim: &Prim<M>) -> BitTable {
+    /// paint the ranges. Polls the budget once per run.
+    fn prim_table(&self, prim: &Prim<M>, budget: Option<&Budget>) -> Result<BitTable, AbortReason> {
         let mut acc = BitTable::zeros(Arc::clone(&self.layout));
         for (ri, run) in self.system.runs().iter().enumerate() {
+            if let Some(b) = budget {
+                b.poll()?;
+            }
             let horizon = run.horizon();
             match prim {
                 Prim::Crashed(p) => {
@@ -347,20 +401,28 @@ impl<'a, M: Clone + Eq + Hash> ModelChecker<'a, M> {
                 }
             }
         }
-        acc
+        Ok(acc)
     }
 }
 
 /// The `K_p` table: for each `~_p` equivalence class, AND the subformula
 /// table over the class's tick ranges (word-wise), then paint the verdict
-/// over the class. Classes are independent — evaluated in parallel.
+/// over the class. Classes are independent — evaluated in parallel, each
+/// worker polling the shared budget once per class; verdicts computed
+/// after a trip are discarded wholesale by the error return.
 fn knows_table(
     class_blocks: &[&[IndistinguishableBlock]],
     layout: Arc<Layout>,
     inner: &BitTable,
-) -> BitTable {
-    let verdicts =
-        ktudc_par::par_map_slice(class_blocks, |_, blocks| inner.all_ones_blocks(blocks));
+    budget: Option<&Budget>,
+) -> Result<BitTable, AbortReason> {
+    let verdicts = ktudc_par::par_map_slice(class_blocks, |_, blocks| match budget {
+        Some(b) if b.poll().is_err() => false,
+        _ => inner.all_ones_blocks(blocks),
+    });
+    if let Some(reason) = budget.and_then(Budget::tripped) {
+        return Err(reason);
+    }
     let mut out = BitTable::zeros(layout);
     for (blocks, verdict) in class_blocks.iter().zip(verdicts) {
         if verdict {
@@ -369,7 +431,7 @@ fn knows_table(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 fn first_event_tick<M>(
@@ -591,6 +653,61 @@ mod tests {
         assert_eq!(a, b);
         assert!(mc.cached_table_count() >= 3, "subformulas should be cached");
         assert!(mc.table_bytes() > 0);
+    }
+
+    #[test]
+    fn budgeted_validity_matches_unbudgeted_and_charges_memory() {
+        let sys = lost_message_system();
+        let mut plain = ModelChecker::new(&sys);
+        let mut budgeted = ModelChecker::new(&sys);
+        let f = Formula::implies(
+            Formula::knows(p(1), Formula::received(p(1), p(0), "m")),
+            Formula::received(p(1), p(0), "m"),
+        );
+        let budget = Budget::unlimited();
+        assert_eq!(
+            budgeted.valid_budgeted(&f, &budget).unwrap(),
+            plain.valid(&f)
+        );
+        assert!(budget.steps() > 0, "evaluation must poll");
+        assert_eq!(
+            budget.memory_charged(),
+            budgeted.table_bytes() as u64,
+            "every memoized table is charged"
+        );
+    }
+
+    #[test]
+    fn tripped_budget_aborts_without_poisoning_the_cache() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let f = Formula::knows(p(0), Formula::eventually(Formula::crashed(p(1))));
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let reason = mc.valid_budgeted(&f, &budget).unwrap_err();
+        assert_eq!(reason, AbortReason::Cancelled);
+        assert_eq!(
+            mc.cached_table_count(),
+            0,
+            "no table from the aborted evaluation may be memoized"
+        );
+        // The checker remains fully usable: a fresh budget answers the
+        // same query, identically to an untouched checker.
+        let fresh = Budget::unlimited();
+        let verdict = mc.valid_budgeted(&f, &fresh).unwrap();
+        let mut control = ModelChecker::new(&sys);
+        assert_eq!(verdict, control.valid(&f));
+    }
+
+    #[test]
+    fn memory_cap_aborts_table_construction() {
+        let sys = lost_message_system();
+        let mut mc = ModelChecker::new(&sys);
+        let f = Formula::knows(p(0), Formula::eventually(Formula::crashed(p(1))));
+        let budget = Budget::unlimited().with_memory_cap(1);
+        let reason = mc.valid_budgeted(&f, &budget).unwrap_err();
+        assert_eq!(reason, AbortReason::MemoryLimit);
+        assert_eq!(mc.cached_table_count(), 0);
     }
 
     #[test]

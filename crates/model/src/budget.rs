@@ -1,0 +1,430 @@
+//! Cooperative computation budgets and cancellation.
+//!
+//! Exhaustive exploration and global model checking are exponential in
+//! their parameters, so every long-running compute path in the workspace
+//! accepts a [`Budget`]: a deadline, a step cap, and an approximate
+//! memory cap, plus a shared [`CancelToken`]. Computations *poll* the
+//! budget at natural unit boundaries (a DFS node, a trial, an
+//! equivalence class) and unwind cooperatively when it is exhausted,
+//! returning whatever partial result they accumulated instead of
+//! nothing.
+//!
+//! The design goals, in order:
+//!
+//! * **Cheap polling.** [`Budget::poll`] is one relaxed `fetch_add` and
+//!   two relaxed loads on the hot path; the clock is consulted only
+//!   every [`POLL_STRIDE`] polls. [`Budget::check`] is the boundary
+//!   variant that always consults the clock — use it between chunks of
+//!   work, not inside inner loops.
+//! * **Shareable.** A `&Budget` is `Sync`: the same budget is polled
+//!   concurrently by every worker of a parallel fan-out, and the first
+//!   worker to exhaust it trips a latch that makes every subsequent
+//!   poll fail fast, so siblings unwind promptly.
+//! * **Observable.** Every poll bumps a heartbeat counter that an
+//!   external watchdog can sample: a worker whose heartbeat stops
+//!   moving is stuck in a non-cooperative region (or wedged), which is
+//!   exactly what a serving layer needs to detect and report.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Polls between clock reads in [`Budget::poll`]. Chosen so that even
+/// very cheap poll sites (one DFS node) amortize the `Instant::now()`
+/// syscall to noise while keeping deadline-overshoot bounded by a few
+/// thousand nodes of work.
+pub const POLL_STRIDE: u64 = 1024;
+
+/// Why a budgeted computation stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The deadline passed.
+    Deadline,
+    /// The shared [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The step cap was spent.
+    StepLimit,
+    /// The approximate memory cap was exceeded.
+    MemoryLimit,
+}
+
+impl AbortReason {
+    /// Stable lower-case name (log/metric label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::Deadline => "deadline",
+            AbortReason::Cancelled => "cancelled",
+            AbortReason::StepLimit => "step-limit",
+            AbortReason::MemoryLimit => "memory-limit",
+        }
+    }
+
+    fn to_code(self) -> u8 {
+        match self {
+            AbortReason::Deadline => 1,
+            AbortReason::Cancelled => 2,
+            AbortReason::StepLimit => 3,
+            AbortReason::MemoryLimit => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(AbortReason::Deadline),
+            2 => Some(AbortReason::Cancelled),
+            3 => Some(AbortReason::StepLimit),
+            4 => Some(AbortReason::MemoryLimit),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A shared cancellation flag. Cloning yields another handle to the
+/// *same* flag; cancelling through any handle cancels every budget the
+/// token was attached to.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A resource budget for one computation: deadline, step cap,
+/// approximate memory cap, and a cancellation token.
+///
+/// All limit checks latch: the first failed poll *trips* the budget and
+/// every later poll (from any thread) fails fast with the same
+/// [`AbortReason`], so a parallel fan-out sharing one budget unwinds
+/// promptly once any worker exhausts it.
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_steps: u64,
+    max_memory_bytes: u64,
+    cancel: CancelToken,
+    steps: AtomicU64,
+    memory_bytes: AtomicU64,
+    heartbeat: Arc<AtomicU64>,
+    /// 0 = live; otherwise `AbortReason::to_code` of the first trip.
+    tripped: AtomicU8,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits at all — polls always succeed (but still
+    /// bump the heartbeat and honor cancellation).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            max_steps: u64::MAX,
+            max_memory_bytes: u64::MAX,
+            cancel: CancelToken::new(),
+            steps: AtomicU64::new(0),
+            memory_bytes: AtomicU64::new(0),
+            heartbeat: Arc::new(AtomicU64::new(0)),
+            tripped: AtomicU8::new(0),
+        }
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now.
+    #[must_use]
+    pub fn deadline_in(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Caps the number of polled steps.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Caps the bytes charged through [`Budget::charge_memory`]. The cap
+    /// is approximate by construction: only explicitly charged
+    /// allocations count.
+    #[must_use]
+    pub fn with_memory_cap(mut self, bytes: u64) -> Self {
+        self.max_memory_bytes = bytes;
+        self
+    }
+
+    /// Attaches a shared cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A handle to this budget's cancellation flag.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The heartbeat counter, bumped on every poll. A watchdog keeps a
+    /// clone and samples it: no movement across its ticks means the
+    /// computation is stuck in a non-cooperative region.
+    #[must_use]
+    pub fn heartbeat(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.heartbeat)
+    }
+
+    /// The configured deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is
+    /// set; `Some(ZERO)` when it already passed).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Steps polled so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// The latched abort reason, if the budget has tripped.
+    #[must_use]
+    pub fn tripped(&self) -> Option<AbortReason> {
+        AbortReason::from_code(self.tripped.load(Ordering::Acquire))
+    }
+
+    /// Latches `reason` (first writer wins) and returns the effective
+    /// reason.
+    fn trip(&self, reason: AbortReason) -> AbortReason {
+        match self.tripped.compare_exchange(
+            0,
+            reason.to_code(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => reason,
+            Err(prev) => AbortReason::from_code(prev).unwrap_or(reason),
+        }
+    }
+
+    /// Hot-path poll: call once per smallest unit of work (a DFS node,
+    /// an event scan). One relaxed `fetch_add` plus two relaxed loads;
+    /// the clock is consulted only every [`POLL_STRIDE`] polls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (latched) [`AbortReason`] once any limit is hit.
+    pub fn poll(&self) -> Result<(), AbortReason> {
+        let n = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        self.heartbeat.store(n, Ordering::Relaxed);
+        if let Some(r) = self.tripped() {
+            return Err(r);
+        }
+        if n >= self.max_steps {
+            return Err(self.trip(AbortReason::StepLimit));
+        }
+        if self.cancel.is_cancelled() {
+            return Err(self.trip(AbortReason::Cancelled));
+        }
+        if n.is_multiple_of(POLL_STRIDE) {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Boundary poll: like [`Budget::poll`] but always consults the
+    /// clock. Call between chunks of work (a trial, a subtree, a
+    /// journal batch) where prompt deadline detection matters more than
+    /// the cost of `Instant::now()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (latched) [`AbortReason`] once any limit is hit.
+    pub fn check(&self) -> Result<(), AbortReason> {
+        let n = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        self.heartbeat.store(n, Ordering::Relaxed);
+        if let Some(r) = self.tripped() {
+            return Err(r);
+        }
+        if n >= self.max_steps {
+            return Err(self.trip(AbortReason::StepLimit));
+        }
+        if self.cancel.is_cancelled() {
+            return Err(self.trip(AbortReason::Cancelled));
+        }
+        self.check_deadline()
+    }
+
+    /// Charges `bytes` against the approximate memory cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbortReason::MemoryLimit`] (latched) once the running
+    /// total exceeds the cap.
+    pub fn charge_memory(&self, bytes: u64) -> Result<(), AbortReason> {
+        if let Some(r) = self.tripped() {
+            return Err(r);
+        }
+        let total = self.memory_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if total > self.max_memory_bytes {
+            return Err(self.trip(AbortReason::MemoryLimit));
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far.
+    #[must_use]
+    pub fn memory_charged(&self) -> u64 {
+        self.memory_bytes.load(Ordering::Relaxed)
+    }
+
+    fn check_deadline(&self) -> Result<(), AbortReason> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.trip(AbortReason::Deadline));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_polls_ok() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.poll().unwrap();
+        }
+        b.check().unwrap();
+        assert_eq!(b.steps(), 10_001);
+        assert!(b.tripped().is_none());
+        assert!(b.remaining().is_none());
+    }
+
+    #[test]
+    fn step_cap_trips_and_latches() {
+        let b = Budget::unlimited().with_max_steps(5);
+        for _ in 0..4 {
+            b.poll().unwrap();
+        }
+        assert_eq!(b.poll(), Err(AbortReason::StepLimit));
+        // Latched: every subsequent poll fails with the same reason.
+        assert_eq!(b.poll(), Err(AbortReason::StepLimit));
+        assert_eq!(b.tripped(), Some(AbortReason::StepLimit));
+    }
+
+    #[test]
+    fn cancellation_is_shared_and_prompt() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(token.clone());
+        b.poll().unwrap();
+        token.cancel();
+        // The very next poll observes it — no stride delay.
+        assert_eq!(b.poll(), Err(AbortReason::Cancelled));
+        assert!(b.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_is_caught_at_boundary_and_within_a_stride() {
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(b.check(), Err(AbortReason::Deadline));
+
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut tripped = None;
+        for i in 0..=POLL_STRIDE {
+            if let Err(r) = b.poll() {
+                tripped = Some((i, r));
+                break;
+            }
+        }
+        let (polls, reason) = tripped.expect("deadline must trip within one stride");
+        assert_eq!(reason, AbortReason::Deadline);
+        assert!(polls < POLL_STRIDE, "caught within a stride, was {polls}");
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn memory_cap_trips_on_cumulative_charge() {
+        let b = Budget::unlimited().with_memory_cap(100);
+        b.charge_memory(60).unwrap();
+        assert_eq!(b.charge_memory(60), Err(AbortReason::MemoryLimit));
+        assert_eq!(b.memory_charged(), 120);
+        // Tripping poisons polls too.
+        assert_eq!(b.poll(), Err(AbortReason::MemoryLimit));
+    }
+
+    #[test]
+    fn heartbeat_tracks_polls_across_threads() {
+        let b = Budget::unlimited();
+        let hb = b.heartbeat();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        b.poll().unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.steps(), 4_000);
+        assert!(hb.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn first_trip_reason_wins() {
+        let b = Budget::unlimited().with_max_steps(1);
+        assert_eq!(b.poll(), Err(AbortReason::StepLimit));
+        b.cancel_token().cancel();
+        // Already latched on StepLimit; cancellation doesn't rewrite it.
+        assert_eq!(b.poll(), Err(AbortReason::StepLimit));
+    }
+
+    #[test]
+    fn abort_reason_names_are_stable() {
+        assert_eq!(AbortReason::Deadline.name(), "deadline");
+        assert_eq!(AbortReason::Cancelled.to_string(), "cancelled");
+        assert_eq!(AbortReason::StepLimit.name(), "step-limit");
+        assert_eq!(AbortReason::MemoryLimit.name(), "memory-limit");
+    }
+}

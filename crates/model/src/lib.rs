@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod budget;
 mod error;
 mod event;
 pub mod hashing;
@@ -74,6 +75,7 @@ mod system;
 pub mod trace;
 
 pub use action::ActionId;
+pub use budget::{AbortReason, Budget, CancelToken};
 pub use error::ModelError;
 pub use event::{Event, SuspectReport, TimedEvent};
 pub use history::HistoryView;

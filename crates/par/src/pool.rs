@@ -126,6 +126,16 @@ impl Pool {
             .len()
     }
 
+    /// Number of jobs popped by workers but not yet finished.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .in_flight
+    }
+
     /// The queue capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -219,6 +229,7 @@ mod tests {
         })
         .unwrap();
         started_rx.recv().unwrap();
+        assert_eq!(pool.in_flight(), 1);
         // Fill the queue slot, then overflow it.
         pool.try_execute(|| {}).unwrap();
         let overflow = pool.try_execute(|| {});

@@ -1,0 +1,348 @@
+//! Deadline-aware admission control and stuck-worker detection.
+//!
+//! Two pieces, both passive data structures driven by the server:
+//!
+//! * [`AimdController`] — an additive-increase / multiplicative-decrease
+//!   concurrency limit. The server feeds it observed end-to-end
+//!   latencies; whenever a window of samples fills, the controller
+//!   compares the window's p99 against its target and either halves the
+//!   limit (overloaded — shed harder) or raises it by one (headroom —
+//!   admit more). Admission checks compare current *occupancy* (queued
+//!   plus in-flight jobs) against the limit, so the bound adapts to how
+//!   slow the work actually is rather than to a static queue capacity.
+//! * [`JobRegistry`] — the watchdog's view of running jobs. Every
+//!   compute job registers its budget's heartbeat counter; a watchdog
+//!   thread calls [`JobRegistry::scan`] on a fixed tick and counts jobs
+//!   whose heartbeat has not advanced for `stuck_after` consecutive
+//!   ticks. Those are *stuck workers*: wedged in a non-cooperative
+//!   region where the budget is never polled, invisible to queue-depth
+//!   metrics but fatal to capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning for the [`AimdController`].
+#[derive(Clone, Copy, Debug)]
+pub struct AimdConfig {
+    /// Latency target: when a window's p99 exceeds this, the limit is
+    /// halved. 0 disables adaptation — the limit stays pinned at
+    /// `max_limit`.
+    pub target_p99_micros: u64,
+    /// The limit never drops below this (the server must always admit
+    /// *some* work or it can never observe recovery).
+    pub min_limit: usize,
+    /// The limit never grows beyond this (typically queue capacity +
+    /// workers).
+    pub max_limit: usize,
+    /// Samples per adjustment decision.
+    pub window: usize,
+}
+
+struct AimdState {
+    limit: usize,
+    window: Vec<u64>,
+}
+
+/// An AIMD concurrency limiter: halve on overload, creep up on headroom.
+pub struct AimdController {
+    config: AimdConfig,
+    state: Mutex<AimdState>,
+}
+
+impl AimdController {
+    /// A controller starting wide open at `max_limit`.
+    #[must_use]
+    pub fn new(config: AimdConfig) -> Self {
+        let config = AimdConfig {
+            min_limit: config.min_limit.max(1),
+            max_limit: config.max_limit.max(config.min_limit.max(1)),
+            window: config.window.max(1),
+            ..config
+        };
+        AimdController {
+            state: Mutex::new(AimdState {
+                limit: config.max_limit,
+                window: Vec::with_capacity(config.window),
+            }),
+            config,
+        }
+    }
+
+    /// The current concurrency limit.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.state.lock().expect("aimd lock poisoned").limit
+    }
+
+    /// Should a request be admitted at the given occupancy (queued +
+    /// in-flight jobs)? Each priority level buys one extra slot of
+    /// headroom, so urgent requests still get in when the limit has
+    /// clamped down — without letting priority bypass overload entirely.
+    #[must_use]
+    pub fn try_admit(&self, occupancy: usize, priority: u8) -> bool {
+        let limit = self.limit().saturating_add(priority as usize);
+        occupancy < limit
+    }
+
+    /// Feeds one observed end-to-end latency. On every `window`-th
+    /// sample the limit adjusts: p99 over target halves it (floored at
+    /// `min_limit`), otherwise it rises by one (capped at `max_limit`).
+    pub fn observe(&self, latency_micros: u64) {
+        if self.config.target_p99_micros == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("aimd lock poisoned");
+        state.window.push(latency_micros);
+        if state.window.len() < self.config.window {
+            return;
+        }
+        state.window.sort_unstable();
+        let p99 = state.window[(state.window.len() - 1) * 99 / 100];
+        state.window.clear();
+        if p99 > self.config.target_p99_micros {
+            state.limit = (state.limit / 2).max(self.config.min_limit);
+        } else {
+            state.limit = (state.limit + 1).min(self.config.max_limit);
+        }
+    }
+}
+
+/// The server's estimate of how long a newly admitted request would
+/// wait for a worker: everything ahead of it, costed at the recent
+/// median compute time, divided across the workers. 0 when nothing is
+/// ahead or no compute samples exist yet.
+#[must_use]
+pub fn estimated_wait_micros(occupancy: usize, workers: usize, compute_p50_micros: u64) -> u64 {
+    (occupancy as u64).saturating_mul(compute_p50_micros) / workers.max(1) as u64
+}
+
+struct JobEntry {
+    heartbeat: Arc<AtomicU64>,
+    /// Heartbeat value at the last scan.
+    last_seen: u64,
+    /// Consecutive scans without heartbeat movement.
+    stale_ticks: u64,
+}
+
+/// Running compute jobs, keyed by a registration token, with the
+/// watchdog's staleness bookkeeping.
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    next_token: AtomicU64,
+    /// Stuck count as of the latest scan, readable without the lock.
+    stuck: AtomicU64,
+}
+
+impl Default for JobRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        JobRegistry {
+            jobs: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            stuck: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a job's heartbeat for watchdog sampling; the returned
+    /// token must be passed to [`JobRegistry::unregister`] when the job
+    /// finishes (on every path, including panics caught downstream).
+    pub fn register(&self, heartbeat: Arc<AtomicU64>) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let entry = JobEntry {
+            last_seen: heartbeat.load(Ordering::Relaxed),
+            heartbeat,
+            stale_ticks: 0,
+        };
+        self.jobs
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(token, entry);
+        token
+    }
+
+    /// Removes a finished job. Unknown tokens are ignored (the job may
+    /// have been registered before a restart's registry was rebuilt).
+    pub fn unregister(&self, token: u64) {
+        self.jobs
+            .lock()
+            .expect("registry lock poisoned")
+            .remove(&token);
+    }
+
+    /// Jobs currently registered.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.jobs.lock().expect("registry lock poisoned").len()
+    }
+
+    /// One watchdog tick: samples every registered heartbeat, bumps the
+    /// staleness of those that have not moved, and returns how many have
+    /// been stale for at least `stuck_after` consecutive ticks. The
+    /// result is also latched for [`JobRegistry::stuck_workers`].
+    pub fn scan(&self, stuck_after: u64) -> u64 {
+        let stuck_after = stuck_after.max(1);
+        let mut jobs = self.jobs.lock().expect("registry lock poisoned");
+        let mut stuck = 0;
+        for entry in jobs.values_mut() {
+            let now = entry.heartbeat.load(Ordering::Relaxed);
+            if now == entry.last_seen {
+                entry.stale_ticks += 1;
+            } else {
+                entry.last_seen = now;
+                entry.stale_ticks = 0;
+            }
+            if entry.stale_ticks >= stuck_after {
+                stuck += 1;
+            }
+        }
+        drop(jobs);
+        self.stuck.store(stuck, Ordering::Relaxed);
+        stuck
+    }
+
+    /// The stuck count latched by the most recent scan.
+    #[must_use]
+    pub fn stuck_workers(&self) -> u64 {
+        self.stuck.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(target: u64) -> AimdConfig {
+        AimdConfig {
+            target_p99_micros: target,
+            min_limit: 2,
+            max_limit: 16,
+            window: 4,
+        }
+    }
+
+    #[test]
+    fn starts_wide_open_and_halves_on_slow_windows() {
+        let c = AimdController::new(config(1_000));
+        assert_eq!(c.limit(), 16);
+        for _ in 0..4 {
+            c.observe(5_000);
+        }
+        assert_eq!(c.limit(), 8);
+        for _ in 0..4 {
+            c.observe(5_000);
+        }
+        assert_eq!(c.limit(), 4);
+        // The floor holds no matter how bad the latencies get.
+        for _ in 0..40 {
+            c.observe(1_000_000);
+        }
+        assert_eq!(c.limit(), 2);
+    }
+
+    #[test]
+    fn recovers_additively_on_fast_windows() {
+        let c = AimdController::new(config(1_000));
+        for _ in 0..8 {
+            c.observe(5_000); // two windows: 16 -> 8 -> 4
+        }
+        assert_eq!(c.limit(), 4);
+        for _ in 0..8 {
+            c.observe(10); // two fast windows: +1 each
+        }
+        assert_eq!(c.limit(), 6);
+        // The cap holds: many fast windows never exceed max_limit.
+        for _ in 0..200 {
+            c.observe(10);
+        }
+        assert_eq!(c.limit(), 16);
+    }
+
+    #[test]
+    fn zero_target_disables_adaptation() {
+        let c = AimdController::new(config(0));
+        for _ in 0..100 {
+            c.observe(u64::MAX);
+        }
+        assert_eq!(c.limit(), 16);
+        assert!(c.try_admit(15, 0));
+        assert!(!c.try_admit(16, 0));
+    }
+
+    #[test]
+    fn priority_buys_bounded_headroom() {
+        let c = AimdController::new(config(1_000));
+        for _ in 0..40 {
+            c.observe(1_000_000); // clamp to min_limit = 2
+        }
+        assert_eq!(c.limit(), 2);
+        assert!(!c.try_admit(2, 0));
+        assert!(c.try_admit(2, 1)); // one level, one extra slot
+        assert!(!c.try_admit(3, 1));
+        assert!(c.try_admit(4, 3));
+        assert!(!c.try_admit(5, 3));
+    }
+
+    #[test]
+    fn wait_estimate_scales_with_occupancy_and_workers() {
+        assert_eq!(estimated_wait_micros(0, 4, 1_000), 0);
+        assert_eq!(estimated_wait_micros(8, 4, 1_000), 2_000);
+        assert_eq!(estimated_wait_micros(8, 1, 1_000), 8_000);
+        // No samples yet: no estimate, never a divide-by-zero.
+        assert_eq!(estimated_wait_micros(8, 0, 0), 0);
+    }
+
+    #[test]
+    fn registry_counts_stale_heartbeats_only_after_k_ticks() {
+        let reg = JobRegistry::new();
+        let live = Arc::new(AtomicU64::new(0));
+        let wedged = Arc::new(AtomicU64::new(0));
+        let _t1 = reg.register(Arc::clone(&live));
+        let t2 = reg.register(Arc::clone(&wedged));
+        assert_eq!(reg.active(), 2);
+
+        // Tick 1 and 2: the live job advances, the wedged one doesn't.
+        live.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(reg.scan(3), 0);
+        live.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(reg.scan(3), 0);
+        // Tick 3: the wedged job crosses the threshold.
+        live.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(reg.scan(3), 1);
+        assert_eq!(reg.stuck_workers(), 1);
+
+        // A wedged job that resumes polling is no longer stuck.
+        wedged.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(reg.scan(3), 0);
+        assert_eq!(reg.stuck_workers(), 0);
+
+        // Unregistered jobs drop out of the scan entirely.
+        reg.unregister(t2);
+        assert_eq!(reg.active(), 1);
+        for _ in 0..10 {
+            live.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(reg.scan(3), 0);
+        }
+    }
+
+    #[test]
+    fn a_finished_job_never_reads_as_stuck() {
+        let reg = JobRegistry::new();
+        let hb = Arc::new(AtomicU64::new(7));
+        let token = reg.register(hb);
+        reg.unregister(token);
+        for _ in 0..5 {
+            assert_eq!(reg.scan(1), 0);
+        }
+        // Double-unregister is harmless.
+        reg.unregister(token);
+        assert_eq!(reg.active(), 0);
+    }
+}

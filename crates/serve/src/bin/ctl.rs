@@ -1,7 +1,7 @@
 //! `ctl` — the companion client for `ktudc-serve`.
 //!
 //! ```text
-//! ctl [--addr HOST:PORT] sweep [--smoke] [--twice]
+//! ctl [--addr HOST:PORT] sweep [--smoke] [--twice] [--deadline-ms N]
 //! ctl [--addr HOST:PORT] stats
 //! ctl [--addr HOST:PORT] health
 //! ctl [--addr HOST:PORT] shutdown
@@ -13,7 +13,9 @@
 //! assembled table from the responses. With `--twice` it submits the
 //! identical batch again and verifies the warm pass is byte-identical
 //! to the cold one (it is answered from the scenario cache). `--smoke`
-//! shrinks the grid to seconds for CI.
+//! shrinks the grid to seconds for CI. `--deadline-ms` stamps each cell
+//! request with a deadline; cells the server sheds or aborts show up as
+//! typed `DeadlineExceeded` rows rather than hangs.
 //!
 //! `health` prints the server's durability health report (generation,
 //! recovery counters). `resume` is *local*: it resumes the checkpointed
@@ -29,7 +31,8 @@
 
 use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
 use ktudc_serve::{
-    Client, ClientError, HardenedClient, RequestKind, Response, ResponseKind, RetryPolicy,
+    Client, ClientError, HardenedClient, RequestKind, RequestOptions, Response, ResponseKind,
+    RetryPolicy,
 };
 
 struct SweepParams {
@@ -157,12 +160,20 @@ fn fail(context: &str, e: &ClientError) -> ! {
     }
 }
 
-fn run_sweep(client: &mut HardenedClient, cells: &[(String, CellSpec)]) -> Vec<Response> {
-    let kinds: Vec<RequestKind> = cells
+fn run_sweep(
+    client: &mut HardenedClient,
+    cells: &[(String, CellSpec)],
+    deadline_ms: Option<u64>,
+) -> Vec<Response> {
+    let options = RequestOptions {
+        deadline_ms,
+        ..RequestOptions::default()
+    };
+    let kinds: Vec<(RequestKind, RequestOptions)> = cells
         .iter()
-        .map(|(_, spec)| RequestKind::Cell(spec.clone()))
+        .map(|(_, spec)| (RequestKind::Cell(spec.clone()), options))
         .collect();
-    match client.batch(kinds) {
+    match client.batch_with_options(kinds) {
         Ok(responses) => responses,
         Err(e) => fail("sweep failed", &e),
     }
@@ -199,6 +210,7 @@ fn print_sweep(cells: &[(String, CellSpec)], responses: &[Response]) {
                     String::new()
                 }
             ),
+            ResponseKind::Aborted(a) => format!("aborted ({})", a.reason.name()),
             ResponseKind::Error(e) => format!("{:?}: {}", e.code, e.message),
             other => format!("unexpected payload: {other:?}"),
         };
@@ -214,7 +226,7 @@ fn print_sweep(cells: &[(String, CellSpec)], responses: &[Response]) {
     println!("{:-<78}", "");
 }
 
-fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool) {
+fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool, deadline_ms: Option<u64>) {
     let params = if smoke {
         SweepParams::smoke()
     } else {
@@ -225,10 +237,10 @@ fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool) {
         "Table-1 UDC sweep via ktudc-serve (n = {}, {} trials/cell, loss = {})",
         params.n, params.trials, params.loss
     );
-    let cold = run_sweep(client, &cells);
+    let cold = run_sweep(client, &cells, deadline_ms);
     print_sweep(&cells, &cold);
     if twice {
-        let warm = run_sweep(client, &cells);
+        let warm = run_sweep(client, &cells, deadline_ms);
         let identical = payload_bytes(&cold) == payload_bytes(&warm);
         let warm_hits = warm.iter().filter(|r| r.cached).count();
         println!(
@@ -323,7 +335,7 @@ fn cmd_shutdown(client: &mut HardenedClient) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] | stats | health | shutdown>\n\
+        "usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] [--deadline-ms N] | stats | health | shutdown>\n\
          \x20      ctl resume <checkpoint>"
     );
     std::process::exit(2);
@@ -335,6 +347,7 @@ fn main() {
     let mut operand: Option<String> = None;
     let mut smoke = false;
     let mut twice = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -344,6 +357,10 @@ fn main() {
             },
             "--smoke" => smoke = true,
             "--twice" => twice = true,
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => deadline_ms = Some(ms),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
@@ -359,13 +376,23 @@ fn main() {
     // typo isn't misreported as a transport failure when the server is
     // down (or as a resume failure when the journal is fine).
     match command.as_str() {
-        "sweep" | "stats" | "health" | "shutdown" => {
+        "sweep" => {
             if operand.is_some() {
+                usage();
+            }
+            // Deadline-carrying results are never published to the cache,
+            // so the `--twice` warm-pass coherence check cannot hold.
+            if twice && deadline_ms.is_some() {
+                usage();
+            }
+        }
+        "stats" | "health" | "shutdown" => {
+            if operand.is_some() || deadline_ms.is_some() {
                 usage();
             }
         }
         "resume" => {
-            if operand.is_none() || smoke || twice {
+            if operand.is_none() || smoke || twice || deadline_ms.is_some() {
                 usage();
             }
         }
@@ -385,7 +412,7 @@ fn main() {
     }
     let mut client = HardenedClient::new(addr, RetryPolicy::default());
     match command.as_str() {
-        "sweep" => cmd_sweep(&mut client, smoke, twice),
+        "sweep" => cmd_sweep(&mut client, smoke, twice, deadline_ms),
         "stats" => cmd_stats(&mut client),
         "health" => cmd_health(&mut client),
         "shutdown" => cmd_shutdown(&mut client),

@@ -16,12 +16,13 @@
 
 use crate::metrics::StatsReport;
 use crate::wire::{
-    ErrorCode, HealthReport, Request, RequestKind, Response, ResponseKind, SCHEMA_VERSION,
+    ErrorCode, HealthReport, Request, RequestKind, RequestOptions, Response, ResponseKind,
+    SCHEMA_VERSION,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -39,6 +40,14 @@ pub enum ClientError {
         /// The failure that ended the final attempt.
         last: String,
     },
+    /// The [`HardenedClient`]'s circuit breaker is open: the server shed
+    /// [`RetryPolicy::circuit_threshold`] consecutive attempts, so the
+    /// client fails fast instead of adding retry load to an overloaded
+    /// server. Calls succeed again after a half-open probe gets through.
+    CircuitOpen {
+        /// Milliseconds until the breaker next allows a probe.
+        cooldown_ms: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -48,6 +57,12 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ClientError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
+            ClientError::CircuitOpen { cooldown_ms } => {
+                write!(
+                    f,
+                    "circuit breaker is open; next probe allowed in {cooldown_ms}ms"
+                )
             }
         }
     }
@@ -131,6 +146,26 @@ impl Client {
     /// if a reply doesn't parse, answers an id outside the batch, or
     /// duplicates an id.
     pub fn batch(&mut self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        self.batch_with_options(
+            kinds
+                .into_iter()
+                .map(|kind| (kind, RequestOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// As [`Client::batch`], with per-request [`RequestOptions`]
+    /// (deadline, priority, partial acceptance). A deadline-shed request
+    /// answers with a typed [`ErrorCode::DeadlineExceeded`] error — still
+    /// a *successful* call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::batch`].
+    pub fn batch_with_options(
+        &mut self,
+        kinds: Vec<(RequestKind, RequestOptions)>,
+    ) -> Result<Vec<Response>, ClientError> {
         let count = kinds.len();
         let (got, err) = self.batch_attempt(kinds);
         if let Some(e) = err {
@@ -151,13 +186,13 @@ impl Client {
     /// so a severed connection only costs the responses not yet read.
     pub(crate) fn batch_attempt(
         &mut self,
-        kinds: Vec<RequestKind>,
+        kinds: Vec<(RequestKind, RequestOptions)>,
     ) -> (Vec<(usize, Response)>, Option<ClientError>) {
         let first_id = self.next_id;
         let count = kinds.len();
         let mut lines = String::new();
-        for (offset, kind) in kinds.into_iter().enumerate() {
-            let request = Request::new(first_id + offset as u64, kind);
+        for (offset, (kind, options)) in kinds.into_iter().enumerate() {
+            let request = Request::with_options(first_id + offset as u64, kind, options);
             match serde_json::to_string(&request) {
                 Ok(encoded) => {
                     lines.push_str(&encoded);
@@ -308,6 +343,14 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Seed for the deterministic backoff jitter.
     pub jitter_seed: u64,
+    /// Consecutive overload sheds (attempts that made no progress and
+    /// saw `Overloaded`) before the circuit breaker opens and calls fail
+    /// fast with [`ClientError::CircuitOpen`]. 0 (the default) disables
+    /// the breaker — retries behave exactly as before it existed.
+    pub circuit_threshold: u32,
+    /// How long an open circuit rejects calls before letting one
+    /// half-open probe through.
+    pub circuit_cooldown: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -318,6 +361,8 @@ impl Default for RetryPolicy {
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(500),
             jitter_seed: 0x6b74_7564_6373_7276,
+            circuit_threshold: 0,
+            circuit_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -338,6 +383,7 @@ fn retriable(err: &ClientError) -> bool {
                 || msg.contains("empty batch response")
         }
         ClientError::RetriesExhausted { .. } => false,
+        ClientError::CircuitOpen { .. } => false,
     }
 }
 
@@ -379,6 +425,11 @@ pub struct ClientMetrics {
     pub backoffs: u64,
     /// Server restarts detected via a response generation change.
     pub server_restarts: u64,
+    /// Times the circuit breaker opened after consecutive sheds.
+    pub circuit_opens: u64,
+    /// Backoff sleeps stretched to honor a server `retry_after_ms` hint
+    /// larger than the computed backoff.
+    pub retry_hints_honored: u64,
 }
 
 /// A self-healing client: [`Client`] plus deadlines, reconnection, and
@@ -401,6 +452,12 @@ pub struct HardenedClient {
     ever_connected: bool,
     /// Generation of the last response read; `None` until the first one.
     last_generation: Option<u64>,
+    /// Consecutive zero-progress attempts shed with `Overloaded`, for
+    /// the circuit breaker.
+    consecutive_sheds: u32,
+    /// While `Some`, the breaker is open and calls fail fast until the
+    /// instant passes (then one half-open probe is allowed).
+    circuit_open_until: Option<Instant>,
     metrics: ClientMetrics,
     events: Vec<ClientEvent>,
 }
@@ -416,6 +473,8 @@ impl HardenedClient {
             jitter_state: policy.jitter_seed,
             ever_connected: false,
             last_generation: None,
+            consecutive_sheds: 0,
+            circuit_open_until: None,
             metrics: ClientMetrics::default(),
             events: Vec::new(),
         }
@@ -476,7 +535,15 @@ impl HardenedClient {
 
     /// Records a failed attempt; returns the terminal error once the
     /// budget is spent, otherwise sleeps the backoff and allows another.
-    fn spend_attempt(&mut self, attempts: &mut u32, last: &str) -> Result<(), ClientError> {
+    /// The sleep is stretched to `min_delay` when the server's
+    /// `retry_after_ms` hint asks for longer than the computed backoff —
+    /// the server knows its queue, the client only knows its schedule.
+    fn spend_attempt(
+        &mut self,
+        attempts: &mut u32,
+        last: &str,
+        min_delay: Duration,
+    ) -> Result<(), ClientError> {
         *attempts += 1;
         if *attempts > self.policy.max_retries {
             return Err(ClientError::RetriesExhausted {
@@ -485,7 +552,28 @@ impl HardenedClient {
             });
         }
         self.metrics.backoffs += 1;
-        std::thread::sleep(self.backoff_delay(*attempts));
+        let backoff = self.backoff_delay(*attempts);
+        if min_delay > backoff {
+            self.metrics.retry_hints_honored += 1;
+        }
+        std::thread::sleep(backoff.max(min_delay));
+        Ok(())
+    }
+
+    /// Applies one shed observation to the breaker. Returns the fail-fast
+    /// error when this shed opens the circuit (threshold reached).
+    fn note_shed(&mut self) -> Result<(), ClientError> {
+        self.consecutive_sheds = self.consecutive_sheds.saturating_add(1);
+        if self.policy.circuit_threshold > 0
+            && self.consecutive_sheds >= self.policy.circuit_threshold
+        {
+            self.metrics.circuit_opens += 1;
+            self.circuit_open_until = Some(Instant::now() + self.policy.circuit_cooldown);
+            return Err(ClientError::CircuitOpen {
+                cooldown_ms: u64::try_from(self.policy.circuit_cooldown.as_millis())
+                    .unwrap_or(u64::MAX),
+            });
+        }
         Ok(())
     }
 
@@ -502,6 +590,40 @@ impl HardenedClient {
     /// [`ClientError::RetriesExhausted`] when the retry budget runs out;
     /// non-retriable protocol violations pass through unchanged.
     pub fn batch(&mut self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        self.batch_with_options(
+            kinds
+                .into_iter()
+                .map(|kind| (kind, RequestOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// As [`HardenedClient::batch`], with per-request [`RequestOptions`].
+    ///
+    /// Only `Overloaded` sheds are retried. A `DeadlineExceeded` error is
+    /// *final* — the request's own time ran out, and a retry would spend
+    /// a fresh deadline on work the caller declared stale — and so is a
+    /// [`ResponseKind::Aborted`] partial (`accept_partial`): both fill
+    /// their slot like any other typed response.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::batch`], plus [`ClientError::CircuitOpen`]
+    /// when the breaker is enabled and open.
+    pub fn batch_with_options(
+        &mut self,
+        kinds: Vec<(RequestKind, RequestOptions)>,
+    ) -> Result<Vec<Response>, ClientError> {
+        // Fail fast while the breaker is open; once the cooldown passes,
+        // this call proceeds as the half-open probe.
+        if let Some(until) = self.circuit_open_until {
+            let now = Instant::now();
+            if now < until {
+                return Err(ClientError::CircuitOpen {
+                    cooldown_ms: u64::try_from((until - now).as_millis()).unwrap_or(u64::MAX),
+                });
+            }
+        }
         let total = kinds.len();
         let mut slots: Vec<Option<Response>> = Vec::new();
         slots.resize_with(total, || None);
@@ -521,7 +643,7 @@ impl HardenedClient {
                         self.conn = Some(conn);
                     }
                     Err(e) => {
-                        self.spend_attempt(&mut attempts, &e.to_string())?;
+                        self.spend_attempt(&mut attempts, &e.to_string(), Duration::ZERO)?;
                         continue;
                     }
                 }
@@ -537,16 +659,17 @@ impl HardenedClient {
             } else {
                 outstanding.clone()
             };
-            let resend: Vec<RequestKind> = selected.iter().map(|&i| kinds[i].clone()).collect();
+            let resend: Vec<(RequestKind, RequestOptions)> =
+                selected.iter().map(|&i| kinds[i].clone()).collect();
             let (got, err) = conn.batch_attempt(resend);
             let mut progress = false;
-            let mut shed = None;
+            let mut shed: Option<(String, u64)> = None;
             let mut restarted = false;
             for (offset, response) in got {
                 restarted |= self.observe_generation(response.generation);
                 match &response.result {
                     ResponseKind::Error(e) if e.code == ErrorCode::Overloaded => {
-                        shed = Some(e.message.clone());
+                        shed = Some((e.message.clone(), e.retry_after_ms));
                     }
                     _ => {
                         slots[selected[offset]] = Some(response);
@@ -561,15 +684,28 @@ impl HardenedClient {
             if progress || restarted {
                 attempts = 0;
             }
+            if progress {
+                // The server accepted work: the overload the breaker was
+                // counting has lifted (also closes a half-open circuit).
+                self.consecutive_sheds = 0;
+                self.circuit_open_until = None;
+            }
             match err {
                 None => {
-                    if let Some(message) = shed {
-                        self.spend_attempt(&mut attempts, &message)?;
+                    if let Some((message, retry_after_ms)) = shed {
+                        if !progress {
+                            self.note_shed()?;
+                        }
+                        self.spend_attempt(
+                            &mut attempts,
+                            &message,
+                            Duration::from_millis(retry_after_ms),
+                        )?;
                     }
                 }
                 Some(e) if retriable(&e) => {
                     self.conn = None;
-                    self.spend_attempt(&mut attempts, &e.to_string())?;
+                    self.spend_attempt(&mut attempts, &e.to_string(), Duration::ZERO)?;
                 }
                 Some(e) => return Err(e),
             }
@@ -583,6 +719,22 @@ impl HardenedClient {
     /// As [`HardenedClient::batch`].
     pub fn request(&mut self, kind: RequestKind) -> Result<Response, ClientError> {
         let mut responses = self.batch(vec![kind])?;
+        responses
+            .pop()
+            .ok_or_else(|| ClientError::Protocol("empty batch response".to_string()))
+    }
+
+    /// Sends one request with explicit options, masking faults.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::batch_with_options`].
+    pub fn request_with_options(
+        &mut self,
+        kind: RequestKind,
+        options: RequestOptions,
+    ) -> Result<Response, ClientError> {
+        let mut responses = self.batch_with_options(vec![(kind, options)])?;
         responses
             .pop()
             .ok_or_else(|| ClientError::Protocol("empty batch response".to_string()))
@@ -690,6 +842,72 @@ mod tests {
             attempts: 6,
             last: "queue full".to_string()
         }));
+        assert!(!retriable(&ClientError::CircuitOpen { cooldown_ms: 250 }));
+    }
+
+    #[test]
+    fn circuit_breaker_opens_at_threshold_and_closes_on_progress() {
+        let mut c = HardenedClient::new(
+            "unused:0",
+            RetryPolicy {
+                circuit_threshold: 3,
+                circuit_cooldown: Duration::from_secs(60),
+                ..RetryPolicy::default()
+            },
+        );
+        assert!(c.note_shed().is_ok());
+        assert!(c.note_shed().is_ok());
+        let opened = c.note_shed();
+        assert!(matches!(opened, Err(ClientError::CircuitOpen { .. })));
+        assert_eq!(c.metrics().circuit_opens, 1);
+        assert!(c.circuit_open_until.is_some());
+        // While open, calls fail fast without touching the network (the
+        // address is unresolvable, so reaching the connect path would
+        // error differently).
+        let err = c.batch(vec![RequestKind::Stats]).unwrap_err();
+        assert!(matches!(err, ClientError::CircuitOpen { .. }));
+        // What progress does in batch(): resets the streak and closes
+        // the breaker.
+        c.consecutive_sheds = 0;
+        c.circuit_open_until = None;
+        assert!(c.note_shed().is_ok());
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let mut c = HardenedClient::new("unused:0", RetryPolicy::default());
+        for _ in 0..100 {
+            assert!(c.note_shed().is_ok());
+        }
+        assert_eq!(c.metrics().circuit_opens, 0);
+        assert!(c.circuit_open_until.is_none());
+    }
+
+    #[test]
+    fn retry_hint_stretches_but_never_shortens_the_backoff() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        let mut c = HardenedClient::new("unused:0", policy);
+        let mut attempts = 0;
+        // A hint above the computed backoff is honored (and counted).
+        let before = Instant::now();
+        c.spend_attempt(&mut attempts, "shed", Duration::from_millis(20))
+            .unwrap();
+        assert!(before.elapsed() >= Duration::from_millis(20));
+        assert_eq!(c.metrics().retry_hints_honored, 1);
+        // A zero hint leaves the (tiny) backoff alone.
+        c.spend_attempt(&mut attempts, "shed", Duration::ZERO)
+            .unwrap();
+        assert_eq!(c.metrics().retry_hints_honored, 1);
+        // The budget still runs out as before.
+        assert!(matches!(
+            c.spend_attempt(&mut attempts, "shed", Duration::ZERO),
+            Err(ClientError::RetriesExhausted { attempts: 3, .. })
+        ));
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod metrics;
@@ -58,11 +59,13 @@ pub mod server;
 pub mod supervisor;
 pub mod wire;
 
+pub use admission::{AimdConfig, AimdController, JobRegistry};
 pub use client::{Client, ClientError, ClientEvent, ClientMetrics, HardenedClient, RetryPolicy};
 pub use metrics::{Endpoint, StatsReport};
 pub use server::{serve, RecoveryReport, ServeConfig, ServerFaults, ServerHandle};
 pub use supervisor::{supervise, CrashLoopBackoff, SupervisorPolicy, SupervisorReport};
 pub use wire::{
-    CheckOutcome, CheckSpec, ErrorCode, HealthReport, Request, RequestKind, Response, ResponseKind,
-    WireError, SCHEMA_VERSION,
+    AbortedOutcome, CheckOutcome, CheckSpec, ErrorCode, HealthReport, PartialCell, PartialOutcome,
+    Request, RequestKind, RequestOptions, Response, ResponseKind, WireError, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
 };

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
-//!             [--data-dir PATH] [--snapshot-every N] [--supervise]
+//!             [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N]
+//!             [--watchdog-tick-ms N] [--stuck-after-ticks N] [--supervise]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound, then runs
@@ -70,7 +71,8 @@ mod signals {
 fn usage() -> ! {
     eprintln!(
         "usage: ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] \
-         [--data-dir PATH] [--snapshot-every N] [--supervise]"
+         [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N] [--watchdog-tick-ms N] \
+         [--stuck-after-ticks N] [--supervise]"
     );
     std::process::exit(2);
 }
@@ -102,6 +104,18 @@ fn parse_args() -> (ServeConfig, bool) {
             "--snapshot-every" => {
                 config.snapshot_every =
                     parse_num(&value("--snapshot-every"), "--snapshot-every") as u64
+            }
+            "--target-p99-ms" => {
+                config.target_p99_ms =
+                    parse_num(&value("--target-p99-ms"), "--target-p99-ms") as u64
+            }
+            "--watchdog-tick-ms" => {
+                config.watchdog_tick_ms =
+                    parse_num(&value("--watchdog-tick-ms"), "--watchdog-tick-ms") as u64
+            }
+            "--stuck-after-ticks" => {
+                config.stuck_after_ticks =
+                    parse_num(&value("--stuck-after-ticks"), "--stuck-after-ticks") as u64
             }
             "--supervise" => supervised = true,
             "--help" | "-h" => usage(),

@@ -77,6 +77,25 @@ struct LatencyRing {
     next: usize,
 }
 
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing {
+            samples: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, micros: u64) {
+        if self.samples.len() < RING_CAPACITY {
+            self.samples.push(micros);
+        } else {
+            let at = self.next;
+            self.samples[at] = micros;
+        }
+        self.next = (self.next + 1) % RING_CAPACITY;
+    }
+}
+
 struct EndpointMetrics {
     requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -90,10 +109,7 @@ impl EndpointMetrics {
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing {
-                samples: Vec::new(),
-                next: 0,
-            }),
+            latencies: Mutex::new(LatencyRing::new()),
         }
     }
 }
@@ -102,7 +118,16 @@ impl EndpointMetrics {
 pub struct Metrics {
     started: Instant,
     overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
     per: [EndpointMetrics; 6],
+    /// Time admitted compute requests spent between acceptance and a
+    /// worker picking them up. Global (not per-endpoint): the queue is
+    /// shared, so its wait distribution is a property of the server.
+    queue_wait: Mutex<LatencyRing>,
+    /// Pure compute time of admitted requests (worker pickup to result),
+    /// excluding queue wait. The p50 of this ring feeds the admission
+    /// controller's wait estimate.
+    compute: Mutex<LatencyRing>,
 }
 
 impl Default for Metrics {
@@ -118,7 +143,10 @@ impl Metrics {
         Metrics {
             started: Instant::now(),
             overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             per: std::array::from_fn(|_| EndpointMetrics::new()),
+            queue_wait: Mutex::new(LatencyRing::new()),
+            compute: Mutex::new(LatencyRing::new()),
         }
     }
 
@@ -135,14 +163,37 @@ impl Metrics {
         if cache_hit {
             m.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let mut ring = m.latencies.lock().expect("metrics lock poisoned");
-        if ring.samples.len() < RING_CAPACITY {
-            ring.samples.push(micros);
-        } else {
-            let at = ring.next;
-            ring.samples[at] = micros;
-        }
-        ring.next = (ring.next + 1) % RING_CAPACITY;
+        m.latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(micros);
+    }
+
+    /// Records how long an admitted compute request sat in the queue
+    /// before a worker picked it up.
+    pub fn record_queue_wait(&self, micros: u64) {
+        self.queue_wait
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(micros);
+    }
+
+    /// Records the pure compute time (queue wait excluded) of an admitted
+    /// request.
+    pub fn record_compute(&self, micros: u64) {
+        self.compute
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(micros);
+    }
+
+    /// Recent median compute time, in microseconds; 0 with no samples.
+    /// The admission controller multiplies this by queue occupancy to
+    /// estimate a new request's wait.
+    #[must_use]
+    pub fn compute_p50_micros(&self) -> u64 {
+        let ring = self.compute.lock().expect("metrics lock poisoned");
+        percentiles(&ring.samples).0
     }
 
     /// Records a request that failed (no latency sample).
@@ -156,6 +207,14 @@ impl Metrics {
     /// its endpoint).
     pub fn record_overload(&self, endpoint: Endpoint) {
         self.overloaded.fetch_add(1, Ordering::Relaxed);
+        self.record_error(endpoint);
+    }
+
+    /// Records a request shed (or aborted without a partial) because its
+    /// deadline could not be met. Distinct from [`Metrics::record_overload`]:
+    /// the server had capacity, the request ran out of time.
+    pub fn record_shed_deadline(&self, endpoint: Endpoint) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
         self.record_error(endpoint);
     }
 
@@ -192,12 +251,25 @@ impl Metrics {
             .iter()
             .take(3) // cell, check, explore
             .fold((0u64, 0u64), |(r, h), e| (r + e.requests, h + e.cache_hits));
+        let (queue_wait_p50, queue_wait_p99) = {
+            let ring = self.queue_wait.lock().expect("metrics lock poisoned");
+            percentiles(&ring.samples)
+        };
+        let (compute_p50, compute_p99) = {
+            let ring = self.compute.lock().expect("metrics lock poisoned");
+            percentiles(&ring.samples)
+        };
         StatsReport {
             uptime_micros: self.started.elapsed().as_micros() as u64,
             workers,
             queue_depth,
             queue_capacity,
             overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            queue_wait_p50_micros: queue_wait_p50,
+            queue_wait_p99_micros: queue_wait_p99,
+            compute_p50_micros: compute_p50,
+            compute_p99_micros: compute_p99,
             cache_entries,
             cache_capacity,
             cache_hit_rate: if cacheable_requests == 0 {
@@ -252,6 +324,17 @@ pub struct StatsReport {
     pub queue_capacity: usize,
     /// Requests shed with `Overloaded` since start.
     pub overloaded: u64,
+    /// Requests shed (or aborted without a partial) with
+    /// `DeadlineExceeded` since start.
+    pub deadline_exceeded: u64,
+    /// Median queue wait of admitted compute requests (recent ring).
+    pub queue_wait_p50_micros: u64,
+    /// 99th-percentile queue wait of admitted compute requests.
+    pub queue_wait_p99_micros: u64,
+    /// Median pure compute time of admitted requests (recent ring).
+    pub compute_p50_micros: u64,
+    /// 99th-percentile pure compute time of admitted requests.
+    pub compute_p99_micros: u64,
     /// Outcomes currently cached.
     pub cache_entries: usize,
     /// The cache's capacity.
@@ -292,6 +375,36 @@ mod tests {
         // 5 cacheable-endpoint requests total (3 cell + 1 check + 1
         // explore), 1 hit.
         assert!((report.cache_hit_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_wait_and_compute_histograms_are_separate() {
+        let m = Metrics::new();
+        // Fast compute, slow queue: the two distributions must not blend.
+        for _ in 0..10 {
+            m.record_queue_wait(5_000);
+            m.record_compute(100);
+        }
+        let report = m.report(1, 0, 1, 0, 0);
+        assert_eq!(report.queue_wait_p50_micros, 5_000);
+        assert_eq!(report.queue_wait_p99_micros, 5_000);
+        assert_eq!(report.compute_p50_micros, 100);
+        assert_eq!(report.compute_p99_micros, 100);
+        assert_eq!(m.compute_p50_micros(), 100);
+    }
+
+    #[test]
+    fn deadline_sheds_are_counted_apart_from_overload() {
+        let m = Metrics::new();
+        m.record_overload(Endpoint::Cell);
+        m.record_shed_deadline(Endpoint::Cell);
+        m.record_shed_deadline(Endpoint::Explore);
+        let report = m.report(1, 0, 1, 0, 0);
+        assert_eq!(report.overloaded, 1);
+        assert_eq!(report.deadline_exceeded, 2);
+        // Both shed kinds count as errors on their endpoint.
+        assert_eq!(report.endpoints[0].errors, 2);
+        assert_eq!(report.endpoints[2].errors, 1);
     }
 
     #[test]

@@ -28,16 +28,22 @@
 //! responses still go out — then joins the workers. Requests arriving
 //! during the drain get [`ErrorCode::ShuttingDown`].
 
+use crate::admission::{estimated_wait_micros, AimdConfig, AimdController, JobRegistry};
 use crate::cache::LruCache;
 use crate::metrics::Metrics;
 use crate::wire::{
-    CheckOutcome, ErrorCode, HealthReport, Request, RequestKind, Response, ResponseKind, WireError,
+    AbortedOutcome, CheckOutcome, ErrorCode, HealthReport, PartialCell, PartialOutcome, Request,
+    RequestKind, RequestOptions, Response, ResponseKind, WireError, MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,
 };
-use ktudc_core::harness::run_cell;
+use ktudc_core::harness::{run_cell_budgeted, CellStatus};
 use ktudc_epistemic::ModelChecker;
+use ktudc_model::{AbortReason, Budget};
 use ktudc_par::{Pool, SubmitError};
-use ktudc_sim::{explore_spec, run_explore_spec, system_digest};
+use ktudc_sim::{
+    explore_spec_budgeted, run_explore_spec_budgeted, system_digest, ExploreStatus,
+    ExploreStatusOutcome,
+};
 use ktudc_store::SnapshotStore;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -102,6 +108,16 @@ pub struct ServeConfig {
     /// Computed (non-cached) outcomes between cache snapshots of a
     /// durable server; 0 snapshots only at boot and shutdown.
     pub snapshot_every: u64,
+    /// Latency target for the adaptive concurrency controller, in
+    /// milliseconds: when the observed p99 of admitted compute requests
+    /// exceeds it, admission clamps down (AIMD). 0 disables adaptation —
+    /// the static queue bound is the only backpressure.
+    pub target_p99_ms: u64,
+    /// Watchdog sampling period in milliseconds.
+    pub watchdog_tick_ms: u64,
+    /// Watchdog ticks without heartbeat movement before a running job
+    /// counts as a stuck worker in [`HealthReport::stuck_workers`].
+    pub stuck_after_ticks: u64,
     /// Test-only response faults (default: none).
     pub faults: ServerFaults,
 }
@@ -115,6 +131,9 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             data_dir: None,
             snapshot_every: 32,
+            target_p99_ms: 0,
+            watchdog_tick_ms: 25,
+            stuck_after_ticks: 200,
             faults: ServerFaults::default(),
         }
     }
@@ -150,6 +169,8 @@ struct Durability {
 /// body (single-flight dedup): answered when that computation lands.
 struct Waiter {
     id: u64,
+    /// The schema version the waiter's request spoke (echoed back).
+    version: u32,
     out: Arc<Mutex<TcpStream>>,
     start: Instant,
 }
@@ -165,6 +186,10 @@ struct Shared {
     /// is always `pending` → `cache`.
     pending: Mutex<HashMap<String, Vec<Waiter>>>,
     metrics: Metrics,
+    /// Adaptive concurrency limit over queued + in-flight compute jobs.
+    admission: AimdController,
+    /// Running compute jobs' budget heartbeats, for the watchdog.
+    registry: JobRegistry,
     shutdown: AtomicBool,
     workers: usize,
     faults: ServerFaults,
@@ -185,6 +210,25 @@ impl Shared {
             .expect("pool lock poisoned")
             .as_ref()
             .map_or(0, Pool::queue_depth)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("pool lock poisoned")
+            .as_ref()
+            .map_or(0, Pool::in_flight)
+    }
+
+    /// Jobs ahead of a new arrival: queued plus in flight. This is the
+    /// quantity the admission limit bounds and the wait estimate scales
+    /// with.
+    fn occupancy(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("pool lock poisoned")
+            .as_ref()
+            .map_or(0, |p| p.queue_depth() + p.in_flight())
     }
 
     /// Counts one computed outcome and snapshots the cache when the
@@ -231,11 +275,20 @@ impl Shared {
             durable: self.durability.is_some(),
             recovered_cache_entries: self.recovery.recovered_cache_entries,
             corrupt_snapshots_skipped: self.recovery.corrupt_snapshots_skipped,
+            store_corrupt_candidates: self.durability.as_ref().map_or(0, |d| {
+                d.store
+                    .lock()
+                    .expect("snapshot store lock poisoned")
+                    .corrupt_seen()
+            }),
             snapshots_written: self
                 .durability
                 .as_ref()
                 .map_or(0, |d| d.snapshots_written.load(Ordering::SeqCst)),
             cache_entries: self.cache.lock().expect("cache lock poisoned").len(),
+            queue_depth: self.queue_depth(),
+            in_flight: self.in_flight(),
+            stuck_workers: self.registry.stuck_workers(),
             uptime_micros: self.metrics.uptime_micros(),
         }
     }
@@ -360,6 +413,15 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         cache: Mutex::new(cache),
         pending: Mutex::new(HashMap::new()),
         metrics: Metrics::new(),
+        admission: AimdController::new(AimdConfig {
+            target_p99_micros: config.target_p99_ms.saturating_mul(1_000),
+            // Never clamp below the worker count: an admission limit the
+            // workers outnumber would idle capacity we already paid for.
+            min_limit: workers,
+            max_limit: config.queue_capacity + workers,
+            window: 32,
+        }),
+        registry: JobRegistry::new(),
         shutdown: AtomicBool::new(false),
         workers,
         faults: config.faults,
@@ -372,6 +434,22 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&listener, &shared))
     };
+    {
+        // Watchdog: sample every running job's budget heartbeat on a
+        // fixed tick; jobs whose heartbeat stalls for `stuck_after_ticks`
+        // consecutive ticks are reported as stuck workers via `Health`.
+        // The thread holds only a weak reference pattern via the shutdown
+        // flag: it exits within one tick of shutdown and is not joined.
+        let shared = Arc::clone(&shared);
+        let tick = Duration::from_millis(config.watchdog_tick_ms.max(1));
+        let stuck_after = config.stuck_after_ticks.max(1);
+        std::thread::spawn(move || {
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                shared.registry.scan(stuck_after);
+            }
+        });
+    }
     Ok(ServerHandle {
         addr,
         shared,
@@ -428,26 +506,30 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
+                SCHEMA_VERSION,
                 Response::error(0, ErrorCode::BadRequest, e.to_string()),
             );
             return;
         }
     };
-    if request.schema_version != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&request.schema_version) {
         write_response(
             shared,
             out,
+            SCHEMA_VERSION,
             Response::error(
                 request.id,
                 ErrorCode::UnsupportedVersion,
                 format!(
-                    "request schema_version {} but this server speaks {SCHEMA_VERSION}",
+                    "request schema_version {} but this server speaks \
+                     {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}",
                     request.schema_version
                 ),
             ),
         );
         return;
     }
+    let version = request.schema_version;
     let endpoint = request.kind.endpoint();
     let start = Instant::now();
     match request.kind {
@@ -468,6 +550,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
+                version,
                 Response::new(request.id, false, micros, ResponseKind::Stats(report)),
             );
         }
@@ -478,6 +561,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
+                version,
                 Response::new(request.id, false, micros, ResponseKind::Health(report)),
             );
         }
@@ -488,11 +572,20 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             write_response(
                 shared,
                 out,
+                version,
                 Response::new(request.id, false, micros, ResponseKind::Shutdown),
             );
         }
         kind @ (RequestKind::Cell(_) | RequestKind::Check(_) | RequestKind::Explore(_)) => {
-            dispatch_compute(shared, request.id, kind, start, out);
+            dispatch_compute(
+                shared,
+                request.id,
+                version,
+                kind,
+                request.options,
+                start,
+                out,
+            );
         }
     }
 }
@@ -508,7 +601,9 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
 fn dispatch_compute(
     shared: &Arc<Shared>,
     id: u64,
+    version: u32,
     kind: RequestKind,
+    options: RequestOptions,
     start: Instant,
     out: &Arc<Mutex<TcpStream>>,
 ) {
@@ -517,6 +612,7 @@ fn dispatch_compute(
         write_response(
             shared,
             out,
+            version,
             Response::error(id, ErrorCode::Internal, "request body is unencodable"),
         );
         shared.metrics.record_error(endpoint);
@@ -536,74 +632,165 @@ fn dispatch_compute(
             drop(pending);
             let micros = elapsed_micros(start);
             shared.metrics.record(endpoint, micros, true);
-            write_response(shared, out, Response::new(id, true, micros, hit));
+            write_response(shared, out, version, Response::new(id, true, micros, hit));
             return;
         }
-        if let Some(waiters) = pending.get_mut(&canon) {
-            waiters.push(Waiter {
-                id,
-                out: Arc::clone(out),
-                start,
-            });
+        // Deadline-carrying requests skip the single-flight table: their
+        // results are deadline-truncated, so they must neither be shared
+        // with nor cached for requests with other (or no) deadlines.
+        if options.deadline_ms.is_none() {
+            if let Some(waiters) = pending.get_mut(&canon) {
+                waiters.push(Waiter {
+                    id,
+                    version,
+                    out: Arc::clone(out),
+                    start,
+                });
+                return;
+            }
+        }
+        // Admission gate, decided before the job exists: a shed costs
+        // one JSON line, never a queue slot. Cache hits and waiter joins
+        // above are exempt — they consume no compute capacity.
+        let occupancy = shared.occupancy();
+        let est_wait_micros = estimated_wait_micros(
+            occupancy,
+            shared.workers,
+            shared.metrics.compute_p50_micros(),
+        );
+        let retry_after_ms = (est_wait_micros / 1_000).max(1);
+        if let Some(deadline_ms) = options.deadline_ms {
+            if est_wait_micros >= deadline_ms.saturating_mul(1_000) {
+                drop(pending);
+                shared.metrics.record_shed_deadline(endpoint);
+                write_response(
+                    shared,
+                    out,
+                    version,
+                    Response::error_with_retry(
+                        id,
+                        ErrorCode::DeadlineExceeded,
+                        format!(
+                            "estimated queue wait {}ms already exceeds the {deadline_ms}ms deadline",
+                            est_wait_micros / 1_000
+                        ),
+                        retry_after_ms,
+                    ),
+                );
+                return;
+            }
+        }
+        if !shared.admission.try_admit(occupancy, options.priority) {
+            drop(pending);
+            shared.metrics.record_overload(endpoint);
+            write_response(
+                shared,
+                out,
+                version,
+                Response::error_with_retry(
+                    id,
+                    ErrorCode::Overloaded,
+                    format!(
+                        "adaptive concurrency limit reached ({} of {}); retry later",
+                        occupancy,
+                        shared.admission.limit()
+                    ),
+                    retry_after_ms,
+                ),
+            );
             return;
         }
-        pending.insert(canon.clone(), Vec::new());
+        if options.deadline_ms.is_none() {
+            pending.insert(canon.clone(), Vec::new());
+        }
+    }
+    if options.deadline_ms.is_some() {
+        dispatch_deadline(shared, id, version, kind, options, start, out);
+        return;
     }
     let job = {
         let shared = Arc::clone(shared);
         let out = Arc::clone(out);
         let canon = canon.clone();
-        move || match compute(&kind) {
-            Ok(result) => {
-                // Publish to the cache and claim the waiters atomically
-                // (pending → cache), so no request can miss both.
-                let waiters = {
-                    let mut pending = shared.pending.lock().expect("pending lock poisoned");
-                    shared
-                        .cache
-                        .lock()
-                        .expect("cache lock poisoned")
-                        .insert(canon.clone(), result.clone());
-                    pending.remove(&canon).unwrap_or_default()
-                };
-                let micros = elapsed_micros(start);
-                shared.metrics.record(endpoint, micros, false);
-                write_response(
-                    &shared,
-                    &out,
-                    Response::new(id, false, micros, result.clone()),
-                );
-                for w in waiters {
-                    let micros = elapsed_micros(w.start);
-                    shared.metrics.record(endpoint, micros, true);
-                    write_response(
-                        &shared,
-                        &w.out,
-                        Response::new(w.id, true, micros, result.clone()),
-                    );
+        let enqueued = Instant::now();
+        move || {
+            let picked = Instant::now();
+            let queue_wait_micros = duration_micros(picked.duration_since(enqueued));
+            // Every job runs under a budget — unlimited here, but its
+            // heartbeat is what the watchdog samples to tell a long
+            // computation from a wedged worker.
+            let budget = Budget::unlimited();
+            let token = shared.registry.register(budget.heartbeat());
+            let outcome = match compute_budgeted(&kind, &budget) {
+                Ok(ComputeStatus::Done(result)) => Ok(result),
+                // An unlimited budget cannot trip; keep the worker alive
+                // and surface the impossibility instead of asserting.
+                Ok(ComputeStatus::Aborted { reason, .. }) => Err(WireError {
+                    code: ErrorCode::Internal,
+                    message: format!("unlimited budget aborted ({})", reason.name()),
+                    retry_after_ms: 0,
+                }),
+                Err(err) => Err(err),
+            };
+            shared.registry.unregister(token);
+            let compute_micros = elapsed_micros(picked);
+            shared.metrics.record_queue_wait(queue_wait_micros);
+            shared.metrics.record_compute(compute_micros);
+            match outcome {
+                Ok(result) => {
+                    // Publish to the cache and claim the waiters atomically
+                    // (pending → cache), so no request can miss both.
+                    let waiters = {
+                        let mut pending = shared.pending.lock().expect("pending lock poisoned");
+                        shared
+                            .cache
+                            .lock()
+                            .expect("cache lock poisoned")
+                            .insert(canon.clone(), result.clone());
+                        pending.remove(&canon).unwrap_or_default()
+                    };
+                    let micros = elapsed_micros(start);
+                    shared.metrics.record(endpoint, micros, false);
+                    shared.admission.observe(micros);
+                    let mut response = Response::new(id, false, micros, result.clone());
+                    response.queue_wait_ms = queue_wait_micros as f64 / 1_000.0;
+                    response.compute_ms = compute_micros as f64 / 1_000.0;
+                    write_response(&shared, &out, version, response);
+                    for w in waiters {
+                        let micros = elapsed_micros(w.start);
+                        shared.metrics.record(endpoint, micros, true);
+                        write_response(
+                            &shared,
+                            &w.out,
+                            w.version,
+                            Response::new(w.id, true, micros, result.clone()),
+                        );
+                    }
+                    shared.note_computed();
                 }
-                shared.note_computed();
-            }
-            Err(err) => {
-                let waiters = shared
-                    .pending
-                    .lock()
-                    .expect("pending lock poisoned")
-                    .remove(&canon)
-                    .unwrap_or_default();
-                shared.metrics.record_error(endpoint);
-                write_response(
-                    &shared,
-                    &out,
-                    Response::error(id, err.code, err.message.clone()),
-                );
-                for w in waiters {
+                Err(err) => {
+                    let waiters = shared
+                        .pending
+                        .lock()
+                        .expect("pending lock poisoned")
+                        .remove(&canon)
+                        .unwrap_or_default();
                     shared.metrics.record_error(endpoint);
                     write_response(
                         &shared,
-                        &w.out,
-                        Response::error(w.id, err.code, err.message.clone()),
+                        &out,
+                        version,
+                        Response::error(id, err.code, err.message.clone()),
                     );
+                    for w in waiters {
+                        shared.metrics.record_error(endpoint);
+                        write_response(
+                            &shared,
+                            &w.out,
+                            w.version,
+                            Response::error(w.id, err.code, err.message.clone()),
+                        );
+                    }
                 }
             }
         }
@@ -637,56 +824,240 @@ fn dispatch_compute(
             SubmitError::Full => shared.metrics.record_overload(endpoint),
             SubmitError::Closed => shared.metrics.record_error(endpoint),
         };
+        let retry_after_ms = match reason {
+            SubmitError::Full => retry_hint_ms(shared),
+            SubmitError::Closed => 0,
+        };
         record(endpoint);
-        write_response(shared, out, Response::error(id, code, message.clone()));
+        write_response(
+            shared,
+            out,
+            version,
+            Response::error_with_retry(id, code, message.clone(), retry_after_ms),
+        );
         for w in waiters {
             record(endpoint);
-            write_response(shared, &w.out, Response::error(w.id, code, message.clone()));
+            write_response(
+                shared,
+                &w.out,
+                w.version,
+                Response::error_with_retry(w.id, code, message.clone(), retry_after_ms),
+            );
         }
     }
 }
 
-/// Runs one compute request. Panics inside the libraries (e.g. a
-/// [`CellSpec`](ktudc_core::harness::CellSpec) the harness refuses) are
-/// caught and surfaced as [`ErrorCode::Internal`] so a worker is never
-/// lost to a bad request.
-fn compute(kind: &RequestKind) -> Result<ResponseKind, WireError> {
+/// Retry hint stamped on every shed: the server's current queue-wait
+/// estimate, floored at one millisecond so a client that honors hints
+/// always backs off by a nonzero amount.
+fn retry_hint_ms(shared: &Shared) -> u64 {
+    let est = estimated_wait_micros(
+        shared.occupancy(),
+        shared.workers,
+        shared.metrics.compute_p50_micros(),
+    );
+    (est / 1_000).max(1)
+}
+
+/// The worker path for a deadline-carrying request: runs outside the
+/// single-flight table under a budget whose deadline counts from request
+/// receipt (queue wait spends it). On a trip the requester gets the
+/// typed partial ([`ResponseKind::Aborted`]) if it opted in, and a
+/// [`ErrorCode::DeadlineExceeded`] error otherwise.
+fn dispatch_deadline(
+    shared: &Arc<Shared>,
+    id: u64,
+    version: u32,
+    kind: RequestKind,
+    options: RequestOptions,
+    start: Instant,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let endpoint = kind.endpoint();
+    let deadline_ms = options.deadline_ms.unwrap_or(0);
+    let job = {
+        let shared = Arc::clone(shared);
+        let out = Arc::clone(out);
+        let enqueued = Instant::now();
+        move || {
+            let picked = Instant::now();
+            let queue_wait_micros = duration_micros(picked.duration_since(enqueued));
+            let budget =
+                Budget::unlimited().with_deadline(start + Duration::from_millis(deadline_ms));
+            let token = shared.registry.register(budget.heartbeat());
+            let result = compute_budgeted(&kind, &budget);
+            shared.registry.unregister(token);
+            let compute_micros = elapsed_micros(picked);
+            shared.metrics.record_queue_wait(queue_wait_micros);
+            shared.metrics.record_compute(compute_micros);
+            let micros = elapsed_micros(start);
+            let mut response = match result {
+                Ok(ComputeStatus::Done(result)) => {
+                    shared.metrics.record(endpoint, micros, false);
+                    // Only completed requests feed the controller: an
+                    // aborted one's latency is capped by its own deadline
+                    // and would read as spurious headroom.
+                    shared.admission.observe(micros);
+                    Response::new(id, false, micros, result)
+                }
+                Ok(ComputeStatus::Aborted { reason, partial }) if options.accept_partial => {
+                    shared.metrics.record(endpoint, micros, false);
+                    Response::new(
+                        id,
+                        false,
+                        micros,
+                        ResponseKind::Aborted(AbortedOutcome { reason, partial }),
+                    )
+                }
+                Ok(ComputeStatus::Aborted { reason, .. }) => {
+                    shared.metrics.record_shed_deadline(endpoint);
+                    Response::error_with_retry(
+                        id,
+                        ErrorCode::DeadlineExceeded,
+                        format!("computation aborted at the deadline ({})", reason.name()),
+                        retry_hint_ms(&shared),
+                    )
+                }
+                Err(err) => {
+                    shared.metrics.record_error(endpoint);
+                    Response::error_with_retry(id, err.code, err.message, err.retry_after_ms)
+                }
+            };
+            response.queue_wait_ms = queue_wait_micros as f64 / 1_000.0;
+            response.compute_ms = compute_micros as f64 / 1_000.0;
+            write_response(&shared, &out, version, response);
+        }
+    };
+    let submitted = shared
+        .pool
+        .lock()
+        .expect("pool lock poisoned")
+        .as_ref()
+        .map_or(Err(SubmitError::Closed), |pool| pool.try_execute(job));
+    if let Err(reason) = submitted {
+        // No pending entry to retract: deadline requests never register.
+        let (code, message) = match reason {
+            SubmitError::Full => (
+                ErrorCode::Overloaded,
+                format!(
+                    "request queue is at capacity ({}); retry later",
+                    queue_capacity(shared)
+                ),
+            ),
+            SubmitError::Closed => (ErrorCode::ShuttingDown, "server is draining".to_string()),
+        };
+        let retry_after_ms = match reason {
+            SubmitError::Full => retry_hint_ms(shared),
+            SubmitError::Closed => 0,
+        };
+        match reason {
+            SubmitError::Full => shared.metrics.record_overload(endpoint),
+            SubmitError::Closed => shared.metrics.record_error(endpoint),
+        }
+        write_response(
+            shared,
+            out,
+            version,
+            Response::error_with_retry(id, code, message, retry_after_ms),
+        );
+    }
+}
+
+/// What a budgeted compute job produced.
+enum ComputeStatus {
+    /// Ran to completion.
+    Done(ResponseKind),
+    /// The budget tripped; `partial` is whatever survived.
+    Aborted {
+        reason: AbortReason,
+        partial: PartialOutcome,
+    },
+}
+
+/// Runs one compute request under `budget`. Panics inside the libraries
+/// (e.g. a [`CellSpec`](ktudc_core::harness::CellSpec) the harness
+/// refuses) are caught and surfaced as [`ErrorCode::Internal`] so a
+/// worker is never lost to a bad request.
+fn compute_budgeted(kind: &RequestKind, budget: &Budget) -> Result<ComputeStatus, WireError> {
     let guarded = catch_unwind(AssertUnwindSafe(|| match kind {
-        RequestKind::Cell(spec) => Ok(ResponseKind::Cell(run_cell(spec))),
-        RequestKind::Explore(spec) => match run_explore_spec(spec) {
-            Ok(outcome) => Ok(ResponseKind::Explore(outcome)),
+        RequestKind::Cell(spec) => Ok(match run_cell_budgeted(spec, budget) {
+            CellStatus::Done(outcome) => ComputeStatus::Done(ResponseKind::Cell(outcome)),
+            CellStatus::Aborted {
+                reason,
+                partial,
+                trials_completed,
+            } => ComputeStatus::Aborted {
+                reason,
+                partial: if trials_completed == 0 {
+                    PartialOutcome::None
+                } else {
+                    PartialOutcome::Cell(PartialCell {
+                        outcome: partial,
+                        trials_completed,
+                    })
+                },
+            },
+        }),
+        RequestKind::Explore(spec) => match run_explore_spec_budgeted(spec, budget) {
+            Ok(ExploreStatusOutcome::Done(outcome)) => {
+                Ok(ComputeStatus::Done(ResponseKind::Explore(outcome)))
+            }
+            Ok(ExploreStatusOutcome::Aborted { reason, partial }) => Ok(ComputeStatus::Aborted {
+                reason,
+                partial: partial.map_or(PartialOutcome::None, PartialOutcome::Explore),
+            }),
             Err(msg) => Err(WireError {
                 code: ErrorCode::BadRequest,
                 message: msg,
+                retry_after_ms: 0,
             }),
         },
         RequestKind::Check(spec) => {
-            let explored = match explore_spec(&spec.scenario) {
-                Ok(r) => r,
+            let explored = match explore_spec_budgeted(&spec.scenario, budget) {
+                Ok(ExploreStatus::Done(r)) => r,
+                // A verdict over a partial system would be a verdict
+                // about a different system: no usable partial.
+                Ok(ExploreStatus::Aborted { reason, .. }) => {
+                    return Ok(ComputeStatus::Aborted {
+                        reason,
+                        partial: PartialOutcome::None,
+                    })
+                }
                 Err(msg) => {
                     return Err(WireError {
                         code: ErrorCode::BadRequest,
                         message: msg,
+                        retry_after_ms: 0,
                     })
                 }
             };
             let digest = system_digest(&explored.system);
             let mut checker = ModelChecker::new(&explored.system);
-            let (valid, counterexample) = match checker.valid(&spec.formula) {
+            let verdict = match checker.valid_budgeted(&spec.formula, budget) {
+                Ok(v) => v,
+                Err(reason) => {
+                    return Ok(ComputeStatus::Aborted {
+                        reason,
+                        partial: PartialOutcome::None,
+                    })
+                }
+            };
+            let (valid, counterexample) = match verdict {
                 Ok(()) => (true, None),
                 Err(point) => (false, Some(point)),
             };
-            Ok(ResponseKind::Check(CheckOutcome {
+            Ok(ComputeStatus::Done(ResponseKind::Check(CheckOutcome {
                 valid,
                 counterexample,
                 runs: explored.system.len(),
                 complete: explored.complete,
                 digest,
-            }))
+            })))
         }
         RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => Err(WireError {
             code: ErrorCode::Internal,
             message: "non-compute request reached a worker".to_string(),
+            retry_after_ms: 0,
         }),
     }));
     match guarded {
@@ -694,6 +1065,7 @@ fn compute(kind: &RequestKind) -> Result<ResponseKind, WireError> {
         Err(panic) => Err(WireError {
             code: ErrorCode::Internal,
             message: format!("computation panicked: {}", panic_message(&panic)),
+            retry_after_ms: 0,
         }),
     }
 }
@@ -721,11 +1093,16 @@ fn elapsed_micros(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Stamps the server's generation, then serializes and writes one
-/// response line, applying any armed [`ServerFaults`] on its way out.
-/// Write failures are dropped: the client is gone, and the server has
-/// nothing useful to do about it.
-fn write_response(shared: &Shared, out: &Mutex<TcpStream>, mut response: Response) {
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Stamps the server's generation and the schema version the request
+/// spoke, then serializes and writes one response line, applying any
+/// armed [`ServerFaults`] on its way out. Write failures are dropped:
+/// the client is gone, and the server has nothing useful to do about it.
+fn write_response(shared: &Shared, out: &Mutex<TcpStream>, version: u32, mut response: Response) {
+    response.schema_version = version;
     response.generation = shared.generation;
     let Ok(mut line) = serde_json::to_string(&response) else {
         return;
@@ -762,10 +1139,23 @@ fn write_response(shared: &Shared, out: &Mutex<TcpStream>, mut response: Respons
 mod tests {
     use super::*;
     use crate::wire::CheckSpec;
-    use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
+    use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
     use ktudc_epistemic::Formula;
     use ktudc_model::ProcessId;
     use ktudc_sim::ExploreSpec;
+
+    /// The pre-budget compute entry point: an unlimited budget, with the
+    /// (unreachable) abort arm folded into the error domain.
+    fn compute(kind: &RequestKind) -> Result<ResponseKind, WireError> {
+        match compute_budgeted(kind, &Budget::unlimited())? {
+            ComputeStatus::Done(result) => Ok(result),
+            ComputeStatus::Aborted { reason, .. } => Err(WireError {
+                code: ErrorCode::Internal,
+                message: format!("unlimited budget aborted ({})", reason.name()),
+                retry_after_ms: 0,
+            }),
+        }
+    }
 
     #[test]
     fn compute_cell_matches_direct_call() {

@@ -228,6 +228,95 @@ mod tests {
     }
 
     #[test]
+    fn an_uptime_of_exactly_stable_after_counts_as_stable() {
+        // The boundary is inclusive: `uptime >= stable_after` resets.
+        let mut b = CrashLoopBackoff::new(policy());
+        let fast = Duration::from_millis(5);
+        assert!(b.after_exit(fast).is_some());
+        assert!(b.after_exit(fast).is_some());
+        assert_eq!(b.rapid_crashes(), 2);
+        assert_eq!(
+            b.after_exit(policy().stable_after),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(b.rapid_crashes(), 0);
+    }
+
+    #[test]
+    fn an_uptime_just_under_stable_after_is_still_rapid() {
+        let mut b = CrashLoopBackoff::new(policy());
+        let almost = policy().stable_after - Duration::from_nanos(1);
+        assert!(b.after_exit(almost).is_some());
+        assert_eq!(b.rapid_crashes(), 1);
+    }
+
+    #[test]
+    fn zero_rapid_budget_gives_up_on_the_first_rapid_crash() {
+        // max_rapid_crashes is the number of *tolerated* rapid crashes,
+        // so zero means the very first one is already a crash loop …
+        let mut b = CrashLoopBackoff::new(SupervisorPolicy {
+            max_rapid_crashes: 0,
+            ..policy()
+        });
+        assert_eq!(b.after_exit(Duration::from_millis(5)), None);
+
+        // … while a stable exit still restarts (it is not a crash loop).
+        let mut b = CrashLoopBackoff::new(SupervisorPolicy {
+            max_rapid_crashes: 0,
+            ..policy()
+        });
+        assert!(b.after_exit(Duration::from_secs(2)).is_some());
+    }
+
+    #[test]
+    fn the_backoff_that_lands_exactly_on_the_cap_is_not_clamped_early() {
+        // base 10ms doubles to 20 then 40 = max_backoff exactly; the
+        // third rapid crash must yield the full 40ms, and a fourth (with
+        // budget left) must stay pinned there rather than overflow past.
+        let mut b = CrashLoopBackoff::new(SupervisorPolicy {
+            max_rapid_crashes: 10,
+            ..policy()
+        });
+        let fast = Duration::from_millis(1);
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(10)));
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(20)));
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(40)));
+        assert_eq!(b.after_exit(fast), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn a_stable_exit_backoff_respects_the_cap_too() {
+        // Degenerate but legal: base_backoff above max_backoff. The
+        // stable-exit restart path must clamp like the rapid path does.
+        let mut b = CrashLoopBackoff::new(SupervisorPolicy {
+            base_backoff: Duration::from_millis(500),
+            max_backoff: Duration::from_millis(40),
+            ..policy()
+        });
+        assert_eq!(
+            b.after_exit(Duration::from_secs(2)),
+            Some(Duration::from_millis(40))
+        );
+    }
+
+    #[test]
+    fn the_give_up_budget_is_spent_exactly_at_max_plus_one() {
+        // With a budget of k, exactly k rapid crashes restart and the
+        // (k+1)-th gives up — no off-by-one in either direction.
+        for budget in [1u32, 2, 5] {
+            let mut b = CrashLoopBackoff::new(SupervisorPolicy {
+                max_rapid_crashes: budget,
+                ..policy()
+            });
+            let fast = Duration::from_millis(1);
+            for i in 0..budget {
+                assert!(b.after_exit(fast).is_some(), "crash {i} of budget {budget}");
+            }
+            assert_eq!(b.after_exit(fast), None, "budget {budget}");
+        }
+    }
+
+    #[test]
     fn backoff_is_capped() {
         let mut b = CrashLoopBackoff::new(SupervisorPolicy {
             max_rapid_crashes: 10,

@@ -16,7 +16,7 @@
 use crate::metrics::{Endpoint, StatsReport};
 use ktudc_core::harness::{CellOutcome, CellSpec};
 use ktudc_epistemic::Formula;
-use ktudc_model::Point;
+use ktudc_model::{AbortReason, Point};
 use ktudc_sim::wire::WireMsg;
 use ktudc_sim::{ExploreOutcome, ExploreSpec};
 use serde::{Deserialize, Serialize};
@@ -24,29 +24,132 @@ use serde::{Deserialize, Serialize};
 /// Version of the wire encoding (envelope + all body types).
 ///
 /// History: 1 — original envelope; 2 — responses carry the server
-/// `generation` (restart counter) and the `Health` endpoint exists.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `generation` (restart counter) and the `Health` endpoint exists;
+/// 3 — requests may carry a deadline/priority/accept-partial triple
+/// (omitted when default, so a v2 request line is also a valid v3
+/// request line), responses carry `queue_wait_ms`/`compute_ms`, errors
+/// carry a `retry_after_ms` hint, and `DeadlineExceeded` and
+/// [`ResponseKind::Aborted`] exist. Servers accept
+/// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp each response
+/// with the version its request spoke.
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Oldest request schema the server still accepts. v2 request lines are
+/// a strict subset of v3 ones (every v3 envelope addition is optional on
+/// requests and additive on responses), so upgrading the server never
+/// strands a deployed client.
+pub const MIN_SCHEMA_VERSION: u32 = 2;
+
+/// Per-request quality-of-service options (schema v3). All fields are
+/// optional on the wire; a request that omits them behaves exactly like
+/// a v2 request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Soft deadline in milliseconds from server receipt. The server
+    /// sheds the request with [`ErrorCode::DeadlineExceeded`] when its
+    /// queue-wait estimate already exceeds it, and otherwise runs the
+    /// computation under a budget that aborts at the deadline.
+    pub deadline_ms: Option<u64>,
+    /// Admission priority: 0 is normal; higher values get admission
+    /// headroom when the adaptive concurrency limit is contended.
+    pub priority: u8,
+    /// When the budget aborts the computation, answer with the typed
+    /// [`ResponseKind::Aborted`] partial result instead of a
+    /// [`ErrorCode::DeadlineExceeded`] error.
+    pub accept_partial: bool,
+}
+
+impl RequestOptions {
+    /// Whether every field is at its default (the v2-compatible shape).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == RequestOptions::default()
+    }
+}
 
 /// One request line.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Request {
-    /// Must equal [`SCHEMA_VERSION`].
+    /// Must be within [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`].
     pub schema_version: u32,
     /// Client-chosen correlation id, echoed in the [`Response`].
     pub id: u64,
     /// What to do.
     pub kind: RequestKind,
+    /// Deadline/priority/partial-acceptance options (schema v3; encoded
+    /// only when not default, so default-option request lines are
+    /// byte-compatible with v2 apart from the version number).
+    pub options: RequestOptions,
 }
 
 impl Request {
-    /// A current-version request.
+    /// A current-version request with default options.
     #[must_use]
     pub fn new(id: u64, kind: RequestKind) -> Self {
+        Request::with_options(id, kind, RequestOptions::default())
+    }
+
+    /// A current-version request with explicit options.
+    #[must_use]
+    pub fn with_options(id: u64, kind: RequestKind, options: RequestOptions) -> Self {
         Request {
             schema_version: SCHEMA_VERSION,
             id,
             kind,
+            options,
         }
+    }
+}
+
+// The envelope is hand-encoded (not derived) so the v3 option fields can
+// be *omitted* when default and *defaulted* when absent — the derive has
+// no attribute support, and a derived decoder would reject every v2
+// request line for missing keys.
+impl Serialize for Request {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("id".to_string(), self.id.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+        ];
+        if let Some(deadline_ms) = self.options.deadline_ms {
+            fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+        }
+        if self.options.priority != 0 {
+            fields.push(("priority".to_string(), self.options.priority.to_value()));
+        }
+        if self.options.accept_partial {
+            fields.push(("accept_partial".to_string(), true.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError(format!("request is missing `{name}`")))
+        };
+        Ok(Request {
+            schema_version: u32::from_value(required("schema_version")?)?,
+            id: u64::from_value(required("id")?)?,
+            kind: RequestKind::from_value(required("kind")?)?,
+            options: RequestOptions {
+                deadline_ms: match v.get("deadline_ms") {
+                    None => None,
+                    Some(d) => Option::<u64>::from_value(d)?,
+                },
+                priority: match v.get("priority") {
+                    None => 0,
+                    Some(p) => u8::from_value(p)?,
+                },
+                accept_partial: match v.get("accept_partial") {
+                    None => false,
+                    Some(a) => bool::from_value(a)?,
+                },
+            },
+        })
     }
 }
 
@@ -124,7 +227,8 @@ pub struct CheckOutcome {
 /// One response line.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Response {
-    /// Always [`SCHEMA_VERSION`].
+    /// The schema version the request spoke (so v2 clients keep parsing
+    /// responses from a v3 server).
     pub schema_version: u32,
     /// The request's `id` (0 when the request line didn't parse far
     /// enough to recover one).
@@ -134,6 +238,11 @@ pub struct Response {
     /// Service latency in microseconds as observed by the server
     /// (submission to completion, queue wait included).
     pub micros: u64,
+    /// Milliseconds the request sat in the bounded queue before a worker
+    /// picked it up (0 for inline answers: cache hits, stats, errors).
+    pub queue_wait_ms: f64,
+    /// Milliseconds the computation itself ran (0 for inline answers).
+    pub compute_ms: f64,
     /// The answering server's generation — a counter that strictly
     /// increases across daemon restarts (persisted via the snapshot
     /// store when the daemon is durable, constant 0 otherwise). A client
@@ -147,7 +256,8 @@ pub struct Response {
 
 impl Response {
     /// A current-version response (generation 0 until the server stamps
-    /// it at the write boundary).
+    /// it at the write boundary; queue/compute timings 0 until the
+    /// worker path stamps them).
     #[must_use]
     pub fn new(id: u64, cached: bool, micros: u64, result: ResponseKind) -> Self {
         Response {
@@ -155,6 +265,8 @@ impl Response {
             id,
             cached,
             micros,
+            queue_wait_ms: 0.0,
+            compute_ms: 0.0,
             generation: 0,
             result,
         }
@@ -163,6 +275,17 @@ impl Response {
     /// A current-version error response.
     #[must_use]
     pub fn error(id: u64, code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::error_with_retry(id, code, message, 0)
+    }
+
+    /// A current-version error response carrying a retry-after hint.
+    #[must_use]
+    pub fn error_with_retry(
+        id: u64,
+        code: ErrorCode,
+        message: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> Self {
         Response::new(
             id,
             false,
@@ -170,6 +293,7 @@ impl Response {
             ResponseKind::Error(WireError {
                 code,
                 message: message.into(),
+                retry_after_ms,
             }),
         )
     }
@@ -190,8 +314,42 @@ pub enum ResponseKind {
     Health(HealthReport),
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
+    /// The computation's budget tripped and the requester opted into
+    /// partial results ([`RequestOptions::accept_partial`]).
+    Aborted(AbortedOutcome),
     /// The request was not served.
     Error(WireError),
+}
+
+/// What a budget-aborted computation still managed to produce.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AbortedOutcome {
+    /// Why the budget tripped (deadline, cancellation, step or memory
+    /// cap).
+    pub reason: AbortReason,
+    /// The partial result, if the computation got far enough to have
+    /// one.
+    pub partial: PartialOutcome,
+}
+
+/// The partial payload of an [`AbortedOutcome`], by endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PartialOutcome {
+    /// The explored prefix of the run space (`complete` is `false`).
+    Explore(ExploreOutcome),
+    /// The tally over the trials that completed before the trip.
+    Cell(PartialCell),
+    /// Nothing usable survived the abort.
+    None,
+}
+
+/// A cell tally cut short by its budget.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartialCell {
+    /// Tally over the completed trials only.
+    pub outcome: CellOutcome,
+    /// How many of the spec's trials completed before the trip.
+    pub trials_completed: u64,
 }
 
 /// The `Health` response body: the server's restart generation plus what
@@ -209,11 +367,24 @@ pub struct HealthReport {
     /// Snapshot files that failed validation (bad magic, generation or
     /// checksum) and were skipped — never loaded — during recovery.
     pub corrupt_snapshots_skipped: u64,
+    /// The snapshot store's *live* corrupt-candidate counter: every
+    /// corrupt candidate it has skipped over its lifetime, boot-time
+    /// recovery included. Diverges from `corrupt_snapshots_skipped` if
+    /// corruption appears after boot.
+    pub store_corrupt_candidates: u64,
     /// Cache snapshots written since boot (including the boot snapshot
     /// that claims the generation).
     pub snapshots_written: u64,
     /// Outcomes currently in the scenario cache.
     pub cache_entries: usize,
+    /// Requests queued (accepted, not yet started) at snapshot time.
+    pub queue_depth: usize,
+    /// Requests a worker is actively computing at snapshot time.
+    pub in_flight: usize,
+    /// Workers the watchdog currently considers stuck: their job's
+    /// budget heartbeat has not advanced for the configured number of
+    /// watchdog ticks.
+    pub stuck_workers: u64,
     /// Microseconds since the server started.
     pub uptime_micros: u64,
 }
@@ -225,17 +396,29 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// For shed requests ([`ErrorCode::Overloaded`],
+    /// [`ErrorCode::DeadlineExceeded`]): the server's estimate, in
+    /// milliseconds, of when a retry is worth attempting. 0 means no
+    /// hint.
+    pub retry_after_ms: u64,
 }
 
 /// Machine-readable failure classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorCode {
-    /// The bounded request queue is full; retry later. This is the
-    /// backpressure signal — the server sheds load instead of buffering.
+    /// The bounded request queue (or the adaptive concurrency limit) is
+    /// full; retry later. This is the backpressure signal — the server
+    /// sheds load instead of buffering.
     Overloaded,
+    /// The request's deadline would expire before a worker could serve
+    /// it (admission-time estimate), or its budget tripped mid-compute
+    /// and the requester did not opt into partial results. Distinct from
+    /// [`ErrorCode::Overloaded`]: the server had capacity, the *request*
+    /// ran out of time.
+    DeadlineExceeded,
     /// The request line didn't parse, or its body failed validation.
     BadRequest,
-    /// `schema_version` differs from the server's [`SCHEMA_VERSION`].
+    /// `schema_version` is outside the server's accepted range.
     UnsupportedVersion,
     /// The server is draining and accepts no new work.
     ShuttingDown,
@@ -251,34 +434,127 @@ mod tests {
 
     #[test]
     fn envelope_encoding_is_pinned() {
-        // The envelope shape is the serve wire schema (schema_version 2:
-        // responses gained `generation`, requests gained `Health`); repin
-        // deliberately with a version bump, never silently.
+        // The envelope shape is the serve wire schema (schema_version 3:
+        // optional deadline/priority/accept_partial on requests, queue
+        // and compute timings on responses, retry_after_ms on errors);
+        // repin deliberately with a version bump, never silently.
         let req = Request::new(7, RequestKind::Stats);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":2,"id":7,"kind":"Stats"}"#
+            r#"{"schema_version":3,"id":7,"kind":"Stats"}"#
         );
         let req = Request::new(8, RequestKind::Health);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":2,"id":8,"kind":"Health"}"#
+            r#"{"schema_version":3,"id":8,"kind":"Health"}"#
         );
 
         let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
             .trials(2)
             .horizon(100);
-        let req = Request::new(1, RequestKind::Cell(spec));
+        let req = Request::new(1, RequestKind::Cell(spec.clone()));
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":2,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+            r#"{"schema_version":3,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+        );
+
+        // Non-default options are appended after the v2-compatible core.
+        let req = Request::with_options(
+            2,
+            RequestKind::Cell(spec),
+            RequestOptions {
+                deadline_ms: Some(250),
+                priority: 1,
+                accept_partial: true,
+            },
+        );
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":3,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
         );
 
         let resp = Response::error(9, ErrorCode::Overloaded, "queue full");
         assert_eq!(
             serde_json::to_string(&resp).unwrap(),
-            r#"{"schema_version":2,"id":9,"cached":false,"micros":0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full"}}}"#
+            r#"{"schema_version":3,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
         );
+    }
+
+    #[test]
+    fn legacy_v2_request_lines_still_parse() {
+        // A v2 client omits every option field; the v3 decoder must
+        // default them rather than reject the line.
+        let legacy = r#"{"schema_version":2,"id":7,"kind":"Stats"}"#;
+        let req: Request = serde_json::from_str(legacy).unwrap();
+        assert_eq!(req.schema_version, 2);
+        assert_eq!(req.id, 7);
+        assert_eq!(req.kind, RequestKind::Stats);
+        assert!(req.options.is_default());
+        assert!((MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&req.schema_version));
+
+        // An explicit-null deadline also decodes (Option round-trip).
+        let with_null = r#"{"schema_version":3,"id":8,"kind":"Health","deadline_ms":null}"#;
+        let req: Request = serde_json::from_str(with_null).unwrap();
+        assert_eq!(req.options.deadline_ms, None);
+    }
+
+    #[test]
+    fn request_options_round_trip() {
+        let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable);
+        for options in [
+            RequestOptions::default(),
+            RequestOptions {
+                deadline_ms: Some(1),
+                priority: 0,
+                accept_partial: false,
+            },
+            RequestOptions {
+                deadline_ms: Some(10_000),
+                priority: 9,
+                accept_partial: true,
+            },
+        ] {
+            let req = Request::with_options(5, RequestKind::Cell(spec.clone()), options);
+            let json = serde_json::to_string(&req).unwrap();
+            assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn aborted_outcomes_round_trip_with_pinned_reasons() {
+        use ktudc_model::AbortReason;
+
+        // The abort-reason vocabulary is part of the wire schema.
+        assert_eq!(
+            serde_json::to_string(&AbortReason::Deadline).unwrap(),
+            r#""Deadline""#
+        );
+        let aborted = Response::new(
+            4,
+            false,
+            120,
+            ResponseKind::Aborted(AbortedOutcome {
+                reason: AbortReason::Deadline,
+                partial: PartialOutcome::Cell(PartialCell {
+                    outcome: CellOutcome {
+                        satisfied: 3,
+                        violated_permanent: 0,
+                        unsatisfied_pending: 0,
+                        mean_messages: 9.5,
+                    },
+                    trials_completed: 3,
+                }),
+            }),
+        );
+        let json = serde_json::to_string(&aborted).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), aborted);
+
+        let empty = ResponseKind::Aborted(AbortedOutcome {
+            reason: AbortReason::StepLimit,
+            partial: PartialOutcome::None,
+        });
+        let json = serde_json::to_string(&empty).unwrap();
+        assert_eq!(serde_json::from_str::<ResponseKind>(&json).unwrap(), empty);
     }
 
     #[test]
@@ -317,8 +593,12 @@ mod tests {
                 durable: true,
                 recovered_cache_entries: 17,
                 corrupt_snapshots_skipped: 0,
+                store_corrupt_candidates: 1,
                 snapshots_written: 2,
                 cache_entries: 19,
+                queue_depth: 5,
+                in_flight: 2,
+                stuck_workers: 0,
                 uptime_micros: 1_000,
             }),
         );

@@ -30,8 +30,12 @@
 //! truncated off by the journal layer; the affected subtree is simply
 //! recomputed.
 
-use crate::explorer::{assemble_subtrees, expand_frontier, subtree_runs, ExploreResult, Frontier};
+use crate::explorer::{
+    assemble_subtree_runs, assemble_subtrees, expand_frontier, subtree_runs, ExploreResult,
+    Frontier,
+};
 use crate::wire::{ExploreSpec, WireMsg};
+use ktudc_model::budget::{AbortReason, Budget};
 use ktudc_model::Run;
 use ktudc_store::{Journal, SyncPolicy};
 use serde::{Deserialize, Serialize};
@@ -84,6 +88,27 @@ pub struct CheckpointStats {
     pub resumed: bool,
 }
 
+/// The outcome of a *budgeted* checkpointed exploration
+/// ([`explore_spec_checkpointed_budgeted`]).
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// The exploration ran to its natural end.
+    Done(ExploreResult<WireMsg>),
+    /// The budget tripped. The journal holds only subtrees whose DFS
+    /// finished *before* the trip, so resuming against it with a fresh
+    /// budget reproduces the uninterrupted result bit-identically.
+    Aborted {
+        /// Why the budget tripped.
+        reason: AbortReason,
+        /// Runs assembled from the subtrees available at the trip
+        /// (journaled or in-memory); `None` when the trip preceded the
+        /// first full run. When present, always `complete == false`.
+        partial: Option<ExploreResult<WireMsg>>,
+        /// Subtrees durable in the journal — the resume position.
+        subtrees_done: usize,
+    },
+}
+
 /// Runs the exploration a spec describes, checkpointing completed
 /// subtrees to the journal at `path` so a killed job can resume. The
 /// result is bit-identical to [`explore_spec`](crate::explore_spec) for
@@ -103,6 +128,35 @@ pub fn explore_spec_checkpointed(
     path: &Path,
     sync: SyncPolicy,
 ) -> Result<(ExploreResult<WireMsg>, CheckpointStats), String> {
+    match explore_spec_checkpointed_budgeted(spec, path, sync, None)? {
+        (CheckpointOutcome::Done(result), stats) => Ok((result, stats)),
+        (CheckpointOutcome::Aborted { .. }, _) => {
+            unreachable!("an unbudgeted exploration cannot abort")
+        }
+    }
+}
+
+/// [`explore_spec_checkpointed`] under an optional [`Budget`].
+///
+/// When the budget trips, the walk stops cooperatively and returns
+/// [`CheckpointOutcome::Aborted`] with the partial system and the resume
+/// position. The abort rule that keeps resumption sound: a subtree is
+/// journaled only if the budget had not tripped by the time its batch
+/// finished — a budget-truncated subtree looks exactly like a run-cap-
+/// truncated one (`complete == false`) and journaling it would silently
+/// poison every later resume, so whole batches in flight at the trip are
+/// kept in-memory (for the partial result) but *not* journaled, and a
+/// resume recomputes them.
+///
+/// # Errors
+///
+/// Same failure modes as [`explore_spec_checkpointed`].
+pub fn explore_spec_checkpointed_budgeted(
+    spec: &ExploreSpec,
+    path: &Path,
+    sync: SyncPolicy,
+    budget: Option<&Budget>,
+) -> Result<(CheckpointOutcome, CheckpointStats), String> {
     let config = spec.to_config()?;
     let (mut journal, recovered) = Journal::recover(path, sync)
         .map_err(|e| format!("checkpoint journal {}: {e}", path.display()))?;
@@ -192,12 +246,24 @@ pub fn explore_spec_checkpointed(
         if let Some((runs, complete)) = leaves {
             stats.resumed_subtrees = 1;
             return Ok((
-                ExploreResult {
+                CheckpointOutcome::Done(ExploreResult {
                     system: ktudc_model::System::new(runs),
                     complete,
-                },
+                }),
                 stats,
             ));
+        }
+        if let Some(b) = budget {
+            if let Err(reason) = b.check() {
+                return Ok((
+                    CheckpointOutcome::Aborted {
+                        reason,
+                        partial: None,
+                        subtrees_done: 0,
+                    },
+                    stats,
+                ));
+            }
         }
         let result = frontier.leaves_result(&config);
         append(
@@ -208,7 +274,7 @@ pub fn explore_spec_checkpointed(
             },
         )?;
         stats.computed_subtrees = 1;
-        return Ok((result, stats));
+        return Ok((CheckpointOutcome::Done(result), stats));
     }
 
     let Frontier { level, t, p_idx } = frontier;
@@ -238,31 +304,68 @@ pub fn explore_spec_checkpointed(
     type Computed = (usize, (Vec<Run<WireMsg>>, bool));
     let chunk = ktudc_par::thread_count().max(1) * 2;
     for batch in todo.chunks(chunk) {
+        if let Some(b) = budget {
+            if b.check().is_err() {
+                break;
+            }
+        }
         let computed: Vec<Computed> = ktudc_par::par_map(batch.to_vec(), |(index, mut state)| {
-            (index, subtree_runs(&config, &mut state, t, p_idx))
+            (index, subtree_runs(&config, &mut state, t, p_idx, budget))
         });
+        // If the budget tripped during this batch, at least one of its
+        // subtrees was abort-truncated — and an abort-truncated subtree is
+        // indistinguishable from a legitimately run-cap-truncated one
+        // (`complete == false` either way). Journaling it would poison
+        // every later resume, so the whole batch stays in-memory (it still
+        // feeds the partial result) and a resume recomputes it.
+        let tripped = budget.is_some_and(|b| b.tripped().is_some());
         for (index, (runs, complete)) in computed {
-            append(
-                &mut journal,
-                &JournalEntry::Subtree {
-                    index,
-                    runs: runs.clone(),
-                    complete,
-                },
-            )?;
-            stats.computed_subtrees += 1;
+            if !tripped {
+                append(
+                    &mut journal,
+                    &JournalEntry::Subtree {
+                        index,
+                        runs: runs.clone(),
+                        complete,
+                    },
+                )?;
+                stats.computed_subtrees += 1;
+            }
             results[index] = Some((runs, complete));
+        }
+        if tripped {
+            break;
         }
     }
     journal
         .sync()
         .map_err(|e| format!("checkpoint journal {}: sync: {e}", path.display()))?;
 
+    if let Some(reason) = budget.and_then(Budget::tripped) {
+        let subtrees_done = stats.resumed_subtrees + stats.computed_subtrees;
+        let available: Vec<(Vec<Run<WireMsg>>, bool)> = results.into_iter().flatten().collect();
+        let (runs, _) = assemble_subtree_runs(available, config.max_runs);
+        return Ok((
+            CheckpointOutcome::Aborted {
+                reason,
+                partial: (!runs.is_empty()).then(|| ExploreResult {
+                    system: ktudc_model::System::new(runs),
+                    complete: false,
+                }),
+                subtrees_done,
+            },
+            stats,
+        ));
+    }
+
     let ordered: Vec<(Vec<Run<WireMsg>>, bool)> = results
         .into_iter()
         .map(|r| r.expect("every subtree index resolved"))
         .collect();
-    Ok((assemble_subtrees(ordered, config.max_runs), stats))
+    Ok((
+        CheckpointOutcome::Done(assemble_subtrees(ordered, config.max_runs)),
+        stats,
+    ))
 }
 
 /// Resumes (or, if already finished, replays) the checkpointed
@@ -463,6 +566,75 @@ mod tests {
         }
         let err = resume_checkpoint(&empty.0, SyncPolicy::Never).unwrap_err();
         assert!(err.contains("nothing to resume"), "{err}");
+    }
+
+    #[test]
+    fn budget_aborted_checkpoint_resumes_to_the_identical_digest() {
+        let tmp = TempPath::new("budget-abort");
+        let spec = oneshot_spec();
+        let baseline = run_explore_spec(&spec).unwrap();
+
+        // Probe how many polls a full checkpointed walk takes (on a
+        // scratch journal), then allow only half: the abort is then
+        // guaranteed on any machine, whatever its fan-out.
+        let probe = Budget::unlimited();
+        {
+            let scratch = TempPath::new("budget-abort-probe");
+            explore_spec_checkpointed_budgeted(&spec, &scratch.0, SyncPolicy::Never, Some(&probe))
+                .unwrap();
+        }
+        let budget = Budget::unlimited().with_max_steps(probe.steps() / 2);
+        let (outcome, _stats) =
+            explore_spec_checkpointed_budgeted(&spec, &tmp.0, SyncPolicy::Never, Some(&budget))
+                .unwrap();
+        let CheckpointOutcome::Aborted {
+            reason,
+            partial,
+            subtrees_done,
+        } = outcome
+        else {
+            panic!("a half-walk step cap must abort this exploration");
+        };
+        assert_eq!(reason, ktudc_model::AbortReason::StepLimit);
+        if let Some(partial) = &partial {
+            assert!(!partial.complete);
+            assert!(partial.system.len() <= baseline.runs);
+        }
+        assert!(subtrees_done < CHECKPOINT_SUBTREE_TARGET);
+
+        // Resume with no budget: the journal must contain only clean
+        // subtrees, so the final result is bit-identical to uninterrupted.
+        let (resumed, stats) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert!(stats.resumed);
+        assert_eq!(system_digest(&resumed.system), baseline.digest);
+        assert_eq!(resumed.complete, baseline.complete);
+        assert_eq!(resumed.system.len(), baseline.runs);
+    }
+
+    #[test]
+    fn pre_cancelled_budget_aborts_without_poisoning_the_journal() {
+        let tmp = TempPath::new("budget-cancel");
+        let spec = oneshot_spec();
+        let baseline = run_explore_spec(&spec).unwrap();
+
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let (outcome, _) =
+            explore_spec_checkpointed_budgeted(&spec, &tmp.0, SyncPolicy::Never, Some(&budget))
+                .unwrap();
+        let CheckpointOutcome::Aborted {
+            reason,
+            subtrees_done,
+            ..
+        } = outcome
+        else {
+            panic!("a pre-cancelled budget must abort");
+        };
+        assert_eq!(reason, ktudc_model::AbortReason::Cancelled);
+        assert_eq!(subtrees_done, 0);
+
+        let (resumed, _) = explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(system_digest(&resumed.system), baseline.digest);
     }
 
     #[test]

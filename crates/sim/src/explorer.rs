@@ -35,6 +35,7 @@
 //! as [`explore_reference`] and held identical by differential tests.
 
 use crate::protocol::{ProtoAction, Protocol};
+use ktudc_model::budget::{AbortReason, Budget};
 use ktudc_model::{Event, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, System, Time};
 use std::collections::VecDeque;
 use std::hash::Hash;
@@ -163,6 +164,26 @@ pub struct ExploreResult<M> {
     pub complete: bool,
 }
 
+/// The outcome of a *budgeted* exploration ([`explore_budgeted`]).
+#[derive(Debug)]
+pub enum ExploreStatus<M> {
+    /// The enumeration ran to its natural end (which may still be
+    /// truncated by `max_runs` — see [`ExploreResult::complete`]).
+    Done(ExploreResult<M>),
+    /// The budget tripped mid-walk. `partial` holds every run fully
+    /// generated before the trip (always `complete == false`); the
+    /// verdict soundness caveat of [`ExploreResult::complete`] applies.
+    Aborted {
+        /// Why the budget tripped.
+        reason: AbortReason,
+        /// Runs generated before the trip — `None` when the budget
+        /// tripped before the first full run (a [`System`] must be
+        /// nonempty for knowledge to be well defined). When present,
+        /// always `complete == false`.
+        partial: Option<ExploreResult<M>>,
+    },
+}
+
 #[derive(Clone)]
 pub(crate) struct ExploreState<M, P> {
     builder: RunBuilder<M>,
@@ -223,27 +244,79 @@ where
     P: Protocol<M> + Clone + Send,
     F: Fn(ProcessId) -> P,
 {
-    let threads = ktudc_par::thread_count();
-    if threads <= 1 {
-        let mut state = initial_state(config, &make);
-        let mut runs: Vec<Run<M>> = Vec::new();
-        let mut complete = true;
-        dfs(config, &mut state, 1, 0, &mut runs, &mut complete);
-        return ExploreResult {
+    let (runs, complete) = explore_runs(config, &make, None);
+    ExploreResult {
+        system: System::new(runs),
+        complete,
+    }
+}
+
+/// [`explore`] under a [`Budget`]: the walk polls the budget at every DFS
+/// node and unwinds cooperatively when it trips, returning the runs
+/// generated so far as a partial (incomplete) system.
+///
+/// The budget is shared across all fan-out workers, so the first worker
+/// to exhaust it makes every sibling's next poll fail fast. Run order is
+/// identical to [`explore`] up to the truncation point.
+///
+/// # Panics
+///
+/// Panics if `config.n` is zero or exceeds the supported maximum.
+pub fn explore_budgeted<M, P, F>(
+    config: &ExploreConfig,
+    make: F,
+    budget: &Budget,
+) -> ExploreStatus<M>
+where
+    M: Clone + Eq + Hash + Send,
+    P: Protocol<M> + Clone + Send,
+    F: Fn(ProcessId) -> P,
+{
+    let (runs, complete) = explore_runs(config, &make, Some(budget));
+    match budget.tripped() {
+        Some(reason) => ExploreStatus::Aborted {
+            reason,
+            partial: (!runs.is_empty()).then(|| ExploreResult {
+                system: System::new(runs),
+                complete: false,
+            }),
+        },
+        None => ExploreStatus::Done(ExploreResult {
             system: System::new(runs),
             complete,
-        };
+        }),
+    }
+}
+
+fn explore_runs<M, P, F>(
+    config: &ExploreConfig,
+    make: &F,
+    budget: Option<&Budget>,
+) -> (Vec<Run<M>>, bool)
+where
+    M: Clone + Eq + Hash + Send,
+    P: Protocol<M> + Clone + Send,
+    F: Fn(ProcessId) -> P,
+{
+    let threads = ktudc_par::thread_count();
+    if threads <= 1 {
+        let mut state = initial_state(config, make);
+        let mut runs: Vec<Run<M>> = Vec::new();
+        let mut complete = true;
+        dfs(config, &mut state, 1, 0, &mut runs, &mut complete, budget);
+        return (runs, complete);
     }
 
-    let frontier = expand_frontier(config, &make, threads * 4);
+    let frontier = expand_frontier(config, make, threads * 4);
     if frontier.exhausted(config) {
-        return frontier.leaves_result(config);
+        return frontier.leaves_runs(config);
     }
 
     let Frontier { level, t, p_idx } = frontier;
-    let results: Vec<(Vec<Run<M>>, bool)> =
-        ktudc_par::par_map(level, |mut st| subtree_runs(config, &mut st, t, p_idx));
-    assemble_subtrees(results, config.max_runs)
+    let results: Vec<(Vec<Run<M>>, bool)> = ktudc_par::par_map(level, |mut st| {
+        subtree_runs(config, &mut st, t, p_idx, budget)
+    });
+    assemble_subtree_runs(results, config.max_runs)
 }
 
 /// A breadth-first expansion of the first scheduling slots: independent
@@ -274,6 +347,18 @@ impl<M, P> Frontier<M, P> {
     where
         M: Clone + Eq + Hash,
     {
+        let (runs, complete) = self.leaves_runs(config);
+        ExploreResult {
+            system: System::new(runs),
+            complete,
+        }
+    }
+
+    /// Raw-runs form of [`leaves_result`](Self::leaves_result).
+    pub(crate) fn leaves_runs(&self, config: &ExploreConfig) -> (Vec<Run<M>>, bool)
+    where
+        M: Clone + Eq + Hash,
+    {
         let mut runs: Vec<Run<M>> = self
             .level
             .iter()
@@ -281,10 +366,7 @@ impl<M, P> Frontier<M, P> {
             .collect();
         let complete = runs.len() < config.max_runs;
         runs.truncate(config.max_runs);
-        ExploreResult {
-            system: System::new(runs),
-            complete,
-        }
+        (runs, complete)
     }
 }
 
@@ -334,6 +416,7 @@ pub(crate) fn subtree_runs<M, P>(
     state: &mut ExploreState<M, P>,
     t: Time,
     p_idx: usize,
+    budget: Option<&Budget>,
 ) -> (Vec<Run<M>>, bool)
 where
     M: Clone + Eq + Hash,
@@ -341,7 +424,7 @@ where
 {
     let mut runs = Vec::new();
     let mut complete = true;
-    dfs(config, state, t, p_idx, &mut runs, &mut complete);
+    dfs(config, state, t, p_idx, &mut runs, &mut complete, budget);
     (runs, complete)
 }
 
@@ -354,6 +437,19 @@ pub(crate) fn assemble_subtrees<M: Eq + Hash>(
     results: Vec<(Vec<Run<M>>, bool)>,
     max_runs: usize,
 ) -> ExploreResult<M> {
+    let (runs, complete) = assemble_subtree_runs(results, max_runs);
+    ExploreResult {
+        system: System::new(runs),
+        complete,
+    }
+}
+
+/// Raw-runs form of [`assemble_subtrees`], for callers that must tolerate
+/// an empty concatenation (a budget abort before the first leaf).
+pub(crate) fn assemble_subtree_runs<M: Eq + Hash>(
+    results: Vec<(Vec<Run<M>>, bool)>,
+    max_runs: usize,
+) -> (Vec<Run<M>>, bool) {
     let mut runs: Vec<Run<M>> = Vec::new();
     let mut total = 0usize;
     let mut all_subtrees_complete = true;
@@ -365,10 +461,7 @@ pub(crate) fn assemble_subtrees<M: Eq + Hash>(
             runs.extend(rs.into_iter().take(room));
         }
     }
-    ExploreResult {
-        system: System::new(runs),
-        complete: all_subtrees_complete && total < max_runs,
-    }
+    (runs, all_subtrees_complete && total < max_runs)
 }
 
 /// The original clone-per-branch enumerator, kept as the baseline the
@@ -648,7 +741,11 @@ where
 
 /// Copy-light depth-first walk: one shared state, rewound after every
 /// branch. Check placement mirrors [`dfs_reference`] exactly so the
-/// truncation flag semantics stay identical.
+/// truncation flag semantics stay identical. A tripped budget behaves
+/// like the run cap (marks the walk incomplete and unwinds), except the
+/// trip is shared: once any worker trips it, every subtree's next poll
+/// fails fast too.
+#[allow(clippy::too_many_arguments)]
 fn dfs<M, P>(
     config: &ExploreConfig,
     state: &mut ExploreState<M, P>,
@@ -656,10 +753,17 @@ fn dfs<M, P>(
     p_idx: usize,
     runs: &mut Vec<Run<M>>,
     complete: &mut bool,
+    budget: Option<&Budget>,
 ) where
     M: Clone + Eq + Hash,
     P: Protocol<M> + Clone,
 {
+    if let Some(b) = budget {
+        if b.poll().is_err() {
+            *complete = false;
+            return;
+        }
+    }
     if runs.len() >= config.max_runs {
         *complete = false;
         return;
@@ -669,13 +773,13 @@ fn dfs<M, P>(
         return;
     }
     if p_idx == config.n {
-        dfs(config, state, t + 1, 0, runs, complete);
+        dfs(config, state, t + 1, 0, runs, complete, budget);
         return;
     }
     let p = ProcessId::new(p_idx);
     for choice in choices_for(config, state, p, t) {
         let undo = apply(config, state, p, t, choice);
-        dfs(config, state, t, p_idx + 1, runs, complete);
+        dfs(config, state, t, p_idx + 1, runs, complete, budget);
         revert(state, p, undo);
         if runs.len() >= config.max_runs {
             *complete = false;
@@ -921,6 +1025,67 @@ mod tests {
         let slow = explore_reference(&cfg, mk);
         assert_eq!(fast.system.runs(), slow.system.runs());
         assert_eq!(fast.complete, slow.complete);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_exploration() {
+        let cfg = ExploreConfig::new(2, 3).max_failures(1);
+        let mk = |_| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        };
+        let plain = explore(&cfg, mk);
+        let budget = Budget::unlimited();
+        match explore_budgeted(&cfg, mk, &budget) {
+            ExploreStatus::Done(result) => {
+                assert_eq!(result.system.runs(), plain.system.runs());
+                assert_eq!(result.complete, plain.complete);
+            }
+            ExploreStatus::Aborted { reason, .. } => panic!("unexpected abort: {reason}"),
+        }
+        assert!(budget.steps() > 0, "the walk must have polled");
+    }
+
+    #[test]
+    fn step_capped_exploration_aborts_with_partial_runs() {
+        let cfg = ExploreConfig::new(3, 3);
+        let full = explore::<u8, _, _>(&cfg, |_| Idle);
+        // Probe how many polls the full walk takes, then allow only half:
+        // the abort is then guaranteed, whatever the machine's fan-out.
+        let probe = Budget::unlimited();
+        assert!(matches!(
+            explore_budgeted::<u8, _, _>(&cfg, |_| Idle, &probe),
+            ExploreStatus::Done(_)
+        ));
+        let budget = Budget::unlimited().with_max_steps(probe.steps() / 2);
+        match explore_budgeted::<u8, _, _>(&cfg, |_| Idle, &budget) {
+            ExploreStatus::Aborted { reason, partial } => {
+                assert_eq!(reason, AbortReason::StepLimit);
+                let partial = partial.expect("half the walk generates at least one run");
+                assert!(!partial.complete);
+                assert!(partial.system.len() < full.system.len());
+                // Partial runs are a prefix-consistent subset: every run is
+                // fully formed (no torn histories).
+                for run in partial.system.runs() {
+                    run.check_conditions(cfg.max_failures).unwrap();
+                }
+            }
+            ExploreStatus::Done(_) => panic!("a half-walk step cap must trip"),
+        }
+    }
+
+    #[test]
+    fn cancelled_exploration_aborts_promptly() {
+        let cfg = ExploreConfig::new(2, 3);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        match explore_budgeted::<u8, _, _>(&cfg, |_| Idle, &budget) {
+            ExploreStatus::Aborted { reason, partial } => {
+                assert_eq!(reason, AbortReason::Cancelled);
+                assert!(partial.is_none(), "cancelled before any leaf");
+            }
+            ExploreStatus::Done(_) => panic!("pre-cancelled budget must abort"),
+        }
     }
 
     #[test]

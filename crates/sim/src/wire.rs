@@ -17,8 +17,11 @@
 //! can certify a remote exploration against a local one without moving the
 //! runs.
 
-use crate::explorer::{explore, ExploreConfig, ExploreResult, ExplorerFd};
+use crate::explorer::{
+    explore, explore_budgeted, ExploreConfig, ExploreResult, ExploreStatus, ExplorerFd,
+};
 use crate::protocol::{ProtoAction, Protocol};
+use ktudc_model::budget::{AbortReason, Budget};
 use ktudc_model::hashing::StableHasher;
 use ktudc_model::{ActionId, Event, ProcSet, ProcessId, SuspectReport, System, Time};
 use serde::{Deserialize, Serialize};
@@ -287,7 +290,65 @@ pub fn explore_spec(spec: &ExploreSpec) -> Result<ExploreResult<WireMsg>, String
 /// Returns the validation error of [`ExploreSpec::to_config`].
 pub fn run_explore_spec(spec: &ExploreSpec) -> Result<ExploreOutcome, String> {
     let result = explore_spec(spec)?;
-    Ok(ExploreOutcome {
+    Ok(summarize(&result))
+}
+
+/// [`explore_spec`] under a [`Budget`]: the enumeration polls the budget
+/// and returns [`ExploreStatus::Aborted`] with the partial system when it
+/// trips.
+///
+/// # Errors
+///
+/// Returns the validation error of [`ExploreSpec::to_config`].
+pub fn explore_spec_budgeted(
+    spec: &ExploreSpec,
+    budget: &Budget,
+) -> Result<ExploreStatus<WireMsg>, String> {
+    let config = spec.to_config()?;
+    let proto = spec.protocol;
+    Ok(explore_budgeted(
+        &config,
+        move |p| proto.instantiate(p),
+        budget,
+    ))
+}
+
+/// A wire exploration summary that may have been budget-aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExploreStatusOutcome {
+    /// The enumeration ran to its natural end.
+    Done(ExploreOutcome),
+    /// The budget tripped; `partial` summarizes the runs generated before
+    /// the trip (`complete` is always `false`; `None` when the trip
+    /// preceded the first full run).
+    Aborted {
+        /// Why the budget tripped.
+        reason: AbortReason,
+        /// Summary of the partial system.
+        partial: Option<ExploreOutcome>,
+    },
+}
+
+/// Runs a budgeted exploration and summarizes it for the wire.
+///
+/// # Errors
+///
+/// Returns the validation error of [`ExploreSpec::to_config`].
+pub fn run_explore_spec_budgeted(
+    spec: &ExploreSpec,
+    budget: &Budget,
+) -> Result<ExploreStatusOutcome, String> {
+    Ok(match explore_spec_budgeted(spec, budget)? {
+        ExploreStatus::Done(result) => ExploreStatusOutcome::Done(summarize(&result)),
+        ExploreStatus::Aborted { reason, partial } => ExploreStatusOutcome::Aborted {
+            reason,
+            partial: partial.as_ref().map(summarize),
+        },
+    })
+}
+
+fn summarize(result: &ExploreResult<WireMsg>) -> ExploreOutcome {
+    ExploreOutcome {
         runs: result.system.len(),
         complete: result.complete,
         events: result
@@ -297,7 +358,7 @@ pub fn run_explore_spec(spec: &ExploreSpec) -> Result<ExploreOutcome, String> {
             .map(|r| r.event_count() as u64)
             .sum(),
         digest: system_digest(&result.system),
-    })
+    }
 }
 
 /// Stable 64-bit fingerprint of an entire run set: run count, then every

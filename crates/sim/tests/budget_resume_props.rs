@@ -1,0 +1,121 @@
+//! Property: an exploration whose budget trips mid-walk, checkpointed to
+//! a journal, resumes under a fresh budget to a result *bit-identical*
+//! to the uninterrupted run — for arbitrary small specs and arbitrary
+//! budget trip points.
+//!
+//! This is the soundness contract of the abort rule in
+//! [`ktudc_sim::explore_spec_checkpointed_budgeted`]: a subtree is
+//! journaled only if the budget had not tripped by the time its batch
+//! finished, so the journal never contains budget-truncated state that
+//! would poison a resume. The step cap for each case is derived from a
+//! probe of the same spec (never hard-coded), so the trip point scales
+//! with the machine instead of flaking on slow or wide hosts.
+
+use ktudc_model::Budget;
+use ktudc_sim::{
+    explore_spec_checkpointed, explore_spec_checkpointed_budgeted, run_explore_spec, system_digest,
+    CheckpointOutcome, ExploreSpec, WireProtocol,
+};
+use ktudc_store::SyncPolicy;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinct journal path per case (proptest runs many cases in one
+/// process, and shrinking replays them; a shared path would merge
+/// journals written for different specs and fail spuriously).
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ktudc-budget-resume-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&p);
+        TempPath(p)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Small-but-varied spec space: exploration is exponential in `n` and
+/// `horizon`, so the property is checked where it is cheap and the
+/// journal still splits into several subtrees.
+fn spec_strategy() -> impl Strategy<Value = ExploreSpec> {
+    (2u64..=3, 0usize..=1, 0u8..=1, 0u8..=1).prop_map(|(horizon, max_failures, stutter, proto)| {
+        let mut spec = ExploreSpec::new(2, horizon);
+        spec.max_failures = max_failures;
+        spec.allow_stutter = stutter == 1;
+        spec.protocol = match proto {
+            0 => WireProtocol::Idle,
+            _ => WireProtocol::OneShot {
+                from: 0,
+                to: 1,
+                msg: 7,
+            },
+        };
+        spec
+    })
+}
+
+proptest! {
+    #[test]
+    fn aborted_then_resumed_equals_uninterrupted(
+        spec in spec_strategy(),
+        trip_percent in 1u64..100,
+    ) {
+        let baseline = run_explore_spec(&spec).unwrap();
+
+        // Probe the walk's step count on a scratch journal so the cap
+        // below is a *fraction of this machine's actual walk*, not a
+        // number tuned to one host.
+        let probe = Budget::unlimited();
+        {
+            let scratch = TempPath::new("probe");
+            explore_spec_checkpointed_budgeted(&spec, &scratch.0, SyncPolicy::Never, Some(&probe))
+                .unwrap();
+        }
+        let cap = (probe.steps() * trip_percent / 100).max(1);
+
+        let tmp = TempPath::new("case");
+        let budget = Budget::unlimited().with_max_steps(cap);
+        let (outcome, _) =
+            explore_spec_checkpointed_budgeted(&spec, &tmp.0, SyncPolicy::Never, Some(&budget))
+                .unwrap();
+
+        match outcome {
+            // Budget polling is batched, so a generous cap may finish the
+            // walk; completion must then be indistinguishable from the
+            // unbudgeted path.
+            CheckpointOutcome::Done(result) => {
+                prop_assert_eq!(system_digest(&result.system), baseline.digest);
+                prop_assert_eq!(result.complete, baseline.complete);
+            }
+            CheckpointOutcome::Aborted { partial, subtrees_done, .. } => {
+                // The partial result never claims completeness and never
+                // exceeds the true run count.
+                if let Some(partial) = &partial {
+                    prop_assert!(!partial.complete);
+                    prop_assert!(partial.system.len() <= baseline.runs);
+                }
+                // Resume with a fresh (unlimited) budget: the journal
+                // holds only clean subtrees, so the result must be
+                // bit-identical to the uninterrupted exploration.
+                let (resumed, stats) =
+                    explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+                prop_assert!(stats.resumed_subtrees >= subtrees_done);
+                prop_assert_eq!(system_digest(&resumed.system), baseline.digest);
+                prop_assert_eq!(resumed.complete, baseline.complete);
+                prop_assert_eq!(resumed.system.len(), baseline.runs);
+            }
+        }
+    }
+}

@@ -125,6 +125,7 @@ fn soak_under_server_faults_is_exactly_once() {
                         base_backoff: Duration::from_millis(5),
                         max_backoff: Duration::from_millis(200),
                         jitter_seed: 1000 + thread as u64,
+                        ..RetryPolicy::default()
                     },
                 );
                 let mut rounds = Vec::new();
@@ -205,6 +206,7 @@ fn request_deadline_expires_and_retry_budget_is_bounded() {
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(4),
             jitter_seed: 7,
+            ..RetryPolicy::default()
         },
     );
     match client.request(RequestKind::Cell(cell(0))) {
