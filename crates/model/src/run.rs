@@ -677,6 +677,15 @@ impl<M: Eq + Hash + Clone> RunBuilder<M> {
         self.logs[p.index()].times.last().copied().unwrap_or(0)
     }
 
+    /// Iterates over `p`'s events so far together with their ticks — the
+    /// builder analogue of [`Run::timed_history`], for callers (like the
+    /// explorer's symmetry canonicalizer) that need the timed prefix of a
+    /// run still under construction without snapshotting it.
+    pub fn timed_history(&self, p: ProcessId) -> impl Iterator<Item = (Time, &Event<M>)> {
+        let log = &self.logs[p.index()];
+        log.times.iter().copied().zip(log.events.iter())
+    }
+
     /// Removes and returns `p`'s most recent event, reversing every side
     /// effect of the [`RunBuilder::append`] that added it (crash flag, init
     /// registry, channel send/receive accounting). This is the backbone of

@@ -16,7 +16,7 @@
 
 pub mod pool;
 
-pub use pool::{Pool, SubmitError};
+pub use pool::{Pool, PoolStats, SubmitError};
 
 /// Worker count: `KTUDC_THREADS` env override if set, else the machine's
 /// available parallelism. Always at least 1.
@@ -70,6 +70,112 @@ where
             .collect()
     });
     parts.into_iter().flatten().collect()
+}
+
+/// What a [`par_map_steal`] call did: how many workers ran and how many
+/// items were taken from a sibling's share rather than the taker's own.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Worker threads that participated.
+    pub workers: usize,
+    /// Items a worker claimed from another worker's share. Zero when the
+    /// work divided evenly; rising counts mean uneven item costs were
+    /// actually rebalanced instead of serializing on the slowest chunk.
+    pub steals: u64,
+}
+
+/// Like [`par_map`], but with work stealing: items are striped across
+/// per-worker deques and an idle worker steals from busy siblings instead
+/// of going home early. Results still come back in **input order** and
+/// the output is identical to `par_map`'s for any thread count — only the
+/// schedule differs.
+///
+/// Use this instead of [`par_map`] when item costs are wildly uneven
+/// (e.g. explorer subtrees, where one subtree can hold most of the run
+/// tree): contiguous chunking makes wall-clock time the *sum* of the
+/// unluckiest worker's items, stealing makes it track the single largest
+/// item. The deques sit behind one mutex — the items this repo feeds here
+/// are orders of magnitude coarser than a lock round-trip.
+pub fn par_map_steal<T, U, F>(items: Vec<T>, f: F) -> (Vec<U>, StealStats)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        let out: Vec<U> = items.into_iter().map(&f).collect();
+        return (
+            out,
+            StealStats {
+                workers: 1,
+                steals: 0,
+            },
+        );
+    }
+    // Stripe indexed items across per-worker deques: worker w starts with
+    // items w, w+workers, w+2·workers, … so early (often larger) items
+    // spread across workers instead of all landing on worker 0.
+    let mut queues: Vec<VecDeque<(usize, T)>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].push_back((i, item));
+    }
+    let queues = Mutex::new(queues);
+    let steals = AtomicU64::new(0);
+    let f = &f;
+    let queues = &queues;
+    let steals = &steals;
+    let mut parts: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                s.spawn(move || {
+                    let mut out: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        // Claim under the lock, compute outside it.
+                        let claimed = {
+                            let mut qs = queues.lock().expect("steal-map lock poisoned");
+                            if let Some(item) = qs[me].pop_front() {
+                                Some(item)
+                            } else {
+                                let victim = (1..workers)
+                                    .map(|off| (me + off) % workers)
+                                    .find(|&v| !qs[v].is_empty());
+                                victim.map(|v| {
+                                    // Steal the victim's *last* item: its
+                                    // owner works front-to-back, so the
+                                    // back is what it would reach latest.
+                                    let item = qs[v].pop_back().expect("victim checked nonempty");
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    item
+                                })
+                            }
+                        };
+                        match claimed {
+                            Some((i, item)) => out.push((i, f(item))),
+                            None => return out,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ktudc-par worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, U)> = parts.drain(..).flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    (
+        indexed.into_iter().map(|(_, u)| u).collect(),
+        StealStats {
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
 }
 
 /// Maps `f` over `items` by reference, in input order. `f` also receives
@@ -174,6 +280,42 @@ mod tests {
         assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
         assert_eq!(par_map(Vec::<u64>::new(), |x| x), Vec::<u64>::new());
         assert_eq!(par_map(vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_steal_matches_par_map_output() {
+        let items: Vec<u64> = (0..1017).collect();
+        let (out, stats) = par_map_steal(items.clone(), |x| x * 7 + 1);
+        assert_eq!(out, items.iter().map(|x| x * 7 + 1).collect::<Vec<_>>());
+        assert!(stats.workers >= 1);
+        let (empty, _) = par_map_steal(Vec::<u64>::new(), |x| x);
+        assert_eq!(empty, Vec::<u64>::new());
+        let (one, stats) = par_map_steal(vec![9u64], |x| x + 1);
+        assert_eq!(one, vec![10]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[cfg(feature = "threads")]
+    #[test]
+    fn par_map_steal_rebalances_uneven_items() {
+        if thread_count() < 2 {
+            return; // single-core host: nothing to steal
+        }
+        // One item dwarfs the rest; with striping its owner is pinned on
+        // it, so every other item on that owner's deque must be stolen.
+        let items: Vec<u64> = (0..256).collect();
+        let (out, stats) = par_map_steal(items, |x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        });
+        assert_eq!(out.len(), 256);
+        assert!(
+            stats.steals > 0,
+            "siblings must steal the pinned worker's backlog"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A bounded-queue worker pool for long-lived services.
+//! A bounded worker pool with per-worker deques and work stealing.
 //!
 //! The `par_map` family in this crate is built for one-shot fork/join over
 //! a known work list; a daemon needs the opposite shape — a fixed set of
@@ -12,6 +12,23 @@
 //! * **Draining shutdown** — [`Pool::shutdown`] closes the queue to new
 //!   jobs, lets the workers finish everything already accepted (queued and
 //!   in flight), and joins them before returning.
+//!
+//! # Work stealing
+//!
+//! Jobs land round-robin on **per-worker deques** instead of one shared
+//! FIFO. A worker services its own deque LIFO (newest first — the job
+//! whose inputs are still cache-warm) and, when its deque runs dry, steals
+//! from a sibling's deque FIFO (oldest first — the job that has waited
+//! longest and is least likely to be touched by its owner soon). This is
+//! the classic deque discipline (Blumofe–Leiserson); it keeps deep, uneven
+//! job streams from serializing behind a single queue while preserving the
+//! pool's external semantics exactly: every accepted job runs once, and
+//! capacity bounds the *total* queued jobs across all deques. Steals are
+//! counted and surfaced via [`Pool::stats`] for observability.
+//!
+//! All deques sit behind one mutex — pool jobs are coarse (an explorer
+//! subtree, a serve request), so contention on the lock is dwarfed by job
+//! runtime; what stealing buys is *placement*, not lock-freedom.
 //!
 //! Unlike the `par_map` helpers, the pool always spawns real threads — it
 //! exists to serve concurrent callers, so it is independent of the
@@ -44,11 +61,42 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A point-in-time snapshot of the pool's load, for stats/health
+/// reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs queued across all per-worker deques, not yet started.
+    pub queued: usize,
+    /// Jobs popped by workers but not yet finished.
+    pub in_flight: usize,
+    /// Total queued-job capacity.
+    pub capacity: usize,
+    /// Jobs a worker took from a sibling's deque since the pool started.
+    /// A rising count under load means the stealing path is actually
+    /// balancing uneven work, not just sitting there.
+    pub steals: u64,
+    /// The deepest single per-worker deque right now — a skew indicator
+    /// (`deepest_queue` far above `queued / workers` means one worker is
+    /// a hotspot and siblings will be stealing from it).
+    pub deepest_queue: usize,
+}
+
 struct PoolState {
-    jobs: VecDeque<Job>,
+    /// One deque per worker. The owner pops its back (LIFO); thieves pop a
+    /// victim's front (FIFO). Submissions round-robin across deques.
+    queues: Vec<VecDeque<Job>>,
+    /// Total jobs across all deques (kept so capacity checks and
+    /// `queue_depth` do not scan).
+    queued: usize,
     /// Jobs popped but not yet finished, tracked so shutdown can certify a
     /// complete drain.
     in_flight: usize,
+    /// Lifetime count of cross-deque steals.
+    steals: u64,
+    /// Round-robin cursor for submissions.
+    next: usize,
     closed: bool,
 }
 
@@ -58,7 +106,7 @@ struct PoolShared {
     signal: Condvar,
 }
 
-/// A fixed-size worker pool over a bounded FIFO job queue.
+/// A fixed-size worker pool over bounded per-worker deques with stealing.
 pub struct Pool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
@@ -66,22 +114,26 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Spawns `workers` threads (at least 1) sharing a queue that holds at
-    /// most `capacity` pending jobs (at least 1).
+    /// Spawns `workers` threads (at least 1), each with its own deque; the
+    /// deques together hold at most `capacity` pending jobs (at least 1).
     #[must_use]
     pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
-                jobs: VecDeque::new(),
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                queued: 0,
                 in_flight: 0,
+                steals: 0,
+                next: 0,
                 closed: false,
             }),
             signal: Condvar::new(),
         });
-        let workers = (0..workers.max(1))
-            .map(|_| {
+        let workers = (0..workers)
+            .map(|me| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, me))
             })
             .collect();
         Pool {
@@ -91,8 +143,8 @@ impl Pool {
         }
     }
 
-    /// Enqueues a job, failing fast when the queue is at capacity or the
-    /// pool is closed.
+    /// Enqueues a job, failing fast when the queues are at total capacity
+    /// or the pool is closed.
     ///
     /// # Errors
     ///
@@ -106,24 +158,22 @@ impl Pool {
         if state.closed {
             return Err(SubmitError::Closed);
         }
-        if state.jobs.len() >= self.capacity {
+        if state.queued >= self.capacity {
             return Err(SubmitError::Full);
         }
-        state.jobs.push_back(Box::new(job));
+        let slot = state.next % state.queues.len();
+        state.next = state.next.wrapping_add(1);
+        state.queues[slot].push_back(Box::new(job));
+        state.queued += 1;
         drop(state);
         self.shared.signal.notify_one();
         Ok(())
     }
 
-    /// Number of jobs queued but not yet started.
+    /// Number of jobs queued (across all deques) but not yet started.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("pool lock poisoned")
-            .jobs
-            .len()
+        self.shared.state.lock().expect("pool lock poisoned").queued
     }
 
     /// Number of jobs popped by workers but not yet finished.
@@ -136,10 +186,31 @@ impl Pool {
             .in_flight
     }
 
-    /// The queue capacity.
+    /// The total queue capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Lifetime count of cross-deque steals.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.shared.state.lock().expect("pool lock poisoned").steals
+    }
+
+    /// A consistent snapshot of the pool's load (one lock acquisition, so
+    /// the fields are mutually coherent, unlike separate accessor calls).
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let state = self.shared.state.lock().expect("pool lock poisoned");
+        PoolStats {
+            workers: state.queues.len(),
+            queued: state.queued,
+            in_flight: state.in_flight,
+            capacity: self.capacity,
+            steals: state.steals,
+            deepest_queue: state.queues.iter().map(VecDeque::len).max().unwrap_or(0),
+        }
     }
 
     /// Closes the queue, drains every accepted job (queued and in flight),
@@ -171,13 +242,31 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, me: usize) {
     loop {
         let job = {
             let mut state = shared.state.lock().expect("pool lock poisoned");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                // Own deque first, newest job first (LIFO).
+                if let Some(job) = state.queues[me].pop_back() {
+                    state.queued -= 1;
                     state.in_flight += 1;
+                    break job;
+                }
+                // Dry: scan siblings from the next index around, stealing
+                // their oldest job (FIFO) so owner and thief stay at
+                // opposite ends of the deque.
+                let n = state.queues.len();
+                let victim = (1..n)
+                    .map(|off| (me + off) % n)
+                    .find(|&v| !state.queues[v].is_empty());
+                if let Some(v) = victim {
+                    let job = state.queues[v]
+                        .pop_front()
+                        .expect("victim checked nonempty");
+                    state.queued -= 1;
+                    state.in_flight += 1;
+                    state.steals += 1;
                     break job;
                 }
                 if state.closed {
@@ -273,6 +362,69 @@ mod tests {
         // The pool value is consumed; verify through the shared state that
         // a late submission would be refused.
         assert!(shared.state.lock().unwrap().closed);
+    }
+
+    #[test]
+    fn idle_workers_steal_a_busy_siblings_backlog() {
+        // 4 workers, but every deque except one is starved: submissions
+        // round-robin, so park 3 workers on blocking jobs first, then pile
+        // quick jobs up. The only way the backlog drains in time is by
+        // stealing across deques.
+        let pool = Pool::new(4, 64);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let parked = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let rx = Arc::clone(&release_rx);
+            let parked = Arc::clone(&parked);
+            pool.try_execute(move || {
+                parked.fetch_add(1, Ordering::SeqCst);
+                rx.lock().unwrap().recv().unwrap();
+            })
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while parked.load(Ordering::SeqCst) < 3 {
+            assert!(std::time::Instant::now() < deadline, "workers never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let d = Arc::clone(&done);
+            pool.try_execute(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // One free worker, 40 jobs spread over 4 deques: it must steal
+        // roughly 3/4 of them from siblings.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < 40 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "backlog never drained"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pool.stats();
+        assert!(stats.steals > 0, "draining siblings' deques must steal");
+        assert_eq!(stats.workers, 4);
+        for _ in 0..3 {
+            release_tx.send(()).unwrap();
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent() {
+        let pool = Pool::new(2, 8);
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.capacity, 8);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.deepest_queue, 0);
+        pool.shutdown();
     }
 
     #[test]

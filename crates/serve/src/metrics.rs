@@ -219,16 +219,22 @@ impl Metrics {
     }
 
     /// Snapshots everything into a wire-serializable report. Queue and
-    /// cache occupancy are passed in by the server, which owns them.
+    /// cache occupancy plus the pool's steal counters are passed in by
+    /// the server, which owns them.
     #[must_use]
     pub fn report(
         &self,
-        workers: usize,
-        queue_depth: usize,
-        queue_capacity: usize,
+        pool: PoolCounters,
         cache_entries: usize,
         cache_capacity: usize,
     ) -> StatsReport {
+        let PoolCounters {
+            workers,
+            queue_depth,
+            queue_capacity,
+            steals,
+            deepest_queue,
+        } = pool;
         let endpoints: Vec<EndpointStats> = Endpoint::ALL
             .iter()
             .map(|&ep| {
@@ -272,6 +278,8 @@ impl Metrics {
             compute_p99_micros: compute_p99,
             cache_entries,
             cache_capacity,
+            steals,
+            deepest_queue,
             cache_hit_rate: if cacheable_requests == 0 {
                 0.0
             } else {
@@ -311,6 +319,23 @@ pub struct EndpointStats {
     pub p99_micros: u64,
 }
 
+/// Scheduler-side occupancy the server reads off its worker pool and
+/// feeds into [`Metrics::report`]; the metrics registry itself never
+/// touches the pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs queued (accepted, not yet started) at snapshot time.
+    pub queue_depth: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+    /// Jobs stolen across worker deques since the pool started.
+    pub steals: u64,
+    /// Depth of the deepest per-worker deque at snapshot time.
+    pub deepest_queue: usize,
+}
+
 /// Wire form of a full metrics snapshot (the `Stats` response body).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsReport {
@@ -339,6 +364,13 @@ pub struct StatsReport {
     pub cache_entries: usize,
     /// The cache's capacity.
     pub cache_capacity: usize,
+    /// Jobs stolen across worker deques since the pool started. A
+    /// nonzero count means the work-stealing scheduler rebalanced
+    /// uneven job sizes; on a single worker it stays 0.
+    pub steals: u64,
+    /// Depth of the deepest per-worker deque at snapshot time — the
+    /// imbalance the next steal would relieve.
+    pub deepest_queue: usize,
     /// Cache hits / requests over the cacheable endpoints (cell, check,
     /// explore); 0 when none have been served.
     pub cache_hit_rate: f64,
@@ -359,9 +391,21 @@ mod tests {
         m.record_error(Endpoint::Check);
         m.record_overload(Endpoint::Cell);
 
-        let report = m.report(4, 2, 64, 1, 256);
+        let report = m.report(
+            PoolCounters {
+                workers: 4,
+                queue_depth: 2,
+                queue_capacity: 64,
+                steals: 7,
+                deepest_queue: 3,
+            },
+            1,
+            256,
+        );
         assert_eq!(report.workers, 4);
         assert_eq!(report.queue_depth, 2);
+        assert_eq!(report.steals, 7);
+        assert_eq!(report.deepest_queue, 3);
         assert_eq!(report.overloaded, 1);
         let cell = &report.endpoints[0];
         assert_eq!(cell.endpoint, "cell");
@@ -385,7 +429,7 @@ mod tests {
             m.record_queue_wait(5_000);
             m.record_compute(100);
         }
-        let report = m.report(1, 0, 1, 0, 0);
+        let report = m.report(PoolCounters::default(), 0, 0);
         assert_eq!(report.queue_wait_p50_micros, 5_000);
         assert_eq!(report.queue_wait_p99_micros, 5_000);
         assert_eq!(report.compute_p50_micros, 100);
@@ -399,7 +443,7 @@ mod tests {
         m.record_overload(Endpoint::Cell);
         m.record_shed_deadline(Endpoint::Cell);
         m.record_shed_deadline(Endpoint::Explore);
-        let report = m.report(1, 0, 1, 0, 0);
+        let report = m.report(PoolCounters::default(), 0, 0);
         assert_eq!(report.overloaded, 1);
         assert_eq!(report.deadline_exceeded, 2);
         // Both shed kinds count as errors on their endpoint.
@@ -411,7 +455,7 @@ mod tests {
     fn hit_rate_is_zero_not_nan_when_idle() {
         let m = Metrics::new();
         m.record(Endpoint::Stats, 10, false);
-        let report = m.report(1, 0, 1, 0, 0);
+        let report = m.report(PoolCounters::default(), 0, 0);
         assert_eq!(report.cache_hit_rate, 0.0);
         // The report must serialize (a NaN would be unencodable).
         assert!(serde_json::to_string(&report).is_ok());
@@ -438,7 +482,7 @@ mod tests {
         for _ in 0..RING_CAPACITY {
             m.record(Endpoint::Cell, 10, false);
         }
-        let report = m.report(1, 0, 1, 0, 0);
+        let report = m.report(PoolCounters::default(), 0, 0);
         assert_eq!(report.endpoints[0].p99_micros, 10);
     }
 }

@@ -30,7 +30,7 @@
 
 use crate::admission::{estimated_wait_micros, AimdConfig, AimdController, JobRegistry};
 use crate::cache::LruCache;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, PoolCounters};
 use crate::wire::{
     AbortedOutcome, CheckOutcome, ErrorCode, HealthReport, PartialCell, PartialOutcome, Request,
     RequestKind, RequestOptions, Response, ResponseKind, WireError, MIN_SCHEMA_VERSION,
@@ -231,6 +231,20 @@ impl Shared {
             .map_or(0, |p| p.queue_depth() + p.in_flight())
     }
 
+    /// Work-stealing counters for observability: (steals so far, deepest
+    /// per-worker deque right now). Zeros once shutdown has taken the
+    /// pool.
+    fn steal_stats(&self) -> (u64, usize) {
+        self.pool
+            .lock()
+            .expect("pool lock poisoned")
+            .as_ref()
+            .map_or((0, 0), |p| {
+                let s = p.stats();
+                (s.steals, s.deepest_queue)
+            })
+    }
+
     /// Counts one computed outcome and snapshots the cache when the
     /// cadence says so. Called off the worker that just published a
     /// result; snapshot failures are reported and tolerated (the cache
@@ -270,6 +284,7 @@ impl Shared {
     }
 
     fn health_report(&self) -> HealthReport {
+        let (steals, deepest_queue) = self.steal_stats();
         HealthReport {
             generation: self.generation,
             durable: self.durability.is_some(),
@@ -289,6 +304,8 @@ impl Shared {
             queue_depth: self.queue_depth(),
             in_flight: self.in_flight(),
             stuck_workers: self.registry.stuck_workers(),
+            steals,
+            deepest_queue,
             uptime_micros: self.metrics.uptime_micros(),
         }
     }
@@ -538,10 +555,15 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
                 let cache = shared.cache.lock().expect("cache lock poisoned");
                 (cache.len(), cache.capacity())
             };
+            let (steals, deepest_queue) = shared.steal_stats();
             let report = shared.metrics.report(
-                shared.workers,
-                shared.queue_depth(),
-                queue_capacity(shared),
+                PoolCounters {
+                    workers: shared.workers,
+                    queue_depth: shared.queue_depth(),
+                    queue_capacity: queue_capacity(shared),
+                    steals,
+                    deepest_queue,
+                },
                 cache_entries,
                 cache_capacity,
             );

@@ -385,6 +385,11 @@ pub struct HealthReport {
     /// budget heartbeat has not advanced for the configured number of
     /// watchdog ticks.
     pub stuck_workers: u64,
+    /// Jobs stolen across worker deques since the pool started (0 on a
+    /// single worker).
+    pub steals: u64,
+    /// Depth of the deepest per-worker deque at snapshot time.
+    pub deepest_queue: usize,
     /// Microseconds since the server started.
     pub uptime_micros: u64,
 }
@@ -599,6 +604,8 @@ mod tests {
                 queue_depth: 5,
                 in_flight: 2,
                 stuck_workers: 0,
+                steals: 6,
+                deepest_queue: 4,
                 uptime_micros: 1_000,
             }),
         );

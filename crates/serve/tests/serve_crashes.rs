@@ -222,3 +222,62 @@ fn ctl_resume_survives_sigkill_and_matches_uninterrupted_digest() {
         );
     }
 }
+
+/// The same SIGKILL-mid-resume contract, but with the journal written
+/// under group-commit batching ([`SyncPolicy::EveryN`]): multiple frames
+/// share each fsync, so a kill can land with a whole batch's durability
+/// in flight. Torn or unsynced tails must be truncated at recovery, and
+/// the re-explored remainder must still land on the uninterrupted
+/// digest.
+#[test]
+fn ctl_resume_survives_sigkill_with_group_commit_batching() {
+    use ktudc_store::SyncPolicy;
+
+    let tmp = TempDir::new("resume-batched");
+    let path = tmp.0.join("explore-batched.ckpt");
+    // A slightly wider spec than the Always-policy test: more subtrees,
+    // so EveryN(4) actually spans several batches.
+    let spec = ExploreSpec::new(2, 4);
+    let baseline = run_explore_spec(&spec).expect("valid spec");
+
+    let (result, _) = ktudc_sim::explore_spec_checkpointed(&spec, &path, SyncPolicy::EveryN(4))
+        .expect("checkpointed exploration");
+    assert_eq!(ktudc_sim::system_digest(&result.system), baseline.digest);
+    let torn = std::fs::metadata(&path).expect("stat journal").len() - 23;
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .expect("open journal");
+    file.set_len(torn).expect("tear journal tail");
+    drop(file);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ctl"))
+        .arg("resume")
+        .arg(&path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ctl resume");
+    std::thread::sleep(Duration::from_millis(10));
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let expected = format!("digest = {:#018x}", baseline.digest);
+    for round in 0..2 {
+        let output = Command::new(env!("CARGO_BIN_EXE_ctl"))
+            .arg("resume")
+            .arg(&path)
+            .output()
+            .expect("run ctl resume");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            output.status.success(),
+            "round {round}: ctl resume failed: {stdout}\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            stdout.contains(&expected),
+            "round {round}: digest diverged from uninterrupted run:\n{stdout}"
+        );
+    }
+}

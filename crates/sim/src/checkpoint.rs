@@ -30,6 +30,7 @@
 //! truncated off by the journal layer; the affected subtree is simply
 //! recomputed.
 
+use crate::ckpt_codec;
 use crate::explorer::{
     assemble_subtree_runs, assemble_subtrees, expand_frontier, subtree_runs, ExploreResult,
     Frontier,
@@ -173,16 +174,13 @@ pub fn explore_spec_checkpointed_budgeted(
     let mut done: HashMap<usize, (Vec<Run<WireMsg>>, bool)> = HashMap::new();
     let mut leaves: Option<(Vec<Run<WireMsg>>, bool)> = None;
     for (i, bytes) in recovered.entries.iter().enumerate() {
-        let entry: JournalEntry = std::str::from_utf8(bytes)
-            .map_err(|e| e.to_string())
-            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
-            .map_err(|e| {
-                format!(
-                    "checkpoint journal {}: entry {i} does not parse ({e}); \
+        let entry: JournalEntry = decode_entry(bytes).map_err(|e| {
+            format!(
+                "checkpoint journal {}: entry {i} does not parse ({e}); \
                      the journal was written by an incompatible version",
-                    path.display()
-                )
-            })?;
+                path.display()
+            )
+        })?;
         match (i, entry) {
             (
                 0,
@@ -266,13 +264,12 @@ pub fn explore_spec_checkpointed_budgeted(
             }
         }
         let result = frontier.leaves_result(&config);
-        append(
-            &mut journal,
-            &JournalEntry::Leaves {
-                runs: result.system.runs().to_vec(),
-                complete: result.complete,
-            },
-        )?;
+        journal
+            .append(&ckpt_codec::encode_leaves(
+                result.system.runs(),
+                result.complete,
+            ))
+            .map_err(|e| format!("checkpoint append: {e}"))?;
         stats.computed_subtrees = 1;
         return Ok((CheckpointOutcome::Done(result), stats));
     }
@@ -299,19 +296,24 @@ pub fn explore_spec_checkpointed_budgeted(
     // Compute missing subtrees in small parallel chunks, journaling after
     // each chunk so a kill between chunks loses at most one chunk of
     // work. Chunk size tracks the worker count; it affects only the
-    // checkpoint cadence, never the output (assembly is by index).
+    // checkpoint cadence, never the output (assembly is by index). The
+    // fan-out steals: subtree sizes are uneven, so contiguous chunking
+    // would park finished workers behind the unluckiest one.
     // A computed subtree: its index, its runs, and its completeness.
     type Computed = (usize, (Vec<Run<WireMsg>>, bool));
-    let chunk = ktudc_par::thread_count().max(1) * 2;
+    // At least 8 per chunk so group commit amortizes even on one core;
+    // a kill between syncs costs at most one chunk of recomputation.
+    let chunk = (ktudc_par::thread_count().max(1) * 2).max(8);
     for batch in todo.chunks(chunk) {
         if let Some(b) = budget {
             if b.check().is_err() {
                 break;
             }
         }
-        let computed: Vec<Computed> = ktudc_par::par_map(batch.to_vec(), |(index, mut state)| {
-            (index, subtree_runs(&config, &mut state, t, p_idx, budget))
-        });
+        let (computed, _): (Vec<Computed>, _) =
+            ktudc_par::par_map_steal(batch.to_vec(), |(index, mut state)| {
+                (index, subtree_runs(&config, &mut state, t, p_idx, budget))
+            });
         // If the budget tripped during this batch, at least one of its
         // subtrees was abort-truncated — and an abort-truncated subtree is
         // indistinguishable from a legitimately run-cap-truncated one
@@ -319,19 +321,24 @@ pub fn explore_spec_checkpointed_budgeted(
         // every later resume, so the whole batch stays in-memory (it still
         // feeds the partial result) and a resume recomputes it.
         let tripped = budget.is_some_and(|b| b.tripped().is_some());
-        for (index, (runs, complete)) in computed {
-            if !tripped {
-                append(
-                    &mut journal,
-                    &JournalEntry::Subtree {
-                        index,
-                        runs: runs.clone(),
-                        complete,
-                    },
-                )?;
-                stats.computed_subtrees += 1;
-            }
-            results[index] = Some((runs, complete));
+        if !tripped {
+            // Group commit: one framed write and at most one fsync for
+            // the whole chunk, instead of an fsync per subtree. Durability
+            // granularity is unchanged (frames validate individually; a
+            // torn batch recovers its prefix and the rest is recomputed).
+            let entries: Vec<Vec<u8>> = computed
+                .iter()
+                .map(|(index, (runs, complete))| {
+                    ckpt_codec::encode_subtree(*index, runs, *complete)
+                })
+                .collect();
+            journal
+                .append_batch(&entries)
+                .map_err(|e| format!("checkpoint append: {e}"))?;
+            stats.computed_subtrees += computed.len();
+        }
+        for (index, runs_complete) in computed {
+            results[index] = Some(runs_complete);
         }
         if tripped {
             break;
@@ -418,7 +425,8 @@ pub fn resume_checkpoint(
     Ok((spec, result, stats))
 }
 
-/// Serializes and appends one entry.
+/// Serializes and appends one entry (the JSON form — used for the
+/// header; run-carrying entries go through the binary codec).
 fn append(journal: &mut Journal, entry: &JournalEntry) -> Result<(), String> {
     let bytes = serde_json::to_string(entry)
         .map_err(|e| format!("checkpoint encode: {e}"))?
@@ -426,6 +434,31 @@ fn append(journal: &mut Journal, entry: &JournalEntry) -> Result<(), String> {
     journal
         .append(&bytes)
         .map_err(|e| format!("checkpoint append: {e}"))
+}
+
+/// Decodes one journal entry: binary (tagged) entries through the
+/// compact codec, everything else — the header, and whole journals
+/// written before the codec existed — as JSON.
+fn decode_entry(bytes: &[u8]) -> Result<JournalEntry, String> {
+    if ckpt_codec::is_binary(bytes) {
+        return Ok(match ckpt_codec::decode(bytes)? {
+            ckpt_codec::RunsEntry::Subtree {
+                index,
+                runs,
+                complete,
+            } => JournalEntry::Subtree {
+                index,
+                runs,
+                complete,
+            },
+            ckpt_codec::RunsEntry::Leaves { runs, complete } => {
+                JournalEntry::Leaves { runs, complete }
+            }
+        });
+    }
+    std::str::from_utf8(bytes)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
 }
 
 #[cfg(test)]

@@ -36,9 +36,10 @@
 
 use crate::protocol::{ProtoAction, Protocol};
 use ktudc_model::budget::{AbortReason, Budget};
+use ktudc_model::hashing::StableHasher;
 use ktudc_model::{Event, ProcSet, ProcessId, Run, RunBuilder, SuspectReport, System, Time};
-use std::collections::VecDeque;
-use std::hash::Hash;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
 /// Deterministic failure-detector rule for the explorer: given the polling
 /// process, the tick, and the branch-local crashed set, optionally produce a
@@ -78,6 +79,78 @@ pub struct ExploreConfig {
     /// Hard cap on generated runs; exceeded explorations are truncated and
     /// flagged in [`ExploreResult::complete`].
     pub max_runs: usize,
+    /// State-space reduction knobs. All off by default, in which case the
+    /// enumeration is bit-identical to [`explore_reference`]; see
+    /// [`Reduction`] for what turning them on preserves and what it
+    /// sacrifices.
+    pub reduction: Reduction,
+}
+
+/// State-space reduction knobs for [`explore`] (via
+/// [`explore_with_stats`]). Everything here is **off by default**.
+///
+/// * `symmetry` — classes of interchangeable processes. At every tick
+///   boundary the explorer canonicalizes the branch state under all
+///   process relabelings that permute within each class (identity
+///   elsewhere) and prunes any state isomorphic to one already explored.
+///   Every pruned run is a relabeling of a kept run (the cover property
+///   pinned by the differential proptests), so verdicts of formulas
+///   *closed under the declared relabelings* — the UDC conditions are
+///   symmetric conjunctions over all processes — are preserved. The
+///   caller vouches that class members are genuinely interchangeable:
+///   `make` gives them the same protocol (differing only in `me`), no
+///   initiation names them (initiators are auto-excluded), and the FD
+///   rule treats them uniformly. Dedup is by 64-bit canonical digest, so
+///   it inherits the usual 2⁻⁶⁴ collision caveat of hash-compaction.
+/// * `sleep_sets` — prunes *delayed re-delivery*: a `recv` that was
+///   already enabled at the previous tick and refused (the process
+///   stuttered over it) is not offered again this tick. The pruned run is
+///   a stutter-shifted variant of a kept run, so timestamp-free verdicts
+///   at the horizon are preserved for stutter-insensitive,
+///   time-oblivious protocols (pinned empirically by the verdict
+///   proptests); exact run sets are **not** — do not combine with
+///   digest-identity expectations. Inert when `allow_stutter` is off
+///   (the rule's premise — an idle refusal — cannot arise).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Reduction {
+    /// Classes of interchangeable process indices (disjoint; singletons
+    /// and out-of-range indices are ignored).
+    pub symmetry: Vec<Vec<usize>>,
+    /// Prune deliveries refused at the previous tick (see type docs).
+    pub sleep_sets: bool,
+}
+
+impl Reduction {
+    /// Whether any knob is on (i.e. [`explore`] must take the reduced
+    /// path rather than the reference-identical one).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.sleep_sets || self.symmetry.iter().any(|c| c.len() > 1)
+    }
+}
+
+/// Counters from one exploration: how much work each reduction saved and
+/// how the parallel fan-out behaved. All zero when the corresponding
+/// mechanism is off (or the run was single-threaded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Tick-boundary states pruned as symmetric duplicates of an
+    /// already-explored state (each prunes an entire subtree).
+    pub states_canonicalized: u64,
+    /// `recv` branches pruned by the sleep-set rule.
+    pub sleep_set_pruned: u64,
+    /// Subtrees a fan-out worker took from a sibling's share.
+    pub steals: u64,
+    /// Worker threads the fan-out used.
+    pub workers: usize,
+}
+
+impl ReductionStats {
+    fn absorb(&mut self, other: ReductionStats) {
+        self.states_canonicalized += other.states_canonicalized;
+        self.sleep_set_pruned += other.sleep_set_pruned;
+        self.steals += other.steals;
+    }
 }
 
 impl ExploreConfig {
@@ -96,7 +169,24 @@ impl ExploreConfig {
             initiations: Vec::new(),
             forced_initiations: true,
             max_runs: 200_000,
+            reduction: Reduction::default(),
         }
+    }
+
+    /// Declares `class` as interchangeable processes for symmetry
+    /// reduction (see [`Reduction`]). May be called once per class.
+    #[must_use]
+    pub fn symmetric(mut self, class: Vec<usize>) -> Self {
+        self.reduction.symmetry.push(class);
+        self
+    }
+
+    /// Enables sleep-set pruning of refused deliveries (see
+    /// [`Reduction`]).
+    #[must_use]
+    pub fn with_sleep_sets(mut self) -> Self {
+        self.reduction.sleep_sets = true;
+        self
     }
 
     /// Sets the failure budget.
@@ -193,6 +283,11 @@ pub(crate) struct ExploreState<M, P> {
     crashes: usize,
     /// Which entries of `config.initiations` have fired, by index.
     inits_done: Vec<bool>,
+    /// Sleep masks, one per process: bit `q` set means the process
+    /// stuttered at its previous slot while channel `q → p` held a
+    /// deliverable message (it *refused* that delivery). Maintained only
+    /// when sleep-set reduction is on; always all-zero otherwise.
+    sleep: Vec<u128>,
 }
 
 /// One process's options at a tick.
@@ -224,7 +319,288 @@ where
         channels: (0..n * n).map(|_| VecDeque::new()).collect(),
         crashes: 0,
         inits_done: vec![false; config.initiations.len()],
+        sleep: vec![0; n],
     }
+}
+
+/// Whether sleep-set pruning is live for this config: the knob is on AND
+/// stutter is allowed (without a stutter branch the "idle refusal" the
+/// rule keys on cannot arise, and pruning could strand a process with no
+/// choice at all).
+fn sleep_sets_on(config: &ExploreConfig) -> bool {
+    config.reduction.sleep_sets && config.allow_stutter
+}
+
+/// One process relabeling: `fwd[old] = new` and its inverse. Identity
+/// outside the declared symmetry classes.
+struct Perm {
+    fwd: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+/// The validated symmetry group of a config: every composition of
+/// within-class permutations (identity included, first). `None` when no
+/// usable class survives validation — then symmetry reduction is off.
+struct SymmetryPlan {
+    perms: Vec<Perm>,
+}
+
+/// All permutations of `items` (as reordered copies). Sizes here are
+/// class sizes (≤ a handful), so the factorial is tiny.
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Validates the declared classes and materializes the full permutation
+/// group. Classes are clipped to in-range indices, deduplicated, made
+/// disjoint (first declaration wins), and stripped of any process that an
+/// initiation names as initiator — relabeling such a process would move
+/// its `init` event onto a process the config forbids from initiating,
+/// producing non-runs of the context.
+fn symmetry_plan(config: &ExploreConfig) -> Option<SymmetryPlan> {
+    let n = config.n;
+    let mut claimed = vec![false; n];
+    for (_, a) in &config.initiations {
+        if a.initiator().index() < n {
+            claimed[a.initiator().index()] = true;
+        }
+    }
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for declared in &config.reduction.symmetry {
+        let mut class: Vec<usize> = declared
+            .iter()
+            .copied()
+            .filter(|&p| p < n && !claimed[p])
+            .collect();
+        class.sort_unstable();
+        class.dedup();
+        for &p in &class {
+            claimed[p] = true;
+        }
+        if class.len() > 1 {
+            classes.push(class);
+        }
+    }
+    if classes.is_empty() {
+        return None;
+    }
+    // The group is the product of per-class symmetric groups: extend each
+    // accumulated permutation by every arrangement of the next class.
+    let mut fwds: Vec<Vec<usize>> = vec![(0..n).collect()];
+    for class in &classes {
+        let images = permutations(class);
+        let mut next = Vec::with_capacity(fwds.len() * images.len());
+        for base in &fwds {
+            for image in &images {
+                let mut fwd = base.clone();
+                for (&slot, &target) in class.iter().zip(image.iter()) {
+                    fwd[slot] = target;
+                }
+                next.push(fwd);
+            }
+        }
+        fwds = next;
+    }
+    let perms = fwds
+        .into_iter()
+        .map(|fwd| {
+            let mut inv = vec![0; n];
+            for (old, &new) in fwd.iter().enumerate() {
+                inv[new] = old;
+            }
+            Perm { fwd, inv }
+        })
+        .collect();
+    Some(SymmetryPlan { perms })
+}
+
+/// Hashes one event with every embedded process identity pushed through
+/// `fwd`. Message payloads hash as-is — the caller vouches they do not
+/// encode process identities (true of every wire protocol in this repo).
+fn hash_event_relabeled<M: Hash>(h: &mut StableHasher, event: &Event<M>, fwd: &[usize]) {
+    match event {
+        Event::Send { to, msg } => {
+            h.write_u8(0);
+            h.write_usize(fwd[to.index()]);
+            msg.hash(h);
+        }
+        Event::Recv { from, msg } => {
+            h.write_u8(1);
+            h.write_usize(fwd[from.index()]);
+            msg.hash(h);
+        }
+        Event::Init { action } => {
+            h.write_u8(2);
+            h.write_usize(fwd[action.initiator().index()]);
+            h.write_u32(action.seq());
+        }
+        Event::Do { action } => {
+            h.write_u8(3);
+            h.write_usize(fwd[action.initiator().index()]);
+            h.write_u32(action.seq());
+        }
+        Event::Crash => h.write_u8(4),
+        Event::Suspect(report) => {
+            h.write_u8(5);
+            match report {
+                SuspectReport::Standard(set) => {
+                    h.write_u8(0);
+                    h.write_u128(relabel_set(*set, fwd));
+                }
+                SuspectReport::Generalized { set, min_faulty } => {
+                    h.write_u8(1);
+                    h.write_u128(relabel_set(*set, fwd));
+                    h.write_usize(*min_faulty);
+                }
+            }
+        }
+    }
+}
+
+/// A [`ProcSet`] as a bitmask with every member pushed through `fwd`.
+fn relabel_set(set: ProcSet, fwd: &[usize]) -> u128 {
+    set.iter().fold(0u128, |m, p| m | (1 << fwd[p.index()]))
+}
+
+/// A per-process sleep mask (bits are *sender* indices) pushed through
+/// `fwd`.
+fn relabel_mask(mask: u128, fwd: &[usize], n: usize) -> u128 {
+    (0..n)
+        .filter(|&q| mask >> q & 1 == 1)
+        .fold(0u128, |m, q| m | (1 << fwd[q]))
+}
+
+/// Structural digest of the branch state as seen through one relabeling:
+/// the state that would have resulted had class members been named
+/// differently from the start. Two states with equal digests under some
+/// pair of group elements are isomorphic (modulo 64-bit collisions), and
+/// — protocols being deterministic functions of `(me, observed history)`
+/// — generate relabeled-identical subtrees.
+fn relabeled_digest<M, P>(state: &ExploreState<M, P>, n: usize, t: Time, perm: &Perm) -> u64
+where
+    M: Clone + Eq + Hash,
+{
+    let mut h = StableHasher::new();
+    // The tick matters: an all-stutter tick leaves every component below
+    // unchanged, but the state one tick later has one tick less future —
+    // pruning it as "the same" would drop its runs entirely.
+    h.write_u64(t);
+    for new_p in 0..n {
+        let old_p = ProcessId::new(perm.inv[new_p]);
+        for (time, event) in state.builder.timed_history(old_p) {
+            h.write_u64(time);
+            hash_event_relabeled(&mut h, event, &perm.fwd);
+        }
+        h.write_u8(0xFE);
+    }
+    for new_from in 0..n {
+        for new_to in 0..n {
+            let chan = &state.channels[perm.inv[new_from] * n + perm.inv[new_to]];
+            h.write_usize(chan.len());
+            for msg in chan {
+                msg.hash(&mut h);
+            }
+        }
+    }
+    h.write_usize(state.crashes);
+    for &done in &state.inits_done {
+        h.write_u8(u8::from(done));
+    }
+    for new_p in 0..n {
+        h.write_u128(relabel_mask(state.sleep[perm.inv[new_p]], &perm.fwd, n));
+    }
+    h.finish()
+}
+
+/// The canonical digest: minimum of [`relabeled_digest`] over the whole
+/// group. Equal canonical digests ⇒ the states are in the same orbit
+/// (group closure turns the two witnessing relabelings into one mapping
+/// state to state), so one representative subtree covers both.
+fn canonical_digest<M, P>(state: &ExploreState<M, P>, n: usize, t: Time, plan: &SymmetryPlan) -> u64
+where
+    M: Clone + Eq + Hash,
+{
+    plan.perms
+        .iter()
+        .map(|perm| relabeled_digest(state, n, t, perm))
+        .min()
+        .expect("the group always contains the identity")
+}
+
+/// One finished run's canonical digest: the minimum, over the config's
+/// declared symmetry group, of a digest of its per-process histories with
+/// every process index relabeled. `timed` selects whether event times are
+/// hashed alongside the events.
+fn run_canonical_digest<M>(run: &Run<M>, plan: &SymmetryPlan, timed: bool) -> u64
+where
+    M: Clone + Eq + Hash,
+{
+    plan.perms
+        .iter()
+        .map(|perm| {
+            let mut h = StableHasher::new();
+            for new_p in 0..run.n() {
+                let old_p = ProcessId::new(perm.inv[new_p]);
+                for (time, event) in run.timed_history(old_p) {
+                    if timed {
+                        h.write_u64(time);
+                    }
+                    hash_event_relabeled(&mut h, event, &perm.fwd);
+                }
+                h.write_u8(0xFE);
+            }
+            h.finish()
+        })
+        .min()
+        .expect("the group always contains the identity")
+}
+
+/// The canonical run digests of a system under `config`'s declared
+/// [`Reduction`] symmetry, in run order — the differential-testing
+/// companion of the reduced explorer.
+///
+/// Two runs get equal digests iff (up to the 2⁻⁶⁴ hash-collision caveat)
+/// one is a process relabeling of the other under the declared classes.
+/// A reduced exploration *covers* its reference iff the reference's
+/// digest **set** is contained in the reduced one's (the reduced side
+/// keeps one representative per orbit, so multisets differ by design):
+///
+/// * symmetry-only reductions preserve the `timed = true` digest set;
+/// * sleep sets shift delivery times, so anything involving them is
+///   compared with `timed = false` (the per-process *event sequences*,
+///   which is what a time-oblivious protocol observes).
+///
+/// With no symmetry declared the digest is plain (identity-only), making
+/// this a run-content digest usable for exact set comparisons too.
+#[must_use]
+pub fn canonical_run_digests<M>(config: &ExploreConfig, system: &System<M>, timed: bool) -> Vec<u64>
+where
+    M: Clone + Eq + Hash,
+{
+    let identity = SymmetryPlan {
+        perms: vec![Perm {
+            fwd: (0..config.n).collect(),
+            inv: (0..config.n).collect(),
+        }],
+    };
+    let plan = symmetry_plan(config).unwrap_or(identity);
+    system
+        .runs()
+        .iter()
+        .map(|run| run_canonical_digest(run, &plan, timed))
+        .collect()
 }
 
 /// Exhaustively enumerates the system generated by the protocol in the
@@ -244,11 +620,39 @@ where
     P: Protocol<M> + Clone + Send,
     F: Fn(ProcessId) -> P,
 {
-    let (runs, complete) = explore_runs(config, &make, None);
-    ExploreResult {
-        system: System::new(runs),
-        complete,
-    }
+    explore_with_stats(config, make).0
+}
+
+/// [`explore`] returning its [`ReductionStats`] alongside the result —
+/// the entry point for benchmarks and any caller that wants to see how
+/// much the configured reductions and the work-stealing fan-out did.
+///
+/// With `config.reduction` at its default this is exactly [`explore`]
+/// (bit-identical to [`explore_reference`]); with reductions on, the run
+/// set shrinks as documented on [`Reduction`]. Either way the output is
+/// the same for every thread count.
+///
+/// # Panics
+///
+/// Panics if `config.n` is zero or exceeds the supported maximum.
+pub fn explore_with_stats<M, P, F>(
+    config: &ExploreConfig,
+    make: F,
+) -> (ExploreResult<M>, ReductionStats)
+where
+    M: Clone + Eq + Hash + Send,
+    P: Protocol<M> + Clone + Send,
+    F: Fn(ProcessId) -> P,
+{
+    let mut stats = ReductionStats::default();
+    let (runs, complete) = explore_runs(config, &make, None, &mut stats);
+    (
+        ExploreResult {
+            system: System::new(runs),
+            complete,
+        },
+        stats,
+    )
 }
 
 /// [`explore`] under a [`Budget`]: the walk polls the budget at every DFS
@@ -272,7 +676,8 @@ where
     P: Protocol<M> + Clone + Send,
     F: Fn(ProcessId) -> P,
 {
-    let (runs, complete) = explore_runs(config, &make, Some(budget));
+    let mut stats = ReductionStats::default();
+    let (runs, complete) = explore_runs(config, &make, Some(budget), &mut stats);
     match budget.tripped() {
         Some(reason) => ExploreStatus::Aborted {
             reason,
@@ -292,13 +697,18 @@ fn explore_runs<M, P, F>(
     config: &ExploreConfig,
     make: &F,
     budget: Option<&Budget>,
+    stats: &mut ReductionStats,
 ) -> (Vec<Run<M>>, bool)
 where
     M: Clone + Eq + Hash + Send,
     P: Protocol<M> + Clone + Send,
     F: Fn(ProcessId) -> P,
 {
+    if config.reduction.is_active() {
+        return explore_runs_reduced(config, make, budget, stats);
+    }
     let threads = ktudc_par::thread_count();
+    stats.workers = threads.max(1);
     if threads <= 1 {
         let mut state = initial_state(config, make);
         let mut runs: Vec<Run<M>> = Vec::new();
@@ -313,9 +723,95 @@ where
     }
 
     let Frontier { level, t, p_idx } = frontier;
-    let results: Vec<(Vec<Run<M>>, bool)> = ktudc_par::par_map(level, |mut st| {
+    // Work-stealing fan-out: subtree sizes are wildly uneven (one subtree
+    // can hold most of the run tree), so contiguous chunking would
+    // serialize behind the unluckiest worker. Results come back in
+    // frontier order, so the output is unchanged.
+    type SubtreeOut<M> = Vec<(Vec<Run<M>>, bool)>;
+    let (results, steal_stats): (SubtreeOut<M>, _) = ktudc_par::par_map_steal(level, |mut st| {
         subtree_runs(config, &mut st, t, p_idx, budget)
     });
+    stats.steals = steal_stats.steals;
+    stats.workers = steal_stats.workers;
+    assemble_subtree_runs(results, config.max_runs)
+}
+
+/// The fixed fan-out width of *reduced* explorations. Deliberately not
+/// the thread count: symmetry dedup is hierarchical (frontier-level, then
+/// per-subtree seen-sets), so the subtree split is part of the output —
+/// pinning it makes the reduced run set identical on every machine and
+/// thread count, exactly like the checkpointed explorer pins its own
+/// split.
+pub(crate) const REDUCED_FRONTIER_TARGET: usize = 64;
+
+/// The reduced exploration: symmetry-canonicalized, sleep-set-pruned,
+/// fanned out over the work-stealing map. Structure mirrors the plain
+/// path, with the frontier target fixed (see [`REDUCED_FRONTIER_TARGET`])
+/// and each subtree carrying its own canonical-digest seen-set — dedup
+/// therefore never races across threads and the output is deterministic.
+/// Cross-subtree duplicates are missed (only frontier-level dedup catches
+/// those), costing reduction, never soundness.
+fn explore_runs_reduced<M, P, F>(
+    config: &ExploreConfig,
+    make: &F,
+    budget: Option<&Budget>,
+    stats: &mut ReductionStats,
+) -> (Vec<Run<M>>, bool)
+where
+    M: Clone + Eq + Hash + Send,
+    P: Protocol<M> + Clone + Send,
+    F: Fn(ProcessId) -> P,
+{
+    let plan = symmetry_plan(config);
+    let sleep_on = sleep_sets_on(config);
+    let frontier = expand_frontier_reduced(
+        config,
+        make,
+        REDUCED_FRONTIER_TARGET,
+        plan.as_ref(),
+        sleep_on,
+        stats,
+    );
+    if frontier.exhausted(config) {
+        stats.workers = 1;
+        return frontier.leaves_runs(config);
+    }
+    let Frontier { level, t, p_idx } = frontier;
+    let threads = ktudc_par::thread_count();
+    if threads <= 1 {
+        stats.workers = 1;
+        let mut results = Vec::with_capacity(level.len());
+        for mut st in level {
+            let mut local = ReductionStats::default();
+            results.push(subtree_runs_reduced(
+                config,
+                plan.as_ref(),
+                sleep_on,
+                &mut st,
+                t,
+                p_idx,
+                budget,
+                &mut local,
+            ));
+            stats.absorb(local);
+        }
+        return assemble_subtree_runs(results, config.max_runs);
+    }
+    let plan = plan.as_ref();
+    let (outcomes, steal_stats) = ktudc_par::par_map_steal(level, |mut st| {
+        let mut local = ReductionStats::default();
+        let result = subtree_runs_reduced(
+            config, plan, sleep_on, &mut st, t, p_idx, budget, &mut local,
+        );
+        (result, local)
+    });
+    let mut results = Vec::with_capacity(outcomes.len());
+    for (result, local) in outcomes {
+        results.push(result);
+        stats.absorb(local);
+    }
+    stats.steals = steal_stats.steals;
+    stats.workers = steal_stats.workers;
     assemble_subtree_runs(results, config.max_runs)
 }
 
@@ -426,6 +922,198 @@ where
     let mut complete = true;
     dfs(config, state, t, p_idx, &mut runs, &mut complete, budget);
     (runs, complete)
+}
+
+/// [`expand_frontier`] with the reductions applied while expanding: the
+/// first slots are part of the tree, so sleep-set pruning filters their
+/// choices, and at every completed tick the level is deduplicated by
+/// canonical digest in frontier order (the first orbit member reached
+/// keeps the subtree; later ones are pruned). Level order is preserved,
+/// so the surviving subtrees' concatenation is still the sequential
+/// reduced DFS order.
+fn expand_frontier_reduced<M, P, F>(
+    config: &ExploreConfig,
+    make: &F,
+    target: usize,
+    plan: Option<&SymmetryPlan>,
+    sleep_on: bool,
+    stats: &mut ReductionStats,
+) -> Frontier<M, P>
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+    F: Fn(ProcessId) -> P,
+{
+    let mut t: Time = 1;
+    let mut p_idx = 0usize;
+    let mut level: Vec<ExploreState<M, P>> = vec![initial_state(config, make)];
+    while level.len() < target && t <= config.horizon {
+        let p = ProcessId::new(p_idx);
+        let mut next = Vec::with_capacity(level.len() * 2);
+        for mut st in level {
+            let mut choices = choices_for(config, &mut st, p, t);
+            if sleep_on {
+                filter_sleeping(&mut choices, st.sleep[p.index()], stats);
+            }
+            for choice in choices {
+                let mut s = st.clone();
+                let _ = apply(config, &mut s, p, t, choice);
+                next.push(s);
+            }
+        }
+        level = next;
+        p_idx += 1;
+        if p_idx == config.n {
+            p_idx = 0;
+            t += 1;
+            if let Some(plan) = plan {
+                let mut seen = HashSet::new();
+                let before = level.len();
+                level.retain(|s| seen.insert(canonical_digest(s, config.n, t, plan)));
+                stats.states_canonicalized += (before - level.len()) as u64;
+            }
+        }
+    }
+    Frontier { level, t, p_idx }
+}
+
+/// Drops `Recv` choices whose sender bit is set in the process's sleep
+/// mask (the same delivery was enabled and refused at the previous slot;
+/// the channel head cannot have changed since sends only append).
+fn filter_sleeping<M>(choices: &mut Vec<Choice<M>>, mask: u128, stats: &mut ReductionStats) {
+    if mask == 0 {
+        return;
+    }
+    let before = choices.len();
+    choices.retain(|c| !matches!(c, Choice::Recv(from) if mask >> from.index() & 1 == 1));
+    stats.sleep_set_pruned += (before - choices.len()) as u64;
+}
+
+/// [`subtree_runs`] through the reduced DFS, with a fresh per-subtree
+/// seen-set.
+#[allow(clippy::too_many_arguments)]
+fn subtree_runs_reduced<M, P>(
+    config: &ExploreConfig,
+    plan: Option<&SymmetryPlan>,
+    sleep_on: bool,
+    state: &mut ExploreState<M, P>,
+    t: Time,
+    p_idx: usize,
+    budget: Option<&Budget>,
+    stats: &mut ReductionStats,
+) -> (Vec<Run<M>>, bool)
+where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    let mut runs = Vec::new();
+    let mut complete = true;
+    let mut seen = HashSet::new();
+    dfs_reduced(
+        config,
+        plan,
+        sleep_on,
+        state,
+        t,
+        p_idx,
+        &mut runs,
+        &mut complete,
+        &mut seen,
+        stats,
+        budget,
+    );
+    (runs, complete)
+}
+
+/// The copy-light DFS with reductions: identical walk to [`dfs`], plus a
+/// canonical-digest check at every tick boundary (pruning whole subtrees
+/// of states isomorphic to one already explored in this subtree) and
+/// sleep-set filtering of each slot's choices. Sleep masks are saved and
+/// restored around apply/revert since [`revert`] does not touch them.
+#[allow(clippy::too_many_arguments)]
+fn dfs_reduced<M, P>(
+    config: &ExploreConfig,
+    plan: Option<&SymmetryPlan>,
+    sleep_on: bool,
+    state: &mut ExploreState<M, P>,
+    t: Time,
+    p_idx: usize,
+    runs: &mut Vec<Run<M>>,
+    complete: &mut bool,
+    seen: &mut HashSet<u64>,
+    stats: &mut ReductionStats,
+    budget: Option<&Budget>,
+) where
+    M: Clone + Eq + Hash,
+    P: Protocol<M> + Clone,
+{
+    if let Some(b) = budget {
+        if b.poll().is_err() {
+            *complete = false;
+            return;
+        }
+    }
+    if runs.len() >= config.max_runs {
+        *complete = false;
+        return;
+    }
+    if t > config.horizon {
+        runs.push(state.builder.snapshot(config.horizon));
+        return;
+    }
+    if p_idx == config.n {
+        if let Some(plan) = plan {
+            // Completed tick `t`: prune if an isomorphic state (same
+            // canonical digest, which includes the tick) was already
+            // explored in this subtree.
+            if !seen.insert(canonical_digest(state, config.n, t + 1, plan)) {
+                stats.states_canonicalized += 1;
+                return;
+            }
+        }
+        dfs_reduced(
+            config,
+            plan,
+            sleep_on,
+            state,
+            t + 1,
+            0,
+            runs,
+            complete,
+            seen,
+            stats,
+            budget,
+        );
+        return;
+    }
+    let p = ProcessId::new(p_idx);
+    let mut choices = choices_for(config, state, p, t);
+    if sleep_on {
+        filter_sleeping(&mut choices, state.sleep[p.index()], stats);
+    }
+    let saved_sleep = state.sleep[p.index()];
+    for choice in choices {
+        let undo = apply(config, state, p, t, choice);
+        dfs_reduced(
+            config,
+            plan,
+            sleep_on,
+            state,
+            t,
+            p_idx + 1,
+            runs,
+            complete,
+            seen,
+            stats,
+            budget,
+        );
+        revert(state, p, undo);
+        state.sleep[p.index()] = saved_sleep;
+        if runs.len() >= config.max_runs {
+            *complete = false;
+            return;
+        }
+    }
 }
 
 /// Concatenates per-subtree results (in frontier order) under the run
@@ -598,6 +1286,19 @@ where
     P: Protocol<M> + Clone,
 {
     let n = config.n;
+    if sleep_sets_on(config) {
+        // A stutter while deliveries were pending is a *refusal*: record
+        // which senders' heads were refused, so the next slot can prune
+        // re-offering them. Any real event resets the refusal context.
+        // Callers that rewind (the reduced DFS) save and restore this mask
+        // around apply/revert; clone-per-branch callers need no undo.
+        state.sleep[p.index()] = match &choice {
+            Choice::Stutter => ProcessId::all(n)
+                .filter(|from| !state.channels[from.index() * n + p.index()].is_empty())
+                .fold(0u128, |mask, from| mask | (1 << from.index())),
+            _ => 0,
+        };
+    }
     match choice {
         Choice::Stutter => Undo::Stutter,
         Choice::Crash => {
@@ -826,6 +1527,7 @@ fn dfs_reference<M, P>(
                     channels: Vec::new(),
                     crashes: 0,
                     inits_done: Vec::new(),
+                    sleep: Vec::new(),
                 },
             )
         } else {
@@ -1102,5 +1804,186 @@ mod tests {
             },
         );
         assert!(small.system.len() < big.system.len());
+    }
+
+    /// The canonical (min-over-group) digest of a finished run's timed
+    /// histories — the run-level analogue of [`canonical_digest`], used to
+    /// compare run sets up to relabeling.
+    fn canonical_run_digest(run: &Run<u8>, plan: &SymmetryPlan) -> u64 {
+        run_canonical_digest(run, plan, true)
+    }
+
+    /// The per-process event sequences at the horizon, with times erased —
+    /// the observable a time-oblivious protocol acts on.
+    fn untimed_tuple(run: &Run<u8>) -> Vec<Vec<Event<u8>>> {
+        (0..run.n())
+            .map(|i| run.history_at(p(i), run.horizon()).to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn inactive_reduction_goes_through_the_plain_path() {
+        let cfg = ExploreConfig::new(2, 3).max_failures(1);
+        assert!(!cfg.reduction.is_active());
+        // Declaring a singleton class activates nothing either.
+        assert!(!cfg.clone().symmetric(vec![1]).reduction.is_active());
+        assert!(cfg.clone().symmetric(vec![0, 1]).reduction.is_active());
+        assert!(cfg.with_sleep_sets().reduction.is_active());
+    }
+
+    #[test]
+    fn degenerate_symmetry_class_matches_reference_exactly() {
+        // Out-of-range members activate the reduced machinery but yield no
+        // usable permutation, so the reduced walk must reproduce the
+        // reference system verbatim — this pins the reduced plumbing
+        // (fixed frontier target, subtree assembly) as order-preserving.
+        let make = |_me: ProcessId| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        };
+        let cfg = ExploreConfig::new(2, 3)
+            .max_failures(1)
+            .symmetric(vec![7, 9]);
+        assert!(cfg.reduction.is_active());
+        let (reduced, stats) = explore_with_stats(&cfg, make);
+        let reference = explore_reference(&ExploreConfig::new(2, 3).max_failures(1), make);
+        assert!(reduced.complete && reference.complete);
+        assert_eq!(reduced.system.runs(), reference.system.runs());
+        assert_eq!(stats.states_canonicalized, 0);
+        assert_eq!(stats.sleep_set_pruned, 0);
+    }
+
+    #[test]
+    fn symmetry_covers_the_reference_up_to_relabeling() {
+        // All three Idle processes are interchangeable; crashes are the only
+        // branching, so orbits collapse e.g. {p0 crashes} ~ {p1 crashes}.
+        let make = |_me: ProcessId| Idle;
+        let cfg = ExploreConfig::new(3, 3)
+            .max_failures(2)
+            .symmetric(vec![0, 1, 2]);
+        let (reduced, stats) = explore_with_stats::<u8, _, _>(&cfg, make);
+        let reference =
+            explore_reference::<u8, _, _>(&ExploreConfig::new(3, 3).max_failures(2), make);
+        assert!(reduced.complete && reference.complete);
+        assert!(
+            reduced.system.len() < reference.system.len(),
+            "symmetry must shrink the crash orbits: {} vs {}",
+            reduced.system.len(),
+            reference.system.len()
+        );
+        assert!(stats.states_canonicalized > 0);
+
+        // Every reduced run is literally a reference run (pruning only ever
+        // skips branches)...
+        for run in reduced.system.runs() {
+            assert!(reference.system.runs().contains(run), "reduced ⊄ reference");
+        }
+        // ...and every reference run is covered by a reduced representative
+        // in the same orbit.
+        let plan = symmetry_plan(&cfg).expect("class of 3 yields a plan");
+        let covered: HashSet<u64> = reduced
+            .system
+            .runs()
+            .iter()
+            .map(|r| canonical_run_digest(r, &plan))
+            .collect();
+        for run in reference.system.runs() {
+            assert!(
+                covered.contains(&canonical_run_digest(run, &plan)),
+                "reference run not covered up to relabeling: {run:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_skips_initiation_initiators() {
+        // p0 initiates, so it is observably distinct: declaring it
+        // symmetric with p1 must be ignored rather than unsound.
+        let alpha = ActionId::new(p(0), 0);
+        let cfg = ExploreConfig::new(2, 3)
+            .max_failures(0)
+            .initiate(1, alpha)
+            .symmetric(vec![0, 1]);
+        assert!(
+            symmetry_plan(&cfg).is_none(),
+            "p0 stripped leaves a singleton"
+        );
+        let make = |_me: ProcessId| Idle;
+        let (reduced, _) = explore_with_stats::<u8, _, _>(&cfg, make);
+        let reference = explore_reference::<u8, _, _>(
+            &ExploreConfig::new(2, 3).max_failures(0).initiate(1, alpha),
+            make,
+        );
+        assert_eq!(reduced.system.runs(), reference.system.runs());
+    }
+
+    #[test]
+    fn sleep_sets_shrink_and_preserve_untimed_leaf_histories() {
+        // OneShot is time-oblivious, so refusing a delivery and taking it
+        // one tick later must not produce any new untimed observation: the
+        // reduced system sees exactly the reference's set of per-process
+        // untimed history tuples, with strictly fewer runs.
+        let make = |_me: ProcessId| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        };
+        let cfg = ExploreConfig::new(2, 4).max_failures(1).with_sleep_sets();
+        let (reduced, stats) = explore_with_stats(&cfg, make);
+        let reference = explore_reference(&ExploreConfig::new(2, 4).max_failures(1), make);
+        assert!(reduced.complete && reference.complete);
+        assert!(
+            reduced.system.len() < reference.system.len(),
+            "sleep sets must prune delayed-delivery interleavings: {} vs {}",
+            reduced.system.len(),
+            reference.system.len()
+        );
+        assert!(stats.sleep_set_pruned > 0);
+
+        for run in reduced.system.runs() {
+            assert!(reference.system.runs().contains(run), "reduced ⊄ reference");
+        }
+        let reduced_tuples: HashSet<_> = reduced.system.runs().iter().map(untimed_tuple).collect();
+        let reference_tuples: HashSet<_> =
+            reference.system.runs().iter().map(untimed_tuple).collect();
+        assert_eq!(reduced_tuples, reference_tuples);
+    }
+
+    #[test]
+    fn sleep_sets_are_inert_without_stutter() {
+        // The rule keys on "stuttered while deliverable": with stuttering
+        // disabled the premise never holds, so the gate turns them off
+        // rather than risking a process with an emptied choice set.
+        let make = |_me: ProcessId| OneShot {
+            me: ProcessId::new(0),
+            sent: false,
+        };
+        let cfg = ExploreConfig::new(2, 3)
+            .max_failures(0)
+            .without_stutter()
+            .with_sleep_sets();
+        let (reduced, stats) = explore_with_stats(&cfg, make);
+        let reference = explore_reference(
+            &ExploreConfig::new(2, 3).max_failures(0).without_stutter(),
+            make,
+        );
+        assert_eq!(reduced.system.runs(), reference.system.runs());
+        assert_eq!(stats.sleep_set_pruned, 0);
+    }
+
+    #[test]
+    fn combined_reductions_compose() {
+        let make = |_me: ProcessId| Idle;
+        let cfg = ExploreConfig::new(3, 3)
+            .max_failures(1)
+            .symmetric(vec![0, 1, 2])
+            .with_sleep_sets();
+        let (reduced, _) = explore_with_stats::<u8, _, _>(&cfg, make);
+        let reference =
+            explore_reference::<u8, _, _>(&ExploreConfig::new(3, 3).max_failures(1), make);
+        assert!(reduced.complete);
+        assert!(reduced.system.len() < reference.system.len());
+        for run in reduced.system.runs() {
+            assert!(reference.system.runs().contains(run));
+        }
     }
 }

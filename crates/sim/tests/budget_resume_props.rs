@@ -66,11 +66,23 @@ fn spec_strategy() -> impl Strategy<Value = ExploreSpec> {
     })
 }
 
+/// Random durability regime, including group-commit batching
+/// ([`SyncPolicy::EveryN`]) — the abort rule must hold regardless of how
+/// many frames share an fsync.
+fn sync_strategy() -> impl Strategy<Value = SyncPolicy> {
+    (0u8..3, 2u32..=8).prop_map(|(kind, every)| match kind {
+        0 => SyncPolicy::Never,
+        1 => SyncPolicy::Always,
+        _ => SyncPolicy::EveryN(every),
+    })
+}
+
 proptest! {
     #[test]
     fn aborted_then_resumed_equals_uninterrupted(
         spec in spec_strategy(),
         trip_percent in 1u64..100,
+        sync in sync_strategy(),
     ) {
         let baseline = run_explore_spec(&spec).unwrap();
 
@@ -88,7 +100,7 @@ proptest! {
         let tmp = TempPath::new("case");
         let budget = Budget::unlimited().with_max_steps(cap);
         let (outcome, _) =
-            explore_spec_checkpointed_budgeted(&spec, &tmp.0, SyncPolicy::Never, Some(&budget))
+            explore_spec_checkpointed_budgeted(&spec, &tmp.0, sync, Some(&budget))
                 .unwrap();
 
         match outcome {
@@ -110,7 +122,7 @@ proptest! {
                 // holds only clean subtrees, so the result must be
                 // bit-identical to the uninterrupted exploration.
                 let (resumed, stats) =
-                    explore_spec_checkpointed(&spec, &tmp.0, SyncPolicy::Never).unwrap();
+                    explore_spec_checkpointed(&spec, &tmp.0, sync).unwrap();
                 prop_assert!(stats.resumed_subtrees >= subtrees_done);
                 prop_assert_eq!(system_digest(&resumed.system), baseline.digest);
                 prop_assert_eq!(resumed.complete, baseline.complete);

@@ -1,0 +1,212 @@
+//! Differential property tests for the explorer's state-space reductions
+//! (process-relabeling symmetry and sleep sets), pinned against the
+//! clone-per-branch [`explore_reference`] on randomized small
+//! configurations.
+//!
+//! The contracts exercised here mirror DESIGN.md's soundness argument:
+//!
+//! * **Symmetry** prunes runs that are relabelings of a retained run, so
+//!   the reduced run set must be a literal subset of the reference and
+//!   must *cover* it — the sets of timed canonical digests (minimum over
+//!   the symmetry group of a relabeled run hash) must be equal.
+//! * **Sleep sets** additionally quotient by stutter placement, which
+//!   shifts event times; for time-oblivious protocols the *untimed*
+//!   canonical digest sets must still be equal.
+//! * A reduction that is configured but degenerate (out-of-range or
+//!   singleton symmetry class) must be a no-op: the reduced explorer
+//!   takes its pruning path yet reproduces the reference run list
+//!   verbatim, order included.
+//!
+//! The protocol under test is an echo server whose clients (everyone but
+//! process 0) are genuinely interchangeable — no process, the server
+//! included, ever names a client by index — exactly the equivariance
+//! hypothesis the symmetry argument needs.
+
+use ktudc_model::{Event, ProcessId, Time};
+use ktudc_sim::{
+    canonical_run_digests, explore_reference, explore_with_stats, ExploreConfig, ProtoAction,
+    Protocol,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// An echo server: every process except 0 sends one message to process
+/// 0; process 0 acks each message back to its source, in order of
+/// receipt. Behavior is a function of `(me, history)` alone — never of
+/// the clock — and, crucially, *equivariant* under relabeling the
+/// senders: nobody names a sender by index (ack targets come from the
+/// `from` field of the observed `Recv`, which relabels along with the
+/// run). A fan-out that sends "to p1 first, then p2" would violate that
+/// hypothesis — the symmetry reduction is only sound when no process
+/// distinguishes class members by name — and this suite is exactly what
+/// catches such a protocol.
+#[derive(Clone, Debug)]
+struct Echo {
+    me: ProcessId,
+    inbox: Vec<ProcessId>,
+    acked: usize,
+    sent: bool,
+}
+
+impl Protocol<u8> for Echo {
+    fn start(&mut self, me: ProcessId, _n: usize) {
+        self.me = me;
+    }
+    fn observe(&mut self, _t: Time, e: &Event<u8>) {
+        match e {
+            Event::Recv { from, .. } if self.me.index() == 0 => self.inbox.push(*from),
+            Event::Send { .. } => {
+                if self.me.index() == 0 {
+                    self.acked += 1;
+                } else {
+                    self.sent = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    fn next_action(&mut self, _t: Time) -> Option<ProtoAction<u8>> {
+        if self.me.index() == 0 {
+            (self.acked < self.inbox.len()).then(|| ProtoAction::Send {
+                to: self.inbox[self.acked],
+                msg: 1,
+            })
+        } else {
+            (!self.sent).then_some(ProtoAction::Send {
+                to: ProcessId::new(0),
+                msg: 9,
+            })
+        }
+    }
+    fn quiescent(&self) -> bool {
+        if self.me.index() == 0 {
+            self.acked == self.inbox.len()
+        } else {
+            self.sent
+        }
+    }
+}
+
+fn make_echo() -> impl Fn(ProcessId) -> Echo + Copy {
+    move |_| Echo {
+        me: ProcessId::new(0),
+        inbox: Vec::new(),
+        acked: 0,
+        sent: false,
+    }
+}
+
+/// The set of canonical digests of a system's runs — timed or untimed —
+/// under the symmetry plan the config induces.
+fn digest_set(cfg: &ExploreConfig, system: &ktudc_model::System<u8>, timed: bool) -> BTreeSet<u64> {
+    canonical_run_digests(cfg, system, timed)
+        .into_iter()
+        .collect()
+}
+
+proptest! {
+    /// Symmetry over the receiver class: the reduced run set is a literal
+    /// subset of the reference and covers it up to relabeling (equal
+    /// timed canonical digest sets).
+    #[test]
+    fn symmetry_covers_reference_up_to_relabeling(
+        n in 3usize..5,
+        horizon in 2u64..5,
+        max_failures in 0usize..3,
+    ) {
+        let cfg = ExploreConfig::new(n, horizon)
+            .max_failures(max_failures.min(n - 1))
+            .symmetric((1..n).collect());
+        let (reduced, stats) = explore_with_stats(&cfg, make_echo());
+        let reference = explore_reference(&cfg, make_echo());
+
+        prop_assert_eq!(reduced.complete, reference.complete);
+        prop_assert!(reduced.system.len() <= reference.system.len());
+        for run in reduced.system.runs() {
+            prop_assert!(reference.system.runs().contains(run));
+        }
+        prop_assert_eq!(
+            digest_set(&cfg, &reduced.system, true),
+            digest_set(&cfg, &reference.system, true)
+        );
+        // A class of ≥ 2 interchangeable receivers must actually prune.
+        if reference.system.len() > reduced.system.len() {
+            prop_assert!(stats.states_canonicalized > 0);
+        }
+    }
+
+    /// Sleep sets alone (no symmetry): reduced ⊆ reference and the
+    /// untimed canonical digest sets coincide — stutter placement is the
+    /// only thing quotiented away.
+    #[test]
+    fn sleep_sets_preserve_untimed_histories(
+        n in 2usize..4,
+        horizon in 2u64..5,
+        max_failures in 0usize..2,
+    ) {
+        let cfg = ExploreConfig::new(n, horizon)
+            .max_failures(max_failures.min(n - 1))
+            .with_sleep_sets();
+        let (reduced, _) = explore_with_stats(&cfg, make_echo());
+        let reference = explore_reference(&cfg, make_echo());
+
+        prop_assert_eq!(reduced.complete, reference.complete);
+        prop_assert!(reduced.system.len() <= reference.system.len());
+        for run in reduced.system.runs() {
+            prop_assert!(reference.system.runs().contains(run));
+        }
+        prop_assert_eq!(
+            digest_set(&cfg, &reduced.system, false),
+            digest_set(&cfg, &reference.system, false)
+        );
+    }
+
+    /// Both reductions composed: the combined quotient still preserves
+    /// the untimed canonical digest set.
+    #[test]
+    fn combined_reductions_preserve_untimed_canonical_sets(
+        n in 3usize..5,
+        horizon in 2u64..5,
+        max_failures in 0usize..2,
+    ) {
+        let cfg = ExploreConfig::new(n, horizon)
+            .max_failures(max_failures.min(n - 1))
+            .symmetric((1..n).collect())
+            .with_sleep_sets();
+        let (reduced, _) = explore_with_stats(&cfg, make_echo());
+        let reference = explore_reference(&cfg, make_echo());
+
+        prop_assert_eq!(reduced.complete, reference.complete);
+        for run in reduced.system.runs() {
+            prop_assert!(reference.system.runs().contains(run));
+        }
+        prop_assert_eq!(
+            digest_set(&cfg, &reduced.system, false),
+            digest_set(&cfg, &reference.system, false)
+        );
+    }
+
+    /// A degenerate symmetry class (out of range or singleton) activates
+    /// the reduced code path but must not prune anything: run lists match
+    /// the reference verbatim, order included.
+    #[test]
+    fn degenerate_classes_are_exact(
+        n in 2usize..4,
+        horizon in 2u64..5,
+        class_kind in 0u8..2,
+        max_failures in 0usize..2,
+    ) {
+        let class = match class_kind {
+            0 => vec![n + 3, n + 4], // entirely out of range
+            _ => vec![n - 1],        // singleton
+        };
+        let cfg = ExploreConfig::new(n, horizon)
+            .max_failures(max_failures.min(n - 1))
+            .symmetric(class);
+        let (reduced, _) = explore_with_stats(&cfg, make_echo());
+        let reference = explore_reference(&cfg, make_echo());
+
+        prop_assert_eq!(reduced.complete, reference.complete);
+        prop_assert_eq!(reduced.system.runs(), reference.system.runs());
+    }
+}
