@@ -44,6 +44,17 @@
 //! was typed, whether the watchdog saw a stuck worker, and whether a
 //! budget-aborted checkpointed exploration resumed to the digest of the
 //! uninterrupted run.
+//!
+//! `--fd-zoo` sweeps every empirical failure detector (heartbeat,
+//! φ-accrual, gossip) across every fault regime through
+//! [`ktudc_fd::classify_detector`] and records the full classification
+//! matrix under the `fd_zoo` key (additively, like `via_serve`): one row
+//! per (detector, regime) with the earned class, false-suspicion count,
+//! and crash-detection latency, plus two grep-stable invariants asserted
+//! inline — `clean_zero_false_suspicions` (no detector falsely suspects
+//! anyone on clean reliable channels) and
+//! `detection_latency_within_bound` (every in-model regime detects the
+//! crash within the bound).
 
 use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
 use ktudc_epistemic::{Formula, ModelChecker, ReferenceChecker};
@@ -210,6 +221,41 @@ struct OverloadReport {
 }
 
 #[derive(Serialize)]
+struct FdZooRow {
+    detector: String,
+    regime: String,
+    /// Whether the regime stays inside the paper's model (R1–R5).
+    in_model: bool,
+    /// The empirical class this detector earned in this regime.
+    class: String,
+    false_suspicions: u64,
+    /// `None` when some crash arm never detected the crash.
+    detection_latency_mean: Option<f64>,
+    detection_latency_max: Option<u64>,
+    latency_samples: u64,
+}
+
+#[derive(Serialize)]
+struct FdZooReport {
+    detectors: usize,
+    regimes: usize,
+    n: usize,
+    trials: u64,
+    horizon: Time,
+    rows: Vec<FdZooRow>,
+    secs: f64,
+    cells_per_sec: f64,
+    /// On clean reliable channels, every detector reported zero false
+    /// suspicions across every trial.
+    clean_zero_false_suspicions: bool,
+    /// The latency bound the in-model invariant is checked against.
+    detection_latency_bound_ticks: u64,
+    /// In every in-model regime, every detector detected the crash in
+    /// every crash arm, with worst-case latency within the bound.
+    detection_latency_within_bound: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
@@ -221,6 +267,7 @@ struct Report {
     recovery: RecoveryBench,
     via_serve: Option<ViaServeReport>,
     overload: Option<OverloadReport>,
+    fd_zoo: Option<FdZooReport>,
 }
 
 fn p(i: usize) -> ProcessId {
@@ -1011,18 +1058,108 @@ fn overload_workload(smoke: bool) -> OverloadReport {
     }
 }
 
+/// The empirical failure-detector zoo: every detector × every fault
+/// regime, through the same classification harness `ctl classify` and the
+/// fd test suite use. Two invariants are asserted inline (and recorded as
+/// grep-stable JSON booleans for CI):
+///
+/// * clean reliable channels produce **zero** false suspicions from every
+///   detector — a detector that suspects a live process on a quiet
+///   network is mistuned, full stop;
+/// * every **in-model** regime detects the injected crash in every arm,
+///   with worst-case detection latency within a fixed tick bound. The
+///   out-of-model severed link is exempt (the paper's R5 no longer
+///   holds), though its rows are still recorded.
+fn fd_zoo_workload(smoke: bool) -> FdZooReport {
+    use ktudc_fd::{classify_detector, ClassifySpec, DetectorKind, FaultRegime};
+
+    // Worst-case in-model path: gossip's 60-tick fail timeout plus an
+    // 18–25-tick loss/delay window before the suspicion propagates, with
+    // slack for the staggered report cadence.
+    const LATENCY_BOUND_TICKS: u64 = 120;
+
+    let (trials, horizon): (u64, Time) = if smoke { (2, 200) } else { (6, 240) };
+    let cells: Vec<ClassifySpec> = DetectorKind::ALL
+        .iter()
+        .flat_map(|&detector| {
+            FaultRegime::ALL.iter().map(move |&regime| {
+                ClassifySpec::new(detector, regime)
+                    .trials(trials)
+                    .horizon(horizon)
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let verdicts = ktudc_par::par_map(cells.clone(), |spec| classify_detector(&spec));
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut clean_zero_false_suspicions = true;
+    let mut detection_latency_within_bound = true;
+    let rows: Vec<FdZooRow> = cells
+        .iter()
+        .zip(&verdicts)
+        .map(|(spec, v)| {
+            if spec.regime == FaultRegime::Clean && v.false_suspicion_events > 0 {
+                clean_zero_false_suspicions = false;
+            }
+            if spec.regime.in_model() {
+                match &v.detection_latency {
+                    Some(lat) if lat.max <= LATENCY_BOUND_TICKS => {}
+                    _ => detection_latency_within_bound = false,
+                }
+            }
+            FdZooRow {
+                detector: spec.detector.to_string(),
+                regime: spec.regime.to_string(),
+                in_model: spec.regime.in_model(),
+                class: v.class.to_string(),
+                false_suspicions: v.false_suspicion_events,
+                detection_latency_mean: v.detection_latency.as_ref().map(|l| l.mean),
+                detection_latency_max: v.detection_latency.as_ref().map(|l| l.max),
+                latency_samples: v.detection_latency.as_ref().map_or(0, |l| l.samples),
+            }
+        })
+        .collect();
+
+    assert!(
+        clean_zero_false_suspicions,
+        "a detector falsely suspected a live process on clean channels"
+    );
+    assert!(
+        detection_latency_within_bound,
+        "an in-model regime missed the crash or exceeded {LATENCY_BOUND_TICKS} ticks"
+    );
+
+    FdZooReport {
+        detectors: DetectorKind::ALL.len(),
+        regimes: FaultRegime::ALL.len(),
+        n: cells[0].n,
+        trials,
+        horizon,
+        secs,
+        cells_per_sec: rows.len() as f64 / secs,
+        rows,
+        clean_zero_false_suspicions,
+        detection_latency_bound_ticks: LATENCY_BOUND_TICKS,
+        detection_latency_within_bound,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut via_serve = false;
     let mut overload = false;
+    let mut fd_zoo = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--via-serve" => via_serve = true,
             "--overload" => overload = true,
+            "--fd-zoo" => fd_zoo = true,
             other => {
                 eprintln!(
-                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload)"
+                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload, --fd-zoo)"
                 );
                 std::process::exit(2);
             }
@@ -1132,6 +1269,24 @@ fn main() {
         r
     });
 
+    let fd_zoo = fd_zoo.then(|| {
+        let r = fd_zoo_workload(smoke);
+        let perfect = r.rows.iter().filter(|row| row.class == "perfect").count();
+        eprintln!(
+            "perf: fd-zoo {} detectors x {} regimes ({} cells, {:.1}/s) in {:.3}s: {} perfect, clean-zero-false={} latency<=({} ticks)={}",
+            r.detectors,
+            r.regimes,
+            r.rows.len(),
+            r.cells_per_sec,
+            r.secs,
+            perfect,
+            r.clean_zero_false_suspicions,
+            r.detection_latency_bound_ticks,
+            r.detection_latency_within_bound,
+        );
+        r
+    });
+
     let report = Report {
         schema: "ktudc-bench-perf/1".to_string(),
         mode: mode.to_string(),
@@ -1143,6 +1298,7 @@ fn main() {
         recovery,
         via_serve,
         overload,
+        fd_zoo,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_ktudc.json", &json).expect("write BENCH_ktudc.json");

@@ -278,6 +278,13 @@ pub fn claimed_properties(fd: FdChoice) -> &'static [FdProperty] {
         FdChoice::ImpermanentStrong => &[FdProperty::ImpermanentStrongCompleteness],
         FdChoice::Strong => &[FdProperty::WeakAccuracy, FdProperty::StrongCompleteness],
         FdChoice::Perfect => &[FdProperty::StrongAccuracy, FdProperty::StrongCompleteness],
+        // The empirical detectors unconditionally claim only completeness
+        // (a crashed process goes silent in every regime, so beats stop and
+        // counters freeze); their *accuracy* is regime-dependent — that is
+        // precisely what `ktudc_fd::classify` measures per fault regime.
+        FdChoice::Heartbeat | FdChoice::PhiAccrual | FdChoice::Gossip => {
+            &[FdProperty::StrongCompleteness]
+        }
     }
 }
 

@@ -14,12 +14,14 @@ use crate::protocols::reliable::ReliableUdc;
 use crate::protocols::strong_fd::StrongFdUdc;
 use crate::spec::{check_udc, Verdict};
 use ktudc_fd::{
-    CyclingSubsetOracle, ImpermanentStrongOracle, PerfectOracle, StrongOracle, TUsefulOracle,
-    WeakOracle,
+    CyclingSubsetOracle, DetectorKind, ImpermanentStrongOracle, PerfectOracle, StrongOracle,
+    TUsefulOracle, WeakOracle,
 };
 use ktudc_model::budget::{AbortReason, Budget};
 use ktudc_model::Time;
-use ktudc_sim::{run_protocol, ChannelKind, CrashPlan, FdOracle, NullOracle, SimConfig, Workload};
+use ktudc_sim::{
+    run_detected, run_protocol, ChannelKind, CrashPlan, FdOracle, NullOracle, SimConfig, Workload,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -42,6 +44,29 @@ pub enum FdChoice {
     Strong,
     /// A perfect detector.
     Perfect,
+    /// The *empirical* heartbeat-timeout detector of `ktudc-fd::impls`,
+    /// run in the detector plane and fed by real message arrivals — its
+    /// class is whatever `ktudc_fd::classify` finds for the regime, not a
+    /// definition.
+    Heartbeat,
+    /// The empirical φ-accrual detector (adaptive timeout).
+    PhiAccrual,
+    /// The empirical counter-gossip detector (routed liveness).
+    Gossip,
+}
+
+impl FdChoice {
+    /// For the empirical (derived) detector choices, the `DetectorKind` to
+    /// instantiate in the detector plane; `None` for oracle classes.
+    #[must_use]
+    pub fn empirical_kind(self) -> Option<DetectorKind> {
+        match self {
+            FdChoice::Heartbeat => Some(DetectorKind::Heartbeat),
+            FdChoice::PhiAccrual => Some(DetectorKind::PhiAccrual),
+            FdChoice::Gossip => Some(DetectorKind::Gossip),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FdChoice {
@@ -54,6 +79,9 @@ impl fmt::Display for FdChoice {
             FdChoice::ImpermanentStrong => "imp-strong",
             FdChoice::Strong => "strong",
             FdChoice::Perfect => "perfect",
+            FdChoice::Heartbeat => "heartbeat (derived)",
+            FdChoice::PhiAccrual => "phi-accrual (derived)",
+            FdChoice::Gossip => "gossip (derived)",
         };
         f.write_str(s)
     }
@@ -286,20 +314,42 @@ fn run_trial(spec: &CellSpec, seed: u64) -> TrialResult {
         .horizon(spec.horizon)
         .seed(seed);
     let workload = Workload::periodic(spec.n, 9, spec.horizon / 6);
-    let mut oracle = make_oracle(spec);
-    let out = match spec.protocol {
-        ProtocolChoice::Reliable => {
-            run_protocol(&config, |_| ReliableUdc::new(), oracle.as_mut(), &workload)
+    let out = if let Some(kind) = spec.fd.empirical_kind() {
+        // Derived-detector path: no oracle. The detector runs in its own
+        // message plane over the same channel regime, and its suspicion
+        // reports land in the protocol's event stream exactly where the
+        // oracle's would — the protocol cannot tell the difference.
+        let detected = match spec.protocol {
+            ProtocolChoice::Reliable => {
+                run_detected(&config, |_| ReliableUdc::new(), |_| kind.build(), &workload)
+            }
+            ProtocolChoice::StrongFd => {
+                run_detected(&config, |_| StrongFdUdc::new(), |_| kind.build(), &workload)
+            }
+            ProtocolChoice::Generalized => run_detected(
+                &config,
+                |_| GeneralizedUdc::new(spec.t),
+                |_| kind.build(),
+                &workload,
+            ),
+        };
+        detected.sim
+    } else {
+        let mut oracle = make_oracle(spec);
+        match spec.protocol {
+            ProtocolChoice::Reliable => {
+                run_protocol(&config, |_| ReliableUdc::new(), oracle.as_mut(), &workload)
+            }
+            ProtocolChoice::StrongFd => {
+                run_protocol(&config, |_| StrongFdUdc::new(), oracle.as_mut(), &workload)
+            }
+            ProtocolChoice::Generalized => run_protocol(
+                &config,
+                |_| GeneralizedUdc::new(spec.t),
+                oracle.as_mut(),
+                &workload,
+            ),
         }
-        ProtocolChoice::StrongFd => {
-            run_protocol(&config, |_| StrongFdUdc::new(), oracle.as_mut(), &workload)
-        }
-        ProtocolChoice::Generalized => run_protocol(
-            &config,
-            |_| GeneralizedUdc::new(spec.t),
-            oracle.as_mut(),
-            &workload,
-        ),
     };
     let verdict = match check_udc(&out.run, &workload.actions()) {
         Verdict::Satisfied => TrialVerdict::Satisfied,
@@ -312,6 +362,9 @@ fn run_trial(spec: &CellSpec, seed: u64) -> TrialResult {
     }
 }
 
+/// Oracle for the ground-truth FD classes. The empirical (derived) choices
+/// have no oracle — `run_trial` routes them through `run_detected` instead,
+/// so reaching here with one is a caller bug.
 pub(crate) fn make_oracle(spec: &CellSpec) -> Box<dyn FdOracle> {
     match spec.fd {
         FdChoice::None => Box::new(NullOracle::new()),
@@ -321,6 +374,9 @@ pub(crate) fn make_oracle(spec: &CellSpec) -> Box<dyn FdOracle> {
         FdChoice::ImpermanentStrong => Box::new(ImpermanentStrongOracle::new()),
         FdChoice::Strong => Box::new(StrongOracle::new()),
         FdChoice::Perfect => Box::new(PerfectOracle::new()),
+        FdChoice::Heartbeat | FdChoice::PhiAccrual | FdChoice::Gossip => {
+            unreachable!("empirical detectors run in the detector plane, not as oracles")
+        }
     }
 }
 
@@ -359,6 +415,28 @@ mod tests {
         .horizon(900);
         let out = run_cell(&spec);
         assert!(out.achieved(), "{out}");
+    }
+
+    /// Table 1's "strong FD" rows, with the oracle replaced by detectors
+    /// that *earn* their suspicions from message arrivals. The asserted
+    /// cells are exactly those where `ktudc_fd::classify` grants the
+    /// detector (at least) the strong class for the regime: heartbeat on
+    /// clean channels; φ-accrual and gossip even at 30% loss. Heartbeat on
+    /// lossy channels is deliberately *not* asserted — classification
+    /// demotes it there (false suspicions), so Table 1 makes no promise.
+    #[test]
+    fn positive_cells_with_derived_detectors() {
+        for (fd, drop_prob) in [
+            (FdChoice::Heartbeat, None),
+            (FdChoice::PhiAccrual, Some(0.3)),
+            (FdChoice::Gossip, Some(0.3)),
+        ] {
+            let spec = CellSpec::new(4, 3, drop_prob, fd, ProtocolChoice::StrongFd)
+                .trials(6)
+                .horizon(900);
+            let out = run_cell(&spec);
+            assert!(out.achieved(), "{fd}: {out}");
+        }
     }
 
     #[test]
@@ -475,6 +553,22 @@ mod tests {
         assert!(json.contains(r#""drop_prob":null"#), "{json}");
         assert!(json.contains(r#""fd":"None""#), "{json}");
         assert_eq!(serde_json::from_str::<CellSpec>(&json).unwrap(), reliable);
+
+        // The derived-detector choices are wire-additive bare tags too.
+        let derived = CellSpec::new(
+            4,
+            3,
+            Some(0.3),
+            FdChoice::PhiAccrual,
+            ProtocolChoice::StrongFd,
+        );
+        let json = serde_json::to_string(&derived).unwrap();
+        assert!(json.contains(r#""fd":"PhiAccrual""#), "{json}");
+        assert_eq!(serde_json::from_str::<CellSpec>(&json).unwrap(), derived);
+        for fd in [FdChoice::Heartbeat, FdChoice::Gossip] {
+            let json = serde_json::to_string(&fd).unwrap();
+            assert_eq!(serde_json::from_str::<FdChoice>(&json).unwrap(), fd);
+        }
 
         let outcome = CellOutcome {
             satisfied: 5,

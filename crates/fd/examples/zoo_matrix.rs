@@ -1,0 +1,27 @@
+//! Prints the empirical classification matrix at the full defaults
+//! (n = 4, 6 trials per arm, horizon 240): every detector of the zoo
+//! against every fault regime — the table quoted in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p ktudc-fd --example zoo_matrix
+//! ```
+
+use ktudc_fd::{classify_detector, ClassifySpec, DetectorKind, FaultRegime};
+
+fn main() {
+    print!("{:<12}", "detector");
+    for regime in FaultRegime::ALL {
+        print!(" {:<18}", regime.to_string());
+    }
+    println!();
+    for detector in DetectorKind::ALL {
+        print!("{:<12}", detector.to_string());
+        for regime in FaultRegime::ALL {
+            let v = classify_detector(&ClassifySpec::new(detector, regime));
+            let mark = if regime.in_model() { "" } else { "*" };
+            print!(" {:<18}", format!("{}{mark}", v.class));
+        }
+        println!();
+    }
+    println!("\n* = out-of-model regime (violates R5 fairness)");
+}

@@ -1,0 +1,551 @@
+//! Empirical classification: which paper class does a detector *earn*?
+//!
+//! The oracles of [`crate::oracle`] satisfy their class properties by
+//! construction. An empirical detector ([`crate::impls`]) satisfies
+//! whatever its timeouts and the network let it satisfy — so its place in
+//! the Halpern–Ricciardi hierarchy is an experimental result, not a
+//! definition. This module runs a detector across seeded trials of one
+//! fault regime (clean arms measuring false suspicions, crash arms
+//! measuring completeness and detection latency), applies the
+//! [`crate::props`] checkers to every generated run, and condenses the
+//! surviving properties into an [`EmpiricalClass`] label.
+//!
+//! Completeness and "eventual" accuracy use the standard finite-horizon
+//! readings of [`crate::props`]: *eventually* means *by the horizon*, and
+//! a detector's final suspicion state is its last report. Horizons are
+//! chosen so every detector under test has stabilized long before the end
+//! (the defaults give ≥ 90 ticks of slack past the slowest detector's
+//! worst-case detection latency).
+
+use crate::impls::DetectorKind;
+use crate::props::{check_fd_property, FdProperty};
+use ktudc_model::budget::{AbortReason, Budget};
+use ktudc_model::{Event, ProcSet, ProcessId, Run, SuspectReport, Time};
+use ktudc_sim::{
+    run_detected, ChannelKind, CrashPlan, FaultPlan, ProtoAction, Protocol, SimConfig, Workload,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The PR-3 fault regimes the zoo is swept across, plus the two clean
+/// baselines. Each maps to a concrete [`FaultPlan`] / [`ChannelKind`]
+/// pair via [`FaultRegime::plan`] and [`FaultRegime::channel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultRegime {
+    /// Reliable channels, no injected faults.
+    Clean,
+    /// Fair-lossy channels (30% drop), no injected faults.
+    Lossy,
+    /// Reliable base + periodic 25-tick delay spikes over 20-tick windows.
+    DelaySpikes,
+    /// Reliable base + periodic 18-tick all-link loss bursts.
+    BurstLoss,
+    /// Reliable base + one bounded partition of link 0→1 (ticks 40..=70).
+    Partition,
+    /// Reliable base + link 0→1 permanently severed from tick 30 — the
+    /// R5-violating unfair channel.
+    SeveredLink,
+}
+
+impl FaultRegime {
+    /// All regimes, in sweep order.
+    pub const ALL: [FaultRegime; 6] = [
+        FaultRegime::Clean,
+        FaultRegime::Lossy,
+        FaultRegime::DelaySpikes,
+        FaultRegime::BurstLoss,
+        FaultRegime::Partition,
+        FaultRegime::SeveredLink,
+    ];
+
+    /// The fault plan this regime injects.
+    #[must_use]
+    pub fn plan(self) -> FaultPlan {
+        match self {
+            FaultRegime::Clean | FaultRegime::Lossy => FaultPlan::none(),
+            FaultRegime::DelaySpikes => FaultPlan::none().delay_spikes(60, 20, 25),
+            FaultRegime::BurstLoss => FaultPlan::none().burst_loss(60, 18),
+            FaultRegime::Partition => FaultPlan::none().partition_link(0, 1, 40, 70),
+            FaultRegime::SeveredLink => FaultPlan::none().sever_link(0, 1, 30),
+        }
+    }
+
+    /// The base channel regime.
+    #[must_use]
+    pub fn channel(self) -> ChannelKind {
+        match self {
+            FaultRegime::Lossy => ChannelKind::fair_lossy(0.3),
+            _ => ChannelKind::reliable(),
+        }
+    }
+
+    /// Whether the regime stays inside the paper's model (R1–R5). Only the
+    /// permanently severed link violates R5.
+    #[must_use]
+    pub fn in_model(self) -> bool {
+        !matches!(self, FaultRegime::SeveredLink)
+    }
+}
+
+impl fmt::Display for FaultRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultRegime::Clean => "clean",
+            FaultRegime::Lossy => "lossy-30",
+            FaultRegime::DelaySpikes => "delay-spikes",
+            FaultRegime::BurstLoss => "burst-loss",
+            FaultRegime::Partition => "partition",
+            FaultRegime::SeveredLink => "severed-link",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One classification cell: a detector, a regime, and the sampling knobs.
+///
+/// Serializes flat (bare string tags for the enums) — this doubles as the
+/// `ktudc-serve` wire payload for `classify` requests, pinned by a unit
+/// test below.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassifySpec {
+    /// Which detector to classify.
+    pub detector: DetectorKind,
+    /// Which regime to sweep it across.
+    pub regime: FaultRegime,
+    /// System size.
+    pub n: usize,
+    /// Trials per arm (the cell runs `trials` crash-free arms and
+    /// `trials` single-crash arms).
+    pub trials: u64,
+    /// Simulation horizon.
+    pub horizon: Time,
+    /// Base seed; arm `i` uses `seed + i` (clean) / `seed + 1000 + i`
+    /// (crash).
+    pub seed: u64,
+}
+
+impl ClassifySpec {
+    /// Defaults: n = 4, 6 trials per arm, horizon 240, seed 0.
+    ///
+    /// n = 4 (not 3) so the crash arms leave the severed-link regime a
+    /// *live* gossip relay: with n = 3 the crash victim is the only
+    /// process bridging the severed pair, and gossip's routed accuracy
+    /// legitimately collapses with it.
+    #[must_use]
+    pub fn new(detector: DetectorKind, regime: FaultRegime) -> Self {
+        ClassifySpec {
+            detector,
+            regime,
+            n: 4,
+            trials: 6,
+            horizon: 240,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the per-arm trial count.
+    #[must_use]
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Overrides the horizon.
+    #[must_use]
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// The tick at which the crash arms crash process `n−1`.
+    #[must_use]
+    pub fn crash_tick(&self) -> Time {
+        (self.horizon / 3).max(1)
+    }
+}
+
+/// Crash-detection latency over the crash arms, in ticks from the crash
+/// to each correct observer's first suspecting report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Mean over all (observer, trial) samples.
+    pub mean: f64,
+    /// Worst sample.
+    pub max: u64,
+    /// Number of samples (observers × crash trials that detected).
+    pub samples: u64,
+}
+
+/// The paper-class label condensed from the surviving properties, ordered
+/// strongest-first. `Strong` and `EventuallyPerfect` are incomparable in
+/// the paper's hierarchy; the label prefers `Strong` (a safety property
+/// held throughout) and the verdict keeps both booleans so nothing is
+/// lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmpiricalClass {
+    /// Strong accuracy + strong completeness in every run.
+    Perfect,
+    /// Weak accuracy + strong completeness in every run.
+    Strong,
+    /// Every false suspicion retracted by the horizon (final suspicion
+    /// states ⊆ crashed) + strong completeness.
+    EventuallyPerfect,
+    /// Some correct process unsuspected at the horizon in every run +
+    /// strong completeness.
+    EventuallyStrong,
+    /// Strong completeness failed: the detector missed a crash.
+    Unclassified,
+}
+
+impl fmt::Display for EmpiricalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EmpiricalClass::Perfect => "perfect",
+            EmpiricalClass::Strong => "strong",
+            EmpiricalClass::EventuallyPerfect => "eventually-perfect",
+            EmpiricalClass::EventuallyStrong => "eventually-strong",
+            EmpiricalClass::Unclassified => "unclassified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The empirical verdict for one (detector, regime) cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegimeVerdict {
+    /// The classified detector.
+    pub detector: DetectorKind,
+    /// The swept regime.
+    pub regime: FaultRegime,
+    /// The condensed class label.
+    pub class: EmpiricalClass,
+    /// `props::StrongAccuracy` held in every run.
+    pub strong_accuracy: bool,
+    /// `props::WeakAccuracy` held in every run.
+    pub weak_accuracy: bool,
+    /// `props::StrongCompleteness` held in every crash run.
+    pub strong_completeness: bool,
+    /// `props::ImpermanentStrongCompleteness` held in every crash run.
+    pub impermanent_strong_completeness: bool,
+    /// Finite-horizon ◇P reading: every final suspicion state ⊆ crashed.
+    pub eventual_accuracy: bool,
+    /// Finite-horizon ◇S accuracy reading: in every run some correct
+    /// process is unsuspected at the horizon.
+    pub eventual_weak_accuracy: bool,
+    /// Total (report, live-member) pairs across all runs — each is one
+    /// false suspicion event.
+    pub false_suspicion_events: u64,
+    /// Crash-detection latency, if every crash arm detected.
+    pub detection_latency: Option<LatencyStats>,
+}
+
+impl RegimeVerdict {
+    fn derive_class(&mut self) {
+        self.class = if !self.strong_completeness {
+            EmpiricalClass::Unclassified
+        } else if self.strong_accuracy {
+            EmpiricalClass::Perfect
+        } else if self.weak_accuracy {
+            EmpiricalClass::Strong
+        } else if self.eventual_accuracy {
+            EmpiricalClass::EventuallyPerfect
+        } else if self.eventual_weak_accuracy {
+            EmpiricalClass::EventuallyStrong
+        } else {
+            EmpiricalClass::Unclassified
+        };
+    }
+}
+
+/// Outcome of a budget-constrained classification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClassifyStatus {
+    /// Every arm ran; the verdict is complete.
+    Done(RegimeVerdict),
+    /// The budget tripped partway through the arm sweep.
+    Aborted {
+        /// Why the budget tripped.
+        reason: AbortReason,
+        /// Arms completed before the trip (of `2 × spec.trials`).
+        arms_completed: u64,
+    },
+}
+
+/// A protocol that does nothing: classification runs carry only crashes
+/// and the detector's suspect reports, which is all the property checkers
+/// read.
+#[derive(Clone, Debug)]
+struct Idle;
+
+impl Protocol<u8> for Idle {
+    fn start(&mut self, _me: ProcessId, _n: usize) {}
+    fn observe(&mut self, _time: Time, _event: &Event<u8>) {}
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<u8>> {
+        None
+    }
+    fn quiescent(&self) -> bool {
+        true
+    }
+}
+
+fn standard_reports(run: &Run<u8>, p: ProcessId) -> Vec<(Time, ProcSet)> {
+    run.timed_history(p)
+        .filter_map(|(t, e)| match e {
+            Event::Suspect(SuspectReport::Standard(s)) => Some((t, *s)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn count_false_suspicions(run: &Run<u8>) -> u64 {
+    let mut count = 0;
+    for p in ProcessId::all(run.n()) {
+        for (t, s) in standard_reports(run, p) {
+            count += s.difference(run.crashed_by(t)).len() as u64;
+        }
+    }
+    count
+}
+
+/// Classifies one detector under one regime (unbudgeted).
+#[must_use]
+pub fn classify_detector(spec: &ClassifySpec) -> RegimeVerdict {
+    match classify_detector_budgeted(spec, &Budget::unlimited()) {
+        ClassifyStatus::Done(verdict) => verdict,
+        ClassifyStatus::Aborted { .. } => unreachable!("an unlimited budget cannot abort"),
+    }
+}
+
+/// Like [`classify_detector`], but polls `budget` once per arm and stops
+/// admitting new arms once it trips. A tripped sweep yields no partial
+/// verdict: a class label quantifies over *all* arms, so an incomplete
+/// sweep cannot honestly claim one.
+#[must_use]
+pub fn classify_detector_budgeted(spec: &ClassifySpec, budget: &Budget) -> ClassifyStatus {
+    let crash_tick = spec.crash_tick();
+    let victim = ProcessId::new(spec.n - 1);
+    // Arm i < trials: crash-free; arm i ≥ trials: one crash of `victim`.
+    let arms: Vec<u64> = (0..spec.trials * 2).collect();
+    let runs = ktudc_par::par_map(arms, |arm| {
+        if budget.check().is_err() {
+            return None;
+        }
+        let crash = arm >= spec.trials;
+        let seed = if crash {
+            spec.seed + 1000 + (arm - spec.trials)
+        } else {
+            spec.seed + arm
+        };
+        let config = SimConfig::new(spec.n)
+            .channel(spec.regime.channel())
+            .crashes(if crash {
+                CrashPlan::at(&[(victim.index(), crash_tick)])
+            } else {
+                CrashPlan::None
+            })
+            .faults(spec.regime.plan())
+            .horizon(spec.horizon)
+            .seed(seed);
+        let out = run_detected(
+            &config,
+            |_| Idle,
+            |_| spec.detector.build(),
+            &Workload::none(),
+        );
+        Some((crash, out.sim.run))
+    });
+
+    let mut verdict = RegimeVerdict {
+        detector: spec.detector,
+        regime: spec.regime,
+        class: EmpiricalClass::Unclassified,
+        strong_accuracy: true,
+        weak_accuracy: true,
+        strong_completeness: true,
+        impermanent_strong_completeness: true,
+        eventual_accuracy: true,
+        eventual_weak_accuracy: true,
+        false_suspicion_events: 0,
+        detection_latency: None,
+    };
+    let mut latency_samples: Vec<u64> = Vec::new();
+    let mut completed: u64 = 0;
+    for (crash, run) in runs.into_iter().flatten() {
+        completed += 1;
+        verdict.false_suspicion_events += count_false_suspicions(&run);
+        verdict.strong_accuracy &= check_fd_property(&run, FdProperty::StrongAccuracy).is_ok();
+        verdict.weak_accuracy &= check_fd_property(&run, FdProperty::WeakAccuracy).is_ok();
+        let crashed = run.crashed_by(run.horizon());
+        let correct = run.correct();
+        // Finite ◇P reading: final suspicion states contain only crashed
+        // processes. Finite ◇S reading: some correct process is in nobody's
+        // final suspicion state.
+        let mut final_union = ProcSet::new();
+        for p in correct.iter() {
+            let finals = run.suspects_at(p, run.horizon());
+            if !finals.difference(crashed).is_empty() {
+                verdict.eventual_accuracy = false;
+            }
+            final_union = final_union.union(finals);
+        }
+        if !correct.is_empty() && correct.difference(final_union).is_empty() {
+            verdict.eventual_weak_accuracy = false;
+        }
+        if crash {
+            verdict.strong_completeness &=
+                check_fd_property(&run, FdProperty::StrongCompleteness).is_ok();
+            verdict.impermanent_strong_completeness &=
+                check_fd_property(&run, FdProperty::ImpermanentStrongCompleteness).is_ok();
+            let ct = run.crash_time(victim).expect("crash arm must crash");
+            for p in correct.iter() {
+                if let Some((t, _)) = standard_reports(&run, p)
+                    .into_iter()
+                    .find(|&(t, s)| t >= ct && s.contains(victim))
+                {
+                    latency_samples.push(t - ct);
+                }
+            }
+        }
+    }
+    if let Some(reason) = budget.tripped() {
+        return ClassifyStatus::Aborted {
+            reason,
+            arms_completed: completed,
+        };
+    }
+    if !latency_samples.is_empty() {
+        verdict.detection_latency = Some(LatencyStats {
+            mean: latency_samples.iter().sum::<u64>() as f64 / latency_samples.len() as f64,
+            max: *latency_samples.iter().max().expect("non-empty"),
+            samples: latency_samples.len() as u64,
+        });
+    }
+    verdict.derive_class();
+    ClassifyStatus::Done(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_regime_classifies_all_three_as_perfect() {
+        for detector in DetectorKind::ALL {
+            let v = classify_detector(&ClassifySpec::new(detector, FaultRegime::Clean));
+            assert_eq!(v.class, EmpiricalClass::Perfect, "{detector}: {v:?}");
+            assert_eq!(v.false_suspicion_events, 0, "{detector}");
+            let lat = v.detection_latency.expect("crash arms must detect");
+            assert!(lat.samples > 0);
+            assert!(lat.max <= 120, "{detector} latency {lat:?}");
+        }
+    }
+
+    #[test]
+    fn burst_loss_demotes_heartbeat_but_not_phi() {
+        let hb = classify_detector(&ClassifySpec::new(
+            DetectorKind::Heartbeat,
+            FaultRegime::BurstLoss,
+        ));
+        assert!(!hb.strong_accuracy, "{hb:?}");
+        assert!(hb.strong_completeness, "{hb:?}");
+        assert!(hb.false_suspicion_events > 0);
+        let phi = classify_detector(&ClassifySpec::new(
+            DetectorKind::PhiAccrual,
+            FaultRegime::BurstLoss,
+        ));
+        assert_eq!(phi.class, EmpiricalClass::Perfect, "{phi:?}");
+    }
+
+    #[test]
+    fn severed_link_demotes_direct_detectors_to_strong_but_not_gossip() {
+        for detector in [DetectorKind::Heartbeat, DetectorKind::PhiAccrual] {
+            let v = classify_detector(&ClassifySpec::new(detector, FaultRegime::SeveredLink));
+            assert_eq!(v.class, EmpiricalClass::Strong, "{detector}: {v:?}");
+            assert!(v.false_suspicion_events > 0, "{detector}");
+        }
+        let gossip = classify_detector(&ClassifySpec::new(
+            DetectorKind::Gossip,
+            FaultRegime::SeveredLink,
+        ));
+        assert_eq!(gossip.class, EmpiricalClass::Perfect, "{gossip:?}");
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let spec = ClassifySpec::new(DetectorKind::PhiAccrual, FaultRegime::Lossy);
+        assert_eq!(classify_detector(&spec), classify_detector(&spec));
+    }
+
+    #[test]
+    fn budget_trip_aborts_without_a_verdict() {
+        let spec = ClassifySpec::new(DetectorKind::Heartbeat, FaultRegime::Clean);
+        let budget = Budget::unlimited().with_max_steps(3);
+        match classify_detector_budgeted(&spec, &budget) {
+            ClassifyStatus::Aborted {
+                reason,
+                arms_completed,
+            } => {
+                assert_eq!(reason, AbortReason::StepLimit);
+                assert!(arms_completed < spec.trials * 2);
+            }
+            ClassifyStatus::Done(v) => panic!("a 3-step cap must trip: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_schema_is_pinned() {
+        // These exact strings are the serve wire payloads for `classify`
+        // requests/responses. If this fails, the encoding changed: bump
+        // `ktudc_serve::SCHEMA_VERSION` and repin deliberately.
+        let spec = ClassifySpec::new(DetectorKind::PhiAccrual, FaultRegime::BurstLoss)
+            .trials(4)
+            .horizon(200);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(
+            json,
+            r#"{"detector":"PhiAccrual","regime":"BurstLoss","n":4,"trials":4,"horizon":200,"seed":0}"#
+        );
+        assert_eq!(serde_json::from_str::<ClassifySpec>(&json).unwrap(), spec);
+
+        let verdict = RegimeVerdict {
+            detector: DetectorKind::Heartbeat,
+            regime: FaultRegime::Clean,
+            class: EmpiricalClass::Perfect,
+            strong_accuracy: true,
+            weak_accuracy: true,
+            strong_completeness: true,
+            impermanent_strong_completeness: true,
+            eventual_accuracy: true,
+            eventual_weak_accuracy: true,
+            false_suspicion_events: 0,
+            detection_latency: Some(LatencyStats {
+                mean: 17.5,
+                max: 21,
+                samples: 12,
+            }),
+        };
+        let json = serde_json::to_string(&verdict).unwrap();
+        assert_eq!(
+            json,
+            r#"{"detector":"Heartbeat","regime":"Clean","class":"Perfect","strong_accuracy":true,"weak_accuracy":true,"strong_completeness":true,"impermanent_strong_completeness":true,"eventual_accuracy":true,"eventual_weak_accuracy":true,"false_suspicion_events":0,"detection_latency":{"mean":17.5,"max":21,"samples":12}}"#
+        );
+        assert_eq!(
+            serde_json::from_str::<RegimeVerdict>(&json).unwrap(),
+            verdict
+        );
+    }
+
+    #[test]
+    fn regime_metadata() {
+        assert!(FaultRegime::Clean.in_model());
+        assert!(FaultRegime::Partition.in_model());
+        assert!(!FaultRegime::SeveredLink.in_model());
+        assert!(FaultRegime::SeveredLink.plan().has_unfair_link());
+        assert_eq!(FaultRegime::Lossy.channel().drop_prob(), 0.3);
+        assert_eq!(FaultRegime::Clean.to_string(), "clean");
+        assert_eq!(
+            EmpiricalClass::EventuallyPerfect.to_string(),
+            "eventually-perfect"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The classic heartbeat-timeout detector.
+//!
+//! Every `period` ticks each process broadcasts a beat; a peer silent for
+//! more than `timeout` ticks is suspected, and a suspicion is retracted the
+//! moment a beat arrives again. This is the detector every practical system
+//! starts from (cf. the system-level diagnosis lineage of Duarte et al.):
+//! cheap, aggressive, and only as accurate as its fixed timeout.
+//!
+//! With the default tuning (period 4, timeout 14) on clean reliable
+//! channels (max delay 3), the worst-case inter-beat gap is
+//! `period + max_delay − 1 = 6 < 14`, so the detector is empirically
+//! *perfect*; any regime that can silence a live link for longer than the
+//! timeout (bursts, spikes, partitions) manufactures false suspicions.
+
+use ktudc_model::{ProcSet, ProcessId, SuspectReport, Time};
+use ktudc_sim::Detector;
+use rand::rngs::StdRng;
+
+/// The unit heartbeat message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Beat;
+
+/// Heartbeat-timeout detector (see module docs).
+#[derive(Clone, Debug)]
+pub struct HeartbeatDetector {
+    me: ProcessId,
+    n: usize,
+    period: Time,
+    timeout: Time,
+    /// Last tick a beat from each peer arrived; tick 0 doubles as the
+    /// start-of-run grace marker, so nobody is suspected before a full
+    /// timeout has elapsed from tick 0.
+    last_heard: Vec<Time>,
+}
+
+impl HeartbeatDetector {
+    /// Default tuning: beat every 4 ticks, suspect after 14 silent ticks.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tuning(4, 14)
+    }
+
+    /// Custom tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `timeout < period` (a timeout shorter
+    /// than the beat interval suspects everyone always).
+    #[must_use]
+    pub fn with_tuning(period: Time, timeout: Time) -> Self {
+        assert!(period >= 1, "heartbeat period must be at least 1");
+        assert!(timeout >= period, "timeout must cover at least one period");
+        HeartbeatDetector {
+            me: ProcessId::new(0),
+            n: 0,
+            period,
+            timeout,
+            last_heard: Vec::new(),
+        }
+    }
+}
+
+impl Default for HeartbeatDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for HeartbeatDetector {
+    type Msg = Beat;
+
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+        self.last_heard = vec![0; n];
+    }
+
+    fn on_tick(&mut self, now: Time, _rng: &mut StdRng) -> Vec<(ProcessId, Beat)> {
+        // Staggered like the scheduler's FD polling, so beats from
+        // different senders spread over the period instead of bursting.
+        if (now + self.me.index() as Time).is_multiple_of(self.period) {
+            ProcessId::all(self.n)
+                .filter(|&q| q != self.me)
+                .map(|q| (q, Beat))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_recv(&mut self, now: Time, from: ProcessId, _msg: &Beat) {
+        self.last_heard[from.index()] = now;
+    }
+
+    fn report(&mut self, now: Time) -> SuspectReport {
+        let suspects: ProcSet = ProcessId::all(self.n)
+            .filter(|&q| {
+                q != self.me && now.saturating_sub(self.last_heard[q.index()]) > self.timeout
+            })
+            .collect();
+        SuspectReport::Standard(suspects)
+    }
+
+    fn name(&self) -> &'static str {
+        "heartbeat"
+    }
+}

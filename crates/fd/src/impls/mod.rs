@@ -1,0 +1,328 @@
+//! Empirical failure detectors: implementations, not oracles.
+//!
+//! Everything in [`crate::oracle`] consults the ground-truth fault
+//! schedule; everything here earns its suspicions from *observable message
+//! behavior* — beats that arrive, beats that do not, counters that stop
+//! growing — via the [`Detector`] interface of `ktudc-sim` and its
+//! two-plane runner [`run_detected`](ktudc_sim::run_detected). The three
+//! implementations span the practical lineage:
+//!
+//! * [`HeartbeatDetector`] — fixed-timeout beats (the Duarte et al.
+//!   system-level-diagnosis baseline): perfect on clean channels, the
+//!   first to break under delay or loss.
+//! * [`PhiAccrualDetector`] — Hayashibara-style adaptive suspicion: learns
+//!   the channel's inter-arrival distribution and survives loss, spikes,
+//!   and bursts that break a fixed timeout.
+//! * [`GossipDetector`] — van Renesse-style counter gossip: liveness is
+//!   *routed*, so accuracy survives even severed links while the gossip
+//!   graph stays connected.
+//!
+//! None of them can see the fault schedule, so their paper class is not a
+//! definition but an *empirical finding*: `crate::classify` sweeps each
+//! detector across fault regimes and lets `crate::props` decide which
+//! class (perfect, strong, eventually-perfect, …) the suspicion histories
+//! actually satisfy.
+
+pub mod gossip;
+pub mod heartbeat;
+pub mod phi;
+
+pub use gossip::{GossipDetector, GossipMsg};
+pub use heartbeat::{Beat, HeartbeatDetector};
+pub use phi::PhiAccrualDetector;
+
+use ktudc_model::{ProcessId, SuspectReport, Time};
+use ktudc_sim::Detector;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Selector for the empirical detectors, used by the classification
+/// harness, the Table-1 harness, and the serve wire (bare string tags,
+/// like `FdChoice`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// [`HeartbeatDetector`] with default tuning.
+    Heartbeat,
+    /// [`PhiAccrualDetector`] with default tuning.
+    PhiAccrual,
+    /// [`GossipDetector`] with default tuning.
+    Gossip,
+}
+
+impl DetectorKind {
+    /// All selectable kinds, in display order.
+    pub const ALL: [DetectorKind; 3] = [
+        DetectorKind::Heartbeat,
+        DetectorKind::PhiAccrual,
+        DetectorKind::Gossip,
+    ];
+
+    /// Builds a fresh default-tuned instance behind the unified message
+    /// type, ready for [`run_detected`](ktudc_sim::run_detected).
+    #[must_use]
+    pub fn build(self) -> ZooDetector {
+        match self {
+            DetectorKind::Heartbeat => ZooDetector::Heartbeat(HeartbeatDetector::new()),
+            DetectorKind::PhiAccrual => ZooDetector::PhiAccrual(PhiAccrualDetector::new()),
+            DetectorKind::Gossip => ZooDetector::Gossip(GossipDetector::new()),
+        }
+    }
+}
+
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DetectorKind::Heartbeat => "heartbeat",
+            DetectorKind::PhiAccrual => "phi-accrual",
+            DetectorKind::Gossip => "gossip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unified detector-plane message type, so dynamically chosen detectors
+/// share one [`run_detected`](ktudc_sim::run_detected) instantiation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ZooMsg {
+    /// A heartbeat (from [`HeartbeatDetector`] or [`PhiAccrualDetector`]).
+    Beat(Beat),
+    /// A gossiped counter vector.
+    Gossip(GossipMsg),
+}
+
+/// Any of the three empirical detectors behind the unified [`ZooMsg`].
+/// Mismatched message kinds are ignored defensively (they cannot occur
+/// when all processes run the same `DetectorKind`, which the harnesses
+/// enforce).
+#[derive(Clone, Debug)]
+pub enum ZooDetector {
+    /// Heartbeat-timeout.
+    Heartbeat(HeartbeatDetector),
+    /// φ-accrual.
+    PhiAccrual(PhiAccrualDetector),
+    /// Counter gossip.
+    Gossip(GossipDetector),
+}
+
+impl Detector for ZooDetector {
+    type Msg = ZooMsg;
+
+    fn start(&mut self, me: ProcessId, n: usize) {
+        match self {
+            ZooDetector::Heartbeat(d) => d.start(me, n),
+            ZooDetector::PhiAccrual(d) => d.start(me, n),
+            ZooDetector::Gossip(d) => d.start(me, n),
+        }
+    }
+
+    fn on_tick(&mut self, now: Time, rng: &mut StdRng) -> Vec<(ProcessId, ZooMsg)> {
+        match self {
+            ZooDetector::Heartbeat(d) => d
+                .on_tick(now, rng)
+                .into_iter()
+                .map(|(to, m)| (to, ZooMsg::Beat(m)))
+                .collect(),
+            ZooDetector::PhiAccrual(d) => d
+                .on_tick(now, rng)
+                .into_iter()
+                .map(|(to, m)| (to, ZooMsg::Beat(m)))
+                .collect(),
+            ZooDetector::Gossip(d) => d
+                .on_tick(now, rng)
+                .into_iter()
+                .map(|(to, m)| (to, ZooMsg::Gossip(m)))
+                .collect(),
+        }
+    }
+
+    fn on_recv(&mut self, now: Time, from: ProcessId, msg: &ZooMsg) {
+        match (self, msg) {
+            (ZooDetector::Heartbeat(d), ZooMsg::Beat(m)) => d.on_recv(now, from, m),
+            (ZooDetector::PhiAccrual(d), ZooMsg::Beat(m)) => d.on_recv(now, from, m),
+            (ZooDetector::Gossip(d), ZooMsg::Gossip(m)) => d.on_recv(now, from, m),
+            _ => {}
+        }
+    }
+
+    fn report(&mut self, now: Time) -> SuspectReport {
+        match self {
+            ZooDetector::Heartbeat(d) => d.report(now),
+            ZooDetector::PhiAccrual(d) => d.report(now),
+            ZooDetector::Gossip(d) => d.report(now),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ZooDetector::Heartbeat(d) => d.name(),
+            ZooDetector::PhiAccrual(d) => d.name(),
+            ZooDetector::Gossip(d) => d.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{check_fd_property, FdProperty};
+    use ktudc_model::{Event, Run};
+    use ktudc_sim::{
+        run_detected, ChannelKind, CrashPlan, FaultPlan, ProtoAction, Protocol, SimConfig, Workload,
+    };
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[derive(Clone, Debug)]
+    struct Idle;
+
+    impl Protocol<u8> for Idle {
+        fn start(&mut self, _me: ProcessId, _n: usize) {}
+        fn observe(&mut self, _time: Time, _event: &Event<u8>) {}
+        fn next_action(&mut self, _time: Time) -> Option<ProtoAction<u8>> {
+            None
+        }
+        fn quiescent(&self) -> bool {
+            true
+        }
+    }
+
+    fn run_zoo(kind: DetectorKind, config: &SimConfig) -> Run<u8> {
+        run_detected(config, |_| Idle, |_| kind.build(), &Workload::none())
+            .sim
+            .run
+    }
+
+    fn false_suspicions(run: &Run<u8>) -> u64 {
+        let mut count = 0;
+        for q in ProcessId::all(run.n()) {
+            for (t, e) in run.timed_history(q) {
+                if let Event::Suspect(SuspectReport::Standard(s)) = e {
+                    count += s.difference(run.crashed_by(t)).len() as u64;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn all_three_are_clean_on_reliable_channels() {
+        for kind in DetectorKind::ALL {
+            for seed in 0..4 {
+                let config = SimConfig::new(4).horizon(200).seed(seed);
+                let run = run_zoo(kind, &config);
+                assert_eq!(
+                    false_suspicions(&run),
+                    0,
+                    "{kind} falsely suspected on a clean reliable run (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_detect_a_crash_permanently() {
+        for kind in DetectorKind::ALL {
+            let config = SimConfig::new(3)
+                .crashes(CrashPlan::at(&[(2, 40)]))
+                .horizon(220)
+                .seed(1);
+            let run = run_zoo(kind, &config);
+            check_fd_property(&run, FdProperty::StrongCompleteness)
+                .unwrap_or_else(|v| panic!("{kind}: {v}"));
+            check_fd_property(&run, FdProperty::StrongAccuracy)
+                .unwrap_or_else(|v| panic!("{kind}: {v}"));
+        }
+    }
+
+    #[test]
+    fn heartbeat_breaks_under_burst_loss_but_phi_adapts() {
+        let config = SimConfig::new(3)
+            .faults(FaultPlan::none().burst_loss(60, 18))
+            .horizon(240)
+            .seed(2);
+        let hb = run_zoo(DetectorKind::Heartbeat, &config);
+        assert!(
+            false_suspicions(&hb) > 0,
+            "an 18-tick outage must outlast the 14-tick heartbeat timeout"
+        );
+        let phi = run_zoo(DetectorKind::PhiAccrual, &config);
+        assert_eq!(
+            false_suspicions(&phi),
+            0,
+            "phi-accrual must absorb an 18-tick outage"
+        );
+    }
+
+    #[test]
+    fn severed_link_fools_direct_detectors_but_not_gossip() {
+        let config = SimConfig::new(3)
+            .faults(FaultPlan::none().sever_link(0, 1, 30))
+            .horizon(240)
+            .seed(3);
+        for kind in [DetectorKind::Heartbeat, DetectorKind::PhiAccrual] {
+            let run = run_zoo(kind, &config);
+            assert!(
+                run.suspects_at(p(1), 240).contains(p(0)),
+                "{kind}: p1 must falsely suspect the severed p0"
+            );
+            // But only p0 is falsely suspected: weak accuracy survives.
+            check_fd_property(&run, FdProperty::WeakAccuracy)
+                .unwrap_or_else(|v| panic!("{kind}: {v}"));
+        }
+        let gossip = run_zoo(DetectorKind::Gossip, &config);
+        assert_eq!(
+            false_suspicions(&gossip),
+            0,
+            "gossip must route around the severed link via p2"
+        );
+    }
+
+    #[test]
+    fn phi_adapts_to_lossy_channels_where_heartbeat_false_suspects() {
+        let mut hb_false = 0;
+        let mut phi_false = 0;
+        for seed in 0..6 {
+            let config = SimConfig::new(3)
+                .channel(ChannelKind::fair_lossy(0.3))
+                .horizon(300)
+                .seed(seed);
+            hb_false += false_suspicions(&run_zoo(DetectorKind::Heartbeat, &config));
+            phi_false += false_suspicions(&run_zoo(DetectorKind::PhiAccrual, &config));
+        }
+        assert!(
+            hb_false > 0,
+            "30% loss should trip a 14-tick fixed timeout at least once in 6 runs"
+        );
+        assert_eq!(phi_false, 0, "phi-accrual must absorb 30% loss");
+    }
+
+    #[test]
+    fn kind_roundtrips_and_builds() {
+        for kind in DetectorKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(serde_json::from_str::<DetectorKind>(&json).unwrap(), kind);
+            let mut d = kind.build();
+            d.start(p(0), 3);
+            assert_eq!(d.name(), kind.to_string());
+        }
+        assert_eq!(
+            serde_json::to_string(&DetectorKind::PhiAccrual).unwrap(),
+            r#""PhiAccrual""#
+        );
+    }
+
+    #[test]
+    fn mismatched_zoo_messages_are_ignored() {
+        let mut d = DetectorKind::Heartbeat.build();
+        d.start(p(0), 2);
+        // A gossip vector delivered to a heartbeat detector is dropped.
+        d.on_recv(5, p(1), &ZooMsg::Gossip(GossipMsg(vec![9, 9])));
+        assert!(matches!(
+            d.report(20),
+            SuspectReport::Standard(s) if s.contains(p(1))
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! The φ-accrual detector (Hayashibara et al.), adapted to simulator ticks.
+//!
+//! Instead of a fixed timeout, the receiver keeps a sliding window of
+//! inter-arrival gaps per peer and converts the current silence into a
+//! *suspicion level* under an exponential inter-arrival model:
+//!
+//! ```text
+//! φ(gap) = −log₁₀ P(next beat arrives later than gap) = gap / (mean · ln 10)
+//! ```
+//!
+//! A peer is suspected once φ crosses a threshold (default 6, i.e. the
+//! observed silence would occur with probability 10⁻⁶ if the peer were
+//! alive and the channel behaved as historically observed). Because `mean`
+//! is *learned*, the detector adapts: on a lossy channel the observed
+//! inter-arrival mean stretches and the effective timeout stretches with
+//! it, which is exactly why φ-accrual keeps its accuracy in regimes where
+//! a fixed-timeout heartbeat detector turns into a false-suspicion machine.
+
+use super::heartbeat::Beat;
+use ktudc_model::{ProcSet, ProcessId, SuspectReport, Time};
+use ktudc_sim::Detector;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+use std::f64::consts::LN_10;
+
+/// Sliding-window arrival statistics for one peer.
+#[derive(Clone, Debug, Default)]
+struct PeerWindow {
+    last_arrival: Time,
+    gaps: VecDeque<Time>,
+}
+
+/// φ-accrual adaptive detector (see module docs).
+#[derive(Clone, Debug)]
+pub struct PhiAccrualDetector {
+    me: ProcessId,
+    n: usize,
+    period: Time,
+    threshold: f64,
+    window: usize,
+    min_samples: usize,
+    /// Prior mean inter-arrival used until `min_samples` gaps are observed.
+    prior_mean: f64,
+    peers: Vec<PeerWindow>,
+}
+
+impl PhiAccrualDetector {
+    /// Default tuning: beat every 4 ticks, suspect at φ ≥ 6, window of 20
+    /// gaps, bootstrap prior mean 7 (period + default max delay).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tuning(4, 6.0, 20)
+    }
+
+    /// Custom tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero, `threshold` is not positive, or
+    /// `window` is zero.
+    #[must_use]
+    pub fn with_tuning(period: Time, threshold: f64, window: usize) -> Self {
+        assert!(period >= 1, "beat period must be at least 1");
+        assert!(threshold > 0.0, "phi threshold must be positive");
+        assert!(window >= 1, "window must hold at least one gap");
+        PhiAccrualDetector {
+            me: ProcessId::new(0),
+            n: 0,
+            period,
+            threshold,
+            window,
+            min_samples: 3,
+            prior_mean: (period + 3) as f64,
+            peers: Vec::new(),
+        }
+    }
+
+    /// The current suspicion level for `q` at tick `now` (0 for self and
+    /// for peers heard this tick).
+    #[must_use]
+    pub fn phi(&self, q: ProcessId, now: Time) -> f64 {
+        if q == self.me || self.n == 0 {
+            return 0.0;
+        }
+        let peer = &self.peers[q.index()];
+        let gap = now.saturating_sub(peer.last_arrival) as f64;
+        let mean = if peer.gaps.len() >= self.min_samples {
+            peer.gaps.iter().sum::<Time>() as f64 / peer.gaps.len() as f64
+        } else {
+            self.prior_mean
+        };
+        gap / (mean.max(1.0) * LN_10)
+    }
+}
+
+impl Default for PhiAccrualDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for PhiAccrualDetector {
+    type Msg = Beat;
+
+    fn start(&mut self, me: ProcessId, n: usize) {
+        self.me = me;
+        self.n = n;
+        self.peers = vec![PeerWindow::default(); n];
+    }
+
+    fn on_tick(&mut self, now: Time, _rng: &mut StdRng) -> Vec<(ProcessId, Beat)> {
+        if (now + self.me.index() as Time).is_multiple_of(self.period) {
+            ProcessId::all(self.n)
+                .filter(|&q| q != self.me)
+                .map(|q| (q, Beat))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_recv(&mut self, now: Time, from: ProcessId, _msg: &Beat) {
+        let peer = &mut self.peers[from.index()];
+        // The first arrival seeds `last_arrival` without recording the
+        // bogus gap-from-tick-0.
+        if peer.last_arrival > 0 {
+            peer.gaps.push_back(now.saturating_sub(peer.last_arrival));
+            if peer.gaps.len() > self.window {
+                peer.gaps.pop_front();
+            }
+        }
+        peer.last_arrival = now;
+    }
+
+    fn report(&mut self, now: Time) -> SuspectReport {
+        let suspects: ProcSet = ProcessId::all(self.n)
+            .filter(|&q| q != self.me && self.phi(q, now) >= self.threshold)
+            .collect();
+        SuspectReport::Standard(suspects)
+    }
+
+    fn name(&self) -> &'static str {
+        "phi-accrual"
+    }
+}

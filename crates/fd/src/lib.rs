@@ -42,12 +42,22 @@
 #![warn(missing_docs)]
 
 pub mod atd;
+pub mod classify;
 pub mod convert;
+pub mod impls;
 pub mod oracle;
 pub mod perturb;
 pub mod props;
 
 pub use atd::{check_atd_accuracy, RotatingAccuracyOracle};
+pub use classify::{
+    classify_detector, classify_detector_budgeted, ClassifySpec, ClassifyStatus, EmpiricalClass,
+    FaultRegime, LatencyStats, RegimeVerdict,
+};
+pub use impls::{
+    Beat, DetectorKind, GossipDetector, GossipMsg, HeartbeatDetector, PhiAccrualDetector,
+    ZooDetector, ZooMsg,
+};
 pub use oracle::{
     CyclingSubsetOracle, EventuallyStrongOracle, ImpermanentStrongOracle, ImpermanentWeakOracle,
     PerfectOracle, StrongOracle, TUsefulOracle, WeakOracle,

@@ -20,7 +20,7 @@
 //! [`props`]: crate::props
 
 use ktudc_model::{ProcSet, ProcessId, SuspectReport, Time};
-use ktudc_sim::{FaultTruth, FdOracle};
+use ktudc_sim::{Detector, FaultTruth, FdOracle};
 use rand::rngs::StdRng;
 
 /// Injects one false suspicion: at the first poll at or after `at`, the
@@ -206,6 +206,99 @@ impl<O: FdOracle> FdOracle for MinFaultyInflater<O> {
         "perturbed:inflate-min-faulty"
     }
 }
+
+/// Forwards the detector plumbing (start / on_tick / on_recv) to the
+/// wrapped implementation and applies `$transform` to each polled report —
+/// so the same wrapper types that perturb ground-truth oracles perturb the
+/// empirical detectors of [`crate::impls`], and the same "breaks exactly
+/// one contract" guarantees carry over (regression-tested by
+/// `tests/detector_perturb_props.rs`).
+macro_rules! detector_passthrough {
+    ($wrapper:ident, $name:literal, |$self_:ident, $now:ident, $base:ident| $transform:expr) => {
+        impl<D: Detector> Detector for $wrapper<D> {
+            type Msg = D::Msg;
+
+            fn start(&mut self, me: ProcessId, n: usize) {
+                self.inner.start(me, n);
+            }
+
+            fn on_tick(&mut self, now: Time, rng: &mut StdRng) -> Vec<(ProcessId, D::Msg)> {
+                self.inner.on_tick(now, rng)
+            }
+
+            fn on_recv(&mut self, now: Time, from: ProcessId, msg: &D::Msg) {
+                self.inner.on_recv(now, from, msg);
+            }
+
+            fn report(&mut self, now: Time) -> SuspectReport {
+                let base = self.inner.report(now);
+                let $self_ = self;
+                let $now = now;
+                let $base = base;
+                $transform
+            }
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+detector_passthrough!(
+    FalseSuspector,
+    "perturbed:false-suspect",
+    |me, now, base| {
+        if me.fired || now < me.at {
+            base
+        } else {
+            me.fired = true;
+            let mut set = base.standard_set().unwrap_or_default();
+            set.insert(me.victim);
+            SuspectReport::Standard(set)
+        }
+    }
+);
+
+detector_passthrough!(
+    SuspicionSuppressor,
+    "perturbed:suppress",
+    |me, _now, base| {
+        match base {
+            SuspectReport::Standard(mut set) => {
+                set.remove(me.of);
+                SuspectReport::Standard(set)
+            }
+            other => other,
+        }
+    }
+);
+
+detector_passthrough!(LateRetractor, "perturbed:late-retract", |me, now, base| {
+    match base {
+        SuspectReport::Standard(_) if now >= me.after => SuspectReport::Standard(ProcSet::new()),
+        other => other,
+    }
+});
+
+detector_passthrough!(
+    MinFaultyInflater,
+    "perturbed:inflate-min-faulty",
+    |me, now, base| {
+        match base {
+            SuspectReport::Generalized { set, min_faulty } if !me.fired && now >= me.at => {
+                me.fired = true;
+                SuspectReport::Generalized {
+                    set,
+                    min_faulty: min_faulty + 1,
+                }
+            }
+            // The empirical detectors emit standard reports, so the
+            // inflater is inert over them — kept for wrapper parity.
+            other => other,
+        }
+    }
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,194 @@
+//! Property tests: composing `perturb` wrappers over the *empirical*
+//! detectors of `fd::impls` breaks exactly the targeted contract and
+//! nothing else.
+//!
+//! The perturb wrappers were originally regression tests for the property
+//! checkers, applied to ground-truth oracles. Since they also implement
+//! `ktudc_sim::Detector` by passthrough, the same schedule-driven
+//! violations must hold when wrapped around detectors that *earn* their
+//! suspicions from message arrivals — on clean reliable channels, where
+//! every zoo detector is empirically perfect, so any violation is
+//! attributable to the wrapper alone:
+//!
+//! * [`FalseSuspector`] breaks strong accuracy, keeps completeness and
+//!   weak accuracy;
+//! * [`SuspicionSuppressor`] breaks weak (and strong) completeness, keeps
+//!   accuracy;
+//! * [`LateRetractor`] breaks permanent completeness, keeps the
+//!   impermanent reading and accuracy;
+//! * [`MinFaultyInflater`] is inert — the zoo emits standard reports, so
+//!   the run is indistinguishable from the unwrapped baseline.
+
+use ktudc_fd::{
+    check_fd_property, DetectorKind, FalseSuspector, FdProperty, LateRetractor, MinFaultyInflater,
+    SuspicionSuppressor, ZooDetector,
+};
+use ktudc_model::{Event, ProcessId, Run, Time};
+use ktudc_sim::{run_detected, CrashPlan, Detector, ProtoAction, Protocol, SimConfig, Workload};
+use proptest::prelude::*;
+
+/// A protocol that does nothing: the run consists purely of crashes and
+/// suspect reports, which is all the FD property checkers read.
+#[derive(Clone, Debug)]
+struct Idle;
+
+impl Protocol<u8> for Idle {
+    fn start(&mut self, _me: ProcessId, _n: usize) {}
+    fn observe(&mut self, _time: Time, _event: &Event<u8>) {}
+    fn next_action(&mut self, _time: Time) -> Option<ProtoAction<u8>> {
+        None
+    }
+    fn quiescent(&self) -> bool {
+        true
+    }
+}
+
+const N: usize = 4;
+const HORIZON: Time = 240;
+/// Crash early enough that even gossip (fail_timeout 60) detects it with
+/// ample room before [`RETRACT_AT`] and the horizon.
+const CRASH_AT: Time = 60;
+/// Gossip suspects the crash by ~`CRASH_AT + 60` plus report cadence; 200
+/// leaves the impermanent window closed well before the horizon.
+const RETRACT_AT: Time = 200;
+
+/// Clean reliable channels + one crash: every zoo detector is empirically
+/// perfect here, so the unwrapped baseline satisfies all four contracts.
+fn config(seed: u64) -> SimConfig {
+    SimConfig::new(N)
+        .crashes(CrashPlan::at(&[(N - 1, CRASH_AT)]))
+        .horizon(HORIZON)
+        .seed(seed)
+}
+
+fn run_wrapped<D, G>(seed: u64, make: G) -> Run<u8>
+where
+    D: Detector,
+    G: Fn(ProcessId) -> D,
+{
+    run_detected(&config(seed), |_| Idle, make, &Workload::none())
+        .sim
+        .run
+}
+
+fn kind_strategy() -> impl Strategy<Value = DetectorKind> {
+    (0usize..DetectorKind::ALL.len()).prop_map(|i| DetectorKind::ALL[i])
+}
+
+fn holds(run: &Run<u8>, prop: FdProperty) -> Result<(), String> {
+    check_fd_property(run, prop).map_err(|v| v.to_string())
+}
+
+proptest! {
+    /// Sanity anchor: the unwrapped detectors are perfect under this
+    /// regime, so every breakage below is the wrapper's doing.
+    #[test]
+    fn baseline_is_perfect_on_clean_channels(kind in kind_strategy(), seed in 0u64..64) {
+        let run = run_wrapped(seed, |_| kind.build());
+        prop_assert!(holds(&run, FdProperty::StrongAccuracy).is_ok());
+        prop_assert!(holds(&run, FdProperty::StrongCompleteness).is_ok());
+    }
+
+    /// One fabricated suspicion of the immune process p0 breaks strong
+    /// accuracy — and *only* strong accuracy: the victim is retracted at
+    /// the very next inner report, so completeness (a horizon reading) and
+    /// weak accuracy (p1 and p2 are never falsely suspected) survive.
+    #[test]
+    fn false_suspector_breaks_exactly_strong_accuracy(
+        kind in kind_strategy(),
+        seed in 0u64..64,
+        at in 20u64..180,
+    ) {
+        let victim = ProcessId::new(0);
+        let run = run_wrapped(seed, |_| FalseSuspector::new(kind.build(), victim, at));
+        prop_assert!(holds(&run, FdProperty::StrongAccuracy).is_err(),
+            "{kind}: a fabricated suspicion of correct p0 must violate strong accuracy");
+        prop_assert_eq!(holds(&run, FdProperty::WeakAccuracy), Ok(()),
+            "{kind}: only p0 is ever falsely suspected");
+        prop_assert_eq!(holds(&run, FdProperty::StrongCompleteness), Ok(()),
+            "{kind}: the crash is still permanently suspected");
+    }
+
+    /// Deleting the crashed process from every report breaks weak (hence
+    /// strong) completeness while accuracy is untouched — removing
+    /// suspicions cannot create false ones.
+    #[test]
+    fn suppressor_breaks_exactly_completeness(kind in kind_strategy(), seed in 0u64..64) {
+        let crashed = ProcessId::new(N - 1);
+        let run = run_wrapped(seed, |_| SuspicionSuppressor::new(kind.build(), crashed));
+        prop_assert!(holds(&run, FdProperty::WeakCompleteness).is_err(),
+            "{kind}: nobody may ever suspect the muzzled crash");
+        prop_assert!(holds(&run, FdProperty::StrongCompleteness).is_err());
+        prop_assert_eq!(holds(&run, FdProperty::StrongAccuracy), Ok(()),
+            "{kind}: suppression must not fabricate suspicions");
+    }
+
+    /// Emptying every report from `RETRACT_AT` on separates the paper's
+    /// permanent/impermanent completeness readings: the final suspicion
+    /// state is empty (permanent fails) but the crash *was* reported
+    /// during the window (impermanent holds).
+    #[test]
+    fn late_retractor_separates_permanent_from_impermanent(
+        kind in kind_strategy(),
+        seed in 0u64..64,
+    ) {
+        let run = run_wrapped(seed, |_| LateRetractor::new(kind.build(), RETRACT_AT));
+        prop_assert!(holds(&run, FdProperty::StrongCompleteness).is_err(),
+            "{kind}: the horizon suspicion state is empty");
+        prop_assert_eq!(holds(&run, FdProperty::ImpermanentStrongCompleteness), Ok(()),
+            "{kind}: the crash was suspected before the retraction window");
+        prop_assert_eq!(holds(&run, FdProperty::StrongAccuracy), Ok(()),
+            "{kind}: retraction must not fabricate suspicions");
+    }
+
+    /// The inflater only rewrites generalized reports; the zoo emits
+    /// standard ones, so the wrapped run is bit-identical to the baseline.
+    #[test]
+    fn inflater_is_inert_over_standard_report_detectors(
+        kind in kind_strategy(),
+        seed in 0u64..64,
+        at in 0u64..200,
+    ) {
+        let baseline = run_wrapped(seed, |_| kind.build());
+        let wrapped = run_wrapped(seed, |_| MinFaultyInflater::new(kind.build(), at));
+        prop_assert_eq!(baseline, wrapped);
+    }
+
+    /// Wrappers nest: suppressing the crash *inside* a false suspector
+    /// composes both violations — accuracy and completeness each fail for
+    /// their own reason, and the checkers attribute them independently.
+    #[test]
+    fn stacked_wrappers_compose_both_violations(
+        kind in kind_strategy(),
+        seed in 0u64..64,
+        at in 20u64..180,
+    ) {
+        let victim = ProcessId::new(0);
+        let crashed = ProcessId::new(N - 1);
+        let run = run_wrapped(seed, |_| {
+            FalseSuspector::new(
+                SuspicionSuppressor::new(kind.build(), crashed),
+                victim,
+                at,
+            )
+        });
+        prop_assert!(holds(&run, FdProperty::StrongAccuracy).is_err());
+        prop_assert!(holds(&run, FdProperty::WeakCompleteness).is_err());
+        // The fabricated suspicion still targets only p0.
+        prop_assert_eq!(holds(&run, FdProperty::WeakAccuracy), Ok(()));
+    }
+}
+
+/// Boxed composition mirrors `wrappers_compose_over_boxed_oracles`: the
+/// blanket `Detector for Box<dyn Detector>` impl lets perturbations wrap
+/// dynamically chosen zoo members.
+#[test]
+fn wrappers_compose_over_boxed_detectors() {
+    let run = run_wrapped(7, |_| {
+        let boxed: Box<dyn Detector<Msg = <ZooDetector as Detector>::Msg>> =
+            Box::new(DetectorKind::Heartbeat.build());
+        FalseSuspector::new(boxed, ProcessId::new(0), 40)
+    });
+    assert!(holds(&run, FdProperty::StrongAccuracy).is_err());
+    assert!(holds(&run, FdProperty::StrongCompleteness).is_ok());
+}

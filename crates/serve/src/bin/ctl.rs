@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ctl [--addr HOST:PORT] sweep [--smoke] [--twice] [--deadline-ms N]
+//! ctl [--addr HOST:PORT] classify [--detector NAME] [--regime NAME] [--smoke]
 //! ctl [--addr HOST:PORT] stats
 //! ctl [--addr HOST:PORT] health
 //! ctl [--addr HOST:PORT] shutdown
@@ -17,6 +18,13 @@
 //! request with a deadline; cells the server sheds or aborts show up as
 //! typed `DeadlineExceeded` rows rather than hangs.
 //!
+//! `classify` sweeps the empirical failure detectors (heartbeat,
+//! φ-accrual, gossip) across the fault regimes as one pipelined batch
+//! and prints the class each one achieves per regime — the paper's
+//! hierarchy read off implementations instead of oracles. `--detector` /
+//! `--regime` narrow the grid to one row/column (names as printed in the
+//! table); `--smoke` shrinks trials and horizon for CI.
+//!
 //! `health` prints the server's durability health report (generation,
 //! recovery counters). `resume` is *local*: it resumes the checkpointed
 //! exploration journaled at `<checkpoint>` — the spec is read from the
@@ -30,6 +38,7 @@
 //! network (or disk) access.
 
 use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
+use ktudc_fd::{ClassifySpec, DetectorKind, FaultRegime};
 use ktudc_serve::{
     Client, ClientError, HardenedClient, RequestKind, RequestOptions, Response, ResponseKind,
     RetryPolicy,
@@ -260,35 +269,164 @@ fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool, deadline_ms:
     }
     match client.stats() {
         Ok(stats) => println!(
-            "server: {} workers, queue {}/{}, cache {}/{} entries, hit rate {:.2}, {} shed",
+            "server: {} workers, queue {}/{}, cache {}/{} entries, hit rate {:.2}, {} shed, \
+             {} steals, deepest deque {}",
             stats.workers,
             stats.queue_depth,
             stats.queue_capacity,
             stats.cache_entries,
             stats.cache_capacity,
             stats.cache_hit_rate,
-            stats.overloaded
+            stats.overloaded,
+            stats.steals,
+            stats.deepest_queue
         ),
         Err(e) => fail("stats failed", &e),
     }
 }
 
+/// Parses a detector name as printed in the classify table.
+fn parse_detector(name: &str) -> Option<DetectorKind> {
+    DetectorKind::ALL
+        .into_iter()
+        .find(|k| k.to_string() == name)
+}
+
+/// Parses a regime name as printed in the classify table.
+fn parse_regime(name: &str) -> Option<FaultRegime> {
+    FaultRegime::ALL.into_iter().find(|r| r.to_string() == name)
+}
+
+fn cmd_classify(
+    client: &mut HardenedClient,
+    detector: Option<DetectorKind>,
+    regime: Option<FaultRegime>,
+    smoke: bool,
+) {
+    let detectors: Vec<DetectorKind> =
+        detector.map_or_else(|| DetectorKind::ALL.to_vec(), |d| vec![d]);
+    let regimes: Vec<FaultRegime> = regime.map_or_else(|| FaultRegime::ALL.to_vec(), |r| vec![r]);
+    let specs: Vec<ClassifySpec> = detectors
+        .iter()
+        .flat_map(|&d| regimes.iter().map(move |&r| ClassifySpec::new(d, r)))
+        .map(|spec| {
+            if smoke {
+                spec.trials(2).horizon(200)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    println!(
+        "empirical detector classification via ktudc-serve ({} cells)",
+        specs.len()
+    );
+    let kinds: Vec<RequestKind> = specs
+        .iter()
+        .map(|spec| RequestKind::Classify(spec.clone()))
+        .collect();
+    let responses = match client.batch(kinds) {
+        Ok(responses) => responses,
+        Err(e) => fail("classify failed", &e),
+    };
+    println!("{:-<86}", "");
+    println!(
+        "{:<14}{:<14}{:<20}{:>8}{:>14}{:>8}{:>8}",
+        "detector", "regime", "class", "false", "latency µ/max", "cache", " µs"
+    );
+    println!("{:-<86}", "");
+    for (spec, response) in specs.iter().zip(&responses) {
+        let (class, false_s, latency) = match &response.result {
+            ResponseKind::Classify(v) => (
+                format!(
+                    "{}{}",
+                    v.class,
+                    if spec.regime.in_model() {
+                        ""
+                    } else {
+                        " (o.o.m.)"
+                    }
+                ),
+                v.false_suspicion_events.to_string(),
+                v.detection_latency
+                    .as_ref()
+                    .map_or_else(|| "-".to_string(), |l| format!("{:.1}/{}", l.mean, l.max)),
+            ),
+            ResponseKind::Aborted(a) => (
+                format!("aborted ({})", a.reason.name()),
+                String::new(),
+                String::new(),
+            ),
+            ResponseKind::Error(e) => (
+                format!("{:?}: {}", e.code, e.message),
+                String::new(),
+                String::new(),
+            ),
+            other => (
+                format!("unexpected payload: {other:?}"),
+                String::new(),
+                String::new(),
+            ),
+        };
+        println!(
+            "{:<14}{:<14}{:<20}{:>8}{:>14}{:>8}{:>8}",
+            spec.detector.to_string(),
+            spec.regime.to_string(),
+            class,
+            false_s,
+            latency,
+            if response.cached { "hit" } else { "miss" },
+            response.micros
+        );
+    }
+    println!("{:-<86}", "");
+}
+
 fn cmd_stats(client: &mut HardenedClient) {
     match client.stats() {
-        Ok(stats) => println!(
-            "{}",
-            serde_json::to_string_pretty(&stats).expect("stats encodes")
-        ),
+        Ok(stats) => {
+            // The JSON carries everything; the summary line surfaces the
+            // pool's work-stealing counters, which are easy to miss in
+            // the dump and are the first thing to look at when p99
+            // climbs on an uneven workload.
+            println!(
+                "pool: {} workers, {} steals, deepest deque {}, queue {}/{}",
+                stats.workers,
+                stats.steals,
+                stats.deepest_queue,
+                stats.queue_depth,
+                stats.queue_capacity
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&stats).expect("stats encodes")
+            );
+        }
         Err(e) => fail("stats failed", &e),
     }
 }
 
 fn cmd_health(client: &mut HardenedClient) {
     match client.health() {
-        Ok(health) => println!(
-            "{}",
-            serde_json::to_string_pretty(&health).expect("health encodes")
-        ),
+        Ok(health) => {
+            // Surface the corruption counters: `store_corrupt_candidates`
+            // is the store's *live* lifetime count and diverges from the
+            // boot-time `corrupt_snapshots_skipped` if corruption appears
+            // while the server runs — the divergence is the alarm.
+            println!(
+                "durability: generation {}, {} corrupt snapshots skipped at boot, \
+                 {} corrupt candidates over store lifetime, {} steals, deepest deque {}",
+                health.generation,
+                health.corrupt_snapshots_skipped,
+                health.store_corrupt_candidates,
+                health.steals,
+                health.deepest_queue
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&health).expect("health encodes")
+            );
+        }
         Err(e) => fail("health failed", &e),
     }
 }
@@ -335,7 +473,8 @@ fn cmd_shutdown(client: &mut HardenedClient) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] [--deadline-ms N] | stats | health | shutdown>\n\
+        "usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] [--deadline-ms N] | \
+         classify [--detector NAME] [--regime NAME] [--smoke] | stats | health | shutdown>\n\
          \x20      ctl resume <checkpoint>"
     );
     std::process::exit(2);
@@ -348,6 +487,8 @@ fn main() {
     let mut smoke = false;
     let mut twice = false;
     let mut deadline_ms: Option<u64> = None;
+    let mut detector: Option<DetectorKind> = None;
+    let mut regime: Option<FaultRegime> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -359,6 +500,14 @@ fn main() {
             "--twice" => twice = true,
             "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => deadline_ms = Some(ms),
+                None => usage(),
+            },
+            "--detector" => match args.next().as_deref().and_then(parse_detector) {
+                Some(d) => detector = Some(d),
+                None => usage(),
+            },
+            "--regime" => match args.next().as_deref().and_then(parse_regime) {
+                Some(r) => regime = Some(r),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -377,7 +526,7 @@ fn main() {
     // down (or as a resume failure when the journal is fine).
     match command.as_str() {
         "sweep" => {
-            if operand.is_some() {
+            if operand.is_some() || detector.is_some() || regime.is_some() {
                 usage();
             }
             // Deadline-carrying results are never published to the cache,
@@ -386,13 +535,25 @@ fn main() {
                 usage();
             }
         }
+        "classify" => {
+            if operand.is_some() || twice || deadline_ms.is_some() {
+                usage();
+            }
+        }
         "stats" | "health" | "shutdown" => {
-            if operand.is_some() || deadline_ms.is_some() {
+            if operand.is_some() || deadline_ms.is_some() || detector.is_some() || regime.is_some()
+            {
                 usage();
             }
         }
         "resume" => {
-            if operand.is_none() || smoke || twice || deadline_ms.is_some() {
+            if operand.is_none()
+                || smoke
+                || twice
+                || deadline_ms.is_some()
+                || detector.is_some()
+                || regime.is_some()
+            {
                 usage();
             }
         }
@@ -413,6 +574,7 @@ fn main() {
     let mut client = HardenedClient::new(addr, RetryPolicy::default());
     match command.as_str() {
         "sweep" => cmd_sweep(&mut client, smoke, twice, deadline_ms),
+        "classify" => cmd_classify(&mut client, detector, regime, smoke),
         "stats" => cmd_stats(&mut client),
         "health" => cmd_health(&mut client),
         "shutdown" => cmd_shutdown(&mut client),

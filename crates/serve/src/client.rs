@@ -19,6 +19,7 @@ use crate::wire::{
     ErrorCode, HealthReport, Request, RequestKind, RequestOptions, Response, ResponseKind,
     SCHEMA_VERSION,
 };
+use ktudc_fd::{ClassifySpec, RegimeVerdict};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -306,6 +307,21 @@ impl Client {
             ResponseKind::Health(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
                 "expected a health payload, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Classifies an empirical detector against a fault regime.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// server answers with anything but a classification verdict.
+    pub fn classify(&mut self, spec: ClassifySpec) -> Result<RegimeVerdict, ClientError> {
+        match self.request(RequestKind::Classify(spec))?.result {
+            ResponseKind::Classify(verdict) => Ok(verdict),
+            other => Err(ClientError::Protocol(format!(
+                "expected a classification verdict, got {other:?}"
             ))),
         }
     }
@@ -766,6 +782,24 @@ impl HardenedClient {
             ResponseKind::Health(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
                 "expected a health payload, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Classifies an empirical detector against a fault regime, masking
+    /// faults (classification is deterministic per spec and memoized, so
+    /// a resend is harmless).
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::request`], plus [`ClientError::Protocol`]
+    /// when the server answers with anything but a classification
+    /// verdict.
+    pub fn classify(&mut self, spec: ClassifySpec) -> Result<RegimeVerdict, ClientError> {
+        match self.request(RequestKind::Classify(spec))?.result {
+            ResponseKind::Classify(verdict) => Ok(verdict),
+            other => Err(ClientError::Protocol(format!(
+                "expected a classification verdict, got {other:?}"
             ))),
         }
     }

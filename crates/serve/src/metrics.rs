@@ -26,6 +26,9 @@ pub enum Endpoint {
     Check,
     /// Explorations.
     Explore,
+    /// Empirical detector classifications. Deterministic per spec, so it
+    /// sits inside the cacheable leading prefix of [`Endpoint::ALL`].
+    Classify,
     /// Metrics snapshots.
     Stats,
     /// Shutdown requests.
@@ -38,10 +41,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, in report order (cacheable endpoints first).
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Cell,
         Endpoint::Check,
         Endpoint::Explore,
+        Endpoint::Classify,
         Endpoint::Stats,
         Endpoint::Shutdown,
         Endpoint::Health,
@@ -54,6 +58,7 @@ impl Endpoint {
             Endpoint::Cell => "cell",
             Endpoint::Check => "check",
             Endpoint::Explore => "explore",
+            Endpoint::Classify => "classify",
             Endpoint::Stats => "stats",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Health => "health",
@@ -65,9 +70,10 @@ impl Endpoint {
             Endpoint::Cell => 0,
             Endpoint::Check => 1,
             Endpoint::Explore => 2,
-            Endpoint::Stats => 3,
-            Endpoint::Shutdown => 4,
-            Endpoint::Health => 5,
+            Endpoint::Classify => 3,
+            Endpoint::Stats => 4,
+            Endpoint::Shutdown => 5,
+            Endpoint::Health => 6,
         }
     }
 }
@@ -119,7 +125,7 @@ pub struct Metrics {
     started: Instant,
     overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
-    per: [EndpointMetrics; 6],
+    per: [EndpointMetrics; 7],
     /// Time admitted compute requests spent between acceptance and a
     /// worker picking them up. Global (not per-endpoint): the queue is
     /// shared, so its wait distribution is a property of the server.
@@ -255,7 +261,7 @@ impl Metrics {
             .collect();
         let (cacheable_requests, cacheable_hits) = endpoints
             .iter()
-            .take(3) // cell, check, explore
+            .take(4) // cell, check, explore, classify
             .fold((0u64, 0u64), |(r, h), e| (r + e.requests, h + e.cache_hits));
         let (queue_wait_p50, queue_wait_p99) = {
             let ring = self.queue_wait.lock().expect("metrics lock poisoned");
@@ -304,8 +310,8 @@ fn percentiles(samples: &[u64]) -> (u64, u64) {
 /// Wire form of one endpoint's counters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EndpointStats {
-    /// Endpoint name (`cell`, `check`, `explore`, `stats`, `shutdown`,
-    /// `health`).
+    /// Endpoint name (`cell`, `check`, `explore`, `classify`, `stats`,
+    /// `shutdown`, `health`).
     pub endpoint: String,
     /// Requests handled (served + failed).
     pub requests: u64,
@@ -372,7 +378,7 @@ pub struct StatsReport {
     /// imbalance the next steal would relieve.
     pub deepest_queue: usize,
     /// Cache hits / requests over the cacheable endpoints (cell, check,
-    /// explore); 0 when none have been served.
+    /// explore, classify); 0 when none have been served.
     pub cache_hit_rate: f64,
     /// Per-endpoint counters, in [`Endpoint::ALL`] order.
     pub endpoints: Vec<EndpointStats>,

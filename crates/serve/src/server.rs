@@ -38,6 +38,7 @@ use crate::wire::{
 };
 use ktudc_core::harness::{run_cell_budgeted, CellStatus};
 use ktudc_epistemic::ModelChecker;
+use ktudc_fd::{classify_detector_budgeted, ClassifyStatus};
 use ktudc_model::{AbortReason, Budget};
 use ktudc_par::{Pool, SubmitError};
 use ktudc_sim::{
@@ -598,7 +599,10 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
                 Response::new(request.id, false, micros, ResponseKind::Shutdown),
             );
         }
-        kind @ (RequestKind::Cell(_) | RequestKind::Check(_) | RequestKind::Explore(_)) => {
+        kind @ (RequestKind::Cell(_)
+        | RequestKind::Check(_)
+        | RequestKind::Explore(_)
+        | RequestKind::Classify(_)) => {
             dispatch_compute(
                 shared,
                 request.id,
@@ -1076,6 +1080,16 @@ fn compute_budgeted(kind: &RequestKind, budget: &Budget) -> Result<ComputeStatus
                 digest,
             })))
         }
+        RequestKind::Classify(spec) => Ok(match classify_detector_budgeted(spec, budget) {
+            ClassifyStatus::Done(verdict) => ComputeStatus::Done(ResponseKind::Classify(verdict)),
+            // A class quantifies over *all* arms of the sweep; a verdict
+            // from a subset would claim properties never tested. No
+            // usable partial.
+            ClassifyStatus::Aborted { reason, .. } => ComputeStatus::Aborted {
+                reason,
+                partial: PartialOutcome::None,
+            },
+        }),
         RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => Err(WireError {
             code: ErrorCode::Internal,
             message: "non-compute request reached a worker".to_string(),
@@ -1189,6 +1203,65 @@ mod tests {
             ResponseKind::Cell(outcome) => assert_eq!(outcome, direct),
             other => panic!("wrong payload: {other:?}"),
         }
+    }
+
+    #[test]
+    fn compute_classify_matches_direct_call() {
+        use ktudc_fd::{classify_detector, ClassifySpec, DetectorKind, FaultRegime};
+
+        let spec = ClassifySpec::new(DetectorKind::Heartbeat, FaultRegime::Clean)
+            .trials(2)
+            .horizon(200);
+        let direct = classify_detector(&spec);
+        match compute(&RequestKind::Classify(spec)).unwrap() {
+            ResponseKind::Classify(verdict) => assert_eq!(verdict, direct),
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_endpoint_is_served_and_cached() {
+        use ktudc_fd::{ClassifySpec, DetectorKind, EmpiricalClass, FaultRegime};
+
+        let handle = serve(&ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        let spec = ClassifySpec::new(DetectorKind::PhiAccrual, FaultRegime::Clean)
+            .trials(2)
+            .horizon(200);
+
+        let cold = client.request(RequestKind::Classify(spec.clone())).unwrap();
+        assert!(!cold.cached);
+        let verdict = match &cold.result {
+            ResponseKind::Classify(v) => v.clone(),
+            other => panic!("wrong payload: {other:?}"),
+        };
+        assert_eq!(verdict.class, EmpiricalClass::Perfect);
+        assert_eq!(verdict.false_suspicion_events, 0);
+
+        // Classification is deterministic per spec, so the retry is a
+        // warm hit with an identical verdict.
+        let warm = client.request(RequestKind::Classify(spec)).unwrap();
+        assert!(warm.cached, "identical classify spec must hit the cache");
+        assert_eq!(warm.result, cold.result);
+
+        // The classify endpoint shows up in stats inside the cacheable
+        // fold: 2 requests, 1 hit.
+        let stats = client.stats().unwrap();
+        let row = stats
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "classify")
+            .expect("classify endpoint row");
+        assert_eq!(row.requests, 2);
+        assert_eq!(row.cache_hits, 1);
+        assert!(stats.cache_hit_rate > 0.0);
+        handle.shutdown();
+        handle.join();
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::metrics::{Endpoint, StatsReport};
 use ktudc_core::harness::{CellOutcome, CellSpec};
 use ktudc_epistemic::Formula;
+use ktudc_fd::{ClassifySpec, RegimeVerdict};
 use ktudc_model::{AbortReason, Point};
 use ktudc_sim::wire::WireMsg;
 use ktudc_sim::{ExploreOutcome, ExploreSpec};
@@ -29,10 +30,14 @@ use serde::{Deserialize, Serialize};
 /// (omitted when default, so a v2 request line is also a valid v3
 /// request line), responses carry `queue_wait_ms`/`compute_ms`, errors
 /// carry a `retry_after_ms` hint, and `DeadlineExceeded` and
-/// [`ResponseKind::Aborted`] exist. Servers accept
-/// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp each response
-/// with the version its request spoke.
-pub const SCHEMA_VERSION: u32 = 3;
+/// [`ResponseKind::Aborted`] exist; 4 — the `Classify` endpoint
+/// (empirical detector classification:
+/// [`RequestKind::Classify`]/[`ResponseKind::Classify`]), the `classify`
+/// row in stats reports, and the derived-detector `FdChoice` variants in
+/// cell specs. All additive, so v2/v3 request lines still parse. Servers
+/// accept [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp each
+/// response with the version its request spoke.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest request schema the server still accepts. v2 request lines are
 /// a strict subset of v3 ones (every v3 envelope addition is optional on
@@ -162,6 +167,9 @@ pub enum RequestKind {
     Check(CheckSpec),
     /// Exhaustively explore a scenario and return its summary + digest.
     Explore(ExploreSpec),
+    /// Classify an empirical detector against a fault regime: which paper
+    /// class its suspicion histories actually satisfy there.
+    Classify(ClassifySpec),
     /// Report server metrics.
     Stats,
     /// Report durability health: generation plus recovery counters.
@@ -178,6 +186,7 @@ impl RequestKind {
             RequestKind::Cell(_) => Endpoint::Cell,
             RequestKind::Check(_) => Endpoint::Check,
             RequestKind::Explore(_) => Endpoint::Explore,
+            RequestKind::Classify(_) => Endpoint::Classify,
             RequestKind::Stats => Endpoint::Stats,
             RequestKind::Health => Endpoint::Health,
             RequestKind::Shutdown => Endpoint::Shutdown,
@@ -190,7 +199,10 @@ impl RequestKind {
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
-            RequestKind::Cell(_) | RequestKind::Check(_) | RequestKind::Explore(_)
+            RequestKind::Cell(_)
+                | RequestKind::Check(_)
+                | RequestKind::Explore(_)
+                | RequestKind::Classify(_)
         )
     }
 }
@@ -308,6 +320,8 @@ pub enum ResponseKind {
     Check(CheckOutcome),
     /// Summary of a [`RequestKind::Explore`].
     Explore(ExploreOutcome),
+    /// Verdict of a [`RequestKind::Classify`].
+    Classify(RegimeVerdict),
     /// Metrics snapshot.
     Stats(StatsReport),
     /// Durability health snapshot.
@@ -439,19 +453,20 @@ mod tests {
 
     #[test]
     fn envelope_encoding_is_pinned() {
-        // The envelope shape is the serve wire schema (schema_version 3:
-        // optional deadline/priority/accept_partial on requests, queue
-        // and compute timings on responses, retry_after_ms on errors);
-        // repin deliberately with a version bump, never silently.
+        // The envelope shape is the serve wire schema (schema_version 4:
+        // v3's optional deadline/priority/accept_partial on requests,
+        // queue and compute timings on responses, retry_after_ms on
+        // errors, plus the Classify endpoint); repin deliberately with a
+        // version bump, never silently.
         let req = Request::new(7, RequestKind::Stats);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":3,"id":7,"kind":"Stats"}"#
+            r#"{"schema_version":4,"id":7,"kind":"Stats"}"#
         );
         let req = Request::new(8, RequestKind::Health);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":3,"id":8,"kind":"Health"}"#
+            r#"{"schema_version":4,"id":8,"kind":"Health"}"#
         );
 
         let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
@@ -460,7 +475,7 @@ mod tests {
         let req = Request::new(1, RequestKind::Cell(spec.clone()));
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":3,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+            r#"{"schema_version":4,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
         );
 
         // Non-default options are appended after the v2-compatible core.
@@ -475,13 +490,26 @@ mod tests {
         );
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":3,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
+            r#"{"schema_version":4,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
+        );
+
+        // The v4 Classify endpoint (body encoding pinned in ktudc-fd).
+        let req = Request::new(
+            3,
+            RequestKind::Classify(ClassifySpec::new(
+                ktudc_fd::DetectorKind::Heartbeat,
+                ktudc_fd::FaultRegime::Clean,
+            )),
+        );
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":4,"id":3,"kind":{"Classify":{"detector":"Heartbeat","regime":"Clean","n":4,"trials":6,"horizon":240,"seed":0}}}"#
         );
 
         let resp = Response::error(9, ErrorCode::Overloaded, "queue full");
         assert_eq!(
             serde_json::to_string(&resp).unwrap(),
-            r#"{"schema_version":3,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
+            r#"{"schema_version":4,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
         );
     }
 

@@ -45,7 +45,7 @@ pub struct SimOutcome<M> {
 /// receive is force-appended so the run records exactly what happened on
 /// the wire (and `Run::check_conditions` will flag it). Any other append
 /// failure is a runner bug.
-fn append_recv<M: Clone + Eq + Hash>(
+pub(crate) fn append_recv<M: Clone + Eq + Hash>(
     builder: &mut RunBuilder<M>,
     p: ProcessId,
     t: Time,
