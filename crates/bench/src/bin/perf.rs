@@ -45,6 +45,14 @@
 //! budget-aborted checkpointed exploration resumed to the digest of the
 //! uninterrupted run.
 //!
+//! `--cluster` runs the sharding workload: the same cold batch through
+//! one single-worker daemon and through a 3-shard cluster of them
+//! (consistent-hashed by the cluster client), recording the throughput
+//! ratio, then downs a shard and prices failover on warm requests.
+//! Every cluster answer is asserted byte-identical to the single
+//! daemon's, so `zero_wrong_answers` is an invariant, not a metric.
+//! Recorded under the `cluster` key (additively, like `via_serve`).
+//!
 //! `--fd-zoo` sweeps every empirical failure detector (heartbeat,
 //! φ-accrual, gossip) across every fault regime through
 //! [`ktudc_fd::classify_detector`] and records the full classification
@@ -142,6 +150,29 @@ struct ViaServeReport {
     warm_requests_per_sec: f64,
     cache_hits: u64,
     results_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ClusterReport {
+    shards: usize,
+    requests: usize,
+    /// Cold throughput of one single-worker daemon over the workload.
+    requests_per_sec_single: f64,
+    /// Cold throughput of the same workload consistent-hashed across
+    /// the shards (each a single-worker daemon) by the cluster client.
+    requests_per_sec_cluster: f64,
+    /// Cluster over single — sharding's parallelism win on cold compute.
+    speedup_vs_single: f64,
+    /// Mean per-request latency added by failover: warm requests owned
+    /// by a downed shard (answered by a replica's cache) vs the same
+    /// requests warm with every shard up. The price of losing a shard,
+    /// separated from compute.
+    failover_added_latency_ms: f64,
+    /// Requests the cluster client rerouted to a replica.
+    failovers: u64,
+    /// Every cluster answer — including every failover answer — was
+    /// byte-identical to the single-daemon answer for the same request.
+    zero_wrong_answers: bool,
 }
 
 #[derive(Serialize)]
@@ -268,6 +299,7 @@ struct Report {
     via_serve: Option<ViaServeReport>,
     overload: Option<OverloadReport>,
     fd_zoo: Option<FdZooReport>,
+    cluster: Option<ClusterReport>,
 }
 
 fn p(i: usize) -> ProcessId {
@@ -862,6 +894,143 @@ fn via_serve_workload(smoke: bool) -> ViaServeReport {
     }
 }
 
+/// The sharded-cluster workload: the same cold batch through one
+/// single-worker daemon and through a 3-shard cluster of single-worker
+/// daemons, then a shard outage to price failover on warm requests.
+/// Correctness is asserted inline: every cluster answer must be
+/// byte-identical to the single daemon's.
+fn cluster_workload(smoke: bool) -> ClusterReport {
+    use ktudc_serve::{
+        serve, Client, ClusterClient, Membership, RequestKind, RetryPolicy, ServeConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SHARDS: usize = 3;
+    let count = if smoke { 9 } else { 18 };
+    let kinds: Vec<RequestKind> = (0..count)
+        .map(|i| {
+            // Compute-bound on purpose, in both modes: sharding's win is
+            // parallel *compute*; with trivial cells the wire overhead
+            // dominates and the ratio measures nothing.
+            let spec = if smoke {
+                CellSpec::new(
+                    5,
+                    2,
+                    Some(0.25),
+                    FdChoice::Cycling,
+                    ProtocolChoice::Generalized,
+                )
+                .trials(4)
+                .horizon(500 + i as u64)
+            } else {
+                CellSpec::new(
+                    5,
+                    3,
+                    Some(0.3),
+                    FdChoice::TUseful,
+                    ProtocolChoice::Generalized,
+                )
+                .trials(8)
+                .horizon(900 + i as u64)
+            };
+            RequestKind::Cell(spec)
+        })
+        .collect();
+    let single_config = ServeConfig {
+        workers: 1,
+        queue_capacity: count.max(16),
+        ..ServeConfig::default()
+    };
+
+    // Baseline: one single-worker daemon computes the whole batch cold.
+    // Its payloads are the ground truth every cluster answer is held to.
+    let single = serve(&single_config).expect("bind single daemon");
+    let mut client = Client::connect(single.addr()).expect("connect single");
+    let t0 = Instant::now();
+    let truth = client.batch(kinds.clone()).expect("single cold batch");
+    let single_secs = t0.elapsed().as_secs_f64();
+    client.shutdown_server().expect("shutdown single");
+    single.join();
+
+    // The same batch, consistent-hashed across a cold 3-shard cluster of
+    // identical single-worker daemons.
+    let shards: Vec<_> = (0..SHARDS)
+        .map(|_| serve(&single_config).expect("bind shard"))
+        .collect();
+    let membership = Arc::new(Membership::new(
+        shards.iter().map(|s| s.addr().to_string()).collect(),
+    ));
+    let policy = RetryPolicy {
+        max_retries: 1,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    };
+    let cluster = ClusterClient::new(Arc::clone(&membership), policy);
+    let t0 = Instant::now();
+    let cold = cluster.batch(kinds.clone()).expect("cluster cold batch");
+    let cluster_secs = t0.elapsed().as_secs_f64();
+    let mut zero_wrong_answers = cold.iter().zip(&truth).all(|(c, t)| c.result == t.result);
+    assert!(
+        zero_wrong_answers,
+        "cluster cold batch diverged from single daemon"
+    );
+
+    // Failover pricing on warm requests: time the shard-0-owned subset
+    // warm with every shard up, then take shard 0 down, re-warm the
+    // replicas once, and time the same subset again. The difference is
+    // what rerouting costs once compute is out of the picture.
+    let owned: Vec<(usize, RequestKind)> = kinds
+        .iter()
+        .cloned()
+        .enumerate()
+        .filter(|(_, kind)| cluster.route(kind) == 0)
+        .collect();
+    // Times one warm pass over the shard-0-owned subset; also re-checks
+    // every answer against the ground truth.
+    let time_each = |cluster: &ClusterClient| -> (f64, bool) {
+        let t0 = Instant::now();
+        let mut ok = true;
+        for (i, kind) in &owned {
+            let response = cluster.request(kind.clone()).expect("warm request");
+            ok &= response.result == truth[*i].result;
+        }
+        let per_request_ms = t0.elapsed().as_secs_f64() * 1000.0 / owned.len().max(1) as f64;
+        (per_request_ms, ok)
+    };
+    let (warm_direct_ms, direct_ok) = time_each(&cluster);
+    membership.set_addr(0, "127.0.0.1:1");
+    // First failover pass warms the replicas' caches.
+    let mut failover_ok = true;
+    for (i, kind) in &owned {
+        let response = cluster.request(kind.clone()).expect("failover request");
+        failover_ok &= response.result == truth[*i].result;
+    }
+    let (warm_failover_ms, refailover_ok) = time_each(&cluster);
+    zero_wrong_answers &= direct_ok && failover_ok && refailover_ok;
+    assert!(
+        zero_wrong_answers,
+        "a failover answer diverged from the single daemon"
+    );
+    let failovers = cluster.metrics().failovers;
+    assert!(failovers > 0, "shard 0 owned keys must have failed over");
+
+    for handle in shards {
+        handle.shutdown();
+    }
+    ClusterReport {
+        shards: SHARDS,
+        requests: count,
+        requests_per_sec_single: count as f64 / single_secs,
+        requests_per_sec_cluster: count as f64 / cluster_secs,
+        speedup_vs_single: single_secs / cluster_secs,
+        failover_added_latency_ms: (warm_failover_ms - warm_direct_ms).max(0.0),
+        failovers,
+        zero_wrong_answers,
+    }
+}
+
 /// The degradation soak: saturate a deliberately tiny daemon and record
 /// how it sheds. Every assertion here is part of the overload contract —
 /// a violation is a bench *failure*, not a slow result.
@@ -1151,15 +1320,17 @@ fn main() {
     let mut via_serve = false;
     let mut overload = false;
     let mut fd_zoo = false;
+    let mut cluster = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--via-serve" => via_serve = true,
             "--overload" => overload = true,
             "--fd-zoo" => fd_zoo = true,
+            "--cluster" => cluster = true,
             other => {
                 eprintln!(
-                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload, --fd-zoo)"
+                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload, --fd-zoo, --cluster)"
                 );
                 std::process::exit(2);
             }
@@ -1287,6 +1458,22 @@ fn main() {
         r
     });
 
+    let cluster = cluster.then(|| {
+        let r = cluster_workload(smoke);
+        eprintln!(
+            "perf: cluster {} requests over {} shards: single {:.1} req/s, cluster {:.1} req/s ({:.2}x), failover adds {:.2} ms/request warm ({} failovers), zero-wrong-answers={}",
+            r.requests,
+            r.shards,
+            r.requests_per_sec_single,
+            r.requests_per_sec_cluster,
+            r.speedup_vs_single,
+            r.failover_added_latency_ms,
+            r.failovers,
+            r.zero_wrong_answers,
+        );
+        r
+    });
+
     let report = Report {
         schema: "ktudc-bench-perf/1".to_string(),
         mode: mode.to_string(),
@@ -1299,6 +1486,7 @@ fn main() {
         via_serve,
         overload,
         fd_zoo,
+        cluster,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_ktudc.json", &json).expect("write BENCH_ktudc.json");

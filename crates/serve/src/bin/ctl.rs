@@ -6,6 +6,7 @@
 //! ctl [--addr HOST:PORT] stats
 //! ctl [--addr HOST:PORT] health
 //! ctl [--addr HOST:PORT] shutdown
+//! ctl --cluster HOST:P1,HOST:P2,... <sweep | classify | stats | health>
 //! ctl resume <checkpoint>
 //! ```
 //!
@@ -30,6 +31,15 @@
 //! exploration journaled at `<checkpoint>` — the spec is read from the
 //! journal header — and never touches the network.
 //!
+//! `--cluster` drives a worker fleet directly (no router in the path):
+//! requests are consistent-hashed across the listed members by the
+//! [`ClusterClient`] and failed over to a replica when a member is down
+//! or shedding. Mutually exclusive with `--addr` (which — pointed at a
+//! router — reaches the same cluster through one address) and valid
+//! only for `sweep`, `classify`, `stats` and `health`; `shutdown` stays
+//! single-server so a script cannot take a whole fleet down with a
+//! one-word typo.
+//!
 //! Requests go through the fault-masking [`HardenedClient`], so
 //! transient overload and dropped connections are retried with backoff.
 //! Exit status is scriptable: `0` success, `1` transport, protocol or
@@ -40,9 +50,58 @@
 use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
 use ktudc_fd::{ClassifySpec, DetectorKind, FaultRegime};
 use ktudc_serve::{
-    Client, ClientError, HardenedClient, RequestKind, RequestOptions, Response, ResponseKind,
-    RetryPolicy,
+    Client, ClientError, ClusterClient, HardenedClient, Membership, RequestKind, RequestOptions,
+    Response, ResponseKind, RetryPolicy,
 };
+use std::sync::Arc;
+
+/// The server connection a command runs against: one daemon (or a
+/// router, which answers on one address) or a fleet driven directly.
+enum Conn {
+    Single(HardenedClient),
+    Cluster(ClusterClient),
+}
+
+impl Conn {
+    fn batch_with_options(
+        &mut self,
+        kinds: Vec<(RequestKind, RequestOptions)>,
+    ) -> Result<Vec<Response>, ClientError> {
+        match self {
+            Conn::Single(c) => c.batch_with_options(kinds),
+            Conn::Cluster(c) => c.batch_with_options(kinds),
+        }
+    }
+
+    fn batch(&mut self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        match self {
+            Conn::Single(c) => c.batch(kinds),
+            Conn::Cluster(c) => c.batch(kinds),
+        }
+    }
+}
+
+/// Validates a `--cluster` member list *syntactically* — split on
+/// commas, each member a non-empty host, a `:`, and a `u16` port. No
+/// DNS, no connections: this runs in the usage-checking phase, where a
+/// typo must exit `2` even when every member is also unreachable.
+fn cluster_members(list: &str) -> Option<Vec<String>> {
+    let members: Vec<String> = list
+        .split(',')
+        .map(|m| m.trim().to_string())
+        .filter(|m| !m.is_empty())
+        .collect();
+    if members.is_empty() {
+        return None;
+    }
+    for member in &members {
+        match member.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {}
+            _ => return None,
+        }
+    }
+    Some(members)
+}
 
 struct SweepParams {
     n: usize,
@@ -170,7 +229,7 @@ fn fail(context: &str, e: &ClientError) -> ! {
 }
 
 fn run_sweep(
-    client: &mut HardenedClient,
+    client: &mut Conn,
     cells: &[(String, CellSpec)],
     deadline_ms: Option<u64>,
 ) -> Vec<Response> {
@@ -235,7 +294,7 @@ fn print_sweep(cells: &[(String, CellSpec)], responses: &[Response]) {
     println!("{:-<78}", "");
 }
 
-fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool, deadline_ms: Option<u64>) {
+fn cmd_sweep(client: &mut Conn, smoke: bool, twice: bool, deadline_ms: Option<u64>) {
     let params = if smoke {
         SweepParams::smoke()
     } else {
@@ -267,21 +326,32 @@ fn cmd_sweep(client: &mut HardenedClient, smoke: bool, twice: bool, deadline_ms:
             std::process::exit(1);
         }
     }
-    match client.stats() {
-        Ok(stats) => println!(
-            "server: {} workers, queue {}/{}, cache {}/{} entries, hit rate {:.2}, {} shed, \
-             {} steals, deepest deque {}",
-            stats.workers,
-            stats.queue_depth,
-            stats.queue_capacity,
-            stats.cache_entries,
-            stats.cache_capacity,
-            stats.cache_hit_rate,
-            stats.overloaded,
-            stats.steals,
-            stats.deepest_queue
-        ),
-        Err(e) => fail("stats failed", &e),
+    match client {
+        Conn::Single(c) => match c.stats() {
+            Ok(stats) => println!(
+                "server: {} workers, queue {}/{}, cache {}/{} entries, hit rate {:.2}, {} shed, \
+                 {} steals, deepest deque {}",
+                stats.workers,
+                stats.queue_depth,
+                stats.queue_capacity,
+                stats.cache_entries,
+                stats.cache_capacity,
+                stats.cache_hit_rate,
+                stats.overloaded,
+                stats.steals,
+                stats.deepest_queue
+            ),
+            Err(e) => fail("stats failed", &e),
+        },
+        Conn::Cluster(c) => {
+            let metrics = c.metrics();
+            println!(
+                "cluster: {} shards, {} failovers, {} worker restarts observed",
+                c.ring().shards(),
+                metrics.failovers,
+                metrics.worker_restarts
+            );
+        }
     }
 }
 
@@ -298,7 +368,7 @@ fn parse_regime(name: &str) -> Option<FaultRegime> {
 }
 
 fn cmd_classify(
-    client: &mut HardenedClient,
+    client: &mut Conn,
     detector: Option<DetectorKind>,
     regime: Option<FaultRegime>,
     smoke: bool,
@@ -431,6 +501,73 @@ fn cmd_health(client: &mut HardenedClient) {
     }
 }
 
+/// Per-shard stats, one summary line + JSON dump per reachable shard.
+/// A dead shard prints its error and the sweep goes on — partial
+/// observability beats none when a worker is down.
+fn cmd_stats_cluster(client: &ClusterClient) {
+    let mut reachable = 0usize;
+    for (shard, result) in client.stats_per_shard() {
+        match result {
+            Ok(stats) => {
+                reachable += 1;
+                println!(
+                    "shard {shard}: {} workers, {} steals, deepest deque {}, queue {}/{}, \
+                     cache {}/{} entries",
+                    stats.workers,
+                    stats.steals,
+                    stats.deepest_queue,
+                    stats.queue_depth,
+                    stats.queue_capacity,
+                    stats.cache_entries,
+                    stats.cache_capacity
+                );
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&stats).expect("stats encodes")
+                );
+            }
+            Err(e) => eprintln!("shard {shard}: unreachable: {e}"),
+        }
+    }
+    if reachable == 0 {
+        eprintln!("ctl: no shard answered stats");
+        std::process::exit(1);
+    }
+}
+
+/// The aggregated cluster health view: one row per shard (dead shards
+/// flagged with their last observed generation), then the JSON report.
+fn cmd_health_cluster(client: &ClusterClient) {
+    let report = client.cluster_health();
+    println!(
+        "cluster: {}/{} shards reachable, {} cache entries, queue depth {}, {} in flight, \
+         max generation {}",
+        report.reachable_shards,
+        report.shards.len(),
+        report.total_cache_entries,
+        report.total_queue_depth,
+        report.total_in_flight,
+        report.max_generation
+    );
+    for shard in &report.shards {
+        println!(
+            "shard {} at {}: {} (generation {})",
+            shard.shard,
+            shard.addr,
+            if shard.reachable { "up" } else { "DOWN" },
+            shard.generation
+        );
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("health encodes")
+    );
+    if report.reachable_shards == 0 {
+        eprintln!("ctl: no shard answered health");
+        std::process::exit(1);
+    }
+}
+
 /// Resumes the checkpointed exploration at `path` — entirely locally.
 /// The journal header pins the spec, so nothing else needs restating; a
 /// torn tail (the usual kill-9 artifact) is truncated and recomputed.
@@ -475,13 +612,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: ctl [--addr HOST:PORT] <sweep [--smoke] [--twice] [--deadline-ms N] | \
          classify [--detector NAME] [--regime NAME] [--smoke] | stats | health | shutdown>\n\
+         \x20      ctl --cluster HOST:P1,HOST:P2,... <sweep | classify | stats | health>\n\
          \x20      ctl resume <checkpoint>"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut addr = "127.0.0.1:7199".to_string();
+    let mut addr: Option<String> = None;
+    let mut cluster: Option<String> = None;
     let mut command: Option<String> = None;
     let mut operand: Option<String> = None;
     let mut smoke = false;
@@ -493,7 +632,11 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next() {
-                Some(a) => addr = a,
+                Some(a) => addr = Some(a),
+                None => usage(),
+            },
+            "--cluster" => match args.next() {
+                Some(list) => cluster = Some(list),
                 None => usage(),
             },
             "--smoke" => smoke = true,
@@ -524,6 +667,23 @@ fn main() {
     // Usage errors exit 2 before touching the network or the disk, so a
     // typo isn't misreported as a transport failure when the server is
     // down (or as a resume failure when the journal is fine).
+    if cluster.is_some() && addr.is_some() {
+        // One address or a member list, never both: --addr pointed at a
+        // router already reaches the whole cluster.
+        usage();
+    }
+    let members: Option<Vec<String>> = match &cluster {
+        None => None,
+        Some(list) => match cluster_members(list) {
+            Some(members) => Some(members),
+            // A malformed member list is a usage error even when the
+            // fleet is also down; validation is purely syntactic.
+            None => usage(),
+        },
+    };
+    if members.is_some() && !matches!(command.as_str(), "sweep" | "classify" | "stats" | "health") {
+        usage();
+    }
     match command.as_str() {
         "sweep" => {
             if operand.is_some() || detector.is_some() || regime.is_some() {
@@ -541,7 +701,12 @@ fn main() {
             }
         }
         "stats" | "health" | "shutdown" => {
-            if operand.is_some() || deadline_ms.is_some() || detector.is_some() || regime.is_some()
+            if operand.is_some()
+                || smoke
+                || twice
+                || deadline_ms.is_some()
+                || detector.is_some()
+                || regime.is_some()
             {
                 usage();
             }
@@ -564,6 +729,25 @@ fn main() {
         cmd_resume(&operand.expect("checked above"));
         return;
     }
+    if let Some(members) = members {
+        // Probe: at least one member must answer, so a wholly dead
+        // fleet is a crisp transport failure (exit 1) up front; the
+        // cluster client then masks per-shard faults with failover.
+        if !members.iter().any(|m| Client::connect(m).is_ok()) {
+            eprintln!("ctl: no cluster member reachable among {members:?}");
+            std::process::exit(1);
+        }
+        let client = ClusterClient::new(Arc::new(Membership::new(members)), RetryPolicy::default());
+        match command.as_str() {
+            "sweep" => cmd_sweep(&mut Conn::Cluster(client), smoke, twice, deadline_ms),
+            "classify" => cmd_classify(&mut Conn::Cluster(client), detector, regime, smoke),
+            "stats" => cmd_stats_cluster(&client),
+            "health" => cmd_health_cluster(&client),
+            _ => usage(),
+        }
+        return;
+    }
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:7199".to_string());
     // Probe once so an unreachable server is a crisp transport failure
     // (exit 1), not a slow walk through the retry budget (exit 3); the
     // hardened client then masks faults on the actual conversation.
@@ -573,11 +757,43 @@ fn main() {
     }
     let mut client = HardenedClient::new(addr, RetryPolicy::default());
     match command.as_str() {
-        "sweep" => cmd_sweep(&mut client, smoke, twice, deadline_ms),
-        "classify" => cmd_classify(&mut client, detector, regime, smoke),
+        "sweep" => cmd_sweep(&mut Conn::Single(client), smoke, twice, deadline_ms),
+        "classify" => cmd_classify(&mut Conn::Single(client), detector, regime, smoke),
         "stats" => cmd_stats(&mut client),
         "health" => cmd_health(&mut client),
         "shutdown" => cmd_shutdown(&mut client),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_member_validation_is_syntactic_and_strict() {
+        // Valid lists parse without any I/O.
+        assert_eq!(
+            cluster_members("127.0.0.1:7199,localhost:7200"),
+            Some(vec![
+                "127.0.0.1:7199".to_string(),
+                "localhost:7200".to_string()
+            ])
+        );
+        // Whitespace and a trailing comma are tolerated.
+        assert_eq!(
+            cluster_members(" h:1 , h:2 ,"),
+            Some(vec!["h:1".to_string(), "h:2".to_string()])
+        );
+        // Anything that is not HOST:PORT is a usage error (None), even
+        // shapes that *would* resolve: validation never touches DNS.
+        assert_eq!(cluster_members(""), None);
+        assert_eq!(cluster_members(","), None);
+        assert_eq!(cluster_members("no-port"), None);
+        assert_eq!(cluster_members(":7199"), None);
+        assert_eq!(cluster_members("host:"), None);
+        assert_eq!(cluster_members("host:notaport"), None);
+        assert_eq!(cluster_members("host:99999"), None);
+        assert_eq!(cluster_members("good:1,bad"), None);
     }
 }

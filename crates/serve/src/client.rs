@@ -16,8 +16,8 @@
 
 use crate::metrics::StatsReport;
 use crate::wire::{
-    ErrorCode, HealthReport, Request, RequestKind, RequestOptions, Response, ResponseKind,
-    SCHEMA_VERSION,
+    ClusterHealthReport, ErrorCode, HealthReport, Request, RequestKind, RequestOptions, Response,
+    ResponseKind, SCHEMA_VERSION,
 };
 use ktudc_fd::{ClassifySpec, RegimeVerdict};
 use std::fmt;
@@ -311,6 +311,21 @@ impl Client {
         }
     }
 
+    /// Fetches a cluster health snapshot (per-shard rows + aggregate).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// server answers with anything but a cluster-health payload.
+    pub fn cluster_health(&mut self) -> Result<ClusterHealthReport, ClientError> {
+        match self.request(RequestKind::ClusterHealth)?.result {
+            ResponseKind::ClusterHealth(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected a cluster-health payload, got {other:?}"
+            ))),
+        }
+    }
+
     /// Classifies an empirical detector against a fault regime.
     ///
     /// # Errors
@@ -361,8 +376,12 @@ pub struct RetryPolicy {
     pub jitter_seed: u64,
     /// Consecutive overload sheds (attempts that made no progress and
     /// saw `Overloaded`) before the circuit breaker opens and calls fail
-    /// fast with [`ClientError::CircuitOpen`]. 0 (the default) disables
-    /// the breaker — retries behave exactly as before it existed.
+    /// fast with [`ClientError::CircuitOpen`]. The default is 8 —
+    /// deliberately above any single call's retry budget
+    /// (`max_retries + 1` attempts), so one shed-out call still fails
+    /// with [`ClientError::RetriesExhausted`] as before and only
+    /// *persistent* shedding across calls trips the breaker. 0 is an
+    /// explicit opt-out that disables the breaker entirely.
     pub circuit_threshold: u32,
     /// How long an open circuit rejects calls before letting one
     /// half-open probe through.
@@ -377,7 +396,7 @@ impl Default for RetryPolicy {
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(500),
             jitter_seed: 0x6b74_7564_6373_7276,
-            circuit_threshold: 0,
+            circuit_threshold: 8,
             circuit_cooldown: Duration::from_millis(250),
         }
     }
@@ -786,6 +805,22 @@ impl HardenedClient {
         }
     }
 
+    /// Fetches a cluster health snapshot, masking faults.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedClient::request`], plus [`ClientError::Protocol`]
+    /// when the server answers with anything but a cluster-health
+    /// payload.
+    pub fn cluster_health(&mut self) -> Result<ClusterHealthReport, ClientError> {
+        match self.request(RequestKind::ClusterHealth)?.result {
+            ResponseKind::ClusterHealth(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected a cluster-health payload, got {other:?}"
+            ))),
+        }
+    }
+
     /// Classifies an empirical detector against a fault regime, masking
     /// faults (classification is deterministic per spec and memoized, so
     /// a resend is harmless).
@@ -909,12 +944,44 @@ mod tests {
 
     #[test]
     fn disabled_breaker_never_opens() {
-        let mut c = HardenedClient::new("unused:0", RetryPolicy::default());
+        // 0 is the explicit opt-out (the pre-default behavior).
+        let mut c = HardenedClient::new(
+            "unused:0",
+            RetryPolicy {
+                circuit_threshold: 0,
+                ..RetryPolicy::default()
+            },
+        );
         for _ in 0..100 {
             assert!(c.note_shed().is_ok());
         }
         assert_eq!(c.metrics().circuit_opens, 0);
         assert!(c.circuit_open_until.is_none());
+    }
+
+    #[test]
+    fn default_breaker_is_armed_above_one_calls_retry_budget() {
+        let policy = RetryPolicy::default();
+        assert!(
+            policy.circuit_threshold > 0,
+            "the breaker must be on by default"
+        );
+        // A single call sheds at most max_retries + 1 consecutive times
+        // before RetriesExhausted; the default threshold must sit above
+        // that so one shed-out call never trips the breaker by itself.
+        assert!(policy.circuit_threshold > policy.max_retries + 1);
+        let mut c = HardenedClient::new("unused:0", policy);
+        for _ in 0..policy.max_retries + 1 {
+            assert!(c.note_shed().is_ok());
+        }
+        assert_eq!(c.metrics().circuit_opens, 0);
+        // Persistent shedding past the threshold does open it.
+        let mut last = c.note_shed();
+        while last.is_ok() {
+            last = c.note_shed();
+        }
+        assert!(matches!(last, Err(ClientError::CircuitOpen { .. })));
+        assert_eq!(c.metrics().circuit_opens, 1);
     }
 
     #[test]

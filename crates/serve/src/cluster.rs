@@ -1,0 +1,828 @@
+//! Cluster membership, the cluster-aware client, and the worker fleet.
+//!
+//! A cluster is N independent `ktudc-serve` worker processes plus a
+//! [`HashRing`] that every participant computes identically: requests
+//! route by the same 64-bit digest the scenario cache keys on, so the
+//! cache shards cleanly across workers with no duplicate compute. This
+//! module holds the three pieces that turn a list of addresses into a
+//! cluster:
+//!
+//! - [`Membership`] — the mutable shard→address table. Worker restarts
+//!   under a fleet supervisor re-bind ephemeral ports, so addresses are
+//!   *state*, not configuration; everything that talks to a shard reads
+//!   the table at call time.
+//! - [`ClusterClient`] — a [`HardenedClient`] per shard with failover:
+//!   when a shard is down (transport error, retries exhausted, open
+//!   breaker) or sheds with `Overloaded`/`DeadlineExceeded`, the request
+//!   is retried on the next replica in ring order. Generations are
+//!   tracked *per shard*, so a worker restart surfaces as a typed
+//!   [`ClusterEvent::WorkerRestarted`] for that shard even when the
+//!   respawned worker came back on a different port.
+//! - [`Fleet`] + [`launch_fleet`] — runs N workers under the existing
+//!   crash-loop [`supervise`] machinery, one supervisor thread per
+//!   shard, updating [`Membership`] from each worker's boot banner.
+
+use crate::cache::LruCache;
+use crate::client::{ClientError, ClientMetrics, HardenedClient, RetryPolicy};
+use crate::metrics::StatsReport;
+use crate::ring::HashRing;
+use crate::supervisor::{supervise, SupervisorPolicy, SupervisorReport};
+use crate::wire::{
+    ClusterHealthReport, ErrorCode, RequestKind, RequestOptions, Response, ResponseKind,
+    ShardHealth,
+};
+use std::io::{BufRead, BufReader};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Lines of a worker's stdout scanned for the boot banner before giving
+/// up on an announcement. Generously above the worker's actual boot
+/// output (generation line + listen line) so a future extra line never
+/// breaks fleet startup, but bounded so a silent child cannot hang its
+/// supervisor.
+const MAX_BOOT_LINES: usize = 64;
+
+/// The shard→address table of a running cluster.
+///
+/// Shard *count* is fixed for the cluster's lifetime (it defines the
+/// hash ring); shard *addresses* are mutable because a supervised worker
+/// that crashes comes back on a fresh ephemeral port. Readers take the
+/// address at call time, so an updated entry heals every subsequent
+/// request with no client rebuild.
+pub struct Membership {
+    addrs: RwLock<Vec<String>>,
+}
+
+impl Membership {
+    /// A table with one slot per shard. Empty strings are legal
+    /// placeholders for "not announced yet" (see [`Fleet::wait_ready`]).
+    #[must_use]
+    pub fn new(addrs: Vec<String>) -> Membership {
+        Membership {
+            addrs: RwLock::new(addrs),
+        }
+    }
+
+    /// Number of shards (fixed for the cluster's lifetime).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addrs.read().expect("membership lock poisoned").len()
+    }
+
+    /// Whether the cluster has no shards at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current address of `shard`.
+    #[must_use]
+    pub fn addr(&self, shard: usize) -> String {
+        self.addrs.read().expect("membership lock poisoned")[shard].clone()
+    }
+
+    /// Points `shard` at a new address (a restarted worker re-announced).
+    pub fn set_addr(&self, shard: usize, addr: impl Into<String>) {
+        self.addrs.write().expect("membership lock poisoned")[shard] = addr.into();
+    }
+
+    /// The full table at this instant.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<String> {
+        self.addrs.read().expect("membership lock poisoned").clone()
+    }
+}
+
+/// A noteworthy event observed by a [`ClusterClient`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// Shard `shard`'s responses started arriving from a different
+    /// worker generation: that worker restarted. Tracked per shard (not
+    /// per connection), so it fires exactly once per observed restart
+    /// even when the respawned worker came back on a new port and the
+    /// underlying connection was rebuilt.
+    WorkerRestarted {
+        /// Which shard restarted.
+        shard: usize,
+        /// Generation observed from the shard before the change.
+        old_gen: u64,
+        /// Generation that revealed the restart.
+        new_gen: u64,
+    },
+}
+
+/// Counters of what a [`ClusterClient`] has masked or observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// Requests answered by a replica other than their owner shard
+    /// (each extra shard tried counts once).
+    pub failovers: u64,
+    /// Worker restarts detected via a per-shard generation change.
+    pub worker_restarts: u64,
+    /// The per-shard [`HardenedClient`] counters, indexed by shard.
+    pub per_shard: Vec<ClientMetrics>,
+}
+
+/// Per-shard connection state guarded by one mutex per shard.
+struct ShardState {
+    /// The address this client was built for; rebuilt when membership
+    /// moves the shard.
+    addr: String,
+    client: HardenedClient,
+    /// Last generation observed from this *shard* (survives client
+    /// rebuilds, which is what makes restart detection per-worker).
+    last_gen: Option<u64>,
+}
+
+/// A cluster-aware client: one [`HardenedClient`] per shard, requests
+/// routed by cache key over the [`HashRing`], failover to the next
+/// replica when a shard is down or shedding.
+///
+/// Thread-safe: batches fan sub-batches out across shards on scoped
+/// threads, and independent callers may share one instance (per-shard
+/// state is mutex-guarded).
+pub struct ClusterClient {
+    membership: Arc<Membership>,
+    ring: HashRing,
+    policy: RetryPolicy,
+    shards: Vec<Mutex<ShardState>>,
+    failovers: AtomicU64,
+    worker_restarts: AtomicU64,
+    events: Mutex<Vec<ClusterEvent>>,
+}
+
+impl ClusterClient {
+    /// A client over `membership` (no connections are made yet). Each
+    /// shard gets its own independent copy of `policy` — per-shard
+    /// retry budgets, backoff schedules, and circuit breakers.
+    #[must_use]
+    pub fn new(membership: Arc<Membership>, policy: RetryPolicy) -> ClusterClient {
+        let shards = membership.len();
+        let states = (0..shards)
+            .map(|shard| {
+                let addr = membership.addr(shard);
+                Mutex::new(ShardState {
+                    client: HardenedClient::new(addr.clone(), policy),
+                    addr,
+                    last_gen: None,
+                })
+            })
+            .collect();
+        ClusterClient {
+            ring: HashRing::new(shards),
+            membership,
+            policy,
+            shards: states,
+            failovers: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The routing digest of a request body: the same key the scenario
+    /// cache files it under, so routing and caching agree by
+    /// construction.
+    #[must_use]
+    pub fn shard_key(kind: &RequestKind) -> u64 {
+        LruCache::key_of(&serde_json::to_string(kind).unwrap_or_default())
+    }
+
+    /// The shard that owns `kind` (before any failover).
+    #[must_use]
+    pub fn route(&self, kind: &RequestKind) -> usize {
+        self.ring.shard_for(Self::shard_key(kind))
+    }
+
+    /// The ring this client routes over.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Runs `f` against `shard`'s client, rebuilding the client first if
+    /// membership moved the shard, and folding any generation change
+    /// into per-shard restart tracking afterwards.
+    fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&mut HardenedClient) -> T) -> T {
+        let mut state = self.shards[shard].lock().expect("shard lock poisoned");
+        let current = self.membership.addr(shard);
+        if state.addr != current {
+            state.addr = current.clone();
+            state.client = HardenedClient::new(current, self.policy);
+        }
+        let out = f(&mut state.client);
+        // The per-connection events are subsumed by per-shard tracking;
+        // drain them so they cannot accumulate unread.
+        let _ = state.client.take_events();
+        if let Some(new_gen) = state.client.last_generation() {
+            if let Some(old_gen) = state.last_gen {
+                if old_gen != new_gen {
+                    self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    self.events.lock().expect("events lock poisoned").push(
+                        ClusterEvent::WorkerRestarted {
+                            shard,
+                            old_gen,
+                            new_gen,
+                        },
+                    );
+                }
+            }
+            state.last_gen = Some(new_gen);
+        }
+        out
+    }
+
+    /// Last generation observed from `shard`, across client rebuilds.
+    fn last_gen(&self, shard: usize) -> Option<u64> {
+        self.shards[shard]
+            .lock()
+            .expect("shard lock poisoned")
+            .last_gen
+    }
+
+    /// Tries `kind` on each shard of `order` in turn. `attempted` is how
+    /// many shards were already tried by the caller (every try after the
+    /// first overall counts as a failover). A typed `Overloaded`/
+    /// `DeadlineExceeded` shed moves on to the next replica but is kept
+    /// as the answer of last resort: if *every* replica sheds, the
+    /// caller gets the typed shed (zero wrong answers, never a made-up
+    /// error), and only if every replica is unreachable does the
+    /// transport error surface.
+    fn try_order(
+        &self,
+        kind: &RequestKind,
+        options: RequestOptions,
+        order: &[usize],
+        mut attempted: u32,
+    ) -> Result<Response, ClientError> {
+        let mut last_err: Option<ClientError> = None;
+        let mut last_shed: Option<Response> = None;
+        for &shard in order {
+            if attempted > 0 {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            attempted += 1;
+            match self.with_shard(shard, |c| c.request_with_options(kind.clone(), options)) {
+                Ok(mut resp) => {
+                    if resp.shard.is_none() {
+                        resp.shard = Some(shard);
+                    }
+                    let shed = matches!(
+                        &resp.result,
+                        ResponseKind::Error(e)
+                            if matches!(e.code, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded)
+                    );
+                    if shed {
+                        last_shed = Some(resp);
+                    } else {
+                        return Ok(resp);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_shed {
+            Some(resp) => Ok(resp),
+            None => Err(last_err
+                .unwrap_or_else(|| ClientError::Protocol("cluster has no shards".to_string()))),
+        }
+    }
+
+    /// Sends one request to its owner shard, failing over through the
+    /// ring's replica order when the owner is down or shedding.
+    ///
+    /// # Errors
+    ///
+    /// The last shard's error when *every* replica was unreachable;
+    /// typed sheds are successful responses (see [`ClusterClient::try_order`]).
+    pub fn request(&self, kind: RequestKind) -> Result<Response, ClientError> {
+        self.request_with_options(kind, RequestOptions::default())
+    }
+
+    /// As [`ClusterClient::request`], with per-request [`RequestOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterClient::request`].
+    pub fn request_with_options(
+        &self,
+        kind: RequestKind,
+        options: RequestOptions,
+    ) -> Result<Response, ClientError> {
+        let order = self.ring.replicas(Self::shard_key(&kind));
+        self.try_order(&kind, options, &order, 0)
+    }
+
+    /// Sends a batch, fanning per-shard sub-batches out in parallel
+    /// (scoped threads, one per owning shard) and merging responses back
+    /// into request order. Requests whose owner shard fails or sheds
+    /// fail over individually, so one dead shard degrades only its own
+    /// keys' latency, never the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// The first per-request failure in request order, when that request
+    /// exhausted every replica.
+    pub fn batch(&self, kinds: Vec<RequestKind>) -> Result<Vec<Response>, ClientError> {
+        self.batch_with_options(
+            kinds
+                .into_iter()
+                .map(|kind| (kind, RequestOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// As [`ClusterClient::batch`], with per-request [`RequestOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterClient::batch`].
+    pub fn batch_with_options(
+        &self,
+        kinds: Vec<(RequestKind, RequestOptions)>,
+    ) -> Result<Vec<Response>, ClientError> {
+        let shard_count = self.ring.shards();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, (kind, _)) in kinds.iter().enumerate() {
+            by_shard[self.route(kind)].push(i);
+        }
+        let slots: Vec<Mutex<Option<Result<Response, ClientError>>>> =
+            kinds.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for (shard, indices) in by_shard.iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let kinds = &kinds;
+                let slots = &slots;
+                scope.spawn(move || {
+                    self.run_sub_batch(shard, indices, kinds, slots);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(kinds.len());
+        for slot in slots {
+            match slot.into_inner().expect("slot lock poisoned") {
+                Some(Ok(resp)) => out.push(resp),
+                Some(Err(e)) => return Err(e),
+                None => return Err(ClientError::Protocol("batch slot never filled".to_string())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// One shard's share of a batch: pipeline the sub-batch to the owner,
+    /// then fail individual sheds (or the whole sub-batch, on transport
+    /// failure) over to the remaining replicas.
+    fn run_sub_batch(
+        &self,
+        shard: usize,
+        indices: &[usize],
+        kinds: &[(RequestKind, RequestOptions)],
+        slots: &[Mutex<Option<Result<Response, ClientError>>>],
+    ) {
+        let sub: Vec<(RequestKind, RequestOptions)> =
+            indices.iter().map(|&i| kinds[i].clone()).collect();
+        let attempt = self.with_shard(shard, |c| c.batch_with_options(sub));
+        match attempt {
+            Ok(responses) if responses.len() == indices.len() => {
+                for (offset, mut resp) in responses.into_iter().enumerate() {
+                    let i = indices[offset];
+                    let shed = matches!(
+                        &resp.result,
+                        ResponseKind::Error(e)
+                            if matches!(e.code, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded)
+                    );
+                    let outcome = if shed {
+                        self.fail_over(i, kinds, shard, Some(resp))
+                    } else {
+                        if resp.shard.is_none() {
+                            resp.shard = Some(shard);
+                        }
+                        Ok(resp)
+                    };
+                    *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
+                }
+            }
+            // A short response set would be a protocol violation from
+            // HardenedClient; treat it like a transport failure and
+            // re-derive every answer from the replicas.
+            Ok(_) | Err(_) => {
+                for &i in indices {
+                    let outcome = self.fail_over(i, kinds, shard, None);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
+                }
+            }
+        }
+    }
+
+    /// Retries request `i` on every replica after `owner`; falls back to
+    /// the owner's own typed shed when every replica also fails.
+    fn fail_over(
+        &self,
+        i: usize,
+        kinds: &[(RequestKind, RequestOptions)],
+        owner: usize,
+        owner_shed: Option<Response>,
+    ) -> Result<Response, ClientError> {
+        let (kind, options) = kinds[i].clone();
+        let order: Vec<usize> = self
+            .ring
+            .replicas(Self::shard_key(&kind))
+            .into_iter()
+            .filter(|&s| s != owner)
+            .collect();
+        match self.try_order(&kind, options, &order, 1) {
+            Ok(resp) => Ok(resp),
+            Err(e) => match owner_shed {
+                Some(shed) => Ok(shed),
+                None => Err(e),
+            },
+        }
+    }
+
+    /// Polls every shard's health in parallel and aggregates the rows.
+    /// Unreachable shards get a `reachable: false` row carrying their
+    /// last observed generation, so the report never blocks on — or
+    /// lies about — a dead worker.
+    ///
+    /// A single member may be a router fronting many workers, so it is
+    /// asked for its own `ClusterHealth` view first — the fleet
+    /// aggregate is strictly more informative than one `Health` row
+    /// about the router itself, and a plain worker answers the same
+    /// request as a one-shard cluster, so nothing is lost either way.
+    #[must_use]
+    pub fn cluster_health(&self) -> ClusterHealthReport {
+        if self.ring.shards() == 1 {
+            if let Ok(report) = self.with_shard(0, HardenedClient::cluster_health) {
+                return report;
+            }
+        }
+        let rows: Vec<ShardHealth> = std::thread::scope(|scope| {
+            let probes: Vec<_> = (0..self.ring.shards())
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let addr = self.membership.addr(shard);
+                        match self.with_shard(shard, |c| c.health()) {
+                            Ok(report) => ShardHealth {
+                                shard,
+                                addr,
+                                reachable: true,
+                                generation: report.generation,
+                                report: Some(report),
+                            },
+                            Err(_) => ShardHealth {
+                                shard,
+                                addr,
+                                reachable: false,
+                                generation: self.last_gen(shard).unwrap_or(0),
+                                report: None,
+                            },
+                        }
+                    })
+                })
+                .collect();
+            probes
+                .into_iter()
+                .map(|p| p.join().expect("health probe thread panicked"))
+                .collect()
+        });
+        ClusterHealthReport::aggregate(rows)
+    }
+
+    /// Fetches every shard's metrics snapshot (sequentially; stats are
+    /// cheap). Unreachable shards report their error in place.
+    #[must_use]
+    pub fn stats_per_shard(&self) -> Vec<(usize, Result<StatsReport, ClientError>)> {
+        (0..self.ring.shards())
+            .map(|shard| (shard, self.with_shard(shard, HardenedClient::stats)))
+            .collect()
+    }
+
+    /// Asks every shard to drain and exit; returns how many acknowledged
+    /// (already-dead shards are not an error — the goal state is "down").
+    pub fn shutdown_cluster(&self) -> usize {
+        (0..self.ring.shards())
+            .filter(|&shard| {
+                self.with_shard(shard, HardenedClient::shutdown_server)
+                    .is_ok()
+            })
+            .count()
+    }
+
+    /// What this client has masked and observed so far.
+    #[must_use]
+    pub fn metrics(&self) -> ClusterMetrics {
+        ClusterMetrics {
+            failovers: self.failovers.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            per_shard: (0..self.ring.shards())
+                .map(|shard| {
+                    self.shards[shard]
+                        .lock()
+                        .expect("shard lock poisoned")
+                        .client
+                        .metrics()
+                })
+                .collect(),
+        }
+    }
+
+    /// Drains the accumulated [`ClusterEvent`]s (oldest first).
+    pub fn take_events(&self) -> Vec<ClusterEvent> {
+        std::mem::take(&mut *self.events.lock().expect("events lock poisoned"))
+    }
+}
+
+/// Extracts the announced address from a worker's boot banner line
+/// (`… listening on 127.0.0.1:40123`).
+fn parse_listen_addr(line: &str) -> Option<&str> {
+    let at = line.find("listening on ")?;
+    let addr = line[at + "listening on ".len()..].trim();
+    (!addr.is_empty()).then_some(addr)
+}
+
+/// A supervised fleet of worker processes, one shard each.
+///
+/// Each shard runs its own [`supervise`] loop on a dedicated thread:
+/// crash-loop backoff, give-up budget, and stable-run streak reset all
+/// apply per worker. When a worker (re)starts, its boot banner is parsed
+/// for the bound address and [`Membership`] is updated in place — the
+/// respawned worker's ephemeral port heals into the routing table
+/// without restarting anything else.
+pub struct Fleet {
+    membership: Arc<Membership>,
+    stop: Arc<AtomicBool>,
+    pids: Arc<Mutex<Vec<Option<u32>>>>,
+    supervisors: Vec<JoinHandle<std::io::Result<SupervisorReport>>>,
+}
+
+impl Fleet {
+    /// The fleet's live shard→address table.
+    #[must_use]
+    pub fn membership(&self) -> Arc<Membership> {
+        Arc::clone(&self.membership)
+    }
+
+    /// The current process id of `shard`'s worker (None until its first
+    /// announcement). After a crash this lags until the supervisor's
+    /// respawn announces.
+    #[must_use]
+    pub fn pid(&self, shard: usize) -> Option<u32> {
+        self.pids.lock().expect("pids lock poisoned")[shard]
+    }
+
+    /// Blocks until every shard has announced an address, or `timeout`
+    /// passes. Returns whether the fleet is fully announced.
+    #[must_use]
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.membership.snapshot().iter().all(|a| !a.is_empty()) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stops every supervisor (killing and reaping its worker) and
+    /// returns the per-shard supervision reports.
+    pub fn stop_and_join(self) -> Vec<std::io::Result<SupervisorReport>> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.supervisors
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(std::io::Error::other("supervisor thread panicked")))
+            })
+            .collect()
+    }
+}
+
+/// Launches `shards` supervised workers. `spawn(shard)` must return a
+/// [`Child`] whose stdout is piped (the boot banner is parsed from it);
+/// it is called again on every restart of that shard, so per-shard state
+/// (data dir, flags) belongs in the closure.
+///
+/// Workers that die are restarted under `policy`'s crash-loop backoff;
+/// a shard whose give-up budget runs out stays down (its supervisor
+/// thread ends with `gave_up` in its report) while the rest of the
+/// fleet keeps serving.
+#[must_use]
+pub fn launch_fleet<S>(shards: usize, policy: SupervisorPolicy, spawn: S) -> Fleet
+where
+    S: Fn(usize) -> std::io::Result<Child> + Send + Sync + 'static,
+{
+    let membership = Arc::new(Membership::new(vec![String::new(); shards]));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pids = Arc::new(Mutex::new(vec![None; shards]));
+    let spawn = Arc::new(spawn);
+    let supervisors = (0..shards)
+        .map(|shard| {
+            let membership = Arc::clone(&membership);
+            let stop = Arc::clone(&stop);
+            let pids = Arc::clone(&pids);
+            let spawn = Arc::clone(&spawn);
+            std::thread::spawn(move || {
+                supervise(
+                    || {
+                        let mut child = spawn(shard)?;
+                        let pid = child.id();
+                        if let Some(stdout) = child.stdout.take() {
+                            let mut reader = BufReader::new(stdout);
+                            let mut announced: Option<String> = None;
+                            for _ in 0..MAX_BOOT_LINES {
+                                let mut line = String::new();
+                                match reader.read_line(&mut line) {
+                                    Ok(0) | Err(_) => break,
+                                    Ok(_) => {
+                                        if let Some(addr) = parse_listen_addr(&line) {
+                                            announced = Some(addr.to_string());
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(addr) = announced {
+                                membership.set_addr(shard, addr.clone());
+                                pids.lock().expect("pids lock poisoned")[shard] = Some(pid);
+                                println!(
+                                    "ktudc-serve: shard {shard} pid {pid} listening on {addr}"
+                                );
+                            }
+                            // Keep draining so the worker never blocks on
+                            // a full stdout pipe; the thread ends at the
+                            // worker's EOF (its death), whoever causes it.
+                            std::thread::spawn(move || {
+                                for line in reader.lines() {
+                                    if line.is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                        }
+                        Ok(child)
+                    },
+                    policy,
+                    &stop,
+                )
+            })
+        })
+        .collect();
+    Fleet {
+        membership,
+        stop,
+        pids,
+        supervisors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServeConfig};
+    use ktudc_core::harness::{CellSpec, FdChoice, ProtocolChoice};
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        }
+    }
+
+    fn cheap_cell(i: u64) -> RequestKind {
+        RequestKind::Cell(
+            CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(1)
+                .horizon(40 + i),
+        )
+    }
+
+    #[test]
+    fn membership_is_mutable_shared_state() {
+        let m = Membership::new(vec!["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.addr(1), "b:2");
+        m.set_addr(1, "c:3");
+        assert_eq!(m.addr(1), "c:3");
+        assert_eq!(m.snapshot(), vec!["a:1".to_string(), "c:3".to_string()]);
+    }
+
+    #[test]
+    fn boot_banner_parsing() {
+        assert_eq!(
+            parse_listen_addr("ktudc-serve: listening on 127.0.0.1:40123"),
+            Some("127.0.0.1:40123")
+        );
+        assert_eq!(
+            parse_listen_addr("listening on 10.0.0.1:7199\n"),
+            Some("10.0.0.1:7199")
+        );
+        assert_eq!(parse_listen_addr("generation 3"), None);
+        assert_eq!(parse_listen_addr("listening on "), None);
+    }
+
+    #[test]
+    fn routing_agrees_with_caching_across_shards() {
+        let servers: Vec<_> = (0..2)
+            .map(|_| {
+                serve(&ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                })
+                .expect("serve")
+            })
+            .collect();
+        let membership = Arc::new(Membership::new(
+            servers.iter().map(|s| s.addr().to_string()).collect(),
+        ));
+        let cluster = ClusterClient::new(Arc::clone(&membership), quick_policy());
+
+        let kinds: Vec<RequestKind> = (0..6).map(cheap_cell).collect();
+        let cold = cluster.batch(kinds.clone()).expect("cold batch");
+        let warm = cluster.batch(kinds.clone()).expect("warm batch");
+        assert_eq!(cold.len(), 6);
+        for ((kind, cold), warm) in kinds.iter().zip(&cold).zip(&warm) {
+            // The router stamp matches the ring, both passes.
+            assert_eq!(cold.shard, Some(cluster.route(kind)));
+            assert_eq!(warm.shard, cold.shard);
+            // The second pass hits the shard's cache: same shard, same
+            // payload, no recompute.
+            assert!(!cold.cached);
+            assert!(warm.cached, "warm pass must be a cache hit");
+            assert_eq!(warm.result, cold.result);
+        }
+        assert_eq!(cluster.metrics().failovers, 0);
+        for server in servers {
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn dead_shard_fails_over_to_a_replica() {
+        let server = serve(&ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("serve");
+        // Shard 1 is a dead address (reserved port, nothing listens).
+        let membership = Arc::new(Membership::new(vec![
+            server.addr().to_string(),
+            "127.0.0.1:1".to_string(),
+        ]));
+        let cluster = ClusterClient::new(Arc::clone(&membership), quick_policy());
+
+        // Enough distinct cells that both shards own some keys.
+        let kinds: Vec<RequestKind> = (0..8).map(cheap_cell).collect();
+        assert!(
+            kinds.iter().any(|k| cluster.route(k) == 1),
+            "test needs at least one key owned by the dead shard"
+        );
+        let responses = cluster.batch(kinds.clone()).expect("batch with failover");
+        for (kind, resp) in kinds.iter().zip(&responses) {
+            // Every answer came from the live shard, including the dead
+            // shard's keys, and every answer is a real payload.
+            assert_eq!(resp.shard, Some(0));
+            assert!(
+                matches!(resp.result, ResponseKind::Cell(_)),
+                "expected a cell payload for {kind:?}, got {:?}",
+                resp.result
+            );
+        }
+        assert!(cluster.metrics().failovers > 0);
+
+        // The cluster health view shows one reachable shard of two.
+        let health = cluster.cluster_health();
+        assert_eq!(health.shards.len(), 2);
+        assert_eq!(health.reachable_shards, 1);
+        assert!(health.shards[0].reachable);
+        assert!(!health.shards[1].reachable);
+        server.shutdown();
+    }
+
+    #[test]
+    fn membership_update_heals_a_moved_shard() {
+        let a = serve(&ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("serve a");
+        let membership = Arc::new(Membership::new(vec!["127.0.0.1:1".to_string()]));
+        let cluster = ClusterClient::new(Arc::clone(&membership), quick_policy());
+        // All shards dead: the transport error surfaces.
+        assert!(cluster.request(cheap_cell(0)).is_err());
+        // The shard re-announces (as a fleet supervisor would record).
+        membership.set_addr(0, a.addr().to_string());
+        let resp = cluster.request(cheap_cell(0)).expect("healed");
+        assert!(matches!(resp.result, ResponseKind::Cell(_)));
+        a.shutdown();
+    }
+}

@@ -54,18 +54,24 @@
 pub mod admission;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod supervisor;
 pub mod wire;
 
 pub use admission::{AimdConfig, AimdController, JobRegistry};
 pub use client::{Client, ClientError, ClientEvent, ClientMetrics, HardenedClient, RetryPolicy};
+pub use cluster::{launch_fleet, ClusterClient, ClusterEvent, ClusterMetrics, Fleet, Membership};
 pub use metrics::{Endpoint, StatsReport};
+pub use ring::HashRing;
+pub use router::{serve_router, RouterConfig, RouterHandle};
 pub use server::{serve, RecoveryReport, ServeConfig, ServerFaults, ServerHandle};
 pub use supervisor::{supervise, CrashLoopBackoff, SupervisorPolicy, SupervisorReport};
 pub use wire::{
-    AbortedOutcome, CheckOutcome, CheckSpec, ErrorCode, HealthReport, PartialCell, PartialOutcome,
-    Request, RequestKind, RequestOptions, Response, ResponseKind, WireError, MIN_SCHEMA_VERSION,
-    SCHEMA_VERSION,
+    AbortedOutcome, CheckOutcome, CheckSpec, ClusterHealthReport, ErrorCode, HealthReport,
+    PartialCell, PartialOutcome, Request, RequestKind, RequestOptions, Response, ResponseKind,
+    ShardHealth, WireError, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };

@@ -4,6 +4,10 @@
 //! ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
 //!             [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N]
 //!             [--watchdog-tick-ms N] [--stuck-after-ticks N] [--supervise]
+//! ktudc-serve --router --shards HOST:P1,HOST:P2,... [--addr HOST:PORT]
+//!             [--workers N] [--queue-cap N]
+//! ktudc-serve --router --fleet N [--addr HOST:PORT] [--workers N]
+//!             [--queue-cap N] [--data-dir PATH] [worker flags...]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound, then runs
@@ -17,9 +21,23 @@
 //! fresh generation. `--supervise` runs the daemon as a supervised
 //! child: the parent re-execs itself without the flag and restarts the
 //! child on abnormal exits with crash-loop backoff.
+//!
+//! `--router` runs the cluster front-end instead of a worker: requests
+//! are consistent-hashed by cache key onto the shards and failed over
+//! to replicas when a shard is down or shedding. `--shards` points the
+//! router at externally managed workers; `--fleet N` makes it launch
+//! and supervise `N` workers itself (on ephemeral ports, each with its
+//! own `shard-<i>` subdirectory of `--data-dir` when one is given, so
+//! the per-shard caches snapshot independently). In router mode
+//! `--workers`/`--queue-cap` size the router's own forwarding pool;
+//! the remaining worker flags are passed through to a `--fleet`.
 
-use ktudc_serve::{serve, supervise, ServeConfig, SupervisorPolicy};
+use ktudc_serve::{
+    launch_fleet, serve, serve_router, supervise, Fleet, Membership, RetryPolicy, RouterConfig,
+    ServeConfig, SupervisorPolicy,
+};
 use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Signal handling without a runtime: `std` exposes no signal API, so on
@@ -72,17 +90,33 @@ fn usage() -> ! {
     eprintln!(
         "usage: ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] \
          [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N] [--watchdog-tick-ms N] \
-         [--stuck-after-ticks N] [--supervise]"
+         [--stuck-after-ticks N] [--supervise]\n       \
+         ktudc-serve --router (--shards HOST:P1,HOST:P2,... | --fleet N) [--addr HOST:PORT] \
+         [--workers N] [--queue-cap N] [--data-dir PATH] [worker flags...]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (ServeConfig, bool) {
+/// How this process should run, decided entirely by flag validation
+/// before any socket or child process exists.
+enum Mode {
+    /// A single worker daemon (the pre-cluster behavior).
+    Server { supervised: bool },
+    /// The cluster front-end over externally managed workers.
+    RouterOverShards { members: Vec<String> },
+    /// The cluster front-end launching and supervising its own workers.
+    RouterOverFleet { shards: usize },
+}
+
+fn parse_args() -> (ServeConfig, Mode) {
     let mut config = ServeConfig {
         addr: "127.0.0.1:7199".to_string(),
         ..ServeConfig::default()
     };
     let mut supervised = false;
+    let mut router = false;
+    let mut shards: Option<String> = None;
+    let mut fleet: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -118,6 +152,9 @@ fn parse_args() -> (ServeConfig, bool) {
                     parse_num(&value("--stuck-after-ticks"), "--stuck-after-ticks") as u64
             }
             "--supervise" => supervised = true,
+            "--router" => router = true,
+            "--shards" => shards = Some(value("--shards")),
+            "--fleet" => fleet = Some(parse_num(&value("--fleet"), "--fleet")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -125,7 +162,67 @@ fn parse_args() -> (ServeConfig, bool) {
             }
         }
     }
-    (config, supervised)
+    // Flag-combination contract, checked before any I/O.
+    if (shards.is_some() || fleet.is_some()) && !router {
+        eprintln!("--shards/--fleet require --router");
+        usage();
+    }
+    if !router {
+        return (config, Mode::Server { supervised });
+    }
+    if supervised {
+        eprintln!("--supervise cannot be combined with --router (a --fleet already supervises)");
+        usage();
+    }
+    let mode = match (shards, fleet) {
+        (Some(_), Some(_)) => {
+            eprintln!("--shards and --fleet are mutually exclusive");
+            usage();
+        }
+        (None, None) => {
+            eprintln!("--router needs a cluster: --shards HOST:P1,... or --fleet N");
+            usage();
+        }
+        (Some(list), None) => {
+            if config.data_dir.is_some() {
+                eprintln!("--data-dir belongs to the workers; with --shards they are not ours");
+                usage();
+            }
+            let members: Vec<String> = list
+                .split(',')
+                .map(|m| m.trim().to_string())
+                .filter(|m| !m.is_empty())
+                .collect();
+            if members.is_empty() {
+                eprintln!("--shards needs at least one HOST:PORT member");
+                usage();
+            }
+            for member in &members {
+                if !member_is_plausible(member) {
+                    eprintln!("--shards member {member:?} is not HOST:PORT");
+                    usage();
+                }
+            }
+            Mode::RouterOverShards { members }
+        }
+        (None, Some(n)) => {
+            if n == 0 {
+                eprintln!("--fleet needs at least one worker");
+                usage();
+            }
+            Mode::RouterOverFleet { shards: n }
+        }
+    };
+    (config, mode)
+}
+
+/// Syntactic HOST:PORT check (no DNS, no connection): a non-empty host
+/// before the last `:` and a `u16` after it.
+fn member_is_plausible(member: &str) -> bool {
+    match member.rsplit_once(':') {
+        Some((host, port)) => !host.is_empty() && port.parse::<u16>().is_ok(),
+        None => false,
+    }
 }
 
 fn parse_num(s: &str, flag: &str) -> usize {
@@ -136,12 +233,29 @@ fn parse_num(s: &str, flag: &str) -> usize {
 }
 
 fn main() {
-    let (config, supervised) = parse_args();
+    let (config, mode) = parse_args();
     signals::install();
-    if supervised {
-        supervised_main();
+    match mode {
+        Mode::Server { supervised: true } => supervised_main(),
+        Mode::Server { supervised: false } => server_main(&config),
+        Mode::RouterOverShards { members } => {
+            router_main(&config, Arc::new(Membership::new(members)), None)
+        }
+        Mode::RouterOverFleet { shards } => {
+            let fleet = spawn_fleet(&config, shards);
+            if !fleet.wait_ready(Duration::from_secs(30)) {
+                eprintln!("ktudc-serve: fleet did not become ready in 30s");
+                fleet.stop_and_join();
+                std::process::exit(1);
+            }
+            let membership = fleet.membership();
+            router_main(&config, membership, Some(fleet));
+        }
     }
-    let handle = match serve(&config) {
+}
+
+fn server_main(config: &ServeConfig) {
+    let handle = match serve(config) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("ktudc-serve: failed to start on {}: {e}", config.addr);
@@ -165,6 +279,87 @@ fn main() {
     handle.shutdown();
     handle.join();
     println!("ktudc-serve: drained and stopped");
+}
+
+/// Launches `shards` supervised worker children: this same binary minus
+/// the cluster flags, each on an ephemeral port and (when `--data-dir`
+/// is set) with its own `shard-<i>` snapshot directory, so restarts
+/// recover warm per-shard caches.
+fn spawn_fleet(config: &ServeConfig, shards: usize) -> Fleet {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("ktudc-serve: cannot find own executable: {e}");
+        std::process::exit(1);
+    });
+    let config = config.clone();
+    launch_fleet(shards, SupervisorPolicy::default(), move |shard| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--addr").arg("127.0.0.1:0");
+        cmd.arg("--cache-cap")
+            .arg(config.cache_capacity.to_string());
+        cmd.arg("--snapshot-every")
+            .arg(config.snapshot_every.to_string());
+        cmd.arg("--target-p99-ms")
+            .arg(config.target_p99_ms.to_string());
+        cmd.arg("--watchdog-tick-ms")
+            .arg(config.watchdog_tick_ms.to_string());
+        cmd.arg("--stuck-after-ticks")
+            .arg(config.stuck_after_ticks.to_string());
+        if let Some(base) = &config.data_dir {
+            let dir = ktudc_store::shard_data_dir(base, shard);
+            std::fs::create_dir_all(&dir)?;
+            cmd.arg("--data-dir").arg(dir);
+        }
+        cmd.stdout(std::process::Stdio::piped());
+        cmd.spawn()
+    })
+}
+
+/// Runs the router until shutdown, then drains it and (for a
+/// `--fleet`) stops the supervised workers.
+fn router_main(config: &ServeConfig, membership: Arc<Membership>, fleet: Option<Fleet>) {
+    let router_config = RouterConfig {
+        addr: config.addr.clone(),
+        policy: RetryPolicy::default(),
+        workers: config.workers,
+        queue_capacity: config.queue_capacity,
+    };
+    let handle = match serve_router(&router_config, membership) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!(
+                "ktudc-serve: failed to start router on {}: {e}",
+                config.addr
+            );
+            if let Some(fleet) = fleet {
+                fleet.stop_and_join();
+            }
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    while !handle.is_shutdown() && !signals::received() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    handle.join();
+    if let Some(fleet) = fleet {
+        for (shard, report) in fleet.stop_and_join().into_iter().enumerate() {
+            match report {
+                Ok(r) if r.gave_up => {
+                    eprintln!(
+                        "ktudc-serve: shard {shard} gave up after {} restarts",
+                        r.restarts
+                    )
+                }
+                Ok(r) => println!(
+                    "ktudc-serve: shard {shard} stopped ({} restarts)",
+                    r.restarts
+                ),
+                Err(e) => eprintln!("ktudc-serve: shard {shard} supervision failed: {e}"),
+            }
+        }
+    }
+    println!("ktudc-serve: router drained and stopped");
 }
 
 /// The `--supervise` parent: spawn the daemon as a child (same flags

@@ -37,11 +37,14 @@ pub enum Endpoint {
     /// cacheable endpoints stay the leading prefix of [`Endpoint::ALL`]
     /// (the hit-rate fold depends on that ordering).
     Health,
+    /// Cluster health snapshots (schema v5). Appended at the end for the
+    /// same leading-prefix reason as `Health`.
+    ClusterHealth,
 }
 
 impl Endpoint {
     /// Every endpoint, in report order (cacheable endpoints first).
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Cell,
         Endpoint::Check,
         Endpoint::Explore,
@@ -49,6 +52,7 @@ impl Endpoint {
         Endpoint::Stats,
         Endpoint::Shutdown,
         Endpoint::Health,
+        Endpoint::ClusterHealth,
     ];
 
     /// The wire name of the endpoint.
@@ -62,6 +66,7 @@ impl Endpoint {
             Endpoint::Stats => "stats",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Health => "health",
+            Endpoint::ClusterHealth => "cluster_health",
         }
     }
 
@@ -74,6 +79,7 @@ impl Endpoint {
             Endpoint::Stats => 4,
             Endpoint::Shutdown => 5,
             Endpoint::Health => 6,
+            Endpoint::ClusterHealth => 7,
         }
     }
 }
@@ -125,7 +131,7 @@ pub struct Metrics {
     started: Instant,
     overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
-    per: [EndpointMetrics; 7],
+    per: [EndpointMetrics; 8],
     /// Time admitted compute requests spent between acceptance and a
     /// worker picking them up. Global (not per-endpoint): the queue is
     /// shared, so its wait distribution is a property of the server.
@@ -311,7 +317,7 @@ fn percentiles(samples: &[u64]) -> (u64, u64) {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EndpointStats {
     /// Endpoint name (`cell`, `check`, `explore`, `classify`, `stats`,
-    /// `shutdown`, `health`).
+    /// `shutdown`, `health`, `cluster_health`).
     pub endpoint: String,
     /// Requests handled (served + failed).
     pub requests: u64,

@@ -1,0 +1,770 @@
+//! The cluster router: a front-end process that consistent-hashes
+//! requests onto worker shards.
+//!
+//! The router speaks the same newline-JSON protocol as a worker, so any
+//! existing client (plain, hardened, `ctl`) can point at it unchanged.
+//! Per request it computes the canonical-JSON cache key, walks the
+//! [`HashRing`]'s replica order, and forwards over a per-shard pool of
+//! [`HardenedClient`] connections — multiple checkouts per shard, so a
+//! pipelined batch fans out across shards *and* keeps each worker's own
+//! pool busy instead of serializing behind one connection.
+//!
+//! Failover matches [`ClusterClient`](crate::cluster::ClusterClient):
+//! a transport failure, exhausted retries, or an open breaker moves to
+//! the next replica, as does a typed `Overloaded`/`DeadlineExceeded`
+//! shed (kept as the answer of last resort so a saturated cluster still
+//! answers with its own typed shed, never an invented error). Forwarded
+//! responses keep the *worker's* generation and gain a `shard` stamp,
+//! so clients track restarts per worker rather than per connection.
+//!
+//! What the router answers itself: `Stats` (its own forwarding
+//! metrics), `Health` (its own non-durable report), `ClusterHealth`
+//! (live per-shard probes + aggregate), and `Shutdown` (drains the
+//! router; workers are *not* shut down — they belong to their
+//! supervisor, and a router bounce must not take the fleet down).
+
+use crate::client::{ClientError, HardenedClient, RetryPolicy};
+use crate::cluster::{ClusterClient, Membership};
+use crate::metrics::{Metrics, PoolCounters};
+use crate::ring::HashRing;
+use crate::wire::{
+    ClusterHealthReport, ErrorCode, HealthReport, Request, RequestKind, RequestOptions, Response,
+    ResponseKind, ShardHealth, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
+use ktudc_par::{Pool, SubmitError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Idle connections kept per shard. Checkouts beyond this are created
+/// fresh and dropped at checkin once the pool is full, so a burst can
+/// still fan out while steady state stays at a bounded socket count.
+const POOL_PER_SHARD: usize = 8;
+
+/// Sentinel for "no generation observed yet" in the per-shard table
+/// (real generations start at 0 for non-durable workers).
+const GEN_UNSEEN: u64 = u64::MAX;
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; port 0 for an ephemeral port (resolved address on
+    /// [`RouterHandle::addr`]).
+    pub addr: String,
+    /// Retry/backoff policy for each forwarding connection. One
+    /// worker-side exchange per forwarded request rides on this.
+    pub policy: RetryPolicy,
+    /// Forwarding threads: how many requests the router relays
+    /// concurrently. 0 means one per available core.
+    pub workers: usize,
+    /// Forwarding jobs queued beyond the active ones before the router
+    /// sheds with `Overloaded` (its own backpressure, in front of the
+    /// workers' per-shard admission control).
+    pub queue_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: RetryPolicy::default(),
+            workers: 0,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// One pooled forwarding connection; discarded when membership moves
+/// its shard to a different address.
+struct PooledConn {
+    addr: String,
+    client: HardenedClient,
+}
+
+struct RouterShared {
+    membership: Arc<Membership>,
+    ring: HashRing,
+    policy: RetryPolicy,
+    /// `None` once shutdown has taken the pool for draining.
+    pool: Mutex<Option<Pool>>,
+    /// Idle forwarding connections, per shard.
+    conns: Vec<Mutex<Vec<PooledConn>>>,
+    /// Last generation observed per shard ([`GEN_UNSEEN`] until the
+    /// first forwarded response), for the health view and restart
+    /// accounting.
+    last_gen: Vec<AtomicU64>,
+    /// Worker restarts observed across all shards (generation changes).
+    restarts_observed: AtomicU64,
+    /// Requests answered by a replica other than their owner shard.
+    failovers: AtomicU64,
+    metrics: Metrics,
+    workers: usize,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+}
+
+impl RouterShared {
+    /// Takes a forwarding connection for `shard`, discarding pooled ones
+    /// that predate a membership change.
+    fn checkout(&self, shard: usize) -> PooledConn {
+        let current = self.membership.addr(shard);
+        let mut pool = self.conns[shard].lock().expect("conn pool lock poisoned");
+        while let Some(conn) = pool.pop() {
+            if conn.addr == current {
+                return conn;
+            }
+            // Stale address: the worker moved; drop the dead connection.
+        }
+        drop(pool);
+        PooledConn {
+            client: HardenedClient::new(current.clone(), self.policy),
+            addr: current,
+        }
+    }
+
+    /// Returns a healthy connection to the shard's pool (bounded; extras
+    /// from a burst are simply dropped).
+    fn checkin(&self, shard: usize, conn: PooledConn) {
+        let mut pool = self.conns[shard].lock().expect("conn pool lock poisoned");
+        if pool.len() < POOL_PER_SHARD && conn.addr == self.membership.addr(shard) {
+            pool.push(conn);
+        }
+    }
+
+    /// Folds a forwarded response's generation into the per-shard table;
+    /// counts a restart when it changed.
+    fn observe_generation(&self, shard: usize, generation: u64) {
+        let old = self.last_gen[shard].swap(generation, Ordering::SeqCst);
+        if old != GEN_UNSEEN && old != generation {
+            self.restarts_observed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Forwards `kind` through the ring's replica order. Returns the
+    /// worker's response (shard-stamped) or the final error once every
+    /// replica failed. Mirrors `ClusterClient::try_order`: typed
+    /// `Overloaded`/`DeadlineExceeded` sheds advance to the next replica
+    /// but are kept as the answer of last resort.
+    fn forward(
+        &self,
+        kind: &RequestKind,
+        options: RequestOptions,
+    ) -> Result<Response, ClientError> {
+        let key = ClusterClient::shard_key(kind);
+        let mut last_err: Option<ClientError> = None;
+        let mut last_shed: Option<Response> = None;
+        for (attempt, shard) in self.ring.replicas(key).into_iter().enumerate() {
+            if attempt > 0 {
+                self.failovers.fetch_add(1, Ordering::SeqCst);
+            }
+            let mut conn = self.checkout(shard);
+            match conn.client.request_with_options(kind.clone(), options) {
+                Ok(mut resp) => {
+                    self.observe_generation(shard, resp.generation);
+                    self.checkin(shard, conn);
+                    if resp.shard.is_none() {
+                        resp.shard = Some(shard);
+                    }
+                    let shed = matches!(
+                        &resp.result,
+                        ResponseKind::Error(e)
+                            if matches!(e.code, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded)
+                    );
+                    if shed {
+                        last_shed = Some(resp);
+                    } else {
+                        return Ok(resp);
+                    }
+                }
+                // The connection may be desynchronized; drop it rather
+                // than pool it.
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_shed {
+            Some(resp) => Ok(resp),
+            None => Err(last_err
+                .unwrap_or_else(|| ClientError::Protocol("cluster has no shards".to_string()))),
+        }
+    }
+
+    /// Live per-shard health probes, aggregated. Probes run on scoped
+    /// threads so one dead shard's timeout does not stack onto the rest.
+    fn cluster_health(&self) -> ClusterHealthReport {
+        let rows: Vec<ShardHealth> = std::thread::scope(|scope| {
+            let probes: Vec<_> = (0..self.ring.shards())
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let addr = self.membership.addr(shard);
+                        let mut conn = self.checkout(shard);
+                        match conn.client.health() {
+                            Ok(report) => {
+                                self.observe_generation(shard, report.generation);
+                                self.checkin(shard, conn);
+                                ShardHealth {
+                                    shard,
+                                    addr,
+                                    reachable: true,
+                                    generation: report.generation,
+                                    report: Some(report),
+                                }
+                            }
+                            Err(_) => {
+                                let last = self.last_gen[shard].load(Ordering::SeqCst);
+                                ShardHealth {
+                                    shard,
+                                    addr,
+                                    reachable: false,
+                                    generation: if last == GEN_UNSEEN { 0 } else { last },
+                                    report: None,
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            probes
+                .into_iter()
+                .map(|p| p.join().expect("health probe thread panicked"))
+                .collect()
+        });
+        ClusterHealthReport::aggregate(rows)
+    }
+
+    /// The router's own (non-durable) health report: its forwarding
+    /// queue, plus the restart count it has observed fleet-wide in the
+    /// `steals`-adjacent observability slots it doesn't use.
+    fn health_report(&self) -> HealthReport {
+        let (queue_depth, in_flight) = self
+            .pool
+            .lock()
+            .expect("pool lock poisoned")
+            .as_ref()
+            .map_or((0, 0), |p| (p.queue_depth(), p.in_flight()));
+        HealthReport {
+            generation: 0,
+            durable: false,
+            recovered_cache_entries: 0,
+            corrupt_snapshots_skipped: 0,
+            store_corrupt_candidates: 0,
+            snapshots_written: 0,
+            cache_entries: 0,
+            queue_depth,
+            in_flight,
+            stuck_workers: 0,
+            steals: 0,
+            deepest_queue: 0,
+            uptime_micros: self.metrics.uptime_micros(),
+        }
+    }
+}
+
+/// A handle to a running router.
+///
+/// Dropping the handle shuts the router down (and drains in-flight
+/// forwards) if it is still running. Workers are never shut down by the
+/// router — they belong to their supervisor or operator.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stop accepting, drain forwards, exit. Returns
+    /// immediately; use [`RouterHandle::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (locally or by a client).
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered by a replica other than their owner shard.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.load(Ordering::SeqCst)
+    }
+
+    /// Worker restarts the router has observed via generation changes.
+    #[must_use]
+    pub fn restarts_observed(&self) -> u64 {
+        self.shared.restarts_observed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the router has stopped accepting and drained every
+    /// in-flight forward. Waits for a shutdown request if none was made.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("router accept thread panicked");
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.shutdown();
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Binds and starts a router over `membership`.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_router(
+    config: &RouterConfig,
+    membership: Arc<Membership>,
+) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = if config.workers == 0 {
+        ktudc_par::thread_count()
+    } else {
+        config.workers
+    };
+    let shards = membership.len();
+    let shared = Arc::new(RouterShared {
+        ring: HashRing::new(shards),
+        policy: config.policy,
+        pool: Mutex::new(Some(Pool::new(workers, config.queue_capacity))),
+        conns: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        last_gen: (0..shards).map(|_| AtomicU64::new(GEN_UNSEEN)).collect(),
+        restarts_observed: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        metrics: Metrics::new(),
+        workers,
+        queue_capacity: config.queue_capacity,
+        shutdown: AtomicBool::new(false),
+        membership,
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || connection_loop(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: take the pool so late submitters see ShuttingDown, then let
+    // every accepted forward finish and answer before returning.
+    let pool = shared.pool.lock().expect("pool lock poisoned").take();
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+}
+
+fn connection_loop(shared: &Arc<RouterShared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(stream));
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(shared, &line, &out);
+    }
+}
+
+fn handle_line(shared: &Arc<RouterShared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            write_response(
+                out,
+                SCHEMA_VERSION,
+                Response::error(0, ErrorCode::BadRequest, e.to_string()),
+            );
+            return;
+        }
+    };
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&request.schema_version) {
+        write_response(
+            out,
+            SCHEMA_VERSION,
+            Response::error(
+                request.id,
+                ErrorCode::UnsupportedVersion,
+                format!(
+                    "request schema_version {} but this router speaks \
+                     {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}",
+                    request.schema_version
+                ),
+            ),
+        );
+        return;
+    }
+    let version = request.schema_version;
+    let endpoint = request.kind.endpoint();
+    let start = Instant::now();
+    match request.kind {
+        RequestKind::Stats => {
+            let (queue_depth, steals, deepest_queue) = shared
+                .pool
+                .lock()
+                .expect("pool lock poisoned")
+                .as_ref()
+                .map_or((0, 0, 0), |p| {
+                    let s = p.stats();
+                    (p.queue_depth(), s.steals, s.deepest_queue)
+                });
+            let report = shared.metrics.report(
+                PoolCounters {
+                    workers: shared.workers,
+                    queue_depth,
+                    queue_capacity: shared.queue_capacity,
+                    steals,
+                    deepest_queue,
+                },
+                0,
+                0,
+            );
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                version,
+                Response::new(request.id, false, micros, ResponseKind::Stats(report)),
+            );
+        }
+        RequestKind::Health => {
+            let report = shared.health_report();
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                version,
+                Response::new(request.id, false, micros, ResponseKind::Health(report)),
+            );
+        }
+        RequestKind::ClusterHealth => {
+            let report = shared.cluster_health();
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                version,
+                Response::new(
+                    request.id,
+                    false,
+                    micros,
+                    ResponseKind::ClusterHealth(report),
+                ),
+            );
+        }
+        RequestKind::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                version,
+                Response::new(request.id, false, micros, ResponseKind::Shutdown),
+            );
+        }
+        kind @ (RequestKind::Cell(_)
+        | RequestKind::Check(_)
+        | RequestKind::Explore(_)
+        | RequestKind::Classify(_)) => {
+            dispatch_forward(
+                shared,
+                request.id,
+                version,
+                kind,
+                request.options,
+                start,
+                out,
+            );
+        }
+    }
+}
+
+/// Queues one forwarding job on the router's bounded pool, shedding
+/// typed `Overloaded` when it is full — the router's own backpressure,
+/// in front of each worker's admission control.
+fn dispatch_forward(
+    shared: &Arc<RouterShared>,
+    id: u64,
+    version: u32,
+    kind: RequestKind,
+    options: RequestOptions,
+    start: Instant,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let endpoint = kind.endpoint();
+    let job = {
+        let shared = Arc::clone(shared);
+        let out = Arc::clone(out);
+        move || {
+            let response = match shared.forward(&kind, options) {
+                Ok(mut resp) => {
+                    resp.id = id;
+                    shared
+                        .metrics
+                        .record(endpoint, elapsed_micros(start), resp.cached);
+                    resp
+                }
+                Err(e) => {
+                    shared.metrics.record_error(endpoint);
+                    Response::error(
+                        id,
+                        ErrorCode::Internal,
+                        format!("every replica failed: {e}"),
+                    )
+                }
+            };
+            write_response(&out, version, response);
+        }
+    };
+    let submitted = {
+        let pool = shared.pool.lock().expect("pool lock poisoned");
+        match pool.as_ref() {
+            Some(pool) => pool.try_execute(job),
+            None => Err(SubmitError::Closed),
+        }
+    };
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            shared.metrics.record_overload(endpoint);
+            write_response(
+                out,
+                version,
+                Response::error_with_retry(
+                    id,
+                    ErrorCode::Overloaded,
+                    "router forwarding queue is full",
+                    1,
+                ),
+            );
+        }
+        Err(SubmitError::Closed) => {
+            shared.metrics.record_error(endpoint);
+            write_response(
+                out,
+                version,
+                Response::error(id, ErrorCode::ShuttingDown, "router is draining"),
+            );
+        }
+    }
+}
+
+/// Writes one response line. Unlike the worker's writer this never
+/// overwrites `generation` — a forwarded response carries the answering
+/// *worker's* generation, which is the whole point of per-shard restart
+/// tracking. The version is rewritten to the one the requester spoke.
+fn write_response(out: &Mutex<TcpStream>, version: u32, mut response: Response) {
+    response.schema_version = version;
+    let Ok(mut line) = serde_json::to_string(&response) else {
+        return;
+    };
+    line.push('\n');
+    let mut stream = out.lock().expect("stream lock poisoned");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::server::{serve, ServeConfig};
+    use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        }
+    }
+
+    fn start_workers(n: usize) -> (Vec<crate::server::ServerHandle>, Arc<Membership>) {
+        let servers: Vec<_> = (0..n)
+            .map(|_| {
+                serve(&ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                })
+                .expect("serve worker")
+            })
+            .collect();
+        let membership = Arc::new(Membership::new(
+            servers.iter().map(|s| s.addr().to_string()).collect(),
+        ));
+        (servers, membership)
+    }
+
+    #[test]
+    fn router_answers_are_identical_to_direct_computation() {
+        let (workers, membership) = start_workers(2);
+        let router = serve_router(
+            &RouterConfig {
+                policy: quick_policy(),
+                workers: 4,
+                ..RouterConfig::default()
+            },
+            membership,
+        )
+        .expect("router");
+
+        let mut client = Client::connect(router.addr()).expect("connect");
+        for i in 0..4u64 {
+            let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(1)
+                .horizon(40 + i);
+            let resp = client
+                .request(RequestKind::Cell(spec.clone()))
+                .expect("routed cell");
+            let ResponseKind::Cell(outcome) = resp.result else {
+                panic!("expected a cell payload, got {:?}", resp.result);
+            };
+            assert_eq!(outcome, run_cell(&spec), "routed answer must equal direct");
+            assert!(resp.shard.is_some(), "router must stamp the shard");
+        }
+        // A repeated spec hits the owning worker's cache through the
+        // router (same key -> same shard).
+        let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+            .trials(1)
+            .horizon(40);
+        let resp = client
+            .request(RequestKind::Cell(spec))
+            .expect("warm routed cell");
+        assert!(resp.cached, "resent spec must be a shard cache hit");
+        drop(client);
+        router.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+
+    #[test]
+    fn router_fails_over_when_a_shard_is_down_and_reports_cluster_health() {
+        let (workers, membership) = start_workers(2);
+        // Kill shard 1 by pointing it at a dead address.
+        membership.set_addr(1, "127.0.0.1:1");
+        let router = serve_router(
+            &RouterConfig {
+                policy: quick_policy(),
+                workers: 2,
+                ..RouterConfig::default()
+            },
+            Arc::clone(&membership),
+        )
+        .expect("router");
+
+        let mut client = Client::connect(router.addr()).expect("connect");
+        for i in 0..8u64 {
+            let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(1)
+                .horizon(40 + i);
+            let resp = client
+                .request(RequestKind::Cell(spec.clone()))
+                .expect("routed cell");
+            let ResponseKind::Cell(outcome) = resp.result else {
+                panic!("expected a cell payload, got {:?}", resp.result);
+            };
+            assert_eq!(outcome, run_cell(&spec), "failover must not change answers");
+            assert_eq!(resp.shard, Some(0), "only shard 0 is alive");
+        }
+        assert!(
+            router.failovers() > 0,
+            "some keys belonged to the dead shard"
+        );
+
+        let report = client.cluster_health().expect("cluster health");
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.reachable_shards, 1);
+        assert!(report.shards[0].reachable);
+        assert!(!report.shards[1].reachable);
+        drop(client);
+        router.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+
+    #[test]
+    fn router_serves_its_own_stats_and_health() {
+        let (workers, membership) = start_workers(1);
+        let router = serve_router(
+            &RouterConfig {
+                policy: quick_policy(),
+                workers: 2,
+                queue_capacity: 16,
+                ..RouterConfig::default()
+            },
+            membership,
+        )
+        .expect("router");
+        let mut client = Client::connect(router.addr()).expect("connect");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.queue_capacity, 16);
+        let health = client.health().expect("health");
+        assert!(!health.durable);
+        assert_eq!(health.generation, 0);
+        // A ClusterClient pointed at the router alone sees the fleet
+        // view, not one row about the router: `ctl --cluster <router>`
+        // must report every worker.
+        let through_router = ClusterClient::new(
+            Arc::new(Membership::new(vec![router.addr().to_string()])),
+            quick_policy(),
+        );
+        let report = through_router.cluster_health();
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.reachable_shards, 1);
+        assert_eq!(report.shards[0].addr, workers[0].addr().to_string());
+        // Shutdown over the wire drains the router, not the workers.
+        client.shutdown_server().expect("shutdown ack");
+        router.join();
+        let mut direct = Client::connect(workers[0].addr()).expect("worker still up");
+        assert!(direct.health().is_ok());
+        for w in workers {
+            w.shutdown();
+        }
+    }
+}

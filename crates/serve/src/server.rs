@@ -32,9 +32,9 @@ use crate::admission::{estimated_wait_micros, AimdConfig, AimdController, JobReg
 use crate::cache::LruCache;
 use crate::metrics::{Metrics, PoolCounters};
 use crate::wire::{
-    AbortedOutcome, CheckOutcome, ErrorCode, HealthReport, PartialCell, PartialOutcome, Request,
-    RequestKind, RequestOptions, Response, ResponseKind, WireError, MIN_SCHEMA_VERSION,
-    SCHEMA_VERSION,
+    AbortedOutcome, CheckOutcome, ClusterHealthReport, ErrorCode, HealthReport, PartialCell,
+    PartialOutcome, Request, RequestKind, RequestOptions, Response, ResponseKind, ShardHealth,
+    WireError, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 use ktudc_core::harness::{run_cell_budgeted, CellStatus};
 use ktudc_epistemic::ModelChecker;
@@ -198,6 +198,9 @@ struct Shared {
     responses: AtomicU64,
     /// This boot's generation, stamped into every outgoing response.
     generation: u64,
+    /// The bound listen address (port 0 resolved), so the server can
+    /// describe itself as a one-shard cluster in `ClusterHealth`.
+    addr: String,
     /// What boot-time recovery found (zeros when not durable).
     recovery: RecoveryReport,
     /// Snapshot machinery; `None` for an in-memory server.
@@ -445,6 +448,7 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         faults: config.faults,
         responses: AtomicU64::new(0),
         generation: recovery.generation,
+        addr: addr.to_string(),
         recovery,
         durability,
     });
@@ -586,6 +590,31 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
                 out,
                 version,
                 Response::new(request.id, false, micros, ResponseKind::Health(report)),
+            );
+        }
+        RequestKind::ClusterHealth => {
+            // A single-process server is a one-shard cluster of itself; a
+            // router overrides this with the real fleet view.
+            let health = shared.health_report();
+            let report = ClusterHealthReport::aggregate(vec![ShardHealth {
+                shard: 0,
+                addr: shared.addr.clone(),
+                reachable: true,
+                generation: health.generation,
+                report: Some(health),
+            }]);
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                shared,
+                out,
+                version,
+                Response::new(
+                    request.id,
+                    false,
+                    micros,
+                    ResponseKind::ClusterHealth(report),
+                ),
             );
         }
         RequestKind::Shutdown => {
@@ -1090,7 +1119,10 @@ fn compute_budgeted(kind: &RequestKind, budget: &Budget) -> Result<ComputeStatus
                 partial: PartialOutcome::None,
             },
         }),
-        RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => Err(WireError {
+        RequestKind::Stats
+        | RequestKind::Health
+        | RequestKind::ClusterHealth
+        | RequestKind::Shutdown => Err(WireError {
             code: ErrorCode::Internal,
             message: "non-compute request reached a worker".to_string(),
             retry_after_ms: 0,

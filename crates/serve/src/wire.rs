@@ -34,10 +34,16 @@ use serde::{Deserialize, Serialize};
 /// (empirical detector classification:
 /// [`RequestKind::Classify`]/[`ResponseKind::Classify`]), the `classify`
 /// row in stats reports, and the derived-detector `FdChoice` variants in
-/// cell specs. All additive, so v2/v3 request lines still parse. Servers
-/// accept [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp each
-/// response with the version its request spoke.
-pub const SCHEMA_VERSION: u32 = 4;
+/// cell specs; 5 — the cluster layer: the `ClusterHealth` endpoint
+/// ([`RequestKind::ClusterHealth`]/[`ResponseKind::ClusterHealth`],
+/// aggregating per-shard [`HealthReport`]s into a
+/// [`ClusterHealthReport`]) and an optional `shard` field on responses
+/// (omitted when absent, stamped by a router with the index of the
+/// worker shard that answered). All additive, so v2/v3/v4 request lines
+/// still parse. Servers accept
+/// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp each response
+/// with the version its request spoke.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest request schema the server still accepts. v2 request lines are
 /// a strict subset of v3 ones (every v3 envelope addition is optional on
@@ -174,6 +180,10 @@ pub enum RequestKind {
     Stats,
     /// Report durability health: generation plus recovery counters.
     Health,
+    /// Report cluster health: per-shard [`HealthReport`]s plus an
+    /// aggregate view. A single-process server answers with a one-shard
+    /// cluster consisting of itself; a router polls every worker.
+    ClusterHealth,
     /// Stop accepting work, drain, and exit.
     Shutdown,
 }
@@ -189,6 +199,7 @@ impl RequestKind {
             RequestKind::Classify(_) => Endpoint::Classify,
             RequestKind::Stats => Endpoint::Stats,
             RequestKind::Health => Endpoint::Health,
+            RequestKind::ClusterHealth => Endpoint::ClusterHealth,
             RequestKind::Shutdown => Endpoint::Shutdown,
         }
     }
@@ -237,7 +248,7 @@ pub struct CheckOutcome {
 }
 
 /// One response line.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Response {
     /// The schema version the request spoke (so v2 clients keep parsing
     /// responses from a v3 server).
@@ -262,6 +273,12 @@ pub struct Response {
     /// talking to is gone, along with all its in-flight single-flight
     /// state. Stamped centrally at the write boundary.
     pub generation: u64,
+    /// Which cluster shard answered (schema v5). `None` — and omitted
+    /// from the encoding — for a direct single-process answer; a router
+    /// stamps the index of the worker it routed to. `generation` then
+    /// counts restarts of *that shard*, so per-shard restart tracking
+    /// needs both fields together.
+    pub shard: Option<usize>,
     /// The payload.
     pub result: ResponseKind,
 }
@@ -280,6 +297,7 @@ impl Response {
             queue_wait_ms: 0.0,
             compute_ms: 0.0,
             generation: 0,
+            shard: None,
             result,
         }
     }
@@ -311,6 +329,51 @@ impl Response {
     }
 }
 
+// Hand-encoded like `Request`: the v5 `shard` field is *omitted* when
+// `None` and *defaulted* when absent, so a v4 response line is a valid
+// v5 response line and v4 parsers never see the key at all.
+impl Serialize for Response {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("id".to_string(), self.id.to_value()),
+            ("cached".to_string(), self.cached.to_value()),
+            ("micros".to_string(), self.micros.to_value()),
+            ("queue_wait_ms".to_string(), self.queue_wait_ms.to_value()),
+            ("compute_ms".to_string(), self.compute_ms.to_value()),
+            ("generation".to_string(), self.generation.to_value()),
+        ];
+        if let Some(shard) = self.shard {
+            fields.push(("shard".to_string(), shard.to_value()));
+        }
+        fields.push(("result".to_string(), self.result.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError(format!("response is missing `{name}`")))
+        };
+        Ok(Response {
+            schema_version: u32::from_value(required("schema_version")?)?,
+            id: u64::from_value(required("id")?)?,
+            cached: bool::from_value(required("cached")?)?,
+            micros: u64::from_value(required("micros")?)?,
+            queue_wait_ms: f64::from_value(required("queue_wait_ms")?)?,
+            compute_ms: f64::from_value(required("compute_ms")?)?,
+            generation: u64::from_value(required("generation")?)?,
+            shard: match v.get("shard") {
+                None => None,
+                Some(s) => Option::<usize>::from_value(s)?,
+            },
+            result: ResponseKind::from_value(required("result")?)?,
+        })
+    }
+}
+
 /// Response payloads, one per endpoint plus the error arm.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ResponseKind {
@@ -326,6 +389,8 @@ pub enum ResponseKind {
     Stats(StatsReport),
     /// Durability health snapshot.
     Health(HealthReport),
+    /// Cluster health snapshot (per-shard rows plus aggregate).
+    ClusterHealth(ClusterHealthReport),
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
     /// The computation's budget tripped and the requester opted into
@@ -408,6 +473,80 @@ pub struct HealthReport {
     pub uptime_micros: u64,
 }
 
+/// One shard's row in a [`ClusterHealthReport`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// The shard's index on the hash ring.
+    pub shard: usize,
+    /// The shard's current address (`host:port`). After a worker restart
+    /// under a fleet supervisor this may differ from the boot-time
+    /// address (respawned workers bind ephemeral ports).
+    pub addr: String,
+    /// Whether the shard answered the health probe. A `false` row keeps
+    /// the last known `generation` and has no `report`.
+    pub reachable: bool,
+    /// The shard's generation (strictly increasing across restarts of a
+    /// durable worker; last observed value when unreachable).
+    pub generation: u64,
+    /// The shard's own [`HealthReport`] when it answered.
+    pub report: Option<HealthReport>,
+}
+
+/// The `ClusterHealth` response body: per-shard health rows plus the
+/// aggregates a dashboard wants first. A single-process server answers
+/// with a one-shard cluster consisting of itself.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHealthReport {
+    /// Per-shard rows, indexed by ring position.
+    pub shards: Vec<ShardHealth>,
+    /// How many shards answered the probe.
+    pub reachable_shards: usize,
+    /// Scenario-cache entries summed over reachable shards.
+    pub total_cache_entries: usize,
+    /// Queued requests summed over reachable shards.
+    pub total_queue_depth: usize,
+    /// In-flight computations summed over reachable shards.
+    pub total_in_flight: usize,
+    /// Stuck workers summed over reachable shards.
+    pub total_stuck_workers: u64,
+    /// The highest generation seen across shards (a fleet-wide restart
+    /// counter floor).
+    pub max_generation: u64,
+}
+
+impl ClusterHealthReport {
+    /// Aggregate per-shard rows into the cluster view. The totals sum
+    /// only over reachable shards; unreachable rows still contribute
+    /// their last known generation to `max_generation`.
+    #[must_use]
+    pub fn aggregate(shards: Vec<ShardHealth>) -> Self {
+        let mut report = ClusterHealthReport {
+            shards: Vec::new(),
+            reachable_shards: 0,
+            total_cache_entries: 0,
+            total_queue_depth: 0,
+            total_in_flight: 0,
+            total_stuck_workers: 0,
+            max_generation: 0,
+        };
+        for row in &shards {
+            report.max_generation = report.max_generation.max(row.generation);
+            if !row.reachable {
+                continue;
+            }
+            report.reachable_shards += 1;
+            if let Some(health) = &row.report {
+                report.total_cache_entries += health.cache_entries;
+                report.total_queue_depth += health.queue_depth;
+                report.total_in_flight += health.in_flight;
+                report.total_stuck_workers += health.stuck_workers;
+            }
+        }
+        report.shards = shards;
+        report
+    }
+}
+
 /// A typed failure.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireError {
@@ -453,20 +592,21 @@ mod tests {
 
     #[test]
     fn envelope_encoding_is_pinned() {
-        // The envelope shape is the serve wire schema (schema_version 4:
+        // The envelope shape is the serve wire schema (schema_version 5:
         // v3's optional deadline/priority/accept_partial on requests,
         // queue and compute timings on responses, retry_after_ms on
-        // errors, plus the Classify endpoint); repin deliberately with a
-        // version bump, never silently.
+        // errors, the v4 Classify endpoint, and the v5 ClusterHealth
+        // endpoint + optional response `shard` stamp); repin deliberately
+        // with a version bump, never silently.
         let req = Request::new(7, RequestKind::Stats);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":4,"id":7,"kind":"Stats"}"#
+            r#"{"schema_version":5,"id":7,"kind":"Stats"}"#
         );
         let req = Request::new(8, RequestKind::Health);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":4,"id":8,"kind":"Health"}"#
+            r#"{"schema_version":5,"id":8,"kind":"Health"}"#
         );
 
         let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
@@ -475,7 +615,7 @@ mod tests {
         let req = Request::new(1, RequestKind::Cell(spec.clone()));
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":4,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+            r#"{"schema_version":5,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
         );
 
         // Non-default options are appended after the v2-compatible core.
@@ -490,7 +630,7 @@ mod tests {
         );
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":4,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
+            r#"{"schema_version":5,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
         );
 
         // The v4 Classify endpoint (body encoding pinned in ktudc-fd).
@@ -503,14 +643,76 @@ mod tests {
         );
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":4,"id":3,"kind":{"Classify":{"detector":"Heartbeat","regime":"Clean","n":4,"trials":6,"horizon":240,"seed":0}}}"#
+            r#"{"schema_version":5,"id":3,"kind":{"Classify":{"detector":"Heartbeat","regime":"Clean","n":4,"trials":6,"horizon":240,"seed":0}}}"#
         );
 
         let resp = Response::error(9, ErrorCode::Overloaded, "queue full");
         assert_eq!(
             serde_json::to_string(&resp).unwrap(),
-            r#"{"schema_version":4,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
+            r#"{"schema_version":5,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
         );
+    }
+
+    #[test]
+    fn cluster_health_encoding_is_pinned() {
+        // The v5 endpoint itself.
+        let req = Request::new(11, RequestKind::ClusterHealth);
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":5,"id":11,"kind":"ClusterHealth"}"#
+        );
+
+        // A one-shard cluster (what a direct single-process server
+        // answers): the unreachable-row and reachable-row shapes are both
+        // part of the schema.
+        let report = ClusterHealthReport::aggregate(vec![
+            ShardHealth {
+                shard: 0,
+                addr: "127.0.0.1:7001".to_string(),
+                reachable: true,
+                generation: 3,
+                report: None,
+            },
+            ShardHealth {
+                shard: 1,
+                addr: "127.0.0.1:7002".to_string(),
+                reachable: false,
+                generation: 2,
+                report: None,
+            },
+        ]);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            r#"{"shards":[{"shard":0,"addr":"127.0.0.1:7001","reachable":true,"generation":3,"report":null},{"shard":1,"addr":"127.0.0.1:7002","reachable":false,"generation":2,"report":null}],"reachable_shards":1,"total_cache_entries":0,"total_queue_depth":0,"total_in_flight":0,"total_stuck_workers":0,"max_generation":3}"#
+        );
+        let resp = Response::new(11, false, 0, ResponseKind::ClusterHealth(report));
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn response_shard_stamp_is_pinned_and_v4_compatible() {
+        // Unstamped responses omit the key entirely — byte-identical to a
+        // v4 response line apart from the version number.
+        let mut resp = Response::error(9, ErrorCode::Overloaded, "queue full");
+        assert!(!serde_json::to_string(&resp).unwrap().contains("shard"));
+
+        // A router stamp appears between `generation` and `result`.
+        resp.shard = Some(2);
+        assert_eq!(
+            serde_json::to_string(&resp).unwrap(),
+            r#"{"schema_version":5,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"shard":2,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
+        );
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+
+        // A v4 response line (no `shard` key) still parses, defaulting
+        // the stamp to None.
+        let legacy = r#"{"schema_version":4,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#;
+        let parsed: Response = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.shard, None);
+        assert_eq!(parsed.schema_version, 4);
+        assert_eq!(parsed.id, 9);
     }
 
     #[test]
@@ -646,12 +848,17 @@ mod tests {
         assert_eq!(RequestKind::Stats.endpoint(), Endpoint::Stats);
         assert_eq!(RequestKind::Health.endpoint(), Endpoint::Health);
         assert_eq!(
+            RequestKind::ClusterHealth.endpoint(),
+            Endpoint::ClusterHealth
+        );
+        assert_eq!(
             RequestKind::Explore(ExploreSpec::new(2, 2)).endpoint(),
             Endpoint::Explore
         );
         assert!(RequestKind::Explore(ExploreSpec::new(2, 2)).cacheable());
         assert!(!RequestKind::Stats.cacheable());
         assert!(!RequestKind::Health.cacheable());
+        assert!(!RequestKind::ClusterHealth.cacheable());
         assert!(!RequestKind::Shutdown.cacheable());
     }
 }

@@ -1,0 +1,59 @@
+//! Exit-code contract of `ctl`'s cluster flags: `0` success, `1`
+//! transport, `2` usage, `3` retries exhausted. Usage errors must be
+//! decided *before any I/O* — every invalid invocation below also names
+//! only unreachable addresses, so an implementation that probed first
+//! would misreport exit `1` where the contract demands `2`.
+
+use std::process::Command;
+
+/// Runs `ctl` with `args` and returns its exit code.
+fn ctl(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_ctl"))
+        .args(args)
+        .output()
+        .expect("run ctl")
+        .status
+        .code()
+        .expect("ctl exited without a code")
+}
+
+#[test]
+fn cluster_usage_errors_exit_two_before_any_io() {
+    // --cluster and --addr are mutually exclusive. Both addresses are
+    // dead; the usage check must win over the transport failure.
+    assert_eq!(
+        ctl(&["--addr", "127.0.0.1:1", "--cluster", "127.0.0.1:1", "sweep"]),
+        2
+    );
+    // Malformed member lists: no port, empty list, port overflow,
+    // one bad member among good ones.
+    assert_eq!(ctl(&["--cluster", "no-port", "health"]), 2);
+    assert_eq!(ctl(&["--cluster", ",", "health"]), 2);
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:99999", "health"]), 2);
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:1,bad", "health"]), 2);
+    // --cluster value missing entirely.
+    assert_eq!(ctl(&["--cluster"]), 2);
+    // Commands outside the cluster set: shutdown (deliberately
+    // single-server) and resume (local).
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:1", "shutdown"]), 2);
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:1", "resume"]), 2);
+    // Flags that belong to other commands still reject under --cluster.
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:1", "stats", "--twice"]), 2);
+}
+
+#[test]
+fn unreachable_cluster_is_a_transport_failure_not_usage() {
+    // A syntactically valid member list whose members are all dead must
+    // exit 1 (transport), proving the usage check really is syntactic
+    // and the reachability probe comes after it.
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:1,127.0.0.1:2", "health"]), 1);
+    assert_eq!(ctl(&["--cluster", "127.0.0.1:1", "sweep", "--smoke"]), 1);
+}
+
+#[test]
+fn single_server_contract_is_unchanged() {
+    // The pre-cluster contract still holds: unknown command is usage,
+    // dead --addr is transport.
+    assert_eq!(ctl(&["frobnicate"]), 2);
+    assert_eq!(ctl(&["--addr", "127.0.0.1:1", "stats"]), 1);
+}

@@ -50,9 +50,30 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     state
 }
 
+/// The data directory for one shard of a sharded cluster: a
+/// `shard-<N>` subdirectory of `base`. Each worker gets its own snapshot
+/// store so a fleet sharing one `--data-dir` never has two processes
+/// racing on the same generation counter; the consistent-hash routing
+/// partitions the key space, so the per-shard snapshots partition it
+/// too. Pure path arithmetic — nothing is created.
+#[must_use]
+pub fn shard_data_dir(base: &std::path::Path, shard: usize) -> std::path::PathBuf {
+    base.join(format!("shard-{shard}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_data_dirs_are_disjoint_and_stable() {
+        let base = std::path::Path::new("/var/lib/ktudc");
+        assert_eq!(
+            shard_data_dir(base, 0),
+            std::path::PathBuf::from("/var/lib/ktudc/shard-0")
+        );
+        assert_ne!(shard_data_dir(base, 1), shard_data_dir(base, 2));
+    }
 
     #[test]
     fn checksum_is_pinned() {
