@@ -63,6 +63,15 @@
 //! anyone on clean reliable channels) and
 //! `detection_latency_within_bound` (every in-model regime detects the
 //! crash within the bound).
+//!
+//! `--chaos-net` runs the wire-plane chaos soak: a fresh daemon behind a
+//! seeded `chaos_proxy` per toxic regime (latency spikes, throttled
+//! writes, torn frames, corrupted bytes, resets, half-open stalls, a
+//! bounded one-way partition), a fixed scenario batch stormed through a
+//! `HardenedClient`, and an `Auditor` asserting the uniform invariants.
+//! Recorded under the `chaos_net` key (additively, like `via_serve`)
+//! with the grep-stable booleans `zero_wrong_answers`,
+//! `no_unTyped_failures`, and `exactly_once`.
 
 use ktudc_core::harness::{run_cell, CellSpec, FdChoice, ProtocolChoice};
 use ktudc_epistemic::{Formula, ModelChecker, ReferenceChecker};
@@ -287,6 +296,46 @@ struct FdZooReport {
 }
 
 #[derive(Serialize)]
+struct ChaosNetRegimeRow {
+    regime: String,
+    requests: u64,
+    /// Requests that resolved to a payload (however many resends it took).
+    payloads: u64,
+    /// Typed wire + typed client errors — the only failures allowed.
+    typed_errors: u64,
+    /// Faults the proxy actually injected in this regime.
+    injections: u64,
+    /// p99 storm latency through the proxy, retries included.
+    p99_ms: f64,
+}
+
+/// The wire-plane chaos soak: every toxic regime through a seeded
+/// [`chaos_proxy`](ktudc_serve::chaos_proxy), audited end to end by
+/// [`ktudc_serve::Auditor`]. The booleans are the uniform invariants —
+/// grep-stable, asserted inline, a violation is a bench failure.
+#[derive(Serialize)]
+#[allow(non_snake_case)]
+struct ChaosNetReport {
+    seed: u64,
+    regimes: Vec<ChaosNetRegimeRow>,
+    scenarios_per_regime: usize,
+    requests: u64,
+    wrong_answers: u64,
+    untyped_failures: u64,
+    generation_regressions: u64,
+    stuck_connections: u64,
+    /// After every storm, the scenario cache held exactly one outcome per
+    /// distinct scenario and a clean second pass was all cache hits.
+    exactly_once: bool,
+    /// Every payload, in every regime, was byte-identical to the direct
+    /// library computation.
+    zero_wrong_answers: bool,
+    /// Every failure in every regime was a typed wire or client error.
+    no_unTyped_failures: bool,
+    secs: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     mode: String,
@@ -300,6 +349,7 @@ struct Report {
     overload: Option<OverloadReport>,
     fd_zoo: Option<FdZooReport>,
     cluster: Option<ClusterReport>,
+    chaos_net: Option<ChaosNetReport>,
 }
 
 fn p(i: usize) -> ProcessId {
@@ -1315,12 +1365,186 @@ fn fd_zoo_workload(smoke: bool) -> FdZooReport {
     }
 }
 
+/// The wire-plane chaos soak: a fresh daemon behind a seeded
+/// [`ktudc_serve::chaos_proxy`] per toxic regime, a fixed scenario batch
+/// stormed through a `HardenedClient`, and an [`ktudc_serve::Auditor`]
+/// holding the whole campaign to the uniform invariants — byte-identical
+/// answers vs direct computation, typed-error-only degradation,
+/// exactly-once compute (clean second pass all cache hits), zero stuck
+/// workers. Any regime failing its audit is a bench failure.
+fn chaos_net_workload(smoke: bool) -> ChaosNetReport {
+    use ktudc_serve::{
+        chaos_proxy, serve, Auditor, Client, HardenedClient, RequestKind, RetryPolicy, ServeConfig,
+        Toxic, ToxicPlan,
+    };
+    use std::time::Duration;
+
+    const SEED: u64 = 0x5eed_cab1;
+    // Even smoke mode needs enough frames per direction for every
+    // every-k-th toxic (k up to 6) to actually fire at least once.
+    let scenarios = if smoke { 8 } else { 12 };
+    let regimes: Vec<(&str, ToxicPlan)> = vec![
+        ("baseline", ToxicPlan::none()),
+        (
+            "delay_spikes",
+            ToxicPlan::none().downstream(Toxic::DelaySpike {
+                period: 4,
+                width: 1,
+                extra: Duration::from_millis(30),
+            }),
+        ),
+        (
+            "throttle",
+            ToxicPlan::none().downstream(Toxic::Throttle {
+                chunk: 7,
+                pause: Duration::from_millis(1),
+            }),
+        ),
+        (
+            "truncate",
+            ToxicPlan::none().downstream(Toxic::TruncateEvery(5)),
+        ),
+        (
+            "corrupt",
+            ToxicPlan::none().downstream(Toxic::CorruptEvery(5)),
+        ),
+        ("reset", ToxicPlan::none().downstream(Toxic::ResetEvery(6))),
+        (
+            "stall_half_open",
+            ToxicPlan::none().downstream(Toxic::StallEvery(6)),
+        ),
+        (
+            "partition_one_way",
+            ToxicPlan::none().upstream(Toxic::Partition {
+                start: 3,
+                until: Some(6),
+            }),
+        ),
+    ];
+    let scenario = |i: usize| {
+        RequestKind::Cell(
+            CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
+                .trials(2)
+                .horizon(200 + i as u64 * 10),
+        )
+    };
+
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    let mut requests = 0u64;
+    let mut wrong_answers = 0u64;
+    let mut untyped_failures = 0u64;
+    let mut generation_regressions = 0u64;
+    let mut stuck_connections = 0u64;
+    let mut exactly_once = true;
+    for (name, plan) in regimes {
+        let handle = serve(&ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 256,
+            watchdog_tick_ms: 5,
+            stuck_after_ticks: 400,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let mut proxy = chaos_proxy(handle.addr().to_string(), plan, SEED).expect("proxy");
+        let auditor = Auditor::new().with_latency_bound_ms(30_000);
+        let kinds: Vec<RequestKind> = (0..scenarios).map(scenario).collect();
+        for kind in &kinds {
+            let RequestKind::Cell(spec) = kind else {
+                unreachable!()
+            };
+            auditor.expect(kind, &ktudc_serve::ResponseKind::Cell(run_cell(spec)));
+        }
+        // Storm pass: through the proxy, salvaged by the hardened client.
+        let mut client = HardenedClient::new(
+            proxy.addr().to_string(),
+            RetryPolicy {
+                request_timeout: Duration::from_millis(800),
+                max_retries: 5,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(20),
+                ..RetryPolicy::default()
+            },
+        );
+        let mut latencies: Vec<u64> = Vec::new();
+        for kind in &kinds {
+            let t = Instant::now();
+            let result = client.request(kind.clone());
+            let latency = t.elapsed();
+            latencies.push(latency.as_micros() as u64);
+            match &result {
+                Ok(response) => auditor.record_response(kind, response, latency),
+                Err(err) => auditor.record_client_error(kind, err, latency),
+            }
+        }
+        // Clean second pass, direct: every scenario must be a cache hit.
+        let mut direct = Client::connect(handle.addr()).expect("direct connect");
+        for kind in &kinds {
+            let t = Instant::now();
+            let response = direct.request(kind.clone()).expect("direct request");
+            assert!(response.cached, "post-storm scenario was recomputed");
+            auditor.record_response(kind, &response, t.elapsed());
+        }
+        let health = direct.health().expect("health");
+        auditor.note_stuck_connections(health.stuck_workers);
+        auditor.note_computed(health.cache_entries as u64);
+        let report = auditor.report();
+        assert!(
+            report.passed,
+            "chaos-net regime `{name}` failed its audit: {report:?}"
+        );
+        let stats = proxy.stats();
+        if name != "baseline" {
+            assert!(stats.injections() > 0, "regime `{name}` injected nothing");
+        }
+        requests += report.requests;
+        wrong_answers += report.wrong_answers;
+        untyped_failures += report.untyped_failures;
+        generation_regressions += report.generation_regressions;
+        stuck_connections += report.stuck_connections;
+        exactly_once &= report.exactly_once == Some(true);
+        latencies.sort_unstable();
+        rows.push(ChaosNetRegimeRow {
+            regime: name.to_string(),
+            requests: report.requests,
+            payloads: report.payloads,
+            typed_errors: report.typed_wire_errors + report.typed_client_errors,
+            injections: stats.injections(),
+            p99_ms: latencies[(latencies.len() - 1) * 99 / 100] as f64 / 1_000.0,
+        });
+        proxy.shutdown();
+        handle.shutdown();
+        handle.join();
+    }
+    assert!(
+        exactly_once,
+        "a chaos-net regime recomputed or lost a scenario"
+    );
+    ChaosNetReport {
+        seed: SEED,
+        regimes: rows,
+        scenarios_per_regime: scenarios,
+        requests,
+        wrong_answers,
+        untyped_failures,
+        generation_regressions,
+        stuck_connections,
+        exactly_once,
+        zero_wrong_answers: wrong_answers == 0,
+        no_unTyped_failures: untyped_failures == 0,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut via_serve = false;
     let mut overload = false;
     let mut fd_zoo = false;
     let mut cluster = false;
+    let mut chaos_net = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
@@ -1328,9 +1552,10 @@ fn main() {
             "--overload" => overload = true,
             "--fd-zoo" => fd_zoo = true,
             "--cluster" => cluster = true,
+            "--chaos-net" => chaos_net = true,
             other => {
                 eprintln!(
-                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload, --fd-zoo, --cluster)"
+                    "perf: unknown argument `{other}` (accepted: --smoke, --via-serve, --overload, --fd-zoo, --cluster, --chaos-net)"
                 );
                 std::process::exit(2);
             }
@@ -1458,6 +1683,22 @@ fn main() {
         r
     });
 
+    let chaos_net = chaos_net.then(|| {
+        let r = chaos_net_workload(smoke);
+        eprintln!(
+            "perf: chaos-net {} regimes x {} scenarios ({} requests) in {:.3}s: wrong-answers={} untyped={} stuck={} exactly-once={}",
+            r.regimes.len(),
+            r.scenarios_per_regime,
+            r.requests,
+            r.secs,
+            r.wrong_answers,
+            r.untyped_failures,
+            r.stuck_connections,
+            r.exactly_once,
+        );
+        r
+    });
+
     let cluster = cluster.then(|| {
         let r = cluster_workload(smoke);
         eprintln!(
@@ -1487,6 +1728,7 @@ fn main() {
         overload,
         fd_zoo,
         cluster,
+        chaos_net,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_ktudc.json", &json).expect("write BENCH_ktudc.json");

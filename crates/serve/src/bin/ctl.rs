@@ -467,6 +467,14 @@ fn cmd_stats(client: &mut HardenedClient) {
                 stats.queue_depth,
                 stats.queue_capacity
             );
+            // Connection-plane counters: nonzero values here mean peers
+            // misbehaved on the wire (half-open, oversized, non-JSON)
+            // and the server degraded them in a typed, bounded way.
+            println!(
+                "wire: {} idle connections reaped, {} oversized lines rejected, \
+                 {} malformed lines answered BadRequest",
+                stats.idle_reaped, stats.oversized_rejected, stats.malformed_lines
+            );
             println!(
                 "{}",
                 serde_json::to_string_pretty(&stats).expect("stats encodes")

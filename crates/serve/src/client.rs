@@ -13,6 +13,13 @@
 //! because the server deduplicates identical in-flight bodies
 //! (single-flight) and memoizes results, so a retried request can only
 //! observe the one computation.
+//!
+//! The salvage machinery is soaked against real wire faults — torn
+//! frames, corrupted bytes, mid-response resets, half-open stalls,
+//! one-way partitions — through the seeded [`crate::chaosnet`] proxy in
+//! `tests/serve_chaosnet.rs`, with [`crate::audit::Auditor`] asserting
+//! that every salvage produced a byte-identical answer and every
+//! give-up a typed error.
 
 use crate::metrics::StatsReport;
 use crate::wire::{

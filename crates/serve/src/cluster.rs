@@ -21,6 +21,11 @@
 //! - [`Fleet`] + [`launch_fleet`] — runs N workers under the existing
 //!   crash-loop [`supervise`] machinery, one supervisor thread per
 //!   shard, updating [`Membership`] from each worker's boot banner.
+//!
+//! Failover is exercised at the wire level too: `tests/serve_chaosnet.rs`
+//! puts a shard behind a one-way-partitioned [`crate::chaosnet`] proxy
+//! and asserts every answer rerouted to a replica is byte-identical to
+//! the direct computation.
 
 use crate::cache::LruCache;
 use crate::client::{ClientError, ClientMetrics, HardenedClient, RetryPolicy};

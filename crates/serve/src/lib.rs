@@ -43,6 +43,13 @@
 //!   change into a typed [`client::ClientEvent::ServerRestarted`] while
 //!   re-deriving outstanding work on the new process. The [`supervisor`]
 //!   module restarts a crashing daemon with crash-loop backoff.
+//! * **Wire-plane chaos** — [`chaosnet`] is a deterministic, seeded TCP
+//!   fault proxy (toxiproxy-style) interposable on any hop: latency
+//!   spikes, throttled writes, truncated frames, corrupted bytes,
+//!   resets, half-open stalls, one-way partitions. [`audit`] records a
+//!   whole campaign and asserts the uniform invariants end to end —
+//!   byte-identical answers, exactly-once compute, generation
+//!   monotonicity, typed-error-only degradation, bounded latency.
 //!
 //! The companion binaries are `ktudc-serve` (the daemon) and `ctl` (a
 //! client that submits the Table-1 UDC sweep as one pipelined batch and
@@ -52,7 +59,9 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod audit;
 pub mod cache;
+pub mod chaosnet;
 pub mod client;
 pub mod cluster;
 pub mod metrics;
@@ -63,6 +72,8 @@ pub mod supervisor;
 pub mod wire;
 
 pub use admission::{AimdConfig, AimdController, JobRegistry};
+pub use audit::{AuditReport, Auditor, FailureCount};
+pub use chaosnet::{chaos_proxy, ChaosProxy, ChaosStatsSnapshot, Direction, Toxic, ToxicPlan};
 pub use client::{Client, ClientError, ClientEvent, ClientMetrics, HardenedClient, RetryPolicy};
 pub use cluster::{launch_fleet, ClusterClient, ClusterEvent, ClusterMetrics, Fleet, Membership};
 pub use metrics::{Endpoint, StatsReport};
@@ -73,5 +84,5 @@ pub use supervisor::{supervise, CrashLoopBackoff, SupervisorPolicy, SupervisorRe
 pub use wire::{
     AbortedOutcome, CheckOutcome, CheckSpec, ClusterHealthReport, ErrorCode, HealthReport,
     PartialCell, PartialOutcome, Request, RequestKind, RequestOptions, Response, ResponseKind,
-    ShardHealth, WireError, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    ShardHealth, WireError, MAX_REQUEST_LINE_BYTES, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };

@@ -3,7 +3,8 @@
 //! ```text
 //! ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
 //!             [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N]
-//!             [--watchdog-tick-ms N] [--stuck-after-ticks N] [--supervise]
+//!             [--watchdog-tick-ms N] [--stuck-after-ticks N]
+//!             [--idle-timeout-ms N] [--supervise]
 //! ktudc-serve --router --shards HOST:P1,HOST:P2,... [--addr HOST:PORT]
 //!             [--workers N] [--queue-cap N]
 //! ktudc-serve --router --fleet N [--addr HOST:PORT] [--workers N]
@@ -90,7 +91,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ktudc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] \
          [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N] [--watchdog-tick-ms N] \
-         [--stuck-after-ticks N] [--supervise]\n       \
+         [--stuck-after-ticks N] [--idle-timeout-ms N] [--supervise]\n       \
          ktudc-serve --router (--shards HOST:P1,HOST:P2,... | --fleet N) [--addr HOST:PORT] \
          [--workers N] [--queue-cap N] [--data-dir PATH] [worker flags...]"
     );
@@ -150,6 +151,10 @@ fn parse_args() -> (ServeConfig, Mode) {
             "--stuck-after-ticks" => {
                 config.stuck_after_ticks =
                     parse_num(&value("--stuck-after-ticks"), "--stuck-after-ticks") as u64
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms =
+                    parse_num(&value("--idle-timeout-ms"), "--idle-timeout-ms") as u64
             }
             "--supervise" => supervised = true,
             "--router" => router = true,
@@ -304,6 +309,8 @@ fn spawn_fleet(config: &ServeConfig, shards: usize) -> Fleet {
             .arg(config.watchdog_tick_ms.to_string());
         cmd.arg("--stuck-after-ticks")
             .arg(config.stuck_after_ticks.to_string());
+        cmd.arg("--idle-timeout-ms")
+            .arg(config.idle_timeout_ms.to_string());
         if let Some(base) = &config.data_dir {
             let dir = ktudc_store::shard_data_dir(base, shard);
             std::fs::create_dir_all(&dir)?;
@@ -322,6 +329,7 @@ fn router_main(config: &ServeConfig, membership: Arc<Membership>, fleet: Option<
         policy: RetryPolicy::default(),
         workers: config.workers,
         queue_capacity: config.queue_capacity,
+        idle_timeout_ms: config.idle_timeout_ms,
     };
     let handle = match serve_router(&router_config, membership) {
         Ok(h) => h,

@@ -131,6 +131,9 @@ pub struct Metrics {
     started: Instant,
     overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
+    idle_reaped: AtomicU64,
+    oversized_rejected: AtomicU64,
+    malformed_lines: AtomicU64,
     per: [EndpointMetrics; 8],
     /// Time admitted compute requests spent between acceptance and a
     /// worker picking them up. Global (not per-endpoint): the queue is
@@ -156,6 +159,9 @@ impl Metrics {
             started: Instant::now(),
             overloaded: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            oversized_rejected: AtomicU64::new(0),
+            malformed_lines: AtomicU64::new(0),
             per: std::array::from_fn(|_| EndpointMetrics::new()),
             queue_wait: Mutex::new(LatencyRing::new()),
             compute: Mutex::new(LatencyRing::new()),
@@ -230,6 +236,26 @@ impl Metrics {
         self.record_error(endpoint);
     }
 
+    /// Records a connection reaped by the idle read deadline: a
+    /// half-open (or merely silent) peer whose thread was reclaimed
+    /// instead of pinned forever.
+    pub fn record_idle_reap(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request line rejected for exceeding
+    /// [`MAX_REQUEST_LINE_BYTES`](crate::wire::MAX_REQUEST_LINE_BYTES)
+    /// before a newline arrived.
+    pub fn record_oversized(&self) {
+        self.oversized_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request line that was not valid JSON (answered with a
+    /// typed `BadRequest`, never a panic or a stall).
+    pub fn record_malformed(&self) {
+        self.malformed_lines.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots everything into a wire-serializable report. Queue and
     /// cache occupancy plus the pool's steal counters are passed in by
     /// the server, which owns them.
@@ -284,6 +310,9 @@ impl Metrics {
             queue_capacity,
             overloaded: self.overloaded.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            oversized_rejected: self.oversized_rejected.load(Ordering::Relaxed),
+            malformed_lines: self.malformed_lines.load(Ordering::Relaxed),
             queue_wait_p50_micros: queue_wait_p50,
             queue_wait_p99_micros: queue_wait_p99,
             compute_p50_micros: compute_p50,
@@ -364,6 +393,14 @@ pub struct StatsReport {
     /// Requests shed (or aborted without a partial) with
     /// `DeadlineExceeded` since start.
     pub deadline_exceeded: u64,
+    /// Connections reaped by the idle read deadline (half-open or
+    /// silent peers) since start.
+    pub idle_reaped: u64,
+    /// Request lines rejected for exceeding the frame-size cap before a
+    /// newline arrived.
+    pub oversized_rejected: u64,
+    /// Request lines rejected as non-JSON with a typed `BadRequest`.
+    pub malformed_lines: u64,
     /// Median queue wait of admitted compute requests (recent ring).
     pub queue_wait_p50_micros: u64,
     /// 99th-percentile queue wait of admitted compute requests.
@@ -447,6 +484,21 @@ mod tests {
         assert_eq!(report.compute_p50_micros, 100);
         assert_eq!(report.compute_p99_micros, 100);
         assert_eq!(m.compute_p50_micros(), 100);
+    }
+
+    #[test]
+    fn connection_error_counters_reach_the_report() {
+        let m = Metrics::new();
+        m.record_idle_reap();
+        m.record_idle_reap();
+        m.record_oversized();
+        m.record_malformed();
+        m.record_malformed();
+        m.record_malformed();
+        let report = m.report(PoolCounters::default(), 0, 0);
+        assert_eq!(report.idle_reaped, 2);
+        assert_eq!(report.oversized_rejected, 1);
+        assert_eq!(report.malformed_lines, 3);
     }
 
     #[test]

@@ -27,12 +27,13 @@ use crate::client::{ClientError, HardenedClient, RetryPolicy};
 use crate::cluster::{ClusterClient, Membership};
 use crate::metrics::{Metrics, PoolCounters};
 use crate::ring::HashRing;
+use crate::server::{BoundedLineReader, LineEvent};
 use crate::wire::{
     ClusterHealthReport, ErrorCode, HealthReport, Request, RequestKind, RequestOptions, Response,
-    ResponseKind, ShardHealth, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    ResponseKind, ShardHealth, MAX_REQUEST_LINE_BYTES, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 use ktudc_par::{Pool, SubmitError};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +68,10 @@ pub struct RouterConfig {
     /// sheds with `Overloaded` (its own backpressure, in front of the
     /// workers' per-shard admission control).
     pub queue_capacity: usize,
+    /// Per-connection idle read deadline on the client side, in
+    /// milliseconds; 0 disables it. Same semantics as
+    /// [`ServeConfig::idle_timeout_ms`](crate::server::ServeConfig::idle_timeout_ms).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for RouterConfig {
@@ -76,6 +81,7 @@ impl Default for RouterConfig {
             policy: RetryPolicy::default(),
             workers: 0,
             queue_capacity: 128,
+            idle_timeout_ms: 60_000,
         }
     }
 }
@@ -106,6 +112,8 @@ struct RouterShared {
     metrics: Metrics,
     workers: usize,
     queue_capacity: usize,
+    /// Per-connection idle read deadline; `None` disables reaping.
+    idle_timeout: Option<Duration>,
     shutdown: AtomicBool,
 }
 
@@ -354,6 +362,8 @@ pub fn serve_router(
         metrics: Metrics::new(),
         workers,
         queue_capacity: config.queue_capacity,
+        idle_timeout: (config.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.idle_timeout_ms)),
         shutdown: AtomicBool::new(false),
         membership,
     });
@@ -395,12 +405,40 @@ fn connection_loop(shared: &Arc<RouterShared>, stream: TcpStream) {
         return;
     };
     let out = Arc::new(Mutex::new(stream));
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let Ok(mut reader) =
+        BoundedLineReader::new(read_half, shared.idle_timeout, MAX_REQUEST_LINE_BYTES)
+    else {
+        return;
+    };
+    loop {
+        match reader.next_line() {
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(shared, &line, &out);
+            }
+            LineEvent::Oversized => {
+                shared.metrics.record_oversized();
+                write_response(
+                    &out,
+                    SCHEMA_VERSION,
+                    Response::error(
+                        0,
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                    ),
+                );
+                break;
+            }
+            LineEvent::IdleTimeout => {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.metrics.record_idle_reap();
+                }
+                break;
+            }
+            LineEvent::Eof => break,
         }
-        handle_line(shared, &line, &out);
     }
 }
 
@@ -408,6 +446,7 @@ fn handle_line(shared: &Arc<RouterShared>, line: &str, out: &Arc<Mutex<TcpStream
     let request: Request = match serde_json::from_str(line) {
         Ok(r) => r,
         Err(e) => {
+            shared.metrics.record_malformed();
             write_response(
                 out,
                 SCHEMA_VERSION,

@@ -34,7 +34,7 @@ use crate::metrics::{Metrics, PoolCounters};
 use crate::wire::{
     AbortedOutcome, CheckOutcome, ClusterHealthReport, ErrorCode, HealthReport, PartialCell,
     PartialOutcome, Request, RequestKind, RequestOptions, Response, ResponseKind, ShardHealth,
-    WireError, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    WireError, MAX_REQUEST_LINE_BYTES, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 use ktudc_core::harness::{run_cell_budgeted, CellStatus};
 use ktudc_epistemic::ModelChecker;
@@ -47,7 +47,7 @@ use ktudc_sim::{
 };
 use ktudc_store::SnapshotStore;
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -119,6 +119,13 @@ pub struct ServeConfig {
     /// Watchdog ticks without heartbeat movement before a running job
     /// counts as a stuck worker in [`HealthReport::stuck_workers`].
     pub stuck_after_ticks: u64,
+    /// Per-connection idle read deadline, in milliseconds: a connection
+    /// that sends no bytes for this long is reaped (counted in
+    /// [`StatsReport::idle_reaped`](crate::metrics::StatsReport)), so a
+    /// half-open peer cannot pin a connection thread forever. 0
+    /// disables the deadline. The default (60 s) is far above any
+    /// client's request cadence but finite.
+    pub idle_timeout_ms: u64,
     /// Test-only response faults (default: none).
     pub faults: ServerFaults,
 }
@@ -135,6 +142,7 @@ impl Default for ServeConfig {
             target_p99_ms: 0,
             watchdog_tick_ms: 25,
             stuck_after_ticks: 200,
+            idle_timeout_ms: 60_000,
             faults: ServerFaults::default(),
         }
     }
@@ -193,6 +201,8 @@ struct Shared {
     registry: JobRegistry,
     shutdown: AtomicBool,
     workers: usize,
+    /// Per-connection idle read deadline; `None` disables reaping.
+    idle_timeout: Option<Duration>,
     faults: ServerFaults,
     /// Monotone response sequence number driving [`ServerFaults`].
     responses: AtomicU64,
@@ -226,13 +236,19 @@ impl Shared {
 
     /// Jobs ahead of a new arrival: queued plus in flight. This is the
     /// quantity the admission limit bounds and the wait estimate scales
-    /// with.
+    /// with. Read from one coherent [`Pool::stats`] snapshot — summing
+    /// the two separate accessors lets a worker pick a job up between
+    /// the reads and count it twice, transiently overstating occupancy
+    /// and shedding a request the limit would have admitted.
     fn occupancy(&self) -> usize {
         self.pool
             .lock()
             .expect("pool lock poisoned")
             .as_ref()
-            .map_or(0, |p| p.queue_depth() + p.in_flight())
+            .map_or(0, |p| {
+                let s = p.stats();
+                s.queued + s.in_flight
+            })
     }
 
     /// Work-stealing counters for observability: (steals so far, deepest
@@ -445,6 +461,8 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         registry: JobRegistry::new(),
         shutdown: AtomicBool::new(false),
         workers,
+        idle_timeout: (config.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.idle_timeout_ms)),
         faults: config.faults,
         responses: AtomicU64::new(0),
         generation: recovery.generation,
@@ -506,17 +524,122 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     shared.snapshot_now();
 }
 
+/// What [`BoundedLineReader::next_line`] observed on the socket.
+pub(crate) enum LineEvent {
+    /// A complete newline-terminated line (lossy UTF-8; the delimiter
+    /// stripped). Invalid bytes surface as replacement characters and
+    /// fail JSON parsing downstream — a typed `BadRequest`, never a
+    /// stall.
+    Line(String),
+    /// The peer accumulated more than the frame cap without a newline.
+    Oversized,
+    /// No bytes arrived within the idle deadline (a half-open or merely
+    /// silent peer — this includes a partial frame followed by
+    /// silence).
+    IdleTimeout,
+    /// Clean close, or an unrecoverable read error.
+    Eof,
+}
+
+/// A line reader with the two bounds a hostile or broken peer forces on
+/// a production accept loop: a per-read idle deadline (so a half-open
+/// connection is reaped instead of pinning its thread forever) and a
+/// frame-size cap (so a newline-less firehose cannot grow server memory
+/// without limit). Shared by the server and router connection loops.
+pub(crate) struct BoundedLineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    max_line: usize,
+}
+
+impl BoundedLineReader {
+    /// Arms `stream` with the idle deadline (`None` = block forever)
+    /// and wraps it. Fails only if the socket rejects the timeout.
+    pub(crate) fn new(
+        stream: TcpStream,
+        idle_timeout: Option<Duration>,
+        max_line: usize,
+    ) -> std::io::Result<Self> {
+        stream.set_read_timeout(idle_timeout)?;
+        Ok(BoundedLineReader {
+            stream,
+            pending: Vec::new(),
+            max_line,
+        })
+    }
+
+    /// Blocks (up to the idle deadline) for the next complete line.
+    pub(crate) fn next_line(&mut self) -> LineEvent {
+        use std::io::Read;
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.pending.len() > self.max_line {
+                return LineEvent::Oversized;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Eof,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::IdleTimeout;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return LineEvent::Eof,
+            }
+        }
+    }
+}
+
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let out = Arc::new(Mutex::new(stream));
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let Ok(mut reader) =
+        BoundedLineReader::new(read_half, shared.idle_timeout, MAX_REQUEST_LINE_BYTES)
+    else {
+        return;
+    };
+    loop {
+        match reader.next_line() {
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(shared, &line, &out);
+            }
+            LineEvent::Oversized => {
+                shared.metrics.record_oversized();
+                write_response(
+                    shared,
+                    &out,
+                    SCHEMA_VERSION,
+                    Response::error(
+                        0,
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                    ),
+                );
+                break;
+            }
+            LineEvent::IdleTimeout => {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.metrics.record_idle_reap();
+                }
+                break;
+            }
+            LineEvent::Eof => break,
         }
-        handle_line(shared, &line, &out);
     }
 }
 
@@ -525,6 +648,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
         Ok(r) => r,
         Err(e) => {
             // No recoverable id: 0 marks an unattributable failure.
+            shared.metrics.record_malformed();
             write_response(
                 shared,
                 out,

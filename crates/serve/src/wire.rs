@@ -51,6 +51,13 @@ pub const SCHEMA_VERSION: u32 = 5;
 /// strands a deployed client.
 pub const MIN_SCHEMA_VERSION: u32 = 2;
 
+/// Hard cap on an inbound request line, in bytes. A connection that
+/// accumulates this much without a newline is answered with a typed
+/// [`ErrorCode::BadRequest`] and closed — no legitimate request body
+/// comes anywhere near it, and an unbounded line would otherwise let a
+/// single peer grow server memory without limit.
+pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
+
 /// Per-request quality-of-service options (schema v3). All fields are
 /// optional on the wire; a request that omits them behaves exactly like
 /// a v2 request.

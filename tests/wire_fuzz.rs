@@ -1,0 +1,156 @@
+//! Wire-robustness fuzz: arbitrary bytes thrown at a live `ktudc-serve`
+//! daemon must never panic it, wedge it, or elicit anything but typed
+//! `Response` lines.
+//!
+//! Every property shares one leaked server and drives a raw TCP socket
+//! (no client-side validation in the way). After the hostile payload,
+//! the same connection sends a sentinel `Stats` request; the server must
+//! answer every non-empty line it read with a parseable [`Response`]
+//! (garbage gets `BadRequest` with id 0) and still serve the sentinel —
+//! proving the connection survived and the daemon stayed responsive,
+//! inside a hard per-case time bound.
+
+use ktudc_serve::{serve, Request, RequestKind, Response, ServeConfig};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Response id of the sentinel `Stats` request; garbage lines are
+/// answered with id 0, so the sentinel is unambiguous.
+const SENTINEL_ID: u64 = 0xF00D;
+
+/// Hard per-case bound: payload written, every reply read, sentinel
+/// answered. Generous next to the observed microseconds, but a stalled
+/// or wedged server blows through it.
+const CASE_BUDGET: Duration = Duration::from_secs(10);
+
+/// One server for the whole fuzz run, leaked for the process lifetime.
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let handle = serve(&ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            watchdog_tick_ms: 10,
+            stuck_after_ticks: 400,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = handle.addr();
+        std::mem::forget(handle); // keep serving until the process exits
+        addr
+    })
+}
+
+/// Writes `payload` followed by a newline and a sentinel `Stats` line,
+/// then reads replies until the sentinel answers. Returns an error
+/// string describing any contract violation.
+fn exchange(payload: &[u8]) -> Result<(), String> {
+    let started = Instant::now();
+    let mut conn = TcpStream::connect(server_addr()).map_err(|e| format!("connect failed: {e}"))?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+    let sentinel = serde_json::to_string(&Request::new(SENTINEL_ID, RequestKind::Stats))
+        .map_err(|e| format!("encode sentinel: {e}"))?;
+    let mut frame = payload.to_vec();
+    frame.push(b'\n');
+    frame.extend_from_slice(sentinel.as_bytes());
+    frame.push(b'\n');
+    conn.write_all(&frame)
+        .map_err(|e| format!("write failed: {e}"))?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        if started.elapsed() > CASE_BUDGET {
+            return Err(format!(
+                "case exceeded {CASE_BUDGET:?} without a sentinel reply"
+            ));
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("server closed before answering the sentinel".to_string()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read stalled or failed: {e}")),
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let resp: Response = serde_json::from_str(trimmed)
+            .map_err(|e| format!("unparseable reply {trimmed:?}: {e:?}"))?;
+        if resp.id == SENTINEL_ID {
+            return Ok(());
+        }
+    }
+}
+
+/// A payload is only interesting if it is *not* a well-formed request:
+/// a fuzzed line that happens to parse must be skipped, both to keep
+/// the property about malformed input and to avoid handing the shared
+/// server a surprise `Shutdown` or an expensive random computation.
+fn is_valid_request(payload: &[u8]) -> bool {
+    payload.split(|&b| b == b'\n').any(|seg| {
+        std::str::from_utf8(seg)
+            .ok()
+            .is_some_and(|s| serde_json::from_str::<Request>(s.trim()).is_ok())
+    })
+}
+
+proptest! {
+    /// Arbitrary byte lines (any bytes, embedded newlines and all) are
+    /// each answered with a typed `BadRequest`; the connection survives
+    /// and the sentinel is served within the time budget.
+    #[test]
+    fn arbitrary_bytes_never_panic_or_wedge_the_server(
+        payload in proptest::collection::vec(0u8..=255, 0..4096)
+    ) {
+        if !is_valid_request(&payload) {
+            if let Err(what) = exchange(&payload) {
+                prop_assert!(false, "payload {payload:?}: {what}");
+            }
+        }
+    }
+
+    /// Torn frames: a strict prefix of a valid request line is never
+    /// valid JSON, and must be refused — not half-parsed, not hung on.
+    #[test]
+    fn truncated_request_lines_get_a_typed_refusal(
+        id in 1u64..1_000_000,
+        cut in 1usize..60,
+    ) {
+        let line = serde_json::to_string(&Request::new(id, RequestKind::Health))
+            .expect("encode");
+        let cut = cut.min(line.len() - 1);
+        let torn = &line.as_bytes()[..cut];
+        if !is_valid_request(torn) {
+            if let Err(what) = exchange(torn) {
+                prop_assert!(false, "torn prefix {torn:?}: {what}");
+            }
+        }
+    }
+
+    /// Single-byte corruption of a valid request line: whatever byte
+    /// lands wherever, the reply is a typed response or a typed
+    /// refusal, never a panic or a stall.
+    #[test]
+    fn corrupted_request_lines_never_panic_or_wedge_the_server(
+        id in 1u64..1_000_000,
+        pos in 0usize..200,
+        byte in 0u8..=255,
+    ) {
+        let line = serde_json::to_string(&Request::new(id, RequestKind::ClusterHealth))
+            .expect("encode");
+        let mut mutated = line.into_bytes();
+        let pos = pos % mutated.len();
+        mutated[pos] = byte;
+        if !is_valid_request(&mutated) {
+            if let Err(what) = exchange(&mutated) {
+                prop_assert!(false, "mutated line {mutated:?}: {what}");
+            }
+        }
+    }
+}
