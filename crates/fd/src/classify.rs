@@ -239,21 +239,45 @@ pub struct RegimeVerdict {
     pub detection_latency: Option<LatencyStats>,
 }
 
+/// Condenses surviving accuracy/completeness properties into the
+/// strongest honest [`EmpiricalClass`] label. This is the single
+/// condensation rule for *every* empirical classification in the
+/// workspace — the simulator sweep here and the live wire-plane
+/// classification in `ktudc-serve`'s detector plane both feed their
+/// measured booleans through it, so "which class did the detector earn"
+/// always means the same thing.
+#[must_use]
+pub fn condense_class(
+    strong_completeness: bool,
+    strong_accuracy: bool,
+    weak_accuracy: bool,
+    eventual_accuracy: bool,
+    eventual_weak_accuracy: bool,
+) -> EmpiricalClass {
+    if !strong_completeness {
+        EmpiricalClass::Unclassified
+    } else if strong_accuracy {
+        EmpiricalClass::Perfect
+    } else if weak_accuracy {
+        EmpiricalClass::Strong
+    } else if eventual_accuracy {
+        EmpiricalClass::EventuallyPerfect
+    } else if eventual_weak_accuracy {
+        EmpiricalClass::EventuallyStrong
+    } else {
+        EmpiricalClass::Unclassified
+    }
+}
+
 impl RegimeVerdict {
     fn derive_class(&mut self) {
-        self.class = if !self.strong_completeness {
-            EmpiricalClass::Unclassified
-        } else if self.strong_accuracy {
-            EmpiricalClass::Perfect
-        } else if self.weak_accuracy {
-            EmpiricalClass::Strong
-        } else if self.eventual_accuracy {
-            EmpiricalClass::EventuallyPerfect
-        } else if self.eventual_weak_accuracy {
-            EmpiricalClass::EventuallyStrong
-        } else {
-            EmpiricalClass::Unclassified
-        };
+        self.class = condense_class(
+            self.strong_completeness,
+            self.strong_accuracy,
+            self.weak_accuracy,
+            self.eventual_accuracy,
+            self.eventual_weak_accuracy,
+        );
     }
 }
 

@@ -29,7 +29,7 @@ pub mod phi;
 
 pub use gossip::{GossipDetector, GossipMsg};
 pub use heartbeat::{Beat, HeartbeatDetector};
-pub use phi::PhiAccrualDetector;
+pub use phi::{PhiAccrualDetector, PhiEstimator};
 
 use ktudc_model::{ProcessId, SuspectReport, Time};
 use ktudc_sim::Detector;

@@ -23,14 +23,107 @@ use rand::rngs::StdRng;
 use std::collections::VecDeque;
 use std::f64::consts::LN_10;
 
-/// Sliding-window arrival statistics for one peer.
-#[derive(Clone, Debug, Default)]
-struct PeerWindow {
-    last_arrival: Time,
-    gaps: VecDeque<Time>,
+/// The φ-accrual *math*, detached from the simulator: a sliding window
+/// of inter-arrival gaps for one peer and the conversion of the current
+/// silence into a suspicion level. Time is a plain `f64` in whatever
+/// unit the caller measures arrivals in (simulator ticks here,
+/// wall-clock milliseconds in the live `ktudc-serve` detector plane) —
+/// φ is scale-free because it only ever divides a gap by a mean gap.
+///
+/// The first arrival seeds `last_arrival` without recording a gap (the
+/// gap from the epoch is an artifact of when observation started, not of
+/// the channel), and until [`min_samples`](Self::with_min_samples) gaps
+/// are observed the estimator falls back on the caller's prior mean.
+#[derive(Clone, Debug)]
+pub struct PhiEstimator {
+    last_arrival: f64,
+    gaps: VecDeque<f64>,
+    window: usize,
+    min_samples: usize,
+    prior_mean: f64,
 }
 
-/// φ-accrual adaptive detector (see module docs).
+impl PhiEstimator {
+    /// A fresh estimator with a bootstrap `prior_mean` inter-arrival and
+    /// a sliding window of `window` gaps (3 observed gaps before the
+    /// learned mean replaces the prior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior_mean` is not positive or `window` is zero.
+    #[must_use]
+    pub fn new(prior_mean: f64, window: usize) -> Self {
+        assert!(prior_mean > 0.0, "prior mean must be positive");
+        assert!(window >= 1, "window must hold at least one gap");
+        PhiEstimator {
+            last_arrival: 0.0,
+            gaps: VecDeque::new(),
+            window,
+            min_samples: 3,
+            prior_mean,
+        }
+    }
+
+    /// Overrides how many gaps must be observed before the learned mean
+    /// takes over from the prior.
+    #[must_use]
+    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
+        self.min_samples = min_samples.max(1);
+        self
+    }
+
+    /// Records an arrival at time `now`.
+    pub fn observe(&mut self, now: f64) {
+        if self.last_arrival > 0.0 {
+            self.gaps.push_back((now - self.last_arrival).max(0.0));
+            if self.gaps.len() > self.window {
+                self.gaps.pop_front();
+            }
+        }
+        self.last_arrival = now;
+    }
+
+    /// The suspicion level at time `now`: `gap / (mean · ln 10)`.
+    #[must_use]
+    pub fn phi(&self, now: f64) -> f64 {
+        let gap = (now - self.last_arrival).max(0.0);
+        gap / (self.mean_gap().max(1.0) * LN_10)
+    }
+
+    /// The mean inter-arrival currently in effect (the prior until
+    /// enough gaps are observed).
+    #[must_use]
+    pub fn mean_gap(&self) -> f64 {
+        if self.gaps.len() >= self.min_samples {
+            self.gaps.iter().sum::<f64>() / self.gaps.len() as f64
+        } else {
+            self.prior_mean
+        }
+    }
+
+    /// Observed gaps currently in the window.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// The time of the last observed arrival (0 before any arrival).
+    #[must_use]
+    pub fn last_arrival(&self) -> f64 {
+        self.last_arrival
+    }
+
+    /// Forgets all learned history (a peer restart: its channel
+    /// distribution starts over).
+    pub fn reset(&mut self) {
+        self.last_arrival = 0.0;
+        self.gaps.clear();
+    }
+}
+
+/// φ-accrual adaptive detector (see module docs). The per-peer math
+/// lives in [`PhiEstimator`]; this type adapts it to the simulator's
+/// [`Detector`] interface (tick clock, beat fan-out, suspect reports).
 #[derive(Clone, Debug)]
 pub struct PhiAccrualDetector {
     me: ProcessId,
@@ -38,10 +131,9 @@ pub struct PhiAccrualDetector {
     period: Time,
     threshold: f64,
     window: usize,
-    min_samples: usize,
-    /// Prior mean inter-arrival used until `min_samples` gaps are observed.
+    /// Prior mean inter-arrival used until enough gaps are observed.
     prior_mean: f64,
-    peers: Vec<PeerWindow>,
+    peers: Vec<PhiEstimator>,
 }
 
 impl PhiAccrualDetector {
@@ -69,7 +161,6 @@ impl PhiAccrualDetector {
             period,
             threshold,
             window,
-            min_samples: 3,
             prior_mean: (period + 3) as f64,
             peers: Vec::new(),
         }
@@ -82,14 +173,7 @@ impl PhiAccrualDetector {
         if q == self.me || self.n == 0 {
             return 0.0;
         }
-        let peer = &self.peers[q.index()];
-        let gap = now.saturating_sub(peer.last_arrival) as f64;
-        let mean = if peer.gaps.len() >= self.min_samples {
-            peer.gaps.iter().sum::<Time>() as f64 / peer.gaps.len() as f64
-        } else {
-            self.prior_mean
-        };
-        gap / (mean.max(1.0) * LN_10)
+        self.peers[q.index()].phi(now as f64)
     }
 }
 
@@ -105,7 +189,7 @@ impl Detector for PhiAccrualDetector {
     fn start(&mut self, me: ProcessId, n: usize) {
         self.me = me;
         self.n = n;
-        self.peers = vec![PeerWindow::default(); n];
+        self.peers = vec![PhiEstimator::new(self.prior_mean, self.window); n];
     }
 
     fn on_tick(&mut self, now: Time, _rng: &mut StdRng) -> Vec<(ProcessId, Beat)> {
@@ -120,16 +204,7 @@ impl Detector for PhiAccrualDetector {
     }
 
     fn on_recv(&mut self, now: Time, from: ProcessId, _msg: &Beat) {
-        let peer = &mut self.peers[from.index()];
-        // The first arrival seeds `last_arrival` without recording the
-        // bogus gap-from-tick-0.
-        if peer.last_arrival > 0 {
-            peer.gaps.push_back(now.saturating_sub(peer.last_arrival));
-            if peer.gaps.len() > self.window {
-                peer.gaps.pop_front();
-            }
-        }
-        peer.last_arrival = now;
+        self.peers[from.index()].observe(now as f64);
     }
 
     fn report(&mut self, now: Time) -> SuspectReport {

@@ -51,12 +51,12 @@ pub mod props;
 
 pub use atd::{check_atd_accuracy, RotatingAccuracyOracle};
 pub use classify::{
-    classify_detector, classify_detector_budgeted, ClassifySpec, ClassifyStatus, EmpiricalClass,
-    FaultRegime, LatencyStats, RegimeVerdict,
+    classify_detector, classify_detector_budgeted, condense_class, ClassifySpec, ClassifyStatus,
+    EmpiricalClass, FaultRegime, LatencyStats, RegimeVerdict,
 };
 pub use impls::{
     Beat, DetectorKind, GossipDetector, GossipMsg, HeartbeatDetector, PhiAccrualDetector,
-    ZooDetector, ZooMsg,
+    PhiEstimator, ZooDetector, ZooMsg,
 };
 pub use oracle::{
     CyclingSubsetOracle, EventuallyStrongOracle, ImpermanentStrongOracle, ImpermanentWeakOracle,

@@ -24,6 +24,10 @@
 //!   computed-outcome count ([`Auditor::note_computed`]); it must equal
 //!   the number of *unique* scenarios, however many resend storms the
 //!   chaos schedule provoked.
+//! * **Hedges never double-compute** — with a hedged-request count fed
+//!   ([`Auditor::note_hedges`]), firing hedges must not have raised the
+//!   compute count above the unique scenarios: a hedge may only win a
+//!   race, never buy its answer with duplicate work.
 //! * **Per-worker generation monotonicity** — within each answering
 //!   shard (or the single server), response generations never regress;
 //!   a regression means a stale process answered after its successor.
@@ -74,6 +78,7 @@ struct Ledger {
     rows: Vec<(String, Outcome, u64)>,
     computed: Option<u64>,
     stuck_connections: Option<u64>,
+    hedges_fired: u64,
 }
 
 /// Records a chaos campaign's every request/response and checks the
@@ -167,6 +172,16 @@ impl Auditor {
         ledger.stuck_connections = Some(stuck);
     }
 
+    /// Feeds the campaign's hedged-request count (backup requests fired
+    /// by the detector plane). With hedges in play, exactly-once compute
+    /// is only guaranteed when the primary never received the request —
+    /// `hedges_never_double_compute` asserts that the campaign's hedging
+    /// indeed added zero duplicate compute.
+    pub fn note_hedges(&self, fired: u64) {
+        let mut ledger = self.ledger.lock().expect("audit ledger poisoned");
+        ledger.hedges_fired = fired;
+    }
+
     fn push(&self, kind: &RequestKind, outcome: Outcome, latency: Duration) {
         let latency_ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
         let mut ledger = self.ledger.lock().expect("audit ledger poisoned");
@@ -182,6 +197,7 @@ impl Auditor {
             unique_scenarios: ledger.expected.len() as u64,
             computed: ledger.computed,
             stuck_connections: ledger.stuck_connections.unwrap_or(0),
+            hedges_fired: ledger.hedges_fired,
             ..AuditReport::default()
         };
         // Generation monotonicity is judged per answering shard, in
@@ -236,6 +252,12 @@ impl Auditor {
         report.exactly_once = report
             .computed
             .map(|computed| computed == report.unique_scenarios);
+        // Vacuously true with no hedges; with hedges fired, true exactly
+        // when the compute count still matched the unique scenarios —
+        // i.e. no hedge leg caused a second computation of its scenario.
+        report.hedges_never_double_compute = report
+            .computed
+            .map(|computed| report.hedges_fired == 0 || computed == report.unique_scenarios);
         report.zero_wrong_answers = report.wrong_answers == 0;
         report.no_untyped_failures = report.untyped_failures == 0;
         report.latency_within_bound = report.latency_violations == 0;
@@ -244,7 +266,8 @@ impl Auditor {
             && report.generation_regressions == 0
             && report.stuck_connections == 0
             && report.latency_within_bound
-            && report.exactly_once != Some(false);
+            && report.exactly_once != Some(false)
+            && report.hedges_never_double_compute != Some(false);
         report
     }
 }
@@ -274,6 +297,14 @@ pub struct AuditReport {
     pub computed: Option<u64>,
     /// `computed == unique_scenarios`; `None` when not fed.
     pub exactly_once: Option<bool>,
+    /// Hedged backup requests the campaign fired
+    /// ([`Auditor::note_hedges`]).
+    pub hedges_fired: u64,
+    /// With hedges fired, whether compute still matched the unique
+    /// scenario count (no hedge leg computed its scenario twice);
+    /// vacuously `Some(true)` with zero hedges, `None` when no compute
+    /// count was fed.
+    pub hedges_never_double_compute: Option<bool>,
     /// Post-campaign stuck-worker count. Must be 0.
     pub stuck_connections: u64,
     /// Slowest recorded outcome, milliseconds.
@@ -449,6 +480,30 @@ mod tests {
         );
         let report = audit.report();
         assert_eq!(report.generation_regressions, 1);
+        assert!(!report.passed);
+    }
+
+    #[test]
+    fn hedges_must_not_double_compute() {
+        let audit = Auditor::new();
+        audit.expect(&kind(0), &outcome(1));
+        audit.record_response(
+            &kind(0),
+            &payload(0, 0, Some(1), outcome(1)),
+            Duration::from_millis(1),
+        );
+        // Hedges fired but compute stayed at the unique-scenario count:
+        // the backup legs landed on shards that never duplicated work.
+        audit.note_computed(1);
+        audit.note_hedges(5);
+        let report = audit.report();
+        assert_eq!(report.hedges_fired, 5);
+        assert_eq!(report.hedges_never_double_compute, Some(true));
+        assert!(report.passed, "{report:?}");
+        // One extra computation with hedges in play fails the audit.
+        audit.note_computed(2);
+        let report = audit.report();
+        assert_eq!(report.hedges_never_double_compute, Some(false));
         assert!(!report.passed);
     }
 

@@ -549,17 +549,34 @@ fn cmd_health_cluster(client: &ClusterClient) {
     let report = client.cluster_health();
     println!(
         "cluster: {}/{} shards reachable, {} cache entries, queue depth {}, {} in flight, \
-         max generation {}",
+         max generation {}{}",
         report.reachable_shards,
         report.shards.len(),
         report.total_cache_entries,
         report.total_queue_depth,
         report.total_in_flight,
-        report.max_generation
+        report.max_generation,
+        if report.suspected_shards > 0 {
+            format!(", {} SUSPECTED", report.suspected_shards)
+        } else {
+            String::new()
+        }
     );
     for shard in &report.shards {
+        // The φ/suspicion annotations only appear when the answering
+        // side runs a live detector plane (a router, or this client's
+        // own plane); plain v5 reports print exactly as before.
+        let mut suffix = String::new();
+        if let Some(phi) = shard.phi {
+            suffix.push_str(&format!(", phi {phi:.2}"));
+        }
+        if shard.suspected {
+            suffix.push_str(", SUSPECTED");
+        } else if shard.probation {
+            suffix.push_str(", probation");
+        }
         println!(
-            "shard {} at {}: {} (generation {})",
+            "shard {} at {}: {} (generation {}{suffix})",
             shard.shard,
             shard.addr,
             if shard.reachable { "up" } else { "DOWN" },

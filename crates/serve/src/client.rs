@@ -348,6 +348,25 @@ impl Client {
         }
     }
 
+    /// Sends a heartbeat probe (schema v6); returns the server's
+    /// generation from the response envelope. Answered inline by the
+    /// server, never queued behind compute — this is the detector
+    /// plane's liveness signal.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// server answers with anything but a pong.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        let response = self.request(RequestKind::Ping)?;
+        match response.result {
+            ResponseKind::Pong => Ok(response.generation),
+            other => Err(ClientError::Protocol(format!(
+                "expected a pong, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors

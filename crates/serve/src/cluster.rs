@@ -29,6 +29,7 @@
 
 use crate::cache::LruCache;
 use crate::client::{ClientError, ClientMetrics, HardenedClient, RetryPolicy};
+use crate::detector::{DetectorConfig, DetectorPlane};
 use crate::metrics::StatsReport;
 use crate::ring::HashRing;
 use crate::supervisor::{supervise, SupervisorPolicy, SupervisorReport};
@@ -39,7 +40,7 @@ use crate::wire::{
 use std::io::{BufRead, BufReader};
 use std::process::Child;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -157,6 +158,9 @@ pub struct ClusterClient {
     failovers: AtomicU64,
     worker_restarts: AtomicU64,
     events: Mutex<Vec<ClusterEvent>>,
+    /// Optional live failure-detector plane: suspected shards are
+    /// demoted at routing time, soft-suspected primaries are hedged.
+    detector: Option<Arc<DetectorPlane>>,
 }
 
 impl ClusterClient {
@@ -184,7 +188,25 @@ impl ClusterClient {
             failovers: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
+            detector: None,
         }
+    }
+
+    /// Attaches a live [`DetectorPlane`] (started immediately): requests
+    /// skip suspected shards proactively, and a primary whose φ is in
+    /// the soft band is hedged to the next replica after
+    /// [`DetectorPlane::hedge_delay`]. The plane stops when the client
+    /// is dropped.
+    #[must_use]
+    pub fn with_detector(mut self, config: DetectorConfig) -> ClusterClient {
+        self.detector = Some(DetectorPlane::start(Arc::clone(&self.membership), config));
+        self
+    }
+
+    /// The attached detector plane, if any.
+    #[must_use]
+    pub fn detector(&self) -> Option<&Arc<DetectorPlane>> {
+        self.detector.as_ref()
     }
 
     /// The routing digest of a request body: the same key the scenario
@@ -316,8 +338,143 @@ impl ClusterClient {
         kind: RequestKind,
         options: RequestOptions,
     ) -> Result<Response, ClientError> {
-        let order = self.ring.replicas(Self::shard_key(&kind));
-        self.try_order(&kind, options, &order, 0)
+        let mut order = self.ring.replicas(Self::shard_key(&kind));
+        let mut attempted = 0;
+        if let Some(plane) = &self.detector {
+            if plane.prefer_unsuspected(&mut order) {
+                // The owner is suspected: route straight to a replica.
+                // Passing `attempted: 1` makes try_order count the very
+                // first try as a failover, same meaning as the reactive
+                // counter ("answered by a replica other than the owner").
+                plane.note_proactive_failover();
+                attempted = 1;
+            }
+            if order.len() >= 2 && plane.should_hedge(order[0]) {
+                return self.hedged(&kind, options, &order, attempted, plane);
+            }
+        }
+        self.try_order(&kind, options, &order, attempted)
+    }
+
+    /// One try against one shard, preserving the typed-shed-as-`Ok`
+    /// convention of [`ClusterClient::try_order`].
+    fn try_one(
+        &self,
+        shard: usize,
+        kind: &RequestKind,
+        options: RequestOptions,
+    ) -> Result<Response, ClientError> {
+        self.with_shard(shard, |c| c.request_with_options(kind.clone(), options))
+            .map(|mut resp| {
+                if resp.shard.is_none() {
+                    resp.shard = Some(shard);
+                }
+                resp
+            })
+    }
+
+    /// Whether a response is a typed shed (kept as last resort, never a
+    /// winning answer while another replica might still compute).
+    fn is_shed(resp: &Response) -> bool {
+        matches!(
+            &resp.result,
+            ResponseKind::Error(e)
+                if matches!(e.code, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded)
+        )
+    }
+
+    /// Hedges a request whose primary's φ crossed the soft threshold:
+    /// send to the primary, and if no answer lands within the
+    /// RTT-derived [`DetectorPlane::hedge_delay`], fire the same request
+    /// at the next replica and take the first non-shed success. The
+    /// loser is discarded — safe because replicas compute byte-identical
+    /// answers (the audited uniform contract), and dedup-safe because
+    /// the backup targets a *different* shard's cache while single-flight
+    /// on each shard keeps identical racing bodies to one computation.
+    ///
+    /// Both legs run on scoped threads, so the loser is joined before
+    /// returning; its wait is bounded by the per-shard [`RetryPolicy`]
+    /// budget, and in the soft band (primary not yet suspected) both
+    /// legs normally finish quickly.
+    fn hedged(
+        &self,
+        kind: &RequestKind,
+        options: RequestOptions,
+        order: &[usize],
+        attempted: u32,
+        plane: &Arc<DetectorPlane>,
+    ) -> Result<Response, ClientError> {
+        let primary = order[0];
+        let backup = order[1];
+        // A demoted primary already counts as one failover.
+        self.failovers
+            .fetch_add(u64::from(attempted), Ordering::Relaxed);
+        let delay = plane.hedge_delay();
+        let (tx, rx) = mpsc::channel();
+        let mut legs: Vec<(usize, Result<Response, ClientError>)> = Vec::with_capacity(2);
+        let mut fired = false;
+        std::thread::scope(|scope| {
+            let ptx = tx.clone();
+            scope.spawn(move || {
+                let _ = ptx.send((primary, self.try_one(primary, kind, options)));
+            });
+            match rx.recv_timeout(delay) {
+                Ok(leg) => legs.push(leg),
+                Err(_) => {
+                    fired = true;
+                    plane.note_hedge_fired();
+                    let btx = tx.clone();
+                    scope.spawn(move || {
+                        let _ = btx.send((backup, self.try_one(backup, kind, options)));
+                    });
+                    legs.extend(rx.iter().take(2));
+                }
+            }
+        });
+        // First non-shed success in arrival order wins; the other leg's
+        // outcome (if any) is discarded.
+        let mut last_shed: Option<Response> = None;
+        let mut last_err: Option<ClientError> = None;
+        let mut winner: Option<(usize, Response)> = None;
+        for (shard, outcome) in legs {
+            match outcome {
+                Ok(resp) if !Self::is_shed(&resp) => {
+                    if winner.is_none() {
+                        winner = Some((shard, resp));
+                    }
+                }
+                Ok(resp) => last_shed = Some(resp),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if let Some((shard, resp)) = winner {
+            if fired {
+                if shard == backup {
+                    plane.note_hedge_won();
+                    // The backup answered: served by a non-owner replica.
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    plane.note_hedge_wasted();
+                }
+            }
+            return Ok(resp);
+        }
+        // Every hedge leg failed or shed: continue down the remaining
+        // replicas reactively, keeping the legs' typed shed and transport
+        // error as answers of last resort.
+        let tried = if fired { 2 } else { 1 };
+        match self.try_order(
+            kind,
+            options,
+            &order[tried.min(order.len())..],
+            attempted + 1,
+        ) {
+            Ok(resp) => Ok(resp),
+            Err(e) => match last_shed {
+                Some(shed) => Ok(shed),
+                None => Err(last_err.unwrap_or(e)),
+            },
+        }
     }
 
     /// Sends a batch, fanning per-shard sub-batches out in parallel
@@ -461,7 +618,10 @@ impl ClusterClient {
     #[must_use]
     pub fn cluster_health(&self) -> ClusterHealthReport {
         if self.ring.shards() == 1 {
-            if let Ok(report) = self.with_shard(0, HardenedClient::cluster_health) {
+            if let Ok(mut report) = self.with_shard(0, HardenedClient::cluster_health) {
+                if let Some(plane) = &self.detector {
+                    plane.annotate(&mut report);
+                }
                 return report;
             }
         }
@@ -471,30 +631,43 @@ impl ClusterClient {
                     scope.spawn(move || {
                         let addr = self.membership.addr(shard);
                         match self.with_shard(shard, |c| c.health()) {
-                            Ok(report) => ShardHealth {
+                            Ok(report) => {
+                                ShardHealth::new(shard, addr, true, report.generation, Some(report))
+                            }
+                            Err(_) => ShardHealth::new(
                                 shard,
                                 addr,
-                                reachable: true,
-                                generation: report.generation,
-                                report: Some(report),
-                            },
-                            Err(_) => ShardHealth {
-                                shard,
-                                addr,
-                                reachable: false,
-                                generation: self.last_gen(shard).unwrap_or(0),
-                                report: None,
-                            },
+                                false,
+                                self.last_gen(shard).unwrap_or(0),
+                                None,
+                            ),
                         }
                     })
                 })
                 .collect();
             probes
                 .into_iter()
-                .map(|p| p.join().expect("health probe thread panicked"))
+                .enumerate()
+                .map(|(shard, p)| {
+                    // A panicking probe must not take the whole report
+                    // down with it: report that shard as unreachable.
+                    p.join().unwrap_or_else(|_| {
+                        ShardHealth::new(
+                            shard,
+                            self.membership.addr(shard),
+                            false,
+                            self.last_gen(shard).unwrap_or(0),
+                            None,
+                        )
+                    })
+                })
                 .collect()
         });
-        ClusterHealthReport::aggregate(rows)
+        let mut report = ClusterHealthReport::aggregate(rows);
+        if let Some(plane) = &self.detector {
+            plane.annotate(&mut report);
+        }
+        report
     }
 
     /// Fetches every shard's metrics snapshot (sequentially; stats are
@@ -538,6 +711,16 @@ impl ClusterClient {
     /// Drains the accumulated [`ClusterEvent`]s (oldest first).
     pub fn take_events(&self) -> Vec<ClusterEvent> {
         std::mem::take(&mut *self.events.lock().expect("events lock poisoned"))
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        // The probe threads hold their own Arc to the plane, so it must
+        // be stopped explicitly — dropping the Arc alone would leak them.
+        if let Some(plane) = &self.detector {
+            plane.stop();
+        }
     }
 }
 
@@ -719,6 +902,41 @@ mod tests {
         m.set_addr(1, "c:3");
         assert_eq!(m.addr(1), "c:3");
         assert_eq!(m.snapshot(), vec!["a:1".to_string(), "c:3".to_string()]);
+    }
+
+    #[test]
+    fn live_addr_swap_never_tears() {
+        // In-flight routing reads addresses while a fleet supervisor
+        // rewrites them. Readers must only ever observe one of the two
+        // complete values — never a torn mix (which would route a
+        // request to an address nobody announced).
+        let a = "127.0.0.1:41001".to_string();
+        let b = "10.99.88.77:59999".to_string();
+        let m = Arc::new(Membership::new(vec![a.clone()]));
+        let start = Arc::new(std::sync::Barrier::new(5));
+        std::thread::scope(|scope| {
+            {
+                let (m, start) = (Arc::clone(&m), Arc::clone(&start));
+                let (a, b) = (a.clone(), b.clone());
+                scope.spawn(move || {
+                    start.wait();
+                    for i in 0..20_000 {
+                        m.set_addr(0, if i % 2 == 0 { b.clone() } else { a.clone() });
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let (m, start) = (Arc::clone(&m), Arc::clone(&start));
+                let (a, b) = (a.clone(), b.clone());
+                scope.spawn(move || {
+                    start.wait();
+                    for _ in 0..20_000 {
+                        let seen = m.addr(0);
+                        assert!(seen == a || seen == b, "torn address observed: {seen:?}");
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -50,6 +50,15 @@
 //!   whole campaign and asserts the uniform invariants end to end —
 //!   byte-identical answers, exactly-once compute, generation
 //!   monotonicity, typed-error-only degradation, bounded latency.
+//! * **Live failure detection** — [`detector`] runs the paper's
+//!   φ-accrual suspicion math ([`ktudc_fd::PhiEstimator`]) against the
+//!   real cluster: a [`detector::DetectorPlane`] heartbeats every shard
+//!   with the cheap `Ping` request, suspected shards are demoted at
+//!   routing time (proactive failover), soft-suspected primaries are
+//!   hedged to the next replica, and recovered shards are readmitted
+//!   through a probation window. Suspicion is advisory only — it
+//!   reorders replicas, it never drops requests or invents answers, so
+//!   a wrong suspicion costs latency, never correctness.
 //!
 //! The companion binaries are `ktudc-serve` (the daemon) and `ctl` (a
 //! client that submits the Table-1 UDC sweep as one pipelined batch and
@@ -64,6 +73,7 @@ pub mod cache;
 pub mod chaosnet;
 pub mod client;
 pub mod cluster;
+pub mod detector;
 pub mod metrics;
 pub mod ring;
 pub mod router;
@@ -76,7 +86,8 @@ pub use audit::{AuditReport, Auditor, FailureCount};
 pub use chaosnet::{chaos_proxy, ChaosProxy, ChaosStatsSnapshot, Direction, Toxic, ToxicPlan};
 pub use client::{Client, ClientError, ClientEvent, ClientMetrics, HardenedClient, RetryPolicy};
 pub use cluster::{launch_fleet, ClusterClient, ClusterEvent, ClusterMetrics, Fleet, Membership};
-pub use metrics::{Endpoint, StatsReport};
+pub use detector::{DetectorConfig, DetectorPlane, ShardSuspicion};
+pub use metrics::{Endpoint, StatsReport, SuspicionStats};
 pub use ring::HashRing;
 pub use router::{serve_router, RouterConfig, RouterHandle};
 pub use server::{serve, RecoveryReport, ServeConfig, ServerFaults, ServerHandle};

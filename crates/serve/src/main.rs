@@ -6,9 +6,9 @@
 //!             [--watchdog-tick-ms N] [--stuck-after-ticks N]
 //!             [--idle-timeout-ms N] [--supervise]
 //! ktudc-serve --router --shards HOST:P1,HOST:P2,... [--addr HOST:PORT]
-//!             [--workers N] [--queue-cap N]
+//!             [--workers N] [--queue-cap N] [--probe-ms N]
 //! ktudc-serve --router --fleet N [--addr HOST:PORT] [--workers N]
-//!             [--queue-cap N] [--data-dir PATH] [worker flags...]
+//!             [--queue-cap N] [--data-dir PATH] [--probe-ms N] [worker flags...]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound, then runs
@@ -31,11 +31,13 @@
 //! own `shard-<i>` subdirectory of `--data-dir` when one is given, so
 //! the per-shard caches snapshot independently). In router mode
 //! `--workers`/`--queue-cap` size the router's own forwarding pool;
-//! the remaining worker flags are passed through to a `--fleet`.
+//! the remaining worker flags are passed through to a `--fleet`. The
+//! live failure-detector plane heartbeats every shard (on by default);
+//! `--probe-ms N` overrides its cadence and `--probe-ms 0` disables it.
 
 use ktudc_serve::{
-    launch_fleet, serve, serve_router, supervise, Fleet, Membership, RetryPolicy, RouterConfig,
-    ServeConfig, SupervisorPolicy,
+    launch_fleet, serve, serve_router, supervise, DetectorConfig, Fleet, Membership, RetryPolicy,
+    RouterConfig, ServeConfig, SupervisorPolicy,
 };
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -93,7 +95,7 @@ fn usage() -> ! {
          [--data-dir PATH] [--snapshot-every N] [--target-p99-ms N] [--watchdog-tick-ms N] \
          [--stuck-after-ticks N] [--idle-timeout-ms N] [--supervise]\n       \
          ktudc-serve --router (--shards HOST:P1,HOST:P2,... | --fleet N) [--addr HOST:PORT] \
-         [--workers N] [--queue-cap N] [--data-dir PATH] [worker flags...]"
+         [--workers N] [--queue-cap N] [--data-dir PATH] [--probe-ms N] [worker flags...]"
     );
     std::process::exit(2);
 }
@@ -109,7 +111,7 @@ enum Mode {
     RouterOverFleet { shards: usize },
 }
 
-fn parse_args() -> (ServeConfig, Mode) {
+fn parse_args() -> (ServeConfig, Mode, Option<DetectorConfig>) {
     let mut config = ServeConfig {
         addr: "127.0.0.1:7199".to_string(),
         ..ServeConfig::default()
@@ -118,6 +120,7 @@ fn parse_args() -> (ServeConfig, Mode) {
     let mut router = false;
     let mut shards: Option<String> = None;
     let mut fleet: Option<usize> = None;
+    let mut probe_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -156,6 +159,7 @@ fn parse_args() -> (ServeConfig, Mode) {
                 config.idle_timeout_ms =
                     parse_num(&value("--idle-timeout-ms"), "--idle-timeout-ms") as u64
             }
+            "--probe-ms" => probe_ms = Some(parse_num(&value("--probe-ms"), "--probe-ms") as u64),
             "--supervise" => supervised = true,
             "--router" => router = true,
             "--shards" => shards = Some(value("--shards")),
@@ -172,8 +176,22 @@ fn parse_args() -> (ServeConfig, Mode) {
         eprintln!("--shards/--fleet require --router");
         usage();
     }
+    if probe_ms.is_some() && !router {
+        eprintln!("--probe-ms tunes the router's failure-detector plane; it requires --router");
+        usage();
+    }
+    // The plane is on by default in router mode; `--probe-ms 0` disables
+    // it, any other value overrides the heartbeat cadence.
+    let detector = match probe_ms {
+        Some(0) => None,
+        Some(ms) => Some(DetectorConfig {
+            probe_period: Duration::from_millis(ms),
+            ..DetectorConfig::default()
+        }),
+        None => Some(DetectorConfig::default()),
+    };
     if !router {
-        return (config, Mode::Server { supervised });
+        return (config, Mode::Server { supervised }, detector);
     }
     if supervised {
         eprintln!("--supervise cannot be combined with --router (a --fleet already supervises)");
@@ -218,7 +236,7 @@ fn parse_args() -> (ServeConfig, Mode) {
             Mode::RouterOverFleet { shards: n }
         }
     };
-    (config, mode)
+    (config, mode, detector)
 }
 
 /// Syntactic HOST:PORT check (no DNS, no connection): a non-empty host
@@ -238,13 +256,13 @@ fn parse_num(s: &str, flag: &str) -> usize {
 }
 
 fn main() {
-    let (config, mode) = parse_args();
+    let (config, mode, detector) = parse_args();
     signals::install();
     match mode {
         Mode::Server { supervised: true } => supervised_main(),
         Mode::Server { supervised: false } => server_main(&config),
         Mode::RouterOverShards { members } => {
-            router_main(&config, Arc::new(Membership::new(members)), None)
+            router_main(&config, Arc::new(Membership::new(members)), None, detector)
         }
         Mode::RouterOverFleet { shards } => {
             let fleet = spawn_fleet(&config, shards);
@@ -254,7 +272,7 @@ fn main() {
                 std::process::exit(1);
             }
             let membership = fleet.membership();
-            router_main(&config, membership, Some(fleet));
+            router_main(&config, membership, Some(fleet), detector);
         }
     }
 }
@@ -323,13 +341,19 @@ fn spawn_fleet(config: &ServeConfig, shards: usize) -> Fleet {
 
 /// Runs the router until shutdown, then drains it and (for a
 /// `--fleet`) stops the supervised workers.
-fn router_main(config: &ServeConfig, membership: Arc<Membership>, fleet: Option<Fleet>) {
+fn router_main(
+    config: &ServeConfig,
+    membership: Arc<Membership>,
+    fleet: Option<Fleet>,
+    detector: Option<DetectorConfig>,
+) {
     let router_config = RouterConfig {
         addr: config.addr.clone(),
         policy: RetryPolicy::default(),
         workers: config.workers,
         queue_capacity: config.queue_capacity,
         idle_timeout_ms: config.idle_timeout_ms,
+        detector,
     };
     let handle = match serve_router(&router_config, membership) {
         Ok(h) => h,

@@ -40,11 +40,15 @@ pub enum Endpoint {
     /// Cluster health snapshots (schema v5). Appended at the end for the
     /// same leading-prefix reason as `Health`.
     ClusterHealth,
+    /// Detector-plane heartbeat probes (schema v6). Answered inline,
+    /// never queued or cached; appended at the end for the same
+    /// leading-prefix reason as `Health`.
+    Ping,
 }
 
 impl Endpoint {
     /// Every endpoint, in report order (cacheable endpoints first).
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Cell,
         Endpoint::Check,
         Endpoint::Explore,
@@ -53,6 +57,7 @@ impl Endpoint {
         Endpoint::Shutdown,
         Endpoint::Health,
         Endpoint::ClusterHealth,
+        Endpoint::Ping,
     ];
 
     /// The wire name of the endpoint.
@@ -67,6 +72,7 @@ impl Endpoint {
             Endpoint::Shutdown => "shutdown",
             Endpoint::Health => "health",
             Endpoint::ClusterHealth => "cluster_health",
+            Endpoint::Ping => "ping",
         }
     }
 
@@ -80,6 +86,7 @@ impl Endpoint {
             Endpoint::Shutdown => 5,
             Endpoint::Health => 6,
             Endpoint::ClusterHealth => 7,
+            Endpoint::Ping => 8,
         }
     }
 }
@@ -134,7 +141,7 @@ pub struct Metrics {
     idle_reaped: AtomicU64,
     oversized_rejected: AtomicU64,
     malformed_lines: AtomicU64,
-    per: [EndpointMetrics; 8],
+    per: [EndpointMetrics; 9],
     /// Time admitted compute requests spent between acceptance and a
     /// worker picking them up. Global (not per-endpoint): the queue is
     /// shared, so its wait distribution is a property of the server.
@@ -327,6 +334,7 @@ impl Metrics {
                 cacheable_hits as f64 / cacheable_requests as f64
             },
             endpoints,
+            suspicion: None,
         }
     }
 }
@@ -342,11 +350,42 @@ fn percentiles(samples: &[u64]) -> (u64, u64) {
     (rank(50), rank(99))
 }
 
+/// Wire form of the detector plane's counters (schema v6): what the
+/// φ-accrual suspicion machinery has done since the process hosting it
+/// (router or cluster client) started. Attached to [`StatsReport`] only
+/// by processes that actually run a detector plane — a plain worker's
+/// stats report omits it entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspicionStats {
+    /// Heartbeat probes sent across all monitored shards.
+    pub probes_sent: u64,
+    /// Probes that failed outright (connect/write/read error) — each
+    /// counts as a missed beat for its shard.
+    pub probe_failures: u64,
+    /// Transitions into suspicion (φ crossed the suspect threshold, or a
+    /// probationary shard missed a beat).
+    pub suspects_raised: u64,
+    /// Transitions out of suspicion (heartbeats resumed and the shard
+    /// entered probation).
+    pub suspects_cleared: u64,
+    /// Requests routed *away* from a suspected primary at routing time —
+    /// failovers that happened before any request had to fail.
+    pub proactive_failovers: u64,
+    /// Hedged requests fired (primary's φ crossed the soft hedge
+    /// threshold mid-request, a backup was sent to the next replica).
+    pub hedges_fired: u64,
+    /// Hedges whose backup produced the winning response.
+    pub hedges_won: u64,
+    /// Hedges whose primary answered first after all (the backup's
+    /// response was discarded).
+    pub hedges_wasted: u64,
+}
+
 /// Wire form of one endpoint's counters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EndpointStats {
     /// Endpoint name (`cell`, `check`, `explore`, `classify`, `stats`,
-    /// `shutdown`, `health`, `cluster_health`).
+    /// `shutdown`, `health`, `cluster_health`, `ping`).
     pub endpoint: String,
     /// Requests handled (served + failed).
     pub requests: u64,
@@ -378,7 +417,7 @@ pub struct PoolCounters {
 }
 
 /// Wire form of a full metrics snapshot (the `Stats` response body).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StatsReport {
     /// Microseconds since the server started.
     pub uptime_micros: u64,
@@ -425,6 +464,98 @@ pub struct StatsReport {
     pub cache_hit_rate: f64,
     /// Per-endpoint counters, in [`Endpoint::ALL`] order.
     pub endpoints: Vec<EndpointStats>,
+    /// Detector-plane counters (schema v6). `None` — and omitted from
+    /// the encoding, so a v5 stats line is a valid v6 stats line — on
+    /// processes without a detector plane.
+    pub suspicion: Option<SuspicionStats>,
+}
+
+// Hand-encoded like the envelope types in `wire`: the v6 `suspicion`
+// field is omitted when `None` and defaulted when missing, keeping v5
+// and v6 stats lines mutually parseable.
+impl Serialize for StatsReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("uptime_micros".to_string(), self.uptime_micros.to_value()),
+            ("workers".to_string(), self.workers.to_value()),
+            ("queue_depth".to_string(), self.queue_depth.to_value()),
+            ("queue_capacity".to_string(), self.queue_capacity.to_value()),
+            ("overloaded".to_string(), self.overloaded.to_value()),
+            (
+                "deadline_exceeded".to_string(),
+                self.deadline_exceeded.to_value(),
+            ),
+            ("idle_reaped".to_string(), self.idle_reaped.to_value()),
+            (
+                "oversized_rejected".to_string(),
+                self.oversized_rejected.to_value(),
+            ),
+            (
+                "malformed_lines".to_string(),
+                self.malformed_lines.to_value(),
+            ),
+            (
+                "queue_wait_p50_micros".to_string(),
+                self.queue_wait_p50_micros.to_value(),
+            ),
+            (
+                "queue_wait_p99_micros".to_string(),
+                self.queue_wait_p99_micros.to_value(),
+            ),
+            (
+                "compute_p50_micros".to_string(),
+                self.compute_p50_micros.to_value(),
+            ),
+            (
+                "compute_p99_micros".to_string(),
+                self.compute_p99_micros.to_value(),
+            ),
+            ("cache_entries".to_string(), self.cache_entries.to_value()),
+            ("cache_capacity".to_string(), self.cache_capacity.to_value()),
+            ("steals".to_string(), self.steals.to_value()),
+            ("deepest_queue".to_string(), self.deepest_queue.to_value()),
+            ("cache_hit_rate".to_string(), self.cache_hit_rate.to_value()),
+            ("endpoints".to_string(), self.endpoints.to_value()),
+        ];
+        if let Some(suspicion) = &self.suspicion {
+            fields.push(("suspicion".to_string(), suspicion.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for StatsReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError(format!("stats report is missing `{name}`")))
+        };
+        Ok(StatsReport {
+            uptime_micros: u64::from_value(required("uptime_micros")?)?,
+            workers: usize::from_value(required("workers")?)?,
+            queue_depth: usize::from_value(required("queue_depth")?)?,
+            queue_capacity: usize::from_value(required("queue_capacity")?)?,
+            overloaded: u64::from_value(required("overloaded")?)?,
+            deadline_exceeded: u64::from_value(required("deadline_exceeded")?)?,
+            idle_reaped: u64::from_value(required("idle_reaped")?)?,
+            oversized_rejected: u64::from_value(required("oversized_rejected")?)?,
+            malformed_lines: u64::from_value(required("malformed_lines")?)?,
+            queue_wait_p50_micros: u64::from_value(required("queue_wait_p50_micros")?)?,
+            queue_wait_p99_micros: u64::from_value(required("queue_wait_p99_micros")?)?,
+            compute_p50_micros: u64::from_value(required("compute_p50_micros")?)?,
+            compute_p99_micros: u64::from_value(required("compute_p99_micros")?)?,
+            cache_entries: usize::from_value(required("cache_entries")?)?,
+            cache_capacity: usize::from_value(required("cache_capacity")?)?,
+            steals: u64::from_value(required("steals")?)?,
+            deepest_queue: usize::from_value(required("deepest_queue")?)?,
+            cache_hit_rate: f64::from_value(required("cache_hit_rate")?)?,
+            endpoints: Vec::<EndpointStats>::from_value(required("endpoints")?)?,
+            suspicion: match v.get("suspicion") {
+                None => None,
+                Some(s) => Some(SuspicionStats::from_value(s)?),
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +654,46 @@ mod tests {
         assert_eq!(report.cache_hit_rate, 0.0);
         // The report must serialize (a NaN would be unencodable).
         assert!(serde_json::to_string(&report).is_ok());
+    }
+
+    #[test]
+    fn suspicion_counters_are_additive_on_the_wire() {
+        // A plain worker's report has no detector plane: no `suspicion`
+        // key, byte-compatible with a v5 stats line.
+        let m = Metrics::new();
+        let mut report = m.report(PoolCounters::default(), 0, 0);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("suspicion"));
+        assert_eq!(serde_json::from_str::<StatsReport>(&json).unwrap(), report);
+
+        // A router overlays its detector plane's counters; they round-trip.
+        report.suspicion = Some(SuspicionStats {
+            probes_sent: 120,
+            probe_failures: 4,
+            suspects_raised: 1,
+            suspects_cleared: 1,
+            proactive_failovers: 9,
+            hedges_fired: 3,
+            hedges_won: 2,
+            hedges_wasted: 1,
+        });
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains(r#""suspicion":{"probes_sent":120"#));
+        assert_eq!(serde_json::from_str::<StatsReport>(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn ping_endpoint_is_counted_apart() {
+        let m = Metrics::new();
+        m.record(Endpoint::Ping, 50, false);
+        m.record(Endpoint::Ping, 70, false);
+        let report = m.report(PoolCounters::default(), 0, 0);
+        let ping = &report.endpoints[8];
+        assert_eq!(ping.endpoint, "ping");
+        assert_eq!(ping.requests, 2);
+        // Pings are never cacheable, so they must not perturb the
+        // cacheable-prefix hit-rate fold.
+        assert_eq!(report.cache_hit_rate, 0.0);
     }
 
     #[test]

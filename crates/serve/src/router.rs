@@ -18,13 +18,27 @@
 //! so clients track restarts per worker rather than per connection.
 //!
 //! What the router answers itself: `Stats` (its own forwarding
-//! metrics), `Health` (its own non-durable report), `ClusterHealth`
-//! (live per-shard probes + aggregate), and `Shutdown` (drains the
-//! router; workers are *not* shut down — they belong to their
-//! supervisor, and a router bounce must not take the fleet down).
+//! metrics, plus live [`SuspicionStats`](crate::metrics::SuspicionStats)
+//! when the detector plane is on), `Health` (its own non-durable
+//! report), `ClusterHealth` (live per-shard probes + aggregate,
+//! annotated with per-shard φ and suspicion), `Ping` (inline liveness,
+//! never queued behind forwarding), and `Shutdown` (drains the router;
+//! workers are *not* shut down — they belong to their supervisor, and a
+//! router bounce must not take the fleet down).
+//!
+//! With a [`DetectorConfig`] (the default), the router also runs the
+//! live failure-detector plane ([`crate::detector`]): suspected shards
+//! are demoted to the back of the replica order at forward time, so a
+//! dead shard's keys stop paying its connection timeout as soon as φ
+//! crosses the threshold. The router deliberately does *not* hedge —
+//! hedging is the client-side latency policy
+//! ([`ClusterClient`](crate::cluster::ClusterClient)); a fan-in point
+//! duplicating every soft-suspect request would multiply fleet load
+//! exactly when the fleet is struggling.
 
 use crate::client::{ClientError, HardenedClient, RetryPolicy};
 use crate::cluster::{ClusterClient, Membership};
+use crate::detector::{DetectorConfig, DetectorPlane};
 use crate::metrics::{Metrics, PoolCounters};
 use crate::ring::HashRing;
 use crate::server::{BoundedLineReader, LineEvent};
@@ -72,6 +86,11 @@ pub struct RouterConfig {
     /// milliseconds; 0 disables it. Same semantics as
     /// [`ServeConfig::idle_timeout_ms`](crate::server::ServeConfig::idle_timeout_ms).
     pub idle_timeout_ms: u64,
+    /// Live failure-detector plane tuning; `None` disables the plane
+    /// (no heartbeats, reactive failover only). On by default: suspected
+    /// shards are demoted at forward time before any request has to eat
+    /// their timeout.
+    pub detector: Option<DetectorConfig>,
 }
 
 impl Default for RouterConfig {
@@ -82,6 +101,7 @@ impl Default for RouterConfig {
             workers: 0,
             queue_capacity: 128,
             idle_timeout_ms: 60_000,
+            detector: Some(DetectorConfig::default()),
         }
     }
 }
@@ -114,6 +134,8 @@ struct RouterShared {
     queue_capacity: usize,
     /// Per-connection idle read deadline; `None` disables reaping.
     idle_timeout: Option<Duration>,
+    /// Live suspicion plane; probes every shard in the background.
+    detector: Option<Arc<DetectorPlane>>,
     shutdown: AtomicBool,
 }
 
@@ -165,9 +187,19 @@ impl RouterShared {
         options: RequestOptions,
     ) -> Result<Response, ClientError> {
         let key = ClusterClient::shard_key(kind);
+        let mut order = self.ring.replicas(key);
+        if let Some(plane) = &self.detector {
+            if plane.prefer_unsuspected(&mut order) {
+                // The owner is suspected: this request is served by a
+                // replica, so it counts under the existing failover
+                // meaning — it just pays no timeout to learn it.
+                plane.note_proactive_failover();
+                self.failovers.fetch_add(1, Ordering::SeqCst);
+            }
+        }
         let mut last_err: Option<ClientError> = None;
         let mut last_shed: Option<Response> = None;
-        for (attempt, shard) in self.ring.replicas(key).into_iter().enumerate() {
+        for (attempt, shard) in order.into_iter().enumerate() {
             if attempt > 0 {
                 self.failovers.fetch_add(1, Ordering::SeqCst);
             }
@@ -215,23 +247,17 @@ impl RouterShared {
                             Ok(report) => {
                                 self.observe_generation(shard, report.generation);
                                 self.checkin(shard, conn);
-                                ShardHealth {
-                                    shard,
-                                    addr,
-                                    reachable: true,
-                                    generation: report.generation,
-                                    report: Some(report),
-                                }
+                                ShardHealth::new(shard, addr, true, report.generation, Some(report))
                             }
                             Err(_) => {
                                 let last = self.last_gen[shard].load(Ordering::SeqCst);
-                                ShardHealth {
+                                ShardHealth::new(
                                     shard,
                                     addr,
-                                    reachable: false,
-                                    generation: if last == GEN_UNSEEN { 0 } else { last },
-                                    report: None,
-                                }
+                                    false,
+                                    if last == GEN_UNSEEN { 0 } else { last },
+                                    None,
+                                )
                             }
                         }
                     })
@@ -239,10 +265,28 @@ impl RouterShared {
                 .collect();
             probes
                 .into_iter()
-                .map(|p| p.join().expect("health probe thread panicked"))
+                .enumerate()
+                .map(|(shard, p)| {
+                    // A panicking probe must not take the whole report
+                    // down with it: report that shard as unreachable.
+                    p.join().unwrap_or_else(|_| {
+                        let last = self.last_gen[shard].load(Ordering::SeqCst);
+                        ShardHealth::new(
+                            shard,
+                            self.membership.addr(shard),
+                            false,
+                            if last == GEN_UNSEEN { 0 } else { last },
+                            None,
+                        )
+                    })
+                })
                 .collect()
         });
-        ClusterHealthReport::aggregate(rows)
+        let mut report = ClusterHealthReport::aggregate(rows);
+        if let Some(plane) = &self.detector {
+            plane.annotate(&mut report);
+        }
+        report
     }
 
     /// The router's own (non-durable) health report: its forwarding
@@ -315,6 +359,13 @@ impl RouterHandle {
         self.shared.restarts_observed.load(Ordering::SeqCst)
     }
 
+    /// The router's live suspicion counters; `None` when the detector
+    /// plane is disabled.
+    #[must_use]
+    pub fn suspicion_stats(&self) -> Option<crate::metrics::SuspicionStats> {
+        self.shared.detector.as_ref().map(|p| p.stats())
+    }
+
     /// Blocks until the router has stopped accepting and drained every
     /// in-flight forward. Waits for a shutdown request if none was made.
     pub fn join(mut self) {
@@ -364,6 +415,9 @@ pub fn serve_router(
         queue_capacity: config.queue_capacity,
         idle_timeout: (config.idle_timeout_ms > 0)
             .then(|| Duration::from_millis(config.idle_timeout_ms)),
+        detector: config
+            .detector
+            .map(|cfg| DetectorPlane::start(Arc::clone(&membership), cfg)),
         shutdown: AtomicBool::new(false),
         membership,
     });
@@ -397,6 +451,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
     let pool = shared.pool.lock().expect("pool lock poisoned").take();
     if let Some(pool) = pool {
         pool.shutdown();
+    }
+    if let Some(plane) = &shared.detector {
+        plane.stop();
     }
 }
 
@@ -485,7 +542,7 @@ fn handle_line(shared: &Arc<RouterShared>, line: &str, out: &Arc<Mutex<TcpStream
                     let s = p.stats();
                     (p.queue_depth(), s.steals, s.deepest_queue)
                 });
-            let report = shared.metrics.report(
+            let mut report = shared.metrics.report(
                 PoolCounters {
                     workers: shared.workers,
                     queue_depth,
@@ -496,6 +553,9 @@ fn handle_line(shared: &Arc<RouterShared>, line: &str, out: &Arc<Mutex<TcpStream
                 0,
                 0,
             );
+            if let Some(plane) = &shared.detector {
+                report.suspicion = Some(plane.stats());
+            }
             let micros = elapsed_micros(start);
             shared.metrics.record(endpoint, micros, false);
             write_response(
@@ -527,6 +587,17 @@ fn handle_line(shared: &Arc<RouterShared>, line: &str, out: &Arc<Mutex<TcpStream
                     micros,
                     ResponseKind::ClusterHealth(report),
                 ),
+            );
+        }
+        RequestKind::Ping => {
+            // The router proves its own liveness: answered inline, never
+            // queued behind forwarding (a saturated router still pongs).
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                out,
+                version,
+                Response::new(request.id, false, micros, ResponseKind::Pong),
             );
         }
         RequestKind::Shutdown => {

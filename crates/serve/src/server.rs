@@ -716,17 +716,32 @@ fn handle_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
                 Response::new(request.id, false, micros, ResponseKind::Health(report)),
             );
         }
+        RequestKind::Ping => {
+            // Heartbeat probe: answered inline on the connection thread,
+            // never queued behind compute — a busy worker must still
+            // prove liveness, otherwise queue pressure would read as
+            // death to the detector plane. The envelope carries the
+            // generation; the body is deliberately empty.
+            let micros = elapsed_micros(start);
+            shared.metrics.record(endpoint, micros, false);
+            write_response(
+                shared,
+                out,
+                version,
+                Response::new(request.id, false, micros, ResponseKind::Pong),
+            );
+        }
         RequestKind::ClusterHealth => {
             // A single-process server is a one-shard cluster of itself; a
             // router overrides this with the real fleet view.
             let health = shared.health_report();
-            let report = ClusterHealthReport::aggregate(vec![ShardHealth {
-                shard: 0,
-                addr: shared.addr.clone(),
-                reachable: true,
-                generation: health.generation,
-                report: Some(health),
-            }]);
+            let report = ClusterHealthReport::aggregate(vec![ShardHealth::new(
+                0,
+                shared.addr.clone(),
+                true,
+                health.generation,
+                Some(health),
+            )]);
             let micros = elapsed_micros(start);
             shared.metrics.record(endpoint, micros, false);
             write_response(
@@ -1246,6 +1261,7 @@ fn compute_budgeted(kind: &RequestKind, budget: &Budget) -> Result<ComputeStatus
         RequestKind::Stats
         | RequestKind::Health
         | RequestKind::ClusterHealth
+        | RequestKind::Ping
         | RequestKind::Shutdown => Err(WireError {
             code: ErrorCode::Internal,
             message: "non-compute request reached a worker".to_string(),

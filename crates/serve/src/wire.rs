@@ -39,11 +39,16 @@ use serde::{Deserialize, Serialize};
 /// aggregating per-shard [`HealthReport`]s into a
 /// [`ClusterHealthReport`]) and an optional `shard` field on responses
 /// (omitted when absent, stamped by a router with the index of the
-/// worker shard that answered). All additive, so v2/v3/v4 request lines
-/// still parse. Servers accept
-/// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp each response
-/// with the version its request spoke.
-pub const SCHEMA_VERSION: u32 = 5;
+/// worker shard that answered); 6 — the detector plane: the cheap
+/// [`RequestKind::Ping`] heartbeat probe (answered inline, never
+/// queued), per-shard suspicion fields on [`ShardHealth`] (`phi`,
+/// `suspected`, `probation` — omitted when absent/false, so a healthy
+/// v6 row is byte-identical to a v5 row), a `suspected_shards`
+/// aggregate on [`ClusterHealthReport`], and the suspicion counters in
+/// stats reports. All additive, so v2–v5 request lines still parse.
+/// Servers accept [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and stamp
+/// each response with the version its request spoke.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Oldest request schema the server still accepts. v2 request lines are
 /// a strict subset of v3 ones (every v3 envelope addition is optional on
@@ -191,6 +196,13 @@ pub enum RequestKind {
     /// aggregate view. A single-process server answers with a one-shard
     /// cluster consisting of itself; a router polls every worker.
     ClusterHealth,
+    /// A heartbeat probe (schema v6). Answered inline with
+    /// [`ResponseKind::Pong`] — never queued, never cached, never
+    /// forwarded — so its inter-arrival time measures the *wire and
+    /// accept path*, which is exactly what the φ-accrual detector plane
+    /// wants to learn. The response's `generation` doubles as the
+    /// restart signal readmission listens for.
+    Ping,
     /// Stop accepting work, drain, and exit.
     Shutdown,
 }
@@ -207,6 +219,7 @@ impl RequestKind {
             RequestKind::Stats => Endpoint::Stats,
             RequestKind::Health => Endpoint::Health,
             RequestKind::ClusterHealth => Endpoint::ClusterHealth,
+            RequestKind::Ping => Endpoint::Ping,
             RequestKind::Shutdown => Endpoint::Shutdown,
         }
     }
@@ -398,6 +411,10 @@ pub enum ResponseKind {
     Health(HealthReport),
     /// Cluster health snapshot (per-shard rows plus aggregate).
     ClusterHealth(ClusterHealthReport),
+    /// Heartbeat acknowledgement for a [`RequestKind::Ping`] (schema
+    /// v6). Deliberately empty: everything a probe wants (arrival time,
+    /// `generation`) is in the envelope.
+    Pong,
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
     /// The computation's budget tripped and the requester opted into
@@ -481,7 +498,7 @@ pub struct HealthReport {
 }
 
 /// One shard's row in a [`ClusterHealthReport`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardHealth {
     /// The shard's index on the hash ring.
     pub shard: usize,
@@ -497,12 +514,101 @@ pub struct ShardHealth {
     pub generation: u64,
     /// The shard's own [`HealthReport`] when it answered.
     pub report: Option<HealthReport>,
+    /// The detector plane's current φ (suspicion level) for this shard
+    /// (schema v6). `None` — and omitted from the encoding — when no
+    /// detector plane is monitoring the shard.
+    pub phi: Option<f64>,
+    /// Whether the detector plane currently suspects this shard (schema
+    /// v6; omitted when `false`). A suspected shard is skipped at
+    /// routing time and served by its ring replicas.
+    pub suspected: bool,
+    /// Whether the shard is readmitted but still inside its probation
+    /// window after a suspicion cleared (schema v6; omitted when
+    /// `false`). A probationary shard takes traffic again but one missed
+    /// heartbeat re-suspects it immediately.
+    pub probation: bool,
+}
+
+impl ShardHealth {
+    /// A row with no detector-plane annotations (the v5 shape).
+    #[must_use]
+    pub fn new(
+        shard: usize,
+        addr: String,
+        reachable: bool,
+        generation: u64,
+        report: Option<HealthReport>,
+    ) -> Self {
+        ShardHealth {
+            shard,
+            addr,
+            reachable,
+            generation,
+            report,
+            phi: None,
+            suspected: false,
+            probation: false,
+        }
+    }
+}
+
+// Hand-encoded like `Response`: the v6 suspicion fields are *omitted*
+// when absent/false and *defaulted* when missing, so a v5 row is a valid
+// v6 row and a healthy v6 row is byte-identical to its v5 encoding.
+impl Serialize for ShardHealth {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("shard".to_string(), self.shard.to_value()),
+            ("addr".to_string(), self.addr.to_value()),
+            ("reachable".to_string(), self.reachable.to_value()),
+            ("generation".to_string(), self.generation.to_value()),
+            ("report".to_string(), self.report.to_value()),
+        ];
+        if let Some(phi) = self.phi {
+            fields.push(("phi".to_string(), phi.to_value()));
+        }
+        if self.suspected {
+            fields.push(("suspected".to_string(), true.to_value()));
+        }
+        if self.probation {
+            fields.push(("probation".to_string(), true.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ShardHealth {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError(format!("shard health is missing `{name}`")))
+        };
+        Ok(ShardHealth {
+            shard: usize::from_value(required("shard")?)?,
+            addr: String::from_value(required("addr")?)?,
+            reachable: bool::from_value(required("reachable")?)?,
+            generation: u64::from_value(required("generation")?)?,
+            report: Option::<HealthReport>::from_value(required("report")?)?,
+            phi: match v.get("phi") {
+                None => None,
+                Some(p) => Option::<f64>::from_value(p)?,
+            },
+            suspected: match v.get("suspected") {
+                None => false,
+                Some(s) => bool::from_value(s)?,
+            },
+            probation: match v.get("probation") {
+                None => false,
+                Some(p) => bool::from_value(p)?,
+            },
+        })
+    }
 }
 
 /// The `ClusterHealth` response body: per-shard health rows plus the
 /// aggregates a dashboard wants first. A single-process server answers
 /// with a one-shard cluster consisting of itself.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterHealthReport {
     /// Per-shard rows, indexed by ring position.
     pub shards: Vec<ShardHealth>,
@@ -519,6 +625,9 @@ pub struct ClusterHealthReport {
     /// The highest generation seen across shards (a fleet-wide restart
     /// counter floor).
     pub max_generation: u64,
+    /// Shards the detector plane currently suspects (schema v6; omitted
+    /// from the encoding when 0, so a v5 report is a valid v6 report).
+    pub suspected_shards: usize,
 }
 
 impl ClusterHealthReport {
@@ -535,9 +644,13 @@ impl ClusterHealthReport {
             total_in_flight: 0,
             total_stuck_workers: 0,
             max_generation: 0,
+            suspected_shards: 0,
         };
         for row in &shards {
             report.max_generation = report.max_generation.max(row.generation);
+            if row.suspected {
+                report.suspected_shards += 1;
+            }
             if !row.reachable {
                 continue;
             }
@@ -551,6 +664,66 @@ impl ClusterHealthReport {
         }
         report.shards = shards;
         report
+    }
+}
+
+// Hand-encoded for the same reason as `ShardHealth`: `suspected_shards`
+// is omitted when 0 and defaulted when missing.
+impl Serialize for ClusterHealthReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("shards".to_string(), self.shards.to_value()),
+            (
+                "reachable_shards".to_string(),
+                self.reachable_shards.to_value(),
+            ),
+            (
+                "total_cache_entries".to_string(),
+                self.total_cache_entries.to_value(),
+            ),
+            (
+                "total_queue_depth".to_string(),
+                self.total_queue_depth.to_value(),
+            ),
+            (
+                "total_in_flight".to_string(),
+                self.total_in_flight.to_value(),
+            ),
+            (
+                "total_stuck_workers".to_string(),
+                self.total_stuck_workers.to_value(),
+            ),
+            ("max_generation".to_string(), self.max_generation.to_value()),
+        ];
+        if self.suspected_shards != 0 {
+            fields.push((
+                "suspected_shards".to_string(),
+                self.suspected_shards.to_value(),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ClusterHealthReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError(format!("cluster health is missing `{name}`")))
+        };
+        Ok(ClusterHealthReport {
+            shards: Vec::<ShardHealth>::from_value(required("shards")?)?,
+            reachable_shards: usize::from_value(required("reachable_shards")?)?,
+            total_cache_entries: usize::from_value(required("total_cache_entries")?)?,
+            total_queue_depth: usize::from_value(required("total_queue_depth")?)?,
+            total_in_flight: usize::from_value(required("total_in_flight")?)?,
+            total_stuck_workers: u64::from_value(required("total_stuck_workers")?)?,
+            max_generation: u64::from_value(required("max_generation")?)?,
+            suspected_shards: match v.get("suspected_shards") {
+                None => 0,
+                Some(s) => usize::from_value(s)?,
+            },
+        })
     }
 }
 
@@ -599,21 +772,22 @@ mod tests {
 
     #[test]
     fn envelope_encoding_is_pinned() {
-        // The envelope shape is the serve wire schema (schema_version 5:
+        // The envelope shape is the serve wire schema (schema_version 6:
         // v3's optional deadline/priority/accept_partial on requests,
         // queue and compute timings on responses, retry_after_ms on
-        // errors, the v4 Classify endpoint, and the v5 ClusterHealth
-        // endpoint + optional response `shard` stamp); repin deliberately
-        // with a version bump, never silently.
+        // errors, the v4 Classify endpoint, the v5 ClusterHealth
+        // endpoint + optional response `shard` stamp, and the v6 Ping
+        // probe + suspicion annotations); repin deliberately with a
+        // version bump, never silently.
         let req = Request::new(7, RequestKind::Stats);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":5,"id":7,"kind":"Stats"}"#
+            r#"{"schema_version":6,"id":7,"kind":"Stats"}"#
         );
         let req = Request::new(8, RequestKind::Health);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":5,"id":8,"kind":"Health"}"#
+            r#"{"schema_version":6,"id":8,"kind":"Health"}"#
         );
 
         let spec = CellSpec::new(3, 1, None, FdChoice::None, ProtocolChoice::Reliable)
@@ -622,7 +796,7 @@ mod tests {
         let req = Request::new(1, RequestKind::Cell(spec.clone()));
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":5,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
+            r#"{"schema_version":6,"id":1,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}}}"#
         );
 
         // Non-default options are appended after the v2-compatible core.
@@ -637,7 +811,7 @@ mod tests {
         );
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":5,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
+            r#"{"schema_version":6,"id":2,"kind":{"Cell":{"n":3,"t":1,"drop_prob":null,"fd":"None","protocol":"Reliable","horizon":100,"trials":2}},"deadline_ms":250,"priority":1,"accept_partial":true}"#
         );
 
         // The v4 Classify endpoint (body encoding pinned in ktudc-fd).
@@ -650,14 +824,35 @@ mod tests {
         );
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":5,"id":3,"kind":{"Classify":{"detector":"Heartbeat","regime":"Clean","n":4,"trials":6,"horizon":240,"seed":0}}}"#
+            r#"{"schema_version":6,"id":3,"kind":{"Classify":{"detector":"Heartbeat","regime":"Clean","n":4,"trials":6,"horizon":240,"seed":0}}}"#
         );
 
         let resp = Response::error(9, ErrorCode::Overloaded, "queue full");
         assert_eq!(
             serde_json::to_string(&resp).unwrap(),
-            r#"{"schema_version":5,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
+            r#"{"schema_version":6,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
         );
+    }
+
+    #[test]
+    fn ping_encoding_is_pinned() {
+        // The v6 heartbeat probe: both directions deliberately minimal —
+        // a Ping line is the cheapest thing the detector plane can put on
+        // the wire, and the Pong carries nothing because the envelope
+        // already has the arrival time implicitly and `generation`
+        // explicitly.
+        let req = Request::new(12, RequestKind::Ping);
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"schema_version":6,"id":12,"kind":"Ping"}"#
+        );
+        let resp = Response::new(12, false, 0, ResponseKind::Pong);
+        assert_eq!(
+            serde_json::to_string(&resp).unwrap(),
+            r#"{"schema_version":6,"id":12,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"result":"Pong"}"#
+        );
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
     }
 
     #[test]
@@ -666,28 +861,19 @@ mod tests {
         let req = Request::new(11, RequestKind::ClusterHealth);
         assert_eq!(
             serde_json::to_string(&req).unwrap(),
-            r#"{"schema_version":5,"id":11,"kind":"ClusterHealth"}"#
+            r#"{"schema_version":6,"id":11,"kind":"ClusterHealth"}"#
         );
 
         // A one-shard cluster (what a direct single-process server
         // answers): the unreachable-row and reachable-row shapes are both
         // part of the schema.
         let report = ClusterHealthReport::aggregate(vec![
-            ShardHealth {
-                shard: 0,
-                addr: "127.0.0.1:7001".to_string(),
-                reachable: true,
-                generation: 3,
-                report: None,
-            },
-            ShardHealth {
-                shard: 1,
-                addr: "127.0.0.1:7002".to_string(),
-                reachable: false,
-                generation: 2,
-                report: None,
-            },
+            ShardHealth::new(0, "127.0.0.1:7001".to_string(), true, 3, None),
+            ShardHealth::new(1, "127.0.0.1:7002".to_string(), false, 2, None),
         ]);
+        // No detector plane annotations: a v6 report with healthy rows is
+        // byte-identical to its v5 encoding (no phi/suspected/probation
+        // keys, no suspected_shards aggregate).
         assert_eq!(
             serde_json::to_string(&report).unwrap(),
             r#"{"shards":[{"shard":0,"addr":"127.0.0.1:7001","reachable":true,"generation":3,"report":null},{"shard":1,"addr":"127.0.0.1:7002","reachable":false,"generation":2,"report":null}],"reachable_shards":1,"total_cache_entries":0,"total_queue_depth":0,"total_in_flight":0,"total_stuck_workers":0,"max_generation":3}"#
@@ -695,6 +881,50 @@ mod tests {
         let resp = Response::new(11, false, 0, ResponseKind::ClusterHealth(report));
         let json = serde_json::to_string(&resp).unwrap();
         assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn suspicion_annotations_are_pinned_and_v5_compatible() {
+        // A detector-plane-annotated row: phi appears after report,
+        // suspected/probation only when true.
+        let mut suspect = ShardHealth::new(1, "127.0.0.1:7002".to_string(), true, 2, None);
+        suspect.phi = Some(8.5);
+        suspect.suspected = true;
+        let mut healthy = ShardHealth::new(0, "127.0.0.1:7001".to_string(), true, 3, None);
+        healthy.phi = Some(0.25);
+        let report = ClusterHealthReport::aggregate(vec![healthy, suspect]);
+        assert_eq!(report.suspected_shards, 1);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            r#"{"shards":[{"shard":0,"addr":"127.0.0.1:7001","reachable":true,"generation":3,"report":null,"phi":0.25},{"shard":1,"addr":"127.0.0.1:7002","reachable":true,"generation":2,"report":null,"phi":8.5,"suspected":true}],"reachable_shards":2,"total_cache_entries":0,"total_queue_depth":0,"total_in_flight":0,"total_stuck_workers":0,"max_generation":3,"suspected_shards":1}"#
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(
+            serde_json::from_str::<ClusterHealthReport>(&json).unwrap(),
+            report
+        );
+
+        // A probationary row round-trips too.
+        let mut probation = ShardHealth::new(2, "127.0.0.1:7003".to_string(), true, 4, None);
+        probation.phi = Some(0.1);
+        probation.probation = true;
+        let json = serde_json::to_string(&probation).unwrap();
+        assert!(json.contains(r#""probation":true"#));
+        assert_eq!(
+            serde_json::from_str::<ShardHealth>(&json).unwrap(),
+            probation
+        );
+
+        // A v5 row (no suspicion keys) still parses, defaulting them.
+        let legacy =
+            r#"{"shard":0,"addr":"127.0.0.1:7001","reachable":true,"generation":3,"report":null}"#;
+        let parsed: ShardHealth = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.phi, None);
+        assert!(!parsed.suspected);
+        assert!(!parsed.probation);
+        let legacy_report = r#"{"shards":[],"reachable_shards":0,"total_cache_entries":0,"total_queue_depth":0,"total_in_flight":0,"total_stuck_workers":0,"max_generation":0}"#;
+        let parsed: ClusterHealthReport = serde_json::from_str(legacy_report).unwrap();
+        assert_eq!(parsed.suspected_shards, 0);
     }
 
     #[test]
@@ -708,7 +938,7 @@ mod tests {
         resp.shard = Some(2);
         assert_eq!(
             serde_json::to_string(&resp).unwrap(),
-            r#"{"schema_version":5,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"shard":2,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
+            r#"{"schema_version":6,"id":9,"cached":false,"micros":0,"queue_wait_ms":0.0,"compute_ms":0.0,"generation":0,"shard":2,"result":{"Error":{"code":"Overloaded","message":"queue full","retry_after_ms":0}}}"#
         );
         let json = serde_json::to_string(&resp).unwrap();
         assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
@@ -862,10 +1092,12 @@ mod tests {
             RequestKind::Explore(ExploreSpec::new(2, 2)).endpoint(),
             Endpoint::Explore
         );
+        assert_eq!(RequestKind::Ping.endpoint(), Endpoint::Ping);
         assert!(RequestKind::Explore(ExploreSpec::new(2, 2)).cacheable());
         assert!(!RequestKind::Stats.cacheable());
         assert!(!RequestKind::Health.cacheable());
         assert!(!RequestKind::ClusterHealth.cacheable());
+        assert!(!RequestKind::Ping.cacheable());
         assert!(!RequestKind::Shutdown.cacheable());
     }
 }
